@@ -1,0 +1,90 @@
+"""Figs. 3/5/6 behaviours — cycle-level microbenchmarks of the threading
+model's core claims:
+
+* a pointer-chasing loop runs at line rate when enough threads are in
+  flight, despite the loop-carried dependence (fig. 5a);
+* killing a thread refills its lane from upstream (lane occupancy stays
+  high through heavy divergence, fig. 4);
+* forking walks multiple tree paths simultaneously (fig. 6b).
+"""
+
+import random
+
+from repro.dataflow import Engine, run_graph
+from repro.structures import BTreeDataflow, HashTableDataflow, ImmutableBTree
+
+from figutil import emit
+
+
+def _probe_cycles(n_threads, chain_hot=False, seed=80):
+    """Cycle count for n_threads hash probes."""
+    rng = random.Random(seed)
+    n = 1024
+    ht = HashTableDataflow(n_buckets=n, spad_node_capacity=4 * n)
+    if chain_hot:
+        ht.load([(7, i) for i in range(64)])       # one long chain
+    else:
+        ht.load([(rng.randrange(1 << 20), i) for i in range(n)])
+    queries = [(q, rng.randrange(1 << 20)) for q in range(n_threads)]
+    stats = run_graph(ht.probe_graph(queries, emit_all=False))
+    return stats
+
+
+def _line_rate_lines():
+    lines = ["probe throughput vs threads in flight (fig. 5a):"]
+    base = None
+    for n_threads in (32, 128, 512, 2048):
+        stats = _probe_cycles(n_threads)
+        per_thread = stats.cycles / n_threads
+        if base is None:
+            base = per_thread
+        lines.append(f"  threads={n_threads:>5}: {stats.cycles:>6} cycles "
+                     f"({per_thread:.2f} cycles/thread)")
+    return lines, base
+
+
+def test_pointer_chase_line_rate(benchmark):
+    lines, __ = benchmark(_line_rate_lines)
+    # Full pipelines amortize: per-thread cost at 2048 threads must be a
+    # small fraction of the 32-thread cost.
+    few = _probe_cycles(32).cycles / 32
+    many = _probe_cycles(2048).cycles / 2048
+    lines.append(f"  amortization: {few / many:.1f}x "
+                 "fewer cycles/thread at depth")
+    emit("microbench_line_rate", lines)
+    assert many < few / 4
+
+
+def test_lane_refill_on_divergence(benchmark):
+    # Heavy divergence (mixed hit/miss chains) must not crater occupancy:
+    # compaction refills lanes with upstream threads.
+    def run():
+        return _probe_cycles(2048)
+    stats = benchmark(run)
+    occ = stats.tiles["node_rd"].lane_occupancy
+    emit("microbench_lane_refill",
+         [f"probe-loop gather lane occupancy at 2048 threads: {occ:.2f}"])
+    assert occ > 0.5
+
+
+def test_fork_parallel_tree_walk(benchmark):
+    # A wide B-tree range search forks threads down many subtrees; with a
+    # single query thread the fork is the only parallelism source.
+    rng = random.Random(81)
+    pairs = [(rng.randrange(1 << 16), i) for i in range(2048)]
+    tree = ImmutableBTree.bulk_load(pairs, fanout=8)
+    bd = BTreeDataflow(tree)
+
+    def run():
+        g = bd.search_graph([(0, 0, 1 << 16)])
+        return Engine(g).run(), g
+
+    stats, g = benchmark.pedantic(run, rounds=1, iterations=1)
+    hits = len(g.tile("hits").records)
+    forked = g.tile("descend").stats.records_out
+    emit("microbench_fork", [
+        f"one root thread -> {forked} forked traversal threads "
+        f"-> {hits} leaf hits in {stats.cycles} cycles",
+    ])
+    assert hits == 2048
+    assert forked > 64

@@ -1,0 +1,27 @@
+"""Fig. 10 — area overhead of the sparse reordering pipeline.
+
+Paper: the additions increase scratchpad area by 15% (5% of total chip
+area); the allocator is only a small portion, with issue-queue request
+storage dominating.
+"""
+
+from repro.perf import area_breakdown, chip_overhead_pct, scratchpad_overhead_pct
+
+from figutil import emit
+
+
+def _figure_lines():
+    lines = ["component                        % of baseline scratchpad area"]
+    for name, __, pct in area_breakdown():
+        bar = "#" * int(round(pct * 4))
+        lines.append(f"{name:<32} {pct:5.2f}  {bar}")
+    lines.append(f"{'TOTAL (scratchpad)':<32} {scratchpad_overhead_pct():5.2f}")
+    lines.append(f"{'TOTAL (chip)':<32} {chip_overhead_pct():5.2f}")
+    return lines
+
+
+def test_fig10_area_breakdown(benchmark):
+    lines = benchmark(_figure_lines)
+    emit("fig10_area", lines)
+    assert abs(scratchpad_overhead_pct() - 15.0) < 0.01
+    assert abs(chip_overhead_pct() - 5.0) < 0.01

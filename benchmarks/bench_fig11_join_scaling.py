@@ -1,0 +1,79 @@
+"""Fig. 11a — equi-join runtime vs table size, all platforms.
+
+Paper claims to reproduce (shape, not absolute numbers):
+* Gorgon's sort-merge join beats the hash join at small sizes (dense
+  access), loses at large sizes (O(n log n) vs O(n));
+* Aurochs matches software asymptotics but wins on constant factors at
+  every size: the GPU joins 100M-row tables of 8-byte tuples at ~4.5 GB/s,
+  the CPU is an order of magnitude slower than that, and Aurochs joins at
+  >50 GB/s when parallelized.
+"""
+
+import pytest
+
+from repro.baselines import GorgonModel
+from repro.perf import CostModel, kernels
+from repro.perf.params import CPU, GPU
+
+from figutil import emit, fmt_time
+
+SIZES = [10 ** 4, 10 ** 5, 10 ** 6, 10 ** 7, 10 ** 8]
+STREAMS = 16
+
+
+def _aurochs_seconds(n):
+    model = CostModel(parallel_streams=STREAMS)
+    return model.runtime_seconds(kernels.hash_join_events(n, n))
+
+
+def _gorgon_seconds(n):
+    return GorgonModel(parallel_streams=STREAMS).join_seconds(n, n)
+
+
+def _cpu_seconds(n):
+    import math
+    rows = 2 * n
+    t_hash = rows / (CPU.cores * CPU.hash_join_rows_per_s)
+    t_bw = rows * 8 / CPU.dram_bw_bytes
+    return max(t_hash, t_bw)
+
+
+def _gpu_seconds(n):
+    return 2 * n * 8 / GPU.join_bytes_per_s
+
+
+def _figure_rows():
+    rows = [f"{'rows/table':>12} {'Aurochs':>12} {'Gorgon(sort)':>12} "
+            f"{'CPU':>12} {'GPU':>12}"]
+    for n in SIZES:
+        rows.append(
+            f"{n:>12} {fmt_time(_aurochs_seconds(n)):>12} "
+            f"{fmt_time(_gorgon_seconds(n)):>12} "
+            f"{fmt_time(_cpu_seconds(n)):>12} "
+            f"{fmt_time(_gpu_seconds(n)):>12}")
+    return rows
+
+
+def test_fig11a_join_scaling(benchmark):
+    rows = benchmark(_figure_rows)
+    emit("fig11a_join_scaling", rows)
+    # Shape assertions from the paper's text.
+    assert _gorgon_seconds(SIZES[0]) < _aurochs_seconds(SIZES[0])
+    assert _aurochs_seconds(SIZES[-1]) < _gorgon_seconds(SIZES[-1])
+    for n in SIZES:
+        assert _aurochs_seconds(n) < _cpu_seconds(n)
+        assert _aurochs_seconds(n) < _gpu_seconds(n)
+
+
+def test_fig11a_aurochs_join_rate_exceeds_50gbs(benchmark):
+    # §V-B: "When parallelized, Aurochs can join tables at over 50 GB/s."
+    n = 10 ** 8
+    rate = benchmark(lambda: 2 * n * 8 / _aurochs_seconds(n))
+    assert rate > 50e9, f"Aurochs joins at only {rate / 1e9:.1f} GB/s"
+
+
+def test_fig11a_gpu_vs_cpu_order_of_magnitude(benchmark):
+    # §V-B: the GPU "outperform[s] the CPU by over an order of magnitude".
+    n = 10 ** 8
+    ratio = benchmark(lambda: _cpu_seconds(n) / _gpu_seconds(n))
+    assert ratio > 10

@@ -1,0 +1,79 @@
+"""Fig. 11b — spatial join runtime: fixed table joined against a scaling
+table.
+
+Paper claims to reproduce (shape): Gorgon presorts the larger table,
+giving O(n log n) behaviour, while Aurochs probes a spatial index in
+O(log n) per record; without any index a spatial join needs all-to-all
+comparisons, "making it impractical for real-world datasets".  Aurochs
+matches software asymptotics but wins on constants against CPU and GPU.
+"""
+
+import math
+
+from repro.baselines import GorgonModel
+from repro.perf import CostModel, kernels
+from repro.perf.params import CPU, GPU
+
+from figutil import emit, fmt_time
+
+N_FIXED = 10 ** 5
+SIZES = [10 ** 4, 10 ** 5, 10 ** 6, 10 ** 7, 10 ** 8]
+STREAMS = 16
+
+
+def _aurochs_seconds(n):
+    model = CostModel(parallel_streams=STREAMS)
+    return model.runtime_seconds(kernels.rtree_join_events(N_FIXED, n))
+
+
+def _gorgon_seconds(n):
+    return GorgonModel(parallel_streams=STREAMS).spatial_join_seconds(
+        N_FIXED, n)
+
+
+def _gorgon_nlj_seconds(n):
+    return GorgonModel(parallel_streams=STREAMS).spatial_join_seconds(
+        N_FIXED, n, nested_loop=True)
+
+
+def _cpu_seconds(n):
+    probes = n * max(1.0, math.log2(N_FIXED) / 8.0)
+    return probes / (CPU.cores * CPU.spatial_pair_per_s)
+
+
+def _gpu_seconds(n):
+    return N_FIXED * n / GPU.spatial_pair_per_s  # brute-force pair kernel
+
+
+def _figure_rows():
+    rows = [f"{'rows':>12} {'Aurochs':>12} {'Gorgon(sort)':>13} "
+            f"{'Gorgon(NLJ)':>12} {'CPU':>12} {'GPU':>12}"]
+    for n in SIZES:
+        rows.append(
+            f"{n:>12} {fmt_time(_aurochs_seconds(n)):>12} "
+            f"{fmt_time(_gorgon_seconds(n)):>13} "
+            f"{fmt_time(_gorgon_nlj_seconds(n)):>12} "
+            f"{fmt_time(_cpu_seconds(n)):>12} "
+            f"{fmt_time(_gpu_seconds(n)):>12}")
+    return rows
+
+
+def test_fig11b_spatial_scaling(benchmark):
+    rows = benchmark(_figure_rows)
+    emit("fig11b_spatial_scaling", rows)
+    # Aurochs beats Gorgon's presort at scale (log-factor + constants).
+    assert _aurochs_seconds(SIZES[-1]) < _gorgon_seconds(SIZES[-1])
+    # The index-less nested loop is orders of magnitude off at scale.
+    assert _gorgon_nlj_seconds(SIZES[-1]) > 100 * _gorgon_seconds(SIZES[-1])
+    # Aurochs wins against both software baselines everywhere.
+    for n in SIZES:
+        assert _aurochs_seconds(n) < _cpu_seconds(n)
+        assert _aurochs_seconds(n) < _gpu_seconds(n)
+
+
+def test_fig11b_superlinear_gap_grows(benchmark):
+    def gap(n):
+        return _gorgon_seconds(n) / _aurochs_seconds(n)
+    ratio = benchmark(lambda: gap(SIZES[-1]) / gap(SIZES[1]))
+    # O(n log n) vs O(n): the Gorgon/Aurochs gap widens with scale.
+    assert ratio > 1.0

@@ -1,0 +1,66 @@
+"""End-to-end Gorgon-vs-Aurochs on the benchmark queries.
+
+Fig. 14 compares Aurochs against CPU/GPU only; fig. 11 covers Gorgon at
+the kernel level.  This bench closes the loop end-to-end: the same Q1-Q9
+plans run under ``GORGON_POLICY`` (sort-merge joins, sort aggregation,
+nested-loop spatial operators — §I's "simpler but asymptotically
+sub-optimal algorithms") and are priced on the same fabric.  Results must
+be identical; costs must favor Aurochs on the spatial/index-heavy
+queries.
+
+Run at reduced scale: Gorgon's all-pairs spatial operators execute in
+O(n·m) Python, which is exactly the paper's point about their
+infeasibility.
+"""
+
+import pytest
+
+from repro.db import ExecutionContext
+from repro.perf import CostModel
+from repro.workloads import QUERIES, RideshareConfig, generate, run_query
+from repro.workloads.policy import AUROCHS_POLICY, GORGON_POLICY
+
+from figutil import emit, fmt_time
+
+_DATA = None
+
+
+def _data():
+    global _DATA
+    if _DATA is None:
+        _DATA = generate(RideshareConfig(
+            n_drivers=300, n_riders=1000, n_locations=64,
+            n_rides=8000, n_ride_reqs=1000, n_driver_status=1000))
+    return _DATA
+
+
+def _compare():
+    # Zero the fixed stage overhead: it applies identically to both
+    # policies and would mask the algorithmic gap at reduced scale.
+    model = CostModel(parallel_streams=4, stage_overhead_cycles=0)
+    rows = [f"{'query':>6} {'Aurochs':>11} {'Gorgon':>11} {'ratio':>7}"]
+    ratios = {}
+    for name in QUERIES:
+        actx, gctx = ExecutionContext(), ExecutionContext()
+        a_result = run_query(name, _data(), actx, policy=AUROCHS_POLICY)
+        g_result = run_query(name, _data(), gctx, policy=GORGON_POLICY)
+        assert len(a_result) == len(g_result), name
+        ta = model.query_runtime(actx)
+        tg = model.query_runtime(gctx)
+        ratios[name] = tg / ta
+        rows.append(f"{name:>6} {fmt_time(ta):>11} {fmt_time(tg):>11} "
+                    f"{tg / ta:>6.1f}x")
+    return rows, ratios
+
+
+def test_gorgon_end_to_end(benchmark):
+    rows, ratios = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    emit("gorgon_queries", rows)
+    # The spatial-join-heavy queries pay a clear all-pairs penalty even
+    # at this reduced scale (and it grows linearly with table size)...
+    assert ratios["q1"] > 2
+    assert ratios["q6"] > 2
+    # ...while queries dominated by tiny sorts/scans may tilt slightly
+    # Gorgon-ward — exactly fig. 11a's "sort wins small tables" regime;
+    # no query may favor Gorgon by more than that small-dense margin.
+    assert all(r > 0.4 for r in ratios.values())

@@ -1,0 +1,48 @@
+"""§IV-B ablation — LSM batch size: index-update latency vs amortization.
+
+Paper: "Batch size is a trade off between index update latency and work
+amortization."  Small batches update the index promptly but re-merge
+records more often (higher write amplification); large batches amortize
+merges but delay visibility.
+"""
+
+from repro.structures import LsmTree
+
+from figutil import emit
+
+N = 1 << 14
+
+
+def _sweep():
+    rows = [f"{'batch':>7} {'trees':>6} {'write amp':>10} "
+            f"{'merge bytes (MB)':>17}"]
+    amps = {}
+    for batch in (64, 256, 1024, 4096):
+        lsm = LsmTree(batch_size=batch, fanout=16)
+        lsm.insert_many((i, i) for i in range(N))
+        amp = lsm.write_amplification()
+        amps[batch] = amp
+        rows.append(f"{batch:>7} {len(lsm.tree_sizes()):>6} {amp:>10.2f} "
+                    f"{lsm.events.dram_write_bytes / 1e6:>17.2f}")
+    return rows, amps
+
+
+def test_lsm_batch_tradeoff(benchmark):
+    rows, amps = benchmark(_sweep)
+    emit("lsm_batch_ablation", rows)
+    # Larger batches amortize: write amplification must fall monotonically.
+    batches = sorted(amps)
+    for a, b in zip(batches, batches[1:]):
+        assert amps[b] <= amps[a] + 1e-9
+
+
+def test_lsm_queries_unaffected_by_batch(benchmark):
+    def check():
+        results = []
+        for batch in (64, 1024):
+            lsm = LsmTree(batch_size=batch, fanout=8)
+            lsm.insert_many((i % 500, i) for i in range(2000))
+            results.append(sorted(lsm.range_query(100, 200)))
+        return results
+    a, b = benchmark(check)
+    assert a == b  # batch size is a performance knob, not a semantic one

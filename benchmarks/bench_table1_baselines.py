@@ -1,0 +1,22 @@
+"""Table 1 — evaluation platform inventory."""
+
+from repro.baselines import table1_rows
+from repro.perf.params import AUROCHS, CPU, GPU
+
+from figutil import emit
+
+
+def test_table1_platforms(benchmark):
+    rows = benchmark(table1_rows)
+    lines = []
+    for platform, desc in rows:
+        lines.append(platform)
+        lines.append(f"    {desc}")
+    emit("table1_baselines", lines)
+    assert len(rows) == 3
+    # Sanity: the GPU has ~1 TB/s DRAM but limited 16 GiB capacity (§V-B).
+    assert GPU.dram_bw_bytes > 0.5e12
+    assert GPU.mem_bytes == 16 * 1024 ** 3
+    # Aurochs: 20x20 grid at 1 GHz (§II-B).
+    assert AUROCHS.grid == 20 and AUROCHS.clock_hz == 1e9
+    assert CPU.cores >= 32

@@ -1,0 +1,39 @@
+"""Table 2 — benchmark query descriptions and input table sizes.
+
+Regenerates the workload inventory: each query's description, the fact
+tables and stream tables it touches, and the generated row counts at the
+paper-scale configuration.
+"""
+
+from repro.workloads import QUERIES, RideshareConfig, generate
+
+from figutil import emit
+
+
+def _table2_lines():
+    cfg = RideshareConfig.paper_scale()
+    lines = [f"paper-scale generator config: rides={cfg.n_rides:,} "
+             f"riders={cfg.n_riders:,} drivers={cfg.n_drivers:,} "
+             f"locations={cfg.n_locations:,} "
+             f"rideReq={cfg.n_ride_reqs:,} driverStatus={cfg.n_driver_status:,}"]
+    lines.append(f"{'query':>6}  {'tables':<28} {'streams':<26} description")
+    for name, qd in QUERIES.items():
+        lines.append(f"{name:>6}  {','.join(qd.tables) or '-':<28} "
+                     f"{','.join(qd.streams) or '-':<26} {qd.description}")
+    return lines
+
+
+def test_table2_workload(benchmark):
+    lines = benchmark(_table2_lines)
+    emit("table2_workload", lines)
+    assert len(QUERIES) == 9
+
+
+def test_table2_generator_produces_sizes(benchmark):
+    # Generate at 1/100 paper scale and verify proportions.
+    cfg = RideshareConfig.paper_scale().scaled(0.01)
+    data = benchmark(lambda: generate(cfg))
+    sizes = data.sizes()
+    assert sizes["ride"] == 10_000
+    assert sizes["rider"] == 1_000
+    assert sizes["rideReq"] == 1_000

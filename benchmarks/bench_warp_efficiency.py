@@ -1,0 +1,69 @@
+"""§III-A's GPU profile — warp execution efficiency on hash join.
+
+Paper: "We profile a CUDA hash join implementation on a V100 GPU and show
+a warp execution efficiency of 62% during the build phase and 46% during
+the probe phase, indicating most lanes are idle and the GPU is not
+memory-bound."
+
+This bench runs the SIMT divergence simulator on the same kernel shapes
+and contrasts the result with Aurochs' lane occupancy on the equivalent
+cycle-simulated probe pipeline (thread compaction refills lanes on
+divergence, so occupancy stays high).
+"""
+
+import random
+
+from repro.baselines import SimtHashJoin
+from repro.dataflow import run_graph
+from repro.structures import HashTableDataflow
+
+from figutil import emit
+
+N = 1 << 14
+
+
+def _keys(seed=77):
+    rng = random.Random(seed)
+    table = [rng.randrange(1 << 30) for __ in range(N)]
+    probes = [rng.choice(table) if rng.random() < 0.8
+              else rng.randrange(1 << 30) for __ in range(N)]
+    return table, probes
+
+
+def _simt_efficiencies():
+    table, probes = _keys()
+    sim = SimtHashJoin()
+    build = sim.build(table, N).warp_efficiency
+    probe = sim.probe(probes, table, N).warp_efficiency
+    barrier = SimtHashJoin(block_barrier=True).probe(
+        probes, table, N).warp_efficiency
+    return build, probe, barrier
+
+
+def _aurochs_probe_occupancy():
+    rng = random.Random(78)
+    n = 2048
+    ht = HashTableDataflow(n_buckets=n, spad_node_capacity=2 * n)
+    ht.load([(rng.randrange(1 << 20), i) for i in range(n)])
+    queries = [(q, rng.randrange(1 << 20)) for q in range(n)]
+    g = ht.probe_graph(queries, emit_all=False)
+    stats = run_graph(g)
+    # Occupancy of the chain-walk loop body (the node gather tile).
+    return stats.tiles["node_rd"].lane_occupancy
+
+
+def test_warp_efficiency(benchmark):
+    build, probe, barrier = benchmark(_simt_efficiencies)
+    occupancy = _aurochs_probe_occupancy()
+    emit("warp_efficiency", [
+        f"GPU SIMT build warp efficiency:  {build:.2f}   (paper: 0.62)",
+        f"GPU SIMT probe warp efficiency:  {probe:.2f}   (paper: 0.46)",
+        f"GPU probe incl. block barriers:  {barrier:.2f}",
+        f"Aurochs probe-loop lane occupancy: {occupancy:.2f} "
+        "(compaction refills lanes)",
+    ])
+    assert 0.45 < build < 0.80
+    assert 0.30 < probe < 0.60
+    assert probe < build
+    # Aurochs' whole point: lanes stay busier than the GPU's probe phase.
+    assert occupancy > probe

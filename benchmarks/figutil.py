@@ -1,0 +1,36 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures and both
+prints it and writes it under ``benchmarks/results/`` so the output
+survives pytest's capture.  EXPERIMENTS.md records the paper-vs-measured
+comparison for each.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, lines: List[str]) -> str:
+    """Print a figure's rows and persist them to results/<name>.txt."""
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    return text
+
+
+def fmt_time(seconds: float) -> str:
+    """Engineering-format a runtime."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g} us"
+    return f"{seconds * 1e9:.3g} ns"

@@ -1,0 +1,131 @@
+"""Beyond SQL: irregular graph traversal as dataflow threads.
+
+The paper closes by arguing Aurochs accelerates "an entire class of
+algorithms with irregular parallelism", not just database kernels.  This
+example builds a parallel BFS from nothing but the paper's primitives:
+
+* per-thread state = a (node, depth) record;
+* a *visited* bitmap in a scratchpad, claimed with CAS — the only
+  cross-thread communication, so threads may run in any order;
+* a fork tile expands each newly-visited node's adjacency list (gathered
+  from DRAM) into child threads;
+* losers of the CAS race are simply killed, and their lanes refill.
+
+Run:  python examples/graph_traversal.py
+"""
+
+import random
+
+from repro.dataflow import (
+    CopyTile,
+    FilterTile,
+    ForkTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+    run_graph,
+)
+from repro.memory import (
+    DramMemory,
+    DramTile,
+    PortConfig,
+    ScratchpadMemory,
+    ScratchpadTile,
+)
+
+
+def random_graph(n_nodes, degree, seed=11):
+    rng = random.Random(seed)
+    return [
+        sorted({rng.randrange(n_nodes) for __ in range(degree)})
+        for __ in range(n_nodes)
+    ]
+
+
+def bfs_graph(adjacency, roots):
+    """Lower BFS onto the tile fabric; returns (graph, visited_sink)."""
+    n = len(adjacency)
+
+    spad = ScratchpadMemory("visited")
+    visited = spad.region("visited", n, 1, fill=0)
+    dram = DramMemory("adj")
+    adj = dram.region("adjacency", n, 8, fill=None)
+    for node, neighbors in enumerate(adjacency):
+        adj[node] = tuple(neighbors)
+
+    def claim(old, record):
+        # Atomic test-and-set on the visited bit; the old value tells the
+        # thread whether it won the race to expand this node.
+        return 1, old
+
+    g = Graph("bfs")
+    src = g.add(SourceTile("src", [(r, 0) for r in roots]))
+    entry = g.add(MergeTile("entry"))
+    mark = g.add(ScratchpadTile("mark", spad, [PortConfig(
+        mode="rmw", region=visited, addr=lambda r: r[0],
+        rmw=claim, combine=lambda r, old: (r[0], r[1], old))]))
+    fresh = g.add(FilterTile("fresh", lambda r: r[2] == 0))
+    gather = g.add(DramTile("gather", dram, [PortConfig(
+        mode="read", region=adj, addr=lambda r: r[0],
+        combine=lambda r, neighbors: (r[0], r[1], neighbors))]))
+    dup = g.add(CopyTile("dup"))
+    emit = g.add(MapTile("emit", lambda r: (r[0], r[1])))
+    expand = g.add(ForkTile(
+        "expand", lambda r: [(nb, r[1] + 1) for nb in r[2]]))
+    out = g.add(SinkTile("visited"))
+
+    g.connect(src, entry)
+    g.connect(entry, mark)
+    g.connect(mark, fresh)
+    g.connect(fresh, gather, producer_port=0)   # first visit: expand
+    fresh.drop_output(1)                        # raced: kill the thread
+    g.connect(gather, dup)
+    g.connect(dup, emit, producer_port=0)       # record (node, depth)
+    g.connect(emit, out)
+    g.connect(dup, expand, producer_port=1)     # fork children (fig. 6b)
+    g.connect(expand, entry, priority=True)
+    return g, out
+
+
+def reference_bfs(adjacency, roots):
+    depth = {}
+    frontier = [(r, 0) for r in roots]
+    while frontier:
+        nxt = []
+        for node, d in frontier:
+            if node in depth:
+                continue
+            depth[node] = d
+            nxt.extend((nb, d + 1) for nb in adjacency[node])
+        frontier = nxt
+    return depth
+
+
+def main():
+    n = 2000
+    adjacency = random_graph(n, degree=4)
+    roots = [0]
+
+    g, out = bfs_graph(adjacency, roots)
+    stats = run_graph(g)
+    visited = {node: depth for node, depth in out.records}
+
+    ref = reference_bfs(adjacency, roots)
+    assert set(visited) == set(ref), "coverage mismatch"
+    print(f"BFS over {n} nodes: visited {len(visited)} reachable nodes "
+          f"in {stats.cycles} cycles")
+    # Depths can exceed the BFS-optimal level because threads race, but
+    # coverage is exact and no node is expanded twice (CAS guarantees it).
+    expanded = stats.tiles["gather"].records_out
+    print(f"adjacency gathers: {expanded} (== visited nodes: "
+          f"{expanded == len(visited)})")
+    print(f"visited-bitmap scratchpad conflicts: "
+          f"{stats.scratchpads['mark'].bank_conflicts}")
+    occ = stats.tiles["mark"].lane_occupancy
+    print(f"mark-tile lane occupancy: {occ:.2f}")
+
+
+if __name__ == "__main__":
+    main()

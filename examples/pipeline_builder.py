@@ -1,0 +1,66 @@
+"""Authoring custom dataflow-thread kernels with the builder DSL.
+
+The paper's kernels are hand-mapped to tiles (§III-A); the
+:class:`~repro.dataflow.builder.PipelineBuilder` makes that mapping safe
+for new kernels by threading a named-field schema through every stage.
+This example writes the Collatz trajectory kernel — an irregular,
+data-dependent while loop nobody would vectorize on SIMD — and runs it
+on the cycle engine.
+
+Run:  python examples/pipeline_builder.py
+"""
+
+from repro.dataflow import run_graph
+from repro.dataflow.builder import PipelineBuilder
+
+
+def collatz_kernel(seeds):
+    """Threads iterate n -> n/2 | 3n+1 until 1, counting steps."""
+    b = PipelineBuilder("collatz")
+    pipe = b.source("seeds", ["seed", "n", "steps"],
+                    [(s, s, 0) for s in seeds])
+    loop = pipe.loop("entry")
+
+    done, working = loop.body.where("is_one", lambda r: r["n"] <= 1)
+    done.select("result", "seed", "steps").sink("out")
+
+    even, odd = working.where("parity", lambda r: r["n"] % 2 == 0)
+    halved = even.map("halve", lambda r: {"seed": r["seed"],
+                                          "n": r["n"] // 2,
+                                          "steps": r["steps"] + 1})
+    tripled = odd.map("triple", lambda r: {"seed": r["seed"],
+                                           "n": 3 * r["n"] + 1,
+                                           "steps": r["steps"] + 1})
+    # Both divergent paths recirculate into the loop: divergence is just
+    # stream filtering, and the merge's priority keeps the loop live.
+    loop.continue_with(halved)
+    loop.continue_with(tripled)
+    return b
+
+
+def reference_collatz(n):
+    steps = 0
+    while n > 1:
+        n = n // 2 if n % 2 == 0 else 3 * n + 1
+        steps += 1
+    return steps
+
+
+def main():
+    seeds = list(range(1, 257))
+    builder = collatz_kernel(seeds)
+    stats = run_graph(builder.graph)
+    results = {seed: steps for seed, steps in builder.results("out")}
+
+    assert all(results[s] == reference_collatz(s) for s in seeds)
+    longest = max(results, key=results.get)
+    print(f"{len(seeds)} Collatz threads retired in {stats.cycles} cycles")
+    print(f"longest trajectory: seed {longest} at {results[longest]} steps")
+    total_steps = sum(results.values())
+    print(f"total loop iterations across threads: {total_steps} "
+          f"({total_steps / stats.cycles:.1f} per cycle — threads with "
+          "short trajectories exit early and their lanes refill)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: dataflow threads in five minutes.
+
+Builds the paper's canonical pipeline — a parallel hash-table probe
+(fig. 6a) — two ways:
+
+1. on the cycle-level tile fabric, watching threads recirculate through a
+   cyclic pipeline, diverge at filters, and refill lanes; and
+2. with the functional API that the relational operators use.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.dataflow import run_graph
+from repro.structures import ChainedHashTable, HashTableDataflow
+
+
+def cycle_level_probe():
+    print("=== cycle-level probe pipeline (fig. 6a) ===")
+    rng = random.Random(42)
+
+    # A hash table owning two scratchpad regions (bucket heads + nodes)
+    # and a DRAM overflow buffer for nodes past on-chip capacity.
+    table = HashTableDataflow(n_buckets=256, spad_node_capacity=512)
+
+    # Build it with the lock-free CAS pipeline of fig. 6c, cycle-simulated.
+    pairs = [(rng.randrange(300), f"payload-{i}") for i in range(400)]
+    build_stats = run_graph(table.build_graph(pairs))
+    print(f"built {len(pairs)} records in {build_stats.cycles} cycles "
+          f"(CAS retries recirculated, lanes refilled)")
+
+    # Probe with 500 threads: each walks its bucket's chain, exits on
+    # match or list end, and its lane is refilled from upstream.
+    queries = [(qid, rng.randrange(400)) for qid in range(500)]
+    graph = table.probe_graph(queries, emit_all=True)
+    probe_stats = run_graph(graph)
+    hits = graph.tile("hits").records
+    print(f"probed {len(queries)} keys in {probe_stats.cycles} cycles "
+          f"-> {len(hits)} matches")
+    spad = probe_stats.scratchpads["node_rd"]
+    print(f"node scratchpad: {spad.grants} grants, "
+          f"conflict rate {spad.conflict_rate:.2f} "
+          f"(the reordering pipeline of fig. 2b at work)")
+    occupancy = probe_stats.tiles["node_rd"].lane_occupancy
+    print(f"probe-loop lane occupancy: {occupancy:.2f} "
+          f"(thread compaction keeps lanes full under divergence)\n")
+
+
+def functional_probe():
+    print("=== functional hash table (the operators' workhorse) ===")
+    table = ChainedHashTable(n_buckets=1024, spad_node_capacity=2048)
+    table.build((k, k * k) for k in range(3000))
+    print(f"{len(table)} nodes, {table.overflow_nodes} spilled to DRAM")
+    print(f"probe(17) -> {table.probe(17)}")
+    print(f"hardware events accrued: {table.events.asdict()}")
+
+
+if __name__ == "__main__":
+    cycle_level_probe()
+    functional_probe()

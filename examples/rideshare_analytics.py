@@ -1,0 +1,64 @@
+"""The paper's headline evaluation, end to end (fig. 13/14, Table 2).
+
+Generates the synthetic ridesharing database, runs all nine benchmark
+queries, and prices every query on Aurochs, the CPU, and the GPU — the
+fig. 14 comparison — including energy.
+
+Run:  python examples/rideshare_analytics.py
+"""
+
+import statistics
+
+from repro.baselines import CpuModel, GpuModel
+from repro.db import ExecutionContext
+from repro.perf import CostModel
+from repro.perf.energy import energy_joules, platform_power
+from repro.workloads import QUERIES, RideshareConfig, generate, run_query
+
+
+def main():
+    config = RideshareConfig(
+        n_drivers=1_000, n_riders=5_000, n_locations=256,
+        n_rides=50_000, n_ride_reqs=5_000, n_driver_status=5_000)
+    print("generating rideshare database...")
+    data = generate(config)
+    for name, n in data.sizes().items():
+        print(f"  {name:<14} {n:>8} rows")
+
+    aurochs = CostModel(parallel_streams=16)
+    cpu, gpu = CpuModel(), GpuModel()
+
+    print(f"\n{'query':>6} {'rows':>7} {'Aurochs':>11} {'CPU':>11} "
+          f"{'GPU':>11} {'vs CPU':>8} {'vs GPU':>8}  description")
+    speed_cpu, speed_gpu = [], []
+    for name, qd in QUERIES.items():
+        ctx = ExecutionContext()
+        result = run_query(name, data, ctx)
+        ta = aurochs.query_runtime(ctx)
+        tc = cpu.query_runtime(ctx)
+        tg = gpu.query_runtime(ctx)
+        speed_cpu.append(tc / ta)
+        speed_gpu.append(tg / ta)
+        print(f"{name:>6} {len(result):>7} {ta * 1e3:>9.3f}ms "
+              f"{tc * 1e3:>9.2f}ms {tg * 1e3:>9.2f}ms "
+              f"{tc / ta:>7.0f}x {tg / ta:>7.1f}x  {qd.description}")
+
+    print(f"\ngeomean speedup: {statistics.geometric_mean(speed_cpu):.0f}x "
+          f"vs CPU, {statistics.geometric_mean(speed_gpu):.1f}x vs GPU "
+          "(paper: ~160x / ~8x)")
+
+    # Peek into one query's operator trace and energy.
+    ctx = ExecutionContext()
+    run_query("q6", data, ctx)
+    print("\nq6 (surge pricing) operator trace:")
+    print(ctx.summary())
+    ta = aurochs.query_runtime(ctx)
+    tg = gpu.query_runtime(ctx)
+    ea = energy_joules(ta, platform_power("aurochs"))
+    eg = energy_joules(tg, platform_power("gpu"))
+    print(f"q6 energy: Aurochs {ea * 1e3:.3f} mJ vs GPU {eg * 1e3:.3f} mJ "
+          f"({eg / ea:.0f}x)")
+
+
+if __name__ == "__main__":
+    main()

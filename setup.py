@@ -1,0 +1,19 @@
+"""Setup shim.
+
+PEP 517 editable installs require the ``wheel`` package; this shim keeps
+``pip install -e .`` working through the legacy ``setup.py develop`` path
+on minimal/offline environments (project metadata lives in
+``pyproject.toml``)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Aurochs: An Architecture for Dataflow Threads "
+                 "(ISCA 2021) — full Python reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

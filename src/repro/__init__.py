@@ -1,0 +1,42 @@
+"""Aurochs: An Architecture for Dataflow Threads — ISCA 2021 reproduction.
+
+A full-system Python reproduction of Vilim, Rucker & Olukotun's Aurochs: a
+reconfigurable dataflow accelerator extension that runs irregular,
+pointer-chasing database kernels at line rate by moving per-thread state
+out of register files and into record streams.
+
+Package map (see DESIGN.md for the experiment index):
+
+* :mod:`repro.dataflow` — the dataflow-thread model: records, streams,
+  filter/merge/map/fork tiles, lane compaction, cycle-level engine;
+* :mod:`repro.memory` — banked scratchpads with the Capstan-derived sparse
+  reordering pipeline, RMW atomics, DRAM model;
+* :mod:`repro.structures` — §IV's hash tables, radix partitioning,
+  immutable B-trees, LSM trees, Z-order R-trees;
+* :mod:`repro.db` — relational tables, physical operators, planner;
+* :mod:`repro.ml` — the shallow models the benchmark queries call;
+* :mod:`repro.baselines` — CPU/GPU/Gorgon comparison models, incl. a SIMT
+  divergence simulator;
+* :mod:`repro.perf` — analytical cost model, area/energy accounting,
+  cycle-sim calibration;
+* :mod:`repro.workloads` — the Table 2 rideshare generator and queries
+  Q1-Q9.
+"""
+
+from repro import baselines, dataflow, db, memory, ml, perf, structures, workloads
+from repro.dataflow import Graph, Schema, run_graph
+from repro.db import ExecutionContext, Table
+from repro.perf import CostModel
+from repro.workloads import QUERIES, RideshareConfig, generate, run_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines", "dataflow", "db", "memory", "ml", "perf", "structures",
+    "workloads",
+    "Graph", "Schema", "run_graph",
+    "ExecutionContext", "Table",
+    "CostModel",
+    "QUERIES", "RideshareConfig", "generate", "run_query",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — package inventory and version;
+* ``experiments`` — regenerate every figure/table series (fast,
+  model-based; the pytest benches add cycle-level runs and assertions);
+* ``queries`` — run Q1-Q9 at a chosen scale and print the fig. 14 table;
+* ``area`` — the fig. 10 area-overhead breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import sys
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g} us"
+    return f"{seconds * 1e9:.3g} ns"
+
+
+def cmd_info(args) -> int:
+    import repro
+    print(f"repro {repro.__version__} — Aurochs (ISCA 2021) reproduction")
+    print("packages: dataflow, memory, structures, db, ml, baselines, "
+          "perf, workloads")
+    print("docs: README.md (overview), DESIGN.md (system inventory), "
+          "EXPERIMENTS.md (paper-vs-measured)")
+    return 0
+
+
+def cmd_area(args) -> int:
+    from repro.perf import area_report
+    print(area_report())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.perf import figures
+    print("— fig. 11a: equi-join runtime vs table size —")
+    s = figures.fig11a_join_scaling()
+    print(f"{'rows':>12} {'Aurochs':>10} {'Gorgon':>10} {'CPU':>10} "
+          f"{'GPU':>10}")
+    for i, n in enumerate(s["sizes"]):
+        print(f"{n:>12} {_fmt(s['aurochs'][i]):>10} "
+              f"{_fmt(s['gorgon'][i]):>10} {_fmt(s['cpu'][i]):>10} "
+              f"{_fmt(s['gpu'][i]):>10}")
+
+    print("\n— fig. 11b: spatial join vs scaled table —")
+    s = figures.fig11b_spatial_scaling()
+    print(f"{'rows':>12} {'Aurochs':>10} {'G-sort':>10} {'G-NLJ':>10}")
+    for i, n in enumerate(s["sizes"]):
+        print(f"{n:>12} {_fmt(s['aurochs'][i]):>10} "
+              f"{_fmt(s['gorgon_sort'][i]):>10} "
+              f"{_fmt(s['gorgon_nlj'][i]):>10}")
+
+    print("\n— fig. 12: throughput vs parallel streams (GB/s) —")
+    s = figures.fig12_parallel_scaling()
+    streams = s.pop("streams")
+    print(f"{'kernel':>16} " + " ".join(f"p={p:<4}" for p in streams))
+    for name, tps in s.items():
+        print(f"{name:>16} " + " ".join(f"{tp / 1e9:<6.1f}" for tp in tps))
+
+    print("\n— §III-A: warp execution efficiency —")
+    w = figures.warp_efficiency()
+    print(f"build {w['build']:.2f} (paper 0.62), "
+          f"probe {w['probe']:.2f} (paper 0.46), "
+          f"probe w/ barriers {w['probe_with_barrier']:.2f}")
+    return 0
+
+
+def cmd_queries(args) -> int:
+    from repro.perf import figures
+    from repro.workloads import QUERIES, RideshareConfig, generate
+    cfg = RideshareConfig().scaled(args.scale)
+    print(f"generating rideshare data at scale {args.scale} "
+          f"({cfg.n_rides} rides)...")
+    data = generate(cfg)
+    q = figures.fig14_queries(data)
+    print(f"{'query':>6} {'Aurochs':>10} {'CPU':>10} {'GPU':>10} "
+          f"{'vsCPU':>7} {'vsGPU':>7}")
+    for name, row in q.items():
+        print(f"{name:>6} {_fmt(row['aurochs']):>10} "
+              f"{_fmt(row['cpu']):>10} {_fmt(row['gpu']):>10} "
+              f"{row['cpu'] / row['aurochs']:>6.0f}x "
+              f"{row['gpu'] / row['aurochs']:>6.1f}x")
+    agg = figures.geomean_speedups(q)
+    print(f"geomean: {agg['vs_cpu']:.0f}x vs CPU, "
+          f"{agg['vs_gpu']:.1f}x vs GPU (paper: ~160x / ~8x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aurochs (ISCA 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="package inventory").set_defaults(
+        fn=cmd_info)
+    sub.add_parser("area", help="fig. 10 area breakdown").set_defaults(
+        fn=cmd_area)
+    sub.add_parser(
+        "experiments",
+        help="regenerate figure series (model-based, fast)"
+    ).set_defaults(fn=cmd_experiments)
+    q = sub.add_parser("queries", help="run Q1-Q9 and compare platforms")
+    q.add_argument("--scale", type=float, default=1.0,
+                   help="fraction of the default dataset size (speedups grow with scale as fixed overheads amortize)")
+    q.set_defaults(fn=cmd_queries)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Baseline platforms: CPU cost model, GPU model + SIMT divergence
+simulator, and the algorithmically-weaker Gorgon fabric (§V-B, Table 1)."""
+
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuModel
+from repro.baselines.gpu_simt import SimtHashJoin, SimtStats
+from repro.baselines.gorgon import (
+    GorgonModel,
+    gorgon_equijoin,
+    gorgon_range_scan,
+    gorgon_spatial_join,
+)
+from repro.baselines.specs import report as table1_report
+from repro.baselines.specs import table1_rows
+
+__all__ = [
+    "CpuModel", "GpuModel", "SimtHashJoin", "SimtStats",
+    "GorgonModel", "gorgon_equijoin", "gorgon_range_scan",
+    "gorgon_spatial_join",
+    "table1_report", "table1_rows",
+]

@@ -1,0 +1,80 @@
+"""Gorgon baseline: the same fabric, algorithmically weaker operators.
+
+Gorgon (the substrate Aurochs extends) copes with irregularity by using
+"simpler algorithms that are asymptotically sub-optimal but easier to
+accelerate" (§I): sort-merge joins and sort-based aggregations instead of
+hash-based ones, full table scans instead of index probes, and presorted
+merge scans or all-to-all nested loops instead of spatial indices.
+
+This module provides (a) kernel-level event generators priced by the same
+fabric cost model (fig. 11's Gorgon curves) and (b) a query executor that
+re-plans Q1-Q9 with sort-based operators, so the Gorgon-vs-Aurochs gap is
+observable end-to-end as well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db import ExecutionContext, Table
+from repro.db.operators import (
+    nested_loop_join,
+    scan_filter,
+    sort_group_by,
+    sort_merge_join,
+)
+from repro.perf.cost_model import CostModel
+from repro.perf.kernels import (
+    gorgon_nlj_spatial_events,
+    gorgon_spatial_events,
+    sort_merge_join_events,
+    table_scan_events,
+)
+from repro.perf.params import GORGON
+
+
+class GorgonModel:
+    """Kernel-level Gorgon runtime estimates on the shared fabric model."""
+
+    def __init__(self, parallel_streams: int = 4):
+        self.cost = CostModel(GORGON, parallel_streams)
+
+    def join_seconds(self, n_left: int, n_right: int) -> float:
+        """Sort-merge join runtime (fig. 11a's Gorgon curve)."""
+        return self.cost.runtime_seconds(
+            sort_merge_join_events(n_left, n_right))
+
+    def spatial_join_seconds(self, n_fixed: int, n_scaled: int,
+                             nested_loop: bool = False) -> float:
+        """Spatial join runtime (fig. 11b's Gorgon curve)."""
+        if nested_loop:
+            return self.cost.runtime_seconds(
+                gorgon_nlj_spatial_events(n_fixed, n_scaled))
+        return self.cost.runtime_seconds(
+            gorgon_spatial_events(n_fixed, n_scaled))
+
+    def range_query_seconds(self, n_rows: int) -> float:
+        """Index-less range query: full scan (§I)."""
+        return self.cost.runtime_seconds(table_scan_events(n_rows))
+
+
+def gorgon_equijoin(left: Table, right: Table, left_key: str,
+                    right_key: str, ctx: Optional[ExecutionContext] = None,
+                    prefix: str = "r_") -> Table:
+    """Gorgon's join: always sort-merge."""
+    return sort_merge_join(left, right, left_key, right_key, ctx, prefix)
+
+
+def gorgon_spatial_join(left: Table, right: Table, pred,
+                        ctx: Optional[ExecutionContext] = None,
+                        prefix: str = "r_") -> Table:
+    """Gorgon's spatial join: all-to-all nested loop (no spatial index)."""
+    return nested_loop_join(left, right, pred, ctx, prefix)
+
+
+def gorgon_range_scan(table: Table, field: str, lo: int, hi: int,
+                      ctx: Optional[ExecutionContext] = None) -> Table:
+    """Gorgon's range query: scan and filter the whole table."""
+    i = table.col_index(field)
+    return scan_filter(table, lambda r: lo <= r[i] <= hi, ctx,
+                       name=f"{table.name}_scan_range")

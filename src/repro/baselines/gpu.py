@@ -1,0 +1,67 @@
+"""GPU baseline model.
+
+Two pieces, matching how the paper uses its GPU:
+
+* :class:`GpuModel` prices operator traces at CUDA-library rates
+  (Table 1 / §V-B: tables pre-loaded to device memory, kernel time only,
+  4.5 GB/s hash join at 100M-row scale, no stream processing, and no
+  dynamic data structures — index scans degrade to full scans, spatial
+  joins to brute-force pair kernels).
+* :class:`SimtHashJoin` (in ``gpu_simt``) actually *simulates* warp-level
+  SIMT execution to reproduce the §III-A profile: 62%/46% warp execution
+  efficiency on hash build/probe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.db.context import ExecutionContext, OpTrace
+from repro.perf.params import GPU, GpuParams
+
+
+class GpuModel:
+    """Prices operator traces at CUDA-library throughput."""
+
+    def __init__(self, params: GpuParams = GPU, row_bytes: int = 8):
+        self.params = params
+        self.row_bytes = row_bytes
+
+    def trace_seconds(self, trace: OpTrace) -> float:
+        p = self.params
+        rows = max(1, trace.rows_in)
+        nbytes = rows * self.row_bytes
+        op = trace.op
+        if op in ("hash_join", "hash_group_by"):
+            # The paper's measured end-to-end join rate already folds in
+            # the warp-divergence stalls of build/probe.
+            return nbytes / p.join_bytes_per_s
+        if op in ("sort", "sort_merge_join", "sort_group_by",
+                  "window_aggregate"):
+            passes = max(1.0, math.log2(max(2, rows)) / 8.0)
+            return rows * passes / p.sort_rows_per_s
+        if op in ("distance_join", "containment_join", "window_select"):
+            # §V-B: materialized stream tables come with PRE-BUILT indices,
+            # so the GPU probes a spatial index — but the divergent tree
+            # walk runs at warp-efficiency-limited rate (§III-A).
+            return rows / p.spatial_probe_per_s
+        if op == "index_range_scan":
+            # Pre-built sorted index: binary search (a fixed small kernel)
+            # plus a dense gather of the qualifying rows.
+            out_bytes = max(1, trace.rows_out) * self.row_bytes
+            return 2e-6 + out_bytes / p.scan_bytes_per_s
+        if op == "nested_loop_join":
+            pairs = max(rows, trace.events.records_processed)
+            return pairs / p.spatial_pair_per_s
+        # Streaming ops run near memory bandwidth.
+        return nbytes / p.scan_bytes_per_s
+
+    def query_runtime(self, ctx: ExecutionContext) -> float:
+        # Kernel-launch floor per operator (~5 us) plus kernel times.
+        launch_overhead = 5e-6 * len(ctx.traces)
+        return launch_overhead + sum(self.trace_seconds(t)
+                                     for t in ctx.traces)
+
+    def runtime(self, traces: Iterable[OpTrace]) -> float:
+        return sum(self.trace_seconds(t) for t in traces)

@@ -1,0 +1,154 @@
+"""SIMT execution simulator: why GPUs underperform on pointer chasing.
+
+§III-A profiles a CUDA hash join on a V100 and finds warp execution
+efficiency of 62% (build) and 46% (probe) — "most lanes are idle and the
+GPU is not memory-bound."  This module simulates the mechanism:
+
+* threads are enumerated upfront and locked to a lane in a warp;
+* within a warp, divergent control flow serializes — a warp steps until
+  its *slowest* thread finishes its chain walk, with finished lanes idle;
+* warps in a thread block reconverge at a barrier — early-finishing warps
+  wait for the block's stragglers before taking new work.
+
+Warp execution efficiency = active-lane steps / (lanes × issued steps),
+the same metric ``nvprof`` reports.  The contrast with Aurochs — which
+kills finished threads and refills lanes from upstream — is the paper's
+core argument, quantified by ``benchmarks/bench_warp_efficiency.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.structures.hashing import bucket_of
+from repro.perf.params import GPU
+
+
+@dataclass
+class SimtStats:
+    """One kernel's lane-activity accounting."""
+
+    active_lane_steps: int = 0
+    issued_lane_steps: int = 0
+    warp_steps: int = 0
+
+    @property
+    def warp_efficiency(self) -> float:
+        if self.issued_lane_steps == 0:
+            return 0.0
+        return self.active_lane_steps / self.issued_lane_steps
+
+
+class SimtHashJoin:
+    """Warp-level simulation of a chained-hash-table build and probe."""
+
+    def __init__(self, warp_size: int = GPU.warp_size,
+                 warps_per_block: int = 8, block_barrier: bool = False,
+                 resident_threads: int = 1024):
+        """``block_barrier=False`` matches nvprof's warp-execution-efficiency
+        metric, which counts active lanes per *issued* warp instruction —
+        a warp parked at a barrier issues nothing, so barrier wait hurts
+        latency but not this metric.  Set it True to see the (worse)
+        whole-block lane occupancy Aurochs' refill avoids.
+
+        ``resident_threads`` is the concurrent wavefront the build kernel's
+        CAS contention is computed over (thousands of threads are kept in
+        flight to hide memory latency, and all of them contend)."""
+        self.warp_size = warp_size
+        self.warps_per_block = warps_per_block
+        self.block_barrier = block_barrier
+        self.resident_threads = resident_threads
+
+    # -- per-thread work generation ------------------------------------------
+
+    def _chain_lengths_probe(self, keys: Sequence[int],
+                             table_keys: Sequence[int],
+                             n_buckets: int, find_all: bool = False,
+                             seed: int = 3) -> List[int]:
+        """Steps each probe thread runs.
+
+        A miss walks its bucket's whole chain (min 1 step for the head
+        load); with first-match semantics (the CUDA library kernel the
+        paper profiles) a hit stops at its match — uniformly positioned in
+        the chain because build order is random.
+        """
+        rng = random.Random(seed)
+        chains = [0] * n_buckets
+        present = set(table_keys)
+        for k in table_keys:
+            chains[bucket_of(k, n_buckets)] += 1
+        steps = []
+        for k in keys:
+            chain = max(1, chains[bucket_of(k, n_buckets)])
+            if not find_all and k in present and chain > 1:
+                steps.append(rng.randint(1, chain))
+            else:
+                steps.append(chain)
+        return steps
+
+    def _chain_lengths_build(self, keys: Sequence[int], n_buckets: int,
+                             seed: int = 7) -> List[int]:
+        """Steps each build thread runs: one CAS plus retries.
+
+        Concurrent inserts to the same bucket conflict: within a wavefront
+        of `warp_size * warps_per_block` simultaneous threads, all but one
+        CAS to a bucket fails and retries next round.
+        """
+        rng = random.Random(seed)
+        wave = self.resident_threads
+        steps = [0] * len(keys)
+        for base in range(0, len(keys), wave):
+            pending = list(range(base, min(base + wave, len(keys))))
+            while pending:
+                winners = {}
+                for tid in pending:
+                    steps[tid] += 1
+                    b = bucket_of(keys[tid], n_buckets)
+                    if b not in winners:
+                        winners[b] = tid
+                pending = [tid for tid in pending
+                           if winners[bucket_of(keys[tid], n_buckets)] != tid]
+                # Jitter retry order like hardware replay would.
+                rng.shuffle(pending)
+        return steps
+
+    # -- lockstep execution ------------------------------------------------------
+
+    def _execute(self, steps: List[int]) -> SimtStats:
+        """Run threads in warps with lockstep divergence and block barriers."""
+        stats = SimtStats()
+        block_threads = self.warp_size * self.warps_per_block
+        for bstart in range(0, len(steps), block_threads):
+            block = steps[bstart:bstart + block_threads]
+            warps = [block[w:w + self.warp_size]
+                     for w in range(0, len(block), self.warp_size)]
+            if self.block_barrier:
+                # All warps stay resident until the block's slowest thread
+                # finishes; issued slots cover the whole block duration.
+                duration = max(max(w) for w in warps)
+                for warp in warps:
+                    stats.active_lane_steps += sum(warp)
+                    stats.issued_lane_steps += self.warp_size * duration
+                    stats.warp_steps += duration
+            else:
+                for warp in warps:
+                    duration = max(warp)
+                    stats.active_lane_steps += sum(warp)
+                    stats.issued_lane_steps += self.warp_size * duration
+                    stats.warp_steps += duration
+        return stats
+
+    # -- kernels -------------------------------------------------------------------
+
+    def build(self, keys: Sequence[int], n_buckets: int) -> SimtStats:
+        """Simulate the build kernel; returns lane-activity stats."""
+        return self._execute(self._chain_lengths_build(keys, n_buckets))
+
+    def probe(self, probe_keys: Sequence[int], table_keys: Sequence[int],
+              n_buckets: int, find_all: bool = False) -> SimtStats:
+        """Simulate the probe kernel; returns lane-activity stats."""
+        return self._execute(
+            self._chain_lengths_probe(probe_keys, table_keys, n_buckets,
+                                      find_all))

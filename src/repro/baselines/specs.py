@@ -1,0 +1,46 @@
+"""Baseline platform inventory (Table 1).
+
+The paper compares Aurochs' simulated performance against a multi-socket
+CPU server running a time-series database with geospatial and ML
+extensions, and a V100-class GPU running CUDA database/geospatial/ML
+libraries over a single in-memory table format (§V-B).  This module
+renders that inventory from the parameter dataclasses so the Table 1
+bench target has a single source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.perf.params import AUROCHS, CPU, GPU
+
+
+def table1_rows() -> List[Tuple[str, str]]:
+    """(platform, description) rows in Table 1's layout."""
+    return [
+        (CPU.name,
+         f"{CPU.cores} cores @ {CPU.clock_hz / 1e9:.1f} GHz, "
+         f"{CPU.dram_bw_bytes / 1e9:.0f} GB/s DRAM, "
+         f"{CPU.llc_bytes // (1024 * 1024)} MiB LLC, {CPU.power_w:.0f} W; "
+         "software time-series DB + geospatial + ML extensions"),
+        (GPU.name,
+         f"{GPU.sms} SMs @ {GPU.clock_hz / 1e9:.2f} GHz, "
+         f"{GPU.dram_bw_bytes / 1e9:.0f} GB/s HBM2, "
+         f"{GPU.mem_bytes // 1024 ** 3} GiB capacity, {GPU.power_w:.0f} W; "
+         "CUDA DB/geospatial/ML libraries, tables pre-loaded, "
+         "kernel time only"),
+        (AUROCHS.name,
+         f"{AUROCHS.grid}x{AUROCHS.grid} tile grid @ "
+         f"{AUROCHS.clock_hz / 1e9:.0f} GHz, {AUROCHS.lanes}-lane tiles, "
+         f"{AUROCHS.spad_bytes // 1024} KiB scratchpads, "
+         f"{AUROCHS.dram_bw_bytes / 1e12:.0f} TB/s HBM, "
+         f"{AUROCHS.power_w:.0f} W design power"),
+    ]
+
+
+def report() -> str:
+    lines = ["Table 1 — evaluation platforms:"]
+    for platform, desc in table1_rows():
+        lines.append(f"  {platform}")
+        lines.append(f"      {desc}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Aurochs' dataflow-thread substrate: records, streams, tiles, and the
+cycle-level engine.
+
+This package is the paper's primary contribution in executable form — the
+threading model of §III where per-thread state lives in records that stream
+through spatial pipelines, with filter/merge/map/fork as the only
+primitives and lane compaction keeping hardware full under divergence.
+"""
+
+from repro.dataflow.record import FIELD_BITS, LANES, Record, Schema, as_i32, as_u32
+from repro.dataflow.stream import DEFAULT_CAPACITY, Stream, Vector
+from repro.dataflow.stats import DramStats, ScratchpadStats, SimStats, TileStats
+from repro.dataflow.tile import Packer, SinkTile, SourceTile, Tile
+from repro.dataflow.compute import (
+    PIPELINE_DEPTH,
+    CopyTile,
+    FilterTile,
+    ForkTile,
+    MapTile,
+    MergeTile,
+    StampTile,
+)
+from repro.dataflow.graph import Graph
+from repro.dataflow.engine import Engine, run_graph
+from repro.dataflow.functional import FunctionalEngine, run_functional
+from repro.dataflow.builder import LoopHandle, Pipe, PipelineBuilder
+from repro.dataflow.mergesort import SortedMergeTile, merge_sort_graph
+from repro.dataflow.visualize import to_ascii, to_dot
+
+__all__ = [
+    "FIELD_BITS", "LANES", "Record", "Schema", "as_i32", "as_u32",
+    "DEFAULT_CAPACITY", "Stream", "Vector",
+    "DramStats", "ScratchpadStats", "SimStats", "TileStats",
+    "Packer", "SinkTile", "SourceTile", "Tile",
+    "PIPELINE_DEPTH", "CopyTile", "FilterTile", "ForkTile", "MapTile",
+    "MergeTile", "StampTile",
+    "Graph", "Engine", "run_graph",
+    "FunctionalEngine", "run_functional",
+    "LoopHandle", "Pipe", "PipelineBuilder",
+    "SortedMergeTile", "merge_sort_graph",
+    "to_ascii", "to_dot",
+]

@@ -1,0 +1,180 @@
+"""Schema-tracked pipeline construction.
+
+Raw :class:`~repro.dataflow.graph.Graph` wiring indexes record fields by
+position — fine for the hand-mapped kernels the paper describes (§III-A:
+"we map the database kernels ourselves"), but error-prone for new users.
+:class:`PipelineBuilder` layers named fields on top: each stage declares
+its schema effect, the builder threads a
+:class:`~repro.dataflow.record.Schema` through the pipeline, and field
+references are resolved (and validated) at build time.
+
+Loops are expressed with :meth:`loop`, which inserts the merge tile and
+returns a handle whose :meth:`LoopHandle.continue_with` closes the
+loop-back edge with the required priority.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.dataflow.compute import (
+    FilterTile,
+    ForkTile,
+    MapTile,
+    MergeTile,
+    StampTile,
+)
+from repro.dataflow.graph import Graph
+from repro.dataflow.record import Record, Schema
+from repro.dataflow.tile import SinkTile, SourceTile, Tile
+
+
+class Pipe:
+    """A point in the pipeline: a producing tile port plus its schema."""
+
+    __slots__ = ("builder", "tile", "port", "schema")
+
+    def __init__(self, builder: "PipelineBuilder", tile: Tile, port: int,
+                 schema: Schema):
+        self.builder = builder
+        self.tile = tile
+        self.port = port
+        self.schema = schema
+
+    # -- stages -----------------------------------------------------------
+
+    def map(self, name: str, fn: Callable[[dict], dict],
+            out_fields: Optional[Sequence[str]] = None) -> "Pipe":
+        """Apply ``fn`` over records as dicts; returns the new pipe.
+
+        ``out_fields`` declares the output schema; omitted means the
+        schema is unchanged.  Returning ``None`` from ``fn`` kills the
+        thread.
+        """
+        in_schema = self.schema
+        out_schema = Schema(out_fields) if out_fields else in_schema
+
+        def raw(record: Record):
+            result = fn(in_schema.asdict(record))
+            if result is None:
+                return None
+            return out_schema.make(**result)
+
+        tile = self.builder.graph.add(MapTile(name, raw))
+        self.builder.graph.connect(self.tile, tile,
+                                   producer_port=self.port)
+        return Pipe(self.builder, tile, 0, out_schema)
+
+    def select(self, name: str, *fields: str) -> "Pipe":
+        """Project the record onto ``fields`` (drop/permute)."""
+        proj = self.schema.projector(fields)
+        tile = self.builder.graph.add(MapTile(name, proj))
+        self.builder.graph.connect(self.tile, tile,
+                                   producer_port=self.port)
+        return Pipe(self.builder, tile, 0, self.schema.select(*fields))
+
+    def where(self, name: str, pred: Callable[[dict], bool]
+              ) -> "tuple[Pipe, Pipe]":
+        """Split on a predicate; returns ``(pass_pipe, fail_pipe)``."""
+        schema = self.schema
+
+        def raw(record: Record) -> bool:
+            return pred(schema.asdict(record))
+
+        tile = self.builder.graph.add(FilterTile(name, raw))
+        self.builder.graph.connect(self.tile, tile,
+                                   producer_port=self.port)
+        return (Pipe(self.builder, tile, 0, schema),
+                Pipe(self.builder, tile, 1, schema))
+
+    def fork(self, name: str, fn: Callable[[dict], Sequence[dict]],
+             out_fields: Optional[Sequence[str]] = None) -> "Pipe":
+        """Spawn child threads: ``fn`` returns dicts for each child."""
+        in_schema = self.schema
+        out_schema = Schema(out_fields) if out_fields else in_schema
+
+        def raw(record: Record):
+            return [out_schema.make(**child)
+                    for child in fn(in_schema.asdict(record))]
+
+        tile = self.builder.graph.add(ForkTile(name, raw))
+        self.builder.graph.connect(self.tile, tile,
+                                   producer_port=self.port)
+        return Pipe(self.builder, tile, 0, out_schema)
+
+    def stamp(self, name: str, field: str, start: int = 0) -> "Pipe":
+        """Append a unique incrementing counter field."""
+        tile = self.builder.graph.add(StampTile(name, start))
+        self.builder.graph.connect(self.tile, tile,
+                                   producer_port=self.port)
+        return Pipe(self.builder, tile, 0, self.schema.extend(field))
+
+    def drop(self) -> None:
+        """Terminate these threads (a kill side of a filter)."""
+        packers = getattr(self.tile, "_packers", None)
+        if packers is None:
+            raise GraphError("drop() requires a compute tile port")
+        self.tile.drop_output(self.port)
+
+    def sink(self, name: str) -> SinkTile:
+        """Collect this stream's records."""
+        tile = self.builder.graph.add(SinkTile(name))
+        self.builder.graph.connect(self.tile, tile,
+                                   producer_port=self.port)
+        self.builder.sinks[name] = tile
+        return tile
+
+    def loop(self, name: str) -> "LoopHandle":
+        """Open a cyclic region: inserts the merge tile (fig. 5a)."""
+        merge = self.builder.graph.add(MergeTile(name))
+        self.builder.graph.connect(self.tile, merge,
+                                   producer_port=self.port)
+        return LoopHandle(Pipe(self.builder, merge, 0, self.schema), merge)
+
+
+class LoopHandle:
+    """A cyclic region's entry merge; close it with :meth:`continue_with`."""
+
+    def __init__(self, body: Pipe, merge: MergeTile):
+        self.body = body
+        self._merge = merge
+
+    def continue_with(self, pipe: Pipe) -> None:
+        """Wire ``pipe`` back into the loop entry with priority (the
+        deadlock-avoidance rule of §III-A)."""
+        if pipe.schema != self.body.schema:
+            raise GraphError(
+                f"loop-back schema {pipe.schema} does not match loop "
+                f"body schema {self.body.schema}")
+        pipe.builder.graph.connect(pipe.tile, self._merge,
+                                   producer_port=pipe.port, priority=True)
+
+
+class PipelineBuilder:
+    """Builds a :class:`Graph` from named-field stage declarations."""
+
+    def __init__(self, name: str):
+        self.graph = Graph(name)
+        self.sinks: dict = {}
+
+    def source(self, name: str, fields: Sequence[str],
+               rows: Sequence[Sequence]) -> Pipe:
+        """A record source; ``rows`` are tuples matching ``fields``."""
+        schema = Schema(fields)
+        records: List[Record] = []
+        for row in rows:
+            schema.validate(tuple(row))
+            records.append(tuple(row))
+        tile = self.graph.add(SourceTile(name, records, schema))
+        return Pipe(self, tile, 0, schema)
+
+    def results(self, sink_name: str, as_dicts: bool = False):
+        """Records collected by a named sink."""
+        sink = self.sinks[sink_name]
+        if not as_dicts:
+            return list(sink.records)
+        # Find the schema from the sink's producer pipe is not tracked;
+        # callers wanting dicts should keep the Pipe's schema themselves.
+        raise GraphError("as_dicts requires the caller's schema; use "
+                         "Pipe.schema with Schema.asdict")

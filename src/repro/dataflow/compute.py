@@ -1,0 +1,225 @@
+"""Compute tiles: the threading primitives of §III-A.
+
+The paper's threading model needs only four primitives, all native to a
+database accelerator's record-processing hardware (fig. 5b):
+
+* **filter** — split a record stream in two on a predicate; implements
+  branches, and kills threads by dropping one side;
+* **merge** — recombine two streams, with priority to one side to avoid
+  deadlock on cyclic dataflow;
+* **map** — mutate thread state (add/drop/transform fields), including
+  atomic RMW scratchpad access (that variant lives in ``repro.memory``);
+* **fork** — spawn a batch of threads from one thread (tree traversal).
+
+Every compute tile compacts its output lanes via :class:`~repro.dataflow.tile.Packer`,
+so divergence never leaves bubbles in downstream vectors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, List, Optional
+
+from repro.dataflow.record import LANES, Record
+from repro.dataflow.tile import Packer, Tile
+from repro.dataflow.stream import Stream
+
+#: Gorgon compute tiles pipeline computation across six stages (§II-B).
+PIPELINE_DEPTH = 6
+
+
+class _PipelinedTile(Tile):
+    """Shared machinery: an input stage, a latency delay line, and packers."""
+
+    def __init__(self, name: str, latency: int = PIPELINE_DEPTH,
+                 n_outputs: int = 1):
+        super().__init__(name)
+        self.latency = max(1, latency)
+        self._delay: deque = deque()  # (ready_cycle, per-output record lists)
+        self._packers: List[Packer] = [Packer(None) for _ in range(n_outputs)]
+
+    def attach_output(self, stream: Stream, port: int = 0) -> None:  # type: ignore[override]
+        stream.producer = self
+        self.outputs.append(stream)
+        self._packers[port].stream = stream
+
+    def drop_output(self, port: int) -> None:
+        """Configure output ``port`` to discard records (thread kill)."""
+        self._packers[port].stream = None
+
+    # Subclasses implement: consume one input vector into per-output lists.
+    def _process(self, cycle: int) -> bool:
+        raise NotImplementedError
+
+    def tick(self, cycle: int) -> bool:
+        moved = False
+        # Retire delay-line entries whose latency has elapsed.
+        while self._delay and self._delay[0][0] <= cycle:
+            __, routed = self._delay.popleft()
+            for port, records in enumerate(routed):
+                self._packers[port].extend(records)
+            moved = True
+        consumed = self._process(cycle)
+        moved = consumed or moved
+        # Starvation flush: no fresh input this cycle => forward partials.
+        force_partial = not consumed
+        for packer in self._packers:
+            if packer.flush(self.stats, force_partial):
+                moved = True
+        if moved:
+            self.stats.busy_cycles += 1
+        elif any(s.can_pop() for s in self.inputs):
+            self.stats.stall_cycles += 1
+        else:
+            self.stats.idle_cycles += 1
+        self.maybe_close()
+        return moved
+
+    def _has_room(self) -> bool:
+        return all(p.has_room() for p in self._packers)
+
+    def idle(self) -> bool:
+        return not self._delay and all(p.empty() for p in self._packers)
+
+
+class MapTile(_PipelinedTile):
+    """Apply ``fn`` to each record (thread-state mutation).
+
+    ``fn`` may return ``None`` to kill the thread (a fused filter-drop),
+    which some pipelines use for guard conditions.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Record], Optional[Record]],
+                 latency: int = PIPELINE_DEPTH):
+        super().__init__(name, latency, n_outputs=1)
+        self.fn = fn
+
+    def _process(self, cycle: int) -> bool:
+        stream = self.inputs[0]
+        if not stream.can_pop() or not self._has_room():
+            return False
+        vector = stream.pop()
+        out = [r for r in (self.fn(rec) for rec in vector) if r is not None]
+        self._delay.append((cycle + self.latency, (out,)))
+        return True
+
+
+class FilterTile(_PipelinedTile):
+    """Split a stream on a predicate: port 0 = pass, port 1 = fail.
+
+    Either port may be configured to drop its records via
+    :meth:`drop_output`, which is how threads terminate (fig. 4).
+    """
+
+    def __init__(self, name: str, predicate: Callable[[Record], bool],
+                 latency: int = PIPELINE_DEPTH):
+        super().__init__(name, latency, n_outputs=2)
+        self.predicate = predicate
+
+    def _process(self, cycle: int) -> bool:
+        stream = self.inputs[0]
+        if not stream.can_pop() or not self._has_room():
+            return False
+        vector = stream.pop()
+        passed, failed = [], []
+        for rec in vector:
+            (passed if self.predicate(rec) else failed).append(rec)
+        self._delay.append((cycle + self.latency, (passed, failed)))
+        return True
+
+
+class MergeTile(_PipelinedTile):
+    """Combine two (or more) streams into one.
+
+    Input 0 has priority; on cyclic dataflow the loop-back edge must be the
+    priority input so recirculating threads cannot be starved into deadlock
+    (§III-A).  The selector fills up to one output vector per cycle from the
+    highest-priority non-empty inputs.
+    """
+
+    def __init__(self, name: str, latency: int = 1):
+        super().__init__(name, latency, n_outputs=1)
+
+    def _process(self, cycle: int) -> bool:
+        if not self._has_room():
+            return False
+        taken: List[Record] = []
+        for stream in self.inputs:  # priority order
+            if len(taken) >= LANES:
+                break
+            if stream.can_pop():
+                taken.extend(stream.pop())
+        if not taken:
+            return False
+        self._delay.append((cycle + self.latency, (taken,)))
+        return True
+
+
+class ForkTile(_PipelinedTile):
+    """Spawn child threads: ``fn(record) -> iterable of records``.
+
+    Forking is what lets Aurochs walk multiple search paths through a tree
+    simultaneously; a record expands into a batch of child records that
+    enter the stream as independent threads.  Returning an empty iterable
+    kills the thread.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Record], Iterable[Record]],
+                 latency: int = PIPELINE_DEPTH, max_pending: int = 16 * LANES):
+        super().__init__(name, latency, n_outputs=1)
+        self.fn = fn
+        self._packers[0].spill_limit = max_pending
+
+    def _process(self, cycle: int) -> bool:
+        stream = self.inputs[0]
+        # Forks amplify; require generous room before accepting input.
+        if not stream.can_pop() or not self._packers[0].has_room(4 * LANES):
+            return False
+        vector = stream.pop()
+        out: List[Record] = []
+        for rec in vector:
+            out.extend(self.fn(rec))
+        self._delay.append((cycle + self.latency, (out,)))
+        return True
+
+
+class CopyTile(_PipelinedTile):
+    """Duplicate a stream to two consumers (fan-out wiring helper)."""
+
+    def __init__(self, name: str, latency: int = 1):
+        super().__init__(name, latency, n_outputs=2)
+
+    def _process(self, cycle: int) -> bool:
+        stream = self.inputs[0]
+        if not stream.can_pop() or not self._has_room():
+            return False
+        vector = stream.pop()
+        self._delay.append((cycle + self.latency, (list(vector), list(vector))))
+        return True
+
+
+class StampTile(_PipelinedTile):
+    """Append a monotonically incrementing counter field to each record.
+
+    Used by the on-chip hash table build (§IV-A) to reserve each thread's
+    slot in the node scratchpad: the stamped value is the thread's allocated
+    node index, with values past scratchpad capacity implicitly addressing
+    the DRAM overflow buffer.
+    """
+
+    def __init__(self, name: str, start: int = 0,
+                 latency: int = PIPELINE_DEPTH):
+        super().__init__(name, latency, n_outputs=1)
+        self.counter = start
+
+    def _process(self, cycle: int) -> bool:
+        stream = self.inputs[0]
+        if not stream.can_pop() or not self._has_room():
+            return False
+        vector = stream.pop()
+        out = []
+        for rec in vector:
+            out.append(rec + (self.counter,))
+            self.counter += 1
+        self._delay.append((cycle + self.latency, (out,)))
+        return True

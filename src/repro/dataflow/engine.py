@@ -1,0 +1,104 @@
+"""The cycle-level execution engine.
+
+Drives a :class:`~repro.dataflow.graph.Graph` one cycle at a time until the
+fabric quiesces: every source exhausted, every stream drained, every tile's
+internal buffers empty.  This corresponds to the paper's stream-end
+condition; for cyclic pipelines it is exactly the "wait until the cyclic
+pipeline has emptied" drain protocol of §III-A, observed globally instead of
+via per-tile tokens.
+
+Tiles tick in reverse insertion order (consumers before producers) so a
+vector can traverse one tile per cycle without an artificial extra cycle of
+buffer-full backpressure; graphs are conventionally built source-first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.dataflow.graph import Graph
+from repro.dataflow.stats import SimStats
+from repro.dataflow.tile import SourceTile
+
+
+class Engine:
+    """Runs one graph to quiescence and reports statistics."""
+
+    def __init__(self, graph: Graph, max_cycles: int = 50_000_000,
+                 deadlock_window: int = 50_000):
+        self.graph = graph
+        self.max_cycles = max_cycles
+        self.deadlock_window = deadlock_window
+
+    def run(self) -> SimStats:
+        """Simulate until quiescence; raise on deadlock or cycle overrun."""
+        self.graph.validate()
+        tiles = list(reversed(self.graph.tiles))
+        cycle = 0
+        last_progress = 0
+        while True:
+            moved = False
+            for tile in tiles:
+                if tile.tick(cycle):
+                    moved = True
+            cycle += 1
+            if moved:
+                last_progress = cycle
+            elif self._quiescent():
+                break
+            elif cycle - last_progress > self.deadlock_window:
+                raise SimulationError(
+                    f"deadlock in graph {self.graph.name!r} at cycle {cycle}: "
+                    f"no progress for {self.deadlock_window} cycles; "
+                    f"{self._stuck_report()}"
+                )
+            if cycle > self.max_cycles:
+                raise SimulationError(
+                    f"graph {self.graph.name!r} exceeded {self.max_cycles} cycles"
+                )
+        for stream in self.graph.streams:
+            stream.close()
+        return self._collect(cycle)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _quiescent(self) -> bool:
+        for tile in self.graph.tiles:
+            if isinstance(tile, SourceTile) and not tile.done():
+                return False
+            if not tile.idle():
+                return False
+        return all(s.occupancy() == 0 for s in self.graph.streams)
+
+    def _stuck_report(self) -> str:
+        busy_tiles = [t.name for t in self.graph.tiles if not t.idle()]
+        busy_streams = [
+            f"{s.name}({s.occupancy()})" for s in self.graph.streams
+            if s.occupancy()
+        ]
+        return f"non-idle tiles={busy_tiles}, occupied streams={busy_streams}"
+
+    def _collect(self, cycles: int) -> SimStats:
+        stats = SimStats(cycles=cycles)
+        for tile in self.graph.tiles:
+            stats.tiles[tile.name] = tile.stats
+            spad = getattr(tile, "spad_stats", None)
+            if spad is not None:
+                stats.scratchpads[tile.name] = spad
+            dram = getattr(tile, "dram_stats", None)
+            if dram is not None:
+                stats.dram.read_bytes += dram.read_bytes
+                stats.dram.write_bytes += dram.write_bytes
+                stats.dram.dense_bursts += dram.dense_bursts
+                stats.dram.sparse_bursts += dram.sparse_bursts
+                stats.dram.busy_cycles = max(
+                    stats.dram.busy_cycles, dram.busy_cycles
+                )
+        return stats
+
+
+def run_graph(graph: Graph, max_cycles: int = 50_000_000,
+              deadlock_window: int = 50_000) -> SimStats:
+    """Convenience wrapper: build an :class:`Engine` and run ``graph``."""
+    return Engine(graph, max_cycles, deadlock_window).run()

@@ -1,0 +1,116 @@
+"""Dataflow graph construction.
+
+A :class:`Graph` is the lowered form of a kernel: tiles connected by
+streams, possibly with cycles (pointer-chasing loops recirculate threads
+through a merge tile, fig. 5a).  The paper lowers SQL operator trees to such
+graphs with a custom place-and-route tool; here the graph is the unit the
+cycle engine executes, and resource accounting (tile counts) feeds the
+analytical model's fabric constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TypeVar
+
+from repro.errors import GraphError
+from repro.dataflow.stream import DEFAULT_CAPACITY, Stream
+from repro.dataflow.tile import SinkTile, SourceTile, Tile
+
+T = TypeVar("T", bound=Tile)
+
+
+class Graph:
+    """A named collection of tiles and the streams connecting them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tiles: List[Tile] = []
+        self.streams: List[Stream] = []
+        self._names: Dict[str, Tile] = {}
+
+    def add(self, tile: T) -> T:
+        """Register ``tile`` and return it (builder style)."""
+        if tile.name in self._names:
+            raise GraphError(f"duplicate tile name {tile.name!r} in graph {self.name}")
+        self._names[tile.name] = tile
+        self.tiles.append(tile)
+        return tile
+
+    def tile(self, name: str) -> Tile:
+        """Look up a tile by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise GraphError(f"no tile named {name!r} in graph {self.name}") from None
+
+    def connect(self, producer: Tile, consumer: Tile, *,
+                producer_port: int = 0, priority: bool = False,
+                capacity: int = DEFAULT_CAPACITY,
+                name: Optional[str] = None) -> Stream:
+        """Wire a stream from ``producer`` to ``consumer``.
+
+        ``producer_port`` selects the output port on multi-output tiles
+        (e.g. a filter's pass=0 / fail=1).  ``priority=True`` makes the
+        stream the consumer's highest-priority input, which every loop-back
+        edge into a merge tile must set to avoid deadlock (§III-A).
+        """
+        if producer not in self.tiles or consumer not in self.tiles:
+            raise GraphError("connect() requires tiles added to this graph")
+        stream = Stream(
+            name or f"{producer.name}->{consumer.name}", capacity=capacity
+        )
+        self.streams.append(stream)
+        # Output attachment: pipelined tiles take a port argument.
+        try:
+            producer.attach_output(stream, producer_port)  # type: ignore[call-arg]
+        except TypeError:
+            if producer_port != 0:
+                raise GraphError(
+                    f"{producer!r} has a single output port; got {producer_port}"
+                ) from None
+            producer.attach_output(stream)
+        consumer.attach_input(stream)
+        if priority:
+            consumer.inputs.remove(stream)
+            consumer.inputs.insert(0, stream)
+        return stream
+
+    # -- introspection -----------------------------------------------------
+
+    def sources(self) -> List[SourceTile]:
+        return [t for t in self.tiles if isinstance(t, SourceTile)]
+
+    def sinks(self) -> List[SinkTile]:
+        return [t for t in self.tiles if isinstance(t, SinkTile)]
+
+    def validate(self) -> None:
+        """Check structural sanity before simulation."""
+        for tile in self.tiles:
+            if not isinstance(tile, (SourceTile,)) and not tile.inputs:
+                raise GraphError(f"tile {tile.name!r} has no inputs")
+            if not isinstance(tile, (SinkTile,)) and not tile.outputs:
+                # A tile whose packers all drop is legal (pure kill), but a
+                # tile with zero attached output objects of any kind is a
+                # wiring mistake — except filters configured to drop.
+                if not _all_outputs_dropped(tile):
+                    raise GraphError(f"tile {tile.name!r} has no outputs")
+
+    def tile_counts(self) -> Dict[str, int]:
+        """Count tiles by class name (fabric resource accounting)."""
+        counts: Dict[str, int] = {}
+        for tile in self.tiles:
+            key = type(tile).__name__
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def _all_outputs_dropped(tile: Tile) -> bool:
+    packers = getattr(tile, "_packers", None)
+    if packers is None:
+        # Scratchpad/DRAM tiles keep per-port packers; a tile whose ports
+        # are all response-less scatters legitimately has no outputs.
+        ports = getattr(tile, "ports", None)
+        if ports is None:
+            return False
+        packers = [p.packer for p in ports]
+    return all(p.stream is None for p in packers)

@@ -1,0 +1,106 @@
+"""Sorted-stream merging on the fabric: Gorgon's merge kernel (§II-B).
+
+Gorgon sorts with merge networks; Aurochs inherits the kernel for LSM
+compaction and the sort-based baselines.  :class:`SortedMergeTile`
+merges two key-ordered input streams into one ordered output stream —
+unlike the threading tiles, this kernel is *order-preserving*: it pops
+the smaller head record, so streams must arrive sorted.
+
+:func:`merge_sort_graph` builds a full binary merge tree over pre-sorted
+runs, the spatial unrolling of one DRAM merge pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.dataflow.graph import Graph
+from repro.dataflow.record import LANES, Record
+from repro.dataflow.stats import TileStats
+from repro.dataflow.tile import Packer, SinkTile, SourceTile, Tile
+
+
+class SortedMergeTile(Tile):
+    """Two sorted input streams -> one sorted output stream.
+
+    ``key`` extracts the sort key from a record.  Each cycle the tile
+    fills up to one output vector by repeatedly taking the smaller head
+    record — the comparator tree of a hardware merge network, at
+    vector-per-cycle throughput.
+    """
+
+    def __init__(self, name: str, key: Callable[[Record], object]):
+        super().__init__(name)
+        self.key = key
+        self._heads: List[List[Record]] = [[], []]   # staged records
+        self._packer = Packer(None)
+
+    def attach_output(self, stream, port: int = 0) -> None:  # type: ignore[override]
+        stream.producer = self
+        self.outputs.append(stream)
+        self._packer.stream = stream
+
+    def _refill(self, side: int) -> None:
+        if not self._heads[side] and self.inputs[side].can_pop():
+            self._heads[side] = list(self.inputs[side].pop())
+
+    def tick(self, cycle: int) -> bool:
+        moved = False
+        emitted = 0
+        while emitted < LANES and self._packer.has_room(1):
+            self._refill(0)
+            self._refill(1)
+            a, b = self._heads
+            a_ready, b_ready = bool(a), bool(b)
+            a_done = not a_ready and self.inputs[0].closed()
+            b_done = not b_ready and self.inputs[1].closed()
+            if a_ready and b_ready:
+                if self.key(a[0]) <= self.key(b[0]):
+                    self._packer.push(a.pop(0))
+                else:
+                    self._packer.push(b.pop(0))
+            elif a_ready and b_done:
+                self._packer.push(a.pop(0))
+            elif b_ready and a_done:
+                self._packer.push(b.pop(0))
+            else:
+                # An input is merely *stalled* (open but empty): emitting
+                # from the other side could violate ordering — wait.
+                break
+            emitted += 1
+            moved = True
+        if self._packer.flush(self.stats, force_partial=emitted == 0):
+            moved = True
+        if moved:
+            self.stats.busy_cycles += 1
+        else:
+            self.stats.idle_cycles += 1
+        self.maybe_close()
+        return moved
+
+    def idle(self) -> bool:
+        return not any(self._heads) and self._packer.empty()
+
+
+def merge_sort_graph(name: str, runs: Sequence[Sequence[Record]],
+                     key: Callable[[Record], object]) -> Graph:
+    """A binary merge tree over pre-sorted runs; results land in the
+    ``out`` sink, fully ordered."""
+    g = Graph(name)
+    level = [g.add(SourceTile(f"run{i}", list(run)))
+             for i, run in enumerate(runs)]
+    depth = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            merge = g.add(SortedMergeTile(f"merge{depth}_{i // 2}", key))
+            g.connect(level[i], merge)
+            g.connect(level[i + 1], merge)
+            nxt.append(merge)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        depth += 1
+    sink = g.add(SinkTile("out"))
+    g.connect(level[0], sink)
+    return g

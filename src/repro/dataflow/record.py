@@ -1,0 +1,178 @@
+"""Records and schemas: the unit of thread state in Aurochs.
+
+Aurochs encapsulates per-thread local state in small, ephemeral *records*
+(§III-A of the paper): a sequence of 32-bit fields that fully captures thread
+state and streams through compute/scratchpad pipelines.  This module gives
+records a runtime representation.
+
+Records are plain Python tuples for speed; a :class:`Schema` names the fields
+and provides positional lookup, extension, dropping, and projection — the
+"add, drop, mutate, or permute" operations the paper applies to records as
+they move between pipelines.
+
+All fields are modelled as 32-bit words.  Values are Python ints (or floats
+for ML pipelines, which Gorgon also supports); :func:`as_u32` and
+:func:`as_i32` coerce to hardware-representable ranges where the data
+structures need exact wraparound semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+#: Number of vector lanes in a Gorgon/Aurochs compute or scratchpad tile.
+LANES = 16
+
+#: Bit width of a record field (one lane word).
+FIELD_BITS = 32
+
+_U32_MASK = (1 << FIELD_BITS) - 1
+
+Record = Tuple  # a record is a tuple of field values
+
+
+def as_u32(value: int) -> int:
+    """Coerce ``value`` to an unsigned 32-bit word (wraparound semantics)."""
+    return value & _U32_MASK
+
+
+def as_i32(value: int) -> int:
+    """Coerce ``value`` to a signed 32-bit word (two's-complement wrap)."""
+    value &= _U32_MASK
+    return value - (1 << FIELD_BITS) if value >= (1 << (FIELD_BITS - 1)) else value
+
+
+class Schema:
+    """An ordered, named set of record fields.
+
+    Schemas are immutable; all mutation-style methods return new schemas.
+    All records in a stream share one schema (statically reconfigurable in
+    hardware), so the schema lives on the stream/tile, not on each record.
+    """
+
+    __slots__ = ("fields", "_index")
+
+    def __init__(self, fields: Iterable[str]):
+        self.fields: Tuple[str, ...] = tuple(fields)
+        if len(set(self.fields)) != len(self.fields):
+            raise SchemaError(f"duplicate field names in schema {self.fields}")
+        self._index = {name: i for i, name in enumerate(self.fields)}
+
+    # -- lookup ----------------------------------------------------------
+
+    def index(self, name: str) -> int:
+        """Return the positional index of field ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"schema {self.fields} has no field {name!r}") from None
+
+    def indices(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Return positional indices for several fields at once."""
+        return tuple(self.index(n) for n in names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.fields)})"
+
+    # -- derivation ------------------------------------------------------
+
+    def extend(self, *names: str) -> "Schema":
+        """Return a schema with ``names`` appended (a record *add*)."""
+        return Schema(self.fields + names)
+
+    def drop(self, *names: str) -> "Schema":
+        """Return a schema with ``names`` removed (a record *drop*)."""
+        missing = [n for n in names if n not in self._index]
+        if missing:
+            raise SchemaError(f"cannot drop missing fields {missing} from {self}")
+        gone = set(names)
+        return Schema(f for f in self.fields if f not in gone)
+
+    def select(self, *names: str) -> "Schema":
+        """Return a schema containing only ``names``, in the given order."""
+        for n in names:
+            self.index(n)
+        return Schema(names)
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Return a schema with fields renamed per ``mapping``."""
+        for old in mapping:
+            self.index(old)
+        return Schema(mapping.get(f, f) for f in self.fields)
+
+    def concat(self, other: "Schema", prefix: str = "") -> "Schema":
+        """Return this schema followed by ``other``'s fields.
+
+        ``prefix`` disambiguates colliding names from ``other`` (used by
+        joins, which concatenate matching records).
+        """
+        right = []
+        for f in other.fields:
+            name = prefix + f if prefix else f
+            if name in self._index:
+                name = prefix + f if prefix else "rhs_" + f
+            right.append(name)
+        return Schema(self.fields + tuple(right))
+
+    # -- record operations -------------------------------------------------
+
+    def make(self, **values) -> Record:
+        """Build a record from keyword field values (all fields required)."""
+        missing = [f for f in self.fields if f not in values]
+        if missing:
+            raise SchemaError(f"missing fields {missing} building record for {self}")
+        extra = [k for k in values if k not in self._index]
+        if extra:
+            raise SchemaError(f"unknown fields {extra} building record for {self}")
+        return tuple(values[f] for f in self.fields)
+
+    def get(self, record: Record, name: str):
+        """Read field ``name`` from ``record``."""
+        return record[self.index(name)]
+
+    def asdict(self, record: Record) -> dict:
+        """Return ``record`` as a field-name → value mapping."""
+        return dict(zip(self.fields, record))
+
+    def project(self, record: Record, names: Sequence[str]) -> Record:
+        """Return a new record holding only ``names``, in order."""
+        return tuple(record[self.index(n)] for n in names)
+
+    def projector(self, names: Sequence[str]) -> Callable[[Record], Record]:
+        """Return a fast callable projecting records onto ``names``."""
+        idx = self.indices(names)
+        return lambda record: tuple(record[i] for i in idx)
+
+    def replacer(self, name: str) -> Callable[[Record, object], Record]:
+        """Return a callable that replaces field ``name`` in a record."""
+        i = self.index(name)
+
+        def replace(record: Record, value) -> Record:
+            return record[:i] + (value,) + record[i + 1:]
+
+        return replace
+
+    def appender(self) -> Callable[[Record, object], Record]:
+        """Return a callable appending one field value to a record."""
+        return lambda record, value: record + (value,)
+
+    def validate(self, record: Record) -> None:
+        """Raise :class:`SchemaError` if ``record`` has the wrong arity."""
+        if len(record) != len(self.fields):
+            raise SchemaError(
+                f"record arity {len(record)} does not match schema {self}"
+            )

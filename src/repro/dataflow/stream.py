@@ -1,0 +1,97 @@
+"""Streams: ready-valid channels between tiles.
+
+Tiles in Gorgon/Aurochs are loosely timed through a streaming ready-valid
+interface with skid buffering (§III-A).  A :class:`Stream` models one such
+channel: a small FIFO of record *vectors* (lists of up to ``LANES`` records)
+plus an end-of-stream (EOS) token.
+
+Stream lengths are data-dependent and unknown until runtime; streams are
+self-timed, so EOS is an explicit token pushed after the last vector.  For
+cyclic graphs the engine additionally uses quiescence detection (see
+``engine.py``) because the paper's cyclic-drain token protocol reduces to
+"the loop has emptied" at the level of abstraction we simulate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.dataflow.record import Record
+
+#: Default stream buffer depth — one in-flight vector plus one skid slot.
+DEFAULT_CAPACITY = 2
+
+Vector = List[Record]
+
+
+class Stream:
+    """A bounded FIFO of record vectors with an end-of-stream token.
+
+    The producer calls :meth:`can_push` / :meth:`push` / :meth:`close`;
+    the consumer calls :meth:`can_pop` / :meth:`pop` and checks
+    :meth:`closed` to detect that no more data will ever arrive.
+    """
+
+    __slots__ = ("name", "capacity", "_fifo", "eos", "pushed_vectors",
+                 "pushed_records", "producer", "consumer")
+
+    def __init__(self, name: str = "", capacity: int = DEFAULT_CAPACITY):
+        self.name = name
+        self.capacity = capacity
+        self._fifo: deque = deque()
+        self.eos = False          # producer has signalled end of stream
+        self.pushed_vectors = 0
+        self.pushed_records = 0
+        self.producer = None      # set by Graph.connect
+        self.consumer = None      # set by Graph.connect
+
+    # -- producer side -----------------------------------------------------
+
+    def can_push(self) -> bool:
+        """True if there is buffer space for one more vector."""
+        return len(self._fifo) < self.capacity
+
+    def push(self, vector: Vector) -> None:
+        """Enqueue ``vector``.  The caller must have checked :meth:`can_push`."""
+        assert len(self._fifo) < self.capacity, f"stream {self.name} overflow"
+        assert not self.eos, f"push after EOS on stream {self.name}"
+        self._fifo.append(vector)
+        self.pushed_vectors += 1
+        self.pushed_records += len(vector)
+
+    def close(self) -> None:
+        """Signal end of stream.  Idempotent."""
+        self.eos = True
+
+    # -- consumer side -----------------------------------------------------
+
+    def can_pop(self) -> bool:
+        """True if a vector is waiting."""
+        return bool(self._fifo)
+
+    def peek(self) -> Optional[Vector]:
+        """Return the head vector without removing it, or None if empty."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Vector:
+        """Dequeue and return the head vector."""
+        return self._fifo.popleft()
+
+    def closed(self) -> bool:
+        """True when EOS has been signalled and all buffered data consumed."""
+        return self.eos and not self._fifo
+
+    # -- engine introspection ------------------------------------------------
+
+    def occupancy(self) -> int:
+        """Number of buffered vectors (for quiescence detection)."""
+        return len(self._fifo)
+
+    def buffered_records(self) -> int:
+        """Number of buffered records across all vectors."""
+        return sum(len(v) for v in self._fifo)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed() else ("eos" if self.eos else "open")
+        return f"Stream({self.name!r}, {len(self._fifo)}/{self.capacity}, {state})"

@@ -1,0 +1,197 @@
+"""Tile base classes: the units of Aurochs' spatial fabric.
+
+Gorgon (and therefore Aurochs) is a grid of homogeneous, reconfigurable
+compute and scratchpad tiles connected by streams (§II-B).  This module
+defines the abstract :class:`Tile` protocol the cycle engine drives, the
+:class:`Packer` that models thread compaction (§III-A's shuffle network +
+barrel shifter collapsing empty lanes), and the boundary tiles
+(:class:`SourceTile`, :class:`SinkTile`).
+
+Thread compaction matters because record streams carry *threads*: when a
+filter kills or diverts threads, the surviving lanes are sparse.  The packer
+accumulates survivors densely so downstream tiles see full vectors, which is
+exactly how Aurochs keeps hardware active during divergence.  To avoid
+starving cyclic pipelines, a packer emits a partial vector whenever its tile
+received no new input that cycle (opportunistic forwarding).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.dataflow.record import LANES, Record, Schema
+from repro.dataflow.stats import TileStats
+from repro.dataflow.stream import Stream, Vector
+
+
+class Packer:
+    """Dense lane compaction buffer feeding one output stream.
+
+    Records pushed in arbitrary (sparse) order are emitted as dense vectors
+    of up to ``LANES`` records.  ``spill_limit`` bounds how many records the
+    packer may hold before the tile must stop accepting input (models the
+    record buffers at the head of the downstream tile's pipeline).
+    """
+
+    __slots__ = ("stream", "pending", "spill_limit")
+
+    def __init__(self, stream: Optional[Stream], spill_limit: int = 4 * LANES):
+        self.stream = stream
+        self.pending: List[Record] = []
+        self.spill_limit = spill_limit
+
+    def push(self, record: Record) -> None:
+        self.pending.append(record)
+
+    def extend(self, records: Iterable[Record]) -> None:
+        self.pending.extend(records)
+
+    def has_room(self, n: int = LANES) -> bool:
+        """True if ``n`` more records fit without exceeding the spill limit."""
+        return len(self.pending) + n <= self.spill_limit
+
+    def flush(self, stats: TileStats, force_partial: bool) -> bool:
+        """Emit at most one vector this cycle.
+
+        A full vector is emitted whenever available; a partial vector only
+        when ``force_partial`` (input starvation or stream wind-down).
+        Returns True if a vector was emitted.
+        """
+        if self.stream is None:
+            # Dropped output (e.g. a filter's kill side): discard records.
+            dropped = bool(self.pending)
+            self.pending.clear()
+            return dropped
+        if not self.pending:
+            return False
+        if len(self.pending) < LANES and not force_partial:
+            return False
+        if not self.stream.can_push():
+            return False
+        vector = self.pending[:LANES]
+        del self.pending[:LANES]
+        self.stream.push(vector)
+        stats.record_output(len(vector))
+        return True
+
+    def empty(self) -> bool:
+        return not self.pending
+
+
+class Tile:
+    """Abstract fabric tile.
+
+    Subclasses implement :meth:`tick`, called once per simulated cycle, and
+    :meth:`idle`, which reports whether the tile holds any in-flight state
+    (used for quiescence detection and EOS propagation).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: List[Stream] = []
+        self.outputs: List[Stream] = []
+        self.stats = TileStats(name)
+
+    # -- wiring (called by Graph) ----------------------------------------
+
+    def attach_input(self, stream: Stream) -> None:
+        stream.consumer = self
+        self.inputs.append(stream)
+
+    def attach_output(self, stream: Stream) -> None:
+        stream.producer = self
+        self.outputs.append(stream)
+
+    # -- simulation -------------------------------------------------------
+
+    def tick(self, cycle: int) -> bool:
+        """Advance one cycle.  Returns True if any data moved (progress)."""
+        raise NotImplementedError
+
+    def idle(self) -> bool:
+        """True when the tile buffers no in-flight records internally."""
+        raise NotImplementedError
+
+    def inputs_closed(self) -> bool:
+        return all(s.closed() for s in self.inputs)
+
+    def close_outputs(self) -> None:
+        for s in self.outputs:
+            s.close()
+
+    def maybe_close(self) -> None:
+        """Propagate EOS: close outputs once inputs are done and we drained."""
+        if self.inputs_closed() and self.idle():
+            self.close_outputs()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SourceTile(Tile):
+    """Feeds a record sequence into the fabric, ``LANES`` records per cycle.
+
+    Models the head of a pipeline: a DRAM streaming read or an upstream
+    operator's output.  ``rate`` throttles emission to fewer records per
+    cycle to model slower producers.
+    """
+
+    def __init__(self, name: str, records: Sequence[Record],
+                 schema: Optional[Schema] = None, rate: int = LANES):
+        super().__init__(name)
+        self.schema = schema
+        self._records = list(records)
+        self._pos = 0
+        self.rate = max(1, min(rate, LANES))
+
+    def tick(self, cycle: int) -> bool:
+        out = self.outputs[0]
+        if self._pos >= len(self._records):
+            out.close()
+            self.stats.idle_cycles += 1
+            return False
+        if not out.can_push():
+            self.stats.stall_cycles += 1
+            return False
+        vector = self._records[self._pos:self._pos + self.rate]
+        self._pos += len(vector)
+        out.push(vector)
+        self.stats.record_output(len(vector))
+        self.stats.busy_cycles += 1
+        if self._pos >= len(self._records):
+            out.close()
+        return True
+
+    def idle(self) -> bool:
+        return self._pos >= len(self._records)
+
+    def done(self) -> bool:
+        return self.idle()
+
+
+class SinkTile(Tile):
+    """Collects a stream's records off the fabric (e.g. a DRAM write-back)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.records: List[Record] = []
+        self.completion_cycle: Optional[int] = None
+
+    def tick(self, cycle: int) -> bool:
+        moved = False
+        for stream in self.inputs:
+            if stream.can_pop():
+                vector = stream.pop()
+                self.records.extend(vector)
+                self.stats.record_output(len(vector))
+                moved = True
+        if moved:
+            self.stats.busy_cycles += 1
+        else:
+            self.stats.idle_cycles += 1
+        if self.completion_cycle is None and self.inputs_closed():
+            self.completion_cycle = cycle
+        return moved
+
+    def idle(self) -> bool:
+        return True

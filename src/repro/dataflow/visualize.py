@@ -1,0 +1,65 @@
+"""Graph visualization: render tile graphs as Graphviz DOT or ASCII.
+
+Debugging a mis-wired dataflow kernel from cycle traces alone is painful;
+these renderers make the structure visible.  DOT output pastes into any
+Graphviz viewer; the ASCII adjacency listing needs nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataflow.graph import Graph
+from repro.dataflow.tile import SinkTile, SourceTile, Tile
+
+_SHAPES = {
+    "SourceTile": "invhouse",
+    "SinkTile": "house",
+    "MergeTile": "invtriangle",
+    "FilterTile": "diamond",
+    "ForkTile": "trapezium",
+    "ScratchpadTile": "box3d",
+    "DramTile": "cylinder",
+    "SpillTile": "cylinder",
+}
+
+
+def to_dot(graph: Graph) -> str:
+    """Render ``graph`` as Graphviz DOT."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=LR;"]
+    for tile in graph.tiles:
+        kind = type(tile).__name__
+        shape = _SHAPES.get(kind, "box")
+        lines.append(
+            f'  "{tile.name}" [label="{tile.name}\\n{kind}" '
+            f'shape={shape}];')
+    for stream in graph.streams:
+        attrs = ""
+        # Loop-back edges (into a merge's priority slot) render dashed.
+        consumer = stream.consumer
+        if consumer is not None and consumer.inputs \
+                and consumer.inputs[0] is stream \
+                and type(consumer).__name__ == "MergeTile" \
+                and len(consumer.inputs) > 1:
+            attrs = " [style=dashed constraint=false]"
+        lines.append(
+            f'  "{stream.producer.name}" -> "{consumer.name}"{attrs};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(graph: Graph) -> str:
+    """Render ``graph`` as an indented adjacency listing."""
+    out_edges: Dict[str, List[str]] = {}
+    for stream in graph.streams:
+        out_edges.setdefault(stream.producer.name, []).append(
+            stream.consumer.name)
+    lines = [f"graph {graph.name!r}:"]
+    for tile in graph.tiles:
+        kind = type(tile).__name__
+        targets = out_edges.get(tile.name, [])
+        arrow = " -> " + ", ".join(targets) if targets else ""
+        marker = ("(src) " if isinstance(tile, SourceTile)
+                  else "(sink) " if isinstance(tile, SinkTile) else "")
+        lines.append(f"  {marker}{tile.name} [{kind}]{arrow}")
+    return "\n".join(lines)

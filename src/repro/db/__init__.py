@@ -1,0 +1,13 @@
+"""Relational layer: tables, physical operators, execution tracing, and the
+manual query planner with parallelization knobs (§V-B)."""
+
+from repro.db.table import Table
+from repro.db.context import ExecutionContext, OpTrace
+from repro.db import operators
+from repro.db.optimizer import JoinChoice, Optimizer
+from repro.db.planner import Placer, PlanNode
+
+__all__ = [
+    "Table", "ExecutionContext", "OpTrace", "operators",
+    "JoinChoice", "Optimizer", "Placer", "PlanNode",
+]

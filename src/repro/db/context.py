@@ -1,0 +1,60 @@
+"""Execution context: event accounting across a query's operator tree.
+
+Every physical operator logs an :class:`OpTrace` — cardinalities plus the
+hardware events (:class:`~repro.structures.common.StructureEvents`) its
+data structures generated.  The analytical cost model prices these traces
+into Aurochs cycles, which is how large-dataset runtimes are projected,
+mirroring the paper's analytical-model methodology (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.structures.common import StructureEvents
+
+
+@dataclass
+class OpTrace:
+    """One operator's execution record.
+
+    ``meta`` carries operator-specific facts the baseline models need —
+    e.g. spatial joins record both side cardinalities so the GPU model can
+    price its brute-force pair kernel.
+    """
+
+    op: str
+    rows_in: int
+    rows_out: int
+    events: StructureEvents = field(default_factory=StructureEvents)
+    note: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+class ExecutionContext:
+    """Accumulates traces and merged events for one query execution."""
+
+    def __init__(self):
+        self.traces: List[OpTrace] = []
+        self.events = StructureEvents()
+
+    def trace(self, op: str, rows_in: int, rows_out: int,
+              events: Optional[StructureEvents] = None,
+              note: str = "", meta: Optional[dict] = None) -> OpTrace:
+        t = OpTrace(op, rows_in, rows_out,
+                    events if events is not None else StructureEvents(),
+                    note, meta or {})
+        self.traces.append(t)
+        self.events.merge(t.events)
+        return t
+
+    def total_rows(self) -> int:
+        return sum(t.rows_in for t in self.traces)
+
+    def summary(self) -> str:
+        lines = []
+        for t in self.traces:
+            lines.append(f"  {t.op}: {t.rows_in} -> {t.rows_out} rows"
+                         + (f" ({t.note})" if t.note else ""))
+        return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Lowering relational operators to tile graphs (§V-B).
+
+"Aurochs lowers a manually-planned SQL operator tree to a graph of
+compute and scratchpad tiles."  The functional operators in
+``repro.db.operators`` are the fast path; this module is the other half:
+it actually *runs* operators on the simulated fabric, composing the §IV
+dataflow pipelines (radix partition → CAS build → recirculating probe)
+and returning both the relational result and the simulation statistics.
+
+Tests assert lowered execution is record-equivalent to the functional
+operators; the microbenchmarks use the returned cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.dataflow import (
+    FilterTile,
+    Graph,
+    SinkTile,
+    SourceTile,
+    run_functional,
+    run_graph,
+)
+from repro.dataflow.stats import SimStats
+from repro.db.table import Table
+from repro.errors import PlanError
+from repro.structures.hashing import radix_of
+from repro.structures.hashtable import HashTableDataflow
+from repro.structures.partition import PartitionerDataflow
+
+
+@dataclass
+class LoweredResult:
+    """A lowered operator's output table plus its simulation record."""
+
+    table: Table
+    graphs: int = 0
+    total_cycles: int = 0
+    stats: List[SimStats] = field(default_factory=list)
+
+    def record(self, stats: SimStats) -> None:
+        self.graphs += 1
+        self.total_cycles += stats.cycles
+        self.stats.append(stats)
+
+
+def _runner(engine: str) -> Callable[[Graph], SimStats]:
+    if engine == "cycle":
+        return run_graph
+    if engine == "functional":
+        return run_functional
+    raise PlanError(f"unknown lowering engine {engine!r}")
+
+
+def lower_filter(table: Table, pred, engine: str = "cycle",
+                 name: Optional[str] = None) -> LoweredResult:
+    """Run a filter on a single compute tile."""
+    run = _runner(engine)
+    g = Graph("lowered_filter")
+    src = g.add(SourceTile("src", table.rows))
+    filt = g.add(FilterTile("filt", pred))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, filt)
+    g.connect(filt, sink, producer_port=0)
+    filt.drop_output(1)
+    stats = run(g)
+    result = LoweredResult(
+        table.with_rows(sink.records, name or f"{table.name}_filtered"))
+    result.record(stats)
+    return result
+
+
+def lower_hash_join(left: Table, right: Table, left_key: str,
+                    right_key: str, n_partitions: int = 4,
+                    spad_node_capacity: int = 4096,
+                    engine: str = "cycle",
+                    prefix: str = "r_",
+                    name: Optional[str] = None) -> LoweredResult:
+    """Run a radix-partitioned hash join entirely on the fabric.
+
+    Phase 1 scatters both tables into DRAM partitions with the fig. 7b
+    pipeline; phase 2, per partition, builds an on-chip hash table from
+    the right side with the fig. 6c CAS pipeline and probes it with the
+    left side's records through the fig. 6a recirculating pipeline.
+    """
+    run = _runner(engine)
+    lk = left.getter(left_key)
+    rk = right.getter(right_key)
+    result = LoweredResult(Table(name or f"{left.name}_join_{right.name}",
+                                 left.schema.concat(right.schema, prefix)))
+
+    # Phase 1: partition both sides on the join-key hash.
+    parts = {}
+    for side, table, key_of in (("L", left, lk), ("R", right, rk)):
+        pd = PartitionerDataflow(
+            n_partitions, block_size=32,
+            max_blocks=max(64, 4 * len(table) // 32 + n_partitions),
+            name=f"part{side}")
+        keyed = [(key_of(row), row) for row in table.rows]
+        stats = run(pd.build_graph(keyed))
+        result.record(stats)
+        parts[side] = pd
+
+    # Phase 2: per partition, build from the right side, probe with left.
+    out_rows = []
+    for p in range(n_partitions):
+        build_side = parts["R"].read_partition(p)
+        probe_side = parts["L"].read_partition(p)
+        if not build_side or not probe_side:
+            continue
+        ht = HashTableDataflow(
+            n_buckets=max(16, 1 << (len(build_side) - 1).bit_length()),
+            spad_node_capacity=spad_node_capacity,
+            overflow_capacity=max(64, 2 * len(build_side)),
+            name=f"ht{p}")
+        stats = run(ht.build_graph(build_side))
+        result.record(stats)
+        # Probe queries carry the left row index so hits can be joined.
+        queries = [(i, key) for i, (key, __row) in enumerate(probe_side)]
+        g = ht.probe_graph(queries, emit_all=True)
+        stats = run(g)
+        result.record(stats)
+        for qid, __key, rrow in g.tile("hits").records:
+            out_rows.append(probe_side[qid][1] + rrow)
+    result.table.rows = out_rows
+    return result
+
+
+def lower_group_count(table: Table, group_key: str, n_groups: int,
+                      engine: str = "cycle",
+                      name: Optional[str] = None) -> LoweredResult:
+    """COUNT(*) GROUP BY a dense integer key, via scratchpad FAA.
+
+    Each record's thread FAAs the counter at its group's scratchpad slot
+    — the aggregation pattern of §III-A's cross-thread communication.
+    Requires ``0 <= key < n_groups`` (dense group ids); general keys go
+    through the hash-table path instead.
+    """
+    from repro.memory import PortConfig, ScratchpadMemory, ScratchpadTile, faa
+    from repro.dataflow import Schema
+
+    run = _runner(engine)
+    ki = table.col_index(group_key)
+    mem = ScratchpadMemory("agg")
+    counters = mem.region("counters", n_groups, 1, fill=0)
+    g = Graph("lowered_group_count")
+    src = g.add(SourceTile("src", table.rows))
+    agg = g.add(ScratchpadTile("agg", mem, [PortConfig(
+        mode="rmw", region=counters, addr=lambda r: r[ki],
+        rmw=faa(), combine=lambda r, old: None)]))
+    g.connect(src, agg)
+    stats = run(g)
+    rows = [(gid, counters[gid]) for gid in range(n_groups)
+            if counters[gid] > 0]
+    result = LoweredResult(Table(name or f"{table.name}_counts",
+                                 Schema([group_key, "count"]), rows))
+    result.record(stats)
+    return result

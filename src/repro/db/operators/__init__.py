@@ -1,0 +1,47 @@
+"""Physical operators: the SQL layer Aurochs exposes (§III-A exposes the
+kernels "as SQL operators with parallelization knobs")."""
+
+from repro.db.operators.basic import (
+    distinct,
+    extend,
+    limit,
+    order_by,
+    project,
+    scan_filter,
+    top_k,
+)
+from repro.db.operators.join import (
+    choose_partitions,
+    hash_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.db.operators.aggregate import (
+    hash_group_by,
+    interval_group_by,
+    sort_group_by,
+)
+from repro.db.operators.window import window_aggregate
+from repro.db.operators.spatial import (
+    build_point_index,
+    build_rect_index,
+    containment_join,
+    distance_join,
+    window_select,
+)
+from repro.db.operators.indexscan import TimeSeriesIndex, index_range_scan
+from repro.db.operators.stream import sliding_window_join, symmetric_hash_join
+from repro.db.operators.sortutil import charge_sort, sort_passes
+
+__all__ = [
+    "distinct", "extend", "limit", "order_by", "project", "scan_filter",
+    "top_k",
+    "choose_partitions", "hash_join", "nested_loop_join", "sort_merge_join",
+    "hash_group_by", "interval_group_by", "sort_group_by",
+    "window_aggregate",
+    "build_point_index", "build_rect_index", "containment_join",
+    "distance_join", "window_select",
+    "TimeSeriesIndex", "index_range_scan",
+    "sliding_window_join", "symmetric_hash_join",
+    "charge_sort", "sort_passes",
+]

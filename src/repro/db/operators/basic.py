@@ -1,0 +1,129 @@
+"""Streaming relational operators: filter, project, order-by, limit.
+
+These are Gorgon's native line-rate record operators (§II-B); on Aurochs
+they are single compute tiles.  Each logs an :class:`OpTrace` so the cost
+model can price the stream lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.db.context import ExecutionContext
+from repro.db.table import Table
+from repro.db.operators.sortutil import charge_sort
+from repro.dataflow.record import Record
+from repro.structures.common import StructureEvents
+
+
+def scan_filter(table: Table, pred: Callable[[Record], bool],
+                ctx: Optional[ExecutionContext] = None,
+                name: Optional[str] = None) -> Table:
+    """Keep rows satisfying ``pred`` (a filter tile on the scan stream)."""
+    out = table.with_rows([r for r in table.rows if pred(r)], name)
+    if ctx is not None:
+        ev = StructureEvents(records_processed=len(table))
+        ev.dram_read_bytes = len(table) * len(table.schema.fields) * 4
+        ev.dram_dense_accesses = max(1, len(table) // 16)
+        ctx.trace("filter", len(table), len(out), ev)
+    return out
+
+
+def project(table: Table, fields: Sequence[str],
+            ctx: Optional[ExecutionContext] = None,
+            name: Optional[str] = None) -> Table:
+    """Keep only ``fields`` (record field drop/permute in a map tile)."""
+    out = table.project(fields, name)
+    if ctx is not None:
+        ctx.trace("project", len(table), len(out),
+                  StructureEvents(records_processed=len(table)))
+    return out
+
+
+def extend(table: Table, field: str, fn: Callable[[Record], object],
+           ctx: Optional[ExecutionContext] = None,
+           name: Optional[str] = None) -> Table:
+    """Append a computed column (record field add in a map tile)."""
+    out = table.extend(field, fn, name)
+    if ctx is not None:
+        ctx.trace("map", len(table), len(out),
+                  StructureEvents(records_processed=len(table)))
+    return out
+
+
+def order_by(table: Table, field: str, reverse: bool = False,
+             ctx: Optional[ExecutionContext] = None,
+             name: Optional[str] = None) -> Table:
+    """Sort rows (Gorgon's tiled merge-sort kernel)."""
+    out = table.sort_by(field, reverse, name)
+    if ctx is not None:
+        ev = StructureEvents()
+        charge_sort(ev, len(table), len(table.schema.fields) * 4)
+        ctx.trace("sort", len(table), len(out), ev)
+    return out
+
+
+def limit(table: Table, n: int,
+          ctx: Optional[ExecutionContext] = None,
+          name: Optional[str] = None) -> Table:
+    """Keep the first ``n`` rows."""
+    out = table.with_rows(table.rows[:n], name)
+    if ctx is not None:
+        ctx.trace("limit", len(table), len(out))
+    return out
+
+
+def distinct(table: Table, fields: Optional[Sequence[str]] = None,
+             ctx: Optional[ExecutionContext] = None,
+             name: Optional[str] = None) -> Table:
+    """Deduplicate rows (on ``fields`` if given, else whole rows).
+
+    Implemented as a hash-table membership test — one CAS-guarded insert
+    per row, the same scratchpad pattern as the hash build (§IV-A).
+    First occurrence wins; input order is preserved.
+    """
+    from repro.structures.hashtable import ChainedHashTable
+
+    key_of = (table.schema.projector(fields) if fields
+              else (lambda row: row))
+    events = StructureEvents()
+    seen = ChainedHashTable(max(16, 1 << max(0, (len(table) // 2 - 1)
+                                             ).bit_length()),
+                            events=events)
+    out_rows = []
+    for row in table.rows:
+        key = key_of(row)
+        if not seen.contains(key):
+            seen.insert(key, True)
+            out_rows.append(row)
+    out = table.with_rows(out_rows, name or f"{table.name}_distinct")
+    if ctx is not None:
+        ctx.trace("distinct", len(table), len(out), events)
+    return out
+
+
+def top_k(table: Table, field: str, k: int, smallest: bool = True,
+          ctx: Optional[ExecutionContext] = None,
+          name: Optional[str] = None) -> Table:
+    """ORDER BY ``field`` LIMIT ``k`` without a full sort.
+
+    A bounded heap keeps the running top-k as the stream passes — O(n
+    log k) instead of O(n log n), the streaming form accelerators prefer
+    for LIMIT queries like Q9's nearest-100.
+    """
+    import heapq
+
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    i = table.col_index(field)
+    if smallest:
+        rows = heapq.nsmallest(k, table.rows, key=lambda r: r[i])
+    else:
+        rows = heapq.nlargest(k, table.rows, key=lambda r: r[i])
+    events = StructureEvents(records_processed=len(table))
+    events.spad_reads = len(table)      # heap maintenance on-chip
+    out = table.with_rows(rows, name or f"{table.name}_top{k}")
+    if ctx is not None:
+        ctx.trace("top_k", len(table), len(out), events,
+                  note=f"k={k} {'asc' if smallest else 'desc'}")
+    return out

@@ -1,0 +1,158 @@
+"""Join operators.
+
+The paper's core comparison (fig. 11a) is between:
+
+* :func:`hash_join` — Aurochs' O(n) radix-partitioned hash join: partition
+  both tables on the hash of the join key so each partition's hash table
+  fits in a 256 KiB scratchpad, then build from one side and probe with
+  the other (§IV-A);
+* :func:`sort_merge_join` — the Gorgon-style O(n log n) join: sort both
+  sides with tiled merge sort, then a linear merge;
+* :func:`nested_loop_join` — the all-to-all fallback Gorgon needs for
+  spatial predicates without indices (fig. 11b's infeasible baseline).
+
+All joins concatenate matching rows, prefixing right-side field names on
+collision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+from repro.db.context import ExecutionContext
+from repro.db.table import Table
+from repro.db.operators.sortutil import charge_sort
+from repro.dataflow.record import Schema
+from repro.memory.scratchpad import CAPACITY_WORDS
+from repro.structures.common import StructureEvents
+from repro.structures.hashtable import NODE_WORDS, ChainedHashTable
+from repro.structures.partition import RadixPartitioner
+
+
+def _joined_schema(left: Table, right: Table, prefix: str) -> Schema:
+    return left.schema.concat(right.schema, prefix)
+
+
+def key_getter(table: Table, key):
+    """Key extractor for a single field name or a composite-key sequence.
+
+    Composite keys model Gorgon's wide keys: fields wider than one lane
+    are serialized across pipeline stages (§II-B), so a multi-field key is
+    just a longer record comparison — functionally a tuple key here.
+    """
+    if isinstance(key, str):
+        return table.getter(key)
+    idx = [table.col_index(f) for f in key]
+    return lambda row: tuple(row[i] for i in idx)
+
+
+def choose_partitions(build_rows: int, row_words: int = NODE_WORDS) -> int:
+    """Partition count so the expected per-partition table fits on-chip.
+
+    The paper chooses the count so expected partition size matches the
+    256 KiB scratchpad (§IV-A); outliers spill to the DRAM overflow path.
+    """
+    rows_per_spad = max(1, (CAPACITY_WORDS // 2) // row_words)
+    needed = max(1, math.ceil(build_rows / rows_per_spad))
+    return 1 << max(0, (needed - 1).bit_length())
+
+
+def hash_join(left: Table, right: Table, left_key, right_key,
+              ctx: Optional[ExecutionContext] = None,
+              prefix: str = "r_",
+              n_partitions: Optional[int] = None,
+              name: Optional[str] = None) -> Table:
+    """Radix-partitioned hash join (build = right side, probe = left side).
+
+    ``left_key``/``right_key`` are single field names or sequences of
+    field names (composite wide keys, §II-B).
+    """
+    lk = key_getter(left, left_key)
+    rk = key_getter(right, right_key)
+    events = StructureEvents()
+    if n_partitions is None:
+        n_partitions = choose_partitions(len(right))
+
+    # Phase 1: partition both tables on the join-key hash.
+    part_r = RadixPartitioner(n_partitions, events=events)
+    part_r.partition((rk(row), row) for row in right.rows)
+    part_l = RadixPartitioner(n_partitions, events=events)
+    part_l.partition((lk(row), row) for row in left.rows)
+
+    # Phase 2: per partition, build on-chip and probe at line rate.
+    rows_per_spad = max(1, (CAPACITY_WORDS // 2) // NODE_WORDS)
+    out_rows = []
+    for p in range(n_partitions):
+        build_side = part_r.read_partition(p)
+        if not build_side:
+            continue
+        ht = ChainedHashTable(
+            n_buckets=max(8, 1 << (len(build_side) - 1).bit_length()),
+            spad_node_capacity=rows_per_spad, events=events)
+        for row in build_side:
+            ht.insert(rk(row), row)
+        for lrow in part_l.read_partition(p):
+            for rrow in ht.probe(lk(lrow)):
+                out_rows.append(lrow + rrow)
+
+    out = Table(name or f"{left.name}_join_{right.name}",
+                _joined_schema(left, right, prefix), out_rows)
+    if ctx is not None:
+        ctx.trace("hash_join", len(left) + len(right), len(out), events,
+                  note=f"{n_partitions} partitions")
+    return out
+
+
+def sort_merge_join(left: Table, right: Table, left_key, right_key,
+                    ctx: Optional[ExecutionContext] = None,
+                    prefix: str = "r_",
+                    name: Optional[str] = None) -> Table:
+    """Sort both sides, then linear merge (the Gorgon baseline join).
+
+    Accepts single or composite keys like :func:`hash_join`.
+    """
+    lk = key_getter(left, left_key)
+    rk = key_getter(right, right_key)
+    events = StructureEvents()
+    charge_sort(events, len(left), len(left.schema.fields) * 4)
+    charge_sort(events, len(right), len(right.schema.fields) * 4)
+    lrows = sorted(left.rows, key=lk)
+    rrows = sorted(right.rows, key=rk)
+    events.records_processed += len(lrows) + len(rrows)
+
+    out_rows = []
+    j = 0
+    for lrow in lrows:
+        key = lk(lrow)
+        while j < len(rrows) and rk(rrows[j]) < key:
+            j += 1
+        k = j
+        while k < len(rrows) and rk(rrows[k]) == key:
+            out_rows.append(lrow + rrows[k])
+            k += 1
+    out = Table(name or f"{left.name}_smj_{right.name}",
+                _joined_schema(left, right, prefix), out_rows)
+    if ctx is not None:
+        ctx.trace("sort_merge_join", len(left) + len(right), len(out), events)
+    return out
+
+
+def nested_loop_join(left: Table, right: Table,
+                     pred: Callable[[Tuple, Tuple], bool],
+                     ctx: Optional[ExecutionContext] = None,
+                     prefix: str = "r_",
+                     name: Optional[str] = None) -> Table:
+    """All-pairs join — O(n·m), the index-less spatial fallback."""
+    events = StructureEvents()
+    events.records_processed += len(left) * len(right)
+    events.dram_read_bytes += (
+        len(left) * len(right.schema.fields) * len(right) * 4
+    ) // max(1, len(right))  # both streams scanned; right re-streamed per tile
+    out_rows = [lrow + rrow for lrow in left.rows for rrow in right.rows
+                if pred(lrow, rrow)]
+    out = Table(name or f"{left.name}_nlj_{right.name}",
+                _joined_schema(left, right, prefix), out_rows)
+    if ctx is not None:
+        ctx.trace("nested_loop_join", len(left) + len(right), len(out), events)
+    return out

@@ -1,0 +1,16 @@
+"""Sort cost accounting shared by sort-based operators.
+
+The implementation (and the executable tiled merge sort that validates
+it) lives in :mod:`repro.structures.sort`; this module re-exports the
+accounting helpers at the operator layer where joins/aggregations use
+them.
+"""
+
+from repro.structures.sort import (
+    MERGE_RADIX,
+    ONCHIP_SORT_ROWS,
+    charge_sort,
+    sort_passes,
+)
+
+__all__ = ["MERGE_RADIX", "ONCHIP_SORT_ROWS", "charge_sort", "sort_passes"]

@@ -1,0 +1,124 @@
+"""Spatial operators over Z-order packed R-trees (§IV-C).
+
+The queries use two geospatial predicates:
+
+* ``GEO.DIST(a, b, radius)`` — point pairs within Euclidean ``radius``;
+  implemented as an R-tree join with rectangles dilated by the radius
+  plus an exact distance refinement;
+* point-in-region containment (``location.bounds`` vs a point) — an
+  R-tree join with a containment refinement.
+
+Coordinates are integers on the 16-bit Z-order grid; the workload
+generator maps the city onto this grid with ~10 m resolution, so a
+"1 km" radius is ~100 grid units.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.db.context import ExecutionContext
+from repro.db.table import Table
+from repro.dataflow.record import Schema
+from repro.structures.common import StructureEvents
+from repro.structures.rtree import (
+    PackedRTree,
+    contains,
+    euclidean,
+    point_rect,
+    spatial_join,
+)
+
+
+def build_point_index(table: Table, x_field: str, y_field: str,
+                      fanout: int = 16,
+                      events: Optional[StructureEvents] = None
+                      ) -> PackedRTree:
+    """Bulk-load an R-tree over a table's points; values are row indices."""
+    xi, yi = table.col_index(x_field), table.col_index(y_field)
+    entries = [(point_rect(row[xi], row[yi]), i)
+               for i, row in enumerate(table.rows)]
+    return PackedRTree.bulk_load(entries, fanout, events=events)
+
+
+def build_rect_index(table: Table, fields: Tuple[str, str, str, str],
+                     fanout: int = 16,
+                     events: Optional[StructureEvents] = None
+                     ) -> PackedRTree:
+    """Bulk-load an R-tree over a table's bounding rectangles."""
+    idx = [table.col_index(f) for f in fields]
+    entries = [((row[idx[0]], row[idx[1]], row[idx[2]], row[idx[3]]), i)
+               for i, row in enumerate(table.rows)]
+    return PackedRTree.bulk_load(entries, fanout, events=events)
+
+
+def _joined(left: Table, right: Table, pairs, prefix: str,
+            name: str) -> Table:
+    schema = left.schema.concat(right.schema, prefix)
+    rows = [left.rows[i] + right.rows[j] for i, j in pairs]
+    return Table(name, schema, rows)
+
+
+def distance_join(left: Table, right: Table,
+                  left_xy: Tuple[str, str], right_xy: Tuple[str, str],
+                  radius: int,
+                  ctx: Optional[ExecutionContext] = None,
+                  prefix: str = "r_",
+                  name: Optional[str] = None) -> Table:
+    """Join point pairs within Euclidean ``radius`` (GEO.DIST)."""
+    events = StructureEvents()
+    lt = build_point_index(left, *left_xy, events=events)
+    rt = build_point_index(right, *right_xy, events=events)
+    matches = spatial_join(
+        lt, rt, within=radius,
+        exact=lambda a, b: euclidean(a, b) <= radius,
+        events=events)
+    pairs = [(va, vb) for __, va, __, vb in matches]
+    out = _joined(left, right, pairs, prefix,
+                  name or f"{left.name}_dist_{right.name}")
+    if ctx is not None:
+        ctx.trace("distance_join", len(left) + len(right), len(out), events,
+                  note=f"radius={radius}",
+                  meta={"left": len(left), "right": len(right)})
+    return out
+
+
+def containment_join(regions: Table,
+                     bounds_fields: Tuple[str, str, str, str],
+                     points: Table, point_xy: Tuple[str, str],
+                     ctx: Optional[ExecutionContext] = None,
+                     prefix: str = "r_",
+                     name: Optional[str] = None) -> Table:
+    """Join each region with the points inside its bounding rectangle."""
+    events = StructureEvents()
+    region_tree = build_rect_index(regions, bounds_fields, events=events)
+    point_tree = build_point_index(points, *point_xy, events=events)
+    matches = spatial_join(
+        region_tree, point_tree,
+        exact=lambda region, pt: contains(region, pt),
+        events=events)
+    pairs = [(va, vb) for __, va, __, vb in matches]
+    out = _joined(regions, points, pairs, prefix,
+                  name or f"{regions.name}_contains_{points.name}")
+    if ctx is not None:
+        ctx.trace("containment_join", len(regions) + len(points), len(out),
+                  events, meta={"left": len(regions), "right": len(points)})
+    return out
+
+
+def window_select(table: Table, x_field: str, y_field: str,
+                  query_rect: Tuple[int, int, int, int],
+                  index: Optional[PackedRTree] = None,
+                  ctx: Optional[ExecutionContext] = None,
+                  name: Optional[str] = None) -> Table:
+    """Rows whose point falls inside ``query_rect`` via an R-tree window
+    query (builds the index on the fly unless one is supplied)."""
+    events = StructureEvents()
+    tree = index or build_point_index(table, x_field, y_field, events=events)
+    hits = tree.window_query(query_rect)
+    rows = [table.rows[i] for __, i in hits]
+    out = table.with_rows(rows, name or f"{table.name}_window")
+    if ctx is not None:
+        events.merge(tree.events)
+        ctx.trace("window_select", len(table), len(out), events)
+    return out

@@ -1,0 +1,123 @@
+"""Streaming joins (§II-A, §IV-A).
+
+Time-series databases ingest streams and correlate them with
+sliding-window joins.  Aurochs' lock-free hash tables make the *symmetric
+hash join* natural: "two streams build hash tables with the other's
+records that they simultaneously probe with their own" — every arriving
+record inserts into its own side's table and probes the opposite side's,
+emitting matches with no phase separation, which is what gives stream
+joins their low latency.  Dual-ported scratchpads schedule the concurrent
+reads and writes with no performance impact (§IV-A).
+
+:func:`symmetric_hash_join` consumes two arrival-ordered streams;
+:func:`sliding_window_join` additionally evicts matches outside a time
+window, the shape of Q1's stream-stream correlation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.db.context import ExecutionContext
+from repro.db.table import Table
+from repro.structures.common import StructureEvents
+from repro.structures.hashtable import ChainedHashTable
+
+
+def symmetric_hash_join(left: Table, right: Table,
+                        left_key: str, right_key: str,
+                        ctx: Optional[ExecutionContext] = None,
+                        prefix: str = "r_",
+                        name: Optional[str] = None) -> Table:
+    """Join two streams with symmetric hash tables.
+
+    Rows are treated as arrival-ordered streams and interleaved; each
+    arrival builds into its side's table and probes the other side's
+    table *as it exists so far*.  The full result equals the batch join,
+    but matches surface incrementally — the emission order is by arrival,
+    which tests assert to pin the streaming semantics.
+    """
+    events = StructureEvents()
+    lk = left.getter(left_key)
+    rk = right.getter(right_key)
+    left_table = ChainedHashTable(
+        max(16, 1 << max(0, (len(left) // 2 - 1)).bit_length()),
+        events=events)
+    right_table = ChainedHashTable(
+        max(16, 1 << max(0, (len(right) // 2 - 1)).bit_length()),
+        events=events)
+    out_rows: List[Tuple] = []
+    for lrow, rrow in _interleave(left.rows, right.rows):
+        if lrow is not None:
+            key = lk(lrow)
+            left_table.insert(key, lrow)
+            for match in right_table.probe(key):
+                out_rows.append(lrow + match)
+        if rrow is not None:
+            key = rk(rrow)
+            right_table.insert(key, rrow)
+            for match in left_table.probe(key):
+                out_rows.append(match + rrow)
+    out = Table(name or f"{left.name}_sym_{right.name}",
+                left.schema.concat(right.schema, prefix), out_rows)
+    if ctx is not None:
+        ctx.trace("symmetric_hash_join", len(left) + len(right), len(out),
+                  events)
+    return out
+
+
+def sliding_window_join(left: Table, right: Table,
+                        left_key: str, right_key: str,
+                        left_time: str, right_time: str,
+                        window: int,
+                        ctx: Optional[ExecutionContext] = None,
+                        prefix: str = "r_",
+                        name: Optional[str] = None) -> Table:
+    """Symmetric join keeping only pairs within ``window`` time units.
+
+    Both inputs must be time-ordered (streams are).  Matching is still
+    hash-based on the join key; the time predicate filters matches, and
+    expired entries are skipped (append-only tables make true deletion
+    unnecessary — expiry is a probe-side filter, matching Aurochs'
+    persistent-structure discipline).
+    """
+    events = StructureEvents()
+    lk, lt = left.getter(left_key), left.getter(left_time)
+    rk, rt = right.getter(right_key), right.getter(right_time)
+    left_table = ChainedHashTable(1024, events=events)
+    right_table = ChainedHashTable(1024, events=events)
+    out_rows: List[Tuple] = []
+
+    li = ri = 0
+    lrows, rrows = left.rows, right.rows
+    while li < len(lrows) or ri < len(rrows):
+        take_left = ri >= len(rrows) or (
+            li < len(lrows) and lt(lrows[li]) <= rt(rrows[ri]))
+        if take_left:
+            row = lrows[li]
+            li += 1
+            left_table.insert(lk(row), row)
+            for match in right_table.probe(lk(row)):
+                if abs(lt(row) - rt(match)) <= window:
+                    out_rows.append(row + match)
+        else:
+            row = rrows[ri]
+            ri += 1
+            right_table.insert(rk(row), row)
+            for match in left_table.probe(rk(row)):
+                if abs(rt(row) - lt(match)) <= window:
+                    out_rows.append(match + row)
+    out = Table(name or f"{left.name}_win_{right.name}",
+                left.schema.concat(right.schema, prefix), out_rows)
+    if ctx is not None:
+        ctx.trace("sliding_window_join", len(left) + len(right), len(out),
+                  events, note=f"window={window}")
+    return out
+
+
+def _interleave(a: List, b: List) -> Iterable[Tuple]:
+    """Alternate two row lists, yielding (left_or_None, right_or_None)."""
+    n = max(len(a), len(b))
+    for i in range(n):
+        yield (a[i] if i < len(a) else None,
+               b[i] if i < len(b) else None)

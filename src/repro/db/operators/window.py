@@ -1,0 +1,82 @@
+"""Windowed aggregation (SQL ``OVER (PARTITION BY ... ORDER BY ...)``).
+
+Q5 computes per-driver sliding-window statistics that feed an ML predictor.
+Rows are hash-partitioned on the partition key, sorted within each
+partition on the order key, and a sliding frame (``ROWS BETWEEN n
+PRECEDING AND CURRENT ROW``) accumulates the aggregates.  Every input row
+produces an output row extended with the window aggregate columns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.db.context import ExecutionContext
+from repro.db.table import Table
+from repro.db.operators.sortutil import charge_sort
+from repro.errors import PlanError
+from repro.structures.common import StructureEvents
+
+WindowAggSpec = Dict[str, Tuple[str, str]]  # out_field -> (op, in_field)
+
+
+def window_aggregate(table: Table, partition_by: str, order_by: str,
+                     aggs: WindowAggSpec, preceding: int,
+                     ctx: Optional[ExecutionContext] = None,
+                     name: Optional[str] = None) -> Table:
+    """Sliding-window aggregates over each partition.
+
+    ``preceding`` is the frame size minus one: each output row aggregates
+    itself and up to ``preceding`` prior rows of its partition in
+    ``order_by`` order.
+    """
+    if preceding < 0:
+        raise PlanError("preceding must be non-negative")
+    for out_field, (op, __) in aggs.items():
+        if op not in ("avg", "sum", "min", "max", "count"):
+            raise PlanError(f"unsupported window op {op!r} for {out_field!r}")
+
+    events = StructureEvents()
+    pi = table.col_index(partition_by)
+    oi = table.col_index(order_by)
+    in_idx = {f: table.col_index(f) for __, f in aggs.values()}
+
+    # Hash partition rows on the partition key.
+    partitions: Dict[object, list] = {}
+    for row in table.rows:
+        partitions.setdefault(row[pi], []).append(row)
+    events.rmw_ops += len(table)          # partition scatter
+    events.spad_reads += len(table)
+
+    out_rows = []
+    frame_len = preceding + 1
+    for rows in partitions.values():
+        rows.sort(key=lambda r: r[oi])
+        charge_sort(events, len(rows), len(table.schema.fields) * 4)
+        window: deque = deque(maxlen=frame_len)
+        for row in rows:
+            window.append(row)
+            agg_vals = []
+            for op, f in aggs.values():
+                vals = [r[in_idx[f]] for r in window]
+                if op == "count":
+                    agg_vals.append(len(vals))
+                elif op == "sum":
+                    agg_vals.append(sum(vals))
+                elif op == "avg":
+                    agg_vals.append(sum(vals) / len(vals))
+                elif op == "min":
+                    agg_vals.append(min(vals))
+                else:
+                    agg_vals.append(max(vals))
+            out_rows.append(row + tuple(agg_vals))
+
+    schema = table.schema
+    for out_field in aggs:
+        schema = schema.extend(out_field)
+    out = Table(name or f"{table.name}_window", schema, out_rows)
+    if ctx is not None:
+        ctx.trace("window_aggregate", len(table), len(out), events,
+                  note=f"frame={frame_len}")
+    return out

@@ -1,0 +1,114 @@
+"""Cost-based operator selection (§II-A).
+
+"Query planners choose the optimal join order and algorithm based on a
+query's structure.  Sort-merge joins ... outperform hash joins for small
+tables or if data is pre-sorted ... ."  Full query planning is out of the
+paper's scope (and ours), but algorithm *selection* falls directly out of
+the analytical cost model: price both candidates' event traces and pick
+the cheaper.  Fig. 11a's crossover is exactly the decision boundary this
+module computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db.context import ExecutionContext
+from repro.db.table import Table
+from repro.db.operators.join import hash_join, sort_merge_join
+from repro.perf.cost_model import CostModel
+from repro.perf.kernels import (
+    hash_join_events,
+    sort_merge_join_events,
+    table_scan_events,
+    btree_probe_events,
+)
+
+
+@dataclass
+class JoinChoice:
+    """The optimizer's verdict for one equi-join."""
+
+    algorithm: str            # 'hash' | 'sort_merge'
+    hash_cycles: float
+    sort_cycles: float
+
+    @property
+    def advantage(self) -> float:
+        """Cost ratio of the rejected plan over the chosen one."""
+        lo = min(self.hash_cycles, self.sort_cycles)
+        hi = max(self.hash_cycles, self.sort_cycles)
+        return hi / lo if lo else 1.0
+
+
+class Optimizer:
+    """Prices candidate algorithms with the fabric cost model."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 presorted_left: bool = False,
+                 presorted_right: bool = False):
+        self.cost = cost_model or CostModel(parallel_streams=8)
+        self.presorted_left = presorted_left
+        self.presorted_right = presorted_right
+
+    # -- equi-join selection -----------------------------------------------
+
+    def choose_join(self, n_left: int, n_right: int,
+                    row_bytes: int = 8) -> JoinChoice:
+        """Pick hash vs sort-merge for the given cardinalities."""
+        hash_cost = self.cost.event_cycles(
+            hash_join_events(n_left, n_right, row_bytes)).cycles
+        sort_ev = sort_merge_join_events(
+            0 if self.presorted_left else n_left,
+            0 if self.presorted_right else n_right, row_bytes)
+        # Presorted inputs skip their sort but still stream the merge.
+        sort_ev.dram_read_bytes += (n_left + n_right) * row_bytes
+        sort_cost = self.cost.event_cycles(sort_ev).cycles
+        algorithm = "hash" if hash_cost < sort_cost else "sort_merge"
+        return JoinChoice(algorithm, hash_cost, sort_cost)
+
+    def execute_join(self, left: Table, right: Table, left_key: str,
+                     right_key: str,
+                     ctx: Optional[ExecutionContext] = None,
+                     prefix: str = "r_") -> Table:
+        """Choose and run the cheaper join."""
+        choice = self.choose_join(len(left), len(right))
+        if choice.algorithm == "hash":
+            return hash_join(left, right, left_key, right_key, ctx, prefix)
+        return sort_merge_join(left, right, left_key, right_key, ctx,
+                               prefix)
+
+    # -- access-path selection -----------------------------------------------
+
+    def choose_range_access(self, n_rows: int, selectivity: float,
+                            fanout: int = 16) -> str:
+        """Index probe vs full scan for a range predicate.
+
+        The index wins when the selected fraction is small; a scan wins
+        when most of the table qualifies anyway (dense streaming beats
+        per-result sparse gathers).
+        """
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError("selectivity must be in [0, 1]")
+        n_out = max(1, int(n_rows * selectivity))
+        scan = self.cost.event_cycles(table_scan_events(n_rows)).cycles
+        probe_ev = btree_probe_events(1, n_rows, fanout)
+        # Add the gather of the qualifying rows themselves.
+        probe_ev.dram_read_bytes += n_out * 8
+        probe_ev.dram_sparse_accesses += n_out
+        probe = self.cost.event_cycles(probe_ev).cycles
+        return "index" if probe < scan else "scan"
+
+    def crossover_size(self, lo: int = 10 ** 3, hi: int = 10 ** 9) -> int:
+        """Table size where the hash join starts beating sort-merge
+        (symmetric joins) — fig. 11a's crossover, found by bisection."""
+        if self.choose_join(lo, lo).algorithm == "hash":
+            return lo
+        while hi - lo > max(1, lo // 100):
+            mid = (lo + hi) // 2
+            if self.choose_join(mid, mid).algorithm == "hash":
+                hi = mid
+            else:
+                lo = mid
+        return hi

@@ -1,0 +1,115 @@
+"""Manual query planning with parallelization knobs (§V-B).
+
+The paper lowers "a manually-planned SQL operator tree to a graph of
+compute and scratchpad tiles"; nodes carry "parallelization parameters to
+trade off throughput with compute and scratchpad tile requirements", and a
+place-and-route tool maps tiles onto the 20×20 fabric.  This module models
+that resource side: a :class:`PlanNode` tree whose nodes declare how many
+compute/scratchpad tiles one stream instance needs, a ``parallel`` knob
+multiplying instances, and a placement check against the fabric's tile
+budget.  Fig. 12's throughput-vs-parallelization sweep walks this knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import PlanError
+from repro.perf.params import AUROCHS, FabricParams
+
+#: Tiles one stream instance of each operator class occupies (compute,
+#: scratchpad) — derived from the dataflow mappings in §IV's figures.
+OPERATOR_TILES: Dict[str, tuple] = {
+    "filter": (1, 0),
+    "map": (1, 0),
+    "project": (1, 0),
+    "limit": (1, 0),
+    "sort": (2, 2),
+    "hash_join": (6, 3),          # partition + build + probe pipelines
+    "sort_merge_join": (4, 4),
+    "nested_loop_join": (2, 1),
+    "hash_group_by": (3, 2),
+    "sort_group_by": (3, 3),
+    "interval_group_by": (3, 2),
+    "window_aggregate": (3, 2),
+    "distance_join": (4, 2),      # dual-tree descent + refinement
+    "containment_join": (4, 2),
+    "window_select": (3, 1),
+    "index_range_scan": (2, 1),
+    "ml_predict": (2, 1),
+}
+
+
+@dataclass
+class PlanNode:
+    """One physical operator in a manually-planned tree."""
+
+    op: str
+    parallel: int = 1
+    children: List["PlanNode"] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self):
+        if self.op not in OPERATOR_TILES:
+            raise PlanError(f"unknown operator {self.op!r} in plan")
+        if self.parallel < 1:
+            raise PlanError("parallel must be >= 1")
+
+    # -- resources -----------------------------------------------------------
+
+    def own_tiles(self) -> tuple:
+        c, s = OPERATOR_TILES[self.op]
+        return c * self.parallel, s * self.parallel
+
+    def total_tiles(self) -> tuple:
+        c, s = self.own_tiles()
+        for child in self.children:
+            cc, cs = child.total_tiles()
+            c, s = c + cc, s + cs
+        return c, s
+
+    def nodes(self) -> List["PlanNode"]:
+        out = [self]
+        for child in self.children:
+            out.extend(child.nodes())
+        return out
+
+    def scale(self, factor: int) -> "PlanNode":
+        """A copy of the subtree with every parallel knob multiplied."""
+        return PlanNode(self.op, self.parallel * factor,
+                        [c.scale(factor) for c in self.children], self.label)
+
+
+class Placer:
+    """Fabric-budget check: the stand-in for the paper's place-and-route."""
+
+    def __init__(self, fabric: FabricParams = AUROCHS):
+        self.fabric = fabric
+
+    def fits(self, plan: PlanNode) -> bool:
+        c, s = plan.total_tiles()
+        return (c <= self.fabric.compute_tiles
+                and s <= self.fabric.memory_tiles)
+
+    def place(self, plan: PlanNode) -> Dict[str, int]:
+        """Raise :class:`PlanError` if over budget; else return usage."""
+        c, s = plan.total_tiles()
+        if c > self.fabric.compute_tiles:
+            raise PlanError(
+                f"plan needs {c} compute tiles; fabric has "
+                f"{self.fabric.compute_tiles}")
+        if s > self.fabric.memory_tiles:
+            raise PlanError(
+                f"plan needs {s} scratchpad tiles; fabric has "
+                f"{self.fabric.memory_tiles}")
+        return {"compute_tiles": c, "memory_tiles": s,
+                "compute_util": c / self.fabric.compute_tiles,
+                "memory_util": s / self.fabric.memory_tiles}
+
+    def max_parallel(self, plan: PlanNode) -> int:
+        """Largest uniform scaling factor that still places."""
+        factor = 1
+        while self.fits(plan.scale(factor + 1)):
+            factor += 1
+        return factor

@@ -1,0 +1,90 @@
+"""Relational tables: named-column collections of record tuples.
+
+Gorgon processes *record streams*; at the query level a :class:`Table` is a
+materialized stream with a :class:`~repro.dataflow.Schema`.  Rows are plain
+tuples (the same representation the dataflow layer streams), so operators
+can hand tables to tile pipelines without conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dataflow.record import Record, Schema
+from repro.errors import SchemaError
+
+
+class Table:
+    """An ordered multiset of rows sharing one schema."""
+
+    def __init__(self, name: str, schema: Schema,
+                 rows: Optional[Iterable[Record]] = None):
+        self.name = name
+        self.schema = schema
+        self.rows: List[Record] = list(rows) if rows is not None else []
+
+    @classmethod
+    def from_columns(cls, name: str, **columns: Sequence) -> "Table":
+        """Build a table from equal-length column sequences."""
+        schema = Schema(columns.keys())
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns building table {name!r}")
+        return cls(name, schema, list(zip(*columns.values())))
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, field: str) -> List:
+        """Materialize one column."""
+        i = self.schema.index(field)
+        return [row[i] for row in self.rows]
+
+    def col_index(self, field: str) -> int:
+        return self.schema.index(field)
+
+    def head(self, n: int = 5) -> List[dict]:
+        """First ``n`` rows as dicts (debugging convenience)."""
+        return [self.schema.asdict(r) for r in self.rows[:n]]
+
+    # -- derivation ---------------------------------------------------------
+
+    def with_rows(self, rows: Iterable[Record],
+                  name: Optional[str] = None) -> "Table":
+        """Same schema, new rows."""
+        return Table(name or self.name, self.schema, rows)
+
+    def project(self, fields: Sequence[str],
+                name: Optional[str] = None) -> "Table":
+        proj = self.schema.projector(fields)
+        return Table(name or self.name, Schema(fields),
+                     [proj(r) for r in self.rows])
+
+    def rename(self, mapping: dict, name: Optional[str] = None) -> "Table":
+        return Table(name or self.name, self.schema.rename(mapping),
+                     self.rows)
+
+    def extend(self, field: str, fn: Callable[[Record], object],
+               name: Optional[str] = None) -> "Table":
+        """Append a computed column."""
+        return Table(name or self.name, self.schema.extend(field),
+                     [r + (fn(r),) for r in self.rows])
+
+    def getter(self, field: str) -> Callable[[Record], object]:
+        """A fast single-field accessor for this table's rows."""
+        i = self.schema.index(field)
+        return lambda row: row[i]
+
+    def sort_by(self, field: str, reverse: bool = False,
+                name: Optional[str] = None) -> "Table":
+        i = self.schema.index(field)
+        return self.with_rows(
+            sorted(self.rows, key=lambda r: r[i], reverse=reverse), name)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self.rows)} rows, {self.schema})"

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Aurochs reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single handler.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A record did not match its stream's schema, or a schema operation
+    referenced an unknown field."""
+
+
+class GraphError(ReproError):
+    """A dataflow graph was structurally invalid (unconnected port, duplicate
+    connection, illegal cycle, ...)."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level engine detected an unrecoverable condition, such as
+    deadlock (no progress while work remains) or exceeding a cycle budget."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity hardware structure (scratchpad, issue queue, DRAM
+    overflow buffer) was asked to hold more than it can."""
+
+
+class PlanError(ReproError):
+    """A query plan was invalid or could not be mapped onto the fabric."""

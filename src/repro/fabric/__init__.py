@@ -1,0 +1,15 @@
+"""Fabric-level modeling: tile placement on the 20x20 grid and
+interconnect accounting (the paper's place-and-route concern, §V-B)."""
+
+from repro.fabric.place import (
+    BISECTION_BYTES_PER_S,
+    GRID_SIDE,
+    GridPlacer,
+    Placement,
+    placement_report,
+)
+
+__all__ = [
+    "BISECTION_BYTES_PER_S", "GRID_SIDE", "GridPlacer", "Placement",
+    "placement_report",
+]

@@ -1,0 +1,139 @@
+"""Tile placement on the 20x20 fabric grid (§II-B, §V-B).
+
+"A custom place and route tool maps these tiles onto the accelerator
+fabric to account for the on-chip interconnect's latency and bandwidth."
+This module is that tool's modeling core: it assigns each tile of a
+dataflow graph to a grid coordinate (greedy BFS placement that keeps
+connected tiles adjacent), then reports the interconnect figures the
+paper's tool optimizes — per-stream Manhattan hop counts, total wire
+length, and bisection-link traffic against the fabric's published
+5.1 TB/s bisection bandwidth.
+
+The cycle engine does not consume these latencies (Aurochs is latency-
+tolerant by design — §III-A shows throughput is independent of on-chip
+delay once enough threads are in flight, and the microbenchmarks verify
+it); placement quality instead feeds resource/bandwidth feasibility
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.dataflow.graph import Graph
+from repro.dataflow.tile import Tile
+
+#: Fabric grid side (20x20 tiles, §II-B).
+GRID_SIDE = 20
+
+#: Published bisection bandwidth of Gorgon's interconnect (§II-B).
+BISECTION_BYTES_PER_S = 5.1e12
+
+#: Per-hop link bandwidth: one 16-lane vector (64 B) per cycle at 1 GHz.
+LINK_BYTES_PER_S = 64e9
+
+Coord = Tuple[int, int]
+
+
+@dataclass
+class Placement:
+    """A graph's tile-to-coordinate assignment plus interconnect stats."""
+
+    coords: Dict[str, Coord] = field(default_factory=dict)
+    hops: Dict[str, int] = field(default_factory=dict)   # per stream name
+
+    @property
+    def total_wire_length(self) -> int:
+        return sum(self.hops.values())
+
+    @property
+    def max_hops(self) -> int:
+        return max(self.hops.values(), default=0)
+
+    def bisection_traffic_fraction(self, records_per_s: float,
+                                   record_bytes: int = 64) -> float:
+        """Fraction of bisection bandwidth used if every stream crossing
+        the grid midline carries ``records_per_s`` vectors."""
+        crossing = sum(
+            1 for name, h in self.hops.items() if h > 0
+        )
+        traffic = crossing * records_per_s * record_bytes
+        return traffic / BISECTION_BYTES_PER_S
+
+
+class GridPlacer:
+    """Greedy BFS placement: each tile lands as close as possible to the
+    centroid of its already-placed neighbours."""
+
+    def __init__(self, side: int = GRID_SIDE):
+        self.side = side
+
+    def place(self, graph: Graph) -> Placement:
+        if len(graph.tiles) > self.side * self.side:
+            raise PlanError(
+                f"graph needs {len(graph.tiles)} tiles; the fabric has "
+                f"{self.side * self.side}")
+        placement = Placement()
+        occupied: Dict[Coord, str] = {}
+        # Deterministic order: tiles as added (sources first by
+        # convention), so pipelines snake across the grid.
+        for tile in graph.tiles:
+            target = self._target(tile, placement)
+            coord = self._nearest_free(target, occupied)
+            placement.coords[tile.name] = coord
+            occupied[coord] = tile.name
+        for stream in graph.streams:
+            a = placement.coords[stream.producer.name]
+            b = placement.coords[stream.consumer.name]
+            placement.hops[stream.name] = self._manhattan(a, b)
+        return placement
+
+    # -- helpers ------------------------------------------------------------
+
+    def _target(self, tile: Tile, placement: Placement) -> Coord:
+        """Centroid of placed neighbours; grid centre for the first tile."""
+        neighbours: List[Coord] = []
+        for stream in tile.inputs:
+            producer = stream.producer
+            if producer is not None and producer.name in placement.coords:
+                neighbours.append(placement.coords[producer.name])
+        for stream in tile.outputs:
+            consumer = stream.consumer
+            if consumer is not None and consumer.name in placement.coords:
+                neighbours.append(placement.coords[consumer.name])
+        if not neighbours:
+            return (self.side // 2, self.side // 2)
+        x = sum(c[0] for c in neighbours) // len(neighbours)
+        y = sum(c[1] for c in neighbours) // len(neighbours)
+        return (x, y)
+
+    def _nearest_free(self, target: Coord,
+                      occupied: Dict[Coord, str]) -> Coord:
+        """Spiral outward from ``target`` to the first free cell."""
+        if target not in occupied:
+            return target
+        for radius in range(1, 2 * self.side):
+            for dx in range(-radius, radius + 1):
+                for dy in (-radius + abs(dx), radius - abs(dx)):
+                    c = (target[0] + dx, target[1] + dy)
+                    if (0 <= c[0] < self.side and 0 <= c[1] < self.side
+                            and c not in occupied):
+                        return c
+        raise PlanError("fabric grid full")
+
+    @staticmethod
+    def _manhattan(a: Coord, b: Coord) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def placement_report(graph: Graph, placement: Placement) -> str:
+    """Human-readable placement summary."""
+    lines = [f"placement of {graph.name!r}: {len(placement.coords)} tiles"]
+    lines.append(f"  total wire length: {placement.total_wire_length} hops")
+    lines.append(f"  longest stream: {placement.max_hops} hops")
+    worst = sorted(placement.hops.items(), key=lambda kv: -kv[1])[:3]
+    for name, hops in worst:
+        lines.append(f"    {name}: {hops} hops")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Memory subsystem: banked scratchpads with the sparse reordering pipeline
+(Capstan-derived, §III-B), RMW atomics, and the DRAM/HBM model."""
+
+from repro.memory.scratchpad import (
+    BANKS,
+    CAPACITY_BYTES,
+    CAPACITY_WORDS,
+    Region,
+    ScratchpadMemory,
+)
+from repro.memory.issue_queue import (
+    DEPTH_AUROCHS,
+    DEPTH_CAPSTAN,
+    IssueQueue,
+    Request,
+)
+from repro.memory.allocator import Allocator
+from repro.memory.atomics import cas, exchange, faa, store_conditional_reset
+from repro.memory.spad_tile import SPAD_LATENCY, PortConfig, ScratchpadTile
+from repro.memory.dram import (
+    DRAM_CHANNELS,
+    DRAM_LATENCY,
+    DramMemory,
+    DramTile,
+)
+
+__all__ = [
+    "BANKS", "CAPACITY_BYTES", "CAPACITY_WORDS", "Region", "ScratchpadMemory",
+    "DEPTH_AUROCHS", "DEPTH_CAPSTAN", "IssueQueue", "Request",
+    "Allocator",
+    "cas", "exchange", "faa", "store_conditional_reset",
+    "SPAD_LATENCY", "PortConfig", "ScratchpadTile",
+    "DRAM_CHANNELS", "DRAM_LATENCY", "DramMemory", "DramTile",
+]

@@ -1,0 +1,61 @@
+"""The lane↔bank matching allocator (§II-C, §III-B).
+
+Capstan frames sparse memory scheduling as a matching problem between 16
+vector lanes and 16 SRAM banks: requests in each lane's issue queue bid for
+bank access, and combinational logic finds a maximal lane-bank pairing in a
+single cycle.  Hardware allocators of this kind (separable/wavefront
+allocators) are greedy and approximate a maximum matching; we model that
+with a rotating-priority greedy pass, which matches the throughput
+characteristics the paper relies on without claiming optimality the
+hardware doesn't have either.
+
+At most one request is granted per lane and per bank each cycle.  Losing
+bids are counted as bank conflicts for statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.memory.issue_queue import IssueQueue, Request
+
+
+class Allocator:
+    """Greedy rotating-priority matcher between lanes and banks."""
+
+    def __init__(self, n_banks: int):
+        self.n_banks = n_banks
+        self._rotor = 0  # rotating lane priority for fairness
+
+    def allocate(self, queues: Sequence[IssueQueue],
+                 busy_banks: frozenset = frozenset()
+                 ) -> Tuple[List[Tuple[int, Request]], int, int]:
+        """Match one cycle of bids.
+
+        ``busy_banks`` excludes banks already claimed by a fused port this
+        cycle.  Returns ``(grants, conflicts, considered)`` where grants is
+        a list of ``(lane, request)`` pairs, conflicts counts bids that lost
+        to an occupied bank or lane, and considered is the total number of
+        requests examined.
+        """
+        n_lanes = len(queues)
+        taken_banks: Dict[int, bool] = {b: True for b in busy_banks}
+        grants: List[Tuple[int, Request]] = []
+        conflicts = 0
+        considered = 0
+        for offset in range(n_lanes):
+            lane = (self._rotor + offset) % n_lanes
+            granted_this_lane = False
+            for request in queues[lane].bids():
+                considered += 1
+                if granted_this_lane:
+                    conflicts += 1  # lane port already used this cycle
+                    continue
+                if request.bank in taken_banks:
+                    conflicts += 1  # bank conflict: another lane won
+                    continue
+                taken_banks[request.bank] = True
+                grants.append((lane, request))
+                granted_this_lane = True
+        self._rotor = (self._rotor + 1) % max(1, n_lanes)
+        return grants, conflicts, considered

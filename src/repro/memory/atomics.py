@@ -1,0 +1,71 @@
+"""Read-modify-write atomic operations for scratchpad ports.
+
+Aurochs restricts cross-thread communication to atomic RMW scratchpad
+access (§III-A), which decouples thread execution order entirely.  An RMW
+function has the signature::
+
+    rmw(old_value, record) -> (new_value, result)
+
+where ``old_value`` is the entry's current contents, ``record`` is the
+requesting thread's context, ``new_value`` is written back, and ``result``
+flows to the thread's response record.  This module provides the atomics the
+paper's data structures need: compare-and-swap (lock-free list prepend,
+§IV-A), fetch-and-add (partition slot reservation, §IV-A), and exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+
+def cas(expected_of: Callable, new_of: Callable) -> Callable:
+    """Build a compare-and-swap RMW.
+
+    ``expected_of(record)`` and ``new_of(record)`` extract the compare value
+    and the replacement from the thread context.  The result delivered to
+    the thread is the *old* value, so a downstream filter can test
+    ``old == expected`` to detect success — exactly how fig. 6c's build
+    pipeline recirculates failed threads with the latest head pointer.
+    """
+
+    def rmw(old, record) -> Tuple:
+        if old == expected_of(record):
+            return new_of(record), old
+        return old, old
+
+    return rmw
+
+
+def faa(delta_of: Callable = lambda record: 1) -> Callable:
+    """Build a fetch-and-add RMW; the result is the pre-increment value.
+
+    The hash partitioner (§IV-A) uses FAA on per-partition counters to
+    reserve record slots in the partition's head block.
+    """
+
+    def rmw(old, record) -> Tuple:
+        return old + delta_of(record), old
+
+    return rmw
+
+
+def exchange(new_of: Callable) -> Callable:
+    """Build an unconditional swap; the result is the old value."""
+
+    def rmw(old, record) -> Tuple:
+        return new_of(record), old
+
+    return rmw
+
+
+def store_conditional_reset(value: int = 0) -> Callable:
+    """Reset an entry to ``value``, returning the old contents.
+
+    Used by the partitioner's block-allocation path to reset a partition's
+    in-block count after prepending a fresh block.
+    """
+
+    def rmw(old, record) -> Tuple:
+        return value, old
+
+    return rmw

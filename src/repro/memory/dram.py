@@ -1,0 +1,73 @@
+"""DRAM/HBM model.
+
+The paper's simulator uses Ramulator for cycle-accurate HBM timing; the
+figures, however, depend on three DRAM properties rather than exact DDR
+state machines: (1) high access latency that only thread-level parallelism
+can hide, (2) a channel-parallelism-limited request rate, and (3) the
+dense-vs-sparse traffic split that determines effective bandwidth.  This
+module models exactly those three.
+
+:class:`DramTile` reuses the scratchpad's issue-queue/allocator pipeline
+with DRAM channels standing in for SRAM banks — requests from 16 lanes
+compete for ``DRAM_CHANNELS`` channel slots per cycle, and responses return
+after ``DRAM_LATENCY`` cycles.  Arbitrarily many requests may be in flight
+(HBM's deep per-channel queues), which is what lets Aurochs hide latency by
+keeping thousands of threads live (§III-A).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dataflow.stats import DramStats
+from repro.memory.issue_queue import DEPTH_AUROCHS
+from repro.memory.scratchpad import ScratchpadMemory
+from repro.memory.spad_tile import PortConfig, ScratchpadTile
+
+#: HBM2 pseudo-channel count visible to one tile's DRAM interface.
+DRAM_CHANNELS = 8
+
+#: Round-trip DRAM latency in fabric cycles (≈100 ns at 1 GHz).
+DRAM_LATENCY = 100
+
+#: Modelled HBM capacity in 32-bit words (16 GiB).
+DRAM_CAPACITY_WORDS = (16 * 1024 ** 3) // 4
+
+
+class DramMemory(ScratchpadMemory):
+    """Off-chip memory: same region interface, channel-interleaved."""
+
+    def __init__(self, name: str,
+                 capacity_words: int = DRAM_CAPACITY_WORDS,
+                 channels: int = DRAM_CHANNELS):
+        super().__init__(name, capacity_words, banks=channels)
+
+
+class DramTile(ScratchpadTile):
+    """A DRAM interface tile: scratchpad scheduling, DRAM timing and stats."""
+
+    def __init__(self, name: str, memory: DramMemory,
+                 ports: List[PortConfig],
+                 queue_depth: int = DEPTH_AUROCHS,
+                 latency: int = DRAM_LATENCY):
+        super().__init__(name, memory, ports, queue_depth=queue_depth,
+                         in_order_dequeue=False, latency=latency)
+        self.dram_stats = DramStats()
+        self._last_index = [None] * len(ports)
+
+    def _execute(self, cycle: int, port_idx: int, request) -> None:
+        cfg = self.ports[port_idx].config
+        words = cfg.region.words_per_entry
+        nbytes = words * 4
+        if cfg.mode == "write":
+            self.dram_stats.write_bytes += nbytes
+        else:
+            self.dram_stats.read_bytes += nbytes
+        last = self._last_index[port_idx]
+        if last is not None and abs(request.index - last) <= 1:
+            self.dram_stats.dense_bursts += 1
+        else:
+            self.dram_stats.sparse_bursts += 1
+        self._last_index[port_idx] = request.index
+        self.dram_stats.busy_cycles = cycle
+        super()._execute(cycle, port_idx, request)

@@ -1,0 +1,84 @@
+"""Per-lane issue queues for the sparse reordering pipeline (§III-B).
+
+Each scratchpad port buffers incoming thread vectors in issue queues, one
+queue per vector lane.  The allocator reads *all* queued requests in
+parallel — with 16 lanes and a scheduling depth of eight, up to 128
+requests are considered each cycle — and grants at most one per lane and
+one per bank.
+
+The Aurochs-vs-Capstan distinction this module captures: Capstan dequeues
+vectors in order (granted requests stay, marked done, until the whole head
+vector completes), so a straggler head request blocks the lane.  Aurochs'
+threading model permits full reordering, so granted requests are
+*invalidated immediately*, freeing the slot for a new thread.  That is why
+Aurochs' queues are half as deep (8 vs 16) for the same throughput —
+``benchmarks/bench_reorder_pipeline.py`` reproduces this claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+#: Aurochs' scheduling depth per lane (Capstan uses twice this).
+DEPTH_AUROCHS = 8
+DEPTH_CAPSTAN = 16
+
+
+class Request:
+    """One outstanding scratchpad access owned by a thread record."""
+
+    __slots__ = ("bank", "index", "record", "granted")
+
+    def __init__(self, bank: int, index: int, record):
+        self.bank = bank          # target SRAM bank (registered for readout)
+        self.index = index        # entry index within the region
+        self.record = record      # the full thread context (in register file)
+        self.granted = False      # Capstan mode: completed but not dequeued
+
+    def __repr__(self) -> str:
+        return f"Request(bank={self.bank}, index={self.index})"
+
+
+class IssueQueue:
+    """One lane's request queue.
+
+    ``in_order_dequeue=False`` is Aurochs (invalidate-on-grant);
+    ``True`` is Capstan (grant marks done, slot frees only when the head
+    of the queue has been granted).
+    """
+
+    __slots__ = ("depth", "in_order_dequeue", "slots")
+
+    def __init__(self, depth: int = DEPTH_AUROCHS,
+                 in_order_dequeue: bool = False):
+        self.depth = depth
+        self.in_order_dequeue = in_order_dequeue
+        self.slots: List[Request] = []
+
+    def has_room(self) -> bool:
+        return len(self.slots) < self.depth
+
+    def push(self, request: Request) -> None:
+        assert len(self.slots) < self.depth, "issue queue overflow"
+        self.slots.append(request)
+
+    def bids(self) -> List[Request]:
+        """All requests visible to the allocator this cycle."""
+        return [r for r in self.slots if not r.granted]
+
+    def grant(self, request: Request) -> None:
+        """Mark ``request`` executed and reclaim slots per the dequeue policy."""
+        if self.in_order_dequeue:
+            request.granted = True
+            # Capstan: pop completed requests only from the head, in order.
+            while self.slots and self.slots[0].granted:
+                self.slots.pop(0)
+        else:
+            # Aurochs: invalidate immediately, freeing the slot.
+            self.slots.remove(request)
+
+    def occupancy(self) -> int:
+        return len(self.slots)
+
+    def empty(self) -> bool:
+        return not self.slots

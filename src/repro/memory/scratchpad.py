@@ -1,0 +1,101 @@
+"""Banked SRAM scratchpad storage.
+
+Each Gorgon memory tile is a reconfigurable scratchpad with 256 KiB of SRAM
+split across 16 banks (§II-B).  :class:`ScratchpadMemory` models the storage
+array; the request-scheduling pipeline wrapped around it lives in
+``spad_tile.py``.
+
+Storage is organised as named :class:`Region`\\ s of fixed-width *entries*
+(an entry is ``words_per_entry`` consecutive 32-bit words — e.g. a hash
+node ``(key, payload, next)`` is a 3-word entry).  Entries are interleaved
+across banks so that consecutive entries live in consecutive banks, the
+layout that makes dense streams conflict-free and spreads sparse accesses
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CapacityError
+
+#: SRAM banks per scratchpad tile.
+BANKS = 16
+
+#: Scratchpad capacity in bytes (256 KiB) and 32-bit words.
+CAPACITY_BYTES = 256 * 1024
+CAPACITY_WORDS = CAPACITY_BYTES // 4
+
+
+class Region:
+    """A named array of fixed-width entries inside one scratchpad."""
+
+    __slots__ = ("name", "base_entry", "n_entries", "words_per_entry", "_data")
+
+    def __init__(self, name: str, base_entry: int, n_entries: int,
+                 words_per_entry: int, fill=None):
+        self.name = name
+        self.base_entry = base_entry
+        self.n_entries = n_entries
+        self.words_per_entry = words_per_entry
+        self._data: List = [fill] * n_entries
+
+    def bank_of(self, index: int) -> int:
+        """The SRAM bank holding entry ``index`` (entry-interleaved)."""
+        return (self.base_entry + index) % BANKS
+
+    def __getitem__(self, index: int):
+        return self._data[index]
+
+    def __setitem__(self, index: int, value) -> None:
+        self._data[index] = value
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def words(self) -> int:
+        return self.n_entries * self.words_per_entry
+
+    def snapshot(self) -> list:
+        """Copy of the region contents (for tests and debugging)."""
+        return list(self._data)
+
+
+class ScratchpadMemory:
+    """One memory tile's SRAM: a budget of words carved into regions."""
+
+    def __init__(self, name: str, capacity_words: int = CAPACITY_WORDS,
+                 banks: int = BANKS):
+        self.name = name
+        self.capacity_words = capacity_words
+        self.banks = banks
+        self.regions: Dict[str, Region] = {}
+        self._used_words = 0
+        self._next_entry = 0
+
+    def region(self, name: str, n_entries: int, words_per_entry: int = 1,
+               fill=None) -> Region:
+        """Allocate a region; raises :class:`CapacityError` if SRAM is full."""
+        needed = n_entries * words_per_entry
+        if self._used_words + needed > self.capacity_words:
+            raise CapacityError(
+                f"scratchpad {self.name!r}: region {name!r} needs {needed} "
+                f"words but only {self.capacity_words - self._used_words} free"
+            )
+        if name in self.regions:
+            raise CapacityError(
+                f"scratchpad {self.name!r} already has region {name!r}"
+            )
+        region = Region(name, self._next_entry, n_entries, words_per_entry, fill)
+        self.regions[name] = region
+        self._used_words += needed
+        self._next_entry += n_entries
+        return region
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity_words - self._used_words
+
+    def fits(self, n_entries: int, words_per_entry: int = 1) -> bool:
+        """Would a region of this shape fit in the remaining SRAM?"""
+        return n_entries * words_per_entry <= self.free_words

@@ -1,0 +1,229 @@
+"""The Aurochs scratchpad tile: banked SRAM behind a sparse reordering
+pipeline (§III-B, fig. 2b).
+
+A scratchpad tile services up to two request streams ("ports"), each
+configured as a gather (read), scatter (write), or atomic read-modify-write
+stream.  Requests arrive as thread records; per-lane issue queues buffer
+them, a matching allocator grants at most one request per lane and per bank
+each cycle, and granted requests are invalidated immediately
+(Aurochs' halved-depth queues) or dequeued in order (Capstan mode, for the
+ablation benchmark).
+
+Banks are dual-ported: reads and writes are scheduled independently, and an
+RMW port fuses both — claiming a bank's read and write port in the same
+cycle — with a write→read forwarding path enabling back-to-back RMW to the
+same offset.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.dataflow.record import LANES, Record
+from repro.dataflow.stats import ScratchpadStats
+from repro.dataflow.tile import Packer, Tile
+from repro.dataflow.stream import Stream
+from repro.memory.allocator import Allocator
+from repro.memory.issue_queue import DEPTH_AUROCHS, IssueQueue, Request
+from repro.memory.scratchpad import BANKS, Region, ScratchpadMemory
+
+#: Cycles from grant to response availability (SRAM access + crossbar).
+SPAD_LATENCY = 3
+
+
+@dataclass
+class PortConfig:
+    """Configuration of one scratchpad stream.
+
+    ``addr(record)`` yields the entry index within ``region``.
+    ``combine(record, value)`` builds the response record from the thread
+    context and the loaded/RMW-result value; return ``None`` to kill the
+    thread, or leave ``combine=None`` for response-less scatters.
+    ``value(record)`` supplies the store data for writes.
+    ``rmw(old, record) -> (new, result)`` is the atomic update function.
+    """
+
+    mode: str                                   # 'read' | 'write' | 'rmw'
+    region: Region
+    addr: Callable[[Record], int]
+    combine: Optional[Callable] = None
+    value: Optional[Callable] = None
+    rmw: Optional[Callable] = None
+
+    def __post_init__(self):
+        if self.mode not in ("read", "write", "rmw"):
+            raise GraphError(f"unknown scratchpad port mode {self.mode!r}")
+        if self.mode == "read" and self.combine is None:
+            raise GraphError("read port requires a combine function")
+        if self.mode == "write" and self.value is None:
+            raise GraphError("write port requires a value function")
+        if self.mode == "rmw" and (self.rmw is None or self.combine is None):
+            raise GraphError("rmw port requires rmw and combine functions")
+
+
+class _Port:
+    """Runtime state of one configured port."""
+
+    __slots__ = ("config", "queues", "packer", "input")
+
+    def __init__(self, config: PortConfig, depth: int, in_order: bool):
+        self.config = config
+        self.queues = [IssueQueue(depth, in_order) for _ in range(LANES)]
+        self.packer = Packer(None)
+        self.input: Optional[Stream] = None
+
+    def queues_empty(self) -> bool:
+        return all(q.empty() for q in self.queues)
+
+
+class ScratchpadTile(Tile):
+    """A memory tile executing sparse gathers/scatters/atomics out of order."""
+
+    def __init__(self, name: str, memory: ScratchpadMemory,
+                 ports: List[PortConfig],
+                 queue_depth: int = DEPTH_AUROCHS,
+                 in_order_dequeue: bool = False,
+                 latency: int = SPAD_LATENCY):
+        super().__init__(name)
+        if not 1 <= len(ports) <= 2:
+            raise GraphError("a scratchpad tile services one or two streams")
+        self.memory = memory
+        self.latency = latency
+        self.ports = [_Port(p, queue_depth, in_order_dequeue) for p in ports]
+        self.spad_stats = ScratchpadStats()
+        self._alloc = Allocator(memory.banks)
+        self._delay: deque = deque()   # (ready_cycle, port_idx, record)
+        self._last_rmw: Tuple = ()     # (bank, index) pairs granted last cycle
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach_input(self, stream: Stream) -> None:  # type: ignore[override]
+        idx = len(self.inputs)
+        if idx >= len(self.ports):
+            raise GraphError(f"{self.name}: more input streams than ports")
+        stream.consumer = self
+        self.inputs.append(stream)
+        self.ports[idx].input = stream
+
+    def attach_output(self, stream: Stream, port: int = 0) -> None:  # type: ignore[override]
+        stream.producer = self
+        self.outputs.append(stream)
+        self.ports[port].packer.stream = stream
+
+    # -- simulation -----------------------------------------------------------
+
+    def tick(self, cycle: int) -> bool:
+        moved = self._retire(cycle)
+        accepted = self._enqueue()
+        granted = self._schedule(cycle)
+        moved = moved or accepted or granted
+        force_partial = not granted
+        for port in self.ports:
+            if port.packer.flush(self.stats, force_partial):
+                moved = True
+        if moved:
+            self.stats.busy_cycles += 1
+        else:
+            self.stats.idle_cycles += 1
+        self.maybe_close()
+        return moved
+
+    def _retire(self, cycle: int) -> bool:
+        moved = False
+        while self._delay and self._delay[0][0] <= cycle:
+            __, port_idx, record = self._delay.popleft()
+            self.ports[port_idx].packer.push(record)
+            moved = True
+        return moved
+
+    def _enqueue(self) -> bool:
+        """Move waiting vectors from input streams into per-lane queues."""
+        accepted = False
+        for port in self.ports:
+            stream = port.input
+            if stream is None or not stream.can_pop():
+                continue
+            vector = stream.peek()
+            lanes = range(len(vector))
+            if not all(port.queues[lane].has_room() for lane in lanes):
+                self.spad_stats.queue_full_stalls += 1
+                continue
+            stream.pop()
+            for lane, record in enumerate(vector):
+                index = port.config.addr(record)
+                bank = port.config.region.bank_of(index)
+                port.queues[lane].push(Request(bank, index, record))
+                self.spad_stats.requests += 1
+            accepted = True
+        return accepted
+
+    def _schedule(self, cycle: int) -> bool:
+        """One allocator round per port; RMW fuses read+write bank ports."""
+        busy_read: set = set()
+        busy_write: set = set()
+        rmw_this_cycle: List[Tuple[int, int]] = []
+        any_grant = False
+        # RMW ports first: they claim both bank ports.
+        order = sorted(range(len(self.ports)),
+                       key=lambda i: self.ports[i].config.mode != "rmw")
+        for idx in order:
+            port = self.ports[idx]
+            mode = port.config.mode
+            if mode == "rmw":
+                busy = frozenset(busy_read | busy_write)
+            elif mode == "read":
+                busy = frozenset(busy_read)
+            else:
+                busy = frozenset(busy_write)
+            grants, conflicts, considered = self._alloc.allocate(port.queues, busy)
+            self.spad_stats.bank_conflicts += conflicts
+            self.spad_stats.considered_bids += considered
+            for lane, request in grants:
+                port.queues[lane].grant(request)
+                self._execute(cycle, idx, request)
+                self.spad_stats.grants += 1
+                any_grant = True
+                if mode == "rmw":
+                    busy_read.add(request.bank)
+                    busy_write.add(request.bank)
+                    key = (request.bank, request.index)
+                    if key in self._last_rmw:
+                        self.spad_stats.rmw_forwards += 1
+                    rmw_this_cycle.append(key)
+                elif mode == "read":
+                    busy_read.add(request.bank)
+                else:
+                    busy_write.add(request.bank)
+        self._last_rmw = tuple(rmw_this_cycle)
+        if any_grant:
+            self.spad_stats.active_cycles += 1
+        return any_grant
+
+    def _execute(self, cycle: int, port_idx: int, request: Request) -> None:
+        port = self.ports[port_idx]
+        cfg = port.config
+        region = cfg.region
+        record = request.record
+        if cfg.mode == "read":
+            result = region[request.index]
+        elif cfg.mode == "write":
+            region[request.index] = cfg.value(record)
+            result = None
+        else:  # rmw
+            old = region[request.index]
+            new, result = cfg.rmw(old, record)
+            region[request.index] = new
+        if cfg.combine is not None:
+            response = cfg.combine(record, result)
+            if response is not None:
+                self._delay.append((cycle + self.latency, port_idx, response))
+
+    # -- engine protocol -------------------------------------------------------
+
+    def idle(self) -> bool:
+        return (not self._delay
+                and all(p.queues_empty() and p.packer.empty()
+                        for p in self.ports))

@@ -1,0 +1,9 @@
+"""Shallow in-database ML models used by the benchmark queries (§V-B):
+linear regression (SYN.PREDICT), logistic regression (LOG.REG.PREDICT),
+and k-means inference (KMEANS_INFER)."""
+
+from repro.ml.linreg import LinearRegression
+from repro.ml.logreg import LogisticRegression
+from repro.ml.kmeans import KMeans
+
+__all__ = ["LinearRegression", "LogisticRegression", "KMeans"]

@@ -1,0 +1,55 @@
+"""K-means: ``KMEANS_INFER`` in the benchmark queries (Q8).
+
+Inference assigns a feature vector to its nearest centroid — a dense
+distance computation that maps to Gorgon's vector tiles.  Lloyd's
+algorithm trains centroids for the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class KMeans:
+    """Nearest-centroid model with Lloyd's-algorithm training."""
+
+    def __init__(self, centroids: Sequence[Sequence[float]]):
+        self.centroids = np.asarray(centroids, dtype=float)
+        if self.centroids.ndim != 2:
+            raise ValueError("centroids must be a 2-D array")
+
+    @classmethod
+    def fit(cls, X: Sequence[Sequence[float]], k: int,
+            iters: int = 50, seed: int = 0) -> "KMeans":
+        Xa = np.asarray(X, dtype=float)
+        rng = np.random.default_rng(seed)
+        centroids = Xa[rng.choice(len(Xa), size=k, replace=False)].copy()
+        for __ in range(iters):
+            assign = cls(centroids).predict_batch(Xa)
+            new = np.array([
+                Xa[assign == c].mean(axis=0) if np.any(assign == c)
+                else centroids[c]
+                for c in range(k)
+            ])
+            if np.allclose(new, centroids):
+                break
+            centroids = new
+        return cls(centroids)
+
+    @property
+    def k(self) -> int:
+        return len(self.centroids)
+
+    def predict(self, x: Sequence[float]) -> int:
+        """Index of the nearest centroid."""
+        d = np.linalg.norm(self.centroids - np.asarray(x, dtype=float),
+                           axis=1)
+        return int(np.argmin(d))
+
+    def predict_batch(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        Xa = np.asarray(X, dtype=float)
+        d = np.linalg.norm(Xa[:, None, :] - self.centroids[None, :, :],
+                           axis=2)
+        return np.argmin(d, axis=1)

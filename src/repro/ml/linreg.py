@@ -1,0 +1,45 @@
+"""Linear regression: the shallow predictive model behind ``SYN.PREDICT``.
+
+The benchmark queries feed windowed aggregate features into shallow models
+(§V-B: "analytics ... often uses shallow ML models to identify latent
+variables with low latency").  Gorgon executes these as dense vector
+pipelines; here the model is a NumPy dot product with a least-squares
+trainer for the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class LinearRegression:
+    """y = w·x + b, trained by ordinary least squares."""
+
+    def __init__(self, weights: Sequence[float], bias: float = 0.0):
+        self.weights = np.asarray(weights, dtype=float)
+        self.bias = float(bias)
+
+    @classmethod
+    def fit(cls, X: Sequence[Sequence[float]], y: Sequence[float]
+            ) -> "LinearRegression":
+        """Least-squares fit with an intercept column."""
+        Xa = np.asarray(X, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        A = np.hstack([Xa, np.ones((len(Xa), 1))])
+        coef, *__ = np.linalg.lstsq(A, ya, rcond=None)
+        return cls(coef[:-1], coef[-1])
+
+    def predict(self, x: Sequence[float]) -> float:
+        """Predict one feature vector."""
+        return float(np.dot(self.weights, np.asarray(x, dtype=float))
+                     + self.bias)
+
+    def predict_batch(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predict a feature matrix (vectorized tile pipeline analogue)."""
+        return np.asarray(X, dtype=float) @ self.weights + self.bias
+
+    @property
+    def n_features(self) -> int:
+        return len(self.weights)

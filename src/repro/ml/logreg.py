@@ -1,0 +1,45 @@
+"""Logistic regression: ``LOG.REG.PREDICT`` in the benchmark queries (Q7)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+
+class LogisticRegression:
+    """P(y=1|x) = sigmoid(w·x + b), trained by batch gradient descent."""
+
+    def __init__(self, weights: Sequence[float], bias: float = 0.0):
+        self.weights = np.asarray(weights, dtype=float)
+        self.bias = float(bias)
+
+    @classmethod
+    def fit(cls, X: Sequence[Sequence[float]], y: Sequence[int],
+            lr: float = 0.1, epochs: int = 200) -> "LogisticRegression":
+        Xa = np.asarray(X, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        w = np.zeros(Xa.shape[1])
+        b = 0.0
+        n = len(Xa)
+        for __ in range(epochs):
+            p = _sigmoid(Xa @ w + b)
+            grad_w = Xa.T @ (p - ya) / n
+            grad_b = float(np.mean(p - ya))
+            w -= lr * grad_w
+            b -= lr * grad_b
+        return cls(w, b)
+
+    def predict_proba(self, x: Sequence[float]) -> float:
+        return float(_sigmoid(np.atleast_1d(
+            np.dot(self.weights, np.asarray(x, dtype=float)) + self.bias))[0])
+
+    def predict(self, x: Sequence[float]) -> int:
+        return int(self.predict_proba(x) >= 0.5)
+
+    def predict_batch(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        return _sigmoid(np.asarray(X, dtype=float) @ self.weights + self.bias)

@@ -1,0 +1,34 @@
+"""Performance models: the analytical cost model (validated against the
+cycle engine), kernel event composers for the scaling figures, the area
+overhead accounting (fig. 10), and the energy estimator (fig. 14)."""
+
+from repro.perf.params import AUROCHS, CPU, GORGON, GPU, FabricParams
+from repro.perf.cost_model import (
+    BANK_CONFLICT_FACTOR,
+    BURST_BYTES,
+    CostBreakdown,
+    CostModel,
+)
+from repro.perf.area import (
+    area_breakdown,
+    chip_overhead_pct,
+    scratchpad_overhead_pct,
+)
+from repro.perf.area import report as area_report
+from repro.perf.energy import energy_joules, platform_power
+from repro.perf import figures, kernels
+from repro.perf.calibration import (
+    CalibrationPoint,
+    calibrate_hash_build,
+    calibrate_hash_probe,
+)
+
+__all__ = [
+    "AUROCHS", "CPU", "GORGON", "GPU", "FabricParams",
+    "BANK_CONFLICT_FACTOR", "BURST_BYTES", "CostBreakdown", "CostModel",
+    "area_breakdown", "chip_overhead_pct", "scratchpad_overhead_pct",
+    "area_report",
+    "energy_joules", "platform_power",
+    "figures", "kernels",
+    "CalibrationPoint", "calibrate_hash_build", "calibrate_hash_probe",
+]

@@ -1,0 +1,77 @@
+"""Analytical-model validation against the cycle-level engine (§V-B).
+
+The paper validates its analytical projection "against smaller cycle-level
+simulations"; this module does the same: it runs a kernel's dataflow graph
+through the cycle engine at small sizes, prices the identical workload
+with the analytical model, and reports the cycle ratio.  Tests assert the
+ratio stays within a band; the figure benches print it alongside the
+projected points.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.dataflow import run_graph
+from repro.perf.cost_model import CostModel
+from repro.perf.kernels import hash_build_events, hash_probe_events
+from repro.structures.hashtable import HashTableDataflow
+
+
+@dataclass
+class CalibrationPoint:
+    """One size's cycle-sim vs analytical comparison."""
+
+    kernel: str
+    n: int
+    simulated_cycles: int
+    model_cycles: float
+
+    @property
+    def ratio(self) -> float:
+        return self.simulated_cycles / self.model_cycles if self.model_cycles else 0.0
+
+
+def calibrate_hash_build(sizes: List[int], seed: int = 11
+                         ) -> List[CalibrationPoint]:
+    """Cycle-simulate hash builds and compare to the analytical model."""
+    rng = random.Random(seed)
+    model = CostModel(parallel_streams=1)
+    points = []
+    for n in sizes:
+        ht = HashTableDataflow(n_buckets=max(16, n), spad_node_capacity=2 * n)
+        pairs = [(rng.randrange(4 * n), i) for i in range(n)]
+        stats = run_graph(ht.build_graph(pairs))
+        analytic = model.event_cycles(hash_build_events(n)).cycles
+        points.append(CalibrationPoint("hash_build", n, stats.cycles,
+                                       analytic))
+    return points
+
+
+def calibrate_hash_probe(sizes: List[int], seed: int = 13
+                         ) -> List[CalibrationPoint]:
+    """Cycle-simulate hash probes and compare to the analytical model."""
+    rng = random.Random(seed)
+    model = CostModel(parallel_streams=1)
+    points = []
+    for n in sizes:
+        ht = HashTableDataflow(n_buckets=max(16, n), spad_node_capacity=2 * n)
+        ht.load([(rng.randrange(n), i) for i in range(n)])
+        queries = [(q, rng.randrange(2 * n)) for q in range(n)]
+        stats = run_graph(ht.probe_graph(queries, emit_all=False))
+        analytic = model.event_cycles(hash_probe_events(n)).cycles
+        points.append(CalibrationPoint("hash_probe", n, stats.cycles,
+                                       analytic))
+    return points
+
+
+def report(points: List[CalibrationPoint]) -> str:
+    lines = ["calibration (cycle sim vs analytical model):"]
+    for p in points:
+        lines.append(
+            f"  {p.kernel} n={p.n}: sim={p.simulated_cycles} "
+            f"model={p.model_cycles:.0f} ratio={p.ratio:.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Analytical cost model: hardware events → Aurochs cycles → seconds.
+
+The paper's method (§V-B): "Cycle-accurate simulation imposes practical
+limits on table sizes, so we project performance at larger datasets using
+an analytical model validated against smaller cycle-level simulations."
+This module is that analytical model; ``repro.perf.calibration`` performs
+the validation against the cycle engine.
+
+An operator's cycles are the max of three pressure terms (tiles pipeline,
+so the slowest resource bounds throughput):
+
+* compute — records processed through 16-lane vector tiles, divided by the
+  operator's stream-level parallelization (fig. 12's knob);
+* scratchpad — SRAM accesses and RMW atomics at ≤ banks/cycle per tile,
+  inflated by an expected bank-conflict factor for random addresses;
+* DRAM — dense bytes at full bandwidth, sparse accesses at one DRAM burst
+  (64 B) each regardless of useful payload.
+
+Operators execute back-to-back (materialized between stages), so a query's
+cycles are the sum over its trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.db.context import ExecutionContext, OpTrace
+from repro.perf.params import AUROCHS, FabricParams
+from repro.structures.common import StructureEvents
+
+#: DRAM burst granularity: sparse requests pay a full burst.
+BURST_BYTES = 64
+
+#: Expected allocator rounds per access for uniformly random bank targets
+#: (balls-into-bins expansion: with 16 lanes bidding 16 banks and depth-8
+#: reordering, measured conflict overhead is ~1.25x; see calibration).
+BANK_CONFLICT_FACTOR = 1.25
+
+
+@dataclass
+class CostBreakdown:
+    """Cycles per pressure term for one operator or a whole query."""
+
+    compute_cycles: float = 0.0
+    spad_cycles: float = 0.0
+    dram_cycles: float = 0.0
+
+    @property
+    def cycles(self) -> float:
+        return max(self.compute_cycles, self.spad_cycles, self.dram_cycles)
+
+    @property
+    def bound(self) -> str:
+        """Which resource limits this stage ('compute'|'spad'|'dram')."""
+        terms = {"compute": self.compute_cycles, "spad": self.spad_cycles,
+                 "dram": self.dram_cycles}
+        return max(terms, key=terms.get)
+
+
+#: Cycles of fixed overhead per operator stage: pipeline fill/drain across
+#: the tile graph plus inter-stage materialization turnaround.
+STAGE_OVERHEAD_CYCLES = 1000
+
+
+class CostModel:
+    """Prices event traces on a fabric configuration."""
+
+    def __init__(self, fabric: FabricParams = AUROCHS,
+                 parallel_streams: int = 4,
+                 stage_overhead_cycles: int = STAGE_OVERHEAD_CYCLES):
+        if parallel_streams < 1:
+            raise ValueError("parallel_streams must be >= 1")
+        self.fabric = fabric
+        self.parallel_streams = parallel_streams
+        self.stage_overhead_cycles = stage_overhead_cycles
+
+    # -- per-event-set pricing ----------------------------------------------
+
+    def event_cycles(self, events: StructureEvents,
+                     rows: int = 0) -> CostBreakdown:
+        """Price one operator's events into a cycle breakdown."""
+        f = self.fabric
+        p = self.parallel_streams
+        records = max(events.records_processed, rows)
+        compute = records / (f.lanes * p)
+
+        spad_accesses = (events.spad_reads + events.spad_writes
+                         + events.rmw_ops + events.rmw_retries)
+        # Each parallel stream owns its scratchpad tile; banks serve up to
+        # `banks` accesses/cycle, degraded by expected conflicts.
+        spad = spad_accesses * BANK_CONFLICT_FACTOR / (f.banks * p)
+
+        sparse_cost = events.dram_sparse_accesses * BURST_BYTES
+        payload = events.dram_read_bytes + events.dram_write_bytes
+        # Sparse accesses waste the rest of their burst; dense traffic
+        # streams at full bandwidth.  DRAM is shared across streams.
+        effective_bytes = max(payload, sparse_cost)
+        dram = effective_bytes / f.bytes_per_cycle
+        return CostBreakdown(compute, spad, dram)
+
+    # -- trace pricing ----------------------------------------------------------
+
+    def trace_cycles(self, traces: Iterable[OpTrace]) -> float:
+        """Total cycles of a query's operator trace (sequential stages)."""
+        total = 0.0
+        for t in traces:
+            total += (self.event_cycles(t.events, rows=t.rows_in).cycles
+                      + self.stage_overhead_cycles)
+        return total
+
+    def query_runtime(self, ctx: ExecutionContext) -> float:
+        """Seconds for a traced query execution."""
+        return self.trace_cycles(ctx.traces) / self.fabric.clock_hz
+
+    def query_breakdown(self, ctx: ExecutionContext):
+        """Per-operator (trace, breakdown) pairs — which resource bounds
+        each stage, for roofline-style analysis of a query."""
+        return [(t, self.event_cycles(t.events, rows=t.rows_in))
+                for t in ctx.traces]
+
+    def runtime_seconds(self, events: StructureEvents, rows: int = 0) -> float:
+        """Seconds for a single event set."""
+        return self.event_cycles(events, rows).cycles / self.fabric.clock_hz
+
+    # -- resource saturation (fig. 12) ----------------------------------------------
+
+    def throughput_bytes_per_s(self, events: StructureEvents,
+                               input_bytes: int) -> float:
+        """Input bytes processed per second at this parallelization."""
+        seconds = self.runtime_seconds(events)
+        return input_bytes / seconds if seconds > 0 else float("inf")

@@ -1,0 +1,26 @@
+"""Energy model (fig. 14's right half).
+
+The paper estimates energy "by multiplying runtime with design power"; we
+do exactly the same, with platform powers from ``repro.perf.params``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.params import AUROCHS, CPU, GPU, CpuParams, FabricParams, GpuParams
+
+
+def energy_joules(runtime_s: float, power_w: float) -> float:
+    """Runtime × design power — the paper's estimator."""
+    if runtime_s < 0:
+        raise ValueError("runtime must be non-negative")
+    return runtime_s * power_w
+
+
+def platform_power(platform: str) -> float:
+    """Design power for 'aurochs' | 'gorgon' | 'cpu' | 'gpu'."""
+    return {
+        "aurochs": AUROCHS.power_w,
+        "gorgon": AUROCHS.power_w,
+        "cpu": CPU.power_w,
+        "gpu": GPU.power_w,
+    }[platform]

@@ -1,0 +1,157 @@
+"""Programmatic figure series: every evaluation figure as a function.
+
+The benchmarks print and assert these; this module is the library API so
+downstream users can regenerate any figure's data without pytest — e.g.::
+
+    from repro.perf import figures
+    series = figures.fig11a_join_scaling()
+    print(series["aurochs"])   # seconds per table size
+
+Functions return plain dicts/lists of numbers, never formatted text.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf.cost_model import CostModel
+from repro.perf.kernels import (
+    gorgon_nlj_spatial_events,
+    gorgon_spatial_events,
+    hash_build_events,
+    hash_join_events,
+    hash_probe_events,
+    partition_events,
+    rtree_join_events,
+    sort_merge_join_events,
+)
+from repro.perf.params import CPU, GPU
+
+#: Default table sizes for the fig. 11 sweeps.
+FIG11_SIZES = (10 ** 4, 10 ** 5, 10 ** 6, 10 ** 7, 10 ** 8)
+
+#: Default parallelization for the "fully unrolled" Aurochs columns.
+DEFAULT_STREAMS = 16
+
+
+def fig11a_join_scaling(sizes: Sequence[int] = FIG11_SIZES,
+                        streams: int = DEFAULT_STREAMS
+                        ) -> Dict[str, List[float]]:
+    """Equi-join runtime (s) per platform, per table size (fig. 11a)."""
+    model = CostModel(parallel_streams=streams)
+    out: Dict[str, List[float]] = {
+        "sizes": list(sizes), "aurochs": [], "gorgon": [], "cpu": [],
+        "gpu": [],
+    }
+    for n in sizes:
+        out["aurochs"].append(
+            model.runtime_seconds(hash_join_events(n, n)))
+        out["gorgon"].append(
+            model.runtime_seconds(sort_merge_join_events(n, n)))
+        rows = 2 * n
+        out["cpu"].append(max(
+            rows / (CPU.cores * CPU.hash_join_rows_per_s),
+            rows * 8 / CPU.dram_bw_bytes))
+        out["gpu"].append(rows * 8 / GPU.join_bytes_per_s)
+    return out
+
+
+def fig11b_spatial_scaling(sizes: Sequence[int] = FIG11_SIZES,
+                           n_fixed: int = 10 ** 5,
+                           streams: int = DEFAULT_STREAMS
+                           ) -> Dict[str, List[float]]:
+    """Spatial join runtime (s) per platform (fig. 11b)."""
+    model = CostModel(parallel_streams=streams)
+    out: Dict[str, List[float]] = {
+        "sizes": list(sizes), "aurochs": [], "gorgon_sort": [],
+        "gorgon_nlj": [], "cpu": [], "gpu": [],
+    }
+    for n in sizes:
+        out["aurochs"].append(
+            model.runtime_seconds(rtree_join_events(n_fixed, n)))
+        out["gorgon_sort"].append(
+            model.runtime_seconds(gorgon_spatial_events(n_fixed, n)))
+        out["gorgon_nlj"].append(
+            model.runtime_seconds(gorgon_nlj_spatial_events(n_fixed, n)))
+        probes = n * max(1.0, math.log2(n_fixed) / 8.0)
+        out["cpu"].append(probes / (CPU.cores * CPU.spatial_pair_per_s))
+        out["gpu"].append(n_fixed * n / GPU.spatial_pair_per_s)
+    return out
+
+
+def fig12_parallel_scaling(n: int = 10 ** 7,
+                           streams: Sequence[int] = (1, 2, 4, 8, 16, 32)
+                           ) -> Dict[str, List[float]]:
+    """Kernel throughput (B/s) per stream-parallelism level (fig. 12)."""
+    kernels = {
+        "hash_join": (hash_join_events(n, n), 2 * n * 8),
+        "hash_build": (hash_build_events(n), n * 8),
+        "hash_probe": (hash_probe_events(n), n * 8),
+        "partition": (partition_events(n), n * 8),
+        "sort_merge_join": (sort_merge_join_events(n, n), 2 * n * 8),
+    }
+    out: Dict[str, List[float]] = {"streams": list(streams)}
+    for name, (ev, nbytes) in kernels.items():
+        out[name] = [
+            CostModel(parallel_streams=p).throughput_bytes_per_s(ev, nbytes)
+            for p in streams
+        ]
+    return out
+
+
+def warp_efficiency(n: int = 1 << 14, hit_rate: float = 0.8,
+                    seed: int = 77) -> Dict[str, float]:
+    """§III-A's SIMT profile: build/probe warp efficiency + barrier view."""
+    from repro.baselines.gpu_simt import SimtHashJoin
+    rng = random.Random(seed)
+    table = [rng.randrange(1 << 30) for __ in range(n)]
+    probes = [rng.choice(table) if rng.random() < hit_rate
+              else rng.randrange(1 << 30) for __ in range(n)]
+    sim = SimtHashJoin()
+    barrier = SimtHashJoin(block_barrier=True)
+    return {
+        "build": sim.build(table, n).warp_efficiency,
+        "probe": sim.probe(probes, table, n).warp_efficiency,
+        "probe_with_barrier": barrier.probe(probes, table, n).warp_efficiency,
+    }
+
+
+def fig14_queries(data=None, streams: int = DEFAULT_STREAMS
+                  ) -> Dict[str, Dict[str, float]]:
+    """Per-query runtime (s) on Aurochs/CPU/GPU (fig. 14's left half).
+
+    Pass a generated :class:`~repro.workloads.rideshare.RideshareData`;
+    defaults to a small configuration suitable for tests.
+    """
+    from repro.baselines import CpuModel, GpuModel
+    from repro.db import ExecutionContext
+    from repro.workloads import QUERIES, RideshareConfig, generate, run_query
+
+    if data is None:
+        data = generate(RideshareConfig())
+    aurochs = CostModel(parallel_streams=streams)
+    cpu, gpu = CpuModel(), GpuModel()
+    out: Dict[str, Dict[str, float]] = {}
+    for name in QUERIES:
+        ctx = ExecutionContext()
+        run_query(name, data, ctx)
+        out[name] = {
+            "aurochs": aurochs.query_runtime(ctx),
+            "cpu": cpu.query_runtime(ctx),
+            "gpu": gpu.query_runtime(ctx),
+        }
+    return out
+
+
+def geomean_speedups(queries: Dict[str, Dict[str, float]]
+                     ) -> Dict[str, float]:
+    """Aggregate fig. 14 speedups from :func:`fig14_queries` output."""
+    import statistics
+    vs_cpu = [q["cpu"] / q["aurochs"] for q in queries.values()]
+    vs_gpu = [q["gpu"] / q["aurochs"] for q in queries.values()]
+    return {
+        "vs_cpu": statistics.geometric_mean(vs_cpu),
+        "vs_gpu": statistics.geometric_mean(vs_gpu),
+    }

@@ -1,0 +1,168 @@
+"""Analytical kernel event composers for the scaling figures.
+
+Fig. 11 scales tables to 100M rows — far beyond what a Python
+cycle-level (or even functional) execution can touch — so, exactly like
+the paper, the large-size points come from an analytical model: these
+functions compose the :class:`~repro.structures.common.StructureEvents`
+each kernel *would* generate, with coefficients matching the functional
+implementations (tests validate the two against each other at small n).
+
+All kernels assume 8-byte tuples (the paper's fig. 11 workload).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.structures.btree import LEAF_WORDS, SUMMARY_WORDS
+from repro.structures.hashtable import NODE_WORDS
+from repro.structures.rtree import CHILD_WORDS
+from repro.db.operators.sortutil import charge_sort
+from repro.structures.common import StructureEvents
+
+#: fig. 11's tuple size.
+ROW_BYTES = 8
+
+#: Expected nodes visited per probe at load factor 1 (1 + alpha/2).
+EXPECTED_CHAIN = 1.5
+
+
+def hash_join_events(n_left: int, n_right: int,
+                     row_bytes: int = ROW_BYTES) -> StructureEvents:
+    """Radix-partitioned hash join: O(n) in both table sizes (§IV-A)."""
+    ev = StructureEvents()
+    n = n_left + n_right
+    # Phase 1 — partition to DRAM: hash map, FAA slot reservation, sparse
+    # scatter out, dense block read-back.
+    ev.rmw_ops += n
+    ev.dram_write_bytes += n * row_bytes
+    ev.dram_sparse_accesses += n
+    ev.dram_read_bytes += n * row_bytes
+    ev.dram_dense_accesses += max(1, n * row_bytes // 64)
+    # Phase 2 — on-chip build (CAS prepend) and probe (chain walk).
+    ev.spad_reads += n_right                      # head read on insert
+    ev.spad_writes += n_right * NODE_WORDS        # node scatter
+    ev.rmw_ops += n_right                         # CAS prepend
+    ev.spad_reads += int(n_left * (1 + EXPECTED_CHAIN * NODE_WORDS))
+    ev.records_processed += 2 * n                 # both phases stream all rows
+    return ev
+
+
+def sort_merge_join_events(n_left: int, n_right: int,
+                           row_bytes: int = ROW_BYTES) -> StructureEvents:
+    """Gorgon's sort-merge join: O(n log n) in DRAM passes (§II-A)."""
+    ev = StructureEvents()
+    charge_sort(ev, n_left, row_bytes)
+    charge_sort(ev, n_right, row_bytes)
+    merge_bytes = (n_left + n_right) * row_bytes
+    ev.dram_read_bytes += merge_bytes
+    ev.dram_dense_accesses += max(1, merge_bytes // 64)
+    ev.records_processed += n_left + n_right
+    return ev
+
+
+def hash_build_events(n_rows: int) -> StructureEvents:
+    """On-chip hash table build alone (fig. 12's build kernel)."""
+    ev = StructureEvents()
+    ev.dram_read_bytes += n_rows * ROW_BYTES
+    ev.dram_dense_accesses += max(1, n_rows * ROW_BYTES // 64)
+    ev.spad_reads += n_rows
+    ev.spad_writes += n_rows * NODE_WORDS
+    ev.rmw_ops += n_rows
+    ev.records_processed += n_rows
+    return ev
+
+
+def hash_probe_events(n_probes: int) -> StructureEvents:
+    """On-chip hash probe alone (fig. 12's probe kernel)."""
+    ev = StructureEvents()
+    ev.dram_read_bytes += n_probes * ROW_BYTES
+    ev.dram_dense_accesses += max(1, n_probes * ROW_BYTES // 64)
+    ev.spad_reads += int(n_probes * (1 + EXPECTED_CHAIN * NODE_WORDS))
+    ev.records_processed += n_probes
+    return ev
+
+
+def partition_events(n_rows: int, row_bytes: int = ROW_BYTES
+                     ) -> StructureEvents:
+    """Radix partitioning alone (fig. 12's partition kernel)."""
+    ev = StructureEvents()
+    ev.rmw_ops += n_rows
+    ev.dram_write_bytes += n_rows * row_bytes
+    ev.dram_sparse_accesses += n_rows
+    ev.dram_read_bytes += n_rows * row_bytes   # stream the input in
+    ev.dram_dense_accesses += max(1, n_rows * row_bytes // 64)
+    ev.records_processed += n_rows
+    return ev
+
+
+def btree_probe_events(n_queries: int, n_rows: int,
+                       fanout: int = 16) -> StructureEvents:
+    """Index probes: O(log n) node gathers per query (§IV-B)."""
+    ev = StructureEvents()
+    height = max(1, math.ceil(math.log(max(2, n_rows), fanout)))
+    ev.dram_sparse_accesses += n_queries * height
+    ev.dram_read_bytes += n_queries * height * fanout * SUMMARY_WORDS * 4
+    ev.dram_read_bytes += n_queries * fanout * LEAF_WORDS * 4
+    ev.dram_dense_accesses += n_queries
+    ev.records_processed += n_queries * height
+    return ev
+
+
+def table_scan_events(n_rows: int, row_bytes: int = ROW_BYTES
+                      ) -> StructureEvents:
+    """Brute-force scan: the index-less baseline for range queries."""
+    ev = StructureEvents()
+    ev.dram_read_bytes += n_rows * row_bytes
+    ev.dram_dense_accesses += max(1, n_rows * row_bytes // 64)
+    ev.records_processed += n_rows
+    return ev
+
+
+def rtree_join_events(n_indexed: int, n_probes: int,
+                      fanout: int = 16,
+                      hits_per_probe: float = 2.0) -> StructureEvents:
+    """Spatial join as streamed index probes: O(m log n) total (§IV-C).
+
+    The fixed side's R-tree upper levels are cached in scratchpads and the
+    probe stream is Z-sorted, so consecutive probes share leaf blocks:
+    node tests are vectorized compute, DRAM sees both tables streamed
+    densely plus the (small) index once.
+    """
+    ev = StructureEvents()
+    height = max(1, math.ceil(math.log(max(2, n_indexed), fanout)))
+    per_probe_nodes = height + hits_per_probe
+    # Vectorized bounding-box tests while descending / emitting hits.
+    ev.records_processed += int(n_probes * per_probe_nodes)
+    ev.spad_reads += int(n_probes * height)     # cached node accesses
+    # Stream the probe table in and the index's leaf level once.
+    ev.dram_read_bytes += n_probes * ROW_BYTES
+    ev.dram_read_bytes += n_indexed * CHILD_WORDS * 4
+    ev.dram_dense_accesses += max(
+        1, (n_probes * ROW_BYTES + n_indexed * CHILD_WORDS * 4) // 64)
+    return ev
+
+
+def gorgon_spatial_events(n_fixed: int, n_scaled: int,
+                          row_bytes: int = ROW_BYTES) -> StructureEvents:
+    """Gorgon's spatial strategy: presort the scaled table (O(n log n)),
+    then merge-scan it against the fixed table (fig. 11b's baseline)."""
+    ev = StructureEvents()
+    charge_sort(ev, n_scaled, row_bytes)
+    scan_bytes = (n_scaled + n_fixed) * row_bytes
+    ev.dram_read_bytes += scan_bytes
+    ev.dram_dense_accesses += max(1, scan_bytes // 64)
+    ev.records_processed += n_scaled + n_fixed
+    return ev
+
+
+def gorgon_nlj_spatial_events(n_fixed: int, n_scaled: int
+                              ) -> StructureEvents:
+    """Gorgon without any index: all-to-all comparisons (the paper calls
+    this "impractical for real-world datasets")."""
+    ev = StructureEvents()
+    pairs = n_fixed * n_scaled
+    ev.records_processed += pairs
+    ev.dram_read_bytes += n_scaled * ROW_BYTES
+    ev.dram_dense_accesses += max(1, n_scaled * ROW_BYTES // 64)
+    return ev

@@ -1,0 +1,55 @@
+"""The paper's §IV data-structure formulations: hash tables, radix
+partitioning, immutable B-trees, LSM trees, and Z-order packed R-trees —
+each in a functional form (with hardware-event accounting) and, where the
+paper gives a dataflow mapping, a cycle-simulated tile-graph form."""
+
+from repro.structures.common import NULL, StructureEvents
+from repro.structures.hashing import bucket_of, hash32, is_power_of_two, radix_of
+from repro.structures.hashtable import (
+    NODE_WORDS,
+    ChainedHashTable,
+    HashTableDataflow,
+)
+from repro.structures.partition import (
+    DEFAULT_BLOCK_SIZE,
+    PartitionerDataflow,
+    RadixPartitioner,
+)
+from repro.structures.btree import (
+    DEFAULT_FANOUT,
+    BTreeDataflow,
+    ImmutableBTree,
+)
+from repro.structures.lsm import LsmTree
+from repro.structures.spill import SpillTile, split_window
+from repro.structures.sort import TiledMergeSort, external_sort
+from repro.structures.zorder import COORD_BITS, COORD_MAX, z_decode, z_encode
+from repro.structures.rtree import (
+    PackedRTree,
+    Rect,
+    RTreeDataflow,
+    center,
+    contains,
+    euclidean,
+    expand,
+    intersects,
+    point_rect,
+    rect,
+    spatial_join,
+    union,
+)
+
+__all__ = [
+    "NULL", "StructureEvents",
+    "bucket_of", "hash32", "is_power_of_two", "radix_of",
+    "NODE_WORDS", "ChainedHashTable", "HashTableDataflow",
+    "DEFAULT_BLOCK_SIZE", "PartitionerDataflow", "RadixPartitioner",
+    "DEFAULT_FANOUT", "BTreeDataflow", "ImmutableBTree",
+    "LsmTree",
+    "SpillTile", "split_window",
+    "TiledMergeSort", "external_sort",
+    "COORD_BITS", "COORD_MAX", "z_decode", "z_encode",
+    "PackedRTree", "Rect", "RTreeDataflow", "center", "contains",
+    "euclidean", "expand", "intersects", "point_rect", "rect",
+    "spatial_join", "union",
+]

@@ -1,0 +1,275 @@
+"""Immutable bulk-loaded B-trees (§IV-B, figs. 6b and 8).
+
+Aurochs sidesteps tree rebalancing entirely: each tree is built once, into
+a flat array, by sorting the leaves in O(n log n) and constructing the
+internal levels bottom-up in linear time.  Internal nodes are blocks of up
+to ``fanout`` child summaries ``(min_key, max_key, child)`` — the block
+size masks DRAM latency when a search thread gathers a node.
+
+Search is the paper's fork-based traversal: a thread holding ``(lo, hi)``
+loads a node and *forks* one child thread per child whose key range
+intersects the query — walking multiple search paths simultaneously.  For
+a point query exactly one child matches and the fork degenerates to a
+pointer chase.
+
+:class:`ImmutableBTree` is the functional form (used by the LSM tree and
+the analytical model); :class:`BTreeDataflow` lowers search onto the
+cycle-simulated fabric with all node blocks in DRAM.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.dataflow import (
+    FilterTile,
+    ForkTile,
+    Graph,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.memory import DramMemory, DramTile, PortConfig
+from repro.structures.common import StructureEvents
+
+#: Default node fanout: one vector's worth of child summaries.
+DEFAULT_FANOUT = 16
+
+#: Words per internal child summary (min_key, max_key, child_index).
+SUMMARY_WORDS = 3
+
+#: Words per leaf entry (key, value).
+LEAF_WORDS = 2
+
+
+class ImmutableBTree:
+    """A bulk-loaded, read-only B-tree over integer keys.
+
+    Internal representation: ``leaves`` is the sorted ``(key, value)``
+    array.  ``levels[0]`` holds one summary ``(min, max, block_index)`` per
+    leaf block of ``fanout`` entries; ``levels[i]`` holds one summary per
+    group of ``fanout`` level ``i-1`` summaries (``child`` = index of the
+    group's first summary).  Construction stops once a level fits in a
+    single node (≤ ``fanout`` summaries), which acts as the root.
+    """
+
+    def __init__(self, leaves: List[Tuple[int, object]],
+                 levels: List[List[Tuple[int, int, int]]], fanout: int,
+                 events: Optional[StructureEvents] = None):
+        self._leaves = leaves
+        self._levels = levels
+        self.fanout = fanout
+        self.events = events if events is not None else StructureEvents()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, pairs: Iterable[Tuple[int, object]],
+                  fanout: int = DEFAULT_FANOUT, presorted: bool = False,
+                  events: Optional[StructureEvents] = None
+                  ) -> "ImmutableBTree":
+        """Build a tree: sort the leaves, then linear-time internal levels."""
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        leaves = list(pairs)
+        ev = events if events is not None else StructureEvents()
+        if not presorted:
+            leaves.sort(key=lambda kv: kv[0])
+        ev.dram_write_bytes += len(leaves) * LEAF_WORDS * 4
+        ev.dram_dense_accesses += max(1, len(leaves) // fanout)
+        levels: List[List[Tuple[int, int, int]]] = []
+        if leaves:
+            level = [
+                (leaves[s][0], leaves[min(s + fanout, len(leaves)) - 1][0],
+                 s // fanout)
+                for s in range(0, len(leaves), fanout)
+            ]
+            levels.append(level)
+            ev.dram_write_bytes += len(level) * SUMMARY_WORDS * 4
+            while len(levels[-1]) > fanout:
+                below = levels[-1]
+                above = [
+                    (below[s][0], below[min(s + fanout, len(below)) - 1][1], s)
+                    for s in range(0, len(below), fanout)
+                ]
+                levels.append(above)
+                ev.dram_write_bytes += len(above) * SUMMARY_WORDS * 4
+        return cls(leaves, levels, fanout, ev)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def height(self) -> int:
+        """Number of internal levels (node gathers per root-to-leaf walk)."""
+        return len(self._levels)
+
+    def min_key(self) -> Optional[int]:
+        return self._leaves[0][0] if self._leaves else None
+
+    def max_key(self) -> Optional[int]:
+        return self._leaves[-1][0] if self._leaves else None
+
+    def leaves(self) -> List[Tuple[int, object]]:
+        """The sorted leaf array (consumed by LSM merges)."""
+        return self._leaves
+
+    def search(self, key: int) -> List:
+        """Return all values stored under ``key``."""
+        return [v for __, v in self.range_query(key, key)]
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """All ``(key, value)`` pairs with ``lo <= key <= hi``, in key order.
+
+        Binary-searches the leaf array (the functional equivalent of the
+        descent) while charging the DRAM gathers a dataflow traversal of
+        the internal levels would perform.
+        """
+        if not self._leaves or lo > hi:
+            return []
+        self.events.dram_read_bytes += (
+            self.height * self.fanout * SUMMARY_WORDS * 4
+        )
+        self.events.dram_sparse_accesses += self.height
+        start = bisect.bisect_left(self._leaves, (lo,),
+                                   key=lambda kv: (kv[0],))
+        out: List[Tuple[int, object]] = []
+        i = start
+        while i < len(self._leaves) and self._leaves[i][0] <= hi:
+            out.append(self._leaves[i])
+            i += 1
+        n_blocks = max(1, (len(out) + self.fanout - 1) // self.fanout)
+        self.events.dram_read_bytes += n_blocks * self.fanout * LEAF_WORDS * 4
+        self.events.dram_dense_accesses += n_blocks
+        self.events.records_processed += 1
+        return out
+
+    def search_levels(self, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """Range search by literally descending the summary levels.
+
+        Slower than :meth:`range_query` but exercises the exact structure
+        the dataflow traversal uses — tests cross-validate the two.
+        """
+        if not self._leaves or lo > hi:
+            return []
+        frontier = [s for s in self._levels[-1] if s[0] <= hi and s[1] >= lo]
+        for lvl in range(len(self._levels) - 1, 0, -1):
+            below = self._levels[lvl - 1]
+            nxt = []
+            for __, __, start in frontier:
+                for s in below[start:start + self.fanout]:
+                    if s[0] <= hi and s[1] >= lo:
+                        nxt.append(s)
+            frontier = nxt
+        out = []
+        for __, __, block in frontier:
+            start = block * self.fanout
+            for kv in self._leaves[start:start + self.fanout]:
+                if lo <= kv[0] <= hi:
+                    out.append(kv)
+        return out
+
+
+class BTreeDataflow:
+    """Fork-based B-tree range search on the cycle-simulated fabric.
+
+    All node blocks live in one DRAM region; each entry is a whole node:
+    ``('I', [(min, max, child_global_idx), ...])`` for internal nodes or
+    ``('L', [(key, value), ...])`` for leaf blocks.  A search thread
+    ``(qid, lo, hi, node_idx)`` gathers its node, forks children whose
+    ranges intersect ``[lo, hi]``, and recirculates; leaf threads emit
+    ``(qid, key, value)`` matches.
+    """
+
+    def __init__(self, tree: ImmutableBTree, name: str = "btree"):
+        self.tree = tree
+        self.dram = DramMemory(f"{name}.dram")
+        self._nodes: List = []
+        self.root_idx = self._flatten(tree)
+        self.nodes = self.dram.region("nodes", max(1, len(self._nodes)),
+                                      tree.fanout * SUMMARY_WORDS, fill=None)
+        for i, node in enumerate(self._nodes):
+            self.nodes[i] = node
+
+    def _flatten(self, tree: ImmutableBTree) -> int:
+        """Lay leaf blocks then each level's nodes in one array; returns root."""
+        leaves = tree.leaves()
+        fanout = tree.fanout
+        if not leaves:
+            self._nodes.append(("L", []))
+            return 0
+        self._nodes.extend(
+            ("L", leaves[s:s + fanout]) for s in range(0, len(leaves), fanout)
+        )
+        level_bases: List[int] = []
+        for i, level in enumerate(tree._levels):
+            base = len(self._nodes)
+            level_bases.append(base)
+            for s in range(0, len(level), fanout):
+                group = level[s:s + fanout]
+                if i == 0:
+                    # Level-0 summaries point at leaf blocks (global base 0).
+                    entries = [(mn, mx, blk) for mn, mx, blk in group]
+                else:
+                    # Child = the level i-1 node holding summary index `ci`.
+                    entries = [(mn, mx, level_bases[i - 1] + ci // fanout)
+                               for mn, mx, ci in group]
+                self._nodes.append(("I", entries))
+        return len(self._nodes) - 1
+
+    # -- functional check against the flattened layout --------------------------
+
+    def search_flat(self, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """Walk the flattened node array directly (layout validation)."""
+        out: List[Tuple[int, object]] = []
+        stack = [self.root_idx]
+        while stack:
+            kind, content = self._nodes[stack.pop()]
+            if kind == "L":
+                out.extend((k, v) for k, v in content if lo <= k <= hi)
+            else:
+                stack.extend(child for mn, mx, child in content
+                             if mn <= hi and mx >= lo)
+        return sorted(out)
+
+    # -- dataflow ----------------------------------------------------------------
+
+    def search_graph(self, queries: Sequence[Tuple[int, int, int]]) -> Graph:
+        """Lower range search to a tile graph.
+
+        ``queries`` is ``(qid, lo, hi)``; results arrive at the ``hits``
+        sink as ``(qid, key, value)``.
+        """
+
+        def fork_children(record):
+            qid, lo, hi, __, content = record
+            return [(qid, lo, hi, child) for mn, mx, child in content
+                    if mn <= hi and mx >= lo]
+
+        def fork_leaves(record):
+            qid, lo, hi, __, content = record
+            return [(qid, k, v) for k, v in content if lo <= k <= hi]
+
+        g = Graph("btree_search")
+        src = g.add(SourceTile(
+            "src", [(qid, lo, hi, self.root_idx) for qid, lo, hi in queries]))
+        entry = g.add(MergeTile("entry"))
+        gather = g.add(DramTile("gather", self.dram, [PortConfig(
+            mode="read", region=self.nodes, addr=lambda r: r[3],
+            combine=lambda r, node: (r[0], r[1], r[2], node[0], node[1]))]))
+        is_leaf = g.add(FilterTile("is_leaf", lambda r: r[3] == "L"))
+        emit = g.add(ForkTile("emit", fork_leaves))
+        descend = g.add(ForkTile("descend", fork_children))
+        hits = g.add(SinkTile("hits"))
+
+        g.connect(src, entry)
+        g.connect(entry, gather)
+        g.connect(gather, is_leaf)
+        g.connect(is_leaf, emit, producer_port=0)
+        g.connect(emit, hits)
+        g.connect(is_leaf, descend, producer_port=1)
+        g.connect(descend, entry, priority=True)
+        return g

@@ -1,0 +1,45 @@
+"""Shared conventions for Aurochs' persistent data structures (§IV).
+
+All structures are append-only ("persistent") to avoid fine-grained
+deallocation and locking: hash buckets are lock-free prepend lists, trees
+are immutable and bulk-loaded, and the LSM swaps whole trees with one
+pointer update.  Node pointers are 32-bit indices into a scratchpad or a
+DRAM overflow buffer, with :data:`NULL` as the end-of-list sentinel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: End-of-chain sentinel pointer.
+NULL = -1
+
+
+@dataclass
+class StructureEvents:
+    """Hardware-event counters for the analytical model.
+
+    Functional implementations count the same events the cycle simulator
+    would produce so the cost model (``repro.perf.cost_model``) can price
+    them: on-chip SRAM accesses, RMW atomics (including retry traffic), and
+    DRAM bytes split dense/sparse.
+    """
+
+    spad_reads: int = 0
+    spad_writes: int = 0
+    rmw_ops: int = 0
+    rmw_retries: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    dram_sparse_accesses: int = 0
+    dram_dense_accesses: int = 0
+    records_processed: int = 0
+
+    def merge(self, other: "StructureEvents") -> None:
+        """Accumulate another counter set into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def asdict(self) -> Dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}

@@ -1,0 +1,42 @@
+"""32-bit hash functions for keys and radix partitioning.
+
+Hash functions scramble keys to take skewed distributions to a uniform
+distribution (§II-A) — this is what lets radix partitioning *on the hash*
+load-balance parallel pipelines regardless of key skew (§IV-A).  We use the
+MurmurHash3 finalizer, a well-mixed 32-bit avalanche function that is cheap
+enough for one map-tile pipeline stage per multiply/shift.
+"""
+
+from __future__ import annotations
+
+_M = 0xFFFFFFFF
+
+
+def hash32(key) -> int:
+    """MurmurHash3 32-bit finalizer (full avalanche).
+
+    Non-integer keys (e.g. multi-field join keys as tuples) are first
+    reduced to 32 bits with Python's hash — standing in for the multi-word
+    key hashing Gorgon pipelines across record fields.
+    """
+    x = (key if isinstance(key, int) else hash(key)) & _M
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & _M
+    x ^= x >> 13
+    x = (x * 0xC2B2AE35) & _M
+    x ^= x >> 16
+    return x
+
+
+def bucket_of(key: int, n_buckets: int) -> int:
+    """Map ``key`` to a hash bucket index."""
+    return hash32(key) % n_buckets
+
+
+def radix_of(key: int, n_partitions: int) -> int:
+    """Partition index from the low-radix bits of the key's hash (§IV-A)."""
+    return hash32(key) & (n_partitions - 1)
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0

@@ -1,0 +1,349 @@
+"""Chained hash tables as dataflow-thread pipelines (§IV-A, figs. 6a/6c/7a).
+
+The hash table is an array of linked lists: one scratchpad region holds
+buckets' head pointers, another holds the list nodes ``(key, payload,
+next)``.  Builds prepend nodes lock-free with compare-and-swap; probes walk
+chains with recirculating threads.  An incrementing *stamp* reserves each
+inserted node's slot; slots past on-chip capacity implicitly address a
+pre-allocated DRAM overflow buffer, and threads transparently follow chains
+across both memories (fig. 7a).
+
+Two implementations share these semantics:
+
+* :class:`ChainedHashTable` — functional, fast, with hardware-event
+  accounting for the analytical model; used for large datasets exactly as
+  the paper uses its analytical projection.
+* :class:`HashTableDataflow` — lowers build and probe to cycle-simulated
+  tile graphs, reproducing the microarchitectural behaviour (lane refill,
+  CAS retry recirculation, SRAM/DRAM path split).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CapacityError
+from repro.dataflow import (
+    CopyTile,
+    FilterTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+    StampTile,
+)
+from repro.memory import (
+    DramMemory,
+    DramTile,
+    PortConfig,
+    ScratchpadMemory,
+    ScratchpadTile,
+    cas,
+)
+from repro.structures.common import NULL, StructureEvents
+from repro.structures.hashing import bucket_of
+
+#: Words per hash node: key, payload, next pointer.
+NODE_WORDS = 3
+
+
+class ChainedHashTable:
+    """Functional chained hash table with on-chip/overflow accounting.
+
+    ``spad_node_capacity`` is how many nodes fit in the node scratchpad;
+    inserts beyond it land in the DRAM overflow buffer (counted as sparse
+    DRAM traffic).  ``None`` means everything fits on-chip.
+    """
+
+    def __init__(self, n_buckets: int,
+                 spad_node_capacity: Optional[int] = None,
+                 events: Optional[StructureEvents] = None):
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self.n_buckets = n_buckets
+        self.spad_node_capacity = spad_node_capacity
+        self.heads: List[int] = [NULL] * n_buckets
+        self.node_keys: List[int] = []
+        self.node_payloads: List = []
+        self.node_next: List[int] = []
+        self.events = events if events is not None else StructureEvents()
+
+    # -- build ---------------------------------------------------------------
+
+    def insert(self, key: int, payload) -> int:
+        """Prepend ``(key, payload)`` to its bucket; returns the node slot."""
+        slot = len(self.node_keys)
+        bucket = bucket_of(key, self.n_buckets)
+        head = self.heads[bucket]
+        self.events.spad_reads += 1
+        self.node_keys.append(key)
+        self.node_payloads.append(payload)
+        self.node_next.append(head)
+        if self._on_chip(slot):
+            self.events.spad_writes += NODE_WORDS
+        else:
+            self.events.dram_write_bytes += NODE_WORDS * 4
+            self.events.dram_sparse_accesses += 1
+        # Sequential build: the CAS always succeeds first try.  Concurrent
+        # retry behaviour is exercised by the dataflow pipeline.
+        self.events.rmw_ops += 1
+        self.heads[bucket] = slot
+        self.events.records_processed += 1
+        return slot
+
+    def build(self, pairs: Iterable[Tuple[int, object]]) -> "ChainedHashTable":
+        for key, payload in pairs:
+            self.insert(key, payload)
+        return self
+
+    # -- probe ---------------------------------------------------------------
+
+    def probe(self, key: int) -> List:
+        """Return payloads of every node matching ``key`` (chain walk)."""
+        matches: List = []
+        ptr = self.heads[bucket_of(key, self.n_buckets)]
+        self.events.spad_reads += 1
+        self.events.records_processed += 1
+        while ptr != NULL:
+            if self._on_chip(ptr):
+                self.events.spad_reads += NODE_WORDS
+            else:
+                self.events.dram_read_bytes += NODE_WORDS * 4
+                self.events.dram_sparse_accesses += 1
+            if self.node_keys[ptr] == key:
+                matches.append(self.node_payloads[ptr])
+            ptr = self.node_next[ptr]
+        return matches
+
+    def contains(self, key: int) -> bool:
+        """First-match probe (fig. 6a's early-exit form)."""
+        ptr = self.heads[bucket_of(key, self.n_buckets)]
+        self.events.spad_reads += 1
+        while ptr != NULL:
+            if self._on_chip(ptr):
+                self.events.spad_reads += NODE_WORDS
+            else:
+                self.events.dram_read_bytes += NODE_WORDS * 4
+                self.events.dram_sparse_accesses += 1
+            if self.node_keys[ptr] == key:
+                return True
+            ptr = self.node_next[ptr]
+        return False
+
+    # -- introspection -------------------------------------------------------
+
+    def _on_chip(self, slot: int) -> bool:
+        return (self.spad_node_capacity is None
+                or slot < self.spad_node_capacity)
+
+    def __len__(self) -> int:
+        return len(self.node_keys)
+
+    @property
+    def overflow_nodes(self) -> int:
+        if self.spad_node_capacity is None:
+            return 0
+        return max(0, len(self.node_keys) - self.spad_node_capacity)
+
+    def chain_lengths(self) -> List[int]:
+        """Length of every bucket's collision chain (locality diagnostics)."""
+        lengths = []
+        for head in self.heads:
+            n, ptr = 0, head
+            while ptr != NULL:
+                n += 1
+                ptr = self.node_next[ptr]
+            lengths.append(n)
+        return lengths
+
+    def items(self) -> Iterable[Tuple[int, object]]:
+        return zip(self.node_keys, self.node_payloads)
+
+
+class HashTableDataflow:
+    """Cycle-simulated hash table pipelines on the tile fabric.
+
+    Owns the scratchpad regions (bucket heads + on-chip nodes) and the DRAM
+    overflow region, and lowers fig. 6a (probe), fig. 6c (CAS build) and
+    fig. 7a (SRAM/DRAM split) to tile graphs.
+    """
+
+    def __init__(self, n_buckets: int, spad_node_capacity: int,
+                 overflow_capacity: int = 1 << 16, name: str = "ht"):
+        self.n_buckets = n_buckets
+        self.spad_node_capacity = spad_node_capacity
+        self.spad = ScratchpadMemory(f"{name}.spad")
+        self.heads = self.spad.region("heads", n_buckets, 1, fill=NULL)
+        self.nodes = self.spad.region("nodes", spad_node_capacity,
+                                      NODE_WORDS, fill=None)
+        self.dram = DramMemory(f"{name}.dram")
+        self.overflow = self.dram.region("overflow", overflow_capacity,
+                                         NODE_WORDS, fill=None)
+        self.next_slot = 0
+
+    # -- direct (functional) load for probe-only experiments -------------------
+
+    def load(self, pairs: Sequence[Tuple[int, object]]) -> None:
+        """Populate the regions without simulating the build pipeline."""
+        for key, payload in pairs:
+            slot = self.next_slot
+            self.next_slot += 1
+            bucket = bucket_of(key, self.n_buckets)
+            node = (key, payload, self.heads[bucket])
+            self._store_node(slot, node)
+            self.heads[bucket] = slot
+
+    def _store_node(self, slot: int, node: Tuple) -> None:
+        if slot < self.spad_node_capacity:
+            self.nodes[slot] = node
+        elif slot - self.spad_node_capacity < len(self.overflow):
+            self.overflow[slot - self.spad_node_capacity] = node
+        else:
+            raise CapacityError("hash table overflow buffer exhausted")
+
+    def node_at(self, slot: int) -> Tuple:
+        if slot < self.spad_node_capacity:
+            return self.nodes[slot]
+        return self.overflow[slot - self.spad_node_capacity]
+
+    def contents(self) -> List[Tuple[int, object]]:
+        """All (key, payload) pairs reachable from the bucket heads."""
+        out = []
+        for bucket in range(self.n_buckets):
+            ptr = self.heads[bucket]
+            while ptr != NULL:
+                key, payload, nxt = self.node_at(ptr)
+                out.append((key, payload))
+                ptr = nxt
+        return out
+
+    # -- build pipeline (fig. 6c + fig. 7a) -------------------------------------
+
+    def build_graph(self, pairs: Sequence[Tuple[int, object]]) -> Graph:
+        """Lower the lock-free CAS build to a tile graph.
+
+        Thread record evolution::
+
+            (key, payload)                          source
+            (key, payload, bucket)                  hash map
+            (key, payload, bucket, slot)            stamp (slot reservation)
+            (key, payload, bucket, slot, head)      head gather   <- loop entry
+            ... node scatter to SRAM or DRAM overflow (by slot)
+            (key, payload, bucket, slot, head, old) CAS on bucket head
+            old == head ? done : recirculate with refreshed head
+        """
+        cap = self.spad_node_capacity
+        g = Graph("ht_build")
+        src = g.add(SourceTile("src", list(pairs)))
+        hashm = g.add(MapTile(
+            "hash", lambda r: (r[0], r[1], bucket_of(r[0], self.n_buckets))))
+        stamp = g.add(StampTile("stamp", start=self.next_slot))
+        entry = g.add(MergeTile("entry"))
+        head_rd = g.add(ScratchpadTile("head_rd", self.spad, [PortConfig(
+            mode="read", region=self.heads, addr=lambda r: r[2],
+            combine=lambda r, head: (r[0], r[1], r[2], r[3], head))]))
+        route = g.add(FilterTile("route", lambda r: r[3] < cap))
+        node_wr = g.add(ScratchpadTile("node_wr", self.spad, [PortConfig(
+            mode="write", region=self.nodes, addr=lambda r: r[3],
+            value=lambda r: (r[0], r[1], r[4]),
+            combine=lambda r, _: r)]))
+        ovf_wr = g.add(DramTile("ovf_wr", self.dram, [PortConfig(
+            mode="write", region=self.overflow, addr=lambda r: r[3] - cap,
+            value=lambda r: (r[0], r[1], r[4]),
+            combine=lambda r, _: r)]))
+        rejoin = g.add(MergeTile("rejoin"))
+        head_cas = g.add(ScratchpadTile("head_cas", self.spad, [PortConfig(
+            mode="rmw", region=self.heads, addr=lambda r: r[2],
+            rmw=cas(expected_of=lambda r: r[4], new_of=lambda r: r[3]),
+            combine=lambda r, old: r + (old,))]))
+        ok = g.add(FilterTile("ok", lambda r: r[5] == r[4]))
+        retry = g.add(MapTile("retry", lambda r: r[:4]))
+        done = g.add(SinkTile("done"))
+
+        g.connect(src, hashm)
+        g.connect(hashm, stamp)
+        g.connect(stamp, entry)
+        g.connect(entry, head_rd)
+        g.connect(head_rd, route)
+        g.connect(route, node_wr, producer_port=0)
+        g.connect(route, ovf_wr, producer_port=1)
+        g.connect(node_wr, rejoin)
+        g.connect(rejoin, head_cas)
+        g.connect(ovf_wr, rejoin)
+        g.connect(head_cas, ok)
+        g.connect(ok, done, producer_port=0)
+        g.connect(ok, retry, producer_port=1)
+        g.connect(retry, entry, priority=True)
+        self.next_slot += len(pairs)
+        return g
+
+    # -- probe pipeline (fig. 6a + fig. 7a) --------------------------------------
+
+    def probe_graph(self, queries: Sequence[Tuple[int, int]],
+                    emit_all: bool = True) -> Graph:
+        """Lower the parallel probe to a tile graph.
+
+        ``queries`` is a sequence of ``(query_id, key)``.  With
+        ``emit_all`` every matching node is emitted (join semantics);
+        otherwise threads exit on first match (fig. 6a's lookup).
+        Hit records are ``(query_id, key, payload)``; misses reach the
+        ``misses`` sink as ``(query_id, key, ptr)``.
+        """
+        cap = self.spad_node_capacity
+        g = Graph("ht_probe")
+        src = g.add(SourceTile("src", list(queries)))
+        head_rd = g.add(ScratchpadTile("head_rd", self.spad, [PortConfig(
+            mode="read", region=self.heads,
+            addr=lambda r: bucket_of(r[1], self.n_buckets),
+            combine=lambda r, head: (r[0], r[1], head))]))
+        entry = g.add(MergeTile("entry"))
+        nullchk = g.add(FilterTile("nullchk", lambda r: r[2] == NULL))
+        route = g.add(FilterTile("route", lambda r: r[2] < cap))
+        # Gather the node from SRAM or the DRAM overflow buffer.
+        node_rd = g.add(ScratchpadTile("node_rd", self.spad, [PortConfig(
+            mode="read", region=self.nodes, addr=lambda r: r[2],
+            combine=lambda r, n: (r[0], r[1], n[0], n[1], n[2]))]))
+        ovf_rd = g.add(DramTile("ovf_rd", self.dram, [PortConfig(
+            mode="read", region=self.overflow, addr=lambda r: r[2] - cap,
+            combine=lambda r, n: (r[0], r[1], n[0], n[1], n[2]))]))
+        rejoin = g.add(MergeTile("rejoin"))
+        match = g.add(FilterTile("match", lambda r: r[2] == r[1]))
+        hits = g.add(SinkTile("hits"))
+        misses = g.add(SinkTile("misses"))
+        advance = g.add(MapTile("advance", lambda r: (r[0], r[1], r[4])))
+
+        g.connect(src, head_rd)
+        g.connect(head_rd, entry)
+        g.connect(entry, nullchk)
+        g.connect(nullchk, misses, producer_port=0)
+        g.connect(nullchk, route, producer_port=1)
+        g.connect(route, node_rd, producer_port=0)
+        g.connect(route, ovf_rd, producer_port=1)
+        g.connect(node_rd, rejoin)
+        g.connect(rejoin, match)
+        g.connect(ovf_rd, rejoin)
+
+        if emit_all:
+            # Join semantics: a matching thread both emits a hit record and
+            # keeps walking the chain for duplicate keys.  A copy tile forks
+            # the matched stream; one side projects the payload out, the
+            # other advances to the next node and recirculates alongside
+            # the mismatching threads.
+            dup = g.add(CopyTile("dup"))
+            emit = g.add(MapTile("emit", lambda r: (r[0], r[1], r[3])))
+            cont = g.add(MapTile("cont", lambda r: (r[0], r[1], r[4])))
+            g.connect(match, dup, producer_port=0)
+            g.connect(dup, emit, producer_port=0)
+            g.connect(emit, hits)
+            g.connect(dup, cont, producer_port=1)
+            g.connect(cont, entry, priority=True)
+            g.connect(match, advance, producer_port=1)
+            g.connect(advance, entry, priority=True)
+        else:
+            emit = g.add(MapTile("emit", lambda r: (r[0], r[1], r[3])))
+            g.connect(match, emit, producer_port=0)
+            g.connect(emit, hits)
+            g.connect(match, advance, producer_port=1)
+            g.connect(advance, entry, priority=True)
+        return g

@@ -1,0 +1,141 @@
+"""Log-structured merge-trees over immutable B-trees (§IV-B, fig. 8).
+
+Streaming ingest rebuilds indices continuously; balanced-tree insertion
+would need rebalancing and locking.  Aurochs instead batches inserts: each
+batch is sorted and bulk-loaded into a fresh immutable B-tree, and the LSM
+maintains a list of exponentially growing trees, merging neighbours (a
+linear leaf merge + linear internal rebuild — just the merge-sort kernel
+Gorgon already has) whenever the newest tree has grown to its neighbour's
+size.  A single lock-free update of the head list pointer publishes each
+merge, giving readers and writers natural concurrency; queries search all
+internal trees, and the tree list doubles as a coarse secondary index on
+insertion time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.structures.btree import DEFAULT_FANOUT, LEAF_WORDS, ImmutableBTree
+from repro.structures.common import StructureEvents
+
+
+class LsmTree:
+    """An append-only ordered index: a list of immutable B-trees.
+
+    ``batch_size`` trades index-update latency for work amortization
+    (§IV-B); ``benchmarks/bench_lsm_batch.py`` sweeps it.
+    """
+
+    def __init__(self, batch_size: int = 1024, fanout: int = DEFAULT_FANOUT,
+                 events: Optional[StructureEvents] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.fanout = fanout
+        self.events = events if events is not None else StructureEvents()
+        self._trees: List[ImmutableBTree] = []   # newest first
+        self._buffer: List[Tuple[int, object]] = []
+        self.merges = 0
+        self.merged_records = 0
+
+    # -- ingest -----------------------------------------------------------------
+
+    def insert(self, key: int, value) -> None:
+        """Buffer one record; flushes automatically at ``batch_size``."""
+        self._buffer.append((key, value))
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def insert_many(self, pairs: Iterable[Tuple[int, object]]) -> None:
+        for key, value in pairs:
+            self.insert(key, value)
+
+    def flush(self) -> None:
+        """Bulk-load the buffered batch and restore the size invariant."""
+        if not self._buffer:
+            return
+        batch = self._buffer
+        self._buffer = []
+        # Sorting the batch is O(b log b) — charge merge-network traffic.
+        self.events.records_processed += len(batch)
+        self.events.dram_write_bytes += len(batch) * LEAF_WORDS * 4
+        tree = ImmutableBTree.bulk_load(batch, self.fanout,
+                                        events=self.events)
+        self._trees.insert(0, tree)
+        # Merge forward while the newest tree caught up with its neighbour,
+        # keeping the exponential size ladder.
+        while (len(self._trees) >= 2
+               and len(self._trees[0]) >= len(self._trees[1])):
+            a = self._trees.pop(0)
+            b = self._trees.pop(0)
+            merged = self._merge(a, b)
+            # One lock-free head-pointer update publishes the merged tree.
+            self._trees.insert(0, merged)
+
+    def _merge(self, a: ImmutableBTree, b: ImmutableBTree) -> ImmutableBTree:
+        """Linear merge of two sorted leaf arrays + internal rebuild."""
+        la, lb = a.leaves(), b.leaves()
+        out: List[Tuple[int, object]] = []
+        i = j = 0
+        while i < len(la) and j < len(lb):
+            if la[i][0] <= lb[j][0]:
+                out.append(la[i]); i += 1
+            else:
+                out.append(lb[j]); j += 1
+        out.extend(la[i:])
+        out.extend(lb[j:])
+        self.merges += 1
+        self.merged_records += len(out)
+        n_bytes = len(out) * LEAF_WORDS * 4
+        self.events.dram_read_bytes += n_bytes     # stream both inputs
+        self.events.dram_write_bytes += n_bytes    # stream merged output
+        self.events.dram_dense_accesses += max(1, n_bytes // 64)
+        return ImmutableBTree.bulk_load(out, self.fanout, presorted=True,
+                                        events=self.events)
+
+    # -- queries ------------------------------------------------------------------
+
+    def snapshot(self) -> List[ImmutableBTree]:
+        """The current tree list — readers traverse this immutably while
+        writers publish merges, the paper's lock-free reader/writer story."""
+        return list(self._trees)
+
+    def search(self, key: int) -> List:
+        """All values under ``key`` across every internal tree + buffer."""
+        out: List = []
+        for tree in self._trees:
+            out.extend(tree.search(key))
+        out.extend(v for k, v in self._buffer if k == key)
+        return out
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """All ``(key, value)`` with ``lo <= key <= hi``, across all trees.
+
+        Trees whose ``[min, max]`` key range misses the query are pruned —
+        for time keys this is the "tree list as a secondary index on time"
+        effect.
+        """
+        out: List[Tuple[int, object]] = []
+        for tree in self._trees:
+            mn, mx = tree.min_key(), tree.max_key()
+            if mn is None or mn > hi or mx < lo:
+                continue
+            out.extend(tree.range_query(lo, hi))
+        out.extend((k, v) for k, v in self._buffer if lo <= k <= hi)
+        out.sort(key=lambda kv: kv[0])
+        return out
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._trees) + len(self._buffer)
+
+    def tree_sizes(self) -> List[int]:
+        return [len(t) for t in self._trees]
+
+    def write_amplification(self) -> float:
+        """Merged records re-written per ingested record."""
+        n = len(self)
+        return self.merged_records / n if n else 0.0

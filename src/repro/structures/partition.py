@@ -1,0 +1,240 @@
+"""Radix hash partitioning to DRAM (§IV-A, fig. 7b).
+
+Hash joins first partition both tables on the low-radix bits of the join
+key's hash so each partition's hash table fits on-chip.  Partitions are
+linked lists of fixed-size *blocks* in DRAM — an array of records per node
+— so partition read-back is dense even though partition writes are sparse.
+
+On-chip scratchpads hold per-partition metadata: the head block pointer and
+the record count within the head block, packed into one entry so a single
+atomic fetch-and-add returns a consistent ``(head, count)`` snapshot.  The
+insert dataflow then routes on the count:
+
+* ``count <  block_size`` — free slot: scatter the record to DRAM at
+  ``(head, count)``;
+* ``count == block_size`` — this thread is first to see the full block: it
+  allocates a fresh block, links it to the old head, and resets the
+  metadata (the paper's CAS prepend; exactly one thread per fill sees this
+  count, so the prepend cannot race);
+* ``count >  block_size`` — another thread is mid-allocation: recirculate
+  and retry, bypassed by threads with available space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CapacityError
+from repro.dataflow import (
+    FilterTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.memory import (
+    DramMemory,
+    DramTile,
+    PortConfig,
+    ScratchpadMemory,
+    ScratchpadTile,
+)
+from repro.structures.common import NULL, StructureEvents
+from repro.structures.hashing import is_power_of_two, radix_of
+
+#: Records per partition block (sized so a block read masks DRAM latency).
+DEFAULT_BLOCK_SIZE = 64
+
+
+class RadixPartitioner:
+    """Functional radix partitioner with hardware-event accounting."""
+
+    def __init__(self, n_partitions: int,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 events: Optional[StructureEvents] = None):
+        if not is_power_of_two(n_partitions):
+            raise ValueError("n_partitions must be a power of two")
+        self.n_partitions = n_partitions
+        self.block_size = block_size
+        self.events = events if events is not None else StructureEvents()
+        # Per-partition: list of blocks, each a list of records (newest first).
+        self._blocks: List[List[List]] = [[] for _ in range(n_partitions)]
+
+    def insert(self, key: int, record) -> int:
+        """Scatter one record; returns its partition index."""
+        part = radix_of(key, self.n_partitions)
+        blocks = self._blocks[part]
+        self.events.rmw_ops += 1          # FAA on the metadata entry
+        if not blocks or len(blocks[0]) >= self.block_size:
+            blocks.insert(0, [])          # block allocation + prepend
+            self.events.dram_write_bytes += 4   # block header (next ptr)
+            self.events.spad_writes += 1        # metadata reset
+        blocks[0].append(record)
+        self.events.dram_write_bytes += _record_bytes(record)
+        self.events.dram_sparse_accesses += 1   # scatter into partition
+        self.events.records_processed += 1
+        return part
+
+    def partition(self, keyed_records: Iterable[Tuple[int, object]]) -> None:
+        for key, record in keyed_records:
+            self.insert(key, record)
+
+    def read_partition(self, part: int) -> List:
+        """Dense read-back of one partition (oldest-to-newest)."""
+        out: List = []
+        for block in reversed(self._blocks[part]):
+            out.extend(block)
+            self.events.dram_read_bytes += sum(_record_bytes(r) for r in block)
+            self.events.dram_dense_accesses += 1
+        return out
+
+    def sizes(self) -> List[int]:
+        return [sum(len(b) for b in blocks) for blocks in self._blocks]
+
+    def skew(self) -> float:
+        """max/mean partition size — 1.0 is perfect balance."""
+        sizes = self.sizes()
+        total = sum(sizes)
+        if total == 0:
+            return 1.0
+        return max(sizes) / (total / len(sizes))
+
+
+def _record_bytes(record) -> int:
+    n_fields = len(record) if isinstance(record, tuple) else 1
+    return 4 * n_fields
+
+
+class PartitionerDataflow:
+    """Cycle-simulated partitioning pipeline (fig. 7b).
+
+    Thread record evolution::
+
+        (key, payload)                    source
+        (key, payload, part)              radix hash
+        (key, payload, part, head, count) FAA on metadata  <- loop entry
+        count <  B : scatter to DRAM slot (head*B + count), done
+        count == B : allocate block, link to old head, reset metadata,
+                     scatter own record to slot 0 of the new block
+        count >  B : strip to (key, payload, part) and recirculate
+    """
+
+    def __init__(self, n_partitions: int, block_size: int = 8,
+                 max_blocks: int = 1 << 12, name: str = "part"):
+        if not is_power_of_two(n_partitions):
+            raise ValueError("n_partitions must be a power of two")
+        self.n_partitions = n_partitions
+        self.block_size = block_size
+        self.max_blocks = max_blocks
+        self.spad = ScratchpadMemory(f"{name}.spad")
+        # Metadata entry: (head_block, count); count == block_size marks
+        # "needs allocation" and is the initial state (no block yet).
+        self.meta = self.spad.region("meta", n_partitions, 2,
+                                     fill=(NULL, block_size))
+        self.dram = DramMemory(f"{name}.dram")
+        self.block_next = self.dram.region("block_next", max_blocks, 1,
+                                           fill=NULL)
+        self.block_recs = self.dram.region("block_recs",
+                                           max_blocks * block_size, 2,
+                                           fill=None)
+        self._next_block = 0
+
+    def _alloc_block(self) -> int:
+        blk = self._next_block
+        if blk >= self.max_blocks:
+            raise CapacityError("partitioner block pool exhausted")
+        self._next_block += 1
+        return blk
+
+    def build_graph(self, keyed_records: Sequence[Tuple[int, object]]) -> Graph:
+        B = self.block_size
+
+        def faa_meta(old, record):
+            head, count = old
+            return (head, count + 1), (head, count)
+
+        def do_alloc(record):
+            # (key, payload, part, head, count) with count == B.
+            key, payload, part, head, __ = record
+            blk = self._alloc_block()
+            return (key, payload, part, head, blk)
+
+        g = Graph("partition")
+        src = g.add(SourceTile("src", list(keyed_records)))
+        hashm = g.add(MapTile(
+            "hash", lambda r: (r[0], r[1], radix_of(r[0], self.n_partitions))))
+        entry = g.add(MergeTile("entry"))
+        faa = g.add(ScratchpadTile("faa", self.spad, [PortConfig(
+            mode="rmw", region=self.meta, addr=lambda r: r[2],
+            rmw=faa_meta,
+            combine=lambda r, hc: (r[0], r[1], r[2], hc[0], hc[1]))]))
+        has_room = g.add(FilterTile("has_room", lambda r: r[4] < B))
+        scatter = g.add(DramTile("scatter", self.dram, [PortConfig(
+            mode="write", region=self.block_recs,
+            addr=lambda r: r[3] * B + r[4],
+            value=lambda r: (r[0], r[1]),
+            combine=lambda r, _: (r[0],))]))
+        is_alloc = g.add(FilterTile("is_alloc", lambda r: r[4] == B))
+        alloc = g.add(MapTile("alloc", do_alloc))
+        link = g.add(DramTile("link", self.dram, [PortConfig(
+            mode="write", region=self.block_next, addr=lambda r: r[4],
+            value=lambda r: r[3],
+            combine=lambda r, _: r)]))
+        # Reset metadata to (new_block, 1): the allocator thread claims slot 0.
+        reset = g.add(ScratchpadTile("reset", self.spad, [PortConfig(
+            mode="rmw", region=self.meta, addr=lambda r: r[2],
+            rmw=lambda old, r: ((r[4], 1), old),
+            combine=lambda r, _: (r[0], r[1], r[2], r[4], 0))]))
+        scatter0 = g.add(DramTile("scatter0", self.dram, [PortConfig(
+            mode="write", region=self.block_recs,
+            addr=lambda r: r[3] * B + r[4],
+            value=lambda r: (r[0], r[1]),
+            combine=lambda r, _: (r[0],))]))
+        retry = g.add(MapTile("retry", lambda r: (r[0], r[1], r[2])))
+        done = g.add(SinkTile("done"))
+        done2 = g.add(SinkTile("done_alloc"))
+
+        g.connect(src, hashm)
+        g.connect(hashm, entry)
+        g.connect(entry, faa)
+        g.connect(faa, has_room)
+        g.connect(has_room, scatter, producer_port=0)
+        g.connect(scatter, done)
+        g.connect(has_room, is_alloc, producer_port=1)
+        g.connect(is_alloc, alloc, producer_port=0)
+        g.connect(alloc, link)
+        g.connect(link, reset)
+        # After reset the record is (key, payload, part, new_block, 0):
+        # scatter to slot 0 of the fresh block.
+        g.connect(reset, scatter0)
+        g.connect(scatter0, done2)
+        g.connect(is_alloc, retry, producer_port=1)
+        g.connect(retry, entry, priority=True)
+        return g
+
+    # -- read-back --------------------------------------------------------------
+
+    def read_partition(self, part: int) -> List:
+        """Walk one partition's block list, oldest block last-prepended first
+        reversed back to insertion-friendly order."""
+        head, count = self.meta[part]
+        chunks = []
+        blk = head
+        n = count
+        while blk != NULL:
+            recs = [self.block_recs[blk * self.block_size + i]
+                    for i in range(n)]
+            chunks.append([r for r in recs if r is not None])
+            blk = self.block_next[blk]
+            n = self.block_size
+        out: List = []
+        for chunk in reversed(chunks):
+            out.extend(chunk)
+        return out
+
+    def all_records(self) -> List:
+        out = []
+        for p in range(self.n_partitions):
+            out.extend(self.read_partition(p))
+        return out

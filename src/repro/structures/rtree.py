@@ -1,0 +1,323 @@
+"""Packed R-trees via Z-order bulk loading (§IV-C, fig. 9).
+
+Each R-tree node encloses a bounding rectangle containing all its children.
+Aurochs bulk-loads the tree by sorting entries on the Z-order transform of
+their centers (locality-preserving linearization) and building each internal
+level with a streaming reduction that accumulates children's bounds — both
+kernels the fabric already has (sort + reduce).
+
+Window queries find all leaves intersecting a search rectangle; because
+R-tree siblings may overlap, search paths diverge and a thread may fork
+down several children — the workload fig. 6b's fork primitive exists for.
+Spatial joins (fig. 9b) descend two indices simultaneously, expanding only
+child pairs whose rectangles (optionally dilated by a distance radius)
+overlap.
+
+Rectangles are ``(x0, y0, x1, y1)`` int tuples on the 16-bit Z-order grid;
+points are degenerate rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.dataflow import (
+    FilterTile,
+    ForkTile,
+    Graph,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.memory import DramMemory, DramTile, PortConfig
+from repro.structures.common import StructureEvents
+from repro.structures.zorder import z_encode
+
+Rect = Tuple[int, int, int, int]
+
+#: Default node fanout (children per R-tree node).
+DEFAULT_FANOUT = 16
+
+#: Words per child entry: 4 rect coordinates + child pointer.
+CHILD_WORDS = 5
+
+
+# -- rectangle helpers ---------------------------------------------------------
+
+def rect(x0: int, y0: int, x1: int, y1: int) -> Rect:
+    """Normalized rectangle constructor."""
+    return (min(x0, x1), min(y0, y1), max(x0, x1), max(y0, y1))
+
+
+def point_rect(x: int, y: int) -> Rect:
+    """A point as a degenerate rectangle."""
+    return (x, y, x, y)
+
+
+def intersects(a: Rect, b: Rect) -> bool:
+    return a[0] <= b[2] and a[2] >= b[0] and a[1] <= b[3] and a[3] >= b[1]
+
+
+def contains(outer: Rect, inner: Rect) -> bool:
+    return (outer[0] <= inner[0] and outer[1] <= inner[1]
+            and outer[2] >= inner[2] and outer[3] >= inner[3])
+
+
+def union(a: Rect, b: Rect) -> Rect:
+    return (min(a[0], b[0]), min(a[1], b[1]),
+            max(a[2], b[2]), max(a[3], b[3]))
+
+
+def expand(r: Rect, radius: int) -> Rect:
+    """Dilate a rectangle by ``radius`` on all sides (distance pre-filter)."""
+    return (r[0] - radius, r[1] - radius, r[2] + radius, r[3] + radius)
+
+
+def center(r: Rect) -> Tuple[int, int]:
+    return ((r[0] + r[2]) // 2, (r[1] + r[3]) // 2)
+
+
+def euclidean(p: Rect, q: Rect) -> float:
+    """Center-to-center Euclidean distance (for point rects: point distance)."""
+    (px, py), (qx, qy) = center(p), center(q)
+    return math.hypot(px - qx, py - qy)
+
+
+def _clamp16(v: int) -> int:
+    return max(0, min(v, (1 << 16) - 1))
+
+
+# -- the packed tree ------------------------------------------------------------
+
+class PackedRTree:
+    """Immutable R-tree stored as a flat node array.
+
+    ``_nodes[i] = (bbox, kind, content)`` where ``kind`` is ``'L'`` (content
+    is the leaf block: a list of ``(rect, value)``) or ``'I'`` (content is a
+    list of child node indices).
+    """
+
+    def __init__(self, nodes: List, root_idx: int, fanout: int,
+                 size: int, events: Optional[StructureEvents] = None):
+        self._nodes = nodes
+        self.root_idx = root_idx
+        self.fanout = fanout
+        self._size = size
+        self.events = events if events is not None else StructureEvents()
+
+    @classmethod
+    def bulk_load(cls, entries: Sequence[Tuple[Rect, object]],
+                  fanout: int = DEFAULT_FANOUT,
+                  events: Optional[StructureEvents] = None) -> "PackedRTree":
+        """Sort by Z-order of centers, then reduce levels bottom-up."""
+        ev = events if events is not None else StructureEvents()
+        items = sorted(
+            entries,
+            key=lambda e: z_encode(_clamp16(center(e[0])[0]),
+                                   _clamp16(center(e[0])[1])),
+        )
+        ev.records_processed += len(items)
+        nodes: List = []
+        if not items:
+            nodes.append(((0, 0, 0, 0), "L", []))
+            return cls(nodes, 0, fanout, 0, ev)
+        current: List[int] = []
+        for s in range(0, len(items), fanout):
+            block = items[s:s + fanout]
+            bbox = block[0][0]
+            for r, __ in block[1:]:
+                bbox = union(bbox, r)
+            nodes.append((bbox, "L", block))
+            current.append(len(nodes) - 1)
+        ev.dram_write_bytes += len(items) * CHILD_WORDS * 4
+        while len(current) > 1:
+            above: List[int] = []
+            for s in range(0, len(current), fanout):
+                children = current[s:s + fanout]
+                bbox = nodes[children[0]][0]
+                for c in children[1:]:
+                    bbox = union(bbox, nodes[c][0])
+                nodes.append((bbox, "I", children))
+                above.append(len(nodes) - 1)
+            ev.dram_write_bytes += len(above) * fanout * CHILD_WORDS * 4
+            current = above
+        return cls(nodes, current[0], fanout, len(items), ev)
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf blocks inclusive."""
+        h, idx = 1, self.root_idx
+        while self._nodes[idx][1] == "I":
+            idx = self._nodes[idx][2][0]
+            h += 1
+        return h
+
+    def bbox(self) -> Rect:
+        return self._nodes[self.root_idx][0]
+
+    def window_query(self, query: Rect) -> List[Tuple[Rect, object]]:
+        """All entries whose rectangle intersects ``query``."""
+        out: List[Tuple[Rect, object]] = []
+        stack = [self.root_idx]
+        while stack:
+            bbox, kind, content = self._nodes[stack.pop()]
+            self.events.dram_read_bytes += self.fanout * CHILD_WORDS * 4
+            self.events.dram_sparse_accesses += 1
+            if not intersects(bbox, query):
+                continue
+            if kind == "L":
+                out.extend((r, v) for r, v in content if intersects(r, query))
+            else:
+                stack.extend(c for c in content
+                             if intersects(self._nodes[c][0], query))
+        self.events.records_processed += 1
+        return out
+
+    def within_distance(self, p: Rect, radius: int
+                        ) -> List[Tuple[Rect, object, float]]:
+        """Entries whose center lies within Euclidean ``radius`` of ``p``'s
+        center: dilated window query pre-filter + exact distance check."""
+        candidates = self.window_query(expand(p, radius))
+        out = []
+        for r, v in candidates:
+            d = euclidean(p, r)
+            if d <= radius:
+                out.append((r, v, d))
+        return out
+
+    def all_entries(self) -> List[Tuple[Rect, object]]:
+        out = []
+        stack = [self.root_idx]
+        while stack:
+            __, kind, content = self._nodes[stack.pop()]
+            if kind == "L":
+                out.extend(content)
+            else:
+                stack.extend(content)
+        return out
+
+
+def spatial_join(a: PackedRTree, b: PackedRTree, within: int = 0,
+                 exact: Optional[Callable[[Rect, Rect], bool]] = None,
+                 events: Optional[StructureEvents] = None
+                 ) -> List[Tuple[Rect, object, Rect, object]]:
+    """Dual-index nested loop join (fig. 9b).
+
+    Yields ``(rect_a, value_a, rect_b, value_b)`` for every entry pair whose
+    rectangles overlap after dilating A's side by ``within`` (the distance
+    pre-filter); ``exact`` optionally refines each candidate pair (e.g. a
+    Euclidean distance test for point data).
+    """
+    ev = events if events is not None else StructureEvents()
+    out: List[Tuple[Rect, object, Rect, object]] = []
+    if len(a) == 0 or len(b) == 0:
+        return out
+    stack = [(a.root_idx, b.root_idx)]
+    while stack:
+        ia, ib = stack.pop()
+        ra, ka, ca = a._nodes[ia]
+        rb, kb, cb = b._nodes[ib]
+        ev.dram_read_bytes += 2 * a.fanout * CHILD_WORDS * 4
+        ev.dram_sparse_accesses += 2
+        if not intersects(expand(ra, within), rb):
+            continue
+        if ka == "L" and kb == "L":
+            for ea, va in ca:
+                dilated = expand(ea, within)
+                for eb, vb in cb:
+                    if intersects(dilated, eb):
+                        if exact is None or exact(ea, eb):
+                            out.append((ea, va, eb, vb))
+        elif ka == "I" and kb == "I":
+            for childa in ca:
+                for childb in cb:
+                    if intersects(expand(a._nodes[childa][0], within),
+                                  b._nodes[childb][0]):
+                        stack.append((childa, childb))
+        elif ka == "I":
+            for childa in ca:
+                stack.append((childa, ib))
+        else:
+            for childb in cb:
+                stack.append((ia, childb))
+    if events is None:
+        a.events.merge(ev)
+    return out
+
+
+class RTreeDataflow:
+    """Window queries on the cycle-simulated fabric.
+
+    Node blocks live in DRAM; a search thread ``(qid, x0, y0, x1, y1,
+    node_idx)`` gathers its node, forks intersecting children, and leaf
+    threads emit ``(qid, rect, value)``.  The fork tile's pending buffer
+    stands in for the paper's DRAM spill queue for diverged search threads.
+    """
+
+    def __init__(self, tree: PackedRTree, name: str = "rtree"):
+        self.tree = tree
+        self.dram = DramMemory(f"{name}.dram")
+        self.nodes = self.dram.region("nodes", len(tree._nodes),
+                                      tree.fanout * CHILD_WORDS, fill=None)
+        for i, node in enumerate(tree._nodes):
+            self.nodes[i] = node
+
+    def window_graph(self, queries: Sequence[Tuple[int, Rect]],
+                     spill: bool = False,
+                     on_chip_capacity: int = 64) -> Graph:
+        """``queries`` is ``(qid, rect)``; hits are ``(qid, rect, value)``.
+
+        With ``spill=True`` the forked traversal threads pass through a
+        :class:`~repro.structures.spill.SpillTile` before recirculating —
+        the §IV-C DRAM queue that bounds on-chip thread storage during
+        divergent searches.
+        """
+        from repro.structures.spill import SpillTile
+        tree = self.tree
+
+        def fork_children(record):
+            qid, x0, y0, x1, y1, __, content = record
+            q = (x0, y0, x1, y1)
+            return [(qid, x0, y0, x1, y1, c) for c in content
+                    if intersects(tree._nodes[c][0], q)]
+
+        def fork_leaves(record):
+            qid, x0, y0, x1, y1, __, content = record
+            q = (x0, y0, x1, y1)
+            return [(qid, r, v) for r, v in content if intersects(r, q)]
+
+        g = Graph("rtree_window")
+        src = g.add(SourceTile("src", [
+            (qid, r[0], r[1], r[2], r[3], tree.root_idx)
+            for qid, r in queries
+        ]))
+        entry = g.add(MergeTile("entry"))
+        gather = g.add(DramTile("gather", self.dram, [PortConfig(
+            mode="read", region=self.nodes, addr=lambda r: r[5],
+            combine=lambda r, node: r[:5] + (node[1], node[2]))]))
+        is_leaf = g.add(FilterTile("is_leaf", lambda r: r[5] == "L"))
+        emit = g.add(ForkTile("emit", fork_leaves))
+        descend = g.add(ForkTile("descend", fork_children))
+        hits = g.add(SinkTile("hits"))
+
+        g.connect(src, entry)
+        g.connect(entry, gather)
+        g.connect(gather, is_leaf)
+        g.connect(is_leaf, emit, producer_port=0)
+        g.connect(emit, hits)
+        g.connect(is_leaf, descend, producer_port=1)
+        if spill:
+            queue = g.add(SpillTile("spill",
+                                    on_chip_capacity=on_chip_capacity,
+                                    record_words=6))
+            g.connect(descend, queue)
+            g.connect(queue, entry, priority=True)
+        else:
+            g.connect(descend, entry, priority=True)
+        return g

@@ -1,0 +1,106 @@
+"""Gorgon's tiled merge sort (§II-B, §IV-B).
+
+Sorting is the kernel Gorgon already accelerates and Aurochs inherits:
+LSM trees "require only merge sort to implement", and the sort-based
+baselines of fig. 11 are priced by its pass structure.  The
+implementation here mirrors the hardware algorithm:
+
+1. **run formation** — scratchpad-sized chunks are sorted entirely
+   on-chip (no DRAM traffic beyond streaming the chunk in and out);
+2. **high-radix merge passes** — up to ``MERGE_RADIX`` runs merge per
+   pass, each pass streaming the whole dataset through DRAM once.
+
+:class:`TiledMergeSort` counts events with the same accounting as
+``db.operators.sortutil.charge_sort``; tests assert the two agree, which
+is what licenses pricing sort-based operators analytically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional, Sequence
+
+from repro.structures.common import StructureEvents
+
+#: Rows a 256 KiB scratchpad can sort on-chip (8-byte rows, double-buffered).
+ONCHIP_SORT_ROWS = 16 * 1024
+
+#: Runs merged per DRAM pass (high-radix merge, §IV-B).
+MERGE_RADIX = 16
+
+
+def sort_passes(n_rows: int) -> int:
+    """DRAM streaming passes needed to fully sort ``n_rows``."""
+    if n_rows <= ONCHIP_SORT_ROWS:
+        return 1
+    runs = math.ceil(n_rows / ONCHIP_SORT_ROWS)
+    return 1 + math.ceil(math.log(runs, MERGE_RADIX))
+
+
+def charge_sort(events: StructureEvents, n_rows: int, row_bytes: int) -> None:
+    """Account the DRAM traffic of sorting ``n_rows`` of ``row_bytes`` each."""
+    passes = sort_passes(n_rows)
+    nbytes = n_rows * row_bytes * passes
+    events.dram_read_bytes += nbytes
+    events.dram_write_bytes += nbytes
+    events.dram_dense_accesses += max(1, (2 * nbytes) // 64)
+    events.records_processed += n_rows * passes
+
+
+class TiledMergeSort:
+    """Scratchpad-tiled, high-radix external merge sort."""
+
+    def __init__(self, onchip_rows: int = ONCHIP_SORT_ROWS,
+                 radix: int = MERGE_RADIX,
+                 events: Optional[StructureEvents] = None):
+        if onchip_rows < 1 or radix < 2:
+            raise ValueError("onchip_rows >= 1 and radix >= 2 required")
+        self.onchip_rows = onchip_rows
+        self.radix = radix
+        self.events = events if events is not None else StructureEvents()
+        self.passes_executed = 0
+
+    def sort(self, rows: Sequence, key: Callable = None,
+             row_bytes: int = 8) -> List:
+        """Sort ``rows``; charges one DRAM pass per merge level."""
+        key = key or (lambda r: r)
+        n = len(rows)
+        if n == 0:
+            return []
+        # Pass 1: on-chip run formation.
+        runs: List[List] = [
+            sorted(rows[s:s + self.onchip_rows], key=key)
+            for s in range(0, n, self.onchip_rows)
+        ]
+        self._charge_pass(n, row_bytes)
+        # High-radix merge passes until one run remains.
+        while len(runs) > 1:
+            runs = [
+                self._merge(runs[s:s + self.radix], key)
+                for s in range(0, len(runs), self.radix)
+            ]
+            self._charge_pass(n, row_bytes)
+        return runs[0]
+
+    def _merge(self, runs: List[List], key: Callable) -> List:
+        """R-way merge of sorted runs (the hardware merge network)."""
+        if len(runs) == 1:
+            return runs[0]
+        return list(heapq.merge(*runs, key=key))
+
+    def _charge_pass(self, n_rows: int, row_bytes: int) -> None:
+        self.passes_executed += 1
+        nbytes = n_rows * row_bytes
+        self.events.dram_read_bytes += nbytes
+        self.events.dram_write_bytes += nbytes
+        self.events.dram_dense_accesses += max(1, (2 * nbytes) // 64)
+        self.events.records_processed += n_rows
+
+
+def external_sort(rows: Sequence, key: Callable = None,
+                  onchip_rows: int = ONCHIP_SORT_ROWS,
+                  radix: int = MERGE_RADIX,
+                  events: Optional[StructureEvents] = None) -> List:
+    """One-shot convenience wrapper around :class:`TiledMergeSort`."""
+    return TiledMergeSort(onchip_rows, radix, events).sort(rows, key)

@@ -1,0 +1,129 @@
+"""DRAM spill queues for diverged search threads (§IV-C).
+
+Tree traversals fork data-dependently; a whole-extent window query can
+momentarily hold far more live threads than scratchpad queues can buffer.
+"To account for limited queue size in scratchpads, we spill search
+threads to a queue in DRAM" — :class:`SpillTile` models exactly that: an
+on-chip FIFO of bounded capacity backed by an unbounded DRAM queue with
+DRAM round-trip latency.  Because Aurochs threads are order-free, spilled
+threads may re-enter in any order without affecting results.
+
+§IV-C also parallelizes window queries "by splitting up the search
+rectangle and performing multiple smaller window queries in parallel";
+:func:`split_window` provides that decomposition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+from repro.dataflow.record import LANES
+from repro.dataflow.stats import DramStats
+from repro.dataflow.tile import Packer, Tile
+from repro.memory.dram import DRAM_LATENCY
+
+Rect = Tuple[int, int, int, int]
+
+
+class SpillTile(Tile):
+    """Bounded on-chip thread queue with DRAM overflow.
+
+    Records that do not fit in the on-chip FIFO are written to a DRAM
+    queue and become available again after ``dram_latency`` cycles; the
+    on-chip side always drains first.  ``spilled`` counts overflow events
+    for experiments.
+    """
+
+    def __init__(self, name: str, on_chip_capacity: int = 4 * LANES,
+                 dram_latency: int = DRAM_LATENCY,
+                 record_words: int = 4):
+        super().__init__(name)
+        self.on_chip_capacity = on_chip_capacity
+        self.dram_latency = dram_latency
+        self.record_words = record_words
+        self._onchip: deque = deque()
+        self._dram: deque = deque()    # (ready_cycle, record)
+        self._packer = Packer(None)
+        self.spilled = 0
+        self.dram_stats = DramStats()
+
+    def attach_output(self, stream, port: int = 0) -> None:  # type: ignore[override]
+        stream.producer = self
+        self.outputs.append(stream)
+        self._packer.stream = stream
+
+    def tick(self, cycle: int) -> bool:
+        moved = False
+        # Returning spilled threads become visible after the DRAM round
+        # trip; they refill the on-chip queue as space opens up.
+        while (self._dram and self._dram[0][0] <= cycle
+               and len(self._onchip) < self.on_chip_capacity):
+            __, record = self._dram.popleft()
+            self._onchip.append(record)
+            self.dram_stats.read_bytes += self.record_words * 4
+            self.dram_stats.dense_bursts += 1
+            moved = True
+        # Accept one input vector; overflow goes to DRAM.
+        stream = self.inputs[0] if self.inputs else None
+        consumed = False
+        if stream is not None and stream.can_pop():
+            for record in stream.pop():
+                if len(self._onchip) < self.on_chip_capacity:
+                    self._onchip.append(record)
+                else:
+                    self._dram.append((cycle + self.dram_latency, record))
+                    self.spilled += 1
+                    self.dram_stats.write_bytes += self.record_words * 4
+                    self.dram_stats.dense_bursts += 1
+            consumed = True
+            moved = True
+        # Emit up to one vector from the on-chip queue.
+        while self._onchip and self._packer.has_room(1):
+            self._packer.push(self._onchip.popleft())
+            if len(self._packer.pending) >= LANES:
+                break
+        if self._packer.flush(self.stats, force_partial=not consumed):
+            moved = True
+        if moved:
+            self.stats.busy_cycles += 1
+        else:
+            self.stats.idle_cycles += 1
+        self.maybe_close()
+        return moved
+
+    def idle(self) -> bool:
+        return (not self._onchip and not self._dram
+                and self._packer.empty())
+
+
+def split_window(query: Rect, n_streams: int) -> List[Rect]:
+    """Split a window query into ``n_streams`` disjoint sub-rectangles.
+
+    Cuts along the longer axis repeatedly; the union of the parts equals
+    the original rectangle, so running the parts on parallel streams and
+    concatenating results reproduces the single query.
+    """
+    if n_streams < 1:
+        raise ValueError("n_streams must be >= 1")
+    parts = [query]
+    while len(parts) < n_streams:
+        # Split the widest remaining part.
+        parts.sort(key=lambda r: max(r[2] - r[0], r[3] - r[1]),
+                   reverse=True)
+        x0, y0, x1, y1 = parts.pop(0)
+        if x1 - x0 >= y1 - y0:
+            if x1 == x0:
+                parts.append((x0, y0, x1, y1))
+                break
+            mid = (x0 + x1) // 2
+            parts.append((x0, y0, mid, y1))
+            parts.append((mid + 1, y0, x1, y1))
+        else:
+            if y1 == y0:
+                parts.append((x0, y0, x1, y1))
+                break
+            mid = (y0 + y1) // 2
+            parts.append((x0, y0, x1, mid))
+            parts.append((x0, mid + 1, x1, y1))
+    return parts

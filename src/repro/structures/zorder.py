@@ -1,0 +1,47 @@
+"""Z-order (Morton) space-filling curve (§IV-C).
+
+Aurochs' R-tree imposes a linear ordering on two-dimensional keys by
+interleaving coordinate bits, so spatial bulk-loading reduces to the sort +
+streaming-reduction kernels the fabric already has.  Coordinates are
+unsigned 16-bit grid positions (fixed-point-quantized geography); the
+Z-value is their 32-bit bit interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Coordinate resolution: 16 bits per axis -> 32-bit Z-values.
+COORD_BITS = 16
+COORD_MAX = (1 << COORD_BITS) - 1
+
+
+def _spread(v: int) -> int:
+    """Spread 16 bits to even bit positions (magic-number interleave)."""
+    v &= 0xFFFF
+    v = (v | (v << 8)) & 0x00FF00FF
+    v = (v | (v << 4)) & 0x0F0F0F0F
+    v = (v | (v << 2)) & 0x33333333
+    v = (v | (v << 1)) & 0x55555555
+    return v
+
+
+def _compact(v: int) -> int:
+    """Inverse of :func:`_spread`: gather even bit positions into 16 bits."""
+    v &= 0x55555555
+    v = (v | (v >> 1)) & 0x33333333
+    v = (v | (v >> 2)) & 0x0F0F0F0F
+    v = (v | (v >> 4)) & 0x00FF00FF
+    v = (v | (v >> 8)) & 0x0000FFFF
+    return v
+
+
+def z_encode(x: int, y: int) -> int:
+    """Interleave ``(x, y)`` into a Z-order value (x in even bits)."""
+    if not (0 <= x <= COORD_MAX and 0 <= y <= COORD_MAX):
+        raise ValueError(f"coordinates out of {COORD_BITS}-bit range: {(x, y)}")
+    return _spread(x) | (_spread(y) << 1)
+
+def z_decode(z: int) -> Tuple[int, int]:
+    """Recover ``(x, y)`` from a Z-order value."""
+    return _compact(z), _compact(z >> 1)

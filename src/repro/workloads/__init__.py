@@ -1,0 +1,21 @@
+"""Evaluation workloads: the synthetic rideshare database (Table 2) and the
+Q1-Q9 benchmark query set (fig. 13)."""
+
+from repro.workloads.rideshare import (
+    DAY,
+    GRID,
+    KM,
+    MINUTE,
+    N_METRICS,
+    NOW,
+    RideshareConfig,
+    RideshareData,
+    generate,
+)
+from repro.workloads.queries import QUERIES, QueryDef, default_models, run_query
+
+__all__ = [
+    "DAY", "GRID", "KM", "MINUTE", "N_METRICS", "NOW",
+    "RideshareConfig", "RideshareData", "generate",
+    "QUERIES", "QueryDef", "default_models", "run_query",
+]

@@ -1,0 +1,61 @@
+"""Live stream generators for the rideshare feeds.
+
+Table 2's ``rideReq`` and ``driverStatus`` are *streams*; the batch
+generator materializes a window of them, but the continuous-analytics
+path (``repro.workloads.streaming``) wants an unbounded, time-ordered
+event feed.  These generators produce exactly the same row shapes as the
+batch tables, deterministic under a seed, with events spaced by an
+exponential inter-arrival time (Poisson arrivals — the standard model
+for request streams).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+from repro.workloads.rideshare import (
+    GRID,
+    N_METRICS,
+    _city_hotspots,
+    _hotspot_point,
+)
+
+
+def ride_request_stream(start_time: int, mean_interarrival: float = 2.0,
+                        n_riders: int = 10_000,
+                        seed: int = 7) -> Iterator[Tuple]:
+    """Unbounded ``rideReq`` events: (reqId, riderId, x, y, seats, time)."""
+    rng = random.Random(seed)
+    hotspots = _city_hotspots(rng)
+    t = float(start_time)
+    req_id = 0
+    while True:
+        t += rng.expovariate(1.0 / mean_interarrival)
+        x, y = _hotspot_point(rng, hotspots)
+        yield (req_id, rng.randrange(n_riders), x, y,
+               rng.choice((1, 1, 2, 2, 4)), int(t))
+        req_id += 1
+
+
+def driver_status_stream(start_time: int, mean_interarrival: float = 2.0,
+                         n_drivers: int = 1_000,
+                         seed: int = 8) -> Iterator[Tuple]:
+    """Unbounded ``driverStatus`` events:
+    (statusId, driverId, x, y, time, s0..s{N_METRICS-1})."""
+    rng = random.Random(seed)
+    hotspots = _city_hotspots(rng)
+    t = float(start_time)
+    status_id = 0
+    while True:
+        t += rng.expovariate(1.0 / mean_interarrival)
+        x, y = _hotspot_point(rng, hotspots)
+        metrics = tuple(round(rng.uniform(0, 1), 3)
+                        for __ in range(N_METRICS))
+        yield (status_id, rng.randrange(n_drivers), x, y, int(t)) + metrics
+        status_id += 1
+
+
+def take(stream: Iterator[Tuple], n: int) -> list:
+    """Materialize the next ``n`` events of a stream."""
+    return [next(stream) for __ in range(n)]

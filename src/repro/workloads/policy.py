@@ -1,0 +1,110 @@
+"""Operator policies: the same queries on Aurochs vs Gorgon algorithms.
+
+The paper's Gorgon baseline runs the *same* queries with asymptotically
+weaker operators (§I): sort-merge joins, sort-based aggregation, and —
+lacking spatial indices — nested-loop spatial joins and full scans.  An
+:class:`OperatorPolicy` bundles the operator choices so each query's plan
+is written once and executed under either algorithm set; the cost model
+then prices both traces, which is how Gorgon columns are produced for
+query-level comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.db.context import ExecutionContext
+from repro.db.table import Table
+from repro.db.operators import (
+    containment_join,
+    distance_join,
+    hash_group_by,
+    hash_join,
+    nested_loop_join,
+    scan_filter,
+    sort_group_by,
+    sort_merge_join,
+    window_select,
+)
+
+
+@dataclass(frozen=True)
+class OperatorPolicy:
+    """The operator implementations a platform's plans use."""
+
+    name: str
+    join: Callable
+    group_by: Callable
+    distance_join: Callable
+    containment_join: Callable
+    window_select: Callable
+
+
+def _gorgon_distance_join(left: Table, right: Table,
+                          left_xy: Tuple[str, str],
+                          right_xy: Tuple[str, str], radius: int,
+                          ctx: Optional[ExecutionContext] = None,
+                          prefix: str = "r_",
+                          name: Optional[str] = None) -> Table:
+    """No spatial index: all-pairs distance test (fig. 11b's NLJ)."""
+    lxi, lyi = left.col_index(left_xy[0]), left.col_index(left_xy[1])
+    rxi, ryi = right.col_index(right_xy[0]), right.col_index(right_xy[1])
+
+    def pred(lrow, rrow):
+        return math.hypot(lrow[lxi] - rrow[rxi],
+                          lrow[lyi] - rrow[ryi]) <= radius
+
+    return nested_loop_join(left, right, pred, ctx, prefix,
+                            name or f"{left.name}_nlj_{right.name}")
+
+
+def _gorgon_containment_join(regions: Table,
+                             bounds: Tuple[str, str, str, str],
+                             points: Table, point_xy: Tuple[str, str],
+                             ctx: Optional[ExecutionContext] = None,
+                             prefix: str = "r_",
+                             name: Optional[str] = None) -> Table:
+    """No spatial index: all region x point containment tests."""
+    bi = [regions.col_index(f) for f in bounds]
+    pxi = points.col_index(point_xy[0])
+    pyi = points.col_index(point_xy[1])
+
+    def pred(region, point):
+        return (region[bi[0]] <= point[pxi] <= region[bi[2]]
+                and region[bi[1]] <= point[pyi] <= region[bi[3]])
+
+    return nested_loop_join(regions, points, pred, ctx, prefix,
+                            name or f"{regions.name}_nlj_{points.name}")
+
+
+def _gorgon_window_select(table: Table, x_field: str, y_field: str,
+                          query_rect, index=None,
+                          ctx: Optional[ExecutionContext] = None,
+                          name: Optional[str] = None) -> Table:
+    """No spatial index: scan and filter the whole table."""
+    xi, yi = table.col_index(x_field), table.col_index(y_field)
+    x0, y0, x1, y1 = query_rect
+    return scan_filter(
+        table, lambda r: x0 <= r[xi] <= x1 and y0 <= r[yi] <= y1,
+        ctx, name or f"{table.name}_scan_window")
+
+
+AUROCHS_POLICY = OperatorPolicy(
+    name="aurochs",
+    join=hash_join,
+    group_by=hash_group_by,
+    distance_join=distance_join,
+    containment_join=containment_join,
+    window_select=window_select,
+)
+
+GORGON_POLICY = OperatorPolicy(
+    name="gorgon",
+    join=sort_merge_join,
+    group_by=sort_group_by,
+    distance_join=_gorgon_distance_join,
+    containment_join=_gorgon_containment_join,
+    window_select=_gorgon_window_select,
+)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the Aurochs reproduction test suite."""
+
+import random
+
+import pytest
+
+from repro.workloads import RideshareConfig, generate
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xA12C)
+
+
+@pytest.fixture(scope="session")
+def tiny_rideshare():
+    """A small rideshare database shared across query tests."""
+    cfg = RideshareConfig(n_drivers=100, n_riders=200, n_locations=16,
+                          n_rides=1500, n_ride_reqs=250, n_driver_status=250)
+    return generate(cfg)

@@ -1,0 +1,157 @@
+"""Immutable B-tree: bulk load, range queries (three implementations
+cross-validated), and the fork-based dataflow search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import run_graph
+from repro.structures import BTreeDataflow, ImmutableBTree
+
+
+def _brute(pairs, lo, hi):
+    return sorted((k, v) for k, v in pairs if lo <= k <= hi)
+
+
+class TestBulkLoad:
+    def test_empty_tree(self):
+        t = ImmutableBTree.bulk_load([])
+        assert len(t) == 0
+        assert t.height == 0
+        assert t.range_query(0, 100) == []
+
+    def test_single_leaf(self):
+        t = ImmutableBTree.bulk_load([(5, "a")])
+        assert t.search(5) == ["a"]
+        assert t.min_key() == t.max_key() == 5
+
+    def test_leaves_sorted(self):
+        t = ImmutableBTree.bulk_load([(3, 0), (1, 1), (2, 2)])
+        assert [k for k, __ in t.leaves()] == [1, 2, 3]
+
+    def test_presorted_skips_sort(self):
+        pairs = [(i, i) for i in range(100)]
+        t = ImmutableBTree.bulk_load(pairs, presorted=True)
+        assert t.leaves() == pairs
+
+    def test_height_grows_logarithmically(self):
+        t_small = ImmutableBTree.bulk_load([(i, i) for i in range(16)],
+                                           fanout=4)
+        t_large = ImmutableBTree.bulk_load([(i, i) for i in range(4096)],
+                                           fanout=4)
+        assert t_small.height < t_large.height <= 6
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            ImmutableBTree.bulk_load([(1, 1)], fanout=1)
+
+    def test_duplicate_keys_kept(self):
+        t = ImmutableBTree.bulk_load([(1, "a"), (1, "b")])
+        assert sorted(t.search(1)) == ["a", "b"]
+
+    def test_build_charges_dram_writes(self):
+        t = ImmutableBTree.bulk_load([(i, i) for i in range(1000)])
+        assert t.events.dram_write_bytes > 1000 * 8
+
+
+class TestRangeQueries:
+    def _tree(self, n=1000, key_space=2000, fanout=8, seed=3):
+        rng = random.Random(seed)
+        pairs = [(rng.randrange(key_space), i) for i in range(n)]
+        return pairs, ImmutableBTree.bulk_load(pairs, fanout=fanout)
+
+    def test_matches_brute_force(self):
+        pairs, t = self._tree()
+        rng = random.Random(4)
+        for __ in range(40):
+            lo = rng.randrange(2100)
+            hi = lo + rng.randrange(400)
+            assert sorted(t.range_query(lo, hi)) == _brute(pairs, lo, hi)
+
+    def test_level_descent_matches_bisect(self):
+        pairs, t = self._tree(fanout=4)
+        rng = random.Random(5)
+        for __ in range(40):
+            lo = rng.randrange(2100)
+            hi = lo + rng.randrange(300)
+            assert sorted(t.search_levels(lo, hi)) == sorted(
+                t.range_query(lo, hi))
+
+    def test_results_in_key_order(self):
+        __, t = self._tree()
+        out = t.range_query(0, 2000)
+        assert [k for k, __ in out] == sorted(k for k, __ in out)
+
+    def test_empty_range(self):
+        __, t = self._tree()
+        assert t.range_query(50, 40) == []
+
+    def test_probe_charges_height_gathers(self):
+        __, t = self._tree(n=4096, fanout=4)
+        before = t.events.dram_sparse_accesses
+        t.range_query(10, 10)
+        assert t.events.dram_sparse_accesses - before == t.height
+
+    @given(st.lists(st.tuples(st.integers(0, 300), st.integers()),
+                    max_size=300),
+           st.integers(0, 300), st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_range_query(self, pairs, a, b):
+        lo, hi = min(a, b), max(a, b)
+        t = ImmutableBTree.bulk_load(pairs, fanout=4)
+        assert sorted(t.range_query(lo, hi)) == _brute(pairs, lo, hi)
+
+
+class TestDataflowSearch:
+    def _setup(self, n=600, fanout=8, seed=6):
+        rng = random.Random(seed)
+        pairs = [(rng.randrange(1200), i) for i in range(n)]
+        tree = ImmutableBTree.bulk_load(pairs, fanout=fanout)
+        return pairs, BTreeDataflow(tree)
+
+    def test_flatten_matches_tree(self):
+        pairs, bd = self._setup()
+        rng = random.Random(7)
+        for __ in range(30):
+            lo = rng.randrange(1300)
+            hi = lo + rng.randrange(200)
+            assert bd.search_flat(lo, hi) == _brute(pairs, lo, hi)
+
+    def test_cycle_sim_matches_brute_force(self):
+        pairs, bd = self._setup(n=300)
+        rng = random.Random(8)
+        queries = []
+        for q in range(15):
+            lo = rng.randrange(1300)
+            queries.append((q, lo, lo + rng.randrange(150)))
+        g = bd.search_graph(queries)
+        run_graph(g)
+        got = sorted(g.tile("hits").records)
+        expect = sorted((q, k, v) for q, lo, hi in queries
+                        for k, v in pairs if lo <= k <= hi)
+        assert got == expect
+
+    def test_point_queries(self):
+        pairs, bd = self._setup(n=200)
+        key = pairs[0][0]
+        g = bd.search_graph([(0, key, key)])
+        run_graph(g)
+        got = sorted(v for __, k, v in g.tile("hits").records)
+        assert got == sorted(v for k, v in pairs if k == key)
+
+    def test_forking_walks_multiple_paths(self):
+        # A wide range forces the thread to fork across many children.
+        pairs, bd = self._setup(n=500, fanout=4)
+        g = bd.search_graph([(0, 0, 1200)])
+        stats = run_graph(g)
+        assert len(g.tile("hits").records) == 500
+        # The descend fork tile must have emitted more threads than it
+        # consumed (fan-out > 1 somewhere).
+        assert g.tile("descend").stats.records_out > bd.tree.height
+
+    def test_single_node_tree_dataflow(self):
+        bd = BTreeDataflow(ImmutableBTree.bulk_load([(1, "x")], fanout=4))
+        g = bd.search_graph([(0, 0, 5)])
+        run_graph(g)
+        assert g.tile("hits").records == [(0, 1, "x")]

@@ -1,0 +1,120 @@
+"""Schema-tracked pipeline builder: named-field stage declarations that
+compile to the same tile graphs the hand-wired kernels use."""
+
+import pytest
+
+from repro.dataflow import run_graph
+from repro.dataflow.builder import PipelineBuilder
+from repro.errors import GraphError, SchemaError
+
+
+class TestLinearPipelines:
+    def test_map_select_sink(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["a", "b"], [(i, i * 2) for i in range(40)])
+        pipe = pipe.map("sum", lambda r: {"a": r["a"], "b": r["b"],
+                                          "s": r["a"] + r["b"]},
+                        out_fields=["a", "b", "s"])
+        pipe = pipe.select("proj", "s")
+        pipe.sink("out")
+        run_graph(b.graph)
+        got = sorted(r[0] for r in b.results("out"))
+        assert got == sorted(3 * i for i in range(40))
+
+    def test_schema_tracked_through_stages(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["x"], [(1,)])
+        pipe = pipe.stamp("st", "ticket")
+        assert pipe.schema.fields == ("x", "ticket")
+
+    def test_map_kills_with_none(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["x"], [(i,) for i in range(10)])
+        pipe = pipe.map("keep_even",
+                        lambda r: r if r["x"] % 2 == 0 else None)
+        pipe.sink("out")
+        run_graph(b.graph)
+        assert sorted(r[0] for r in b.results("out")) == [0, 2, 4, 6, 8]
+
+    def test_source_validates_rows(self):
+        b = PipelineBuilder("p")
+        with pytest.raises(SchemaError):
+            b.source("src", ["a", "b"], [(1,)])
+
+    def test_select_unknown_field_fails_at_build(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["a"], [(1,)])
+        with pytest.raises(SchemaError):
+            pipe.select("bad", "zz")
+
+    def test_map_output_schema_enforced(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["a"], [(1,)])
+        pipe = pipe.map("wrong", lambda r: {"nope": 1},
+                        out_fields=["expected"])
+        pipe.sink("out")
+        with pytest.raises(SchemaError):
+            run_graph(b.graph)
+
+
+class TestBranchingAndLoops:
+    def test_where_splits(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["x"], [(i,) for i in range(20)])
+        small, large = pipe.where("split", lambda r: r["x"] < 5)
+        small.sink("small")
+        large.sink("large")
+        run_graph(b.graph)
+        assert len(b.results("small")) == 5
+        assert len(b.results("large")) == 15
+
+    def test_drop_side(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["x"], [(i,) for i in range(20)])
+        keep, toss = pipe.where("split", lambda r: r["x"] % 4 == 0)
+        keep.sink("out")
+        toss.drop()
+        run_graph(b.graph)
+        assert sorted(r[0] for r in b.results("out")) == [0, 4, 8, 12, 16]
+
+    def test_fork_spawns_children(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["n"], [(3,), (2,)])
+        pipe = pipe.fork("children",
+                         lambda r: [{"n": r["n"], "i": i}
+                                    for i in range(r["n"])],
+                         out_fields=["n", "i"])
+        pipe.sink("out")
+        run_graph(b.graph)
+        assert len(b.results("out")) == 5
+
+    def test_countdown_loop(self):
+        # fig. 5a's while-loop as builder stages.
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["id", "n"],
+                        [(i, i % 6) for i in range(50)])
+        loop = pipe.loop("entry")
+        done, working = loop.body.where("test", lambda r: r["n"] <= 0)
+        done.sink("out")
+        dec = working.map("dec", lambda r: {"id": r["id"],
+                                            "n": r["n"] - 1})
+        loop.continue_with(dec)
+        run_graph(b.graph)
+        assert len(b.results("out")) == 50
+
+    def test_loop_schema_mismatch_rejected(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["id", "n"], [(0, 1)])
+        loop = pipe.loop("entry")
+        __, working = loop.body.where("test", lambda r: r["n"] <= 0)
+        bad = working.select("oops", "id")   # schema no longer matches
+        with pytest.raises(GraphError):
+            loop.continue_with(bad)
+
+    def test_results_as_dicts_unsupported_hint(self):
+        b = PipelineBuilder("p")
+        pipe = b.source("src", ["x"], [(1,)])
+        pipe.sink("out")
+        run_graph(b.graph)
+        with pytest.raises(GraphError):
+            b.results("out", as_dicts=True)

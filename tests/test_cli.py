@@ -1,0 +1,37 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Aurochs" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "15.00" in out and "5.00" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig. 11a" in out
+        assert "fig. 12" in out
+        assert "warp" in out
+
+    def test_queries_small_scale(self, capsys):
+        assert main(["queries", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "q1" in out and "geomean" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

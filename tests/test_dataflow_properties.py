@@ -1,0 +1,121 @@
+"""Property-based invariants of the dataflow engine itself.
+
+Whatever the data and pipeline shape, the threading model guarantees:
+records are conserved (filter sides partition the input, maps are 1:1,
+forks produce exactly their fan-out), thread order is free but multiset
+content is exact, and both engines agree.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import (
+    FilterTile,
+    ForkTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+    run_functional,
+    run_graph,
+)
+
+records = st.lists(st.tuples(st.integers(-1000, 1000)), max_size=120)
+
+
+class TestConservation:
+    @given(records)
+    @settings(max_examples=30, deadline=None)
+    def test_filter_partitions_input(self, recs):
+        g = Graph("p")
+        src = g.add(SourceTile("src", recs))
+        f = g.add(FilterTile("f", lambda r: r[0] % 3 == 0))
+        a, b = g.add(SinkTile("a")), g.add(SinkTile("b"))
+        g.connect(src, f)
+        g.connect(f, a, producer_port=0)
+        g.connect(f, b, producer_port=1)
+        run_graph(g)
+        assert sorted(a.records + b.records) == sorted(recs)
+        assert all(r[0] % 3 == 0 for r in a.records)
+
+    @given(records)
+    @settings(max_examples=30, deadline=None)
+    def test_map_is_one_to_one(self, recs):
+        g = Graph("p")
+        src = g.add(SourceTile("src", recs))
+        m = g.add(MapTile("m", lambda r: (r[0] * 2,)))
+        sink = g.add(SinkTile("s"))
+        g.connect(src, m)
+        g.connect(m, sink)
+        run_graph(g)
+        assert sorted(sink.records) == sorted((r[0] * 2,) for r in recs)
+
+    @given(records, st.integers(0, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_fork_fanout_exact(self, recs, fanout):
+        g = Graph("p")
+        src = g.add(SourceTile("src", recs))
+        f = g.add(ForkTile("f", lambda r: [r] * fanout))
+        sink = g.add(SinkTile("s"))
+        g.connect(src, f)
+        g.connect(f, sink)
+        run_graph(g)
+        assert len(sink.records) == len(recs) * fanout
+
+    @given(records, records)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_multiset_union(self, a_recs, b_recs):
+        g = Graph("p")
+        a = g.add(SourceTile("a", a_recs))
+        b = g.add(SourceTile("b", b_recs))
+        m = g.add(MergeTile("m"))
+        sink = g.add(SinkTile("s"))
+        g.connect(a, m)
+        g.connect(b, m)
+        g.connect(m, sink)
+        run_graph(g)
+        assert sorted(sink.records) == sorted(a_recs + b_recs)
+
+
+class TestEngineAgreement:
+    @given(records, st.integers(0, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_cycle_and_functional_agree_on_loops(self, recs, max_iters):
+        def build():
+            g = Graph("loop")
+            src = g.add(SourceTile(
+                "src", [(r[0], abs(r[0]) % (max_iters + 1)) for r in recs]))
+            merge = g.add(MergeTile("merge"))
+            cond = g.add(FilterTile("cond", lambda r: r[1] <= 0))
+            dec = g.add(MapTile("dec", lambda r: (r[0], r[1] - 1)))
+            sink = g.add(SinkTile("sink"))
+            g.connect(src, merge)
+            g.connect(merge, cond)
+            g.connect(cond, sink, producer_port=0)
+            g.connect(cond, dec, producer_port=1)
+            g.connect(dec, merge, priority=True)
+            return g, sink
+
+        g1, s1 = build()
+        g2, s2 = build()
+        run_graph(g1)
+        run_functional(g2)
+        assert sorted(s1.records) == sorted(s2.records)
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_throughput_never_exceeds_line_rate(self, n_vectors):
+        # A tile can emit at most LANES records per cycle; total cycles
+        # must be at least the number of full vectors.
+        from repro.dataflow import LANES
+        n = n_vectors * LANES
+        g = Graph("rate")
+        src = g.add(SourceTile("src", [(i,) for i in range(n)]))
+        m = g.add(MapTile("m", lambda r: r))
+        sink = g.add(SinkTile("s"))
+        g.connect(src, m)
+        g.connect(m, sink)
+        stats = run_graph(g)
+        assert stats.cycles >= n_vectors

@@ -1,0 +1,87 @@
+"""distinct and top_k streaming operators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import ExecutionContext, Table
+from repro.db.operators import distinct, limit, order_by, top_k
+
+
+class TestDistinct:
+    def test_whole_row_dedup(self):
+        t = Table.from_columns("t", a=[1, 1, 2, 2, 3], b=[1, 1, 2, 9, 3])
+        out = distinct(t)
+        assert out.rows == [(1, 1), (2, 2), (2, 9), (3, 3)]
+
+    def test_field_subset_dedup_keeps_first(self):
+        t = Table.from_columns("t", a=[1, 1, 2], b=[10, 20, 30])
+        out = distinct(t, fields=["a"])
+        assert out.rows == [(1, 10), (2, 30)]
+
+    def test_order_preserved(self):
+        t = Table.from_columns("t", a=[3, 1, 3, 2, 1])
+        assert distinct(t).column("a") == [3, 1, 2]
+
+    def test_events_traced(self):
+        ctx = ExecutionContext()
+        t = Table.from_columns("t", a=[1] * 50)
+        distinct(t, ctx=ctx)
+        assert ctx.traces[-1].op == "distinct"
+        assert ctx.traces[-1].events.rmw_ops >= 1
+
+    @given(st.lists(st.integers(0, 20), max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_set_semantics(self, values):
+        t = Table.from_columns("t", a=values)
+        out = distinct(t).column("a")
+        assert out == list(dict.fromkeys(values))
+
+
+class TestTopK:
+    def _t(self, seed=140, n=200):
+        rng = random.Random(seed)
+        return Table.from_columns(
+            "t", v=[rng.randrange(10_000) for __ in range(n)],
+            id=list(range(n)))
+
+    def test_matches_sort_limit(self):
+        t = self._t()
+        heap = top_k(t, "v", 10)
+        ref = limit(order_by(t, "v"), 10)
+        assert sorted(heap.rows) == sorted(ref.rows)
+
+    def test_largest(self):
+        t = self._t(seed=141)
+        heap = top_k(t, "v", 5, smallest=False)
+        ref = limit(order_by(t, "v", reverse=True), 5)
+        assert sorted(heap.rows) == sorted(ref.rows)
+
+    def test_k_larger_than_table(self):
+        t = self._t(n=7)
+        assert len(top_k(t, "v", 100)) == 7
+
+    def test_k_zero(self):
+        assert len(top_k(self._t(), "v", 0)) == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_k(self._t(), "v", -1)
+
+    def test_results_sorted(self):
+        out = top_k(self._t(seed=142), "v", 20)
+        vals = out.column("v")
+        assert vals == sorted(vals)
+
+    def test_trace_note(self):
+        ctx = ExecutionContext()
+        top_k(self._t(), "v", 3, ctx=ctx)
+        assert "k=3" in ctx.traces[-1].note
+
+    @given(st.lists(st.integers(), max_size=150), st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_sorted_prefix(self, values, k):
+        t = Table.from_columns("t", v=values)
+        out = top_k(t, "v", k).column("v")
+        assert out == sorted(values)[:k]

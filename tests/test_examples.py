@@ -1,0 +1,122 @@
+"""The examples are part of the public API surface: each must run clean.
+
+Also re-validates the BFS pattern from graph_traversal.py inline, since
+it exercises a tile composition (CAS visited-set + DRAM adjacency fork)
+no other test covers.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.dataflow import (
+    CopyTile,
+    FilterTile,
+    ForkTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+    run_graph,
+)
+from repro.memory import (
+    DramMemory,
+    DramTile,
+    PortConfig,
+    ScratchpadMemory,
+    ScratchpadTile,
+)
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = ["quickstart.py", "streaming_join.py", "spatial_index.py",
+            "graph_traversal.py", "rideshare_analytics.py",
+            "pipeline_builder.py"]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+class TestBfsPattern:
+    def _bfs(self, adjacency, roots):
+        n = len(adjacency)
+        spad = ScratchpadMemory("visited")
+        visited = spad.region("visited", n, 1, fill=0)
+        dram = DramMemory("adj")
+        adj = dram.region("adjacency", n, 8, fill=None)
+        for node, neighbors in enumerate(adjacency):
+            adj[node] = tuple(neighbors)
+
+        g = Graph("bfs")
+        src = g.add(SourceTile("src", [(r, 0) for r in roots]))
+        entry = g.add(MergeTile("entry"))
+        mark = g.add(ScratchpadTile("mark", spad, [PortConfig(
+            mode="rmw", region=visited, addr=lambda r: r[0],
+            rmw=lambda old, r: (1, old),
+            combine=lambda r, old: (r[0], r[1], old))]))
+        fresh = g.add(FilterTile("fresh", lambda r: r[2] == 0))
+        gather = g.add(DramTile("gather", dram, [PortConfig(
+            mode="read", region=adj, addr=lambda r: r[0],
+            combine=lambda r, nbs: (r[0], r[1], nbs))]))
+        dup = g.add(CopyTile("dup"))
+        emit = g.add(MapTile("emit", lambda r: (r[0], r[1])))
+        expand = g.add(ForkTile(
+            "expand", lambda r: [(nb, r[1] + 1) for nb in r[2]]))
+        out = g.add(SinkTile("visited"))
+        g.connect(src, entry)
+        g.connect(entry, mark)
+        g.connect(mark, fresh)
+        g.connect(fresh, gather, producer_port=0)
+        fresh.drop_output(1)
+        g.connect(gather, dup)
+        g.connect(dup, emit, producer_port=0)
+        g.connect(emit, out)
+        g.connect(dup, expand, producer_port=1)
+        g.connect(expand, entry, priority=True)
+        run_graph(g)
+        return {node for node, __ in out.records}
+
+    def _reachable(self, adjacency, roots):
+        seen, stack = set(), list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node])
+        return seen
+
+    def test_chain_graph(self):
+        adjacency = [[i + 1] for i in range(49)] + [[]]
+        assert self._bfs(adjacency, [0]) == set(range(50))
+
+    def test_disconnected_component_not_visited(self):
+        adjacency = [[1], [0], [3], [2]]
+        assert self._bfs(adjacency, [0]) == {0, 1}
+
+    def test_random_graph_coverage(self):
+        import random
+        rng = random.Random(120)
+        adjacency = [sorted({rng.randrange(200) for __ in range(3)})
+                     for __ in range(200)]
+        assert (self._bfs(adjacency, [0])
+                == self._reachable(adjacency, [0]))
+
+    def test_each_node_expanded_once(self):
+        adjacency = [[1, 2], [0, 2], [0, 1]]  # triangle: heavy racing
+        visited = self._bfs(adjacency, [0])
+        assert visited == {0, 1, 2}
+
+    def test_multiple_roots(self):
+        adjacency = [[], [], [], []]
+        assert self._bfs(adjacency, [0, 2]) == {0, 2}

@@ -1,0 +1,77 @@
+"""Tile placement on the fabric grid."""
+
+import pytest
+
+from repro.dataflow import run_graph
+from repro.errors import PlanError
+from repro.fabric import GRID_SIDE, GridPlacer, Placement, placement_report
+from repro.structures import HashTableDataflow
+
+
+def _probe_graph(n=64):
+    ht = HashTableDataflow(n_buckets=16, spad_node_capacity=64)
+    ht.load([(k % 16, k) for k in range(32)])
+    return ht.probe_graph([(q, q % 20) for q in range(n)], emit_all=False)
+
+
+class TestGridPlacer:
+    def test_all_tiles_placed_uniquely(self):
+        g = _probe_graph()
+        placement = GridPlacer().place(g)
+        coords = list(placement.coords.values())
+        assert len(coords) == len(g.tiles)
+        assert len(set(coords)) == len(coords)
+
+    def test_coords_on_grid(self):
+        placement = GridPlacer().place(_probe_graph())
+        for x, y in placement.coords.values():
+            assert 0 <= x < GRID_SIDE and 0 <= y < GRID_SIDE
+
+    def test_every_stream_has_hops(self):
+        g = _probe_graph()
+        placement = GridPlacer().place(g)
+        assert set(placement.hops) == {s.name for s in g.streams}
+
+    def test_connected_tiles_stay_close(self):
+        g = _probe_graph()
+        placement = GridPlacer().place(g)
+        # Greedy adjacency placement: the pipeline should not scatter —
+        # mean hop count stays small on an (almost) linear graph.
+        mean_hops = placement.total_wire_length / len(placement.hops)
+        assert mean_hops < 4
+
+    def test_placement_is_deterministic(self):
+        a = GridPlacer().place(_probe_graph())
+        b = GridPlacer().place(_probe_graph())
+        assert a.coords == b.coords
+
+    def test_over_capacity_rejected(self):
+        g = _probe_graph()
+        with pytest.raises(PlanError):
+            GridPlacer(side=2).place(g)
+
+    def test_placed_graph_still_executes(self):
+        # Placement is analysis-only: the graph remains runnable.
+        g = _probe_graph(32)
+        GridPlacer().place(g)
+        stats = run_graph(g)
+        assert stats.cycles > 0
+
+    def test_report_renders(self):
+        g = _probe_graph()
+        text = placement_report(g, GridPlacer().place(g))
+        assert "wire length" in text
+
+
+class TestPlacementStats:
+    def test_empty_placement(self):
+        p = Placement()
+        assert p.total_wire_length == 0
+        assert p.max_hops == 0
+
+    def test_bisection_fraction_small_for_one_kernel(self):
+        g = _probe_graph()
+        placement = GridPlacer().place(g)
+        # One kernel at line rate uses a tiny slice of 5.1 TB/s.
+        frac = placement.bisection_traffic_fraction(1e9)
+        assert 0 < frac < 0.5

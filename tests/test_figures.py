@@ -1,0 +1,74 @@
+"""The programmatic figure API: series shapes match the paper's claims."""
+
+import pytest
+
+from repro.perf import figures
+from repro.perf.params import AUROCHS
+
+
+class TestFig11a:
+    def test_series_aligned(self):
+        s = figures.fig11a_join_scaling()
+        n = len(s["sizes"])
+        assert all(len(s[k]) == n
+                   for k in ("aurochs", "gorgon", "cpu", "gpu"))
+
+    def test_all_monotone_in_size(self):
+        s = figures.fig11a_join_scaling()
+        for k in ("aurochs", "gorgon", "cpu", "gpu"):
+            assert all(a < b for a, b in zip(s[k], s[k][1:])), k
+
+    def test_crossover_present(self):
+        s = figures.fig11a_join_scaling()
+        # Gorgon (sort) wins at the smallest size, loses at the largest.
+        assert s["gorgon"][0] < s["aurochs"][0]
+        assert s["aurochs"][-1] < s["gorgon"][-1]
+
+    def test_aurochs_dominates_software(self):
+        s = figures.fig11a_join_scaling()
+        for a, c, g in zip(s["aurochs"], s["cpu"], s["gpu"]):
+            assert a < c and a < g
+
+
+class TestFig11b:
+    def test_nlj_is_superlinear(self):
+        s = figures.fig11b_spatial_scaling()
+        ratio_small = s["gorgon_nlj"][0] / s["aurochs"][0]
+        ratio_large = s["gorgon_nlj"][-1] / s["aurochs"][-1]
+        assert ratio_large > ratio_small
+
+    def test_presort_gap_grows(self):
+        s = figures.fig11b_spatial_scaling()
+        assert (s["gorgon_sort"][-1] / s["aurochs"][-1]
+                > s["gorgon_sort"][1] / s["aurochs"][1])
+
+
+class TestFig12:
+    def test_saturation_below_dram_bw(self):
+        s = figures.fig12_parallel_scaling()
+        for k in ("hash_join", "partition", "sort_merge_join"):
+            assert s[k][-1] < AUROCHS.dram_bw_bytes
+            assert s[k][-1] == pytest.approx(s[k][-2], rel=0.2)
+
+    def test_compute_bound_kernels_keep_scaling(self):
+        s = figures.fig12_parallel_scaling()
+        assert s["hash_build"][-1] > s["hash_build"][-3]
+
+
+class TestWarpEfficiency:
+    def test_bands(self):
+        w = figures.warp_efficiency()
+        assert 0.45 < w["build"] < 0.8
+        assert 0.3 < w["probe"] < 0.6
+        assert w["probe_with_barrier"] < w["probe"]
+
+
+class TestFig14:
+    def test_queries_and_speedups(self, tiny_rideshare):
+        q = figures.fig14_queries(tiny_rideshare)
+        assert set(q) == {f"q{i}" for i in range(1, 10)}
+        for name, row in q.items():
+            assert row["aurochs"] > 0 and row["cpu"] > 0 and row["gpu"] > 0
+        agg = figures.geomean_speedups(q)
+        assert agg["vs_cpu"] > 1
+        assert agg["vs_gpu"] > 0

@@ -1,0 +1,167 @@
+"""Graph construction and cycle-engine semantics: validation, cyclic
+pipelines, deadlock detection, quiescence, statistics."""
+
+import pytest
+
+from repro.dataflow import (
+    Engine,
+    FilterTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+    run_graph,
+)
+from repro.errors import GraphError, SimulationError
+
+
+def _countdown_graph(items):
+    """The canonical while-loop dataflow of fig. 5a: decrement until 0."""
+    g = Graph("loop")
+    src = g.add(SourceTile("src", items))
+    merge = g.add(MergeTile("merge"))
+    cond = g.add(FilterTile("cond", lambda r: r[1] <= 0))
+    dec = g.add(MapTile("dec", lambda r: (r[0], r[1] - 1)))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, merge)
+    g.connect(merge, cond)
+    g.connect(cond, sink, producer_port=0)
+    g.connect(cond, dec, producer_port=1)
+    g.connect(dec, merge, priority=True)
+    return g, sink
+
+
+class TestGraphConstruction:
+    def test_duplicate_tile_name_rejected(self):
+        g = Graph("g")
+        g.add(SinkTile("x"))
+        with pytest.raises(GraphError):
+            g.add(SinkTile("x"))
+
+    def test_tile_lookup_by_name(self):
+        g = Graph("g")
+        t = g.add(SinkTile("x"))
+        assert g.tile("x") is t
+
+    def test_tile_lookup_missing_raises(self):
+        with pytest.raises(GraphError):
+            Graph("g").tile("nope")
+
+    def test_connect_requires_registered_tiles(self):
+        g = Graph("g")
+        a = SourceTile("a", [])
+        b = SinkTile("b")
+        with pytest.raises(GraphError):
+            g.connect(a, b)
+
+    def test_validate_flags_missing_inputs(self):
+        g = Graph("g")
+        g.add(MapTile("m", lambda r: r))
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_tile_counts(self):
+        g, __ = _countdown_graph([(0, 1)])
+        counts = g.tile_counts()
+        assert counts["MergeTile"] == 1
+        assert counts["FilterTile"] == 1
+
+    def test_sources_and_sinks_discovery(self):
+        g, sink = _countdown_graph([(0, 1)])
+        assert len(g.sources()) == 1
+        assert g.sinks() == [sink]
+
+
+class TestCyclicExecution:
+    def test_all_threads_eventually_exit(self):
+        items = [(i, i % 9) for i in range(200)]
+        g, sink = _countdown_graph(items)
+        run_graph(g)
+        assert len(sink.records) == 200
+
+    def test_zero_iteration_threads_pass_through(self):
+        g, sink = _countdown_graph([(i, 0) for i in range(50)])
+        run_graph(g)
+        assert len(sink.records) == 50
+
+    def test_single_thread_loop(self):
+        g, sink = _countdown_graph([(0, 100)])
+        stats = run_graph(g)
+        assert len(sink.records) == 1
+        # One thread must recirculate ~100 times: cycles scale with depth.
+        assert stats.cycles > 100
+
+    def test_latency_tolerance_with_many_threads(self):
+        # With enough threads in flight, loop throughput approaches line
+        # rate despite the loop-carried dependence (§III-A).
+        few_g, __ = _countdown_graph([(i, 8) for i in range(8)])
+        many_g, __ = _countdown_graph([(i, 8) for i in range(512)])
+        few = Engine(few_g).run()
+        many = Engine(many_g).run()
+        # 64x the threads must take far less than 64x the cycles.
+        assert many.cycles < few.cycles * 16
+
+    def test_empty_source_quiesces(self):
+        g, sink = _countdown_graph([])
+        stats = run_graph(g)
+        assert sink.records == []
+        assert stats.cycles < 50
+
+
+class TestEngineGuards:
+    def test_deadlock_detected(self):
+        # A merge whose only producer never produces: filter drops all,
+        # loop holds one record forever is NOT constructible here; instead
+        # block a sink behind a stream that no one consumes.
+        g = Graph("dead")
+        src = g.add(SourceTile("src", [(1,)]))
+        m = g.add(MapTile("m", lambda r: r))
+        g.connect(src, m)
+        # m's output packer has no stream and is not marked dropped:
+        # simulate a stuck consumer with a full, never-popped stream.
+        sink = g.add(SinkTile("sink"))
+        stream = g.connect(m, sink)
+        sink.tick = lambda cycle: False  # consumer wedged
+        sink.idle = lambda: False
+        with pytest.raises(SimulationError):
+            Engine(g, deadlock_window=200).run()
+
+    def test_max_cycles_enforced(self):
+        g, __ = _countdown_graph([(0, 10_000)])
+        with pytest.raises(SimulationError):
+            Engine(g, max_cycles=100).run()
+
+    def test_stuck_report_names_culprits(self):
+        g = Graph("dead")
+        src = g.add(SourceTile("src", [(1,)]))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, sink)
+        sink.tick = lambda cycle: False
+        sink.idle = lambda: False
+        with pytest.raises(SimulationError) as err:
+            Engine(g, deadlock_window=100).run()
+        assert "src->sink" in str(err.value)
+
+
+class TestStatistics:
+    def test_cycle_count_positive(self):
+        g, __ = _countdown_graph([(i, 3) for i in range(64)])
+        stats = run_graph(g)
+        assert stats.cycles > 0
+
+    def test_all_tiles_reported(self):
+        g, __ = _countdown_graph([(0, 1)])
+        stats = run_graph(g)
+        assert set(stats.tiles) == {"src", "merge", "cond", "dec", "sink"}
+
+    def test_streams_closed_after_run(self):
+        g, __ = _countdown_graph([(i, 2) for i in range(10)])
+        run_graph(g)
+        assert all(s.closed() for s in g.streams)
+
+    def test_summary_renders(self):
+        g, __ = _countdown_graph([(0, 1)])
+        stats = run_graph(g)
+        text = stats.summary()
+        assert "cycles:" in text and "tile merge" in text

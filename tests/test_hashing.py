@@ -1,0 +1,59 @@
+"""Hash function properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.structures import bucket_of, hash32, is_power_of_two, radix_of
+
+
+class TestHash32:
+    def test_deterministic(self):
+        assert hash32(12345) == hash32(12345)
+
+    def test_range(self):
+        for k in (0, 1, 2 ** 31, 2 ** 32 - 1, -5):
+            assert 0 <= hash32(k) < 2 ** 32
+
+    def test_avalanche_on_adjacent_keys(self):
+        # Adjacent keys must land far apart — the scrambling that takes
+        # skewed distributions to uniform (§II-A).
+        h = [hash32(k) for k in range(64)]
+        assert len(set(h)) == 64
+        # Popcount of XOR between neighbours should be near 16/32 bits.
+        diffs = [bin(h[i] ^ h[i + 1]).count("1") for i in range(63)]
+        assert sum(diffs) / len(diffs) > 10
+
+    def test_tuple_keys_supported(self):
+        assert 0 <= hash32(("a", 3)) < 2 ** 32
+
+    @given(st.integers())
+    def test_always_u32(self, k):
+        assert 0 <= hash32(k) < 2 ** 32
+
+
+class TestBucketing:
+    def test_bucket_in_range(self):
+        for k in range(1000):
+            assert 0 <= bucket_of(k, 37) < 37
+
+    def test_radix_in_range(self):
+        for k in range(1000):
+            assert 0 <= radix_of(k, 64) < 64
+
+    def test_uniformity_under_skew(self):
+        # Sequential (maximally skewed) keys spread evenly across radix
+        # partitions — the paper's load-balance argument (§IV-A).
+        counts = [0] * 16
+        n = 16_000
+        for k in range(n):
+            counts[radix_of(k, 16)] += 1
+        mean = n / 16
+        assert max(counts) < 1.15 * mean
+        assert min(counts) > 0.85 * mean
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_power_of_two_detection(self, p):
+        assert is_power_of_two(1 << p)
+        assert not is_power_of_two((1 << p) + 1) or p == 0
+
+    def test_zero_not_power_of_two(self):
+        assert not is_power_of_two(0)

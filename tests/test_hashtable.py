@@ -1,0 +1,157 @@
+"""Chained hash table: functional semantics, overflow accounting, and
+equivalence between the functional and cycle-simulated dataflow forms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import run_graph
+from repro.structures import ChainedHashTable, HashTableDataflow, NODE_WORDS
+
+
+class TestFunctionalTable:
+    def test_probe_finds_all_duplicates(self):
+        ht = ChainedHashTable(16)
+        ht.build([(5, "a"), (5, "b"), (6, "c")])
+        assert sorted(ht.probe(5)) == ["a", "b"]
+
+    def test_probe_miss_is_empty(self):
+        ht = ChainedHashTable(16)
+        ht.build([(1, "x")])
+        assert ht.probe(2) == []
+
+    def test_contains(self):
+        ht = ChainedHashTable(16)
+        ht.insert(3, "v")
+        assert ht.contains(3) and not ht.contains(4)
+
+    def test_len_counts_nodes(self):
+        ht = ChainedHashTable(8)
+        ht.build([(i, i) for i in range(10)])
+        assert len(ht) == 10
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            ChainedHashTable(0)
+
+    def test_items_roundtrip(self):
+        pairs = [(i, i * 2) for i in range(20)]
+        ht = ChainedHashTable(8)
+        ht.build(pairs)
+        assert sorted(ht.items()) == sorted(pairs)
+
+    def test_chain_lengths_sum_to_size(self):
+        ht = ChainedHashTable(8)
+        ht.build([(i, i) for i in range(50)])
+        assert sum(ht.chain_lengths()) == 50
+
+    def test_overflow_accounting(self):
+        ht = ChainedHashTable(8, spad_node_capacity=10)
+        ht.build([(i, i) for i in range(25)])
+        assert ht.overflow_nodes == 15
+
+    def test_overflow_probe_charges_dram(self):
+        ht = ChainedHashTable(8, spad_node_capacity=0)
+        ht.build([(1, "x")])
+        before = ht.events.dram_read_bytes
+        ht.probe(1)
+        assert ht.events.dram_read_bytes > before
+
+    def test_on_chip_probe_charges_spad(self):
+        ht = ChainedHashTable(8)
+        ht.build([(1, "x")])
+        before = ht.events.spad_reads
+        ht.probe(1)
+        assert ht.events.spad_reads > before
+
+    def test_rmw_per_insert(self):
+        ht = ChainedHashTable(8)
+        ht.build([(i, i) for i in range(30)])
+        assert ht.events.rmw_ops == 30
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers()),
+                    max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dict_of_lists(self, pairs):
+        ht = ChainedHashTable(16)
+        ht.build(pairs)
+        reference = {}
+        for k, v in pairs:
+            reference.setdefault(k, []).append(v)
+        for k in range(51):
+            assert sorted(map(repr, ht.probe(k))) == sorted(
+                map(repr, reference.get(k, [])))
+
+
+class TestDataflowTable:
+    def _pairs(self, n, key_space, seed=1):
+        rng = random.Random(seed)
+        return [(rng.randrange(key_space), 1000 + i) for i in range(n)]
+
+    def test_build_graph_matches_functional(self):
+        pairs = self._pairs(80, 24)
+        hd = HashTableDataflow(n_buckets=16, spad_node_capacity=128)
+        run_graph(hd.build_graph(pairs))
+        assert sorted(hd.contents()) == sorted(pairs)
+
+    def test_build_overflow_path(self):
+        pairs = self._pairs(60, 20)
+        hd = HashTableDataflow(n_buckets=16, spad_node_capacity=20,
+                               overflow_capacity=128)
+        run_graph(hd.build_graph(pairs))
+        assert sorted(hd.contents()) == sorted(pairs)
+        # Nodes beyond capacity physically live in the DRAM region.
+        assert any(hd.overflow[i] is not None for i in range(40))
+
+    def test_incremental_builds_accumulate(self):
+        hd = HashTableDataflow(n_buckets=16, spad_node_capacity=128)
+        run_graph(hd.build_graph([(1, "a")]))
+        run_graph(hd.build_graph([(1, "b"), (2, "c")]))
+        assert sorted(hd.contents()) == [(1, "a"), (1, "b"), (2, "c")]
+
+    def test_probe_emit_all_matches_functional(self):
+        pairs = self._pairs(90, 30, seed=2)
+        hd = HashTableDataflow(n_buckets=16, spad_node_capacity=64,
+                               overflow_capacity=128)
+        hd.load(pairs)
+        queries = [(q, q % 40) for q in range(80)]
+        g = hd.probe_graph(queries, emit_all=True)
+        run_graph(g)
+        got = sorted((r[0], r[2]) for r in g.tile("hits").records)
+        expect = sorted((qid, v) for qid, k in queries
+                        for kk, v in pairs if kk == k)
+        assert got == expect
+
+    def test_probe_first_match_and_misses(self):
+        pairs = [(k, k * 11) for k in range(30)]
+        hd = HashTableDataflow(n_buckets=8, spad_node_capacity=64)
+        hd.load(pairs)
+        g = hd.probe_graph([(q, q) for q in range(40)], emit_all=False)
+        run_graph(g)
+        hits = {(r[0], r[2]) for r in g.tile("hits").records}
+        misses = {r[0] for r in g.tile("misses").records}
+        assert hits == {(q, q * 11) for q in range(30)}
+        assert misses == set(range(30, 40))
+
+    def test_probe_walks_overflow_chain(self):
+        pairs = [(7, i) for i in range(10)]       # one long chain
+        hd = HashTableDataflow(n_buckets=4, spad_node_capacity=3,
+                               overflow_capacity=32)
+        hd.load(pairs)
+        g = hd.probe_graph([(0, 7)], emit_all=True)
+        run_graph(g)
+        assert sorted(r[2] for r in g.tile("hits").records) == list(range(10))
+
+    def test_cas_retries_occur_under_contention(self):
+        # Many inserts to one bucket force CAS failures + recirculation.
+        pairs = [(3, i) for i in range(40)]
+        hd = HashTableDataflow(n_buckets=4, spad_node_capacity=64)
+        g = hd.build_graph(pairs)
+        run_graph(g)
+        assert sorted(v for __, v in hd.contents()) == list(range(40))
+        # The retry tile must have seen traffic (CAS failures).
+        assert g.tile("retry").stats.records_out > 0
+
+    def test_node_words_constant(self):
+        assert NODE_WORDS == 3

@@ -1,0 +1,108 @@
+"""Lowered (on-fabric) operator execution vs the functional operators."""
+
+import random
+
+import pytest
+
+from repro.db import Table
+from repro.db.lowering import (
+    lower_filter,
+    lower_group_count,
+    lower_hash_join,
+)
+from repro.db.operators import hash_group_by, hash_join, scan_filter
+from repro.errors import PlanError
+
+
+def _tables(seed=100, n=80, key_space=20):
+    rng = random.Random(seed)
+    left = Table.from_columns(
+        "l", k=[rng.randrange(key_space) for __ in range(n)],
+        lv=list(range(n)))
+    right = Table.from_columns(
+        "r", k=[rng.randrange(key_space) for __ in range(n)],
+        rv=[1000 + i for i in range(n)])
+    return left, right
+
+
+class TestLowerFilter:
+    def test_matches_functional_filter(self):
+        t = Table.from_columns("t", a=list(range(100)))
+        lowered = lower_filter(t, lambda r: r[0] % 3 == 0)
+        functional = scan_filter(t, lambda r: r[0] % 3 == 0)
+        assert sorted(lowered.table.rows) == sorted(functional.rows)
+
+    def test_reports_cycles(self):
+        t = Table.from_columns("t", a=list(range(64)))
+        lowered = lower_filter(t, lambda r: True)
+        assert lowered.total_cycles > 0
+        assert lowered.graphs == 1
+
+    def test_functional_engine_variant(self):
+        t = Table.from_columns("t", a=list(range(64)))
+        lowered = lower_filter(t, lambda r: r[0] < 32, engine="functional")
+        assert len(lowered.table) == 32
+
+    def test_unknown_engine_rejected(self):
+        t = Table.from_columns("t", a=[1])
+        with pytest.raises(PlanError):
+            lower_filter(t, lambda r: True, engine="quantum")
+
+
+class TestLowerHashJoin:
+    def test_matches_functional_join(self):
+        left, right = _tables()
+        lowered = lower_hash_join(left, right, "k", "k", n_partitions=4)
+        functional = hash_join(left, right, "k", "k")
+        assert sorted(lowered.table.rows) == sorted(functional.rows)
+
+    def test_functional_engine_matches_cycle_engine(self):
+        left, right = _tables(seed=101, n=60)
+        a = lower_hash_join(left, right, "k", "k", engine="cycle")
+        b = lower_hash_join(left, right, "k", "k", engine="functional")
+        assert sorted(a.table.rows) == sorted(b.table.rows)
+
+    def test_phase_accounting(self):
+        left, right = _tables(seed=102, n=40)
+        lowered = lower_hash_join(left, right, "k", "k", n_partitions=2)
+        # 2 partition graphs + (build + probe) per non-empty partition.
+        assert lowered.graphs >= 4
+        assert lowered.total_cycles > 0
+
+    def test_empty_side(self):
+        left, right = _tables(seed=103, n=30)
+        empty = right.with_rows([])
+        lowered = lower_hash_join(left, empty, "k", "k")
+        assert lowered.table.rows == []
+
+    def test_schema_concatenated(self):
+        left, right = _tables(seed=104, n=20)
+        lowered = lower_hash_join(left, right, "k", "k", prefix="r_")
+        assert lowered.table.schema.fields == ("k", "lv", "r_k", "r_rv")
+
+    def test_more_partitions_same_result(self):
+        left, right = _tables(seed=105, n=64, key_space=12)
+        a = lower_hash_join(left, right, "k", "k", n_partitions=2)
+        b = lower_hash_join(left, right, "k", "k", n_partitions=8)
+        assert sorted(a.table.rows) == sorted(b.table.rows)
+
+
+class TestLowerGroupCount:
+    def test_matches_hash_group_by(self):
+        rng = random.Random(106)
+        t = Table.from_columns(
+            "t", g=[rng.randrange(10) for __ in range(300)])
+        lowered = lower_group_count(t, "g", n_groups=10)
+        functional = hash_group_by(t, ["g"], {"count": ("count", None)})
+        assert sorted(lowered.table.rows) == sorted(functional.rows)
+
+    def test_faa_contention_still_exact(self):
+        # All records in one group: maximal RMW contention, exact count.
+        t = Table.from_columns("t", g=[3] * 500)
+        lowered = lower_group_count(t, "g", n_groups=8)
+        assert lowered.table.rows == [(3, 500)]
+
+    def test_empty_groups_omitted(self):
+        t = Table.from_columns("t", g=[0, 0, 5])
+        lowered = lower_group_count(t, "g", n_groups=8)
+        assert sorted(lowered.table.rows) == [(0, 2), (5, 1)]

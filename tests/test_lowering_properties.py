@@ -1,0 +1,43 @@
+"""Property-based validation of the lowered (on-fabric) operators."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Table
+from repro.db.lowering import (
+    lower_filter,
+    lower_group_count,
+    lower_hash_join,
+)
+from repro.db.operators import hash_group_by, hash_join, scan_filter
+
+keys = st.lists(st.integers(0, 12), min_size=0, max_size=50)
+
+
+class TestLoweredProperties:
+    @given(keys)
+    @settings(max_examples=15, deadline=None)
+    def test_filter_property(self, values):
+        t = Table.from_columns("t", a=values)
+        lowered = lower_filter(t, lambda r: r[0] % 2 == 0,
+                               engine="functional")
+        functional = scan_filter(t, lambda r: r[0] % 2 == 0)
+        assert sorted(lowered.table.rows) == sorted(functional.rows)
+
+    @given(keys, keys)
+    @settings(max_examples=10, deadline=None)
+    def test_join_property(self, lk, rk):
+        left = Table.from_columns("l", k=lk)
+        right = Table.from_columns("r", k=rk)
+        lowered = lower_hash_join(left, right, "k", "k",
+                                  n_partitions=2, engine="functional")
+        functional = hash_join(left, right, "k", "k")
+        assert sorted(lowered.table.rows) == sorted(functional.rows)
+
+    @given(keys)
+    @settings(max_examples=15, deadline=None)
+    def test_group_count_property(self, values):
+        t = Table.from_columns("t", g=values)
+        lowered = lower_group_count(t, "g", n_groups=13,
+                                    engine="functional")
+        functional = hash_group_by(t, ["g"], {"count": ("count", None)})
+        assert sorted(lowered.table.rows) == sorted(functional.rows)

@@ -1,0 +1,119 @@
+"""LSM tree: exponential tier invariant, merges, concurrency snapshot, and
+query correctness."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import LsmTree
+
+
+class TestIngest:
+    def test_buffer_flushes_at_batch_size(self):
+        lsm = LsmTree(batch_size=4)
+        for i in range(4):
+            lsm.insert(i, i)
+        assert lsm.tree_sizes() == [4]
+
+    def test_manual_flush(self):
+        lsm = LsmTree(batch_size=100)
+        lsm.insert(1, 1)
+        lsm.flush()
+        assert lsm.tree_sizes() == [1]
+
+    def test_flush_empty_is_noop(self):
+        lsm = LsmTree(batch_size=4)
+        lsm.flush()
+        assert lsm.tree_sizes() == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            LsmTree(batch_size=0)
+
+    def test_len_includes_buffer(self):
+        lsm = LsmTree(batch_size=10)
+        for i in range(15):
+            lsm.insert(i, i)
+        assert len(lsm) == 15
+
+    def test_exponential_ladder_invariant(self):
+        lsm = LsmTree(batch_size=32)
+        for i in range(1024):
+            lsm.insert(i, i)
+        sizes = lsm.tree_sizes()
+        assert all(sizes[i] < sizes[i + 1] for i in range(len(sizes) - 1))
+
+    def test_equal_sizes_merge(self):
+        lsm = LsmTree(batch_size=8)
+        lsm.insert_many((i, i) for i in range(16))
+        # Two 8-batches must have merged into one 16-leaf tree.
+        assert lsm.tree_sizes() == [16]
+        assert lsm.merges >= 1
+
+    def test_write_amplification_reported(self):
+        lsm = LsmTree(batch_size=16)
+        lsm.insert_many((i, i) for i in range(256))
+        assert lsm.write_amplification() > 0
+
+
+class TestQueries:
+    def _loaded(self, n=800, key_space=3000, batch=64, seed=10):
+        rng = random.Random(seed)
+        pairs = [(rng.randrange(key_space), i) for i in range(n)]
+        lsm = LsmTree(batch_size=batch, fanout=8)
+        lsm.insert_many(pairs)
+        return pairs, lsm
+
+    def test_search_across_trees_and_buffer(self):
+        pairs, lsm = self._loaded(n=100, batch=16)
+        lsm.insert(99999, "buffered")
+        assert lsm.search(99999) == ["buffered"]
+        key = pairs[0][0]
+        assert sorted(map(str, lsm.search(key))) == sorted(
+            str(v) for k, v in pairs if k == key)
+
+    def test_range_query_matches_brute_force(self):
+        pairs, lsm = self._loaded()
+        rng = random.Random(11)
+        for __ in range(30):
+            lo = rng.randrange(3200)
+            hi = lo + rng.randrange(500)
+            expect = sorted((k, v) for k, v in pairs if lo <= k <= hi)
+            assert sorted(lsm.range_query(lo, hi)) == expect
+
+    def test_range_query_sorted_by_key(self):
+        __, lsm = self._loaded()
+        out = lsm.range_query(0, 3000)
+        assert [k for k, __ in out] == sorted(k for k, __ in out)
+
+    def test_tree_pruning_by_key_range(self):
+        # Time-ordered inserts give trees disjoint-ish ranges; a narrow
+        # query must not read every tree (§IV-B's secondary time index).
+        lsm = LsmTree(batch_size=64, fanout=8)
+        lsm.insert_many((i, i) for i in range(1024))
+        before = lsm.events.dram_read_bytes
+        lsm.range_query(0, 10)
+        first = lsm.events.dram_read_bytes - before
+        before = lsm.events.dram_read_bytes
+        lsm.range_query(0, 1023)
+        full = lsm.events.dram_read_bytes - before
+        assert first < full
+
+    def test_snapshot_isolated_from_writes(self):
+        pairs, lsm = self._loaded(n=128, batch=32)
+        snap = lsm.snapshot()
+        n_before = sum(len(t) for t in snap)
+        lsm.insert_many((i, "new") for i in range(64))
+        # The snapshot's trees are immutable: same contents after writes.
+        assert sum(len(t) for t in snap) == n_before
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers()),
+                    max_size=300),
+           st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_property_no_records_lost(self, pairs, batch):
+        lsm = LsmTree(batch_size=batch, fanout=4)
+        lsm.insert_many(pairs)
+        got = lsm.range_query(0, 200)
+        assert sorted(map(repr, got)) == sorted(map(repr, pairs))

@@ -1,0 +1,177 @@
+"""Scratchpad storage, issue queues, and the matching allocator."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.memory import (
+    BANKS,
+    CAPACITY_WORDS,
+    Allocator,
+    DEPTH_AUROCHS,
+    DEPTH_CAPSTAN,
+    IssueQueue,
+    Request,
+    ScratchpadMemory,
+)
+
+
+class TestRegions:
+    def test_region_allocation(self):
+        mem = ScratchpadMemory("m")
+        r = mem.region("a", 100, 2)
+        assert len(r) == 100
+        assert r.words() == 200
+
+    def test_capacity_enforced(self):
+        mem = ScratchpadMemory("m", capacity_words=100)
+        mem.region("a", 50, 1)
+        with pytest.raises(CapacityError):
+            mem.region("b", 51, 1)
+
+    def test_duplicate_region_rejected(self):
+        mem = ScratchpadMemory("m")
+        mem.region("a", 10, 1)
+        with pytest.raises(CapacityError):
+            mem.region("a", 10, 1)
+
+    def test_free_words_tracks_usage(self):
+        mem = ScratchpadMemory("m", capacity_words=100)
+        mem.region("a", 30, 2)
+        assert mem.free_words == 40
+        assert mem.fits(40) and not mem.fits(41)
+
+    def test_fill_value(self):
+        mem = ScratchpadMemory("m")
+        r = mem.region("a", 5, 1, fill=-1)
+        assert all(r[i] == -1 for i in range(5))
+
+    def test_read_write(self):
+        mem = ScratchpadMemory("m")
+        r = mem.region("a", 10, 1)
+        r[3] = 42
+        assert r[3] == 42
+
+    def test_bank_interleaving(self):
+        mem = ScratchpadMemory("m")
+        r = mem.region("a", 64, 1)
+        banks = [r.bank_of(i) for i in range(BANKS)]
+        assert sorted(banks) == list(range(BANKS))  # consecutive -> distinct
+
+    def test_bank_offset_by_base(self):
+        mem = ScratchpadMemory("m")
+        a = mem.region("a", 3, 1)
+        b = mem.region("b", 3, 1)
+        assert b.bank_of(0) == (a.bank_of(0) + 3) % BANKS
+
+    def test_default_capacity_is_256kib(self):
+        assert CAPACITY_WORDS == 256 * 1024 // 4
+
+    def test_snapshot_copies(self):
+        mem = ScratchpadMemory("m")
+        r = mem.region("a", 3, 1, fill=0)
+        snap = r.snapshot()
+        r[0] = 9
+        assert snap[0] == 0
+
+
+class TestIssueQueue:
+    def test_aurochs_half_depth_of_capstan(self):
+        # §III-B: "our issue queues are half as deep as Capstan's".
+        assert DEPTH_AUROCHS * 2 == DEPTH_CAPSTAN
+
+    def test_push_until_full(self):
+        q = IssueQueue(depth=2)
+        q.push(Request(0, 0, None))
+        q.push(Request(1, 1, None))
+        assert not q.has_room()
+
+    def test_aurochs_grant_frees_slot_immediately(self):
+        # Invalidate-on-grant: the granted slot frees even if it is not
+        # the queue head.
+        q = IssueQueue(depth=2, in_order_dequeue=False)
+        first = Request(0, 0, None)
+        second = Request(1, 1, None)
+        q.push(first)
+        q.push(second)
+        q.grant(second)
+        assert q.has_room()
+        assert q.bids() == [first]
+
+    def test_capstan_head_of_line_blocking(self):
+        # In-order dequeue: granting a non-head request does NOT free the
+        # slot while the head is still pending.
+        q = IssueQueue(depth=2, in_order_dequeue=True)
+        head = Request(0, 0, None)
+        tail = Request(1, 1, None)
+        q.push(head)
+        q.push(tail)
+        q.grant(tail)
+        assert not q.has_room()      # blocked behind the straggler head
+        q.grant(head)
+        assert q.occupancy() == 0    # head grant drains both
+
+    def test_granted_requests_do_not_rebid(self):
+        q = IssueQueue(depth=4, in_order_dequeue=True)
+        r = Request(2, 2, None)
+        q.push(r)
+        q.grant(r)
+        assert r not in q.bids()
+
+
+class TestAllocator:
+    def _queues(self, banks_per_lane):
+        queues = [IssueQueue() for __ in banks_per_lane]
+        for lane, banks in enumerate(banks_per_lane):
+            for b in banks:
+                queues[lane].push(Request(b, b, None))
+        return queues
+
+    def test_at_most_one_grant_per_bank(self):
+        queues = self._queues([[0], [0], [0], [0]])
+        grants, conflicts, __ = Allocator(4).allocate(queues)
+        assert len(grants) == 1
+        assert conflicts == 3
+
+    def test_at_most_one_grant_per_lane(self):
+        queues = self._queues([[0, 1, 2, 3]])
+        grants, conflicts, __ = Allocator(4).allocate(queues)
+        assert len(grants) == 1
+
+    def test_conflict_free_bids_all_granted(self):
+        queues = self._queues([[0], [1], [2], [3]])
+        grants, conflicts, __ = Allocator(4).allocate(queues)
+        assert len(grants) == 4
+        assert conflicts == 0
+
+    def test_reordering_extracts_parallelism(self):
+        # Two lanes both want bank 0 at the head, but deeper requests can
+        # be scheduled out of order — the whole point of §III-B.
+        queues = self._queues([[0, 1], [0, 2]])
+        grants, __, considered = Allocator(4).allocate(queues)
+        assert len(grants) == 2
+        assert considered >= 3
+
+    def test_busy_banks_excluded(self):
+        queues = self._queues([[0], [1]])
+        grants, conflicts, __ = Allocator(4).allocate(
+            queues, busy_banks=frozenset({0}))
+        assert [r.bank for __, r in grants] == [1]
+        assert conflicts == 1
+
+    def test_considers_all_slots(self):
+        # 2 lanes x 3 requests = 6 considered (the 128-requests/cycle
+        # readout of §III-B, scaled down).
+        queues = self._queues([[0, 1, 2], [3, 4, 5]])
+        __, __, considered = Allocator(8).allocate(queues)
+        assert considered == 6
+
+    def test_rotating_priority_is_fair(self):
+        # With persistent contention, both lanes should win over time.
+        alloc = Allocator(2)
+        wins = [0, 0]
+        for __ in range(10):
+            queues = self._queues([[0], [0]])
+            grants, __unused, __u2 = alloc.allocate(queues)
+            for lane, __r in grants:
+                wins[lane] += 1
+        assert wins[0] > 0 and wins[1] > 0

@@ -1,0 +1,94 @@
+"""The sorted-merge tile and the spatial merge tree (Gorgon's sort
+kernel on the fabric)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import Graph, SinkTile, SourceTile, run_graph
+from repro.dataflow.mergesort import SortedMergeTile, merge_sort_graph
+
+
+def _merge_two(a, b):
+    g = Graph("m2")
+    sa = g.add(SourceTile("a", [(v,) for v in a]))
+    sb = g.add(SourceTile("b", [(v,) for v in b]))
+    m = g.add(SortedMergeTile("m", key=lambda r: r[0]))
+    sink = g.add(SinkTile("out"))
+    g.connect(sa, m)
+    g.connect(sb, m)
+    g.connect(m, sink)
+    run_graph(g)
+    return [r[0] for r in sink.records]
+
+
+class TestSortedMergeTile:
+    def test_merges_in_order(self):
+        out = _merge_two([1, 3, 5, 7], [2, 4, 6, 8])
+        assert out == list(range(1, 9))
+
+    def test_uneven_lengths(self):
+        out = _merge_two([5], list(range(20)))
+        assert out == sorted([5] + list(range(20)))
+
+    def test_one_empty_side(self):
+        assert _merge_two([], [1, 2, 3]) == [1, 2, 3]
+        assert _merge_two([1, 2, 3], []) == [1, 2, 3]
+
+    def test_duplicates_preserved(self):
+        out = _merge_two([1, 1, 2], [1, 2, 2])
+        assert out == [1, 1, 1, 2, 2, 2]
+
+    def test_large_streams(self):
+        rng = random.Random(170)
+        a = sorted(rng.randrange(10_000) for __ in range(1000))
+        b = sorted(rng.randrange(10_000) for __ in range(1000))
+        assert _merge_two(a, b) == sorted(a + b)
+
+    @given(st.lists(st.integers(), max_size=100),
+           st.lists(st.integers(), max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_merge(self, a, b):
+        assert _merge_two(sorted(a), sorted(b)) == sorted(a + b)
+
+
+class TestMergeTree:
+    def _runs(self, n_runs, run_len, seed=171):
+        rng = random.Random(seed)
+        return [sorted((rng.randrange(100_000),) for __ in range(run_len))
+                for __ in range(n_runs)]
+
+    def test_binary_tree_merges_all_runs(self):
+        runs = self._runs(8, 64)
+        g = merge_sort_graph("tree", runs, key=lambda r: r[0])
+        run_graph(g)
+        out = [r[0] for r in g.tile("out").records]
+        assert out == sorted(v for run in runs for v, in run)
+
+    def test_odd_run_count(self):
+        runs = self._runs(5, 32, seed=172)
+        g = merge_sort_graph("tree", runs, key=lambda r: r[0])
+        run_graph(g)
+        out = [r[0] for r in g.tile("out").records]
+        assert out == sorted(v for run in runs for v, in run)
+
+    def test_single_run_passthrough(self):
+        runs = self._runs(1, 16, seed=173)
+        g = merge_sort_graph("tree", runs, key=lambda r: r[0])
+        run_graph(g)
+        assert len(g.tile("out").records) == 16
+
+    def test_tree_depth_is_logarithmic(self):
+        runs = self._runs(8, 4)
+        g = merge_sort_graph("tree", runs, key=lambda r: r[0])
+        merges = [t for t in g.tiles if isinstance(t, SortedMergeTile)]
+        assert len(merges) == 7  # 4 + 2 + 1
+
+    def test_pipelined_throughput(self):
+        # The whole tree pipelines: total cycles is far below
+        # (records x tree depth).
+        runs = self._runs(4, 256, seed=174)
+        g = merge_sort_graph("tree", runs, key=lambda r: r[0])
+        stats = run_graph(g)
+        assert stats.cycles < 4 * 256

@@ -1,0 +1,156 @@
+"""Edge cases across modules that the focused suites don't reach."""
+
+import pytest
+
+from repro.dataflow import (
+    CopyTile,
+    Graph,
+    LANES,
+    MergeTile,
+    Schema,
+    SinkTile,
+    SourceTile,
+    StampTile,
+    Stream,
+    run_graph,
+)
+from repro.dataflow.stats import ScratchpadStats, TileStats
+from repro.db import Table
+from repro.memory import DramMemory, DramTile, PortConfig, faa
+from repro.structures.common import StructureEvents
+
+
+class TestSchemaEdgeCases:
+    def test_concat_without_prefix_uses_rhs_fallback(self):
+        left = Schema(["k", "v"])
+        right = Schema(["k", "w"])
+        joined = left.concat(right)
+        assert joined.fields == ("k", "v", "rhs_k", "w")
+
+    def test_concat_disjoint_no_prefix_needed(self):
+        joined = Schema(["a"]).concat(Schema(["b"]))
+        assert joined.fields == ("a", "b")
+
+    def test_empty_schema(self):
+        s = Schema([])
+        assert len(s) == 0
+        assert s.make() == ()
+
+
+class TestMergeFanIn:
+    def test_three_way_merge(self):
+        g = Graph("m3")
+        sources = [g.add(SourceTile(f"s{i}", [(i, j) for j in range(20)]))
+                   for i in range(3)]
+        merge = g.add(MergeTile("merge"))
+        sink = g.add(SinkTile("out"))
+        for s in sources:
+            g.connect(s, merge)
+        g.connect(merge, sink)
+        run_graph(g)
+        assert len(sink.records) == 60
+
+    def test_copy_tile_under_backpressure(self):
+        # One side of the copy drains slower (tiny stream capacity):
+        # the copy must not lose or duplicate records.
+        g = Graph("cp")
+        src = g.add(SourceTile("src", [(i,) for i in range(100)]))
+        cp = g.add(CopyTile("cp"))
+        a, b = g.add(SinkTile("a")), g.add(SinkTile("b"))
+        g.connect(src, cp)
+        g.connect(cp, a, producer_port=0, capacity=1)
+        g.connect(cp, b, producer_port=1, capacity=4)
+        run_graph(g)
+        assert sorted(a.records) == sorted(b.records)
+        assert len(a.records) == 100
+
+
+class TestStampContinuity:
+    def test_stamp_continues_across_graphs(self):
+        # The same StampTile instance keeps its counter — how the hash
+        # table's slot reservation persists across incremental builds.
+        tile = StampTile("st")
+        g = Graph("g1")
+        src = g.add(SourceTile("src", [(0,), (1,)]))
+        g.add(tile)
+        sink = g.add(SinkTile("out"))
+        g.connect(src, tile)
+        g.connect(tile, sink)
+        run_graph(g)
+        assert tile.counter == 2
+
+
+class TestDramRmw:
+    def test_faa_over_dram(self):
+        # DRAM tiles inherit the full RMW machinery (used by ablations).
+        dram = DramMemory("d")
+        counter = dram.region("c", 4, 1, fill=0)
+        g = Graph("dram_rmw")
+        src = g.add(SourceTile("src", [(i % 4,) for i in range(40)]))
+        tile = g.add(DramTile("t", dram, [PortConfig(
+            mode="rmw", region=counter, addr=lambda r: r[0],
+            rmw=faa(), combine=lambda r, old: None)]))
+        g.connect(src, tile)
+        run_graph(g)
+        assert [counter[i] for i in range(4)] == [10, 10, 10, 10]
+
+
+class TestStatsObjects:
+    def test_tile_stats_utilization_bounds(self):
+        t = TileStats("x")
+        t.busy_cycles, t.idle_cycles = 3, 7
+        assert t.utilization == pytest.approx(0.3)
+
+    def test_tile_stats_empty(self):
+        t = TileStats("x")
+        assert t.utilization == 0.0
+        assert t.lane_occupancy == 0.0
+
+    def test_spad_stats_rates_empty(self):
+        s = ScratchpadStats()
+        assert s.conflict_rate == 0.0
+        assert s.bank_throughput == 0.0
+
+    def test_structure_events_merge_and_dict(self):
+        a = StructureEvents(spad_reads=2)
+        b = StructureEvents(spad_reads=3, rmw_ops=1)
+        a.merge(b)
+        assert a.spad_reads == 5
+        assert a.asdict()["rmw_ops"] == 1
+
+
+class TestReprs:
+    def test_stream_repr_states(self):
+        s = Stream("x")
+        assert "open" in repr(s)
+        s.push([(1,)])
+        s.close()
+        assert "eos" in repr(s)
+        s.pop()
+        assert "closed" in repr(s)
+
+    def test_table_repr(self):
+        t = Table.from_columns("t", a=[1, 2])
+        assert "2 rows" in repr(t)
+
+    def test_tile_repr(self):
+        assert "SinkTile" in repr(SinkTile("s"))
+
+
+class TestVectorWidthInvariant:
+    def test_no_vector_exceeds_lanes(self):
+        # Instrument a stream to verify the engine never pushes a vector
+        # wider than the hardware's lane count.
+        g = Graph("w")
+        src = g.add(SourceTile("src", [(i,) for i in range(200)]))
+        cp = g.add(CopyTile("cp"))
+        a, b = g.add(SinkTile("a")), g.add(SinkTile("b"))
+        streams = [g.connect(src, cp),
+                   g.connect(cp, a, producer_port=0),
+                   g.connect(cp, b, producer_port=1)]
+        run_graph(g)
+        for s in streams:
+            assert s.pushed_vectors > 0
+            # Mean width can never exceed the lane count, and with 200
+            # records the streams must carry full vectors mostly.
+            assert s.pushed_records <= s.pushed_vectors * LANES

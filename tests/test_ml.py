@@ -1,0 +1,85 @@
+"""Shallow ML models used by the benchmark queries."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KMeans, LinearRegression, LogisticRegression
+
+
+class TestLinearRegression:
+    def test_predict_is_dot_plus_bias(self):
+        m = LinearRegression([1.0, 2.0], bias=3.0)
+        assert m.predict([4.0, 5.0]) == pytest.approx(4 + 10 + 3)
+
+    def test_fit_recovers_plane(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, (200, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 4.0
+        m = LinearRegression.fit(X, y)
+        assert np.allclose(m.weights, [2.0, -1.0, 0.5], atol=1e-6)
+        assert m.bias == pytest.approx(4.0, abs=1e-6)
+
+    def test_batch_matches_scalar(self):
+        m = LinearRegression([0.5, 0.5], bias=1.0)
+        X = [[1.0, 2.0], [3.0, 4.0]]
+        batch = m.predict_batch(X)
+        assert batch[0] == pytest.approx(m.predict(X[0]))
+        assert batch[1] == pytest.approx(m.predict(X[1]))
+
+    def test_n_features(self):
+        assert LinearRegression([1, 2, 3]).n_features == 3
+
+
+class TestLogisticRegression:
+    def test_proba_in_unit_interval(self):
+        m = LogisticRegression([5.0, -5.0], bias=0.0)
+        for x in ([10.0, -10.0], [-10.0, 10.0], [0.0, 0.0]):
+            assert 0.0 <= m.predict_proba(x) <= 1.0
+
+    def test_decision_boundary(self):
+        m = LogisticRegression([1.0], bias=0.0)
+        assert m.predict([5.0]) == 1
+        assert m.predict([-5.0]) == 0
+
+    def test_fit_separates_linearly_separable(self):
+        rng = np.random.default_rng(2)
+        X0 = rng.normal(-2, 0.5, (100, 2))
+        X1 = rng.normal(2, 0.5, (100, 2))
+        X = np.vstack([X0, X1])
+        y = [0] * 100 + [1] * 100
+        m = LogisticRegression.fit(X, y, epochs=300)
+        preds = (m.predict_batch(X) >= 0.5).astype(int)
+        assert (preds == y).mean() > 0.95
+
+    def test_extreme_inputs_do_not_overflow(self):
+        m = LogisticRegression([1000.0])
+        assert m.predict_proba([1000.0]) == pytest.approx(1.0)
+        assert m.predict_proba([-1000.0]) == pytest.approx(0.0)
+
+
+class TestKMeans:
+    def test_assigns_nearest_centroid(self):
+        m = KMeans([[0.0, 0.0], [10.0, 10.0]])
+        assert m.predict([1.0, 1.0]) == 0
+        assert m.predict([9.0, 9.0]) == 1
+
+    def test_batch_matches_scalar(self):
+        m = KMeans([[0.0], [5.0], [10.0]])
+        X = [[1.0], [6.0], [9.5]]
+        assert list(m.predict_batch(X)) == [m.predict(x) for x in X]
+
+    def test_fit_finds_clusters(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 0.2, (80, 2))
+        b = rng.normal(5, 0.2, (80, 2))
+        m = KMeans.fit(np.vstack([a, b]), k=2, seed=1)
+        la = set(m.predict_batch(a))
+        lb = set(m.predict_batch(b))
+        assert len(la) == len(lb) == 1 and la != lb
+
+    def test_k_property(self):
+        assert KMeans([[0], [1], [2]]).k == 3
+
+    def test_bad_centroids_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans([0.0, 1.0])

@@ -1,0 +1,318 @@
+"""Physical operators: filters, joins, aggregations, windows, spatial,
+index scans — all validated against brute-force references."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import ExecutionContext, Table
+from repro.db.operators import (
+    TimeSeriesIndex,
+    containment_join,
+    distance_join,
+    extend,
+    hash_group_by,
+    hash_join,
+    index_range_scan,
+    interval_group_by,
+    limit,
+    nested_loop_join,
+    order_by,
+    project,
+    scan_filter,
+    sort_group_by,
+    sort_merge_join,
+    sort_passes,
+    window_aggregate,
+    window_select,
+)
+from repro.errors import PlanError
+
+
+def _tables(seed=30, n_left=120, n_right=60, key_space=25):
+    rng = random.Random(seed)
+    left = Table.from_columns(
+        "l", id=list(range(n_left)),
+        k=[rng.randrange(key_space) for __ in range(n_left)])
+    right = Table.from_columns(
+        "r", k=[rng.randrange(key_space) for __ in range(n_right)],
+        v=[i * 3 for i in range(n_right)])
+    return left, right
+
+
+class TestBasicOps:
+    def test_scan_filter(self):
+        t = Table.from_columns("t", a=list(range(20)))
+        out = scan_filter(t, lambda r: r[0] >= 15)
+        assert out.column("a") == list(range(15, 20))
+
+    def test_project_traces(self):
+        ctx = ExecutionContext()
+        t = Table.from_columns("t", a=[1], b=[2])
+        out = project(t, ["b"], ctx)
+        assert out.rows == [(2,)]
+        assert ctx.traces[0].op == "project"
+
+    def test_extend(self):
+        t = Table.from_columns("t", a=[2, 3])
+        out = extend(t, "sq", lambda r: r[0] ** 2)
+        assert out.column("sq") == [4, 9]
+
+    def test_order_by_and_limit(self):
+        t = Table.from_columns("t", a=[3, 1, 2])
+        out = limit(order_by(t, "a"), 2)
+        assert out.column("a") == [1, 2]
+
+    def test_sort_passes_monotone(self):
+        assert sort_passes(100) == 1
+        assert sort_passes(10 ** 6) > 1
+        assert sort_passes(10 ** 8) >= sort_passes(10 ** 6)
+
+
+class TestJoins:
+    def _brute(self, left, right):
+        return sorted(l + r for l in left.rows for r in right.rows
+                      if l[1] == r[0])
+
+    def test_hash_join_matches_brute_force(self):
+        left, right = _tables()
+        out = hash_join(left, right, "k", "k")
+        assert sorted(out.rows) == self._brute(left, right)
+
+    def test_sort_merge_join_matches_hash_join(self):
+        left, right = _tables(seed=31)
+        hj = hash_join(left, right, "k", "k")
+        smj = sort_merge_join(left, right, "k", "k")
+        assert sorted(hj.rows) == sorted(smj.rows)
+
+    def test_join_schema_prefixing(self):
+        left, right = _tables()
+        out = hash_join(left, right, "k", "k", prefix="r_")
+        assert out.schema.fields == ("id", "k", "r_k", "r_v")
+
+    def test_join_empty_sides(self):
+        left, right = _tables()
+        empty = right.with_rows([])
+        assert len(hash_join(left, empty, "k", "k")) == 0
+        assert len(hash_join(empty.with_rows([]), right, "k", "k")) == 0
+
+    def test_multi_partition_join(self):
+        left, right = _tables(n_left=500, n_right=500, key_space=50)
+        out = hash_join(left, right, "k", "k", n_partitions=8)
+        assert sorted(out.rows) == self._brute(left, right)
+
+    def test_nested_loop_join(self):
+        left, right = _tables(n_left=30, n_right=30)
+        out = nested_loop_join(left, right,
+                               lambda l, r: l[1] == r[0])
+        assert sorted(out.rows) == self._brute(left, right)
+
+    def test_hash_join_events_traced(self):
+        ctx = ExecutionContext()
+        left, right = _tables()
+        hash_join(left, right, "k", "k", ctx)
+        t = ctx.traces[-1]
+        assert t.op == "hash_join"
+        assert t.events.rmw_ops > 0      # FAA partitioning + CAS build
+
+    @given(st.lists(st.integers(0, 10), max_size=80),
+           st.lists(st.integers(0, 10), max_size=80))
+    @settings(max_examples=20, deadline=None)
+    def test_property_join_equivalence(self, lk, rk):
+        left = Table.from_columns("l", k=lk)
+        right = Table.from_columns("r", k=rk)
+        hj = sorted(hash_join(left, right, "k", "k").rows)
+        smj = sorted(sort_merge_join(left, right, "k", "k").rows)
+        brute = sorted((a, b) for a in lk for b in rk if a == b)
+        assert hj == smj == brute
+
+
+class TestAggregation:
+    def _t(self, seed=32, n=200):
+        rng = random.Random(seed)
+        return Table.from_columns(
+            "t", g=[rng.randrange(7) for __ in range(n)],
+            x=[rng.uniform(0, 10) for __ in range(n)])
+
+    def test_hash_equals_sort_group_by(self):
+        t = self._t()
+        aggs = {"n": ("count", None), "s": ("sum", "x"),
+                "mn": ("min", "x"), "mx": ("max", "x"),
+                "avg": ("avg", "x")}
+        h = sorted(hash_group_by(t, ["g"], aggs).rows)
+        s = sorted(sort_group_by(t, ["g"], aggs).rows)
+        assert len(h) == len(s)
+        for hr, sr in zip(h, s):
+            assert hr[0] == sr[0]
+            for a, b in zip(hr[1:], sr[1:]):
+                assert a == pytest.approx(b)
+
+    def test_counts_match_reference(self):
+        t = self._t()
+        out = hash_group_by(t, ["g"], {"n": ("count", None)})
+        from collections import Counter
+        ref = Counter(t.column("g"))
+        assert {r[0]: r[1] for r in out.rows} == dict(ref)
+
+    def test_avg_correct(self):
+        t = Table.from_columns("t", g=[1, 1, 2], x=[2.0, 4.0, 10.0])
+        out = hash_group_by(t, ["g"], {"m": ("avg", "x")})
+        got = {r[0]: r[1] for r in out.rows}
+        assert got == {1: 3.0, 2: 10.0}
+
+    def test_unknown_op_rejected(self):
+        t = self._t()
+        with pytest.raises(PlanError):
+            hash_group_by(t, ["g"], {"bad": ("median", "x")})
+
+    def test_multi_key_grouping(self):
+        t = Table.from_columns("t", a=[1, 1, 2], b=[1, 1, 1], x=[1, 2, 3])
+        out = hash_group_by(t, ["a", "b"], {"n": ("count", None)})
+        assert sorted(out.rows) == [(1, 1, 2), (2, 1, 1)]
+
+    def test_interval_group_by(self):
+        t = Table.from_columns("t", time=[0, 5, 10, 15, 20])
+        out = interval_group_by(t, "time", 10, {"n": ("count", None)})
+        got = {r[0]: r[1] for r in out.rows}
+        assert got == {0: 2, 1: 2, 2: 1}
+
+    def test_interval_validation(self):
+        t = Table.from_columns("t", time=[1])
+        with pytest.raises(PlanError):
+            interval_group_by(t, "time", 0, {"n": ("count", None)})
+
+    def test_empty_input(self):
+        t = Table.from_columns("t", g=[], x=[])
+        assert len(hash_group_by(t, ["g"], {"n": ("count", None)})) == 0
+
+
+class TestWindow:
+    def test_sliding_average(self):
+        t = Table.from_columns("t", d=[0] * 5, time=list(range(5)),
+                               v=[1.0, 2.0, 3.0, 4.0, 5.0])
+        out = window_aggregate(t, "d", "time", {"m": ("avg", "v")},
+                               preceding=1)
+        ms = out.column("m")
+        assert ms == [1.0, 1.5, 2.5, 3.5, 4.5]
+
+    def test_partitions_isolated(self):
+        t = Table.from_columns("t", d=[0, 1, 0, 1], time=[0, 0, 1, 1],
+                               v=[1.0, 100.0, 3.0, 300.0])
+        out = window_aggregate(t, "d", "time", {"m": ("max", "v")},
+                               preceding=5)
+        got = {(r[0], r[1]): r[3] for r in out.rows}
+        assert got[(0, 1)] == 3.0
+        assert got[(1, 1)] == 300.0
+
+    def test_count_window(self):
+        t = Table.from_columns("t", d=[0] * 4, time=list(range(4)),
+                               v=[1.0] * 4)
+        out = window_aggregate(t, "d", "time", {"n": ("count", "v")},
+                               preceding=2)
+        assert out.column("n") == [1, 2, 3, 3]
+
+    def test_negative_frame_rejected(self):
+        t = Table.from_columns("t", d=[0], time=[0], v=[0.0])
+        with pytest.raises(PlanError):
+            window_aggregate(t, "d", "time", {"m": ("avg", "v")},
+                             preceding=-1)
+
+    def test_row_count_preserved(self):
+        rng = random.Random(33)
+        t = Table.from_columns(
+            "t", d=[rng.randrange(5) for __ in range(100)],
+            time=[rng.randrange(50) for __ in range(100)],
+            v=[rng.random() for __ in range(100)])
+        out = window_aggregate(t, "d", "time", {"m": ("avg", "v")},
+                               preceding=3)
+        assert len(out) == 100
+
+
+class TestSpatialOps:
+    def _pts(self, name, n, seed):
+        rng = random.Random(seed)
+        return Table.from_columns(
+            name, pid=list(range(n)),
+            x=[rng.randrange(1000) for __ in range(n)],
+            y=[rng.randrange(1000) for __ in range(n)])
+
+    def test_distance_join_matches_brute_force(self):
+        a = self._pts("a", 60, 34)
+        b = self._pts("b", 60, 35)
+        out = distance_join(a, b, ("x", "y"), ("x", "y"), 80)
+        expect = sum(1 for p in a.rows for q in b.rows
+                     if math.hypot(p[1] - q[1], p[2] - q[2]) <= 80)
+        assert len(out) == expect
+
+    def test_containment_join_matches_brute_force(self):
+        regions = Table.from_columns(
+            "reg", locationId=[0, 1],
+            x0=[0, 500], y0=[0, 0], x1=[499, 999], y1=[999, 999])
+        pts = self._pts("p", 100, 36)
+        out = containment_join(regions, ("x0", "y0", "x1", "y1"),
+                               pts, ("x", "y"))
+        expect = sum(1 for p in pts.rows for g in regions.rows
+                     if g[1] <= p[1] <= g[3] and g[2] <= p[2] <= g[4])
+        assert len(out) == expect
+
+    def test_window_select(self):
+        pts = self._pts("p", 80, 37)
+        out = window_select(pts, "x", "y", (100, 100, 400, 400))
+        expect = [r for r in pts.rows
+                  if 100 <= r[1] <= 400 and 100 <= r[2] <= 400]
+        assert sorted(out.rows) == sorted(expect)
+
+    def test_spatial_meta_recorded_for_baselines(self):
+        ctx = ExecutionContext()
+        a = self._pts("a", 20, 38)
+        b = self._pts("b", 30, 39)
+        distance_join(a, b, ("x", "y"), ("x", "y"), 50, ctx)
+        assert ctx.traces[-1].meta == {"left": 20, "right": 30}
+
+
+class TestIndexScan:
+    def test_range_scan_matches_filter(self):
+        rng = random.Random(40)
+        t = Table.from_columns(
+            "t", time=[rng.randrange(10_000) for __ in range(1500)],
+            v=list(range(1500)))
+        idx = TimeSeriesIndex(t, "time", batch_size=128)
+        out = index_range_scan(idx, 3000, 4000)
+        expect = sorted(r for r in t.rows if 3000 <= r[0] <= 4000)
+        assert sorted(out.rows) == expect
+
+    def test_append_visible_to_scan(self):
+        t = Table.from_columns("t", time=[1, 2], v=[10, 20])
+        idx = TimeSeriesIndex(t, "time", batch_size=4)
+        idx.append((3, 30))
+        out = index_range_scan(idx, 3, 3)
+        assert out.rows == [(3, 30)]
+
+    def test_events_isolated_per_scan(self):
+        t = Table.from_columns("t", time=list(range(500)),
+                               v=list(range(500)))
+        idx = TimeSeriesIndex(t, "time", batch_size=64)
+        ctx = ExecutionContext()
+        index_range_scan(idx, 0, 10, ctx)
+        narrow = ctx.traces[-1].events.dram_read_bytes
+        index_range_scan(idx, 0, 499, ctx)
+        wide = ctx.traces[-1].events.dram_read_bytes
+        assert 0 < narrow < wide
+
+
+class TestCountDistinct:
+    def test_count_distinct(self):
+        t = Table.from_columns("t", g=[1, 1, 1, 2], x=[5, 5, 7, 9])
+        out = hash_group_by(t, ["g"], {"d": ("count_distinct", "x")})
+        assert sorted(out.rows) == [(1, 2), (2, 1)]
+
+    def test_count_distinct_matches_sort_variant(self):
+        rng = random.Random(150)
+        t = Table.from_columns(
+            "t", g=[rng.randrange(4) for __ in range(200)],
+            x=[rng.randrange(12) for __ in range(200)])
+        h = hash_group_by(t, ["g"], {"d": ("count_distinct", "x")})
+        s = sort_group_by(t, ["g"], {"d": ("count_distinct", "x")})
+        assert sorted(h.rows) == sorted(s.rows)

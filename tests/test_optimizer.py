@@ -1,0 +1,68 @@
+"""Cost-based algorithm selection: the fig. 11a crossover as a planner
+decision."""
+
+import random
+
+import pytest
+
+from repro.db import Table
+from repro.db.optimizer import JoinChoice, Optimizer
+from repro.db.operators import hash_join
+
+
+class TestJoinChoice:
+    def test_sort_merge_chosen_for_small_tables(self):
+        choice = Optimizer().choose_join(10 ** 4, 10 ** 4)
+        assert choice.algorithm == "sort_merge"
+
+    def test_hash_chosen_for_large_tables(self):
+        choice = Optimizer().choose_join(10 ** 8, 10 ** 8)
+        assert choice.algorithm == "hash"
+
+    def test_crossover_in_plausible_band(self):
+        # fig. 11a's lines cross somewhere in the millions of rows.
+        size = Optimizer().crossover_size()
+        assert 10 ** 5 < size < 10 ** 8
+
+    def test_presorted_inputs_favor_sort_merge(self):
+        n = 10 ** 8
+        plain = Optimizer().choose_join(n, n)
+        presorted = Optimizer(presorted_left=True,
+                              presorted_right=True).choose_join(n, n)
+        # §II-A: sort-merge wins "if data is pre-sorted".
+        assert plain.algorithm == "hash"
+        assert presorted.algorithm == "sort_merge"
+
+    def test_advantage_at_least_one(self):
+        for n in (10 ** 4, 10 ** 6, 10 ** 8):
+            assert Optimizer().choose_join(n, n).advantage >= 1.0
+
+    def test_execute_join_matches_reference(self):
+        rng = random.Random(110)
+        left = Table.from_columns(
+            "l", k=[rng.randrange(12) for __ in range(60)])
+        right = Table.from_columns(
+            "r", k=[rng.randrange(12) for __ in range(60)])
+        out = Optimizer().execute_join(left, right, "k", "k")
+        ref = hash_join(left, right, "k", "k")
+        assert sorted(out.rows) == sorted(ref.rows)
+
+
+class TestAccessPath:
+    def test_index_for_selective_predicates(self):
+        assert Optimizer().choose_range_access(10 ** 8, 1e-6) == "index"
+
+    def test_scan_for_unselective_predicates(self):
+        assert Optimizer().choose_range_access(10 ** 6, 0.9) == "scan"
+
+    def test_selectivity_validated(self):
+        with pytest.raises(ValueError):
+            Optimizer().choose_range_access(1000, 1.5)
+
+    def test_monotone_in_selectivity(self):
+        opt = Optimizer()
+        picks = [opt.choose_range_access(10 ** 7, s)
+                 for s in (1e-7, 1e-4, 1e-2, 0.5, 1.0)]
+        # Once a scan wins, higher selectivity keeps it winning.
+        first_scan = picks.index("scan") if "scan" in picks else len(picks)
+        assert all(p == "scan" for p in picks[first_scan:])

@@ -1,0 +1,254 @@
+"""Performance models: cost model pricing, analytical kernels vs functional
+implementations, area accounting, energy, calibration, planner."""
+
+import pytest
+
+from repro.db import ExecutionContext, Table
+from repro.db.operators import hash_join
+from repro.db.planner import OPERATOR_TILES, Placer, PlanNode
+from repro.errors import PlanError
+from repro.perf import (
+    AUROCHS,
+    CostModel,
+    area_breakdown,
+    calibrate_hash_build,
+    calibrate_hash_probe,
+    chip_overhead_pct,
+    energy_joules,
+    kernels,
+    platform_power,
+    scratchpad_overhead_pct,
+)
+from repro.structures import ChainedHashTable, RadixPartitioner
+from repro.structures.common import StructureEvents
+
+
+class TestCostModel:
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            CostModel(parallel_streams=0)
+
+    def test_more_events_cost_more(self):
+        m = CostModel()
+        small = kernels.hash_join_events(1000, 1000)
+        large = kernels.hash_join_events(100_000, 100_000)
+        assert (m.event_cycles(large).cycles
+                > m.event_cycles(small).cycles)
+
+    def test_parallelism_reduces_compute_cycles(self):
+        ev = StructureEvents(records_processed=10 ** 6)
+        c1 = CostModel(parallel_streams=1).event_cycles(ev)
+        c8 = CostModel(parallel_streams=8).event_cycles(ev)
+        assert c8.compute_cycles == pytest.approx(c1.compute_cycles / 8)
+
+    def test_dram_not_reduced_by_parallelism(self):
+        ev = StructureEvents(dram_read_bytes=10 ** 9)
+        c1 = CostModel(parallel_streams=1).event_cycles(ev)
+        c8 = CostModel(parallel_streams=8).event_cycles(ev)
+        assert c8.dram_cycles == c1.dram_cycles
+
+    def test_sparse_traffic_pays_burst(self):
+        dense = StructureEvents(dram_read_bytes=64_000)
+        sparse = StructureEvents(dram_read_bytes=8_000,
+                                 dram_sparse_accesses=1000)
+        m = CostModel()
+        assert (m.event_cycles(sparse).dram_cycles
+                == m.event_cycles(dense).dram_cycles)
+
+    def test_bound_identifies_limiter(self):
+        m = CostModel(parallel_streams=1)
+        ev = StructureEvents(dram_read_bytes=10 ** 9)
+        assert m.event_cycles(ev).bound == "dram"
+        ev2 = StructureEvents(records_processed=10 ** 9)
+        assert m.event_cycles(ev2).bound == "compute"
+
+    def test_trace_pricing_includes_stage_overhead(self):
+        ctx = ExecutionContext()
+        ctx.trace("filter", 0, 0)
+        m = CostModel(stage_overhead_cycles=1234)
+        assert m.trace_cycles(ctx.traces) >= 1234
+
+    def test_query_runtime_positive(self):
+        ctx = ExecutionContext()
+        left = Table.from_columns("l", k=list(range(100)))
+        right = Table.from_columns("r", k=list(range(100)))
+        hash_join(left, right, "k", "k", ctx)
+        assert CostModel().query_runtime(ctx) > 0
+
+
+class TestAnalyticalKernels:
+    """The analytical composers must track the functional implementations'
+    event counts — this is what licenses the fig. 11 projections."""
+
+    def test_hash_build_rmw_matches_functional(self):
+        n = 2000
+        ht = ChainedHashTable(1 << 11)
+        ht.build([(i, i) for i in range(n)])
+        analytic = kernels.hash_build_events(n)
+        assert analytic.rmw_ops == ht.events.rmw_ops
+
+    def test_partition_rmw_and_bytes_match_functional(self):
+        n = 3000
+        rp = RadixPartitioner(16)
+        rp.partition((k, (k,)) for k in range(n))
+        analytic = kernels.partition_events(n, row_bytes=4)
+        assert analytic.rmw_ops == rp.events.rmw_ops
+        assert analytic.dram_sparse_accesses == rp.events.dram_sparse_accesses
+        # Byte counts agree within the block-header overhead.
+        assert analytic.dram_write_bytes == pytest.approx(
+            rp.events.dram_write_bytes, rel=0.1)
+
+    def test_probe_spad_reads_close_to_functional(self):
+        n = 4000
+        ht = ChainedHashTable(n)
+        ht.build([(i, i) for i in range(n)])
+        before = ht.events.spad_reads
+        for q in range(n):
+            ht.probe(q)
+        functional = ht.events.spad_reads - before
+        analytic = kernels.hash_probe_events(n).spad_reads
+        assert analytic == pytest.approx(functional, rel=0.25)
+
+    def test_hash_join_linear_scaling(self):
+        e1 = kernels.hash_join_events(10 ** 5, 10 ** 5)
+        e10 = kernels.hash_join_events(10 ** 6, 10 ** 6)
+        total1 = e1.dram_read_bytes + e1.dram_write_bytes
+        total10 = e10.dram_read_bytes + e10.dram_write_bytes
+        assert total10 == pytest.approx(10 * total1, rel=0.01)
+
+    def test_sort_merge_superlinear_scaling(self):
+        m = CostModel()
+        t1 = m.event_cycles(kernels.sort_merge_join_events(10 ** 5, 10 ** 5))
+        t10 = m.event_cycles(kernels.sort_merge_join_events(10 ** 6, 10 ** 6))
+        assert t10.cycles > 10 * t1.cycles
+
+    def test_btree_probe_logarithmic(self):
+        small = kernels.btree_probe_events(1000, 10 ** 4)
+        large = kernels.btree_probe_events(1000, 10 ** 8)
+        assert small.dram_sparse_accesses < large.dram_sparse_accesses
+        assert large.dram_sparse_accesses < 4 * small.dram_sparse_accesses
+
+    def test_scan_linear(self):
+        s1 = kernels.table_scan_events(10 ** 5)
+        s10 = kernels.table_scan_events(10 ** 6)
+        assert s10.dram_read_bytes == 10 * s1.dram_read_bytes
+
+
+class TestFigureShapes:
+    """The qualitative claims of fig. 11 must hold in the models."""
+
+    def test_fig11a_sort_wins_small_hash_wins_large(self):
+        m = CostModel(parallel_streams=8)
+        def hash_t(n):
+            return m.event_cycles(kernels.hash_join_events(n, n)).cycles
+        def sort_t(n):
+            return m.event_cycles(
+                kernels.sort_merge_join_events(n, n)).cycles
+        assert sort_t(10 ** 4) < hash_t(10 ** 4)     # dense wins small
+        assert hash_t(10 ** 8) < sort_t(10 ** 8)     # linear wins large
+
+    def test_fig11b_index_beats_presort_at_scale(self):
+        m = CostModel(parallel_streams=8)
+        n_fixed = 10 ** 5
+        def aurochs(n):
+            return m.event_cycles(
+                kernels.rtree_join_events(n_fixed, n)).cycles
+        def gorgon(n):
+            return m.event_cycles(
+                kernels.gorgon_spatial_events(n_fixed, n)).cycles
+        assert aurochs(10 ** 8) < gorgon(10 ** 8)
+
+    def test_fig11b_nested_loop_infeasible(self):
+        m = CostModel(parallel_streams=8)
+        nlj = m.event_cycles(
+            kernels.gorgon_nlj_spatial_events(10 ** 5, 10 ** 7)).cycles
+        idx = m.event_cycles(
+            kernels.rtree_join_events(10 ** 5, 10 ** 7)).cycles
+        assert nlj > 100 * idx
+
+    def test_fig12_throughput_saturates(self):
+        ev = kernels.hash_join_events(10 ** 7, 10 ** 7)
+        nbytes = 2 * 10 ** 7 * 8
+        tp = [CostModel(parallel_streams=p).throughput_bytes_per_s(ev, nbytes)
+              for p in (1, 2, 4, 8, 16, 32)]
+        assert tp[1] > tp[0]                      # scales at first
+        assert tp[-1] <= tp[-2] * 1.2             # saturates eventually
+        assert tp[-1] < AUROCHS.dram_bw_bytes     # below DRAM bandwidth
+
+
+class TestAreaModel:
+    def test_totals_match_paper(self):
+        assert scratchpad_overhead_pct() == pytest.approx(15.0)
+        assert chip_overhead_pct() == pytest.approx(5.0)
+
+    def test_allocator_is_small_portion(self):
+        # §V-A: "the allocation logic ... occupies only a small portion".
+        parts = {name: pct for name, __, pct in area_breakdown()}
+        assert parts["allocator"] < 2.0
+
+    def test_issue_queues_dominate(self):
+        parts = {name: pct for name, __, pct in area_breakdown()}
+        assert max(parts, key=parts.get).startswith("issue queue")
+
+    def test_breakdown_components_positive(self):
+        assert all(pct > 0 for __, __, pct in area_breakdown())
+
+
+class TestEnergyAndCalibration:
+    def test_energy_is_runtime_times_power(self):
+        assert energy_joules(2.0, 100.0) == 200.0
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            energy_joules(-1.0, 10.0)
+
+    def test_platform_powers(self):
+        assert platform_power("gpu") > platform_power("aurochs")
+
+    def test_calibration_converges(self):
+        pts = calibrate_hash_build([256, 1024])
+        # Ratio should shrink toward a constant as size grows (fixed
+        # pipeline-fill overheads amortize).
+        assert pts[-1].ratio < pts[0].ratio * 1.5
+        assert 0.5 < pts[-1].ratio < 4.0
+
+    def test_probe_calibration_band(self):
+        pts = calibrate_hash_probe([512])
+        assert 0.5 < pts[0].ratio < 6.0
+
+
+class TestPlanner:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            PlanNode("teleport")
+
+    def test_parallel_knob_multiplies_tiles(self):
+        one = PlanNode("hash_join", 1).total_tiles()
+        four = PlanNode("hash_join", 4).total_tiles()
+        assert four == (one[0] * 4, one[1] * 4)
+
+    def test_tree_totals_sum_children(self):
+        plan = PlanNode("hash_join", 1, [PlanNode("filter", 2)])
+        c, s = plan.total_tiles()
+        assert c == OPERATOR_TILES["hash_join"][0] + 2
+        assert s == OPERATOR_TILES["hash_join"][1]
+
+    def test_placement_within_budget(self):
+        usage = Placer().place(PlanNode("hash_join", 4))
+        assert 0 < usage["compute_util"] < 1
+
+    def test_placement_over_budget_raises(self):
+        with pytest.raises(PlanError):
+            Placer().place(PlanNode("hash_join", 1000))
+
+    def test_max_parallel_consistent_with_fits(self):
+        placer = Placer()
+        plan = PlanNode("hash_join", 1, [PlanNode("filter", 1)])
+        k = placer.max_parallel(plan)
+        assert placer.fits(plan.scale(k))
+        assert not placer.fits(plan.scale(k + 1))
+
+    def test_scale_copies(self):
+        plan = PlanNode("filter", 1)
+        scaled = plan.scale(3)
+        assert plan.parallel == 1 and scaled.parallel == 3

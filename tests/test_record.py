@@ -1,0 +1,148 @@
+"""Schema and record representation tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataflow import FIELD_BITS, LANES, Schema, as_i32, as_u32
+from repro.errors import SchemaError
+
+
+class TestSchemaBasics:
+    def test_fields_preserved_in_order(self):
+        s = Schema(["key", "payload", "next"])
+        assert s.fields == ("key", "payload", "next")
+
+    def test_len(self):
+        assert len(Schema(["a", "b"])) == 2
+
+    def test_index_lookup(self):
+        s = Schema(["a", "b", "c"])
+        assert s.index("b") == 1
+
+    def test_index_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).index("z")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_contains(self):
+        s = Schema(["a", "b"])
+        assert "a" in s and "z" not in s
+
+    def test_indices_multi(self):
+        s = Schema(["a", "b", "c"])
+        assert s.indices(["c", "a"]) == (2, 0)
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+class TestSchemaDerivation:
+    def test_extend_appends(self):
+        s = Schema(["a"]).extend("b", "c")
+        assert s.fields == ("a", "b", "c")
+
+    def test_drop_removes(self):
+        s = Schema(["a", "b", "c"]).drop("b")
+        assert s.fields == ("a", "c")
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).drop("b")
+
+    def test_select_reorders(self):
+        s = Schema(["a", "b", "c"]).select("c", "a")
+        assert s.fields == ("c", "a")
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).select("b")
+
+    def test_rename(self):
+        s = Schema(["a", "b"]).rename({"a": "x"})
+        assert s.fields == ("x", "b")
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).rename({"z": "x"})
+
+    def test_concat_prefixes_collisions(self):
+        left = Schema(["id", "k"])
+        right = Schema(["k", "v"])
+        joined = left.concat(right, "r_")
+        assert joined.fields == ("id", "k", "r_k", "r_v")
+
+
+class TestRecordOps:
+    def test_make_and_get(self):
+        s = Schema(["a", "b"])
+        r = s.make(a=1, b=2)
+        assert r == (1, 2)
+        assert s.get(r, "b") == 2
+
+    def test_make_missing_field_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b"]).make(a=1)
+
+    def test_make_extra_field_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).make(a=1, b=2)
+
+    def test_asdict(self):
+        s = Schema(["a", "b"])
+        assert s.asdict((1, 2)) == {"a": 1, "b": 2}
+
+    def test_project(self):
+        s = Schema(["a", "b", "c"])
+        assert s.project((1, 2, 3), ["c", "a"]) == (3, 1)
+
+    def test_projector_matches_project(self):
+        s = Schema(["a", "b", "c"])
+        p = s.projector(["b", "c"])
+        assert p((1, 2, 3)) == s.project((1, 2, 3), ["b", "c"])
+
+    def test_replacer(self):
+        s = Schema(["a", "b", "c"])
+        rep = s.replacer("b")
+        assert rep((1, 2, 3), 9) == (1, 9, 3)
+
+    def test_validate_arity(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b"]).validate((1,))
+
+    def test_appender(self):
+        s = Schema(["a"])
+        assert s.appender()((1,), 2) == (1, 2)
+
+
+class TestWordSemantics:
+    def test_lanes_constant(self):
+        # Gorgon tiles are 16-lane vector datapaths (§II-B).
+        assert LANES == 16
+
+    def test_field_width(self):
+        assert FIELD_BITS == 32
+
+    def test_u32_wraps(self):
+        assert as_u32(1 << 32) == 0
+        assert as_u32(-1) == 0xFFFFFFFF
+
+    def test_i32_wraps_negative(self):
+        assert as_i32(0xFFFFFFFF) == -1
+        assert as_i32(0x7FFFFFFF) == 0x7FFFFFFF
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_u32_range(self, v):
+        assert 0 <= as_u32(v) < (1 << 32)
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_i32_range(self, v):
+        assert -(1 << 31) <= as_i32(v) < (1 << 31)
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_i32_identity_in_range(self, v):
+        assert as_i32(v) == v

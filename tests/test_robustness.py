@@ -1,0 +1,147 @@
+"""Failure injection and edge cases: capacity exhaustion, empty inputs,
+throttled sources, and error propagation through the engines."""
+
+import pytest
+
+from repro.dataflow import (
+    Engine,
+    Graph,
+    LANES,
+    MapTile,
+    SinkTile,
+    SourceTile,
+    run_graph,
+)
+from repro.db import ExecutionContext, Table
+from repro.db.operators import (
+    hash_group_by,
+    hash_join,
+    order_by,
+    scan_filter,
+    window_aggregate,
+)
+from repro.errors import CapacityError, ReproError, SimulationError
+from repro.memory import DramMemory, ScratchpadMemory
+from repro.perf import CostModel
+from repro.structures import (
+    ChainedHashTable,
+    HashTableDataflow,
+    PartitionerDataflow,
+)
+
+
+class TestCapacityExhaustion:
+    def test_hash_overflow_buffer_exhausted(self):
+        ht = HashTableDataflow(n_buckets=4, spad_node_capacity=2,
+                               overflow_capacity=2)
+        with pytest.raises(CapacityError):
+            ht.load([(k, k) for k in range(10)])
+
+    def test_partitioner_block_pool_exhausted(self):
+        pd = PartitionerDataflow(1, block_size=2, max_blocks=2)
+        with pytest.raises(CapacityError):
+            run_graph(pd.build_graph([(0, i) for i in range(100)]))
+
+    def test_scratchpad_region_budget(self):
+        mem = ScratchpadMemory("m")
+        with pytest.raises(CapacityError):
+            mem.region("huge", 1 << 20, 4)
+
+    def test_dram_capacity_is_generous_but_finite(self):
+        dram = DramMemory("d", capacity_words=100)
+        dram.region("a", 50, 1)
+        with pytest.raises(CapacityError):
+            dram.region("b", 60, 1)
+
+    def test_all_repro_errors_share_base(self):
+        for exc in (CapacityError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+
+class TestEmptyInputs:
+    def test_empty_join(self):
+        empty = Table.from_columns("e", k=[])
+        out = hash_join(empty, empty, "k", "k")
+        assert len(out) == 0
+
+    def test_empty_group_by(self):
+        empty = Table.from_columns("e", g=[], x=[])
+        out = hash_group_by(empty, ["g"], {"n": ("count", None)})
+        assert len(out) == 0
+
+    def test_empty_window(self):
+        empty = Table.from_columns("e", d=[], t=[], v=[])
+        out = window_aggregate(empty, "d", "t", {"m": ("avg", "v")},
+                               preceding=2)
+        assert len(out) == 0
+
+    def test_empty_filter_and_sort(self):
+        empty = Table.from_columns("e", a=[])
+        assert len(scan_filter(empty, lambda r: True)) == 0
+        assert len(order_by(empty, "a")) == 0
+
+    def test_empty_hash_table_probe(self):
+        ht = ChainedHashTable(8)
+        assert ht.probe(42) == []
+
+    def test_cost_model_on_empty_trace(self):
+        ctx = ExecutionContext()
+        assert CostModel().query_runtime(ctx) == 0.0
+
+
+class TestThrottledSources:
+    def test_slow_producer_still_completes(self):
+        g = Graph("slow")
+        src = g.add(SourceTile("src", [(i,) for i in range(64)], rate=3))
+        m = g.add(MapTile("m", lambda r: r))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, m)
+        g.connect(m, sink)
+        stats = run_graph(g)
+        assert len(sink.records) == 64
+        # 3 records/cycle instead of 16: occupancy reflects the throttle.
+        assert stats.tiles["src"].lane_occupancy < 0.5
+
+    def test_rate_clamped_to_lanes(self):
+        src = SourceTile("src", [(1,)], rate=100)
+        assert src.rate == LANES
+
+
+class TestErrorPropagation:
+    def test_map_exception_surfaces(self):
+        g = Graph("boom")
+        src = g.add(SourceTile("src", [(0,)]))
+        m = g.add(MapTile("m", lambda r: 1 // r[0]))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, m)
+        g.connect(m, sink)
+        with pytest.raises(ZeroDivisionError):
+            run_graph(g)
+
+    def test_engine_budget_is_configurable(self):
+        g = Graph("tiny")
+        src = g.add(SourceTile("src", [(i,) for i in range(10_000)]))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, sink)
+        with pytest.raises(SimulationError):
+            Engine(g, max_cycles=10).run()
+
+
+class TestCostBreakdown:
+    def test_breakdown_covers_all_traces(self, tiny_rideshare):
+        from repro.workloads import run_query
+        ctx = ExecutionContext()
+        run_query("q7", tiny_rideshare, ctx)
+        breakdown = CostModel().query_breakdown(ctx)
+        assert len(breakdown) == len(ctx.traces)
+        assert all(b.bound in ("compute", "spad", "dram")
+                   for __, b in breakdown)
+
+    def test_breakdown_sums_to_trace_cycles(self, tiny_rideshare):
+        from repro.workloads import run_query
+        ctx = ExecutionContext()
+        run_query("q3", tiny_rideshare, ctx)
+        m = CostModel()
+        total = sum(b.cycles for __, b in m.query_breakdown(ctx))
+        assert total + len(ctx.traces) * m.stage_overhead_cycles == (
+            pytest.approx(m.trace_cycles(ctx.traces)))

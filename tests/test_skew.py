@@ -1,0 +1,68 @@
+"""Skewed key generators and the §IV-A load-balancing property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.skew import (
+    balance,
+    clustered_keys,
+    partition_sizes_on_hash,
+    partition_sizes_on_raw_bits,
+    strided_keys,
+    zipf_keys,
+)
+
+
+class TestGenerators:
+    def test_zipf_in_range(self):
+        keys = zipf_keys(1000, key_space=100, s=1.2)
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_zipf_is_skewed(self):
+        keys = zipf_keys(10_000, key_space=1000, s=1.5)
+        from collections import Counter
+        top = Counter(keys).most_common(1)[0][1]
+        assert top > 10_000 / 1000 * 5  # far above uniform share
+
+    def test_zipf_deterministic(self):
+        assert zipf_keys(100, 50, seed=7) == zipf_keys(100, 50, seed=7)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_keys(10, 0)
+        with pytest.raises(ValueError):
+            zipf_keys(10, 10, s=0)
+
+    def test_strided(self):
+        assert strided_keys(4, stride=8, base=3) == [3, 11, 19, 27]
+
+    def test_clustered_near_centers(self):
+        keys = clustered_keys(1000, centers=[10_000], spread=100, seed=1)
+        assert sum(1 for k in keys if 9000 < k < 11_000) > 950
+
+
+class TestBalance:
+    def test_perfect_balance_is_one(self):
+        assert balance([10, 10, 10, 10]) == 1.0
+
+    def test_empty_is_one(self):
+        assert balance([0, 0]) == 1.0
+
+    def test_worst_case(self):
+        assert balance([40, 0, 0, 0]) == 4.0
+
+    def test_strided_defeats_raw_bits_not_hash(self):
+        keys = strided_keys(8000, stride=16)
+        assert balance(partition_sizes_on_raw_bits(keys, 16)) == 16.0
+        assert balance(partition_sizes_on_hash(keys, 16)) < 1.2
+
+    @given(st.integers(1, 64), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_hash_balances_any_stride(self, stride, base):
+        keys = strided_keys(4000, stride=max(1, stride), base=base)
+        assert balance(partition_sizes_on_hash(keys, 8)) < 1.5
+
+    def test_partition_sizes_conserve_count(self):
+        keys = zipf_keys(5000, 1 << 12, s=1.1, seed=2)
+        assert sum(partition_sizes_on_hash(keys, 16)) == 5000
+        assert sum(partition_sizes_on_raw_bits(keys, 16)) == 5000

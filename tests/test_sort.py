@@ -1,0 +1,86 @@
+"""Tiled external merge sort: correctness and agreement with the
+analytical pass/traffic accounting that prices all sort-based operators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.operators.sortutil import charge_sort, sort_passes
+from repro.structures import TiledMergeSort, external_sort
+from repro.structures.common import StructureEvents
+
+
+class TestCorrectness:
+    def test_sorts_random_data(self, rng):
+        data = [rng.randrange(10 ** 6) for __ in range(5000)]
+        assert external_sort(data, onchip_rows=128) == sorted(data)
+
+    def test_empty_input(self):
+        assert external_sort([]) == []
+
+    def test_single_chunk_no_merge_pass(self):
+        sorter = TiledMergeSort(onchip_rows=100)
+        sorter.sort(list(range(50, 0, -1)))
+        assert sorter.passes_executed == 1
+
+    def test_key_function(self):
+        data = [(1, "b"), (3, "a"), (2, "c")]
+        out = external_sort(data, key=lambda r: r[0], onchip_rows=2)
+        assert [k for k, __ in out] == [1, 2, 3]
+
+    def test_stability_within_runs(self):
+        data = [(1, i) for i in range(64)]
+        out = external_sort(data, key=lambda r: r[0], onchip_rows=8,
+                            radix=2)
+        assert sorted(v for __, v in out) == list(range(64))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TiledMergeSort(onchip_rows=0)
+        with pytest.raises(ValueError):
+            TiledMergeSort(radix=1)
+
+    @given(st.lists(st.integers(), max_size=500),
+           st.integers(2, 16), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_sorted(self, data, onchip, radix):
+        assert (external_sort(data, onchip_rows=onchip, radix=radix)
+                == sorted(data))
+
+
+class TestPassAccounting:
+    def test_passes_match_analytical_model(self):
+        # The executable sorter and sortutil.sort_passes must agree —
+        # this is what licenses pricing sorts analytically in fig. 11.
+        for n in (100, 10 ** 5, 10 ** 6):
+            sorter = TiledMergeSort()
+            sorter.sort(list(range(n, 0, -1)))
+            assert sorter.passes_executed == sort_passes(n), n
+
+    def test_traffic_matches_charge_sort(self):
+        n = 200_000
+        sorter = TiledMergeSort()
+        sorter.sort(list(range(n, 0, -1)), row_bytes=8)
+        analytic = StructureEvents()
+        charge_sort(analytic, n, 8)
+        assert sorter.events.dram_read_bytes == analytic.dram_read_bytes
+        assert sorter.events.dram_write_bytes == analytic.dram_write_bytes
+
+    def test_high_radix_fewer_passes_than_binary(self):
+        data = list(range(4096, 0, -1))
+        wide = TiledMergeSort(onchip_rows=16, radix=16)
+        binary = TiledMergeSort(onchip_rows=16, radix=2)
+        wide.sort(list(data))
+        binary.sort(list(data))
+        # §IV-B: high-radix merges conserve DRAM bandwidth.
+        assert wide.passes_executed < binary.passes_executed
+        assert (wide.events.dram_read_bytes
+                < binary.events.dram_read_bytes)
+
+    def test_pass_count_grows_logarithmically(self):
+        small = TiledMergeSort(onchip_rows=16, radix=4)
+        large = TiledMergeSort(onchip_rows=16, radix=4)
+        small.sort(list(range(256)))
+        large.sort(list(range(4096)))
+        assert large.passes_executed <= small.passes_executed + 2

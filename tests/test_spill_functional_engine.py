@@ -1,0 +1,170 @@
+"""SpillTile (§IV-C DRAM thread queue), window splitting, and the
+functional engine's equivalence with the cycle engine."""
+
+import random
+
+import pytest
+
+from repro.dataflow import (
+    Graph,
+    LANES,
+    MapTile,
+    SinkTile,
+    SourceTile,
+    run_functional,
+    run_graph,
+)
+from repro.errors import SimulationError
+from repro.structures import (
+    HashTableDataflow,
+    PackedRTree,
+    RTreeDataflow,
+    SpillTile,
+    intersects,
+    point_rect,
+    rect,
+    split_window,
+)
+
+
+def _points(n, extent=2000, seed=90):
+    rng = random.Random(seed)
+    return [(point_rect(rng.randrange(extent), rng.randrange(extent)), i)
+            for i in range(n)]
+
+
+class TestSpillTile:
+    def _spill_graph(self, n, capacity):
+        g = Graph("spill")
+        src = g.add(SourceTile("src", [(i,) for i in range(n)]))
+        spill = g.add(SpillTile("spill", on_chip_capacity=capacity,
+                                dram_latency=20))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, spill)
+        g.connect(spill, sink)
+        return g, spill, sink
+
+    def test_all_records_preserved(self):
+        g, spill, sink = self._spill_graph(500, capacity=8)
+        run_graph(g)
+        assert sorted(r[0] for r in sink.records) == list(range(500))
+
+    def test_overflow_spills_to_dram(self):
+        # Capacity below the vector width: bursts must overflow to DRAM.
+        g, spill, sink = self._spill_graph(500, capacity=8)
+        run_graph(g)
+        assert spill.spilled > 0
+        assert spill.dram_stats.write_bytes > 0
+
+    def test_no_spill_when_capacity_sufficient(self):
+        g, spill, sink = self._spill_graph(32, capacity=1024)
+        run_graph(g)
+        assert spill.spilled == 0
+
+    def test_spill_latency_extends_runtime(self):
+        g1, __, __s = self._spill_graph(200, capacity=4)
+        g2, __2, __s2 = self._spill_graph(200, capacity=1024)
+        t_spill = run_graph(g1).cycles
+        t_nospill = run_graph(g2).cycles
+        assert t_spill > t_nospill
+
+    def test_rtree_window_with_spill_matches_without(self):
+        pts = _points(400)
+        tree = PackedRTree.bulk_load(pts, fanout=4)
+        q = [(0, (0, 0, 2000, 2000))]
+        g_plain = RTreeDataflow(tree).window_graph(q)
+        g_spill = RTreeDataflow(tree).window_graph(q, spill=True,
+                                                   on_chip_capacity=8)
+        run_graph(g_plain)
+        run_graph(g_spill)
+        assert (sorted(g_plain.tile("hits").records)
+                == sorted(g_spill.tile("hits").records))
+        assert g_spill.tile("spill").spilled > 0
+
+
+class TestSplitWindow:
+    def test_parts_cover_query(self):
+        q = rect(0, 0, 999, 499)
+        parts = split_window(q, 8)
+        assert len(parts) == 8
+        area = sum((x1 - x0 + 1) * (y1 - y0 + 1) for x0, y0, x1, y1 in parts)
+        assert area == 1000 * 500
+
+    def test_parts_disjoint(self):
+        parts = split_window(rect(0, 0, 127, 127), 4)
+        for i, a in enumerate(parts):
+            for b in parts[i + 1:]:
+                assert not intersects(a, b)
+
+    def test_single_stream_identity(self):
+        q = rect(3, 4, 10, 12)
+        assert split_window(q, 1) == [q]
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            split_window(rect(0, 0, 1, 1), 0)
+
+    def test_parallel_window_queries_equal_single(self):
+        pts = _points(300, seed=91)
+        tree = PackedRTree.bulk_load(pts, fanout=8)
+        q = rect(100, 100, 1500, 900)
+        single = sorted(v for __, v in tree.window_query(q))
+        multi = []
+        for part in split_window(q, 6):
+            multi.extend(v for __, v in tree.window_query(part))
+        assert sorted(multi) == single
+
+
+class TestFunctionalEngine:
+    def test_matches_cycle_engine_on_hash_build(self):
+        rng = random.Random(92)
+        pairs = [(rng.randrange(40), i) for i in range(150)]
+        a = HashTableDataflow(n_buckets=16, spad_node_capacity=64,
+                              overflow_capacity=256)
+        b = HashTableDataflow(n_buckets=16, spad_node_capacity=64,
+                              overflow_capacity=256)
+        run_graph(a.build_graph(pairs))
+        run_functional(b.build_graph(pairs))
+        assert sorted(a.contents()) == sorted(b.contents())
+
+    def test_matches_cycle_engine_on_probe(self):
+        rng = random.Random(93)
+        pairs = [(rng.randrange(30), i) for i in range(120)]
+        queries = [(q, rng.randrange(40)) for q in range(80)]
+        results = []
+        for runner in (run_graph, run_functional):
+            ht = HashTableDataflow(n_buckets=16, spad_node_capacity=256)
+            ht.load(pairs)
+            g = ht.probe_graph(queries, emit_all=True)
+            runner(g)
+            results.append(sorted(g.tile("hits").records))
+        assert results[0] == results[1]
+
+    def test_functional_is_fewer_steps(self):
+        rng = random.Random(94)
+        pairs = [(rng.randrange(64), i) for i in range(256)]
+        a = HashTableDataflow(n_buckets=64, spad_node_capacity=512)
+        b = HashTableDataflow(n_buckets=64, spad_node_capacity=512)
+        cyc = run_graph(a.build_graph(pairs)).cycles
+        fun = run_functional(b.build_graph(pairs)).cycles
+        assert fun < cyc
+
+    def test_functional_deadlock_detection(self):
+        g = Graph("dead")
+        src = g.add(SourceTile("src", [(1,)]))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, sink)
+        sink.tick = lambda cycle: False
+        sink.idle = lambda: False
+        with pytest.raises(SimulationError):
+            run_functional(g)
+
+    def test_simple_linear_pipeline(self):
+        g = Graph("lin")
+        src = g.add(SourceTile("src", [(i,) for i in range(100)]))
+        m = g.add(MapTile("m", lambda r: (r[0] + 1,)))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, m)
+        g.connect(m, sink)
+        run_functional(g)
+        assert sorted(r[0] for r in sink.records) == list(range(1, 101))

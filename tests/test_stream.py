@@ -1,0 +1,84 @@
+"""Stream (ready-valid channel) semantics."""
+
+import pytest
+
+from repro.dataflow import DEFAULT_CAPACITY, Stream
+
+
+class TestStreamFlow:
+    def test_starts_empty_and_open(self):
+        s = Stream("s")
+        assert not s.can_pop()
+        assert s.can_push()
+        assert not s.closed()
+
+    def test_push_pop_fifo_order(self):
+        s = Stream("s", capacity=3)
+        s.push([(1,)])
+        s.push([(2,)])
+        assert s.pop() == [(1,)]
+        assert s.pop() == [(2,)]
+
+    def test_capacity_backpressure(self):
+        s = Stream("s", capacity=2)
+        s.push([(1,)])
+        s.push([(2,)])
+        assert not s.can_push()
+
+    def test_default_capacity_is_skid_buffered(self):
+        assert DEFAULT_CAPACITY == 2
+
+    def test_overflow_asserts(self):
+        s = Stream("s", capacity=1)
+        s.push([(1,)])
+        with pytest.raises(AssertionError):
+            s.push([(2,)])
+
+    def test_peek_does_not_consume(self):
+        s = Stream("s")
+        s.push([(7,)])
+        assert s.peek() == [(7,)]
+        assert s.can_pop()
+
+    def test_peek_empty_returns_none(self):
+        assert Stream("s").peek() is None
+
+
+class TestEndOfStream:
+    def test_close_is_idempotent(self):
+        s = Stream("s")
+        s.close()
+        s.close()
+        assert s.eos
+
+    def test_closed_requires_drain(self):
+        s = Stream("s")
+        s.push([(1,)])
+        s.close()
+        assert not s.closed()  # buffered data remains
+        s.pop()
+        assert s.closed()
+
+    def test_push_after_eos_asserts(self):
+        s = Stream("s")
+        s.close()
+        with pytest.raises(AssertionError):
+            s.push([(1,)])
+
+
+class TestStreamStats:
+    def test_counts_vectors_and_records(self):
+        s = Stream("s", capacity=4)
+        s.push([(1,), (2,)])
+        s.push([(3,)])
+        assert s.pushed_vectors == 2
+        assert s.pushed_records == 3
+
+    def test_occupancy_and_buffered_records(self):
+        s = Stream("s", capacity=4)
+        s.push([(1,), (2,)])
+        s.push([(3,)])
+        assert s.occupancy() == 2
+        assert s.buffered_records() == 3
+        s.pop()
+        assert s.occupancy() == 1

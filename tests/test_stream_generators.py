@@ -1,0 +1,56 @@
+"""Live stream generators feeding the continuous-analytics path."""
+
+from repro.db import Table
+from repro.db.operators import hash_group_by
+from repro.workloads.generators import (
+    driver_status_stream,
+    ride_request_stream,
+    take,
+)
+from repro.workloads.rideshare import GRID, N_METRICS
+from repro.workloads.streaming import StreamingAnalytics
+
+
+class TestGenerators:
+    def test_time_ordered(self):
+        events = take(ride_request_stream(start_time=0), 200)
+        times = [e[5] for e in events]
+        assert times == sorted(times)
+
+    def test_deterministic_under_seed(self):
+        a = take(ride_request_stream(0, seed=3), 50)
+        b = take(ride_request_stream(0, seed=3), 50)
+        assert a == b
+
+    def test_ids_monotone(self):
+        events = take(driver_status_stream(0), 100)
+        assert [e[0] for e in events] == list(range(100))
+
+    def test_coordinates_on_grid(self):
+        for e in take(ride_request_stream(0), 100):
+            assert 0 <= e[2] < GRID and 0 <= e[3] < GRID
+
+    def test_status_row_shape(self):
+        e = take(driver_status_stream(0), 1)[0]
+        assert len(e) == 5 + N_METRICS
+
+    def test_mean_interarrival_scales_time(self):
+        fast = take(ride_request_stream(0, mean_interarrival=1.0), 500)
+        slow = take(ride_request_stream(0, mean_interarrival=10.0), 500)
+        assert slow[-1][5] > 3 * fast[-1][5]
+
+
+class TestFeedIntoStreamingAnalytics:
+    def test_generated_feed_drives_standing_query(self):
+        table = Table.from_columns(
+            "rideReq", reqId=[], riderId=[], x=[], y=[], seats=[],
+            time=[])
+        s = StreamingAnalytics(table, "time", index_batch=64)
+        s.register(
+            "by_seats", window=100,
+            body=lambda w, ctx: hash_group_by(
+                w, ["seats"], {"n": ("count", None)}, ctx))
+        s.ingest(take(ride_request_stream(start_time=1), 500))
+        out = s.evaluate("by_seats")
+        assert sum(n for __, n in out.rows) == s.window_rows(100)
+        assert {seats for seats, __ in out.rows} <= {1, 2, 4}

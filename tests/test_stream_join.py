@@ -1,0 +1,116 @@
+"""Streaming joins: symmetric hash join and sliding-window join (§IV-A)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import ExecutionContext, Table
+from repro.db.operators import (
+    hash_join,
+    sliding_window_join,
+    symmetric_hash_join,
+)
+
+
+def _streams(seed=70, n=100, key_space=15):
+    rng = random.Random(seed)
+    left = Table.from_columns(
+        "l", k=[rng.randrange(key_space) for __ in range(n)],
+        lv=list(range(n)))
+    right = Table.from_columns(
+        "r", k=[rng.randrange(key_space) for __ in range(n)],
+        rv=[1000 + i for i in range(n)])
+    return left, right
+
+
+class TestSymmetricHashJoin:
+    def test_result_equals_batch_join(self):
+        left, right = _streams()
+        sym = symmetric_hash_join(left, right, "k", "k")
+        batch = hash_join(left, right, "k", "k")
+        assert sorted(sym.rows) == sorted(batch.rows)
+
+    def test_matches_emitted_incrementally(self):
+        # A match appears as soon as BOTH records have arrived — the
+        # earliest match involves early rows, not the table tails.
+        left = Table.from_columns("l", k=[1, 2, 3], lv=[0, 1, 2])
+        right = Table.from_columns("r", k=[1, 9, 9], rv=[10, 11, 12])
+        out = symmetric_hash_join(left, right, "k", "k")
+        assert out.rows[0] == (1, 0, 1, 10)
+
+    def test_duplicate_keys_cross_product(self):
+        left = Table.from_columns("l", k=[5, 5], lv=[0, 1])
+        right = Table.from_columns("r", k=[5, 5], rv=[2, 3])
+        out = symmetric_hash_join(left, right, "k", "k")
+        assert len(out) == 4
+
+    def test_uneven_stream_lengths(self):
+        left = Table.from_columns("l", k=[1], lv=[0])
+        right = Table.from_columns("r", k=[1, 1, 1], rv=[0, 1, 2])
+        out = symmetric_hash_join(left, right, "k", "k")
+        assert len(out) == 3
+
+    def test_no_duplicate_emissions(self):
+        left, right = _streams(seed=71, n=60, key_space=6)
+        out = symmetric_hash_join(left, right, "k", "k")
+        assert len(out.rows) == len(set(out.rows))
+
+    def test_events_traced(self):
+        ctx = ExecutionContext()
+        left, right = _streams(seed=72)
+        symmetric_hash_join(left, right, "k", "k", ctx)
+        t = ctx.traces[-1]
+        assert t.op == "symmetric_hash_join"
+        assert t.events.rmw_ops == len(left) + len(right)
+
+    @given(st.lists(st.integers(0, 8), max_size=60),
+           st.lists(st.integers(0, 8), max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_property_equals_batch(self, lk, rk):
+        left = Table.from_columns("l", k=lk)
+        right = Table.from_columns("r", k=rk)
+        sym = sorted(symmetric_hash_join(left, right, "k", "k").rows)
+        brute = sorted((a, b) for a in lk for b in rk if a == b)
+        assert sym == brute
+
+
+class TestSlidingWindowJoin:
+    def _timed_streams(self, seed=73, n=80):
+        rng = random.Random(seed)
+        lt = sorted(rng.randrange(1000) for __ in range(n))
+        rt = sorted(rng.randrange(1000) for __ in range(n))
+        left = Table.from_columns(
+            "l", k=[rng.randrange(10) for __ in range(n)], t=lt)
+        right = Table.from_columns(
+            "r", k=[rng.randrange(10) for __ in range(n)], t=rt)
+        return left, right
+
+    def test_matches_brute_force(self):
+        left, right = self._timed_streams()
+        out = sliding_window_join(left, right, "k", "k", "t", "t",
+                                  window=50)
+        expect = sorted(l + r for l in left.rows for r in right.rows
+                        if l[0] == r[0] and abs(l[1] - r[1]) <= 50)
+        assert sorted(out.rows) == expect
+
+    def test_zero_window_requires_equal_times(self):
+        left = Table.from_columns("l", k=[1, 1], t=[10, 20])
+        right = Table.from_columns("r", k=[1, 1], t=[10, 30])
+        out = sliding_window_join(left, right, "k", "k", "t", "t",
+                                  window=0)
+        assert out.rows == [(1, 10, 1, 10)]
+
+    def test_wide_window_equals_full_join(self):
+        left, right = self._timed_streams(seed=74, n=50)
+        windowed = sliding_window_join(left, right, "k", "k", "t", "t",
+                                       window=10_000)
+        batch = hash_join(left, right, "k", "k")
+        assert sorted(windowed.rows) == sorted(batch.rows)
+
+    def test_trace_notes_window(self):
+        ctx = ExecutionContext()
+        left, right = self._timed_streams(seed=75, n=20)
+        sliding_window_join(left, right, "k", "k", "t", "t", window=5,
+                            ctx=ctx)
+        assert "window=5" in ctx.traces[-1].note

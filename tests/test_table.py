@@ -1,0 +1,86 @@
+"""Relational Table container."""
+
+import pytest
+
+from repro.db import Table
+from repro.dataflow import Schema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_from_columns(self):
+        t = Table.from_columns("t", a=[1, 2], b=[3, 4])
+        assert t.rows == [(1, 3), (2, 4)]
+        assert t.schema.fields == ("a", "b")
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns("t", a=[1], b=[1, 2])
+
+    def test_empty_table(self):
+        t = Table("t", Schema(["a"]))
+        assert len(t) == 0
+
+    def test_iteration(self):
+        t = Table.from_columns("t", a=[1, 2, 3])
+        assert [r[0] for r in t] == [1, 2, 3]
+
+
+class TestAccess:
+    def _t(self):
+        return Table.from_columns("t", id=[1, 2, 3], v=[10, 20, 30])
+
+    def test_column(self):
+        assert self._t().column("v") == [10, 20, 30]
+
+    def test_col_index(self):
+        assert self._t().col_index("v") == 1
+
+    def test_getter(self):
+        g = self._t().getter("v")
+        assert g((1, 10)) == 10
+
+    def test_head_as_dicts(self):
+        h = self._t().head(2)
+        assert h == [{"id": 1, "v": 10}, {"id": 2, "v": 20}]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            self._t().column("nope")
+
+
+class TestDerivation:
+    def _t(self):
+        return Table.from_columns("t", id=[3, 1, 2], v=[30, 10, 20])
+
+    def test_project(self):
+        p = self._t().project(["v"])
+        assert p.rows == [(30,), (10,), (20,)]
+
+    def test_rename(self):
+        r = self._t().rename({"v": "value"})
+        assert "value" in r.schema
+
+    def test_extend_computed_column(self):
+        e = self._t().extend("double", lambda r: r[1] * 2)
+        assert e.rows[0] == (3, 30, 60)
+
+    def test_sort_by(self):
+        s = self._t().sort_by("id")
+        assert s.column("id") == [1, 2, 3]
+
+    def test_sort_by_reverse(self):
+        s = self._t().sort_by("v", reverse=True)
+        assert s.column("v") == [30, 20, 10]
+
+    def test_with_rows_shares_schema(self):
+        t = self._t()
+        w = t.with_rows([(9, 90)])
+        assert w.schema is t.schema
+        assert w.rows == [(9, 90)]
+
+    def test_derivations_do_not_mutate_source(self):
+        t = self._t()
+        t.project(["id"])
+        t.sort_by("id")
+        assert t.column("id") == [3, 1, 2]

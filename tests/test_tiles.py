@@ -1,0 +1,221 @@
+"""Compute-tile behaviour: packers (thread compaction), the threading
+primitives of fig. 5b, and pipeline latency."""
+
+import pytest
+
+from repro.dataflow import (
+    LANES,
+    CopyTile,
+    FilterTile,
+    ForkTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    Packer,
+    SinkTile,
+    SourceTile,
+    StampTile,
+    Stream,
+    run_graph,
+)
+from repro.dataflow.stats import TileStats
+
+
+class TestPacker:
+    def test_full_vector_emitted_without_force(self):
+        stream = Stream("out", capacity=4)
+        p = Packer(stream)
+        p.extend([(i,) for i in range(LANES)])
+        assert p.flush(TileStats("t"), force_partial=False)
+        assert stream.pop() == [(i,) for i in range(LANES)]
+
+    def test_partial_held_without_force(self):
+        stream = Stream("out")
+        p = Packer(stream)
+        p.push((1,))
+        assert not p.flush(TileStats("t"), force_partial=False)
+        assert not stream.can_pop()
+
+    def test_partial_emitted_with_force(self):
+        stream = Stream("out")
+        p = Packer(stream)
+        p.push((1,))
+        assert p.flush(TileStats("t"), force_partial=True)
+        assert stream.pop() == [(1,)]
+
+    def test_compaction_is_dense(self):
+        # More than one vector's worth of records compacts into full
+        # vectors first — the shuffle/barrel-shift behaviour of fig. 5c.
+        stream = Stream("out", capacity=4)
+        p = Packer(stream)
+        p.extend([(i,) for i in range(LANES + 3)])
+        p.flush(TileStats("t"), force_partial=False)
+        assert len(stream.pop()) == LANES
+        assert len(p.pending) == 3
+
+    def test_dropped_output_discards(self):
+        p = Packer(None)
+        p.push((1,))
+        p.flush(TileStats("t"), force_partial=True)
+        assert p.empty()
+
+    def test_respects_downstream_backpressure(self):
+        stream = Stream("out", capacity=1)
+        stream.push([(0,)])  # already full
+        p = Packer(stream)
+        p.extend([(i,) for i in range(LANES)])
+        assert not p.flush(TileStats("t"), force_partial=True)
+
+    def test_has_room_enforces_spill_limit(self):
+        p = Packer(Stream("out"), spill_limit=LANES)
+        assert p.has_room(LANES)
+        p.extend([(i,) for i in range(LANES)])
+        assert not p.has_room(1)
+
+
+def _run_single(tile, records, n_outputs=1, drop_ports=()):
+    """Wire source -> tile -> sinks and run to quiescence."""
+    g = Graph("t")
+    src = g.add(SourceTile("src", records))
+    g.add(tile)
+    g.connect(src, tile)
+    sinks = []
+    for port in range(n_outputs):
+        if port in drop_ports:
+            tile.drop_output(port)
+            sinks.append(None)
+        else:
+            sink = g.add(SinkTile(f"sink{port}"))
+            g.connect(tile, sink, producer_port=port)
+            sinks.append(sink)
+    stats = run_graph(g)
+    return sinks, stats
+
+
+class TestMapTile:
+    def test_applies_function(self):
+        (sink,), __ = _run_single(MapTile("m", lambda r: (r[0] * 2,)),
+                                  [(i,) for i in range(40)])
+        assert sorted(r[0] for r in sink.records) == [2 * i for i in range(40)]
+
+    def test_none_kills_thread(self):
+        (sink,), __ = _run_single(
+            MapTile("m", lambda r: r if r[0] % 2 == 0 else None),
+            [(i,) for i in range(20)])
+        assert sorted(r[0] for r in sink.records) == list(range(0, 20, 2))
+
+    def test_latency_delays_output(self):
+        g = Graph("lat")
+        src = g.add(SourceTile("src", [(1,)]))
+        m = g.add(MapTile("m", lambda r: r, latency=20))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, m)
+        g.connect(m, sink)
+        stats = run_graph(g)
+        assert stats.cycles >= 20
+
+    def test_preserves_count(self):
+        (sink,), __ = _run_single(MapTile("m", lambda r: r),
+                                  [(i,) for i in range(100)])
+        assert len(sink.records) == 100
+
+
+class TestFilterTile:
+    def test_splits_both_sides(self):
+        sinks, __ = _run_single(FilterTile("f", lambda r: r[0] < 10),
+                                [(i,) for i in range(30)], n_outputs=2)
+        assert sorted(r[0] for r in sinks[0].records) == list(range(10))
+        assert sorted(r[0] for r in sinks[1].records) == list(range(10, 30))
+
+    def test_drop_side_terminates_threads(self):
+        sinks, __ = _run_single(FilterTile("f", lambda r: r[0] % 3 == 0),
+                                [(i,) for i in range(30)], n_outputs=2,
+                                drop_ports=(1,))
+        assert sorted(r[0] for r in sinks[0].records) == list(range(0, 30, 3))
+
+    def test_all_pass(self):
+        sinks, __ = _run_single(FilterTile("f", lambda r: True),
+                                [(i,) for i in range(20)], n_outputs=2)
+        assert len(sinks[0].records) == 20
+        assert len(sinks[1].records) == 0
+
+
+class TestMergeTile:
+    def test_merges_two_sources(self):
+        g = Graph("m")
+        a = g.add(SourceTile("a", [(i,) for i in range(20)]))
+        b = g.add(SourceTile("b", [(100 + i,) for i in range(20)]))
+        merge = g.add(MergeTile("merge"))
+        sink = g.add(SinkTile("sink"))
+        g.connect(a, merge)
+        g.connect(b, merge)
+        g.connect(merge, sink)
+        run_graph(g)
+        got = sorted(r[0] for r in sink.records)
+        assert got == sorted(list(range(20)) + [100 + i for i in range(20)])
+
+    def test_priority_input_first(self):
+        # The priority input's records are taken before the other's when
+        # both have data in the same cycle.
+        g = Graph("m")
+        a = g.add(SourceTile("a", [(0,)] * LANES, rate=LANES))
+        b = g.add(SourceTile("b", [(1,)] * LANES, rate=LANES))
+        merge = g.add(MergeTile("merge"))
+        sink = g.add(SinkTile("sink"))
+        g.connect(a, merge)
+        g.connect(b, merge, priority=True)
+        g.connect(merge, sink)
+        run_graph(g)
+        first_vector = sink.records[:LANES]
+        assert all(r[0] == 1 for r in first_vector)
+
+
+class TestForkTile:
+    def test_spawns_children(self):
+        (sink,), __ = _run_single(
+            ForkTile("f", lambda r: [(r[0], j) for j in range(3)]),
+            [(i,) for i in range(10)])
+        assert len(sink.records) == 30
+
+    def test_empty_fork_kills(self):
+        (sink,), __ = _run_single(
+            ForkTile("f", lambda r: [] if r[0] % 2 else [r]),
+            [(i,) for i in range(10)])
+        assert sorted(r[0] for r in sink.records) == [0, 2, 4, 6, 8]
+
+    def test_large_fanout_absorbed(self):
+        (sink,), __ = _run_single(
+            ForkTile("f", lambda r: [(r[0], j) for j in range(50)]),
+            [(i,) for i in range(4)])
+        assert len(sink.records) == 200
+
+
+class TestCopyAndStamp:
+    def test_copy_duplicates_to_both_ports(self):
+        sinks, __ = _run_single(CopyTile("c"), [(i,) for i in range(15)],
+                                n_outputs=2)
+        assert sorted(sinks[0].records) == sorted(sinks[1].records)
+        assert len(sinks[0].records) == 15
+
+    def test_stamp_appends_unique_counter(self):
+        (sink,), __ = _run_single(StampTile("s", start=100),
+                                  [(i,) for i in range(25)])
+        stamps = sorted(r[1] for r in sink.records)
+        assert stamps == list(range(100, 125))
+
+    def test_stamp_preserves_payload(self):
+        (sink,), __ = _run_single(StampTile("s"), [(7,), (8,)])
+        payloads = sorted(r[0] for r in sink.records)
+        assert payloads == [7, 8]
+
+
+class TestLaneOccupancy:
+    def test_full_streams_have_full_occupancy(self):
+        (sink,), stats = _run_single(MapTile("m", lambda r: r),
+                                     [(i,) for i in range(LANES * 8)])
+        assert stats.tiles["m"].lane_occupancy > 0.9
+
+    def test_source_occupancy_full(self):
+        (sink,), stats = _run_single(MapTile("m", lambda r: r),
+                                     [(i,) for i in range(LANES * 4)])
+        assert stats.tiles["src"].lane_occupancy == 1.0

@@ -1,0 +1,168 @@
+"""Rideshare workload generator (Table 2) and queries Q1-Q9 (fig. 13):
+generator invariants and per-query semantic checks against brute-force
+references."""
+
+import math
+
+import pytest
+
+from repro.db import ExecutionContext
+from repro.workloads import (
+    DAY,
+    GRID,
+    KM,
+    MINUTE,
+    NOW,
+    QUERIES,
+    RideshareConfig,
+    generate,
+    run_query,
+)
+
+
+class TestGenerator:
+    def test_requested_sizes(self, tiny_rideshare):
+        sizes = tiny_rideshare.sizes()
+        assert sizes["driver"] == 100
+        assert sizes["ride"] == 1500
+        assert sizes["rideReq"] == 250
+
+    def test_deterministic_with_seed(self):
+        cfg = RideshareConfig(n_drivers=10, n_riders=10, n_locations=4,
+                              n_rides=50, n_ride_reqs=10, n_driver_status=10)
+        a, b = generate(cfg), generate(cfg)
+        assert a["ride"].rows == b["ride"].rows
+
+    def test_coordinates_on_grid(self, tiny_rideshare):
+        for row in tiny_rideshare["ride"].rows:
+            sx = tiny_rideshare["ride"].schema.get(row, "start_x")
+            sy = tiny_rideshare["ride"].schema.get(row, "start_y")
+            assert 0 <= sx < GRID and 0 <= sy < GRID
+
+    def test_ride_times_within_history(self, tiny_rideshare):
+        times = tiny_rideshare["ride"].column("starttime")
+        horizon = tiny_rideshare.config.history_days * DAY
+        assert all(NOW - horizon <= t <= NOW for t in times)
+
+    def test_locations_tile_the_grid(self, tiny_rideshare):
+        loc = tiny_rideshare["location"]
+        for row in loc.rows:
+            __, x0, y0, x1, y1 = row
+            assert 0 <= x0 <= x1 < GRID and 0 <= y0 <= y1 < GRID
+
+    def test_location_zero_is_busy(self, tiny_rideshare):
+        # The generator promotes a hotspot cell to locationId 0 so the
+        # fig. 13 queries that filter on it are non-degenerate.
+        loc0 = tiny_rideshare["location"].rows[0]
+        reqs = tiny_rideshare["rideReq"]
+        inside = sum(1 for r in reqs.rows
+                     if loc0[1] <= r[2] <= loc0[3]
+                     and loc0[2] <= r[3] <= loc0[4])
+        assert inside > 0
+
+    def test_foreign_keys_valid(self, tiny_rideshare):
+        n_drivers = len(tiny_rideshare["driver"])
+        n_riders = len(tiny_rideshare["rider"])
+        for row in tiny_rideshare["ride"].rows:
+            assert 0 <= row[1] < n_riders
+            assert 0 <= row[2] < n_drivers
+
+    def test_scaled_config(self):
+        cfg = RideshareConfig().scaled(0.1)
+        assert cfg.n_rides == RideshareConfig().n_rides // 10
+
+    def test_paper_scale_matches_table2_magnitude(self):
+        cfg = RideshareConfig.paper_scale()
+        assert cfg.n_rides == 1_000_000
+        assert cfg.n_riders == 100_000
+
+
+class TestQueries:
+    def test_all_queries_run_and_trace(self, tiny_rideshare):
+        for name in QUERIES:
+            ctx = ExecutionContext()
+            out = run_query(name, tiny_rideshare, ctx)
+            assert out is not None
+            assert len(ctx.traces) >= 1, name
+
+    def test_q1_counts_match_brute_force(self, tiny_rideshare):
+        out = run_query("q1", tiny_rideshare)
+        req = tiny_rideshare["rideReq"]
+        ds = tiny_rideshare["driverStatus"]
+        drv = tiny_rideshare["driver"]
+        seats = {r[0]: r[1] for r in drv.rows}
+        counts = {}
+        for q in req.rows:
+            for s in ds.rows:
+                if s[4] < NOW - 5 * DAY:
+                    continue
+                if math.hypot(q[2] - s[2], q[3] - s[3]) <= KM \
+                        and q[4] <= seats[s[1]]:
+                    counts[s[1]] = counts.get(s[1], 0) + 1
+        got = {r[0]: r[1] for r in out.rows}
+        assert got == counts
+
+    def test_q2_counts_sum_to_loc0_requests(self, tiny_rideshare):
+        out = run_query("q2", tiny_rideshare)
+        loc0 = tiny_rideshare["location"].rows[0]
+        expect = sum(1 for r in tiny_rideshare["rideReq"].rows
+                     if loc0[1] <= r[2] <= loc0[3]
+                     and loc0[2] <= r[3] <= loc0[4])
+        assert sum(r[-1] for r in out.rows) == expect
+
+    def test_q2_sorted_descending(self, tiny_rideshare):
+        counts = run_query("q2", tiny_rideshare).column("rideCount")
+        assert counts == sorted(counts, reverse=True)
+
+    def test_q3_recency_filter(self, tiny_rideshare):
+        out = run_query("q3", tiny_rideshare)
+        recent = [r for r in tiny_rideshare["rideReq"].rows
+                  if r[5] > NOW - MINUTE]
+        assert sum(r[-1] for r in out.rows) <= len(recent)
+
+    def test_q4_rows_are_recent_and_local(self, tiny_rideshare):
+        out = run_query("q4", tiny_rideshare)
+        ride = tiny_rideshare["ride"]
+        by_id = {r[0]: r for r in ride.rows}
+        loc0 = tiny_rideshare["location"].rows[0]
+        for row in out.rows:
+            src = by_id[row[0]]
+            assert src[7] > NOW - 5 * DAY
+            assert loc0[1] <= src[3] <= loc0[3]
+
+    def test_q5_row_per_status_with_prediction(self, tiny_rideshare):
+        out = run_query("q5", tiny_rideshare)
+        assert len(out) == len(tiny_rideshare["driverStatus"])
+        assert "predicted" in out.schema
+
+    def test_q6_demand_supply_non_negative(self, tiny_rideshare):
+        out = run_query("q6", tiny_rideshare)
+        di = out.col_index("demand")
+        si = out.col_index("s_supply")
+        assert all(r[di] > 0 and r[si] > 0 for r in out.rows)
+        assert "surge" in out.schema
+
+    def test_q7_one_row_per_active_rider(self, tiny_rideshare):
+        out = run_query("q7", tiny_rideshare)
+        riders = {r[1] for r in tiny_rideshare["ride"].rows
+                  if r[7] > NOW - 30 * DAY}
+        assert len(out) == len(riders)
+        pi = out.col_index("churn_p")
+        assert all(0.0 <= r[pi] <= 1.0 for r in out.rows)
+
+    def test_q8_segments_valid(self, tiny_rideshare):
+        out = run_query("q8", tiny_rideshare)
+        si = out.col_index("segment")
+        assert all(0 <= r[si] < 4 for r in out.rows)
+
+    def test_q9_nearest_sorted_and_limited(self, tiny_rideshare):
+        out = run_query("q9", tiny_rideshare)
+        assert len(out) <= 100
+        dists = out.column("dist")
+        assert dists == sorted(dists)
+        assert all(d <= KM for d in dists)
+
+    def test_registry_metadata(self):
+        assert set(QUERIES) == {f"q{i}" for i in range(1, 10)}
+        for qd in QUERIES.values():
+            assert qd.description

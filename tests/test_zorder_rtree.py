@@ -1,0 +1,223 @@
+"""Z-order curve and packed R-tree: encoding properties, window queries,
+distance queries, spatial joins, and the dataflow traversal."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import run_graph
+from repro.structures import (
+    COORD_MAX,
+    PackedRTree,
+    RTreeDataflow,
+    center,
+    contains,
+    euclidean,
+    expand,
+    intersects,
+    point_rect,
+    rect,
+    spatial_join,
+    union,
+    z_decode,
+    z_encode,
+)
+
+coord = st.integers(0, COORD_MAX)
+
+
+class TestZOrder:
+    @given(coord, coord)
+    def test_roundtrip(self, x, y):
+        assert z_decode(z_encode(x, y)) == (x, y)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            z_encode(COORD_MAX + 1, 0)
+        with pytest.raises(ValueError):
+            z_encode(0, -1)
+
+    def test_monotone_along_axes_at_origin(self):
+        assert z_encode(0, 0) == 0
+        assert z_encode(1, 0) == 1
+        assert z_encode(0, 1) == 2
+        assert z_encode(1, 1) == 3
+
+    def test_locality_of_nearby_points(self):
+        # Z-order preserves locality: close points usually have close
+        # Z-values (the property that makes Z-sorted bulk loads work).
+        base = z_encode(1000, 1000)
+        near = z_encode(1001, 1001)
+        far = z_encode(60000, 60000)
+        assert abs(near - base) < abs(far - base)
+
+    @given(coord, coord)
+    def test_z_is_32_bit(self, x, y):
+        assert 0 <= z_encode(x, y) < (1 << 32)
+
+
+class TestRectHelpers:
+    def test_rect_normalizes(self):
+        assert rect(5, 6, 1, 2) == (1, 2, 5, 6)
+
+    def test_intersects_touching_edges(self):
+        assert intersects((0, 0, 10, 10), (10, 10, 20, 20))
+
+    def test_disjoint(self):
+        assert not intersects((0, 0, 1, 1), (3, 3, 4, 4))
+
+    def test_contains(self):
+        assert contains((0, 0, 10, 10), (2, 2, 3, 3))
+        assert not contains((0, 0, 10, 10), (5, 5, 11, 6))
+
+    def test_union_covers_both(self):
+        u = union((0, 0, 1, 1), (5, 5, 6, 6))
+        assert contains(u, (0, 0, 1, 1)) and contains(u, (5, 5, 6, 6))
+
+    def test_expand(self):
+        assert expand((5, 5, 6, 6), 2) == (3, 3, 8, 8)
+
+    def test_center_and_distance(self):
+        assert center((0, 0, 10, 10)) == (5, 5)
+        assert euclidean(point_rect(0, 0), point_rect(3, 4)) == 5.0
+
+
+def _random_points(n, extent=2000, seed=12):
+    rng = random.Random(seed)
+    return [(point_rect(rng.randrange(extent), rng.randrange(extent)), i)
+            for i in range(n)]
+
+
+class TestPackedRTree:
+    def test_empty_tree(self):
+        t = PackedRTree.bulk_load([])
+        assert len(t) == 0
+        assert t.window_query((0, 0, 100, 100)) == []
+
+    def test_all_entries_preserved(self):
+        pts = _random_points(300)
+        t = PackedRTree.bulk_load(pts, fanout=8)
+        assert sorted(v for __, v in t.all_entries()) == list(range(300))
+
+    def test_bbox_covers_everything(self):
+        pts = _random_points(100)
+        t = PackedRTree.bulk_load(pts, fanout=8)
+        for r, __ in pts:
+            assert contains(t.bbox(), r)
+
+    def test_window_query_matches_brute_force(self):
+        pts = _random_points(400)
+        t = PackedRTree.bulk_load(pts, fanout=8)
+        rng = random.Random(13)
+        for __ in range(30):
+            q = rect(rng.randrange(2000), rng.randrange(2000),
+                     rng.randrange(2000), rng.randrange(2000))
+            expect = sorted(v for r, v in pts if intersects(r, q))
+            got = sorted(v for __, v in t.window_query(q))
+            assert got == expect
+
+    def test_within_distance_exact(self):
+        pts = _random_points(300)
+        t = PackedRTree.bulk_load(pts, fanout=8)
+        p = point_rect(1000, 1000)
+        got = sorted(v for __, v, __d in t.within_distance(p, 150))
+        expect = sorted(v for r, v in pts if euclidean(p, r) <= 150)
+        assert got == expect
+
+    def test_within_distance_returns_distances(self):
+        pts = [(point_rect(0, 0), "origin"), (point_rect(3, 4), "d5")]
+        t = PackedRTree.bulk_load(pts, fanout=4)
+        out = {v: d for __, v, d in t.within_distance(point_rect(0, 0), 10)}
+        assert out["origin"] == 0.0 and out["d5"] == 5.0
+
+    def test_height_logarithmic(self):
+        small = PackedRTree.bulk_load(_random_points(16), fanout=4)
+        large = PackedRTree.bulk_load(_random_points(4096), fanout=4)
+        assert small.height < large.height <= 7
+
+    def test_query_charges_dram(self):
+        t = PackedRTree.bulk_load(_random_points(200), fanout=8)
+        before = t.events.dram_read_bytes
+        t.window_query((0, 0, 2000, 2000))
+        assert t.events.dram_read_bytes > before
+
+    @given(st.lists(st.tuples(st.integers(0, 500), st.integers(0, 500)),
+                    max_size=150),
+           st.integers(0, 500), st.integers(0, 500),
+           st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_window_query(self, points, x0, y0, x1, y1):
+        entries = [(point_rect(x, y), i) for i, (x, y) in enumerate(points)]
+        t = PackedRTree.bulk_load(entries, fanout=4)
+        q = rect(x0, y0, x1, y1)
+        expect = sorted(i for r, i in entries if intersects(r, q))
+        assert sorted(v for __, v in t.window_query(q)) == expect
+
+
+class TestSpatialJoin:
+    def test_overlap_join_matches_brute_force(self):
+        a = _random_points(150, seed=14)
+        b = _random_points(150, seed=15)
+        ta = PackedRTree.bulk_load(a, fanout=8)
+        tb = PackedRTree.bulk_load(b, fanout=8)
+        got = sorted((va, vb) for __, va, __r, vb in
+                     spatial_join(ta, tb, within=30))
+        expect = sorted((va, vb) for ra, va in a for rb, vb in b
+                        if intersects(expand(ra, 30), rb))
+        assert got == expect
+
+    def test_exact_refinement(self):
+        a = _random_points(120, seed=16)
+        b = _random_points(120, seed=17)
+        ta = PackedRTree.bulk_load(a, fanout=8)
+        tb = PackedRTree.bulk_load(b, fanout=8)
+        got = sorted((va, vb) for __, va, __r, vb in spatial_join(
+            ta, tb, within=60,
+            exact=lambda p, q: euclidean(p, q) <= 60))
+        expect = sorted((va, vb) for ra, va in a for rb, vb in b
+                        if euclidean(ra, rb) <= 60)
+        assert got == expect
+
+    def test_empty_side_yields_nothing(self):
+        t = PackedRTree.bulk_load(_random_points(10))
+        empty = PackedRTree.bulk_load([])
+        assert spatial_join(t, empty) == []
+        assert spatial_join(empty, t) == []
+
+    def test_asymmetric_heights(self):
+        big = PackedRTree.bulk_load(_random_points(1000, seed=18), fanout=4)
+        small = PackedRTree.bulk_load(_random_points(5, seed=19), fanout=4)
+        pairs = spatial_join(small, big, within=100)
+        brute = [(va, vb)
+                 for ra, va in small.all_entries()
+                 for rb, vb in big.all_entries()
+                 if intersects(expand(ra, 100), rb)]
+        assert len(pairs) == len(brute)
+
+
+class TestRTreeDataflow:
+    def test_window_graph_matches_functional(self):
+        pts = _random_points(250, seed=20)
+        tree = PackedRTree.bulk_load(pts, fanout=8)
+        rd = RTreeDataflow(tree)
+        rng = random.Random(21)
+        queries = []
+        for q in range(12):
+            x, y = rng.randrange(1800), rng.randrange(1800)
+            queries.append((q, rect(x, y, x + 200, y + 200)))
+        g = rd.window_graph(queries)
+        run_graph(g)
+        got = sorted((r[0], r[2]) for r in g.tile("hits").records)
+        expect = sorted((qid, v) for qid, qr in queries
+                        for r, v in pts if intersects(r, qr))
+        assert got == expect
+
+    def test_divergent_paths_fork(self):
+        pts = _random_points(500, seed=22)
+        tree = PackedRTree.bulk_load(pts, fanout=4)
+        rd = RTreeDataflow(tree)
+        g = rd.window_graph([(0, (0, 0, 2000, 2000))])
+        run_graph(g)
+        # A whole-extent query forks into every subtree.
+        assert len(g.tile("hits").records) == 500
