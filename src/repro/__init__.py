@@ -20,23 +20,37 @@ Package map (see DESIGN.md for the experiment index):
 * :mod:`repro.perf` — analytical cost model, area/energy accounting,
   cycle-sim calibration;
 * :mod:`repro.workloads` — the Table 2 rideshare generator and queries
-  Q1-Q9.
+  Q1-Q9;
+* :mod:`repro.reliability` — deterministic fault injection, typed fault
+  detection, checkpoint/restore + retry recovery, graceful degradation.
 """
 
-from repro import baselines, dataflow, db, memory, ml, perf, structures, workloads
+from repro import (
+    baselines,
+    dataflow,
+    db,
+    memory,
+    ml,
+    perf,
+    reliability,
+    structures,
+    workloads,
+)
 from repro.dataflow import Graph, Schema, run_graph
 from repro.db import ExecutionContext, Table
 from repro.perf import CostModel
+from repro.reliability import FaultInjector, run_with_recovery
 from repro.workloads import QUERIES, RideshareConfig, generate, run_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "baselines", "dataflow", "db", "memory", "ml", "perf", "structures",
-    "workloads",
+    "baselines", "dataflow", "db", "memory", "ml", "perf", "reliability",
+    "structures", "workloads",
     "Graph", "Schema", "run_graph",
     "ExecutionContext", "Table",
     "CostModel",
+    "FaultInjector", "run_with_recovery",
     "QUERIES", "RideshareConfig", "generate", "run_query",
     "__version__",
 ]

@@ -30,7 +30,7 @@ def cmd_info(args) -> int:
     import repro
     print(f"repro {repro.__version__} — Aurochs (ISCA 2021) reproduction")
     print("packages: dataflow, memory, structures, db, ml, baselines, "
-          "perf, workloads")
+          "perf, workloads, reliability")
     print("docs: README.md (overview), DESIGN.md (system inventory), "
           "EXPERIMENTS.md (paper-vs-measured)")
     return 0

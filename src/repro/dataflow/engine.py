@@ -10,13 +10,20 @@ via per-tile tokens.
 Tiles tick in reverse insertion order (consumers before producers) so a
 vector can traverse one tile per cycle without an artificial extra cycle of
 buffer-full backpressure; graphs are conventionally built source-first.
+
+Reliability hooks: an optional :class:`~repro.reliability.FaultInjector`
+may be passed to :class:`Engine`.  When present, it is armed on the graph
+before the run (stream checksums, scratchpad bank faults), consulted each
+cycle for injected tile stalls, and asked to verify end-to-end stream
+integrity after the drain.  With ``injector=None`` (the default) the main
+loop is byte-for-byte the fault-free path — cycle counts are unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, StallError
 from repro.dataflow.graph import Graph
 from repro.dataflow.stats import SimStats
 from repro.dataflow.tile import SourceTile
@@ -26,39 +33,76 @@ class Engine:
     """Runs one graph to quiescence and reports statistics."""
 
     def __init__(self, graph: Graph, max_cycles: int = 50_000_000,
-                 deadlock_window: int = 50_000):
+                 deadlock_window: int = 50_000, injector=None):
         self.graph = graph
         self.max_cycles = max_cycles
         self.deadlock_window = deadlock_window
+        self.injector = injector
 
     def run(self) -> SimStats:
-        """Simulate until quiescence; raise on deadlock or cycle overrun."""
+        """Simulate until quiescence; raise on deadlock or cycle overrun.
+
+        Streams are closed on *every* exit path — a simulation failure must
+        not leave streams open for accidental reuse.
+        """
         self.graph.validate()
+        inj = self.injector
+        if inj is not None:
+            inj.begin_run(self.graph)
         tiles = list(reversed(self.graph.tiles))
         cycle = 0
         last_progress = 0
-        while True:
-            moved = False
-            for tile in tiles:
-                if tile.tick(cycle):
-                    moved = True
-            cycle += 1
-            if moved:
-                last_progress = cycle
-            elif self._quiescent():
-                break
-            elif cycle - last_progress > self.deadlock_window:
-                raise SimulationError(
-                    f"deadlock in graph {self.graph.name!r} at cycle {cycle}: "
-                    f"no progress for {self.deadlock_window} cycles; "
-                    f"{self._stuck_report()}"
-                )
-            if cycle > self.max_cycles:
-                raise SimulationError(
-                    f"graph {self.graph.name!r} exceeded {self.max_cycles} cycles"
-                )
-        for stream in self.graph.streams:
-            stream.close()
+        try:
+            while True:
+                moved = False
+                if inj is None:
+                    for tile in tiles:
+                        if tile.tick(cycle):
+                            moved = True
+                else:
+                    inj.now = cycle
+                    for tile in tiles:
+                        if inj.stalled(tile.name, cycle):
+                            continue
+                        if tile.tick(cycle):
+                            moved = True
+                cycle += 1
+                if moved:
+                    last_progress = cycle
+                elif self._quiescent():
+                    break
+                elif cycle - last_progress > self.deadlock_window:
+                    stuck_tiles, stuck_streams = self._stuck_state()
+                    if inj is not None:
+                        site = inj.active_stall_site(cycle)
+                        if site is not None:
+                            raise StallError(
+                                f"tile {site!r} stalled past the "
+                                f"{self.deadlock_window}-cycle watchdog in "
+                                f"graph {self.graph.name!r} at cycle {cycle}",
+                                kind="tile_stall", site=site, cycle=cycle,
+                                detail=self._stuck_report(),
+                            )
+                    raise SimulationError(
+                        f"deadlock in graph {self.graph.name!r} at cycle "
+                        f"{cycle}: no progress for {self.deadlock_window} "
+                        f"cycles; {self._stuck_report()}",
+                        graph=self.graph.name, cycle=cycle, kind="deadlock",
+                        stuck_tiles=stuck_tiles, stuck_streams=stuck_streams,
+                    )
+                if cycle > self.max_cycles:
+                    stuck_tiles, stuck_streams = self._stuck_state()
+                    raise SimulationError(
+                        f"graph {self.graph.name!r} exceeded "
+                        f"{self.max_cycles} cycles",
+                        graph=self.graph.name, cycle=cycle, kind="overrun",
+                        stuck_tiles=stuck_tiles, stuck_streams=stuck_streams,
+                    )
+        finally:
+            for stream in self.graph.streams:
+                stream.close()
+        if inj is not None:
+            inj.verify_streams(self.graph, cycle)
         return self._collect(cycle)
 
     # -- helpers ----------------------------------------------------------
@@ -71,13 +115,41 @@ class Engine:
                 return False
         return all(s.occupancy() == 0 for s in self.graph.streams)
 
+    def _stuck_state(self) -> Tuple[List[str], List[str]]:
+        """Names of non-idle tiles and occupied streams (for diagnostics)."""
+        stuck_tiles = [t.name for t in self.graph.tiles if not t.idle()]
+        stuck_streams = [s.name for s in self.graph.streams if s.occupancy()]
+        return stuck_tiles, stuck_streams
+
     def _stuck_report(self) -> str:
-        busy_tiles = [t.name for t in self.graph.tiles if not t.idle()]
-        busy_streams = [
-            f"{s.name}({s.occupancy()})" for s in self.graph.streams
-            if s.occupancy()
-        ]
-        return f"non-idle tiles={busy_tiles}, occupied streams={busy_streams}"
+        """Human-readable blame report: which tile is wedged on what.
+
+        Includes per-tile input-buffer occupancy and the head-of-line record
+        of each occupied stream, so a deadlock message names the actual
+        blocker instead of just listing busy components.
+        """
+        tile_parts = []
+        for tile in self.graph.tiles:
+            if tile.idle():
+                continue
+            inputs = ", ".join(
+                f"{s.name}:{s.occupancy()}/{s.capacity}" for s in tile.inputs
+            ) or "no inputs"
+            tile_parts.append(f"{tile.name}[{inputs}]")
+        stream_parts = []
+        for stream in self.graph.streams:
+            if not stream.occupancy():
+                continue
+            head = stream.peek()
+            head_repr = repr(head[0]) if head else "<empty vector>"
+            if len(head_repr) > 48:
+                head_repr = head_repr[:45] + "..."
+            stream_parts.append(
+                f"{stream.name}({stream.occupancy()} vec, "
+                f"{stream.buffered_records()} rec, head={head_repr})"
+            )
+        return (f"non-idle tiles={tile_parts or ['<none>']}, "
+                f"occupied streams={stream_parts or ['<none>']}")
 
     def _collect(self, cycles: int) -> SimStats:
         stats = SimStats(cycles=cycles)
@@ -99,6 +171,6 @@ class Engine:
 
 
 def run_graph(graph: Graph, max_cycles: int = 50_000_000,
-              deadlock_window: int = 50_000) -> SimStats:
+              deadlock_window: int = 50_000, injector=None) -> SimStats:
     """Convenience wrapper: build an :class:`Engine` and run ``graph``."""
-    return Engine(graph, max_cycles, deadlock_window).run()
+    return Engine(graph, max_cycles, deadlock_window, injector=injector).run()

@@ -25,6 +25,17 @@ DEFAULT_CAPACITY = 2
 Vector = List[Record]
 
 
+def _mix(acc: int, vector: Vector) -> int:
+    """Order-sensitive 32-bit checksum mix of one vector into ``acc``.
+
+    Within a single process ``hash`` over record tuples is deterministic,
+    which is all an end-to-end sent-vs-received comparison needs.
+    """
+    for record in vector:
+        acc = (acc * 1000003 + hash(record)) & 0xFFFFFFFF
+    return acc
+
+
 class Stream:
     """A bounded FIFO of record vectors with an end-of-stream token.
 
@@ -34,7 +45,8 @@ class Stream:
     """
 
     __slots__ = ("name", "capacity", "_fifo", "eos", "pushed_vectors",
-                 "pushed_records", "producer", "consumer")
+                 "pushed_records", "producer", "consumer", "monitor",
+                 "sent_sum", "recv_sum")
 
     def __init__(self, name: str = "", capacity: int = DEFAULT_CAPACITY):
         self.name = name
@@ -45,6 +57,13 @@ class Stream:
         self.pushed_records = 0
         self.producer = None      # set by Graph.connect
         self.consumer = None      # set by Graph.connect
+        # Reliability hook: when a FaultInjector is armed on this stream it
+        # sets itself as ``monitor``; push/pop then accumulate end-to-end
+        # checksums and the monitor may corrupt or drop vectors in transit.
+        # With monitor=None (the default) push/pop pay one is-None test.
+        self.monitor = None
+        self.sent_sum = 0
+        self.recv_sum = 0
 
     # -- producer side -----------------------------------------------------
 
@@ -56,9 +75,17 @@ class Stream:
         """Enqueue ``vector``.  The caller must have checked :meth:`can_push`."""
         assert len(self._fifo) < self.capacity, f"stream {self.name} overflow"
         assert not self.eos, f"push after EOS on stream {self.name}"
-        self._fifo.append(vector)
         self.pushed_vectors += 1
         self.pushed_records += len(vector)
+        if self.monitor is not None:
+            # Checksum what the producer sent, *then* let the injector
+            # corrupt or drop the vector in transit: a mismatch against the
+            # consumer-side sum is how corruption/loss is detected.
+            self.sent_sum = _mix(self.sent_sum, vector)
+            vector = self.monitor.on_push(self, vector)
+            if vector is None:          # vector lost in transit
+                return
+        self._fifo.append(vector)
 
     def close(self) -> None:
         """Signal end of stream.  Idempotent."""
@@ -76,7 +103,21 @@ class Stream:
 
     def pop(self) -> Vector:
         """Dequeue and return the head vector."""
-        return self._fifo.popleft()
+        vector = self._fifo.popleft()
+        if self.monitor is not None:
+            self.recv_sum = _mix(self.recv_sum, vector)
+        return vector
+
+    # -- reliability -------------------------------------------------------
+
+    def checksums_match(self) -> bool:
+        """True when everything pushed has been popped intact (only
+        meaningful once the stream has drained)."""
+        return self.sent_sum == self.recv_sum
+
+    def reset_checksums(self) -> None:
+        self.sent_sum = 0
+        self.recv_sum = 0
 
     def closed(self) -> bool:
         """True when EOS has been signalled and all buffered data consumed."""

@@ -10,8 +10,9 @@ mirroring the paper's analytical-model methodology (§V-B).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple, Type
 
+from repro.errors import FaultError
 from repro.structures.common import StructureEvents
 
 
@@ -38,6 +39,36 @@ class ExecutionContext:
     def __init__(self):
         self.traces: List[OpTrace] = []
         self.events = StructureEvents()
+        self.retry_log: List = []      # RetryAttempt records, see run_with_retry
+
+    def run_with_retry(self, fn: Callable[["ExecutionContext"], object], *,
+                       policy=None,
+                       retry_on: Tuple[Type[BaseException], ...] = (FaultError,),
+                       sleep: Optional[Callable[[float], None]] = None):
+        """Execute ``fn(ctx)`` with fault-retry and exponential backoff.
+
+        ``fn`` receives a *fresh* sub-context per attempt so a failed
+        attempt's partial traces do not pollute this context; on success
+        the winning attempt's traces are merged in.  Failed attempts are
+        recorded in :attr:`retry_log` (kind, site, computed backoff delay —
+        deterministic for a given policy seed).  ``sleep`` is the wall-clock
+        backoff hook; the default ``None`` logs delays without sleeping,
+        which is what a simulator wants.
+        """
+        from repro.reliability.retry import RetryPolicy, retry_call
+
+        policy = policy if policy is not None else RetryPolicy()
+
+        def attempt():
+            sub = ExecutionContext()
+            result = fn(sub)
+            for t in sub.traces:
+                self.traces.append(t)
+                self.events.merge(t.events)
+            return result
+
+        return retry_call(attempt, policy=policy, retry_on=retry_on,
+                          sleep=sleep, log=self.retry_log)
 
     def trace(self, op: str, rows_in: int, rows_out: int,
               events: Optional[StructureEvents] = None,

@@ -2,7 +2,16 @@
 
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything from this package with a single handler.
+
+The reliability layer (``repro.reliability``) adds the :class:`FaultError`
+branch: typed, structured errors raised when an injected (or real) hardware
+fault is *detected* — by a stream checksum mismatch, the engine watchdog, or
+a failed scratchpad bank.  Fault errors always carry the fault ``kind``, the
+``site`` (tile or stream name) and the ``cycle`` of detection so recovery
+code and tests can dispatch on them without parsing messages.
 """
+
+from typing import Optional, Sequence, Tuple
 
 
 class ReproError(Exception):
@@ -21,7 +30,28 @@ class GraphError(ReproError):
 
 class SimulationError(ReproError):
     """The cycle-level engine detected an unrecoverable condition, such as
-    deadlock (no progress while work remains) or exceeding a cycle budget."""
+    deadlock (no progress while work remains) or exceeding a cycle budget.
+
+    Structured fields let retry layers and tests assert on the failure
+    without parsing the message:
+
+    * ``graph`` — name of the graph being simulated;
+    * ``cycle`` — cycle at which the condition was detected;
+    * ``kind`` — ``"deadlock"`` or ``"overrun"`` (empty for other causes);
+    * ``stuck_tiles`` — names of tiles holding in-flight state;
+    * ``stuck_streams`` — names of streams with buffered vectors.
+    """
+
+    def __init__(self, message: str, *, graph: str = "",
+                 cycle: Optional[int] = None, kind: str = "",
+                 stuck_tiles: Sequence[str] = (),
+                 stuck_streams: Sequence[str] = ()):
+        super().__init__(message)
+        self.graph = graph
+        self.cycle = cycle
+        self.kind = kind
+        self.stuck_tiles: Tuple[str, ...] = tuple(stuck_tiles)
+        self.stuck_streams: Tuple[str, ...] = tuple(stuck_streams)
 
 
 class CapacityError(ReproError):
@@ -31,3 +61,34 @@ class CapacityError(ReproError):
 
 class PlanError(ReproError):
     """A query plan was invalid or could not be mapped onto the fabric."""
+
+
+class FaultError(ReproError):
+    """A hardware fault was detected.
+
+    ``kind`` is the fault class (a :class:`repro.reliability.FaultKind`
+    value, stored as its string form), ``site`` the tile or stream where it
+    was detected, ``cycle`` the detection cycle, and ``detail`` free text.
+    """
+
+    def __init__(self, message: str, *, kind: str = "", site: str = "",
+                 cycle: Optional[int] = None, detail: str = ""):
+        super().__init__(message)
+        self.kind = str(kind)
+        self.site = site
+        self.cycle = cycle
+        self.detail = detail
+
+
+class ChecksumError(FaultError):
+    """End-to-end stream integrity check failed: the records popped from a
+    stream do not checksum to the records pushed (corruption or loss)."""
+
+
+class StallError(FaultError):
+    """The engine watchdog attributed a lack of forward progress to a
+    stalled tile (an injected stall outlasting the deadlock window)."""
+
+
+class BankFailureError(FaultError):
+    """A scratchpad bank (or DRAM channel) access hit a failed bank."""

@@ -55,6 +55,18 @@ class DramTile(ScratchpadTile):
         self.dram_stats = DramStats()
         self._last_index = [None] * len(ports)
 
+    def _latency_at(self, cycle: int) -> int:
+        """Round-trip latency, plus any injected DRAM latency spike.
+
+        Latency spikes are *absorbed*, not raised: Aurochs hides DRAM
+        latency with thread-level parallelism, so a spike shows up only as
+        extra cycles — the graph still completes with identical results.
+        """
+        latency = self.latency
+        if self.fault_injector is not None:
+            latency += self.fault_injector.extra_latency(self.name, cycle)
+        return latency
+
     def _execute(self, cycle: int, port_idx: int, request) -> None:
         cfg = self.ports[port_idx].config
         words = cfg.region.words_per_entry

@@ -97,6 +97,10 @@ class ScratchpadTile(Tile):
         self._alloc = Allocator(memory.banks)
         self._delay: deque = deque()   # (ready_cycle, port_idx, record)
         self._last_rmw: Tuple = ()     # (bank, index) pairs granted last cycle
+        # Reliability hook: a FaultInjector armed on this tile's graph sets
+        # itself here; granted requests then check for injected bank
+        # failures.  None (the default) costs one is-None test per grant.
+        self.fault_injector = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -202,7 +206,16 @@ class ScratchpadTile(Tile):
             self.spad_stats.active_cycles += 1
         return any_grant
 
+    def _latency_at(self, cycle: int) -> int:
+        """Grant-to-response latency for a request executed this cycle.
+
+        Subclasses (the DRAM tile) add injected latency spikes here.
+        """
+        return self.latency
+
     def _execute(self, cycle: int, port_idx: int, request: Request) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.check_bank(self.name, request.bank, cycle)
         port = self.ports[port_idx]
         cfg = port.config
         region = cfg.region
@@ -219,7 +232,8 @@ class ScratchpadTile(Tile):
         if cfg.combine is not None:
             response = cfg.combine(record, result)
             if response is not None:
-                self._delay.append((cycle + self.latency, port_idx, response))
+                self._delay.append(
+                    (cycle + self._latency_at(cycle), port_idx, response))
 
     # -- engine protocol -------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""Reliability layer: fault injection, detection, and recovery.
+
+Aurochs' motivating deployment is a long-running streaming-analytics fabric
+(§I, §IV-B); this package makes the reproduction survivable rather than
+fail-stop, in three tiers:
+
+* **inject** — :class:`FaultInjector` replays a deterministic, seeded
+  schedule of :class:`FaultEvent` (record corruption, dropped vectors,
+  tile stalls, scratchpad bank failures, DRAM latency spikes) through
+  narrow hooks in the engine, streams, and memory tiles that cost one
+  is-None test when disabled;
+* **detect** — end-to-end stream checksums, the engine watchdog, and bank
+  checks surface faults as the typed
+  :class:`~repro.errors.FaultError` hierarchy (kind, site, cycle);
+* **recover** — :func:`checkpoint`/restore at stream-end boundaries plus
+  :func:`run_with_recovery` at the engine level,
+  :class:`RetryPolicy`-driven backoff at the query level
+  (``ExecutionContext.run_with_retry``), and
+  :class:`DegradePolicy`-driven graceful degradation in
+  ``workloads.streaming``.
+
+Determinism contract: same seed -> same fault schedule -> same firing log
+and pass/fail outcome, which is what lets every future perf PR prove it
+does not regress under faults.
+"""
+
+from repro.errors import (
+    BankFailureError,
+    ChecksumError,
+    FaultError,
+    StallError,
+)
+from repro.reliability.faults import FaultEvent, FaultKind, random_schedule
+from repro.reliability.injector import FaultInjector
+from repro.reliability.checkpoint import GraphCheckpoint, checkpoint, restore
+from repro.reliability.retry import RetryAttempt, RetryPolicy, retry_call
+from repro.reliability.recovery import RecoveryResult, run_with_recovery
+from repro.reliability.health import (
+    DegradePolicy,
+    HealthMonitor,
+    Incident,
+    QueryHealth,
+)
+
+__all__ = [
+    "FaultError", "ChecksumError", "StallError", "BankFailureError",
+    "FaultEvent", "FaultKind", "random_schedule",
+    "FaultInjector",
+    "GraphCheckpoint", "checkpoint", "restore",
+    "RetryAttempt", "RetryPolicy", "retry_call",
+    "RecoveryResult", "run_with_recovery",
+    "DegradePolicy", "HealthMonitor", "Incident", "QueryHealth",
+]

@@ -1,0 +1,107 @@
+"""Graph checkpoint/restore at stream-end boundaries.
+
+The engine's stream-end condition (§III-A's drain protocol) is a natural
+consistency point: every stream is empty and every tile's in-flight buffers
+have drained, so the graph's durable state is just source positions, sink
+contents, scratchpad/DRAM region data, and accumulated statistics.
+:func:`checkpoint` snapshots that state; :func:`restore` writes it back *in
+place* — tile, stream, memory, and region object identities are preserved,
+so closures and external handles into the graph stay valid.  That is what
+lets recovery re-run a graph after a transient fault: restore the pre-run
+checkpoint, retry, and the fault (already consumed from the injector's
+schedule) does not recur.
+
+The snapshot is generic: each stateful object's attribute dict (``__dict__``
+and/or ``__slots__``) is deep-copied with a memo that pins the graph's own
+tiles, streams, memories, and regions, so wiring references survive as
+references while mutable payloads (FIFOs, issue queues, region data,
+packers) are copied by value.  Restores may be repeated: the checkpoint is
+never consumed.
+
+Limitation: state captured *outside* the graph — e.g. a Python list a
+closure appends to — is not part of the snapshot.  Route side effects
+through sinks or scratchpad regions if they must roll back.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Tuple
+
+
+def _stateful_objects(graph) -> List:
+    """The graph's durable objects, deduplicated, in deterministic order."""
+    objects: List = []
+    seen: set = set()
+
+    def add(obj) -> None:
+        if obj is not None and id(obj) not in seen:
+            seen.add(id(obj))
+            objects.append(obj)
+
+    for tile in graph.tiles:
+        add(tile)
+        memory = getattr(tile, "memory", None)
+        if memory is not None:
+            add(memory)
+            for region in getattr(memory, "regions", {}).values():
+                add(region)
+    for stream in graph.streams:
+        add(stream)
+    return objects
+
+
+#: Reliability hooks are owned by the injector, not the graph: fault
+#: consumption must survive a restore, and the engine re-arms hooks anyway.
+_EXCLUDED_ATTRS = frozenset({"monitor", "fault_injector"})
+
+
+def _get_state(obj) -> Dict[str, object]:
+    """Attribute snapshot covering both ``__dict__`` and ``__slots__``."""
+    state: Dict[str, object] = {}
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if slot not in state and hasattr(obj, slot):
+                state[slot] = getattr(obj, slot)
+    if hasattr(obj, "__dict__"):
+        state.update(obj.__dict__)
+    for attr in _EXCLUDED_ATTRS:
+        state.pop(attr, None)
+    return state
+
+
+class GraphCheckpoint:
+    """A reusable snapshot of one graph's durable state."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self._objects = _stateful_objects(graph)
+        # One shared memo pins every graph-owned object, so cross-references
+        # (stream.producer, port.config.region, ...) are stored as-is while
+        # their mutable contents are copied by value.
+        memo = {id(obj): obj for obj in self._objects}
+        self._states: List[Dict[str, object]] = [
+            copy.deepcopy(_get_state(obj), memo) for obj in self._objects
+        ]
+
+    def restore(self) -> None:
+        """Write the snapshot back into the live objects, in place."""
+        memo = {id(obj): obj for obj in self._objects}
+        for obj, saved in zip(self._objects, self._states):
+            fresh = copy.deepcopy(saved, memo)
+            for key, value in fresh.items():
+                setattr(obj, key, value)
+
+    def stats(self) -> Tuple[int, int]:
+        """(objects, attributes) covered — for tests and debugging."""
+        return len(self._objects), sum(len(s) for s in self._states)
+
+
+def checkpoint(graph) -> GraphCheckpoint:
+    """Snapshot ``graph`` (conventionally at a stream-end boundary)."""
+    return GraphCheckpoint(graph)
+
+
+def restore(cp: GraphCheckpoint) -> None:
+    """Convenience alias for :meth:`GraphCheckpoint.restore`."""
+    cp.restore()

@@ -1,0 +1,117 @@
+"""Fault model: the kinds of hardware faults the injector can schedule.
+
+The motivating Aurochs deployment is continuous streaming analytics (§I,
+§IV-B): a long-running fabric that must survive transient faults.  This
+module enumerates the fault classes the reproduction models and the
+deterministic schedule format the injector consumes.  A schedule is a list
+of :class:`FaultEvent` — everything about when and where a fault fires is
+decided up front (optionally from a seeded RNG), so the same seed always
+produces the same fault schedule and therefore the same pass/fail outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+
+class FaultKind(str, Enum):
+    """The fault classes the reliability layer can inject and detect."""
+
+    #: Flip one record field while a vector is in transit on a stream.
+    CORRUPT_RECORD = "corrupt_record"
+    #: Lose an entire vector in transit on a stream.
+    DROP_VECTOR = "drop_vector"
+    #: Freeze a tile (it does not tick) for ``duration`` cycles.
+    TILE_STALL = "tile_stall"
+    #: A scratchpad SRAM bank (or DRAM channel) fails; access raises.
+    BANK_FAIL = "bank_fail"
+    #: DRAM round-trip latency increases by ``penalty`` for a window.
+    DRAM_SPIKE = "dram_spike"
+
+
+#: Kinds that target a stream (injected at push time).
+STREAM_KINDS = (FaultKind.CORRUPT_RECORD, FaultKind.DROP_VECTOR)
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault.
+
+    ``site`` names the stream or tile the fault targets; ``cycle`` is the
+    first cycle (within a run) at which it is eligible to fire.  ``once``
+    events model *transient* faults: they are consumed when they fire (or
+    when their window elapses), so a retried run proceeds cleanly.
+    ``once=False`` models a *permanent* fault that re-fires on every run
+    and must surface to the caller as a typed :class:`~repro.errors.FaultError`.
+    """
+
+    kind: FaultKind
+    site: str
+    cycle: int = 0
+    duration: Optional[int] = 1     # stall/bank/spike window; None = forever
+    lane: int = 0                   # CORRUPT_RECORD: which lane of the vector
+    field_idx: int = 0              # CORRUPT_RECORD: which record field
+    bank: int = 0                   # BANK_FAIL: which bank/channel
+    penalty: int = 0                # DRAM_SPIKE: extra latency cycles
+    once: bool = True
+    # runtime state (reset by FaultInjector.reset)
+    fired: int = field(default=0, compare=False)
+    consumed: bool = field(default=False, compare=False)
+
+    def key(self) -> Tuple:
+        """Schedule identity, used to compare schedules across seeds."""
+        return (self.kind.value, self.site, self.cycle, self.duration,
+                self.lane, self.field_idx, self.bank, self.penalty,
+                self.once)
+
+
+def random_schedule(seed: int, *,
+                    streams: Sequence[str] = (),
+                    tiles: Sequence[str] = (),
+                    spads: Sequence[str] = (),
+                    drams: Sequence[str] = (),
+                    n_faults: int = 4,
+                    horizon: int = 2_000,
+                    banks: int = 16,
+                    transient: bool = True) -> List[FaultEvent]:
+    """Draw a deterministic schedule of ``n_faults`` events from ``seed``.
+
+    Each named site category enables its fault kinds; at least one category
+    must be non-empty.  The same ``(seed, sites)`` always yields an
+    identical schedule.
+    """
+    pool: List[Tuple[FaultKind, str]] = []
+    for name in streams:
+        pool.append((FaultKind.CORRUPT_RECORD, name))
+        pool.append((FaultKind.DROP_VECTOR, name))
+    for name in tiles:
+        pool.append((FaultKind.TILE_STALL, name))
+    for name in spads:
+        pool.append((FaultKind.BANK_FAIL, name))
+    for name in drams:
+        pool.append((FaultKind.DRAM_SPIKE, name))
+    if not pool:
+        raise ValueError("random_schedule needs at least one fault site")
+    rng = random.Random(seed)
+    events: List[FaultEvent] = []
+    for __ in range(n_faults):
+        kind, site = pool[rng.randrange(len(pool))]
+        ev = FaultEvent(kind, site, cycle=rng.randrange(horizon),
+                        once=transient)
+        if kind is FaultKind.CORRUPT_RECORD:
+            ev.lane = rng.randrange(16)
+            ev.field_idx = rng.randrange(4)
+        elif kind is FaultKind.TILE_STALL:
+            ev.duration = rng.randrange(10, 200)
+        elif kind is FaultKind.BANK_FAIL:
+            ev.bank = rng.randrange(banks)
+            ev.duration = rng.randrange(50, 500)
+        elif kind is FaultKind.DRAM_SPIKE:
+            ev.duration = rng.randrange(100, 1_000)
+            ev.penalty = rng.randrange(50, 400)
+        events.append(ev)
+    events.sort(key=lambda e: (e.cycle, e.site, e.kind.value))
+    return events

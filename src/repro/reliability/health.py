@@ -1,0 +1,131 @@
+"""Graceful degradation: health accounting for long-running pipelines.
+
+The continuous-analytics deployment (§IV-B) must not die on one bad batch.
+:class:`DegradePolicy` tells a pipeline *how* to degrade — skip-and-log
+poisoned rows, re-accept late rows within a bounded staleness window, serve
+a stale standing-query result when an evaluation fails — and
+:class:`HealthMonitor` keeps the structured account a supervisor reads
+instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class DegradePolicy:
+    """Degradation knobs for a streaming pipeline.
+
+    * ``max_staleness`` — a late (out-of-order) event is still accepted,
+      re-stamped to the current watermark, if it is at most this many time
+      units old; older events are dropped (and logged).  ``0`` drops all
+      late events.
+    * ``serve_stale`` — a failing standing query returns its last good
+      result (marked stale) instead of raising.
+    * ``max_consecutive_failures`` — after this many back-to-back failures
+      of one query, degradation stops masking and the error propagates
+      (a permanently-broken query must surface).
+    """
+
+    max_staleness: int = 0
+    serve_stale: bool = True
+    max_consecutive_failures: int = 5
+
+
+@dataclass
+class Incident:
+    """One logged degradation event."""
+
+    kind: str          # 'late_requeued' | 'late_dropped' | 'bad_row'
+                       # | 'query_failure'
+    site: str          # query name or ingest site
+    time: int          # stream time (watermark) when it happened
+    detail: str = ""
+
+
+@dataclass
+class QueryHealth:
+    """Per-standing-query health counters."""
+
+    name: str
+    evaluations: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    stale_served: int = 0
+    last_error: str = ""
+
+
+class HealthMonitor:
+    """Structured health account of one streaming pipeline."""
+
+    def __init__(self):
+        self.incidents: List[Incident] = []
+        self.rows_ok = 0
+        self.rows_requeued = 0
+        self.rows_dropped = 0
+        self.rows_bad = 0
+        self.queries: Dict[str, QueryHealth] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record_ok(self, n: int = 1) -> None:
+        self.rows_ok += n
+
+    def record_incident(self, kind: str, site: str, time: int,
+                        detail: str = "") -> Incident:
+        inc = Incident(kind, site, time, detail)
+        self.incidents.append(inc)
+        if kind == "late_requeued":
+            self.rows_requeued += 1
+        elif kind == "late_dropped":
+            self.rows_dropped += 1
+        elif kind == "bad_row":
+            self.rows_bad += 1
+        return inc
+
+    def query(self, name: str) -> QueryHealth:
+        if name not in self.queries:
+            self.queries[name] = QueryHealth(name)
+        return self.queries[name]
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.incidents)
+
+    def status(self) -> str:
+        return "degraded" if self.degraded else "healthy"
+
+    def report(self) -> Dict[str, object]:
+        """A plain-dict health report, stable enough to assert on."""
+        return {
+            "status": self.status(),
+            "rows_ok": self.rows_ok,
+            "rows_requeued": self.rows_requeued,
+            "rows_dropped": self.rows_dropped,
+            "rows_bad": self.rows_bad,
+            "incidents": len(self.incidents),
+            "queries": {
+                name: {
+                    "evaluations": q.evaluations,
+                    "failures": q.failures,
+                    "stale_served": q.stale_served,
+                    "last_error": q.last_error,
+                }
+                for name, q in sorted(self.queries.items())
+            },
+        }
+
+    def summary(self) -> str:
+        r = self.report()
+        lines = [f"pipeline {r['status']}: {r['rows_ok']} rows ok, "
+                 f"{r['rows_requeued']} requeued, {r['rows_dropped']} "
+                 f"dropped, {r['rows_bad']} bad"]
+        for name, q in r["queries"].items():          # type: ignore[union-attr]
+            lines.append(f"  query {name}: {q['evaluations']} evals, "
+                         f"{q['failures']} failures, "
+                         f"{q['stale_served']} stale")
+        return "\n".join(lines)

@@ -1,0 +1,259 @@
+"""Deterministic fault injector.
+
+:class:`FaultInjector` owns a schedule of :class:`~repro.reliability.faults.FaultEvent`
+and arms itself on a graph through three narrow hooks, each zero-cost when
+no injector is attached:
+
+* ``Stream.push`` consults ``stream.monitor`` — the injector may corrupt a
+  record field or drop the vector in transit, while the stream accumulates
+  producer/consumer checksums for detection;
+* ``Engine`` consults :meth:`stalled` before ticking each tile and
+  :meth:`verify_streams` after the drain;
+* ``ScratchpadTile._execute`` consults :meth:`check_bank`, and
+  ``DramTile._latency_at`` consults :meth:`extra_latency`.
+
+Determinism contract: the schedule is fixed at construction (optionally
+drawn from a seed via :meth:`random`), events fire at fixed cycles, and the
+:attr:`log` records every firing as ``(run, cycle, kind, site)`` — the same
+seed reproduces the identical fault schedule, firing log, and outcome.
+Transient (``once=True``) events are consumed when they fire, so a
+checkpoint-restore retry of the same graph proceeds cleanly; permanent
+events re-fire every run and surface as typed faults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import BankFailureError, ChecksumError
+from repro.dataflow.record import as_u32
+from repro.reliability.faults import (
+    STREAM_KINDS,
+    FaultEvent,
+    FaultKind,
+    random_schedule,
+)
+
+#: XOR pattern applied to a corrupted record field (arbitrary, stable).
+_CORRUPT_MASK = 0xDEADBEEF
+
+FaultRecord = Tuple[int, int, str, str]   # (run, cycle, kind, site)
+
+
+class FaultInjector:
+    """Replays a deterministic fault schedule against one graph."""
+
+    def __init__(self, events: Iterable[FaultEvent] = (), seed: int = 0):
+        self.events: List[FaultEvent] = list(events)
+        self.seed = seed
+        self.log: List[FaultRecord] = []
+        self.now = 0          # current cycle, maintained by the engine
+        self.runs = 0         # how many Engine.run calls have started
+        self._stream_events: Dict[str, List[FaultEvent]] = {}
+        self._stall_events: Dict[str, List[FaultEvent]] = {}
+        self._bank_events: Dict[str, List[FaultEvent]] = {}
+        self._dram_events: Dict[str, List[FaultEvent]] = {}
+        self._index()
+
+    @classmethod
+    def random(cls, seed: int, **site_kwargs) -> "FaultInjector":
+        """Seeded schedule over named sites (see
+        :func:`~repro.reliability.faults.random_schedule`)."""
+        return cls(random_schedule(seed, **site_kwargs), seed=seed)
+
+    def _index(self) -> None:
+        self._stream_events.clear()
+        self._stall_events.clear()
+        self._bank_events.clear()
+        self._dram_events.clear()
+        for ev in self.events:
+            if ev.kind in STREAM_KINDS:
+                table = self._stream_events
+            elif ev.kind is FaultKind.TILE_STALL:
+                table = self._stall_events
+            elif ev.kind is FaultKind.BANK_FAIL:
+                table = self._bank_events
+            else:
+                table = self._dram_events
+            table.setdefault(ev.site, []).append(ev)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm(self, graph) -> None:
+        """Attach injection hooks to every stream and memory tile.
+
+        Idempotent; only sites named in the schedule matter, but arming all
+        streams enables end-to-end checksum verification everywhere.
+        """
+        for stream in graph.streams:
+            stream.monitor = self
+        for tile in graph.tiles:
+            if hasattr(tile, "fault_injector"):
+                tile.fault_injector = self
+
+    def disarm(self, graph) -> None:
+        """Detach all hooks, restoring the zero-overhead fault-free path."""
+        for stream in graph.streams:
+            if stream.monitor is self:
+                stream.monitor = None
+                stream.reset_checksums()
+        for tile in graph.tiles:
+            if getattr(tile, "fault_injector", None) is self:
+                tile.fault_injector = None
+
+    def begin_run(self, graph) -> None:
+        """Called by the engine at the top of ``run``: arm + fresh sums."""
+        self.arm(graph)
+        self.runs += 1
+        self.now = 0
+        for stream in graph.streams:
+            stream.reset_checksums()
+
+    def reset(self) -> None:
+        """Forget all firing state so the same schedule replays from
+        scratch (used to prove seed-reproducibility)."""
+        for ev in self.events:
+            ev.fired = 0
+            ev.consumed = False
+        self.log.clear()
+        self.runs = 0
+        self.now = 0
+
+    def _fire(self, ev: FaultEvent, cycle: int) -> None:
+        ev.fired += 1
+        self.log.append((self.runs, cycle, ev.kind.value, ev.site))
+
+    # -- stream hook (called from Stream.push) -----------------------------
+
+    def on_push(self, stream, vector):
+        """Possibly corrupt or drop ``vector`` in transit; None = dropped."""
+        events = self._stream_events.get(stream.name)
+        if not events:
+            return vector
+        for ev in events:
+            if ev.consumed or self.now < ev.cycle:
+                continue
+            if ev.once:
+                ev.consumed = True
+            self._fire(ev, self.now)
+            if ev.kind is FaultKind.DROP_VECTOR:
+                return None
+            lane = min(ev.lane, len(vector) - 1)
+            record = vector[lane]
+            if not record:
+                return vector
+            idx = min(ev.field_idx, len(record) - 1)
+            garbage = as_u32(hash(record[idx]) ^ _CORRUPT_MASK)
+            if garbage == record[idx]:
+                garbage = as_u32(garbage + 1)
+            corrupted = record[:idx] + (garbage,) + record[idx + 1:]
+            vector = list(vector)
+            vector[lane] = corrupted
+            return vector
+        return vector
+
+    # -- engine hooks ------------------------------------------------------
+
+    def stalled(self, tile_name: str, cycle: int) -> bool:
+        """True if an injected stall freezes ``tile_name`` this cycle."""
+        events = self._stall_events.get(tile_name)
+        if not events:
+            return False
+        active = False
+        for ev in events:
+            if ev.consumed or cycle < ev.cycle:
+                continue
+            if ev.duration is not None and cycle >= ev.cycle + ev.duration:
+                if ev.once:
+                    ev.consumed = True     # transient stall has elapsed
+                continue
+            if ev.fired == 0:
+                self._fire(ev, cycle)
+            else:
+                ev.fired += 1
+            active = True
+        return active
+
+    def active_stall_site(self, cycle: int) -> Optional[str]:
+        """The stalled tile blamed when the watchdog trips, if any."""
+        for site, events in sorted(self._stall_events.items()):
+            for ev in events:
+                if ev.consumed or cycle < ev.cycle:
+                    continue
+                if ev.duration is None or cycle < ev.cycle + ev.duration:
+                    return site
+        return None
+
+    def verify_streams(self, graph, cycle: int) -> None:
+        """End-of-run detection: sent-vs-received checksum per stream."""
+        for stream in graph.streams:
+            if stream.monitor is not self or stream.checksums_match():
+                continue
+            kind = FaultKind.CORRUPT_RECORD
+            for ev in self._stream_events.get(stream.name, ()):
+                if ev.fired:
+                    kind = ev.kind
+                    break
+            raise ChecksumError(
+                f"stream {stream.name!r} checksum mismatch after drain "
+                f"(sent={stream.sent_sum:#010x} "
+                f"recv={stream.recv_sum:#010x})",
+                kind=kind.value, site=stream.name, cycle=cycle,
+                detail=f"{stream.pushed_records} records pushed",
+            )
+
+    # -- memory hooks ------------------------------------------------------
+
+    def check_bank(self, tile_name: str, bank: int, cycle: int) -> None:
+        """Raise :class:`BankFailureError` if ``bank`` is failed right now."""
+        events = self._bank_events.get(tile_name)
+        if not events:
+            return
+        for ev in events:
+            if ev.consumed or cycle < ev.cycle or ev.bank != bank:
+                continue
+            if ev.duration is not None and cycle >= ev.cycle + ev.duration:
+                if ev.once:
+                    ev.consumed = True
+                continue
+            if ev.once:
+                ev.consumed = True         # transient: heals after detection
+            self._fire(ev, cycle)
+            raise BankFailureError(
+                f"bank {bank} of {tile_name!r} failed at cycle {cycle}",
+                kind=ev.kind.value, site=tile_name, cycle=cycle,
+                detail=f"bank={bank}",
+            )
+
+    def extra_latency(self, tile_name: str, cycle: int) -> int:
+        """Added DRAM latency from any active spike window."""
+        events = self._dram_events.get(tile_name)
+        if not events:
+            return 0
+        penalty = 0
+        for ev in events:
+            if ev.consumed or cycle < ev.cycle:
+                continue
+            if ev.duration is not None and cycle >= ev.cycle + ev.duration:
+                if ev.once:
+                    ev.consumed = True
+                continue
+            if ev.fired == 0:
+                self._fire(ev, cycle)
+            else:
+                ev.fired += 1
+            penalty += ev.penalty
+        return penalty
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> List[Tuple]:
+        """Stable schedule summary (for reproducibility assertions)."""
+        return [ev.key() for ev in self.events]
+
+    def fired_events(self) -> List[FaultEvent]:
+        return [ev for ev in self.events if ev.fired]
+
+    def __repr__(self) -> str:
+        return (f"FaultInjector(seed={self.seed}, events={len(self.events)}, "
+                f"fired={len(self.fired_events())}, runs={self.runs})")

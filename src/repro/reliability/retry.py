@@ -1,0 +1,83 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+Query-level recovery: when a fault surfaces as a typed
+:class:`~repro.errors.FaultError`, the caller re-runs the query.  Backoff
+spacing follows the standard exponential-plus-jitter discipline of
+production stream processors, but the jitter is drawn from a seeded RNG and
+the *delays are computed, logged, and (by default) not slept* — this is a
+simulator, so wall-clock sleeping is opt-in via the ``sleep`` callable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.errors import FaultError
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry and how long to back off between tries."""
+
+    retries: int = 3                 # retry attempts after the first try
+    base_delay: float = 0.01         # seconds before the first retry
+    max_delay: float = 1.0           # backoff ceiling
+    multiplier: float = 2.0          # exponential growth factor
+    jitter: float = 0.5              # +/- fraction of the delay randomized
+    seed: int = 0                    # jitter RNG seed (determinism)
+
+    def delays(self) -> List[float]:
+        """The full backoff schedule, deterministic for a given seed."""
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        delay = self.base_delay
+        for __ in range(self.retries):
+            jittered = delay * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+            out.append(min(max(jittered, 0.0), self.max_delay))
+            delay = min(delay * self.multiplier, self.max_delay)
+        return out
+
+
+@dataclass
+class RetryAttempt:
+    """One failed attempt, as recorded in a retry log."""
+
+    attempt: int                     # 0-based attempt index that failed
+    error: str                       # repr of the exception
+    kind: str = ""                   # FaultError.kind when available
+    site: str = ""                   # FaultError.site when available
+    delay: float = 0.0               # backoff applied before the next try
+
+
+def retry_call(fn: Callable[[], object], *,
+               policy: Optional[RetryPolicy] = None,
+               retry_on: Tuple[Type[BaseException], ...] = (FaultError,),
+               sleep: Optional[Callable[[float], None]] = None,
+               log: Optional[List[RetryAttempt]] = None):
+    """Call ``fn`` with up to ``policy.retries`` retries on ``retry_on``.
+
+    Each failure is appended to ``log`` (if given); the final failure is
+    re-raised unchanged so callers still see the typed fault.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    delays = policy.delays()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as err:
+            delay = delays[attempt] if attempt < len(delays) else 0.0
+            if log is not None:
+                log.append(RetryAttempt(
+                    attempt=attempt, error=repr(err),
+                    kind=getattr(err, "kind", ""),
+                    site=getattr(err, "site", ""),
+                    delay=delay,
+                ))
+            if attempt >= policy.retries:
+                raise
+            if sleep is not None and delay > 0.0:
+                sleep(delay)
+            attempt += 1

@@ -11,16 +11,28 @@ pieces this repository already has into that loop:
 * standing queries run against the *indexed window* (an index range scan
   for the window, then the query body) so per-evaluation cost tracks the
   window size, not the table size — the asymptotic point of fig. 11.
+
+A long-running deployment must also survive bad input and flaky queries.
+When constructed with a :class:`~repro.reliability.DegradePolicy` the
+pipeline degrades gracefully instead of crashing: malformed rows are
+skipped and logged, late (out-of-order) rows are re-stamped to the
+watermark if within the policy's bounded staleness (else dropped and
+logged), and a failing standing query serves its last good result, marked
+stale, until it exceeds the policy's consecutive-failure budget.  The
+:class:`~repro.reliability.HealthMonitor` account is available via
+:meth:`health_report`.  With no policy (the default) behaviour is the
+original fail-stop contract.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.db.context import ExecutionContext
 from repro.db.operators.indexscan import TimeSeriesIndex, index_range_scan
 from repro.db.table import Table
+from repro.reliability.health import DegradePolicy, HealthMonitor
 
 
 @dataclass
@@ -32,13 +44,15 @@ class StandingQuery:
     body: Callable[[Table, ExecutionContext], Table]
     evaluations: int = 0
     last_result: Optional[Table] = None
+    stale: bool = False                         # last_result is a stale serve
 
 
 class StreamingAnalytics:
     """Ingest loop + standing queries over one time-ordered stream."""
 
     def __init__(self, table: Table, time_field: str,
-                 index_batch: int = 1024):
+                 index_batch: int = 1024,
+                 policy: Optional[DegradePolicy] = None):
         self.table = table
         self.time_field = time_field
         self._ti = table.col_index(time_field)
@@ -47,6 +61,8 @@ class StreamingAnalytics:
         self.queries: Dict[str, StandingQuery] = {}
         self.now = max(table.column(time_field), default=0)
         self.events_ingested = 0
+        self.policy = policy
+        self.health = HealthMonitor()
 
     # -- registration -----------------------------------------------------
 
@@ -58,28 +74,103 @@ class StreamingAnalytics:
     # -- ingest -------------------------------------------------------------
 
     def ingest(self, rows: List[Tuple]) -> None:
-        """Append time-ordered events to the stream and its index."""
+        """Append time-ordered events to the stream and its index.
+
+        Fail-stop without a policy (out-of-order raises); with a policy the
+        batch is never poisoned by individual rows — each row is validated,
+        late rows are re-stamped within the staleness bound, and bad rows
+        are skipped and logged.
+        """
+        if self.policy is None:
+            for row in rows:
+                t = row[self._ti]
+                if t < self.now:
+                    raise ValueError(
+                        f"out-of-order event at t={t} (now={self.now})")
+                self.index.append(row)
+                self.now = t
+                self.events_ingested += 1
+            return
         for row in rows:
+            self._ingest_degraded(row)
+
+    def _ingest_degraded(self, row: Tuple) -> None:
+        policy = self.policy
+        try:
             t = row[self._ti]
-            if t < self.now:
-                raise ValueError(
-                    f"out-of-order event at t={t} (now={self.now})")
-            self.index.append(row)
-            self.now = t
-            self.events_ingested += 1
+            valid = len(row) == len(self.table.schema) and isinstance(
+                t, (int, float)) and not isinstance(t, bool)
+        except (IndexError, TypeError):
+            valid = False
+        if not valid:
+            self.health.record_incident(
+                "bad_row", self.table.name, self.now, detail=repr(row)[:64])
+            return
+        if t < self.now:
+            lateness = self.now - t
+            if lateness <= policy.max_staleness:
+                # Bounded staleness: accept the late event re-stamped to
+                # the watermark so index order is preserved.
+                row = row[:self._ti] + (self.now,) + row[self._ti + 1:]
+                t = self.now
+                self.health.record_incident(
+                    "late_requeued", self.table.name, self.now,
+                    detail=f"late by {lateness}")
+            else:
+                self.health.record_incident(
+                    "late_dropped", self.table.name, self.now,
+                    detail=f"t={t} older than staleness bound "
+                           f"{policy.max_staleness}")
+                return
+        self.index.append(row)
+        self.now = t
+        self.events_ingested += 1
+        self.health.record_ok()
 
     # -- evaluation -----------------------------------------------------------
 
     def evaluate(self, name: str,
                  ctx: Optional[ExecutionContext] = None) -> Table:
-        """Run one standing query over its current window."""
+        """Run one standing query over its current window.
+
+        With a degradation policy, a failing query body serves its last
+        good result (marked stale) instead of raising — until it fails
+        ``policy.max_consecutive_failures`` times in a row, at which point
+        the error propagates: permanently-broken queries must surface.
+        """
         q = self.queries[name]
         ctx = ctx if ctx is not None else ExecutionContext()
         window = index_range_scan(self.index, self.now - q.window,
                                   self.now, ctx,
                                   name=f"{self.table.name}_window")
-        result = q.body(window, ctx)
+        if self.policy is None:
+            result = q.body(window, ctx)
+        else:
+            qh = self.health.query(name)
+            qh.evaluations += 1
+            try:
+                result = q.body(window, ctx)
+                qh.consecutive_failures = 0
+            except Exception as err:      # noqa: BLE001 — degrade, then cap
+                qh.failures += 1
+                qh.consecutive_failures += 1
+                qh.last_error = repr(err)
+                self.health.record_incident(
+                    "query_failure", name, self.now, detail=repr(err)[:64])
+                if (qh.consecutive_failures
+                        > self.policy.max_consecutive_failures
+                        or not self.policy.serve_stale):
+                    raise
+                qh.stale_served += 1
+                q.evaluations += 1
+                q.stale = True
+                # Serve the last good result; an empty window-shaped table
+                # if the query has never succeeded.
+                if q.last_result is None:
+                    q.last_result = window.with_rows([])
+                return q.last_result
         q.evaluations += 1
+        q.stale = False
         q.last_result = result
         return result
 
@@ -87,6 +178,10 @@ class StreamingAnalytics:
         return {name: self.evaluate(name) for name in self.queries}
 
     # -- introspection -----------------------------------------------------------
+
+    def health_report(self) -> Dict[str, object]:
+        """Structured health account (see :class:`HealthMonitor`)."""
+        return self.health.report()
 
     def index_tiers(self) -> List[int]:
         """The LSM's current tree sizes (§IV-B's exponential ladder)."""

@@ -1,0 +1,439 @@
+"""Fault injection, detection, and recovery (`repro.reliability`).
+
+Covers the reliability layer's contract: every injected fault class is
+either *recovered* (retry / degradation yields the fault-free result) or
+*raised* as a typed :class:`FaultError`; the same seed reproduces the
+identical fault schedule and outcome; and with the injector disabled the
+engine's cycle counts are untouched.
+"""
+
+import pytest
+
+from repro.dataflow import (
+    Engine,
+    Graph,
+    MapTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.db import ExecutionContext
+from repro.errors import (
+    BankFailureError,
+    ChecksumError,
+    FaultError,
+    ReproError,
+    StallError,
+)
+from repro.memory import DramMemory, ScratchpadMemory
+from repro.memory.dram import DramTile
+from repro.memory.spad_tile import PortConfig, ScratchpadTile
+from repro.reliability import (
+    DegradePolicy,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    RetryPolicy,
+    checkpoint,
+    random_schedule,
+    run_with_recovery,
+)
+
+N_RECORDS = 256
+
+
+def _map_graph():
+    """src -> map(double) -> sink, with named streams 'a' and 'b'."""
+    g = Graph("g")
+    src = g.add(SourceTile("src", [(i,) for i in range(N_RECORDS)]))
+    m = g.add(MapTile("m", lambda r: (r[0] * 2,)))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, m, name="a")
+    g.connect(m, sink, name="b")
+    return g, sink
+
+
+EXPECTED = sorted((i * 2,) for i in range(N_RECORDS))
+
+HIST_BUCKETS = 64
+
+
+def _hist_graph():
+    """Scratchpad RMW histogram: every bucket ends at 8."""
+    g = Graph("hist")
+    mem = ScratchpadMemory("mem")
+    counts = mem.region("counts", HIST_BUCKETS, 1, fill=0)
+    src = g.add(SourceTile("src", [(i % HIST_BUCKETS,)
+                                   for i in range(8 * HIST_BUCKETS)]))
+    spad = g.add(ScratchpadTile("spad", mem, [PortConfig(
+        mode="rmw", region=counts, addr=lambda r: r[0],
+        rmw=lambda old, r: (old + 1, old + 1),
+        combine=lambda r, res: None)]))
+    g.connect(src, spad, name="reqs")
+    return g, counts
+
+
+def _gather_graph():
+    """DRAM gather: src indices -> DramTile read -> sink."""
+    g = Graph("gather")
+    mem = DramMemory("dram", capacity_words=4096)
+    data = mem.region("data", 1024, 1, fill=0)
+    for i in range(1024):
+        data[i] = i * 3
+    src = g.add(SourceTile("src", [(i,) for i in range(0, 1024, 2)]))
+    dram = g.add(DramTile("dram_t", mem, [PortConfig(
+        mode="read", region=data, addr=lambda r: r[0],
+        combine=lambda r, v: (r[0], v))]))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, dram, name="reqs")
+    g.connect(dram, sink, name="resps")
+    return g, sink
+
+
+class TestFaultErrors:
+    def test_fault_errors_share_base(self):
+        for exc in (ChecksumError, StallError, BankFailureError):
+            assert issubclass(exc, FaultError)
+        assert issubclass(FaultError, ReproError)
+
+    def test_fault_error_fields(self):
+        err = ChecksumError("boom", kind=FaultKind.DROP_VECTOR.value,
+                            site="a", cycle=17, detail="d")
+        assert (err.kind, err.site, err.cycle, err.detail) == (
+            "drop_vector", "a", 17, "d")
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(streams=["a", "b"], tiles=["m"], spads=["spad"],
+                      drams=["dram_t"], n_faults=8)
+        one = random_schedule(99, **kwargs)
+        two = random_schedule(99, **kwargs)
+        assert [e.key() for e in one] == [e.key() for e in two]
+
+    def test_different_seed_different_schedule(self):
+        kwargs = dict(streams=["a", "b"], tiles=["m"], n_faults=8)
+        assert ([e.key() for e in random_schedule(1, **kwargs)]
+                != [e.key() for e in random_schedule(2, **kwargs)])
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            random_schedule(1)
+
+    def test_same_seed_same_outcome_across_two_runs(self):
+        def outcome():
+            g, sink = _map_graph()
+            inj = FaultInjector.random(
+                7, streams=["a"], tiles=["m"], n_faults=3, horizon=20)
+            try:
+                run_with_recovery(g, injector=inj, deadlock_window=2_000)
+                result = sorted(sink.records)
+            except FaultError as err:
+                result = (type(err).__name__, err.kind, err.site)
+            return inj.describe(), list(inj.log), result
+
+        assert outcome() == outcome()
+
+
+class TestCorruptionDetection:
+    def test_corruption_raises_checksum_error(self):
+        g, __ = _map_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.CORRUPT_RECORD, "a",
+                                        cycle=3)])
+        with pytest.raises(ChecksumError) as ei:
+            Engine(g, injector=inj).run()
+        assert ei.value.site == "a"
+        assert ei.value.kind == FaultKind.CORRUPT_RECORD.value
+
+    def test_drop_vector_raises_checksum_error(self):
+        g, __ = _map_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.DROP_VECTOR, "b",
+                                        cycle=5)])
+        with pytest.raises(ChecksumError) as ei:
+            Engine(g, injector=inj).run()
+        assert ei.value.site == "b"
+        assert ei.value.kind == FaultKind.DROP_VECTOR.value
+
+    def test_corruption_recovered_by_retry(self):
+        g, sink = _map_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.CORRUPT_RECORD, "a",
+                                        cycle=3)])
+        res = run_with_recovery(g, injector=inj)
+        assert res.recovered and res.attempts == 2
+        assert res.failures[0].kind == FaultKind.CORRUPT_RECORD.value
+        assert sorted(sink.records) == EXPECTED
+
+    def test_drop_recovered_by_retry(self):
+        g, sink = _map_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.DROP_VECTOR, "b",
+                                        cycle=5)])
+        res = run_with_recovery(g, injector=inj)
+        assert res.recovered
+        assert sorted(sink.records) == EXPECTED
+
+    def test_permanent_corruption_exhausts_retries(self):
+        g, __ = _map_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.CORRUPT_RECORD, "a",
+                                        cycle=3, once=False)])
+        with pytest.raises(ChecksumError):
+            run_with_recovery(g, injector=inj, retries=2)
+        assert inj.runs == 3           # initial run + 2 retries
+
+
+class TestStalls:
+    def test_transient_stall_absorbed(self):
+        g, sink = _map_graph()
+        clean = Engine(_map_graph()[0]).run()
+        inj = FaultInjector([FaultEvent(FaultKind.TILE_STALL, "m",
+                                        cycle=4, duration=40)])
+        stats = Engine(g, injector=inj).run()
+        assert sorted(sink.records) == EXPECTED
+        assert stats.cycles > clean.cycles
+
+    def test_permanent_stall_raises_typed_stall_error(self):
+        g, __ = _map_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.TILE_STALL, "m",
+                                        cycle=4, duration=None, once=False)])
+        with pytest.raises(StallError) as ei:
+            run_with_recovery(g, injector=inj, retries=1,
+                              deadlock_window=500)
+        assert ei.value.site == "m"
+        assert ei.value.kind == "tile_stall"
+        assert ei.value.cycle is not None
+
+
+class TestBankFailure:
+    def test_bank_failure_raises_typed_error(self):
+        g, __ = _hist_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.BANK_FAIL, "spad",
+                                        cycle=6, bank=3)])
+        with pytest.raises(BankFailureError) as ei:
+            Engine(g, injector=inj).run()
+        assert ei.value.site == "spad"
+        assert "bank=3" in ei.value.detail
+
+    def test_bank_failure_recovery_rolls_back_partial_rmws(self):
+        g, counts = _hist_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.BANK_FAIL, "spad",
+                                        cycle=6, bank=3)])
+        res = run_with_recovery(g, injector=inj)
+        assert res.recovered
+        # The failed attempt's partial increments must not leak through.
+        assert counts.snapshot() == [8] * HIST_BUCKETS
+
+
+class TestDramSpike:
+    def test_spike_is_absorbed_not_raised(self):
+        g, sink = _gather_graph()
+        base = Engine(g).run()
+        want = sorted(sink.records)
+        g2, sink2 = _gather_graph()
+        inj = FaultInjector([FaultEvent(FaultKind.DRAM_SPIKE, "dram_t",
+                                        cycle=10, duration=60, penalty=300)])
+        spiked = Engine(g2, injector=inj).run()
+        assert sorted(sink2.records) == want
+        assert spiked.cycles > base.cycles
+        assert inj.log and inj.log[0][2] == FaultKind.DRAM_SPIKE.value
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_sources_sinks_and_memory(self):
+        g, counts = _hist_graph()
+        cp = checkpoint(g)
+        Engine(g).run()
+        assert counts.snapshot() == [8] * HIST_BUCKETS
+        cp.restore()
+        assert counts.snapshot() == [0] * HIST_BUCKETS
+        assert not g.tile("src").done()
+        # A checkpoint is reusable: re-run and restore again.
+        Engine(g).run()
+        assert counts.snapshot() == [8] * HIST_BUCKETS
+        cp.restore()
+        assert counts.snapshot() == [0] * HIST_BUCKETS
+
+    def test_restore_preserves_object_identity(self):
+        g, counts = _hist_graph()
+        streams = list(g.streams)
+        cp = checkpoint(g)
+        Engine(g).run()
+        cp.restore()
+        assert g.streams == streams          # same Stream objects
+        assert g.tile("spad").ports[0].config.region is counts
+
+    def test_restored_graph_reruns_identically(self):
+        g, sink = _map_graph()
+        cp = checkpoint(g)
+        first = Engine(g).run()
+        records = sorted(sink.records)
+        cp.restore()
+        assert sink.records == []
+        second = Engine(g).run()
+        assert second.cycles == first.cycles
+        assert sorted(sink.records) == records
+
+
+class TestZeroCostWhenDisabled:
+    def test_cycle_counts_identical_with_and_without_empty_injector(self):
+        g1, __ = _map_graph()
+        g2, __ = _map_graph()
+        plain = Engine(g1).run()
+        armed = Engine(g2, injector=FaultInjector([])).run()
+        assert plain.cycles == armed.cycles
+
+    def test_streams_unmonitored_by_default(self):
+        g, __ = _map_graph()
+        Engine(g).run()
+        assert all(s.monitor is None for s in g.streams)
+        assert all(s.sent_sum == 0 and s.recv_sum == 0 for s in g.streams)
+
+
+class TestQueryRetry:
+    def test_backoff_schedule_deterministic_and_bounded(self):
+        policy = RetryPolicy(retries=5, base_delay=0.01, max_delay=0.2,
+                             multiplier=2.0, jitter=0.5, seed=11)
+        one, two = policy.delays(), policy.delays()
+        assert one == two
+        assert len(one) == 5
+        assert all(0.0 <= d <= 0.2 for d in one)
+        # Exponential envelope: each raw delay doubles until the cap.
+        assert one[2] > one[0]
+
+    def test_run_with_retry_recovers_and_logs(self):
+        ctx = ExecutionContext()
+        attempts = []
+
+        def flaky(sub):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ChecksumError("transient", kind="corrupt_record",
+                                    site="a", cycle=1)
+            sub.trace("scan", 10, 10)
+            return "ok"
+
+        out = ctx.run_with_retry(flaky, policy=RetryPolicy(retries=3, seed=5))
+        assert out == "ok"
+        assert len(attempts) == 3
+        assert len(ctx.retry_log) == 2
+        assert ctx.retry_log[0].kind == "corrupt_record"
+        assert ctx.retry_log[0].delay > 0.0
+        # Only the winning attempt's traces are merged.
+        assert [t.op for t in ctx.traces] == ["scan"]
+
+    def test_run_with_retry_exhaustion_reraises_typed(self):
+        ctx = ExecutionContext()
+
+        def broken(sub):
+            raise StallError("stuck", kind="tile_stall", site="m", cycle=9)
+
+        with pytest.raises(StallError):
+            ctx.run_with_retry(broken, policy=RetryPolicy(retries=2))
+        assert len(ctx.retry_log) == 3
+
+    def test_non_fault_errors_not_retried(self):
+        ctx = ExecutionContext()
+        calls = []
+
+        def buggy(sub):
+            calls.append(1)
+            raise ZeroDivisionError
+
+        with pytest.raises(ZeroDivisionError):
+            ctx.run_with_retry(buggy)
+        assert len(calls) == 1
+
+
+class TestStreamingDegradation:
+    @staticmethod
+    def _stream(policy=None):
+        from repro.db import Table
+        from repro.workloads.streaming import StreamingAnalytics
+        t = Table.from_columns("events", time=[], zone=[], value=[])
+        return StreamingAnalytics(t, "time", index_batch=16, policy=policy)
+
+    def test_no_policy_keeps_fail_stop_contract(self):
+        s = self._stream()
+        s.ingest([(10, 0, 1.0)])
+        with pytest.raises(ValueError):
+            s.ingest([(5, 0, 1.0)])
+
+    def test_bad_rows_skipped_and_logged(self):
+        s = self._stream(DegradePolicy())
+        s.ingest([(1, 0, 1.0), ("bad",), (2, 1, 2.0), (None, 0, 0.0)])
+        assert s.events_ingested == 2
+        report = s.health_report()
+        assert report["rows_bad"] == 2
+        assert report["status"] == "degraded"
+
+    def test_late_rows_requeued_within_staleness_bound(self):
+        s = self._stream(DegradePolicy(max_staleness=5))
+        s.ingest([(10, 0, 1.0), (7, 1, 2.0), (2, 2, 3.0)])
+        # t=7 is 3 late -> re-stamped to 10; t=2 is 8 late -> dropped.
+        assert s.events_ingested == 2
+        report = s.health_report()
+        assert report["rows_requeued"] == 1
+        assert report["rows_dropped"] == 1
+        assert s.window_rows(1) == 2       # both live rows sit at t=10
+
+    def test_failing_query_serves_stale_result(self):
+        from repro.db.operators import hash_group_by
+        s = self._stream(DegradePolicy(max_consecutive_failures=3))
+        s.ingest([(t, t % 2, float(t)) for t in range(20)])
+        fail = {"on": False}
+
+        def body(window, ctx):
+            if fail["on"]:
+                raise ChecksumError("poisoned window", kind="corrupt_record",
+                                    site="events", cycle=0)
+            return hash_group_by(window, ["zone"], {"n": ("count", None)}, ctx)
+
+        s.register("by_zone", 10, body)
+        good = s.evaluate("by_zone")
+        fail["on"] = True
+        stale = s.evaluate("by_zone")
+        assert stale is good               # last good result served
+        assert s.queries["by_zone"].stale
+        q = s.health_report()["queries"]["by_zone"]
+        assert q["failures"] == 1 and q["stale_served"] == 1
+        fail["on"] = False
+        fresh = s.evaluate("by_zone")
+        assert not s.queries["by_zone"].stale
+        assert len(fresh) == 2
+
+    def test_persistent_query_failure_finally_surfaces(self):
+        s = self._stream(DegradePolicy(max_consecutive_failures=2))
+        s.ingest([(t, 0, 0.0) for t in range(5)])
+
+        def body(window, ctx):
+            raise RuntimeError("always broken")
+
+        s.register("broken", 3, body)
+        s.evaluate("broken")               # 1st failure: empty stale result
+        s.evaluate("broken")               # 2nd failure: stale again
+        with pytest.raises(RuntimeError):
+            s.evaluate("broken")           # 3rd consecutive: surfaces
+        assert s.health_report()["queries"]["broken"]["failures"] == 3
+
+    def test_never_succeeded_query_serves_empty_window_shape(self):
+        s = self._stream(DegradePolicy())
+        s.ingest([(t, 0, 0.0) for t in range(5)])
+
+        def body(window, ctx):
+            raise RuntimeError("broken from birth")
+
+        s.register("b", 3, body)
+        out = s.evaluate("b")
+        assert len(out) == 0
+
+
+class TestRandomizedEndToEnd:
+    @pytest.mark.parametrize("seed", [3, 17, 42])
+    def test_every_fault_class_recovered_or_typed(self, seed):
+        g, sink = _map_graph()
+        inj = FaultInjector.random(seed, streams=["a", "b"], tiles=["m"],
+                                   n_faults=4, horizon=30)
+        try:
+            res = run_with_recovery(g, injector=inj, retries=4,
+                                    deadlock_window=2_000)
+            assert sorted(sink.records) == EXPECTED
+            assert res.attempts == len(res.failures) + 1
+        except FaultError as err:
+            assert err.kind and err.site   # typed, structured, acceptable

@@ -5,9 +5,11 @@ import pytest
 
 from repro.dataflow import (
     Engine,
+    FilterTile,
     Graph,
     LANES,
     MapTile,
+    MergeTile,
     SinkTile,
     SourceTile,
     run_graph,
@@ -125,6 +127,75 @@ class TestErrorPropagation:
         g.connect(src, sink)
         with pytest.raises(SimulationError):
             Engine(g, max_cycles=10).run()
+
+
+def _recirculating_graph(priority: bool):
+    """src feeds a merge->map->filter loop; records circulate 16 times.
+
+    With ``priority=False`` the loop-back edge into the merge is *not* the
+    priority input, which is exactly the mis-wiring §III-A warns about:
+    fresh threads starve the recirculating ones until every loop buffer is
+    full and the fabric wedges.
+    """
+    g = Graph("loop")
+    src = g.add(SourceTile("src", [(i, 0) for i in range(1024)]))
+    merge = g.add(MergeTile("merge"))
+    bump = g.add(MapTile("bump", lambda r: (r[0], r[1] + 1)))
+    filt = g.add(FilterTile("filt", lambda r: r[1] < 16))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, merge)
+    g.connect(merge, bump)
+    g.connect(bump, filt)
+    g.connect(filt, merge, producer_port=0, priority=priority)
+    g.connect(filt, sink, producer_port=1)
+    return g, sink
+
+
+class TestDeadlockDetection:
+    def test_cyclic_graph_without_priority_loopback_deadlocks(self):
+        g, __ = _recirculating_graph(priority=False)
+        with pytest.raises(SimulationError) as ei:
+            Engine(g, deadlock_window=2_000).run()
+        err = ei.value
+        assert err.kind == "deadlock"
+        assert err.graph == "loop"
+        assert err.cycle is not None and err.cycle > 0
+        assert "merge" in err.stuck_tiles
+        assert any("filt->merge" in s for s in err.stuck_streams)
+        # Streams must not be left open for reuse after the failure.
+        assert all(s.eos for s in g.streams)
+
+    def test_same_graph_with_priority_loopback_completes(self):
+        g, sink = _recirculating_graph(priority=True)
+        Engine(g, deadlock_window=2_000).run()
+        assert len(sink.records) == 1024
+        assert all(r[1] == 16 for r in sink.records)
+
+    def test_stuck_report_names_buffers_and_head_records(self):
+        g, __ = _recirculating_graph(priority=False)
+        with pytest.raises(SimulationError) as ei:
+            Engine(g, deadlock_window=2_000).run()
+        message = str(ei.value)
+        # Per-tile input occupancy like "merge[src->merge:2/2, ...]".
+        assert "merge[" in message and ":2/2" in message
+        # Head-of-line record summary for occupied streams.
+        assert "head=(" in message
+
+
+class TestOverrunDetection:
+    def test_overrun_carries_structured_fields(self):
+        g = Graph("tiny")
+        src = g.add(SourceTile("src", [(i,) for i in range(10_000)]))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, sink)
+        with pytest.raises(SimulationError) as ei:
+            Engine(g, max_cycles=10).run()
+        err = ei.value
+        assert err.kind == "overrun"
+        assert err.graph == "tiny"
+        assert err.cycle == 11
+        assert "src" in err.stuck_tiles   # source still has records to emit
+        assert all(s.eos for s in g.streams)
 
 
 class TestCostBreakdown:
