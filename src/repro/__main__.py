@@ -6,7 +6,9 @@ Commands:
 * ``experiments`` — regenerate every figure/table series (fast,
   model-based; the pytest benches add cycle-level runs and assertions);
 * ``queries`` — run Q1-Q9 at a chosen scale and print the fig. 14 table;
-* ``area`` — the fig. 10 area-overhead breakdown.
+* ``area`` — the fig. 10 area-overhead breakdown;
+* ``microbench`` — cycle-level microbenchmarks under either engine
+  scheduler, with optional per-tile-class tick profiling.
 """
 
 from __future__ import annotations
@@ -97,6 +99,31 @@ def cmd_queries(args) -> int:
     return 0
 
 
+def cmd_microbench(args) -> int:
+    import pathlib
+    import time
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                           .parents[2] / "benchmarks"))
+    import bench_pr2
+    from repro.dataflow import Engine
+    cases = dict(bench_pr2.CASES)
+    if args.case not in cases:
+        print(f"unknown case {args.case!r}; choose from: "
+              f"{', '.join(cases)}", file=sys.stderr)
+        return 2
+    graph = cases[args.case]()
+    engine = Engine(graph, scheduler=args.scheduler, profile=args.profile)
+    t0 = time.perf_counter()
+    stats = engine.run()
+    wall = time.perf_counter() - t0
+    print(f"{args.case}: {stats.cycles} simulated cycles in {_fmt(wall)} "
+          f"({args.scheduler} scheduler)")
+    if args.profile:
+        print()
+        print(engine.profile_report())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +141,16 @@ def main(argv=None) -> int:
     q.add_argument("--scale", type=float, default=1.0,
                    help="fraction of the default dataset size (speedups grow with scale as fixed overheads amortize)")
     q.set_defaults(fn=cmd_queries)
+    mb = sub.add_parser(
+        "microbench",
+        help="run one cycle-level microbench under a chosen scheduler")
+    mb.add_argument("--case", default="probe_sparse_32t",
+                    help="case name from benchmarks/bench_pr2.py")
+    mb.add_argument("--scheduler", choices=("event", "exhaustive"),
+                    default="event", help="engine scheduler to use")
+    mb.add_argument("--profile", action="store_true",
+                    help="report per-tile-class cumulative tick time")
+    mb.set_defaults(fn=cmd_microbench)
     args = parser.parse_args(argv)
     return args.fn(args)
 

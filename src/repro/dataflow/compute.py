@@ -78,6 +78,27 @@ class _PipelinedTile(Tile):
     def _has_room(self) -> bool:
         return all(p.has_room() for p in self._packers)
 
+    def _can_accept(self) -> bool:
+        """Room condition gating input consumption (ForkTile overrides)."""
+        return self._has_room()
+
+    def sched_poll(self, cycle: int) -> tuple:
+        inputs_waiting = False
+        for stream in self.inputs:
+            if stream.can_pop():
+                inputs_waiting = True
+                break
+        if inputs_waiting and self._can_accept():
+            return ("ready",)
+        for packer in self._packers:
+            if packer.pending and (packer.stream is None
+                                   or packer.stream.can_push()):
+                return ("ready",)       # a flush (or drop) can still emit
+        counter = "stall_cycles" if inputs_waiting else "idle_cycles"
+        if self._delay:
+            return ("timer", self._delay[0][0], counter)
+        return ("sleep", counter)
+
     def idle(self) -> bool:
         return not self._delay and all(p.empty() for p in self._packers)
 
@@ -170,10 +191,13 @@ class ForkTile(_PipelinedTile):
         self.fn = fn
         self._packers[0].spill_limit = max_pending
 
+    def _can_accept(self) -> bool:
+        # Forks amplify; require generous room before accepting input.
+        return self._packers[0].has_room(4 * LANES)
+
     def _process(self, cycle: int) -> bool:
         stream = self.inputs[0]
-        # Forks amplify; require generous room before accepting input.
-        if not stream.can_pop() or not self._packers[0].has_room(4 * LANES):
+        if not stream.can_pop() or not self._can_accept():
             return False
         vector = stream.pop()
         out: List[Record] = []

@@ -11,33 +11,78 @@ Tiles tick in reverse insertion order (consumers before producers) so a
 vector can traverse one tile per cycle without an artificial extra cycle of
 buffer-full backpressure; graphs are conventionally built source-first.
 
+Two schedulers implement that contract:
+
+* ``scheduler="event"`` (default) — an event-driven ready-set scheduler.
+  Streams notify their consumer on push/close and their producer on pop
+  (freed backpressure); tiles with internal pending state (packers, issue
+  queues, in-flight DRAM requests) self-schedule via per-tile wake timers.
+  Each cycle only the ready set ticks, and when the ready set is empty but
+  the fabric is not quiescent the engine *fast-forwards* directly to the
+  next timer expiry (a DRAM completion or injected-stall clearance) —
+  clamped to the deadlock-watchdog and max-cycles deadlines so errors fire
+  at exactly the cycle the exhaustive loop would raise them.
+
+* ``scheduler="exhaustive"`` — the original tick-everything loop, kept for
+  differential testing.
+
+Equivalence guarantee: a tile is only ever skipped while provably *inert*
+(its tick would change nothing but one idle/stall counter), skipped
+counter increments are settled in bulk via ``Tile.sched_skip`` before the
+tile's next real tick, and intra-cycle event ordering matches the tick
+order (an event raised by tile *i* wakes a downstream tile *j* in the same
+cycle iff *j* would have ticked after *i* anyway).  Simulated cycle counts
+and every ``SimStats`` field are bit-identical across the two schedulers —
+``tests/test_scheduler_equivalence.py`` pins this, fault injection
+included.
+
 Reliability hooks: an optional :class:`~repro.reliability.FaultInjector`
 may be passed to :class:`Engine`.  When present, it is armed on the graph
-before the run (stream checksums, scratchpad bank faults), consulted each
-cycle for injected tile stalls, and asked to verify end-to-end stream
-integrity after the drain.  With ``injector=None`` (the default) the main
-loop is byte-for-byte the fault-free path — cycle counts are unchanged.
+before the run (stream checksums, scratchpad bank faults), consulted for
+injected tile stalls before each tick, and asked to verify end-to-end
+stream integrity after the drain.  With ``injector=None`` (the default)
+the hot paths are byte-for-byte the fault-free ones — cycle counts are
+unchanged.  One documented divergence: for ``TILE_STALL`` events the
+per-cycle ``FaultEvent.fired`` tally differs (the event engine checks a
+suspended tile once per window, not once per cycle); the first firing —
+what the :attr:`FaultInjector.log` records — happens at the identical
+cycle under both schedulers.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import heapq
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError, StallError
 from repro.dataflow.graph import Graph
 from repro.dataflow.stats import SimStats
 from repro.dataflow.tile import SourceTile
 
+#: Event-scheduler tile states.
+_READY, _SLEEP, _SUSPENDED = 0, 1, 2
+
+#: Timer generation tag that never goes stale (injected stall-start wakes).
+_ANY_GEN = -1
+
 
 class Engine:
     """Runs one graph to quiescence and reports statistics."""
 
     def __init__(self, graph: Graph, max_cycles: int = 50_000_000,
-                 deadlock_window: int = 50_000, injector=None):
+                 deadlock_window: int = 50_000, injector=None,
+                 scheduler: str = "event", profile: bool = False):
+        if scheduler not in ("event", "exhaustive"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}: use 'event' or 'exhaustive'")
         self.graph = graph
         self.max_cycles = max_cycles
         self.deadlock_window = deadlock_window
         self.injector = injector
+        self.scheduler = scheduler
+        #: class name -> [tick calls, cumulative seconds]; None when off.
+        self.tick_profile: Optional[Dict[str, List]] = {} if profile else None
 
     def run(self) -> SimStats:
         """Simulate until quiescence; raise on deadlock or cycle overrun.
@@ -49,22 +94,33 @@ class Engine:
         inj = self.injector
         if inj is not None:
             inj.begin_run(self.graph)
+        if self.scheduler == "exhaustive":
+            return self._run_exhaustive(inj)
+        return self._run_event(inj)
+
+    # -- exhaustive scheduler ---------------------------------------------
+
+    def _run_exhaustive(self, inj) -> SimStats:
+        for stream in self.graph.streams:
+            stream.sched = None         # detach stale event-engine hooks
         tiles = list(reversed(self.graph.tiles))
+        prof = self.tick_profile
         cycle = 0
         last_progress = 0
         try:
             while True:
                 moved = False
-                if inj is None:
+                if inj is None and prof is None:
                     for tile in tiles:
                         if tile.tick(cycle):
                             moved = True
                 else:
-                    inj.now = cycle
+                    if inj is not None:
+                        inj.now = cycle
                     for tile in tiles:
-                        if inj.stalled(tile.name, cycle):
+                        if inj is not None and inj.stalled(tile.name, cycle):
                             continue
-                        if tile.tick(cycle):
+                        if self._tick(tile, cycle):
                             moved = True
                 cycle += 1
                 if moved:
@@ -72,32 +128,9 @@ class Engine:
                 elif self._quiescent():
                     break
                 elif cycle - last_progress > self.deadlock_window:
-                    stuck_tiles, stuck_streams = self._stuck_state()
-                    if inj is not None:
-                        site = inj.active_stall_site(cycle)
-                        if site is not None:
-                            raise StallError(
-                                f"tile {site!r} stalled past the "
-                                f"{self.deadlock_window}-cycle watchdog in "
-                                f"graph {self.graph.name!r} at cycle {cycle}",
-                                kind="tile_stall", site=site, cycle=cycle,
-                                detail=self._stuck_report(),
-                            )
-                    raise SimulationError(
-                        f"deadlock in graph {self.graph.name!r} at cycle "
-                        f"{cycle}: no progress for {self.deadlock_window} "
-                        f"cycles; {self._stuck_report()}",
-                        graph=self.graph.name, cycle=cycle, kind="deadlock",
-                        stuck_tiles=stuck_tiles, stuck_streams=stuck_streams,
-                    )
-                if cycle > self.max_cycles:
-                    stuck_tiles, stuck_streams = self._stuck_state()
-                    raise SimulationError(
-                        f"graph {self.graph.name!r} exceeded "
-                        f"{self.max_cycles} cycles",
-                        graph=self.graph.name, cycle=cycle, kind="overrun",
-                        stuck_tiles=stuck_tiles, stuck_streams=stuck_streams,
-                    )
+                    self._raise_deadlock(cycle, inj)
+                if cycle >= self.max_cycles:
+                    self._raise_overrun(cycle)
         finally:
             for stream in self.graph.streams:
                 stream.close()
@@ -105,7 +138,280 @@ class Engine:
             inj.verify_streams(self.graph, cycle)
         return self._collect(cycle)
 
-    # -- helpers ----------------------------------------------------------
+    # -- event-driven scheduler -------------------------------------------
+
+    def _run_event(self, inj) -> SimStats:
+        graph = self.graph
+        tiles = list(reversed(graph.tiles))
+        n = len(tiles)
+        self._ev_index = {id(t): i for i, t in enumerate(tiles)}
+        state = self._ev_state = [_READY] * n
+        gen = self._ev_gen = [0] * n
+        # While a tile sleeps: the first skipped cycle and which TileStats
+        # counter its inert ticks would have incremented.  Settlement is
+        # lazy — applied just before the next real tick, or at end of run.
+        sleep_start = [0] * n
+        sleep_counter: List[Optional[str]] = [None] * n
+        self._ev_sleep_start = sleep_start
+        self._ev_sleep_counter = sleep_counter
+        # This cycle's ready set as a min-heap of tile indices (tick order),
+        # the next cycle's as a list + membership flags, and wake timers as
+        # a heap of (cycle, generation, index) with stale-entry filtering.
+        heap = self._ev_heap = list(range(n))
+        in_now = self._ev_in_now = [True] * n
+        nxt: List[int] = []
+        in_next = self._ev_in_next = [False] * n
+        self._ev_next = nxt
+        timers: List[Tuple[int, int, int]] = []
+        self._ev_timers = timers
+        self._ev_in_round = False
+        self._ev_cur = -1
+        for stream in graph.streams:
+            stream.sched = self
+        if inj is not None:
+            name_index = {t.name: i for i, t in enumerate(tiles)}
+            for site, start in inj.stall_starts():
+                i = name_index.get(site)
+                if i is not None:
+                    heapq.heappush(timers, (start, _ANY_GEN, i))
+        prof = self.tick_profile
+        cycle = 0
+        last_progress = 0
+        try:
+            while True:
+                while timers and timers[0][0] <= cycle:
+                    __, g, i = heapq.heappop(timers)
+                    if ((g == _ANY_GEN or g == gen[i])
+                            and state[i] != _READY):
+                        state[i] = _READY
+                        if not in_now[i]:
+                            in_now[i] = True
+                            heapq.heappush(heap, i)
+                if heap:
+                    moved = False
+                    if inj is not None:
+                        inj.now = cycle
+                    self._ev_in_round = True
+                    while heap:
+                        i = heapq.heappop(heap)
+                        if not in_now[i]:
+                            continue
+                        in_now[i] = False
+                        tile = tiles[i]
+                        if inj is not None and inj.stalled(tile.name, cycle):
+                            # Suspend with zero credit: the exhaustive loop
+                            # skips a stalled tile without counters.
+                            self._ev_settle(i, tile, cycle)
+                            state[i] = _SUSPENDED
+                            gen[i] += 1
+                            clear = inj.stall_clear_cycle(tile.name, cycle)
+                            if clear is not None:
+                                heapq.heappush(timers, (clear, gen[i], i))
+                            continue
+                        self._ev_settle(i, tile, cycle)
+                        self._ev_cur = i
+                        if prof is None:
+                            ticked = tile.tick(cycle)
+                        else:
+                            ticked = self._tick(tile, cycle)
+                        if ticked:
+                            moved = True
+                            # A tile that moved stays ready; it polls after
+                            # its next (possibly inert) tick instead.
+                            if not in_next[i]:
+                                in_next[i] = True
+                                nxt.append(i)
+                        elif not in_next[i]:
+                            self._ev_apply_poll(i, tile, cycle)
+                    self._ev_in_round = False
+                    self._ev_cur = -1
+                    for i in nxt:
+                        if in_next[i]:
+                            in_next[i] = False
+                            state[i] = _READY
+                            if not in_now[i]:
+                                in_now[i] = True
+                                heapq.heappush(heap, i)
+                    del nxt[:]
+                    cycle += 1
+                    if moved:
+                        last_progress = cycle
+                    elif self._quiescent():
+                        break
+                    elif cycle - last_progress > self.deadlock_window:
+                        self._raise_deadlock(cycle, inj)
+                    if cycle >= self.max_cycles:
+                        self._raise_overrun(cycle)
+                else:
+                    # Empty ready set: every tile is inert, so no state can
+                    # change until a timer fires.  Check quiescence once,
+                    # then fast-forward — clamped to the deadlock and
+                    # overrun deadlines so errors raise at the exhaustive
+                    # loop's exact cycle.
+                    cycle += 1
+                    if self._quiescent():
+                        break
+                    deadlock_at = last_progress + self.deadlock_window + 1
+                    wake_at = self._ev_next_timer()
+                    bound = min(deadlock_at, self.max_cycles)
+                    if wake_at is None or bound <= wake_at:
+                        cycle = bound
+                        if deadlock_at <= self.max_cycles:
+                            self._raise_deadlock(cycle, inj)
+                        self._raise_overrun(cycle)
+                    cycle = wake_at
+        finally:
+            for stream in graph.streams:
+                stream.sched = None
+                stream.close()
+        # Tiles still asleep at quiescence owe their skipped counters.
+        for i, counter in enumerate(sleep_counter):
+            if counter is not None:
+                skipped = cycle - sleep_start[i]
+                if skipped > 0:
+                    tiles[i].sched_skip(skipped, counter)
+                sleep_counter[i] = None
+        if inj is not None:
+            inj.verify_streams(graph, cycle)
+        return self._collect(cycle)
+
+    def _ev_settle(self, i: int, tile, cycle: int) -> None:
+        """Credit a waking tile with its skipped inert ticks."""
+        counter = self._ev_sleep_counter[i]
+        if counter is not None:
+            skipped = cycle - self._ev_sleep_start[i]
+            if skipped > 0:
+                tile.sched_skip(skipped, counter)
+            self._ev_sleep_counter[i] = None
+
+    def _ev_apply_poll(self, i: int, tile, cycle: int) -> None:
+        poll = tile.sched_poll(cycle)
+        kind = poll[0]
+        if kind == "sleep":
+            self._ev_state[i] = _SLEEP
+            self._ev_gen[i] += 1
+            self._ev_sleep_start[i] = cycle + 1
+            self._ev_sleep_counter[i] = poll[1]
+            return
+        if kind == "timer":
+            wake = poll[1]
+            if wake > cycle:
+                self._ev_state[i] = _SLEEP
+                g = self._ev_gen[i] = self._ev_gen[i] + 1
+                self._ev_sleep_start[i] = cycle + 1
+                self._ev_sleep_counter[i] = poll[2]
+                heapq.heappush(self._ev_timers, (wake, g, i))
+                return
+            # An already-due timer means the tile is simply ready.
+        if not self._ev_in_next[i]:
+            self._ev_in_next[i] = True
+            self._ev_next.append(i)
+
+    def _ev_next_timer(self) -> Optional[int]:
+        """Earliest live timer cycle, discarding stale entries."""
+        timers = self._ev_timers
+        gen = self._ev_gen
+        while timers:
+            wake, g, i = timers[0]
+            if g == _ANY_GEN or g == gen[i]:
+                return wake
+            heapq.heappop(timers)
+        return None
+
+    # -- event-scheduler stream hooks (called by Stream) -------------------
+
+    def _stream_push(self, stream) -> None:
+        if stream.consumer is not None:
+            self._ev_wake(stream.consumer)
+
+    def _stream_pop(self, stream) -> None:
+        if stream.producer is not None:
+            self._ev_wake(stream.producer)
+
+    def _stream_close(self, stream) -> None:
+        if stream.consumer is not None:
+            self._ev_wake(stream.consumer)
+
+    def _ev_wake(self, tile) -> None:
+        i = self._ev_index.get(id(tile))
+        if i is None:
+            return
+        if self._ev_state[i] != _SLEEP:
+            # Ready tiles are already scheduled; suspended tiles resume
+            # only via their stall-clear timer (events must not cut an
+            # injected stall short).
+            return
+        self._ev_state[i] = _READY
+        self._ev_gen[i] += 1            # invalidate any pending timer
+        if self._ev_in_round and i > self._ev_cur:
+            # The waking event came from an earlier tile in this cycle's
+            # tick order, so the exhaustive loop would have let this tile
+            # observe it within the same cycle.
+            if not self._ev_in_now[i]:
+                self._ev_in_now[i] = True
+                heapq.heappush(self._ev_heap, i)
+        elif not self._ev_in_next[i]:
+            self._ev_in_next[i] = True
+            self._ev_next.append(i)
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _tick(self, tile, cycle: int) -> bool:
+        """Tick with per-tile-class wall-clock accounting (``--profile``)."""
+        prof = self.tick_profile
+        if prof is None:
+            return tile.tick(cycle)
+        t0 = perf_counter()
+        moved = tile.tick(cycle)
+        elapsed = perf_counter() - t0
+        entry = prof.get(type(tile).__name__)
+        if entry is None:
+            entry = prof[type(tile).__name__] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += elapsed
+        return moved
+
+    def profile_report(self) -> str:
+        """Per-tile-class cumulative tick time, heaviest first."""
+        if not self.tick_profile:
+            return "no profile collected (pass profile=True to Engine)"
+        lines = [f"{'tile class':>20} {'ticks':>12} {'seconds':>10} {'%':>6}"]
+        total = sum(sec for __, sec in self.tick_profile.values()) or 1.0
+        ranked = sorted(self.tick_profile.items(),
+                        key=lambda kv: kv[1][1], reverse=True)
+        for name, (calls, seconds) in ranked:
+            lines.append(f"{name:>20} {calls:>12} {seconds:>10.4f} "
+                         f"{100.0 * seconds / total:>5.1f}%")
+        return "\n".join(lines)
+
+    def _raise_deadlock(self, cycle: int, inj) -> None:
+        stuck_tiles, stuck_streams = self._stuck_state()
+        if inj is not None:
+            site = inj.active_stall_site(cycle)
+            if site is not None:
+                raise StallError(
+                    f"tile {site!r} stalled past the "
+                    f"{self.deadlock_window}-cycle watchdog in "
+                    f"graph {self.graph.name!r} at cycle {cycle}",
+                    kind="tile_stall", site=site, cycle=cycle,
+                    detail=self._stuck_report(),
+                )
+        raise SimulationError(
+            f"deadlock in graph {self.graph.name!r} at cycle "
+            f"{cycle}: no progress for {self.deadlock_window} "
+            f"cycles; {self._stuck_report()}",
+            graph=self.graph.name, cycle=cycle, kind="deadlock",
+            stuck_tiles=stuck_tiles, stuck_streams=stuck_streams,
+        )
+
+    def _raise_overrun(self, cycle: int) -> None:
+        stuck_tiles, stuck_streams = self._stuck_state()
+        raise SimulationError(
+            f"graph {self.graph.name!r} exceeded "
+            f"{self.max_cycles} cycles",
+            graph=self.graph.name, cycle=cycle, kind="overrun",
+            stuck_tiles=stuck_tiles, stuck_streams=stuck_streams,
+        )
 
     def _quiescent(self) -> bool:
         for tile in self.graph.tiles:
@@ -171,6 +477,8 @@ class Engine:
 
 
 def run_graph(graph: Graph, max_cycles: int = 50_000_000,
-              deadlock_window: int = 50_000, injector=None) -> SimStats:
+              deadlock_window: int = 50_000, injector=None,
+              scheduler: str = "event") -> SimStats:
     """Convenience wrapper: build an :class:`Engine` and run ``graph``."""
-    return Engine(graph, max_cycles, deadlock_window, injector=injector).run()
+    return Engine(graph, max_cycles, deadlock_window, injector=injector,
+                  scheduler=scheduler).run()

@@ -81,6 +81,25 @@ class SortedMergeTile(Tile):
     def idle(self) -> bool:
         return not any(self._heads) and self._packer.empty()
 
+    def sched_poll(self, cycle: int) -> tuple:
+        in0, in1 = self.inputs
+        if self._packer.has_room(1):
+            # A tick would stage input into the head buffers (a pop, which
+            # frees upstream backpressure) even if ordering blocks a merge.
+            if ((not self._heads[0] and in0.can_pop())
+                    or (not self._heads[1] and in1.can_pop())):
+                return ("ready",)
+            avail0, avail1 = bool(self._heads[0]), bool(self._heads[1])
+            done0 = not avail0 and in0.closed()
+            done1 = not avail1 and in1.closed()
+            if (avail0 and (avail1 or done1)) or (avail1 and done0):
+                return ("ready",)       # the comparator can emit
+        packer = self._packer
+        if packer.pending and (packer.stream is None
+                               or packer.stream.can_push()):
+            return ("ready",)
+        return ("sleep", "idle_cycles")
+
 
 def merge_sort_graph(name: str, runs: Sequence[Sequence[Record]],
                      key: Callable[[Record], object]) -> Graph:

@@ -19,7 +19,7 @@ from typing import Dict
 from repro.dataflow.record import LANES
 
 
-@dataclass
+@dataclass(slots=True)
 class TileStats:
     """Per-tile activity counters accumulated by the cycle engine."""
 
@@ -49,7 +49,7 @@ class TileStats:
         return self.busy_cycles / total if total else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ScratchpadStats:
     """Counters specific to the sparse reordering pipeline (§III-B)."""
 
@@ -73,7 +73,7 @@ class ScratchpadStats:
         return self.grants / self.active_cycles if self.active_cycles else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class DramStats:
     """DRAM channel activity."""
 
@@ -88,7 +88,7 @@ class DramStats:
         return self.read_bytes + self.write_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Whole-simulation roll-up returned by the cycle engine."""
 

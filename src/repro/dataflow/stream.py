@@ -46,7 +46,7 @@ class Stream:
 
     __slots__ = ("name", "capacity", "_fifo", "eos", "pushed_vectors",
                  "pushed_records", "producer", "consumer", "monitor",
-                 "sent_sum", "recv_sum")
+                 "sched", "sent_sum", "recv_sum")
 
     def __init__(self, name: str = "", capacity: int = DEFAULT_CAPACITY):
         self.name = name
@@ -62,6 +62,11 @@ class Stream:
         # checksums and the monitor may corrupt or drop vectors in transit.
         # With monitor=None (the default) push/pop pay one is-None test.
         self.monitor = None
+        # Scheduling hook: the event-driven engine sets itself here and is
+        # notified on push (wake the consumer), pop (freed backpressure
+        # wakes the producer), and the EOS transition (wake the consumer).
+        # The exhaustive engine leaves it None: one is-None test per op.
+        self.sched = None
         self.sent_sum = 0
         self.recv_sum = 0
 
@@ -86,10 +91,15 @@ class Stream:
             if vector is None:          # vector lost in transit
                 return
         self._fifo.append(vector)
+        if self.sched is not None:
+            self.sched._stream_push(self)
 
     def close(self) -> None:
         """Signal end of stream.  Idempotent."""
-        self.eos = True
+        if not self.eos:
+            self.eos = True
+            if self.sched is not None:
+                self.sched._stream_close(self)
 
     # -- consumer side -----------------------------------------------------
 
@@ -106,6 +116,8 @@ class Stream:
         vector = self._fifo.popleft()
         if self.monitor is not None:
             self.recv_sum = _mix(self.recv_sum, vector)
+        if self.sched is not None:
+            self.sched._stream_pop(self)
         return vector
 
     # -- reliability -------------------------------------------------------

@@ -84,6 +84,30 @@ class Tile:
     Subclasses implement :meth:`tick`, called once per simulated cycle, and
     :meth:`idle`, which reports whether the tile holds any in-flight state
     (used for quiescence detection and EOS propagation).
+
+    Tiles deliberately do **not** define ``__slots__``: tests (and debugging
+    sessions) monkeypatch instance-level ``tick``/``idle`` to wedge a tile,
+    which needs a ``__dict__``.  The hot per-cycle objects (streams, packers,
+    requests, issue queues, stats) are all slotted instead.
+
+    Event-scheduler protocol (used by ``Engine(scheduler="event")``): after
+    a tick that moved nothing, the engine calls :meth:`sched_poll`, which
+    returns one of
+
+    * ``("ready",)`` — the next tick may do work; keep ticking every cycle;
+    * ``("sleep", counter)`` — every future tick is *inert* (its only effect
+      would be ``stats.<counter> += 1``) until one of this tile's streams is
+      pushed, popped, or closed;
+    * ``("timer", wake_cycle, counter)`` — inert like ``sleep``, but
+      internal state (a latency delay line) independently needs a tick at
+      ``wake_cycle``.
+
+    While a tile sleeps the engine skips its ticks entirely and later calls
+    :meth:`sched_skip` to apply the skipped ticks' counter increments in
+    one step, keeping ``SimStats`` bit-identical to the exhaustive engine.
+    The base implementation of :meth:`sched_poll` returns ``("ready",)``:
+    a subclass that doesn't opt in is simply ticked every cycle, which is
+    always equivalent.
     """
 
     def __init__(self, name: str):
@@ -123,6 +147,19 @@ class Tile:
         """Propagate EOS: close outputs once inputs are done and we drained."""
         if self.inputs_closed() and self.idle():
             self.close_outputs()
+
+    # -- event-scheduler protocol -----------------------------------------
+
+    def sched_poll(self, cycle: int) -> tuple:
+        """Classify the tile's next tick for the event scheduler.
+
+        Conservative default: always ready (tick every cycle).
+        """
+        return ("ready",)
+
+    def sched_skip(self, n: int, counter: str) -> None:
+        """Apply the effects of ``n`` skipped inert ticks in one step."""
+        setattr(self.stats, counter, getattr(self.stats, counter) + n)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
@@ -168,6 +205,16 @@ class SourceTile(Tile):
     def done(self) -> bool:
         return self.idle()
 
+    def sched_poll(self, cycle: int) -> tuple:
+        out = self.outputs[0]
+        if self._pos >= len(self._records):
+            if not out.eos:
+                return ("ready",)       # next tick issues the close
+            return ("sleep", "idle_cycles")
+        if not out.can_push():
+            return ("sleep", "stall_cycles")   # woken when the output drains
+        return ("ready",)
+
 
 class SinkTile(Tile):
     """Collects a stream's records off the fabric (e.g. a DRAM write-back)."""
@@ -195,3 +242,11 @@ class SinkTile(Tile):
 
     def idle(self) -> bool:
         return True
+
+    def sched_poll(self, cycle: int) -> tuple:
+        for stream in self.inputs:
+            if stream.can_pop():
+                return ("ready",)
+        if self.completion_cycle is None and self.inputs_closed():
+            return ("ready",)           # next tick records completion
+        return ("sleep", "idle_cycles")

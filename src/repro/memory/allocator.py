@@ -23,6 +23,8 @@ from repro.memory.issue_queue import IssueQueue, Request
 class Allocator:
     """Greedy rotating-priority matcher between lanes and banks."""
 
+    __slots__ = ("n_banks", "_rotor")
+
     def __init__(self, n_banks: int):
         self.n_banks = n_banks
         self._rotor = 0  # rotating lane priority for fairness
@@ -59,3 +61,14 @@ class Allocator:
                 granted_this_lane = True
         self._rotor = (self._rotor + 1) % max(1, n_lanes)
         return grants, conflicts, considered
+
+    def skip(self, calls: int, n_lanes: int) -> None:
+        """Advance the rotor as ``calls`` empty :meth:`allocate` rounds would.
+
+        The event-driven engine uses this when it skips a memory tile's
+        idle cycles: the rotor advances on *every* allocate call, even with
+        empty queues, so skipped cycles must be replayed or future grant
+        ordering (and the conflict statistics derived from it) would drift
+        from the exhaustive engine's.
+        """
+        self._rotor = (self._rotor + calls) % max(1, n_lanes)

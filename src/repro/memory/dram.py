@@ -44,7 +44,15 @@ class DramMemory(ScratchpadMemory):
 
 
 class DramTile(ScratchpadTile):
-    """A DRAM interface tile: scratchpad scheduling, DRAM timing and stats."""
+    """A DRAM interface tile: scratchpad scheduling, DRAM timing and stats.
+
+    Event-scheduling note: the inherited ``sched_poll`` sleeps on a timer at
+    ``_delay[0][0]`` while responses are in flight.  That is exact even
+    though injected latency spikes can make the delay line non-monotonic,
+    because ``_retire`` is head-blocking — nothing behind the head retires
+    before the head does, so the head's ready cycle is the earliest cycle
+    the next tick could do anything.
+    """
 
     def __init__(self, name: str, memory: DramMemory,
                  ports: List[PortConfig],

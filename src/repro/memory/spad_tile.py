@@ -34,7 +34,7 @@ from repro.memory.scratchpad import BANKS, Region, ScratchpadMemory
 SPAD_LATENCY = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class PortConfig:
     """Configuration of one scratchpad stream.
 
@@ -241,3 +241,28 @@ class ScratchpadTile(Tile):
         return (not self._delay
                 and all(p.queues_empty() and p.packer.empty()
                         for p in self.ports))
+
+    def sched_poll(self, cycle: int) -> tuple:
+        for port in self.ports:
+            stream = port.input
+            if stream is not None and stream.can_pop():
+                return ("ready",)       # enqueue, or a queue-full stall count
+            if not port.queues_empty():
+                return ("ready",)       # pending bids for the allocator
+            packer = port.packer
+            if packer.pending and (packer.stream is None
+                                   or packer.stream.can_push()):
+                return ("ready",)       # a response flush can still emit
+        if self._delay:
+            return ("timer", self._delay[0][0], "idle_cycles")
+        return ("sleep", "idle_cycles")
+
+    def sched_skip(self, n: int, counter: str) -> None:
+        super().sched_skip(n, counter)
+        # What n inert ticks would also have done: one (empty) allocator
+        # round per port still advances the rotating lane priority, and any
+        # grant-free cycle clears the RMW forwarding history.  Replaying
+        # both keeps future grant order — and therefore bank conflicts and
+        # rmw_forwards — bit-identical to the exhaustive engine.
+        self._alloc.skip(n * len(self.ports), LANES)
+        self._last_rmw = ()

@@ -36,7 +36,7 @@ class FaultKind(str, Enum):
 STREAM_KINDS = (FaultKind.CORRUPT_RECORD, FaultKind.DROP_VECTOR)
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultEvent:
     """One scheduled fault.
 

@@ -174,6 +174,38 @@ class FaultInjector:
             active = True
         return active
 
+    def stall_starts(self) -> List[Tuple[str, int]]:
+        """``(site, first_cycle)`` for every scheduled tile stall.
+
+        The event-driven engine pre-arms a wake timer at each start cycle so
+        a tile that happens to be asleep when its stall window opens still
+        suspends at exactly the cycle the exhaustive engine would start
+        skipping it (first firing is logged at the same cycle either way).
+        """
+        return [(site, ev.cycle)
+                for site, events in self._stall_events.items()
+                for ev in events]
+
+    def stall_clear_cycle(self, tile_name: str, cycle: int) -> Optional[int]:
+        """First cycle at which no stall active on ``tile_name`` at
+        ``cycle`` is still in its window, or None for an indefinite stall.
+
+        Only meaningful right after :meth:`stalled` returned True; the
+        event-driven engine uses it to suspend the tile until the window
+        closes instead of re-checking every cycle.
+        """
+        events = self._stall_events.get(tile_name, ())
+        latest = cycle
+        for ev in events:
+            if ev.consumed or cycle < ev.cycle:
+                continue
+            if ev.duration is None:
+                return None
+            end = ev.cycle + ev.duration
+            if end > latest:
+                latest = end
+        return latest if latest > cycle else cycle + 1
+
     def active_stall_site(self, cycle: int) -> Optional[str]:
         """The stalled tile blamed when the watchdog trips, if any."""
         for site, events in sorted(self._stall_events.items()):

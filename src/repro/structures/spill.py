@@ -96,6 +96,23 @@ class SpillTile(Tile):
         return (not self._onchip and not self._dram
                 and self._packer.empty())
 
+    def sched_poll(self, cycle: int) -> tuple:
+        stream = self.inputs[0] if self.inputs else None
+        if stream is not None and stream.can_pop():
+            return ("ready",)
+        if self._onchip and self._packer.has_room(1):
+            return ("ready",)           # on-chip records can move to the packer
+        packer = self._packer
+        if packer.pending and (packer.stream is None
+                               or packer.stream.can_push()):
+            return ("ready",)
+        if self._dram and len(self._onchip) < self.on_chip_capacity:
+            head = self._dram[0][0]
+            if head <= cycle:
+                return ("ready",)       # an overdue retire is movement
+            return ("timer", head, "idle_cycles")
+        return ("sleep", "idle_cycles")
+
 
 def split_window(query: Rect, n_streams: int) -> List[Rect]:
     """Split a window query into ``n_streams`` disjoint sub-rectangles.

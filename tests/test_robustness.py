@@ -193,7 +193,9 @@ class TestOverrunDetection:
         err = ei.value
         assert err.kind == "overrun"
         assert err.graph == "tiny"
-        assert err.cycle == 11
+        # The budget is exact: exactly max_cycles tick rounds run, and the
+        # error reports the first cycle past the budget.
+        assert err.cycle == 10
         assert "src" in err.stuck_tiles   # source still has records to emit
         assert all(s.eos for s in g.streams)
 

@@ -1,0 +1,258 @@
+"""Golden equivalence suite: event-driven vs exhaustive scheduler.
+
+The event-driven ready-set scheduler (``Engine(scheduler="event")``) is a
+wall-clock optimisation of the simulator, not a model change: simulated
+cycle counts and every ``SimStats`` field must be **bit-identical** to the
+exhaustive tick-everything loop on every graph shape — cyclic, divergent,
+DRAM-bound, memory-pipeline, and with a ``FaultInjector`` armed.
+
+Each factory builds a *fresh* graph (and, where applicable, a fresh
+injector with an identical schedule) per run so the two schedulers never
+share mutable state.
+"""
+
+import pytest
+
+from repro.dataflow import (
+    Engine,
+    FilterTile,
+    ForkTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.dataflow.mergesort import merge_sort_graph
+from repro.errors import SimulationError, StallError
+from repro.memory import DramMemory, ScratchpadMemory
+from repro.memory.dram import DramTile
+from repro.memory.spad_tile import PortConfig, ScratchpadTile
+from repro.reliability import FaultEvent, FaultInjector, FaultKind
+from repro.structures.spill import SpillTile
+
+
+def _countdown_graph():
+    """The canonical while-loop dataflow of fig. 5a: decrement until 0."""
+    g = Graph("loop")
+    src = g.add(SourceTile("src", [(i, i % 9) for i in range(200)]))
+    merge = g.add(MergeTile("merge"))
+    cond = g.add(FilterTile("cond", lambda r: r[1] <= 0))
+    dec = g.add(MapTile("dec", lambda r: (r[0], r[1] - 1)))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, merge)
+    g.connect(merge, cond)
+    g.connect(cond, sink, producer_port=0)
+    g.connect(cond, dec, producer_port=1)
+    g.connect(dec, merge, priority=True)
+    return g
+
+
+def _divergent_fork_graph():
+    """Fork-amplified divergence through a spill queue (tree-walk shape)."""
+    g = Graph("fork")
+    src = g.add(SourceTile("src", [(i,) for i in range(64)], rate=4))
+    fork = g.add(ForkTile(
+        "fork", lambda r: [(r[0], j) for j in range(r[0] % 5)]))
+    spill = g.add(SpillTile("spill", on_chip_capacity=16))
+    keep = g.add(FilterTile("keep", lambda r: (r[0] + r[1]) % 3 != 0))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, fork)
+    g.connect(fork, spill)
+    g.connect(spill, keep)
+    g.connect(keep, sink, producer_port=0)
+    keep.drop_output(1)
+    return g
+
+
+def _dram_gather_graph(rate=16):
+    """DRAM gather; a throttled source leaves the fabric latency-bound."""
+    g = Graph("gather")
+    mem = DramMemory("dram", capacity_words=4096)
+    data = mem.region("data", 1024, 1, fill=0)
+    for i in range(1024):
+        data[i] = i * 3
+    src = g.add(SourceTile("src", [((i * 37) % 1024,) for i in range(256)],
+                           rate=rate))
+    dram = g.add(DramTile("dram_t", mem, [PortConfig(
+        mode="read", region=data, addr=lambda r: r[0],
+        combine=lambda r, v: (r[0], v))]))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, dram, name="reqs")
+    g.connect(dram, sink, name="resps")
+    return g
+
+
+def _hist_graph():
+    """Scratchpad RMW histogram (bank conflicts + rmw forwarding)."""
+    g = Graph("hist")
+    mem = ScratchpadMemory("mem")
+    counts = mem.region("counts", 64, 1, fill=0)
+    src = g.add(SourceTile("src", [(i % 64,) for i in range(512)]))
+    g.add(ScratchpadTile("spad", mem, [PortConfig(
+        mode="rmw", region=counts, addr=lambda r: r[0],
+        rmw=lambda old, r: (old + 1, old + 1),
+        combine=lambda r, res: None)]))
+    g.connect(g.tile("src"), g.tile("spad"), name="reqs")
+    return g
+
+
+def _mergesort_graph():
+    runs = [sorted((i * 7 + k) % 100 for i in range(40))
+            for k in range(4)]
+    return merge_sort_graph("msort", [[(v,) for v in run] for run in runs],
+                            key=lambda r: r[0])
+
+
+def _stall_injector():
+    return FaultInjector([
+        FaultEvent(FaultKind.TILE_STALL, "m", cycle=4, duration=13),
+        FaultEvent(FaultKind.TILE_STALL, "sink", cycle=30, duration=7),
+    ])
+
+
+def _stalled_map_graph():
+    g = Graph("g")
+    src = g.add(SourceTile("src", [(i,) for i in range(256)]))
+    m = g.add(MapTile("m", lambda r: (r[0] * 2,)))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, m, name="a")
+    g.connect(m, sink, name="b")
+    return g
+
+
+def _spiked_injector():
+    return FaultInjector([
+        FaultEvent(FaultKind.DRAM_SPIKE, "dram_t", cycle=10, duration=40,
+                   penalty=120),
+        FaultEvent(FaultKind.TILE_STALL, "sink", cycle=120, duration=60),
+    ])
+
+
+CASES = [
+    ("cyclic_countdown", _countdown_graph, None),
+    ("divergent_fork_spill", _divergent_fork_graph, None),
+    ("dram_gather", _dram_gather_graph, None),
+    ("dram_gather_throttled", lambda: _dram_gather_graph(rate=1), None),
+    ("spad_histogram", _hist_graph, None),
+    ("mergesort_tree", _mergesort_graph, None),
+    ("fault_stalls", _stalled_map_graph, _stall_injector),
+    ("fault_dram_spike", lambda: _dram_gather_graph(rate=2),
+     _spiked_injector),
+]
+
+
+def _run(factory, injector_factory, scheduler):
+    inj = injector_factory() if injector_factory else None
+    engine = Engine(factory(), injector=inj, scheduler=scheduler)
+    return engine.run(), inj
+
+
+@pytest.mark.parametrize("name,factory,injector_factory",
+                         CASES, ids=[c[0] for c in CASES])
+def test_simstats_bit_identical(name, factory, injector_factory):
+    golden, golden_inj = _run(factory, injector_factory, "exhaustive")
+    event, event_inj = _run(factory, injector_factory, "event")
+    assert event.cycles == golden.cycles
+    assert event.tiles == golden.tiles
+    assert event.scratchpads == golden.scratchpads
+    assert event.dram == golden.dram
+    assert event == golden          # full dataclass equality, belt-and-braces
+    if golden_inj is not None:
+        # First firings (what the log records) land at identical cycles.
+        assert event_inj.log == golden_inj.log
+
+
+@pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
+def test_results_identical_across_schedulers(scheduler):
+    g = _countdown_graph()
+    Engine(g, scheduler=scheduler).run()
+    sink = g.tile("sink")
+    assert sorted(sink.records) == sorted((i, 0) for i in range(200))
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        Engine(_countdown_graph(), scheduler="speculative")
+
+
+class TestErrorPathEquivalence:
+    def _wedged(self):
+        """A mis-wired loop that genuinely deadlocks."""
+        g = Graph("loop")
+        src = g.add(SourceTile("src", [(i, 0) for i in range(1024)]))
+        merge = g.add(MergeTile("merge"))
+        bump = g.add(MapTile("bump", lambda r: (r[0], r[1] + 1)))
+        filt = g.add(FilterTile("filt", lambda r: r[1] < 16))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, merge)
+        g.connect(merge, bump)
+        g.connect(bump, filt)
+        g.connect(filt, merge, producer_port=0, priority=False)
+        g.connect(filt, sink, producer_port=1)
+        return g
+
+    def test_deadlock_raises_at_same_cycle_with_same_report(self):
+        errors = {}
+        for scheduler in ("exhaustive", "event"):
+            with pytest.raises(SimulationError) as ei:
+                Engine(self._wedged(), deadlock_window=2_000,
+                       scheduler=scheduler).run()
+            errors[scheduler] = ei.value
+        assert errors["event"].cycle == errors["exhaustive"].cycle
+        assert str(errors["event"]) == str(errors["exhaustive"])
+        assert (errors["event"].stuck_tiles
+                == errors["exhaustive"].stuck_tiles)
+
+    def test_indefinite_stall_raises_stallerror_in_both(self):
+        errors = {}
+        for scheduler in ("exhaustive", "event"):
+            inj = FaultInjector([FaultEvent(
+                FaultKind.TILE_STALL, "m", cycle=5, duration=None)])
+            with pytest.raises(StallError) as ei:
+                Engine(_stalled_map_graph(), deadlock_window=500,
+                       injector=inj, scheduler=scheduler).run()
+            assert ei.value.site == "m"
+            errors[scheduler] = ei.value
+        assert errors["event"].cycle == errors["exhaustive"].cycle
+        assert str(errors["event"]) == str(errors["exhaustive"])
+
+
+class TestOverrunSemantics:
+    """Pins the fixed overrun check: exactly ``max_cycles`` rounds run."""
+
+    def _endless(self):
+        g = Graph("tiny")
+        src = g.add(SourceTile("src", [(i,) for i in range(10_000)]))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, sink)
+        return g, src
+
+    def test_exactly_max_cycles_tick_rounds(self):
+        g, src = self._endless()
+        seen = []
+        orig = src.tick
+        src.tick = lambda cycle: (seen.append(cycle), orig(cycle))[1]
+        with pytest.raises(SimulationError) as ei:
+            Engine(g, max_cycles=10, scheduler="exhaustive").run()
+        assert ei.value.kind == "overrun"
+        assert ei.value.cycle == 10
+        assert seen == list(range(10))    # rounds 0..9, not 0..10
+
+    def test_overrun_cycle_matches_across_schedulers(self):
+        for scheduler in ("exhaustive", "event"):
+            g, __ = self._endless()
+            with pytest.raises(SimulationError) as ei:
+                Engine(g, max_cycles=10, scheduler=scheduler).run()
+            assert ei.value.kind == "overrun"
+            assert ei.value.cycle == 10
+
+    def test_sufficient_budget_is_not_tripped(self):
+        # A graph that finishes at exactly its budget must not raise.
+        g, __ = self._endless()
+        cycles = Engine(g).run().cycles
+        for scheduler in ("exhaustive", "event"):
+            g2, __ = self._endless()
+            stats = Engine(g2, max_cycles=cycles,
+                           scheduler=scheduler).run()
+            assert stats.cycles == cycles
