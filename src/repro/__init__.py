@@ -22,7 +22,9 @@ Package map (see DESIGN.md for the experiment index):
 * :mod:`repro.workloads` — the Table 2 rideshare generator and queries
   Q1-Q9;
 * :mod:`repro.reliability` — deterministic fault injection, typed fault
-  detection, checkpoint/restore + retry recovery, graceful degradation.
+  detection, checkpoint/restore + retry recovery, graceful degradation;
+* :mod:`repro.observability` — zero-cost-when-disabled cycle tracing,
+  metrics registry, and per-tile stall attribution (``repro trace``).
 """
 
 from repro import (
@@ -31,6 +33,7 @@ from repro import (
     db,
     memory,
     ml,
+    observability,
     perf,
     reliability,
     structures,
@@ -38,6 +41,7 @@ from repro import (
 )
 from repro.dataflow import Graph, Schema, run_graph
 from repro.db import ExecutionContext, Table
+from repro.observability import MetricsRegistry, Tracer
 from repro.perf import CostModel
 from repro.reliability import FaultInjector, run_with_recovery
 from repro.workloads import QUERIES, RideshareConfig, generate, run_query
@@ -45,10 +49,11 @@ from repro.workloads import QUERIES, RideshareConfig, generate, run_query
 __version__ = "1.1.0"
 
 __all__ = [
-    "baselines", "dataflow", "db", "memory", "ml", "perf", "reliability",
-    "structures", "workloads",
+    "baselines", "dataflow", "db", "memory", "ml", "observability",
+    "perf", "reliability", "structures", "workloads",
     "Graph", "Schema", "run_graph",
     "ExecutionContext", "Table",
+    "MetricsRegistry", "Tracer",
     "CostModel",
     "FaultInjector", "run_with_recovery",
     "QUERIES", "RideshareConfig", "generate", "run_query",

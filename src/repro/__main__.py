@@ -8,7 +8,10 @@ Commands:
 * ``queries`` — run Q1-Q9 at a chosen scale and print the fig. 14 table;
 * ``area`` — the fig. 10 area-overhead breakdown;
 * ``microbench`` — cycle-level microbenchmarks under either engine
-  scheduler, with optional per-tile-class tick profiling.
+  scheduler, with optional per-tile-class tick profiling;
+* ``trace`` — run one microbench with the observability tracer armed and
+  print the stall-attribution report, dump a per-tile timeline, or export
+  a Chrome/Perfetto ``trace.json``.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ def cmd_info(args) -> int:
     import repro
     print(f"repro {repro.__version__} — Aurochs (ISCA 2021) reproduction")
     print("packages: dataflow, memory, structures, db, ml, baselines, "
-          "perf, workloads, reliability")
+          "perf, workloads, reliability, observability")
     print("docs: README.md (overview), DESIGN.md (system inventory), "
           "EXPERIMENTS.md (paper-vs-measured)")
     return 0
@@ -99,19 +102,28 @@ def cmd_queries(args) -> int:
     return 0
 
 
-def cmd_microbench(args) -> int:
+def _bench_case(name):
+    """Build the graph for one benchmarks/bench_pr2.py case, or None."""
     import pathlib
-    import time
-    sys.path.insert(0, str(pathlib.Path(__file__).resolve()
-                           .parents[2] / "benchmarks"))
+    bench_dir = str(pathlib.Path(__file__).resolve().parents[2]
+                    / "benchmarks")
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
     import bench_pr2
-    from repro.dataflow import Engine
     cases = dict(bench_pr2.CASES)
-    if args.case not in cases:
-        print(f"unknown case {args.case!r}; choose from: "
+    if name not in cases:
+        print(f"unknown case {name!r}; choose from: "
               f"{', '.join(cases)}", file=sys.stderr)
+        return None
+    return cases[name]()
+
+
+def cmd_microbench(args) -> int:
+    import time
+    from repro.dataflow import Engine
+    graph = _bench_case(args.case)
+    if graph is None:
         return 2
-    graph = cases[args.case]()
     engine = Engine(graph, scheduler=args.scheduler, profile=args.profile)
     t0 = time.perf_counter()
     stats = engine.run()
@@ -121,6 +133,30 @@ def cmd_microbench(args) -> int:
     if args.profile:
         print()
         print(engine.profile_report())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.dataflow import Engine
+    from repro.observability import Tracer, attribution_report
+    graph = _bench_case(args.case)
+    if graph is None:
+        return 2
+    tracer = Tracer(capacity=args.capacity) if args.capacity else Tracer()
+    engine = Engine(graph, scheduler=args.scheduler, tracer=tracer)
+    stats = engine.run()
+    printed = False
+    if args.out:
+        tracer.export_chrome(args.out)
+        print(f"wrote {len(tracer.events)} events to {args.out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+        printed = True
+    if args.timeline:
+        print(tracer.timeline())
+        printed = True
+    # The report is the default product: a bare ``repro trace`` prints it.
+    if args.report or not printed:
+        print(attribution_report(stats, tracer, scheduler=args.scheduler))
     return 0
 
 
@@ -151,6 +187,22 @@ def main(argv=None) -> int:
     mb.add_argument("--profile", action="store_true",
                     help="report per-tile-class cumulative tick time")
     mb.set_defaults(fn=cmd_microbench)
+    tr = sub.add_parser(
+        "trace",
+        help="trace one microbench: stall attribution, timeline, trace.json")
+    tr.add_argument("--case", default="probe_sparse_32t",
+                    help="case name from benchmarks/bench_pr2.py")
+    tr.add_argument("--scheduler", choices=("event", "exhaustive"),
+                    default="event", help="engine scheduler to use")
+    tr.add_argument("--report", action="store_true",
+                    help="print the per-tile stall-attribution report")
+    tr.add_argument("--timeline", action="store_true",
+                    help="print the compact per-tile transition timeline")
+    tr.add_argument("--out", metavar="PATH", default=None,
+                    help="write a Chrome/Perfetto trace.json to PATH")
+    tr.add_argument("--capacity", type=int, default=None,
+                    help="event-ring capacity (default 65536)")
+    tr.set_defaults(fn=cmd_trace)
     args = parser.parse_args(argv)
     return args.fn(args)
 

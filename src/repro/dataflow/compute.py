@@ -23,6 +23,7 @@ from typing import Callable, Iterable, List, Optional
 from repro.dataflow.record import LANES, Record
 from repro.dataflow.tile import Packer, Tile
 from repro.dataflow.stream import Stream
+from repro.observability.events import StallReason
 
 #: Gorgon compute tiles pipeline computation across six stages (§II-B).
 PIPELINE_DEPTH = 6
@@ -101,6 +102,14 @@ class _PipelinedTile(Tile):
 
     def idle(self) -> bool:
         return not self._delay and all(p.empty() for p in self._packers)
+
+    def stall_reason(self) -> StallReason:
+        reason = super().stall_reason()
+        if reason is StallReason.STARVED and self._delay:
+            # Nothing upstream, nothing blocked: the only in-flight state
+            # is records maturing in the pipeline delay line.
+            return StallReason.LATENCY
+        return reason
 
 
 class MapTile(_PipelinedTile):

@@ -72,7 +72,8 @@ class Engine:
 
     def __init__(self, graph: Graph, max_cycles: int = 50_000_000,
                  deadlock_window: int = 50_000, injector=None,
-                 scheduler: str = "event", profile: bool = False):
+                 scheduler: str = "event", profile: bool = False,
+                 tracer=None):
         if scheduler not in ("event", "exhaustive"):
             raise ValueError(
                 f"unknown scheduler {scheduler!r}: use 'event' or 'exhaustive'")
@@ -81,6 +82,11 @@ class Engine:
         self.deadlock_window = deadlock_window
         self.injector = injector
         self.scheduler = scheduler
+        #: Observability hook: a repro.observability.Tracer, or None.  When
+        #: None the hot paths are byte-for-byte the untraced ones; when set
+        #: the tracer is armed on the graph at run start and consulted
+        #: after every real tick (transition events + stall attribution).
+        self.tracer = tracer
         #: class name -> [tick calls, cumulative seconds]; None when off.
         self.tick_profile: Optional[Dict[str, List]] = {} if profile else None
 
@@ -94,6 +100,18 @@ class Engine:
         inj = self.injector
         if inj is not None:
             inj.begin_run(self.graph)
+        trace = self.tracer
+        if trace is not None:
+            trace.begin_run(self.graph)
+        else:
+            # Detach hooks a previously-attached tracer may have left, the
+            # same way the exhaustive loop detaches stale sched hooks.
+            for tile in self.graph.tiles:
+                if tile.tracer is not None:
+                    tile.tracer = None
+            for stream in self.graph.streams:
+                if stream.tracer is not None:
+                    stream.tracer = None
         if self.scheduler == "exhaustive":
             return self._run_exhaustive(inj)
         return self._run_event(inj)
@@ -105,22 +123,28 @@ class Engine:
             stream.sched = None         # detach stale event-engine hooks
         tiles = list(reversed(self.graph.tiles))
         prof = self.tick_profile
+        trace = self.tracer
         cycle = 0
         last_progress = 0
         try:
             while True:
                 moved = False
-                if inj is None and prof is None:
+                if inj is None and prof is None and trace is None:
                     for tile in tiles:
                         if tile.tick(cycle):
                             moved = True
                 else:
                     if inj is not None:
                         inj.now = cycle
+                    if trace is not None:
+                        trace.now = cycle
                     for tile in tiles:
                         if inj is not None and inj.stalled(tile.name, cycle):
                             continue
-                        if self._tick(tile, cycle):
+                        ticked = self._tick(tile, cycle)
+                        if trace is not None:
+                            trace.tile_state(tile, cycle, ticked)
+                        if ticked:
                             moved = True
                 cycle += 1
                 if moved:
@@ -132,8 +156,12 @@ class Engine:
                 if cycle >= self.max_cycles:
                     self._raise_overrun(cycle)
         finally:
+            if trace is not None:
+                trace.now = cycle
             for stream in self.graph.streams:
                 stream.close()
+            if trace is not None:
+                trace.finalize(cycle)
         if inj is not None:
             inj.verify_streams(self.graph, cycle)
         return self._collect(cycle)
@@ -175,6 +203,7 @@ class Engine:
                 if i is not None:
                     heapq.heappush(timers, (start, _ANY_GEN, i))
         prof = self.tick_profile
+        trace = self.tracer
         cycle = 0
         last_progress = 0
         try:
@@ -191,6 +220,8 @@ class Engine:
                     moved = False
                     if inj is not None:
                         inj.now = cycle
+                    if trace is not None:
+                        trace.now = cycle
                     self._ev_in_round = True
                     while heap:
                         i = heapq.heappop(heap)
@@ -214,6 +245,8 @@ class Engine:
                             ticked = tile.tick(cycle)
                         else:
                             ticked = self._tick(tile, cycle)
+                        if trace is not None:
+                            trace.tile_state(tile, cycle, ticked)
                         if ticked:
                             moved = True
                             # A tile that moved stays ready; it polls after
@@ -261,9 +294,13 @@ class Engine:
                         self._raise_overrun(cycle)
                     cycle = wake_at
         finally:
+            if trace is not None:
+                trace.now = cycle
             for stream in graph.streams:
                 stream.sched = None
                 stream.close()
+            if trace is not None:
+                trace.finalize(cycle)
         # Tiles still asleep at quiescence owe their skipped counters.
         for i, counter in enumerate(sleep_counter):
             if counter is not None:

@@ -46,7 +46,7 @@ class Stream:
 
     __slots__ = ("name", "capacity", "_fifo", "eos", "pushed_vectors",
                  "pushed_records", "producer", "consumer", "monitor",
-                 "sched", "sent_sum", "recv_sum")
+                 "sched", "tracer", "sent_sum", "recv_sum")
 
     def __init__(self, name: str = "", capacity: int = DEFAULT_CAPACITY):
         self.name = name
@@ -67,6 +67,10 @@ class Stream:
         # wakes the producer), and the EOS transition (wake the consumer).
         # The exhaustive engine leaves it None: one is-None test per op.
         self.sched = None
+        # Observability hook: a Tracer armed on the graph sets itself here
+        # and records push/pop/close events with the post-op buffer depth.
+        # None (the default) costs one is-None test per op.
+        self.tracer = None
         self.sent_sum = 0
         self.recv_sum = 0
 
@@ -91,6 +95,10 @@ class Stream:
             if vector is None:          # vector lost in transit
                 return
         self._fifo.append(vector)
+        if self.tracer is not None:
+            # Records the *delivered* vector (an injector may have dropped
+            # it above, in which case no push event is traced).
+            self.tracer.stream_push(self, len(self._fifo), len(vector))
         if self.sched is not None:
             self.sched._stream_push(self)
 
@@ -98,6 +106,8 @@ class Stream:
         """Signal end of stream.  Idempotent."""
         if not self.eos:
             self.eos = True
+            if self.tracer is not None:
+                self.tracer.stream_close(self)
             if self.sched is not None:
                 self.sched._stream_close(self)
 
@@ -116,6 +126,8 @@ class Stream:
         vector = self._fifo.popleft()
         if self.monitor is not None:
             self.recv_sum = _mix(self.recv_sum, vector)
+        if self.tracer is not None:
+            self.tracer.stream_pop(self, len(self._fifo))
         if self.sched is not None:
             self.sched._stream_pop(self)
         return vector

@@ -22,6 +22,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from repro.dataflow.record import LANES, Record, Schema
 from repro.dataflow.stats import TileStats
 from repro.dataflow.stream import Stream, Vector
+from repro.observability.events import StallReason
 
 
 class Packer:
@@ -108,13 +109,28 @@ class Tile:
     The base implementation of :meth:`sched_poll` returns ``("ready",)``:
     a subclass that doesn't opt in is simply ticked every cycle, which is
     always equivalent.
+
+    Observability protocol: when a :class:`~repro.observability.Tracer` is
+    armed (``self.tracer`` set by the engine; the class default ``None``
+    keeps the hook zero-cost), the engine calls the tracer after every
+    real tick, and the tracer consults :meth:`stall_reason` on the first
+    non-moving tick to classify the stall.  ``stall_reason`` must be a
+    *pure* function of the tile's frozen state — it is evaluated once at
+    the stall transition, and the event scheduler's skipped inert ticks
+    rely on the classification not changing while the tile sleeps.
     """
+
+    #: Observability hook; the class default covers subclasses that skip
+    #: ``super().__init__`` (the instance copy keeps the hot-path lookup
+    #: a single dict hit).
+    tracer = None
 
     def __init__(self, name: str):
         self.name = name
         self.inputs: List[Stream] = []
         self.outputs: List[Stream] = []
         self.stats = TileStats(name)
+        self.tracer = None
 
     # -- wiring (called by Graph) ----------------------------------------
 
@@ -160,6 +176,26 @@ class Tile:
     def sched_skip(self, n: int, counter: str) -> None:
         """Apply the effects of ``n`` skipped inert ticks in one step."""
         setattr(self.stats, counter, getattr(self.stats, counter) + n)
+
+    # -- observability protocol --------------------------------------------
+
+    def stall_reason(self) -> StallReason:
+        """Classify why the last tick moved nothing (tracing only).
+
+        Generic classification from the streams alone: input waiting that
+        we could not consume means downstream backpressure reached us;
+        in-flight internal state blocked on a full output is likewise
+        backpressure; everything else is starvation.  Subclasses with
+        latency delay lines or DRAM queues refine this.
+        """
+        for stream in self.inputs:
+            if stream.can_pop():
+                return StallReason.BACKPRESSURE
+        if not self.idle():
+            for stream in self.outputs:
+                if not stream.can_push():
+                    return StallReason.BACKPRESSURE
+        return StallReason.STARVED
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Type
 
 from repro.errors import FaultError
+from repro.observability.metrics import MetricsRegistry
 from repro.structures.common import StructureEvents
 
 
@@ -40,6 +41,10 @@ class ExecutionContext:
         self.traces: List[OpTrace] = []
         self.events = StructureEvents()
         self.retry_log: List = []      # RetryAttempt records, see run_with_retry
+        # Cycle-level observability rolls up here: operators that run a
+        # traced simulation fold the Tracer's registry in via record_sim(),
+        # giving per-query stall counters / occupancy / MLP histograms.
+        self.metrics = MetricsRegistry()
 
     def run_with_retry(self, fn: Callable[["ExecutionContext"], object], *,
                        policy=None,
@@ -65,6 +70,7 @@ class ExecutionContext:
             for t in sub.traces:
                 self.traces.append(t)
                 self.events.merge(t.events)
+            self.metrics.merge(sub.metrics)
             return result
 
         return retry_call(attempt, policy=policy, retry_on=retry_on,
@@ -79,6 +85,16 @@ class ExecutionContext:
         self.traces.append(t)
         self.events.merge(t.events)
         return t
+
+    def record_sim(self, tracer) -> None:
+        """Fold a finished cycle-level run's metrics into this query.
+
+        ``tracer`` is a :class:`repro.observability.Tracer` whose engine
+        run has completed (``finalize`` baked its registry).  Merging here
+        rather than keeping a reference lets one query accumulate several
+        simulated fragments — and the tracer be reused for the next one.
+        """
+        self.metrics.merge(tracer.metrics)
 
     def total_rows(self) -> int:
         return sum(t.rows_in for t in self.traces)

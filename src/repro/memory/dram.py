@@ -23,6 +23,7 @@ from repro.dataflow.stats import DramStats
 from repro.memory.issue_queue import DEPTH_AUROCHS
 from repro.memory.scratchpad import ScratchpadMemory
 from repro.memory.spad_tile import PortConfig, ScratchpadTile
+from repro.observability.events import StallReason
 
 #: HBM2 pseudo-channel count visible to one tile's DRAM interface.
 DRAM_CHANNELS = 8
@@ -91,3 +92,14 @@ class DramTile(ScratchpadTile):
         self._last_index[port_idx] = request.index
         self.dram_stats.busy_cycles = cycle
         super()._execute(cycle, port_idx, request)
+        if self.tracer is not None:
+            # len(_delay) is the outstanding-response count after this
+            # issue: exactly the memory-level parallelism the tile is
+            # sustaining (threads in flight hiding the round trip).
+            self.tracer.mem_issue(self.name, len(self._delay))
+
+    def stall_reason(self) -> StallReason:
+        reason = super().stall_reason()
+        if reason is StallReason.LATENCY:
+            return StallReason.DRAM_WAIT
+        return reason

@@ -29,6 +29,7 @@ from repro.dataflow.stream import Stream
 from repro.memory.allocator import Allocator
 from repro.memory.issue_queue import DEPTH_AUROCHS, IssueQueue, Request
 from repro.memory.scratchpad import BANKS, Region, ScratchpadMemory
+from repro.observability.events import StallReason
 
 #: Cycles from grant to response availability (SRAM access + crossbar).
 SPAD_LATENCY = 3
@@ -136,12 +137,14 @@ class ScratchpadTile(Tile):
         return moved
 
     def _retire(self, cycle: int) -> bool:
-        moved = False
+        retired = 0
         while self._delay and self._delay[0][0] <= cycle:
             __, port_idx, record = self._delay.popleft()
             self.ports[port_idx].packer.push(record)
-            moved = True
-        return moved
+            retired += 1
+        if retired and self.tracer is not None:
+            self.tracer.mem_retire(self.name, retired, len(self._delay))
+        return retired > 0
 
     def _enqueue(self) -> bool:
         """Move waiting vectors from input streams into per-lane queues."""
@@ -170,6 +173,8 @@ class ScratchpadTile(Tile):
         busy_write: set = set()
         rmw_this_cycle: List[Tuple[int, int]] = []
         any_grant = False
+        round_grants = 0
+        round_conflicts = 0
         # RMW ports first: they claim both bank ports.
         order = sorted(range(len(self.ports)),
                        key=lambda i: self.ports[i].config.mode != "rmw")
@@ -185,10 +190,12 @@ class ScratchpadTile(Tile):
             grants, conflicts, considered = self._alloc.allocate(port.queues, busy)
             self.spad_stats.bank_conflicts += conflicts
             self.spad_stats.considered_bids += considered
+            round_conflicts += conflicts
             for lane, request in grants:
                 port.queues[lane].grant(request)
                 self._execute(cycle, idx, request)
                 self.spad_stats.grants += 1
+                round_grants += 1
                 any_grant = True
                 if mode == "rmw":
                     busy_read.add(request.bank)
@@ -204,6 +211,9 @@ class ScratchpadTile(Tile):
         self._last_rmw = tuple(rmw_this_cycle)
         if any_grant:
             self.spad_stats.active_cycles += 1
+            if self.tracer is not None:
+                self.tracer.bank_round(self.name, cycle,
+                                       round_grants, round_conflicts)
         return any_grant
 
     def _latency_at(self, cycle: int) -> int:
@@ -256,6 +266,15 @@ class ScratchpadTile(Tile):
         if self._delay:
             return ("timer", self._delay[0][0], "idle_cycles")
         return ("sleep", "idle_cycles")
+
+    def stall_reason(self) -> StallReason:
+        if self._delay:
+            # Responses in flight behind the SRAM access latency.  (A
+            # waiting input vector always implies the allocator granted
+            # something this cycle, so a non-moving tick never has
+            # consumable input — see ``_enqueue``/``_schedule``.)
+            return StallReason.LATENCY
+        return super().stall_reason()
 
     def sched_skip(self, n: int, counter: str) -> None:
         super().sched_skip(n, counter)

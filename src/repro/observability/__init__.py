@@ -1,0 +1,38 @@
+"""Cycle-level observability: tracing, metrics, and stall attribution.
+
+Three pieces, all zero-cost when disabled (one ``is None`` test per hook,
+the reliability-injector pattern):
+
+* :class:`Tracer` — structured events (tile fire/stall with a
+  :class:`StallReason`, stream push/pop/close with depth, bank
+  grant/conflict rounds, DRAM issue/complete) into a bounded ring, with
+  Chrome/Perfetto ``trace.json`` export and a per-tile timeline dump;
+* :class:`MetricsRegistry` — counters / gauges / histograms (stall cycles
+  by reason, occupancy, stream-depth distribution, DRAM MLP), mergeable
+  into a query's :class:`~repro.db.context.ExecutionContext`;
+* :func:`attribution_report` — decomposes each tile's simulated cycles
+  into compute / bank-conflict / starved / backpressured / latency /
+  DRAM-wait, summing exactly to the run's cycle count
+  (``python -m repro trace --report``).
+"""
+
+from repro.observability.events import (
+    ATTRIBUTION_KEYS,
+    COMPUTE,
+    StallReason,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.report import attribution_dict, attribution_report
+from repro.observability.tracer import DEFAULT_CAPACITY, Tracer
+
+__all__ = [
+    "ATTRIBUTION_KEYS", "COMPUTE", "StallReason",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "attribution_dict", "attribution_report",
+    "DEFAULT_CAPACITY", "Tracer",
+]

@@ -1,0 +1,76 @@
+"""Event schema and stall taxonomy for the observability layer.
+
+Trace events are plain tuples ``(cycle, kind, site, *payload)`` — cheap to
+emit, cheap to compare, and trivially serialisable.  The golden-trace suite
+relies on tuple equality, so the schema below is a compatibility contract:
+
+====================  =====================================================
+event                 tuple shape
+====================  =====================================================
+tile fire             ``(cycle, "fire", tile)``
+tile stall            ``(cycle, "stall", tile, reason)``
+stream push           ``(cycle, "push", stream, depth_after, n_records)``
+stream pop            ``(cycle, "pop", stream, depth_after)``
+stream close          ``(cycle, "close", stream)``
+bank round            ``(cycle, "bank", tile, grants, conflicts)``
+DRAM issue            ``(cycle, "mem_issue", tile, in_flight)``
+DRAM complete         ``(cycle, "mem_retire", tile, n, in_flight)``
+====================  =====================================================
+
+Fire/stall events are emitted only on *transitions* — the first cycle a
+tile starts moving data, or the first cycle it stops (with the reason it
+stopped).  A tile that the event scheduler has put to sleep is provably
+inert (its classification cannot change without a stream event that would
+wake it), so transition sequences are bit-identical across the exhaustive
+and event-driven schedulers even though the latter skips inert ticks.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+#: Event kind strings (field two of every event tuple).
+TILE_FIRE = "fire"
+TILE_STALL = "stall"
+STREAM_PUSH = "push"
+STREAM_POP = "pop"
+STREAM_CLOSE = "close"
+BANK_ROUND = "bank"
+MEM_ISSUE = "mem_issue"
+MEM_RETIRE = "mem_retire"
+
+
+class StallReason(Enum):
+    """Why a tile made no progress this cycle (the paper's Fig. 11-12
+    narratives reduce to which of these dominates).
+
+    * ``STARVED`` — no input available: upstream has nothing for us;
+    * ``BACKPRESSURE`` — input (or internal output buffering) is waiting,
+      but a full downstream stream blocks draining it;
+    * ``BANK_CONFLICT`` — the scratchpad reorder pipeline is backed up:
+      lane issue queues cannot drain fast enough past bank conflicts;
+    * ``LATENCY`` — in-flight responses in a pipeline/SRAM delay line,
+      nothing else to do until they mature;
+    * ``DRAM_WAIT`` — same, but the round trip is DRAM: the latency only
+      thread-level parallelism can hide (§III-A).
+    """
+
+    STARVED = "starved"
+    BACKPRESSURE = "backpressure"
+    BANK_CONFLICT = "bank_conflict"
+    LATENCY = "latency"
+    DRAM_WAIT = "dram_wait"
+
+
+#: Attribution bucket for cycles in which a tile moved data.
+COMPUTE = "compute"
+
+#: All per-tile attribution buckets, report column order.
+ATTRIBUTION_KEYS = (
+    COMPUTE,
+    StallReason.BANK_CONFLICT.value,
+    StallReason.STARVED.value,
+    StallReason.BACKPRESSURE.value,
+    StallReason.LATENCY.value,
+    StallReason.DRAM_WAIT.value,
+)

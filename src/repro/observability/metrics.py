@@ -1,0 +1,153 @@
+"""Counters, histograms, and the per-run metrics registry.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments —
+deliberately small: the simulator needs exact integer counters and
+small-domain histograms (queue depths, DRAM MLP), not a full telemetry
+stack.  Registries merge, so per-run metrics from a
+:class:`~repro.observability.tracer.Tracer` fold into a query-level
+:class:`~repro.db.context.ExecutionContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-write-wins float (occupancy fractions, ratios)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Exact small-domain histogram: one bucket per observed value.
+
+    Stream depths and memory-level parallelism are small integers, so
+    exact buckets are cheaper and more faithful than percentile sketches.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        self.buckets[value] = self.buckets.get(value, 0) + 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for value, n in other.buckets.items():
+            self.buckets[value] = self.buckets.get(value, 0) + n
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, n={self.count}, "
+                f"mean={self.mean:.2f})")
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters add, histograms
+        merge, gauges take the incoming value)."""
+        for name, c in other.counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other.gauges.items():
+            self.gauge(name).set(g.value)
+        for name, h in other.histograms.items():
+            self.histogram(name).merge(h)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view for JSON export and assertions."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {"count": h.count, "mean": h.mean, "min": h.min,
+                    "max": h.max,
+                    "buckets": {str(k): v
+                                for k, v in sorted(h.buckets.items())}}
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """One-line-per-instrument human dump."""
+        lines = []
+        for name, c in sorted(self.counters.items()):
+            lines.append(f"{name} = {c.value}")
+        for name, g in sorted(self.gauges.items()):
+            lines.append(f"{name} = {g.value:.4f}")
+        for name, h in sorted(self.histograms.items()):
+            lines.append(f"{name}: n={h.count} mean={h.mean:.2f} "
+                         f"min={h.min} max={h.max}")
+        return "\n".join(lines)

@@ -1,0 +1,316 @@
+"""The cycle-level tracer: bounded event ring + exact stall attribution.
+
+Zero-cost-when-disabled contract (the reliability-injector pattern): with
+no tracer attached every hook site pays one ``is None`` test — the engine
+hot loops are unchanged, and ``SimStats`` are bit-identical tracer-on vs
+tracer-off.
+
+Two data products, deliberately separated:
+
+* the **event ring** — a bounded ``deque`` of structured event tuples (see
+  :mod:`repro.observability.events` for the schema) used for the Chrome/
+  Perfetto export and the timeline dump; old events fall off the back, so
+  exports are bounded no matter how long the run;
+* the **attribution accumulators** — per-tile cycle buckets maintained
+  from fire/stall *transitions*, exact for the whole run regardless of
+  ring capacity.  Because transitions only happen on real ticks, and a
+  tile the event scheduler skips is provably frozen, attribution (and the
+  event sequence itself) is bit-identical across both engine schedulers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.events import (
+    ATTRIBUTION_KEYS,
+    BANK_ROUND,
+    COMPUTE,
+    MEM_ISSUE,
+    MEM_RETIRE,
+    STREAM_CLOSE,
+    STREAM_POP,
+    STREAM_PUSH,
+    TILE_FIRE,
+    TILE_STALL,
+    StallReason,
+)
+from repro.observability.metrics import MetricsRegistry
+
+#: Default event-ring capacity (events, not cycles).
+DEFAULT_CAPACITY = 65_536
+
+
+class Tracer:
+    """Collects structured events and stall attribution for one run.
+
+    Attach via ``Engine(graph, tracer=Tracer())``.  After the run:
+
+    * :meth:`attribution` — per-tile cycle decomposition, each row summing
+      exactly to the simulated cycle count;
+    * :attr:`metrics` — a :class:`MetricsRegistry` of per-tile stall
+      counters, occupancy gauges, stream-depth and DRAM-MLP histograms;
+    * :meth:`chrome_trace` / :meth:`export_chrome` — ``trace.json`` for
+      chrome://tracing or ui.perfetto.dev;
+    * :meth:`timeline` — a compact per-tile transition dump.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.emitted = 0              # total events, including dropped
+        self.now = 0                  # current cycle, maintained by the engine
+        self.runs = 0
+        self.total_cycles: Optional[int] = None   # set by finalize()
+        self.metrics = MetricsRegistry()
+        # name -> [interval_start_cycle, current_bucket_key]
+        self._state: Dict[str, List] = {}
+        # name -> {bucket_key: cycles}; exact, independent of the ring.
+        self._buckets: Dict[str, Dict[str, int]] = {}
+        # name -> cycles in which >=1 allocator bid lost a bank conflict.
+        self.conflict_cycles: Dict[str, int] = {}
+
+    # -- lifecycle (engine-driven) ----------------------------------------
+
+    def arm(self, graph) -> None:
+        """Attach this tracer to every stream and tile of ``graph``."""
+        for stream in graph.streams:
+            stream.tracer = self
+        for tile in graph.tiles:
+            tile.tracer = self
+
+    def disarm(self, graph) -> None:
+        for stream in graph.streams:
+            if stream.tracer is self:
+                stream.tracer = None
+        for tile in graph.tiles:
+            if getattr(tile, "tracer", None) is self:
+                tile.tracer = None
+
+    def begin_run(self, graph) -> None:
+        """Arm on ``graph`` and reset per-run state (fresh trace per run)."""
+        self.arm(graph)
+        self.runs += 1
+        self.now = 0
+        self.total_cycles = None
+        self.emitted = 0
+        self.events.clear()
+        self.metrics = MetricsRegistry()
+        self._state.clear()
+        self._buckets.clear()
+        self.conflict_cycles.clear()
+
+    def finalize(self, total_cycles: int) -> None:
+        """Close every open attribution interval and bake the metrics."""
+        self.total_cycles = total_cycles
+        for name, cur in self._state.items():
+            since, key = cur
+            if total_cycles > since:
+                bucket = self._buckets[name]
+                bucket[key] = bucket.get(key, 0) + total_cycles - since
+                cur[0] = total_cycles
+        m = self.metrics
+        m.counter("trace.events.emitted").inc(self.emitted)
+        m.counter("trace.events.dropped").inc(self.dropped)
+        for name, row in self.attribution().items():
+            for key in ATTRIBUTION_KEYS:
+                if row[key]:
+                    m.counter(f"tile.{name}.cycles.{key}").inc(row[key])
+            if total_cycles:
+                m.gauge(f"tile.{name}.occupancy").set(
+                    row[COMPUTE] / total_cycles)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the back of the ring."""
+        return self.emitted - len(self.events)
+
+    def _emit(self, event: Tuple) -> None:
+        self.emitted += 1
+        self.events.append(event)
+
+    # -- tile hook (called by the engine after every real tick) ------------
+
+    def tile_state(self, tile, cycle: int, moved: bool) -> None:
+        name = tile.name
+        cur = self._state.get(name)
+        key = COMPUTE if moved else tile.stall_reason().value
+        if cur is None:
+            self._state[name] = [cycle, key]
+            self._buckets[name] = {}
+        elif cur[1] != key:
+            bucket = self._buckets[name]
+            bucket[cur[1]] = bucket.get(cur[1], 0) + cycle - cur[0]
+            cur[0] = cycle
+            cur[1] = key
+        else:
+            return                      # no transition, nothing to record
+        if key == COMPUTE:
+            self._emit((cycle, TILE_FIRE, name))
+        else:
+            self._emit((cycle, TILE_STALL, name, key))
+
+    # -- stream hooks (called by Stream; cycle comes from self.now) --------
+
+    def stream_push(self, stream, depth: int, n_records: int) -> None:
+        self._emit((self.now, STREAM_PUSH, stream.name, depth, n_records))
+        self.metrics.histogram(f"stream.{stream.name}.depth").observe(depth)
+
+    def stream_pop(self, stream, depth: int) -> None:
+        self._emit((self.now, STREAM_POP, stream.name, depth))
+
+    def stream_close(self, stream) -> None:
+        self._emit((self.now, STREAM_CLOSE, stream.name))
+
+    # -- memory hooks ------------------------------------------------------
+
+    def bank_round(self, name: str, cycle: int, grants: int,
+                   conflicts: int) -> None:
+        """One scratchpad allocator round that granted or deferred bids."""
+        self._emit((cycle, BANK_ROUND, name, grants, conflicts))
+        if conflicts:
+            self.conflict_cycles[name] = (
+                self.conflict_cycles.get(name, 0) + 1)
+            self.metrics.counter(f"tile.{name}.conflict_bids").inc(conflicts)
+
+    def mem_issue(self, name: str, in_flight: int) -> None:
+        """A DRAM request was granted; ``in_flight`` responses outstanding."""
+        self._emit((self.now, MEM_ISSUE, name, in_flight))
+        self.metrics.histogram(f"dram.{name}.mlp").observe(in_flight)
+
+    def mem_retire(self, name: str, n: int, in_flight: int) -> None:
+        """``n`` memory responses matured; ``in_flight`` remain."""
+        self._emit((self.now, MEM_RETIRE, name, n, in_flight))
+
+    # -- analysis ----------------------------------------------------------
+
+    def attribution(self) -> Dict[str, Dict[str, int]]:
+        """Per-tile cycle decomposition over :data:`ATTRIBUTION_KEYS`.
+
+        Bank-conflict cycles are carved out of compute: a cycle in which
+        the reorder pipeline granted requests but at least one bid lost
+        its bank is progress *degraded by conflicts*, which is what the
+        paper's reordering pipeline exists to minimise (§III-B).  Every
+        row sums to the run's total simulated cycles.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        conflict_key = StallReason.BANK_CONFLICT.value
+        for name, buckets in self._buckets.items():
+            row = {key: 0 for key in ATTRIBUTION_KEYS}
+            for key, cycles in buckets.items():
+                row[key] = row.get(key, 0) + cycles
+            carve = min(self.conflict_cycles.get(name, 0), row[COMPUTE])
+            row[COMPUTE] -= carve
+            row[conflict_key] += carve
+            row["total"] = sum(row[key] for key in ATTRIBUTION_KEYS)
+            out[name] = row
+        return out
+
+    def occupancy(self, name: str) -> float:
+        """Active-cycle fraction of one tile (compute / total cycles)."""
+        if not self.total_cycles:
+            return 0.0
+        row = self.attribution().get(name)
+        return row[COMPUTE] / self.total_cycles if row else 0.0
+
+    # -- exports -----------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """Chrome/Perfetto ``trace.json`` object.
+
+        Tile fire/stall transitions become duration (``"X"``) slices, one
+        track per tile; stream and memory events become instants on their
+        own tracks.  One simulated cycle maps to one microsecond of trace
+        time.  Built from the bounded ring, so the export is bounded too.
+        """
+        end = self.total_cycles if self.total_cycles is not None else self.now
+        trace_events: List[dict] = []
+        tids: Dict[str, int] = {}
+
+        def tid(site: str) -> int:
+            t = tids.get(site)
+            if t is None:
+                t = tids[site] = len(tids)
+                trace_events.append({
+                    "ph": "M", "name": "thread_name", "pid": 0, "tid": t,
+                    "args": {"name": site},
+                })
+            return t
+
+        open_slice: Dict[str, Tuple[int, str]] = {}
+        for event in self.events:
+            cycle, kind, site = event[0], event[1], event[2]
+            t = tid(site)
+            if kind in (TILE_FIRE, TILE_STALL):
+                started = open_slice.pop(site, None)
+                if started is not None and cycle > started[0]:
+                    trace_events.append({
+                        "ph": "X", "name": started[1], "cat": "tile",
+                        "ts": started[0], "dur": cycle - started[0],
+                        "pid": 0, "tid": t,
+                    })
+                label = COMPUTE if kind == TILE_FIRE else event[3]
+                open_slice[site] = (cycle, label)
+            else:
+                trace_events.append({
+                    "ph": "i", "s": "t", "name": kind, "cat": "event",
+                    "ts": cycle, "pid": 0, "tid": t,
+                    "args": {"payload": list(event[3:])},
+                })
+        for site, (start, label) in open_slice.items():
+            if end > start:
+                trace_events.append({
+                    "ph": "X", "name": label, "cat": "tile",
+                    "ts": start, "dur": end - start,
+                    "pid": 0, "tid": tids[site],
+                })
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.observability",
+                "cycles": end,
+                "events_emitted": self.emitted,
+                "events_dropped": self.dropped,
+            },
+        }
+
+    def export_chrome(self, path) -> None:
+        import json
+        from pathlib import Path
+        Path(path).write_text(json.dumps(self.chrome_trace()) + "\n")
+
+    def timeline(self, max_transitions: int = 24) -> str:
+        """Compact per-tile transition timeline from the event ring."""
+        per_site: Dict[str, List[str]] = {}
+        truncated: Dict[str, int] = {}
+        for event in self.events:
+            cycle, kind, site = event[0], event[1], event[2]
+            if kind == TILE_FIRE:
+                label = f"@{cycle} {COMPUTE}"
+            elif kind == TILE_STALL:
+                label = f"@{cycle} {event[3]}"
+            else:
+                continue
+            marks = per_site.setdefault(site, [])
+            if len(marks) >= max_transitions:
+                truncated[site] = truncated.get(site, 0) + 1
+            else:
+                marks.append(label)
+        if not per_site:
+            return "(no tile transitions recorded)"
+        width = max(len(site) for site in per_site)
+        lines = []
+        for site in sorted(per_site):
+            tail = (f" ... +{truncated[site]} more"
+                    if site in truncated else "")
+            lines.append(f"{site:<{width}}  "
+                         + " -> ".join(per_site[site]) + tail)
+        if self.dropped:
+            lines.append(f"(ring dropped {self.dropped} oldest events)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(events={len(self.events)}/{self.capacity}, "
+                f"emitted={self.emitted}, runs={self.runs})")

@@ -22,6 +22,7 @@ from repro.dataflow.record import LANES
 from repro.dataflow.stats import DramStats
 from repro.dataflow.tile import Packer, Tile
 from repro.memory.dram import DRAM_LATENCY
+from repro.observability.events import StallReason
 
 Rect = Tuple[int, int, int, int]
 
@@ -95,6 +96,12 @@ class SpillTile(Tile):
     def idle(self) -> bool:
         return (not self._onchip and not self._dram
                 and self._packer.empty())
+
+    def stall_reason(self) -> StallReason:
+        if self._dram and not self._onchip and self._packer.empty():
+            # Everything live is spilled: waiting out the DRAM round trip.
+            return StallReason.DRAM_WAIT
+        return super().stall_reason()
 
     def sched_poll(self, cycle: int) -> tuple:
         stream = self.inputs[0] if self.inputs else None

@@ -35,3 +35,80 @@ class TestCli:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMicrobenchCli:
+    @pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
+    def test_profile_names_every_tile_class(self, capsys, scheduler):
+        assert main(["microbench", "--case", "gather_throttled",
+                     "--scheduler", scheduler, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert f"({scheduler} scheduler)" in out
+        assert "simulated cycles" in out
+        # The profile table names every tile class in the graph.
+        for tile_class in ("SourceTile", "DramTile", "SinkTile"):
+            assert tile_class in out
+
+    def test_schedulers_agree_on_cycles(self, capsys):
+        cycles = {}
+        for scheduler in ("event", "exhaustive"):
+            assert main(["microbench", "--case", "gather_throttled",
+                         "--scheduler", scheduler]) == 0
+            out = capsys.readouterr().out
+            cycles[scheduler] = int(out.split(":")[1].split()[0])
+        assert cycles["event"] == cycles["exhaustive"]
+
+    def test_unknown_case_fails(self, capsys):
+        assert main(["microbench", "--case", "nope"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
+
+class TestTraceCli:
+    def test_bare_trace_prints_attribution_report(self, capsys):
+        assert main(["trace", "--case", "gather_throttled"]) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "simulated cycles" in out
+        assert "WARNING" not in out
+        for column in ("compute", "bankconf", "dramwait", "occup"):
+            assert column in out
+        assert "MLP" in out               # the DRAM tile reports parallelism
+
+    @pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
+    def test_report_both_schedulers(self, capsys, scheduler):
+        assert main(["trace", "--case", "gather_throttled",
+                     "--scheduler", scheduler, "--report"]) == 0
+        assert f"({scheduler} scheduler)" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        assert main(["trace", "--case", "gather_throttled",
+                     "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "dram_t" in out and "@0" in out
+        assert "stall attribution" not in out   # timeline alone was asked for
+
+    def test_out_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--case", "gather_throttled",
+                     "--out", str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["cycles"] > 0
+
+    def test_capacity_bounds_the_ring(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--case", "gather_throttled",
+                     "--capacity", "16", "--out", str(path),
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 16 events" in out
+        # A tiny ring still yields an exact attribution report.
+        assert "WARNING" not in out
+        assert json.loads(path.read_text())["otherData"]["events_dropped"] > 0
+
+    def test_unknown_case_fails(self, capsys):
+        assert main(["trace", "--case", "nope"]) == 2
+        assert "unknown case" in capsys.readouterr().err

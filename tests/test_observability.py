@@ -1,0 +1,318 @@
+"""Observability layer: attribution exactness, zero-cost contract,
+metrics algebra, and export formats.
+
+The load-bearing invariants:
+
+* every tile's attribution row sums *exactly* to the run's simulated
+  cycle count (the ring may drop events; attribution may not drift);
+* ``compute + bank_conflict`` equals the tile's own ``busy_cycles`` on
+  non-injected graphs (the decomposition agrees with ``SimStats``);
+* tracing never changes simulation results: ``SimStats`` are
+  bit-identical tracer-on vs tracer-off, under both schedulers;
+* occupancies are fractions in [0, 1];
+* counters/histograms/registries obey merge algebra (hypothesis-checked).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import (
+    Engine,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.db import ExecutionContext
+from repro.observability import (
+    ATTRIBUTION_KEYS,
+    COMPUTE,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    StallReason,
+    Tracer,
+    attribution_report,
+)
+
+from tests.test_scheduler_equivalence import CASES, _dram_gather_graph, \
+    _hist_graph
+
+SCHEDULERS = ("exhaustive", "event")
+
+
+def _traced(factory, injector_factory=None, scheduler="event",
+            capacity=None):
+    tracer = Tracer(capacity=capacity) if capacity else Tracer()
+    inj = injector_factory() if injector_factory else None
+    graph = factory()
+    stats = Engine(graph, injector=inj, scheduler=scheduler,
+                   tracer=tracer).run()
+    return graph, stats, tracer
+
+
+# -- exactness properties ---------------------------------------------------
+
+@pytest.mark.parametrize("name,factory,injector_factory",
+                         CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_rows_sum_to_total_cycles(name, factory, injector_factory,
+                                  scheduler):
+    graph, stats, tracer = _traced(factory, injector_factory, scheduler)
+    attr = tracer.attribution()
+    assert set(attr) == {t.name for t in graph.tiles}
+    for tile_name, row in attr.items():
+        assert row["total"] == stats.cycles, tile_name
+        assert sum(row[k] for k in ATTRIBUTION_KEYS) == stats.cycles
+        assert all(row[k] >= 0 for k in ATTRIBUTION_KEYS)
+
+
+@pytest.mark.parametrize(
+    "name,factory,injector_factory",
+    [c for c in CASES if c[2] is None],
+    ids=[c[0] for c in CASES if c[2] is None])
+def test_compute_bucket_matches_busy_cycles(name, factory,
+                                            injector_factory):
+    # Bank-conflict cycles are carved out of compute, so the pair together
+    # must equal the tile's own busy counter.  (Injected runs are excluded:
+    # a suspended tile skips ticks, freezing its classification.)
+    __, stats, tracer = _traced(factory, None)
+    for tile_name, row in tracer.attribution().items():
+        busy = stats.tiles[tile_name].busy_cycles
+        assert row[COMPUTE] + row["bank_conflict"] == busy, tile_name
+
+
+@pytest.mark.parametrize("name,factory,injector_factory",
+                         CASES, ids=[c[0] for c in CASES])
+def test_occupancy_is_a_fraction(name, factory, injector_factory):
+    graph, stats, tracer = _traced(factory, injector_factory)
+    for tile in graph.tiles:
+        occ = tracer.occupancy(tile.name)
+        assert 0.0 <= occ <= 1.0
+        gauge = tracer.metrics.gauges.get(f"tile.{tile.name}.occupancy")
+        if gauge is not None:
+            assert 0.0 <= gauge.value <= 1.0
+
+
+@pytest.mark.parametrize("name,factory,injector_factory",
+                         CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_tracing_does_not_change_simstats(name, factory, injector_factory,
+                                          scheduler):
+    inj = injector_factory() if injector_factory else None
+    bare = Engine(factory(), injector=inj, scheduler=scheduler).run()
+    __, traced, __ = _traced(factory, injector_factory, scheduler)
+    assert traced == bare
+
+
+# -- stall-reason taxonomy --------------------------------------------------
+
+def test_backpressure_attributed():
+    # Two full-rate sources into one merge: the merge drains at most one
+    # vector per cycle, so one source must back up on its stream.
+    g = Graph("bp")
+    a = g.add(SourceTile("src_a", [(i, 0) for i in range(256)]))
+    b = g.add(SourceTile("src_b", [(i, 1) for i in range(256)]))
+    merge = g.add(MergeTile("merge"))
+    sink = g.add(SinkTile("sink"))
+    g.connect(a, merge)
+    g.connect(b, merge)
+    g.connect(merge, sink)
+    tracer = Tracer()
+    Engine(g, tracer=tracer).run()
+    attr = tracer.attribution()
+    assert (attr["src_a"]["backpressure"] + attr["src_b"]["backpressure"]) > 0
+
+
+def test_latency_attributed():
+    # One vector through a deep pipeline: the in-flight cycles are neither
+    # starvation nor backpressure — they are pipeline latency.
+    g = Graph("lat")
+    src = g.add(SourceTile("src", [(1,)]))
+    m = g.add(MapTile("deep", lambda r: r, latency=20))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, m)
+    g.connect(m, sink)
+    tracer = Tracer()
+    Engine(g, tracer=tracer).run()
+    assert tracer.attribution()["deep"]["latency"] >= 18
+
+
+def _hot_bucket_graph():
+    """Every lane increments the same counter: maximal bank conflicts."""
+    from repro.memory import ScratchpadMemory
+    from repro.memory.spad_tile import PortConfig, ScratchpadTile
+
+    g = Graph("hot")
+    mem = ScratchpadMemory("mem")
+    counts = mem.region("counts", 64, 1, fill=0)
+    src = g.add(SourceTile("src", [(0,) for __ in range(256)]))
+    spad = g.add(ScratchpadTile("spad", mem, [PortConfig(
+        mode="rmw", region=counts, addr=lambda r: r[0],
+        rmw=lambda old, r: (old + 1, old + 1),
+        combine=lambda r, res: None)]))
+    g.connect(src, spad)
+    return g
+
+
+def test_bank_conflicts_attributed():
+    __, stats, tracer = _traced(_hot_bucket_graph)
+    row = tracer.attribution()["spad"]
+    assert row["bank_conflict"] > 0
+    assert stats.scratchpads["spad"].bank_conflicts > 0
+    assert tracer.metrics.counters["tile.spad.conflict_bids"].value > 0
+    # The sequential-address histogram, by contrast, is conflict-free —
+    # the reordering pipeline's whole point (§III-B).
+    __, __, clean = _traced(_hist_graph)
+    assert clean.attribution()["spad"]["bank_conflict"] == 0
+
+
+def test_dram_wait_attributed_and_mlp_recorded():
+    __, stats, tracer = _traced(lambda: _dram_gather_graph(rate=16))
+    row = tracer.attribution()["dram_t"]
+    # A full-rate source issues everything early, then the tile sits out
+    # the DRAM round trip with responses in flight.
+    assert row["dram_wait"] > 0
+    mlp = tracer.metrics.histograms["dram.dram_t.mlp"]
+    assert mlp.count == 256               # one observation per issued request
+    assert mlp.max > 1                    # overlapping requests in flight
+
+
+def test_stall_reason_values_cover_attribution_keys():
+    assert set(ATTRIBUTION_KEYS) == {COMPUTE} | {
+        r.value for r in StallReason}
+
+
+# -- the bounded ring -------------------------------------------------------
+
+def test_ring_bounded_but_attribution_exact():
+    graph, stats, small = _traced(_hist_graph, capacity=32)
+    assert len(small.events) <= 32
+    assert small.dropped == small.emitted - len(small.events)
+    assert small.dropped > 0
+    __, __, full = _traced(_hist_graph)
+    assert full.dropped == 0
+    # Dropping ring events must not perturb the accumulators.
+    assert small.attribution() == full.attribution()
+    for row in small.attribution().values():
+        assert row["total"] == stats.cycles
+
+
+def test_tracer_reuse_resets_per_run():
+    tracer = Tracer()
+    g1 = _hist_graph()
+    Engine(g1, tracer=tracer).run()
+    first = tracer.attribution()
+    g2 = _hist_graph()
+    Engine(g2, tracer=tracer).run()
+    assert tracer.runs == 2
+    assert tracer.attribution() == first      # fresh, not accumulated
+    # The first graph's hooks were detached when the tracer re-armed.
+    g3 = _hist_graph()
+    Engine(g3).run()
+    assert all(t.tracer is None for t in g3.tiles)
+
+
+# -- exports ----------------------------------------------------------------
+
+def test_chrome_trace_is_valid_and_covers_run(tmp_path):
+    __, stats, tracer = _traced(_hist_graph)
+    doc = json.loads(json.dumps(tracer.chrome_trace()))
+    assert doc["otherData"]["cycles"] == stats.cycles
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert slices
+    # With nothing dropped, each tile's slices tile the full run exactly.
+    per_tile = {}
+    for s in slices:
+        per_tile[s["tid"]] = per_tile.get(s["tid"], 0) + s["dur"]
+    assert set(per_tile.values()) == {stats.cycles}
+    out = tmp_path / "trace.json"
+    tracer.export_chrome(out)
+    assert json.loads(out.read_text())["traceEvents"]
+
+
+def test_timeline_and_report_render():
+    __, stats, tracer = _traced(_hist_graph)
+    timeline = tracer.timeline(max_transitions=4)
+    assert "spad" in timeline and "@0" in timeline
+    report = attribution_report(stats, tracer, scheduler="event")
+    assert f"{stats.cycles} simulated cycles" in report
+    assert "WARNING" not in report
+    assert "spad" in report and "bankconf" in report
+
+
+def test_execution_context_accumulates_metrics():
+    ctx = ExecutionContext()
+    __, __, tracer = _traced(lambda: _dram_gather_graph(rate=16))
+    ctx.record_sim(tracer)
+    ctx.record_sim(tracer)
+    mlp = ctx.metrics.histograms["dram.dram_t.mlp"]
+    assert mlp.count == 2 * 256           # two fragments folded in
+    emitted = ctx.metrics.counters["trace.events.emitted"].value
+    assert emitted == 2 * tracer.emitted
+
+
+# -- metrics algebra (hypothesis) -------------------------------------------
+
+values = st.integers(min_value=0, max_value=64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(values))
+def test_histogram_moments(xs):
+    h = Histogram("h")
+    for x in xs:
+        h.observe(x)
+    assert h.count == len(xs)
+    assert h.total == sum(xs)
+    assert h.min == (min(xs) if xs else None)
+    assert h.max == (max(xs) if xs else None)
+    assert sum(h.buckets.values()) == len(xs)
+    if xs:
+        assert h.mean == pytest.approx(sum(xs) / len(xs))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(values), st.lists(values))
+def test_histogram_merge_is_concatenation(xs, ys):
+    merged = Histogram("m")
+    for x in xs:
+        merged.observe(x)
+    other = Histogram("m")
+    for y in ys:
+        other.observe(y)
+    merged.merge(other)
+    direct = Histogram("m")
+    for v in xs + ys:
+        direct.observe(v)
+    assert merged.buckets == direct.buckets
+    assert (merged.count, merged.total, merged.min, merged.max) == \
+        (direct.count, direct.total, direct.min, direct.max)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 10))),
+       st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 10))))
+def test_registry_merge_adds_counters(first, second):
+    left, right = MetricsRegistry(), MetricsRegistry()
+    for name, n in first:
+        left.counter(name).inc(n)
+    for name, n in second:
+        right.counter(name).inc(n)
+    left.merge(right)
+    everything = first + second
+    for name in "abc":
+        expected = sum(n for k, n in everything if k == name)
+        got = left.counters.get(name)
+        assert (got.value if got else 0) == expected
+
+
+def test_counter_is_monotone():
+    c = Counter("c")
+    c.inc()
+    c.inc(5)
+    assert c.value == 6

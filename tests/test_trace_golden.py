@@ -1,0 +1,153 @@
+"""Golden-trace regression suite: the tracer's event stream is replayable.
+
+Trace events are emitted only on *transitions* (a tile changing between
+firing and a specific stall reason, stream push/pop/close, memory
+issue/retire).  Because a tile the event scheduler puts to sleep is
+provably frozen — any stream mutation wakes it and internal state only
+changes on ticks — the transition stream is **bit-identical** across the
+exhaustive and event-driven schedulers, on every graph shape.  These
+tests pin that property on four canonical shapes, plus the literal event
+tuples of a tiny linear pipeline as a schema regression anchor.
+"""
+
+import pytest
+
+from repro.dataflow import (
+    Engine,
+    FilterTile,
+    Graph,
+    MapTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.observability import Tracer
+
+from tests.test_scheduler_equivalence import (
+    _countdown_graph,
+    _divergent_fork_graph,
+    _dram_gather_graph,
+)
+
+
+def _linear_graph():
+    """src -> map -> map -> sink: the simplest latency-bound pipeline."""
+    g = Graph("linear")
+    src = g.add(SourceTile("src", [(i,) for i in range(96)], rate=8))
+    a = g.add(MapTile("stage_a", lambda r: (r[0] + 1,)))
+    b = g.add(MapTile("stage_b", lambda r: (r[0] * 2,)))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, a)
+    g.connect(a, b)
+    g.connect(b, sink)
+    return g
+
+
+def _divergent_filter_graph():
+    """A filter splitting to two sinks — both ports live, no drops."""
+    g = Graph("diverge")
+    src = g.add(SourceTile("src", [(i,) for i in range(128)], rate=4))
+    f = g.add(FilterTile("split", lambda r: r[0] % 3 == 0))
+    hit = g.add(SinkTile("hit"))
+    miss = g.add(SinkTile("miss"))
+    g.connect(src, f)
+    g.connect(f, hit, producer_port=0)
+    g.connect(f, miss, producer_port=1)
+    return g
+
+
+GRAPHS = [
+    ("linear", _linear_graph),
+    ("divergent_filter", _divergent_filter_graph),
+    ("cyclic_drain", _countdown_graph),
+    ("dram_probe", lambda: _dram_gather_graph(rate=2)),
+    ("fork_spill", _divergent_fork_graph),
+]
+
+
+def _traced_run(factory, scheduler):
+    tracer = Tracer()
+    graph = factory()
+    stats = Engine(graph, scheduler=scheduler, tracer=tracer).run()
+    return stats, tracer
+
+
+@pytest.mark.parametrize("name,factory", GRAPHS,
+                         ids=[g[0] for g in GRAPHS])
+class TestGoldenTraces:
+    def test_event_stream_bit_identical(self, name, factory):
+        golden_stats, golden = _traced_run(factory, "exhaustive")
+        event_stats, event = _traced_run(factory, "event")
+        assert event_stats == golden_stats
+        assert list(event.events) == list(golden.events)
+        assert event.emitted == golden.emitted
+
+    def test_attribution_identical(self, name, factory):
+        __, golden = _traced_run(factory, "exhaustive")
+        __, event = _traced_run(factory, "event")
+        assert event.attribution() == golden.attribution()
+        assert event.metrics.snapshot() == golden.metrics.snapshot()
+
+    def test_replay_deterministic(self, name, factory):
+        """Two runs of the same scheduler replay the same trace."""
+        __, first = _traced_run(factory, "event")
+        __, again = _traced_run(factory, "event")
+        assert list(first.events) == list(again.events)
+
+
+#: The full event stream of a 6-record, rate-2 linear pipeline.  This is
+#: the schema anchor: if event shapes, ordering, or emission points ever
+#: change, this fails loudly and the docs must change with it.
+TINY_GOLDEN = [
+    (0, "stall", "sink", "starved"),
+    (0, "stall", "double", "starved"),
+    (0, "push", "a", 1, 2),
+    (0, "fire", "src"),
+    (1, "pop", "a", 0),
+    (1, "fire", "double"),
+    (1, "push", "a", 1, 2),
+    (2, "pop", "a", 0),
+    (2, "push", "a", 1, 2),
+    (2, "close", "a"),
+    (3, "pop", "a", 0),
+    (3, "stall", "src", "starved"),
+    (4, "push", "b", 1, 4),
+    (5, "pop", "b", 0),
+    (5, "fire", "sink"),
+    (5, "push", "b", 1, 2),
+    (5, "close", "b"),
+    (6, "pop", "b", 0),
+    (6, "stall", "double", "starved"),
+    (7, "stall", "sink", "starved"),
+]
+
+
+def _tiny_graph():
+    g = Graph("tiny")
+    src = g.add(SourceTile("src", [(i,) for i in range(6)], rate=2))
+    m = g.add(MapTile("double", lambda r: (2 * r[0],), latency=2))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, m, name="a")
+    g.connect(m, sink, name="b")
+    return g
+
+
+@pytest.mark.parametrize("scheduler", ["exhaustive", "event"])
+def test_tiny_linear_pinned_literal_trace(scheduler):
+    tracer = Tracer()
+    graph = _tiny_graph()
+    stats = Engine(graph, scheduler=scheduler, tracer=tracer).run()
+    assert stats.cycles == 8
+    assert graph.tile("sink").records == [(0,), (2,), (4,), (6,), (8,), (10,)]
+    assert list(tracer.events) == TINY_GOLDEN
+
+
+def test_tiny_linear_pinned_attribution():
+    __, tracer = _traced_run(_tiny_graph, "event")
+    attr = tracer.attribution()
+    assert attr["src"] == {"compute": 3, "bank_conflict": 0, "starved": 5,
+                           "backpressure": 0, "latency": 0, "dram_wait": 0,
+                           "total": 8}
+    assert attr["double"]["compute"] == 5
+    assert attr["sink"]["compute"] == 2
+    for row in attr.values():
+        assert row["total"] == 8
