@@ -1,0 +1,107 @@
+"""PR 4 serving chaos bench: load sweep + invariants + latency report.
+
+Runs the seeded open-loop chaos harness through the concurrent serving
+runtime at three offered-load levels (under capacity, at capacity, well
+over capacity), with and without flaky replicas, and records per-scenario
+latency quantiles, shed rates, and outcome mixes in ``BENCH_SERVING.json``.
+
+Every scenario must hold the serving invariants — zero wrong results,
+every non-success typed, one outcome per request — and the overloaded
+scenario must actually shed (a bounded queue that never sheds under 1.7x
+offered load is not bounded).  Each scenario is also re-run to prove the
+outcome signature is bit-identical for the seed.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_serving.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.serving import (
+    LoadTestConfig,
+    ServingWorkload,
+    chaos_report,
+    check_invariants,
+    run_loadtest,
+    signature,
+)
+
+#: (name, mean_interarrival, faults).  Capacity works out to one request
+#: per ~550 virtual cycles for the default mix on four replicas.
+SCENARIOS = (
+    ("light", 1_500, False),
+    ("at_capacity", 600, False),
+    ("overload", 350, False),
+    ("overload_faults", 350, True),
+)
+
+REQUESTS = 200
+SEED = 0
+
+
+def run_scenarios():
+    results = {}
+    failures = []
+    workload = ServingWorkload()
+    workload.warm()                       # goldens priced once, up front
+    for name, interarrival, faults in SCENARIOS:
+        cfg = LoadTestConfig(requests=REQUESTS, seed=SEED,
+                             mean_interarrival=interarrival, faults=faults)
+        t0 = time.perf_counter()
+        runtime = run_loadtest(cfg, workload)
+        wall = time.perf_counter() - t0
+        violations = check_invariants(runtime)
+        if signature(runtime) != signature(run_loadtest(cfg, workload)):
+            violations.append("outcome signature not reproducible")
+        report = chaos_report(cfg, runtime, violations)
+        report["wall_s"] = round(wall, 3)
+        results[name] = report
+        out = report["outcomes"]
+        print(f"{name:16s} ok={out['ok']:>3} shed={out['shed']:>3} "
+              f"deadline={out['deadline']:>3} failed={out['failed']:>3} "
+              f"wrong={out['wrong_result']} "
+              f"shed_rate={report['shed_rate']:.3f} wall={wall:.2f}s")
+        for v in violations:
+            failures.append(f"{name}: {v}")
+    if results["overload"]["outcomes"]["shed"] == 0:
+        failures.append("overload scenario shed nothing — admission bound "
+                        "is not binding at 1.7x offered load")
+    if results["light"]["shed_rate"] > results["overload"]["shed_rate"]:
+        failures.append("shed rate decreased as offered load grew")
+    return results, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_out = (Path(__file__).resolve().parent.parent
+                   / "BENCH_SERVING.json")
+    parser.add_argument("--out", default=str(default_out),
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+    results, failures = run_scenarios()
+    payload = {
+        "benchmark": "serving chaos harness load sweep (PR 4)",
+        "requests_per_scenario": REQUESTS,
+        "seed": SEED,
+        "scenarios": results,
+        "invariants_ok": not failures,
+    }
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, default=str) + "\n")
+    print(f"\nwrote {args.out}")
+    if failures:
+        print(f"FAIL: {len(failures)} violation(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("all scenarios hold the serving invariants")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,11 @@ Commands:
   scheduler, with optional per-tile-class tick profiling;
 * ``trace`` — run one microbench with the observability tracer armed and
   print the stall-attribution report, dump a per-tile timeline, or export
-  a Chrome/Perfetto ``trace.json``.
+  a Chrome/Perfetto ``trace.json``;
+* ``loadtest`` — the serving chaos harness: seeded open-loop load through
+  the concurrent serving runtime (optionally with flaky replicas), check
+  the serving invariants, print latency/shed-rate, exit non-zero on any
+  violation.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ def cmd_info(args) -> int:
     import repro
     print(f"repro {repro.__version__} — Aurochs (ISCA 2021) reproduction")
     print("packages: dataflow, memory, structures, db, ml, baselines, "
-          "perf, workloads, reliability, observability")
+          "perf, workloads, reliability, observability, serving")
     print("docs: README.md (overview), DESIGN.md (system inventory), "
           "EXPERIMENTS.md (paper-vs-measured)")
     return 0
@@ -160,6 +164,51 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_loadtest(args) -> int:
+    import json
+    from repro.serving import (
+        LoadTestConfig, ServingWorkload, chaos_report, check_invariants,
+        run_loadtest, signature)
+    cfg = LoadTestConfig(
+        requests=args.requests, seed=args.seed,
+        mean_interarrival=args.interarrival,
+        n_replicas=args.replicas, faults=args.faults)
+    workload = ServingWorkload()
+    runtime = run_loadtest(cfg, workload)
+    violations = check_invariants(runtime)
+    if args.verify_repro:
+        rerun = run_loadtest(cfg, ServingWorkload())
+        if signature(runtime) != signature(rerun):
+            violations.append(
+                "re-running the same config produced a different outcome "
+                "signature (determinism broken)")
+    report = chaos_report(cfg, runtime, violations)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, default=str)
+        print(f"wrote report to {args.out}")
+    out = report["outcomes"]
+    print(f"{cfg.requests} requests over {cfg.n_replicas} replicas "
+          f"(seed {cfg.seed}, faults {'on' if cfg.faults else 'off'}): "
+          f"{out['ok']} ok, {out['shed']} shed, {out['deadline']} deadline, "
+          f"{out['failed']} failed, {out['wrong_result']} wrong")
+    for klass, lat in report["latency_cycles"].items():
+        print(f"  {klass}: p50={lat['p50']} p99={lat['p99']} cycles "
+              f"(n={lat['n']})")
+    print(f"  shed_rate={report['shed_rate']} "
+          f"retries={report['retries']} "
+          f"hedges={report['hedges']['launched']}"
+          f"/{report['hedges']['won']} won")
+    if violations:
+        print(f"\n{len(violations)} INVARIANT VIOLATION(S):",
+              file=sys.stderr)
+        for v in violations:
+            print(f"  - {v}", file=sys.stderr)
+        return 1
+    print("invariants: ok")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -203,6 +252,24 @@ def main(argv=None) -> int:
     tr.add_argument("--capacity", type=int, default=None,
                     help="event-ring capacity (default 65536)")
     tr.set_defaults(fn=cmd_trace)
+    lt = sub.add_parser(
+        "loadtest",
+        help="serving chaos harness: open-loop load + invariant checks")
+    lt.add_argument("--requests", type=int, default=200,
+                    help="number of requests to generate")
+    lt.add_argument("--seed", type=int, default=0,
+                    help="seed for arrivals, mix, deadlines, and faults")
+    lt.add_argument("--interarrival", type=int, default=350,
+                    help="mean interarrival (virtual cycles; open loop)")
+    lt.add_argument("--replicas", type=int, default=4,
+                    help="fabric replicas in the serving pool")
+    lt.add_argument("--faults", action="store_true",
+                    help="make some replicas deterministically flaky")
+    lt.add_argument("--verify-repro", action="store_true",
+                    help="run twice and require bit-identical outcomes")
+    lt.add_argument("--out", metavar="PATH", default=None,
+                    help="write the JSON report to PATH")
+    lt.set_defaults(fn=cmd_loadtest)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -47,6 +47,21 @@ per-cycle ``FaultEvent.fired`` tally differs (the event engine checks a
 suspended tile once per window, not once per cycle); the first firing —
 what the :attr:`FaultInjector.log` records — happens at the identical
 cycle under both schedulers.
+
+Cancellation hook: an optional ``cancel`` token (duck-typed; see
+:class:`repro.serving.CancelToken`) lets a caller bound a run by a cycle
+deadline or cancel it cooperatively mid-flight.  The engine calls
+``cancel.check(cycle)`` at the top of every simulated cycle — a stream-end
+checkpoint boundary by construction: nothing has ticked yet this cycle —
+and the token raises a typed :class:`~repro.errors.DeadlineExceeded` or
+:class:`~repro.errors.Cancelled`.  The event scheduler additionally clamps
+its fast-forward jumps to ``cancel.deadline_cycle`` so a deadline falling
+inside an idle window fires at exactly the cycle the exhaustive loop would
+raise it; watchdog and overrun deadlines keep priority at exact ties,
+matching the exhaustive loop's check order.  Streams are closed on the
+cancellation path like on every other exit, so a cancelled simulation
+releases its scratchpad/DRAM graph state for reuse.  With ``cancel=None``
+(the default) the only cost is one is-None test per cycle.
 """
 
 from __future__ import annotations
@@ -73,7 +88,7 @@ class Engine:
     def __init__(self, graph: Graph, max_cycles: int = 50_000_000,
                  deadlock_window: int = 50_000, injector=None,
                  scheduler: str = "event", profile: bool = False,
-                 tracer=None):
+                 tracer=None, cancel=None):
         if scheduler not in ("event", "exhaustive"):
             raise ValueError(
                 f"unknown scheduler {scheduler!r}: use 'event' or 'exhaustive'")
@@ -82,6 +97,11 @@ class Engine:
         self.deadlock_window = deadlock_window
         self.injector = injector
         self.scheduler = scheduler
+        #: Cancellation hook: an object with ``check(cycle)`` (raises a
+        #: typed error to stop the run) and a ``deadline_cycle`` attribute
+        #: (int or None) that clamps the event scheduler's fast-forward.
+        #: None (the default) keeps the cancel-free hot path.
+        self.cancel = cancel
         #: Observability hook: a repro.observability.Tracer, or None.  When
         #: None the hot paths are byte-for-byte the untraced ones; when set
         #: the tracer is armed on the graph at run start and consulted
@@ -124,10 +144,13 @@ class Engine:
         tiles = list(reversed(self.graph.tiles))
         prof = self.tick_profile
         trace = self.tracer
+        tok = self.cancel
         cycle = 0
         last_progress = 0
         try:
             while True:
+                if tok is not None:
+                    tok.check(cycle)
                 moved = False
                 if inj is None and prof is None and trace is None:
                     for tile in tiles:
@@ -204,10 +227,13 @@ class Engine:
                     heapq.heappush(timers, (start, _ANY_GEN, i))
         prof = self.tick_profile
         trace = self.tracer
+        tok = self.cancel
         cycle = 0
         last_progress = 0
         try:
             while True:
+                if tok is not None:
+                    tok.check(cycle)
                 while timers and timers[0][0] <= cycle:
                     __, g, i = heapq.heappop(timers)
                     if ((g == _ANY_GEN or g == gen[i])
@@ -287,6 +313,16 @@ class Engine:
                     deadlock_at = last_progress + self.deadlock_window + 1
                     wake_at = self._ev_next_timer()
                     bound = min(deadlock_at, self.max_cycles)
+                    if (tok is not None and tok.deadline_cycle is not None
+                            and tok.deadline_cycle < bound
+                            and (wake_at is None
+                                 or tok.deadline_cycle <= wake_at)):
+                        # The cancellation deadline lands inside this idle
+                        # window, strictly before the watchdog/overrun
+                        # deadlines (at exact ties those win, matching the
+                        # exhaustive loop's check order).
+                        cycle = tok.deadline_cycle
+                        tok.check(cycle)
                     if wake_at is None or bound <= wake_at:
                         cycle = bound
                         if deadlock_at <= self.max_cycles:

@@ -49,7 +49,8 @@ class ExecutionContext:
     def run_with_retry(self, fn: Callable[["ExecutionContext"], object], *,
                        policy=None,
                        retry_on: Tuple[Type[BaseException], ...] = (FaultError,),
-                       sleep: Optional[Callable[[float], None]] = None):
+                       sleep: Optional[Callable[[float], None]] = None,
+                       deadline: Optional[float] = None):
         """Execute ``fn(ctx)`` with fault-retry and exponential backoff.
 
         ``fn`` receives a *fresh* sub-context per attempt so a failed
@@ -58,7 +59,10 @@ class ExecutionContext:
         recorded in :attr:`retry_log` (kind, site, computed backoff delay —
         deterministic for a given policy seed).  ``sleep`` is the wall-clock
         backoff hook; the default ``None`` logs delays without sleeping,
-        which is what a simulator wants.
+        which is what a simulator wants.  ``deadline`` bounds the cumulative
+        computed backoff (seconds): once spent, the last typed error is
+        re-raised instead of retrying past the caller's budget — the
+        query-level analogue of the serving tier's cycle deadlines.
         """
         from repro.reliability.retry import RetryPolicy, retry_call
 
@@ -74,7 +78,8 @@ class ExecutionContext:
             return result
 
         return retry_call(attempt, policy=policy, retry_on=retry_on,
-                          sleep=sleep, log=self.retry_log)
+                          sleep=sleep, log=self.retry_log,
+                          deadline=deadline)
 
     def trace(self, op: str, rows_in: int, rows_out: int,
               events: Optional[StructureEvents] = None,

@@ -9,6 +9,16 @@ fault is *detected* — by a stream checksum mismatch, the engine watchdog, or
 a failed scratchpad bank.  Fault errors always carry the fault ``kind``, the
 ``site`` (tile or stream name) and the ``cycle`` of detection so recovery
 code and tests can dispatch on them without parsing messages.
+
+The serving layer (``repro.serving``) adds the :class:`ServingError`
+branch: typed errors for requests the serving tier rejects or abandons —
+shed under overload (:class:`Overloaded`), cancelled at a deadline
+(:class:`DeadlineExceeded`, distinct from the engine watchdog), refused by
+an open circuit breaker (:class:`CircuitOpen`), or cooperatively cancelled
+(:class:`Cancelled`).  Mirroring the :class:`FaultError` conventions, every
+serving error carries the ``tenant`` and ``query`` it belongs to plus its
+class-specific structured fields, and has a stable, field-complete
+``repr`` so chaos-harness logs are reproducible bit-for-bit from a seed.
 """
 
 from typing import Optional, Sequence, Tuple
@@ -78,6 +88,125 @@ class FaultError(ReproError):
         self.site = site
         self.cycle = cycle
         self.detail = detail
+
+
+class ServingError(ReproError):
+    """Base class for serving-tier rejections and cancellations.
+
+    ``tenant`` and ``query`` identify the request the serving runtime was
+    handling; subclasses add their own structured fields.  The ``repr`` is
+    stable (message plus sorted structured fields, no object ids) so a
+    seeded load test reproduces identical error logs.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", query: str = "",
+                 request_id: Optional[int] = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.query = query
+        self.request_id = request_id
+
+    def _fields(self) -> Tuple[Tuple[str, object], ...]:
+        """Structured fields, in declaration order, for the stable repr."""
+        return (("tenant", self.tenant), ("query", self.query),
+                ("request_id", self.request_id))
+
+    def __repr__(self) -> str:
+        parts = [repr(self.args[0] if self.args else "")]
+        parts.extend(f"{name}={value!r}" for name, value in self._fields()
+                     if value not in ("", None))
+        return f"{type(self).__name__}({', '.join(parts)})"
+
+
+class Overloaded(ServingError):
+    """The serving tier shed this request instead of queueing it.
+
+    ``depth`` is the admission-queue occupancy when the request was shed
+    and ``limit`` the configured bound; ``evicted`` is True when the
+    request was admitted but later displaced by a higher-priority arrival.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", query: str = "",
+                 request_id: Optional[int] = None, depth: int = 0,
+                 limit: int = 0, evicted: bool = False):
+        super().__init__(message, tenant=tenant, query=query,
+                         request_id=request_id)
+        self.depth = depth
+        self.limit = limit
+        self.evicted = evicted
+
+    def _fields(self):
+        return super()._fields() + (("depth", self.depth),
+                                    ("limit", self.limit),
+                                    ("evicted", self.evicted or None))
+
+
+class DeadlineExceeded(ServingError):
+    """A request's end-to-end deadline expired (in queue or mid-run).
+
+    ``deadline`` is the cycle budget the request was given and ``cycle``
+    the simulated cycle at which it was cancelled — for an in-flight
+    simulation these are equal by construction (cooperative cancellation
+    fires at exactly the budget boundary); for a request cancelled while
+    still queued, ``cycle`` is the virtual time of the queue sweep.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", query: str = "",
+                 request_id: Optional[int] = None,
+                 deadline: Optional[int] = None, cycle: Optional[int] = None):
+        super().__init__(message, tenant=tenant, query=query,
+                         request_id=request_id)
+        self.deadline = deadline
+        self.cycle = cycle
+
+    def _fields(self):
+        return super()._fields() + (("deadline", self.deadline),
+                                    ("cycle", self.cycle))
+
+
+class CircuitOpen(ServingError):
+    """A dependency's circuit breaker is open; the call was not attempted.
+
+    ``replica`` names the fabric replica whose breaker tripped,
+    ``failures`` the consecutive-failure count that opened it, and
+    ``retry_at`` the virtual cycle at which a half-open probe becomes
+    eligible.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", query: str = "",
+                 request_id: Optional[int] = None, replica: str = "",
+                 failures: int = 0, retry_at: Optional[int] = None):
+        super().__init__(message, tenant=tenant, query=query,
+                         request_id=request_id)
+        self.replica = replica
+        self.failures = failures
+        self.retry_at = retry_at
+
+    def _fields(self):
+        return super()._fields() + (("replica", self.replica),
+                                    ("failures", self.failures),
+                                    ("retry_at", self.retry_at))
+
+
+class Cancelled(ServingError):
+    """A request was cooperatively cancelled (not by its own deadline) —
+    e.g. the losing leg of a hedged pair, or an explicit caller cancel.
+
+    ``cycle`` is the simulated cycle the engine observed the cancellation;
+    ``reason`` is free text (``"hedge_lost"``, ``"shutdown"``, ...).
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", query: str = "",
+                 request_id: Optional[int] = None,
+                 cycle: Optional[int] = None, reason: str = ""):
+        super().__init__(message, tenant=tenant, query=query,
+                         request_id=request_id)
+        self.cycle = cycle
+        self.reason = reason
+
+    def _fields(self):
+        return super()._fields() + (("cycle", self.cycle),
+                                    ("reason", self.reason))
 
 
 class ChecksumError(FaultError):

@@ -75,6 +75,26 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[int]:
+        """Exact q-quantile (0 < q <= 1) from the value buckets.
+
+        Returns the smallest observed value whose cumulative count reaches
+        ``ceil(q * count)`` — exact, not interpolated, which is the right
+        reading for latency-style integer distributions (p50/p99 of the
+        serving layer's virtual-cycle latencies).
+        """
+        if self.count == 0:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile q must be in (0, 1], got {q}")
+        rank = -(-q * self.count // 1)   # ceil without importing math
+        seen = 0
+        for value in sorted(self.buckets):
+            seen += self.buckets[value]
+            if seen >= rank:
+                return value
+        return self.max
+
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
         self.total += other.total

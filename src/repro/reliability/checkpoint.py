@@ -51,9 +51,12 @@ def _stateful_objects(graph) -> List:
     return objects
 
 
-#: Reliability hooks are owned by the injector, not the graph: fault
-#: consumption must survive a restore, and the engine re-arms hooks anyway.
-_EXCLUDED_ATTRS = frozenset({"monitor", "fault_injector"})
+#: Runtime hooks are owned by their runtimes, not the graph: fault
+#: consumption (``monitor``/``fault_injector``) must survive a restore, and
+#: the event scheduler (``sched``) and tracer (``tracer``) re-arm per run —
+#: snapshotting them would resurrect a stale engine's hooks (and deep-copy
+#: the scheduler's heap) into the next run.
+_EXCLUDED_ATTRS = frozenset({"monitor", "fault_injector", "sched", "tracer"})
 
 
 def _get_state(obj) -> Dict[str, object]:

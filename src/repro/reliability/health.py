@@ -11,7 +11,7 @@ instead of a stack trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -58,15 +58,24 @@ class QueryHealth:
 
 
 class HealthMonitor:
-    """Structured health account of one streaming pipeline."""
+    """Structured health account of one streaming pipeline.
 
-    def __init__(self):
+    Optionally wired to a PR 3
+    :class:`~repro.observability.metrics.MetricsRegistry`: every incident
+    also increments a ``health.<kind>`` counter there, so degradation shows
+    up in the same metrics surface as stalls and serving outcomes instead
+    of only in the incident log.  Unwired (the default), recording costs
+    one is-None test.
+    """
+
+    def __init__(self, metrics=None):
         self.incidents: List[Incident] = []
         self.rows_ok = 0
         self.rows_requeued = 0
         self.rows_dropped = 0
         self.rows_bad = 0
         self.queries: Dict[str, QueryHealth] = {}
+        self.metrics: Optional[object] = metrics
 
     # -- recording ---------------------------------------------------------
 
@@ -83,6 +92,8 @@ class HealthMonitor:
             self.rows_dropped += 1
         elif kind == "bad_row":
             self.rows_bad += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"health.{kind}").inc()
         return inc
 
     def query(self, name: str) -> QueryHealth:

@@ -55,15 +55,24 @@ def retry_call(fn: Callable[[], object], *,
                policy: Optional[RetryPolicy] = None,
                retry_on: Tuple[Type[BaseException], ...] = (FaultError,),
                sleep: Optional[Callable[[float], None]] = None,
-               log: Optional[List[RetryAttempt]] = None):
+               log: Optional[List[RetryAttempt]] = None,
+               deadline: Optional[float] = None):
     """Call ``fn`` with up to ``policy.retries`` retries on ``retry_on``.
 
     Each failure is appended to ``log`` (if given); the final failure is
     re-raised unchanged so callers still see the typed fault.
+
+    ``deadline`` is a backoff budget in seconds: once the *computed* delays
+    (slept or not) would cumulatively exceed it, retrying stops and the
+    last typed error is re-raised — a caller with 50ms to spend must not
+    sit out a 1s backoff for a retry it can no longer use.  The budget is
+    measured over the deterministic schedule, not wall clock, so behaviour
+    is identical whether or not ``sleep`` is wired.
     """
     policy = policy if policy is not None else RetryPolicy()
     delays = policy.delays()
     attempt = 0
+    spent = 0.0
     while True:
         try:
             return fn()
@@ -78,6 +87,9 @@ def retry_call(fn: Callable[[], object], *,
                 ))
             if attempt >= policy.retries:
                 raise
+            if deadline is not None and spent + delay > deadline:
+                raise
             if sleep is not None and delay > 0.0:
                 sleep(delay)
+            spent += delay
             attempt += 1

@@ -1,0 +1,79 @@
+"""Concurrent query serving over simulated Aurochs fabrics.
+
+The layer above single-query execution: a deterministic discrete-event
+runtime that multiplexes rideshare queries, streaming analytics, and
+cycle-level simulations over a pool of fabric replicas, with the standard
+production-robustness vocabulary — admission control and load shedding,
+deadline propagation and cooperative cancellation, per-replica circuit
+breakers, hedged requests, bulkhead isolation — all seeded and
+reproducible, plus a chaos harness that proves the invariants hold under
+overload and injected faults.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.bulkhead import Bulkhead
+from repro.serving.cancel import CancelToken
+from repro.serving.chaos import (
+    LoadTestConfig,
+    build_runtime,
+    chaos_report,
+    check_invariants,
+    generate_requests,
+    run_loadtest,
+    signature,
+)
+from repro.serving.replica import FabricReplica
+from repro.serving.request import (
+    PRIORITY_CLASSES,
+    STATUSES,
+    Outcome,
+    Request,
+    priority_of,
+)
+from repro.serving.runtime import ServingPolicy, ServingRuntime
+from repro.serving.workload import (
+    Golden,
+    Job,
+    QUERY_NAMES,
+    QueryJob,
+    ServingWorkload,
+    SimJob,
+    StreamingJob,
+    derive_seed,
+    fault_injector_for,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Bulkhead",
+    "CLOSED",
+    "CancelToken",
+    "CircuitBreaker",
+    "FabricReplica",
+    "Golden",
+    "HALF_OPEN",
+    "Job",
+    "LoadTestConfig",
+    "OPEN",
+    "Outcome",
+    "PRIORITY_CLASSES",
+    "QUERY_NAMES",
+    "QueryJob",
+    "Request",
+    "STATUSES",
+    "ServingPolicy",
+    "ServingRuntime",
+    "ServingWorkload",
+    "SimJob",
+    "StreamingJob",
+    "build_runtime",
+    "chaos_report",
+    "check_invariants",
+    "derive_seed",
+    "fault_injector_for",
+    "generate_requests",
+    "priority_of",
+    "run_loadtest",
+    "signature",
+]

@@ -1,0 +1,135 @@
+"""Admission control: bounded priority queue with load shedding.
+
+"Scaling Ordered Stream Processing on Shared-Memory Multicores" makes the
+case that ordered workloads live or die by admission policy under load;
+this module is the serving tier's front door.  The queue is bounded —
+overload sheds work with a typed :class:`~repro.errors.Overloaded` instead
+of growing without bound — and priority-aware: when the queue is full, a
+more-important arrival displaces the newest least-important queued request
+(the one that has invested the least waiting) rather than being dropped.
+
+Everything is deterministic: FIFO within a class, strict class priority
+across classes, and shedding decisions depend only on queue state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import Overloaded
+from repro.serving.request import PRIORITY_CLASSES, Request
+
+
+class AdmissionController:
+    """Bounded multi-class FIFO with displacement shedding."""
+
+    def __init__(self, capacity: int = 64,
+                 classes: Tuple[str, ...] = PRIORITY_CLASSES):
+        if capacity < 1:
+            raise ValueError("admission capacity must be >= 1")
+        self.capacity = capacity
+        self.classes = tuple(classes)
+        self._queues: Dict[str, deque] = {c: deque() for c in self.classes}
+        self.admitted = 0
+        self.shed = 0
+
+    # -- state -------------------------------------------------------------
+
+    def depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    # -- admission ---------------------------------------------------------
+
+    def offer(self, request: Request, now: int) -> List[
+            Tuple[Request, Overloaded]]:
+        """Admit ``request``, shedding as needed.
+
+        Returns the list of ``(request, error)`` pairs shed by this offer:
+        empty on a plain admit, the incoming request when rejected, or a
+        displaced lower-priority victim when the incoming request takes
+        its place.  Every shed carries a typed :class:`Overloaded`.
+        """
+        if request.klass not in self._queues:
+            raise ValueError(f"unknown priority class {request.klass!r}")
+        depth = self.depth()
+        if depth < self.capacity:
+            self._queues[request.klass].append(request)
+            self.admitted += 1
+            return []
+        victim = self._displacement_victim(request)
+        if victim is not None:
+            self._queues[victim.klass].remove(victim)
+            self._queues[request.klass].append(request)
+            self.admitted += 1
+            self.shed += 1
+            return [(victim, Overloaded(
+                f"request {victim.id} ({victim.klass}) evicted by "
+                f"higher-priority arrival {request.id} at depth {depth}",
+                tenant=victim.tenant, query=victim.query,
+                request_id=victim.id, depth=depth, limit=self.capacity,
+                evicted=True))]
+        self.shed += 1
+        return [(request, Overloaded(
+            f"admission queue full ({depth}/{self.capacity}); "
+            f"request {request.id} shed",
+            tenant=request.tenant, query=request.query,
+            request_id=request.id, depth=depth, limit=self.capacity))]
+
+    def _displacement_victim(self, incoming: Request) -> Optional[Request]:
+        """Newest queued request of a strictly lower class, if any."""
+        for klass in reversed(self.classes):
+            if klass == incoming.klass:
+                return None          # classes below incoming's are empty
+            q = self._queues[klass]
+            if q:
+                return q[-1]
+        return None
+
+    def requeue(self, request: Request) -> None:
+        """Put an already-admitted request back at the head of its class.
+
+        Used for fault retries: the request paid its admission once, so a
+        retry bypasses capacity (retry counts are bounded by policy) and
+        does not wait behind newer arrivals.
+        """
+        self._queues[request.klass].appendleft(request)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def take(self, eligible: Optional[Callable[[Request], bool]] = None
+             ) -> Optional[Request]:
+        """Pop the most important eligible request (FIFO within class).
+
+        ``eligible`` lets the caller apply bulkhead limits; ineligible
+        requests are skipped, not dropped — a blocked tenant's requests
+        wait in place while others proceed.
+        """
+        for klass in self.classes:
+            q = self._queues[klass]
+            if eligible is None:
+                if q:
+                    return q.popleft()
+                continue
+            for i, request in enumerate(q):
+                if eligible(request):
+                    del q[i]
+                    return request
+        return None
+
+    def expire(self, now: int) -> List[Request]:
+        """Remove every queued request whose deadline has already passed."""
+        expired: List[Request] = []
+        for q in self._queues.values():
+            keep = deque()
+            for request in q:
+                if request.deadline is not None and now >= request.deadline:
+                    expired.append(request)
+                else:
+                    keep.append(request)
+            q.clear()
+            q.extend(keep)
+        return expired

@@ -1,0 +1,111 @@
+"""Per-dependency circuit breakers over fabric replicas.
+
+Built on the PR 1 retry discipline: a replica that keeps surfacing typed
+:class:`~repro.errors.FaultError`\\ s is probably sick (a permanent fault
+schedule, in injector terms), and re-sending traffic at it both wastes
+cycle budget and delays the retry that would have succeeded elsewhere.
+The breaker is the standard three-state machine, driven entirely by the
+serving tier's virtual clock so transitions are deterministic:
+
+* **closed** — traffic flows; ``threshold`` *consecutive* failures open it;
+* **open** — traffic refused (callers see a typed
+  :class:`~repro.errors.CircuitOpen` or pick another replica) until
+  ``cooldown`` virtual cycles pass;
+* **half-open** — exactly one probe request is let through; success closes
+  the breaker, failure re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CircuitOpen
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    def __init__(self, name: str = "", threshold: int = 3,
+                 cooldown: int = 20_000):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.name = name
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[int] = None
+        self._probe_in_flight = False
+        #: (cycle, new_state) log — deterministic, assertable.
+        self.transitions: List[Tuple[int, str]] = []
+
+    # -- state machine -----------------------------------------------------
+
+    def _transition(self, now: int, state: str) -> None:
+        self.state = state
+        self.transitions.append((now, state))
+
+    def allow(self, now: int) -> bool:
+        """May a request be sent through right now?
+
+        Mutating: an open breaker whose cooldown has elapsed moves to
+        half-open and admits exactly one probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now >= self.retry_at():
+                self._transition(now, HALF_OPEN)
+                self._probe_in_flight = True
+                return True
+            return False
+        # HALF_OPEN: one probe at a time.
+        if not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self, now: int) -> None:
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+        if self.state != CLOSED:
+            self._transition(now, CLOSED)
+            self.opened_at = None
+
+    def record_failure(self, now: int) -> None:
+        self._probe_in_flight = False
+        if self.state == HALF_OPEN:
+            self.opened_at = now
+            self._transition(now, OPEN)
+            return
+        self.consecutive_failures += 1
+        if self.state == CLOSED and (self.consecutive_failures
+                                     >= self.threshold):
+            self.opened_at = now
+            self._transition(now, OPEN)
+
+    # -- introspection -----------------------------------------------------
+
+    def retry_at(self) -> int:
+        """Virtual cycle at which a half-open probe becomes eligible."""
+        if self.opened_at is None:
+            return 0
+        return self.opened_at + self.cooldown
+
+    def error(self, now: int, *, tenant: str = "", query: str = "",
+              request_id: Optional[int] = None) -> CircuitOpen:
+        """A typed refusal for a caller that insists on this replica."""
+        return CircuitOpen(
+            f"breaker {self.name!r} open at cycle {now} after "
+            f"{self.consecutive_failures} consecutive faults",
+            tenant=tenant, query=query, request_id=request_id,
+            replica=self.name, failures=self.consecutive_failures,
+            retry_at=self.retry_at())
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+                f"failures={self.consecutive_failures})")

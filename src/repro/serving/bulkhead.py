@@ -1,0 +1,53 @@
+"""Bulkhead isolation: per-tenant and per-class concurrency limits.
+
+One pathological tenant (or an unbounded batch backlog) must not occupy
+every fabric replica and starve the pool.  A :class:`Bulkhead` caps how
+many requests a tenant, and a priority class, may have *in flight*
+simultaneously; requests over the cap stay queued (skipped by the
+dispatcher, not shed) until a slot frees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.serving.request import Request
+
+
+class Bulkhead:
+    """In-flight concurrency accounting."""
+
+    def __init__(self, per_tenant: Optional[int] = None,
+                 class_limits: Optional[Dict[str, int]] = None):
+        self.per_tenant = per_tenant
+        self.class_limits = dict(class_limits or {})
+        self._tenant_active: Dict[str, int] = {}
+        self._class_active: Dict[str, int] = {}
+        self.rejections = 0          # dispatch skips due to a full bulkhead
+
+    def admits(self, request: Request) -> bool:
+        """True if dispatching ``request`` now stays within every limit."""
+        if (self.per_tenant is not None
+                and self._tenant_active.get(request.tenant, 0)
+                >= self.per_tenant):
+            self.rejections += 1
+            return False
+        limit = self.class_limits.get(request.klass)
+        if (limit is not None
+                and self._class_active.get(request.klass, 0) >= limit):
+            self.rejections += 1
+            return False
+        return True
+
+    def acquire(self, request: Request) -> None:
+        self._tenant_active[request.tenant] = (
+            self._tenant_active.get(request.tenant, 0) + 1)
+        self._class_active[request.klass] = (
+            self._class_active.get(request.klass, 0) + 1)
+
+    def release(self, request: Request) -> None:
+        self._tenant_active[request.tenant] -= 1
+        self._class_active[request.klass] -= 1
+
+    def active(self, tenant: str) -> int:
+        return self._tenant_active.get(tenant, 0)

@@ -1,0 +1,78 @@
+"""Cooperative cancellation tokens for in-flight simulations.
+
+The Aurochs thread model lets the runtime spawn and *kill* dataflow
+threads at will (§III); at the serving tier the matching primitive is a
+:class:`CancelToken` handed to the :class:`~repro.dataflow.engine.Engine`.
+The engine calls :meth:`CancelToken.check` at the top of every simulated
+cycle — a stream-end checkpoint boundary: nothing has ticked yet — and the
+token raises a typed :class:`~repro.errors.DeadlineExceeded` (cycle budget
+spent) or :class:`~repro.errors.Cancelled` (external cancel) to stop the
+run.  The engine's ``finally`` closes every stream on that path, so the
+cancelled graph's scratchpad/DRAM state is released for the next request.
+
+Both schedulers observe a deadline at the identical cycle: the exhaustive
+loop checks every cycle, and the event engine clamps its fast-forward
+jumps to :attr:`CancelToken.deadline_cycle`.  That makes deadline runs as
+reproducible as fault runs — same budget, same cancellation cycle, same
+``SimStats`` prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import Cancelled, DeadlineExceeded
+
+
+class CancelToken:
+    """Cycle-deadline plus external-cancel flag for one engine run.
+
+    ``deadline_cycle`` is the number of cycles the run may simulate (the
+    engine raises *before* ticking that cycle, so a run given a budget of
+    ``n`` consumes at most ``n`` cycles).  ``None`` means no deadline.
+    ``cancel()`` requests cooperative cancellation: the engine stops at
+    the next cycle boundary.  Tokens are single-use bookkeeping, not
+    thread-synchronization objects — the whole serving tier is a
+    deterministic discrete-event simulation.
+    """
+
+    __slots__ = ("deadline_cycle", "cancelled", "reason", "tenant",
+                 "query", "request_id", "fired_at")
+
+    def __init__(self, deadline_cycle: Optional[int] = None, *,
+                 tenant: str = "", query: str = "",
+                 request_id: Optional[int] = None):
+        self.deadline_cycle = deadline_cycle
+        self.cancelled = False
+        self.reason = ""
+        self.tenant = tenant
+        self.query = query
+        self.request_id = request_id
+        #: Cycle at which check() raised, or None while the run is live.
+        self.fired_at: Optional[int] = None
+
+    def cancel(self, reason: str = "") -> None:
+        """Request cooperative cancellation at the next cycle boundary."""
+        self.cancelled = True
+        self.reason = reason
+
+    def check(self, cycle: int) -> None:
+        """Engine hook: raise the typed cancellation error if due."""
+        if self.cancelled:
+            self.fired_at = cycle
+            raise Cancelled(
+                f"run cancelled at cycle {cycle}"
+                + (f" ({self.reason})" if self.reason else ""),
+                tenant=self.tenant, query=self.query,
+                request_id=self.request_id, cycle=cycle, reason=self.reason)
+        deadline = self.deadline_cycle
+        if deadline is not None and cycle >= deadline:
+            self.fired_at = cycle
+            raise DeadlineExceeded(
+                f"cycle budget of {deadline} exceeded at cycle {cycle}",
+                tenant=self.tenant, query=self.query,
+                request_id=self.request_id, deadline=deadline, cycle=cycle)
+
+    def __repr__(self) -> str:
+        return (f"CancelToken(deadline_cycle={self.deadline_cycle}, "
+                f"cancelled={self.cancelled}, query={self.query!r})")

@@ -1,0 +1,178 @@
+"""The chaos harness: seeded open-loop load tests with invariant checking.
+
+This is the serving tier's falsifier.  It generates an open-loop arrival
+stream (exponential interarrivals, so demand does not politely wait for
+capacity), mixes rideshare queries, streaming evaluations, and fault-prone
+simulations across tenants and priority classes, runs the whole thing
+through a :class:`~repro.serving.runtime.ServingRuntime` with some
+replicas made deterministically flaky, and then checks the invariants the
+robustness layer must never break:
+
+1. **no wrong results, ever** — every ``ok`` outcome's digest equals the
+   fault-free golden (the runtime re-checks this on every serve; the
+   harness re-verifies by scanning outcomes);
+2. **every non-success is typed** — each shed / deadline / failed outcome
+   carries the matching :class:`~repro.errors.ReproError` subclass;
+3. **conservation** — exactly one outcome per submitted request;
+4. **reproducibility** — the same config produces a bit-identical outcome
+   signature sequence (checked by running twice).
+
+Everything derives from ``config.seed``: arrivals, query mix, deadlines,
+flaky-replica fault schedules, hedge jitter.  A failing run is therefore
+a unit test, not an anecdote.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    Cancelled,
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultError,
+    Overloaded,
+    SimulationError,
+)
+from repro.serving.request import Request
+from repro.serving.runtime import ServingPolicy, ServingRuntime
+from repro.serving.workload import QUERY_NAMES, ServingWorkload, derive_seed
+
+#: Job mix: (name, weight).  Sims dominate — they are the fault surface —
+#: with the analytical queries and streaming eval as the latency-sensitive
+#: foreground traffic.
+DEFAULT_MIX: Tuple[Tuple[str, int], ...] = (
+    (("sim_map"), 18), (("sim_gather"), 12), (("sim_chase"), 10),
+    *(((name), 4) for name in QUERY_NAMES),
+    (("stream_zone"), 6),
+)
+
+TENANTS: Tuple[str, ...] = ("acme", "globex", "initech")
+
+
+@dataclass
+class LoadTestConfig:
+    """One fully seeded load-test scenario."""
+
+    requests: int = 200
+    seed: int = 0
+    mean_interarrival: int = 350         # virtual cycles: offered load
+                                         # ~1.5x pool capacity (open loop)
+    n_replicas: int = 4
+    faults: bool = False                 # make some replicas flaky
+    flaky_replicas: Tuple[int, ...] = (1, 3)
+    fault_rate: float = 0.6              # P(flaky replica injects) per run
+    interactive_share: float = 0.6
+    deadline_share: float = 0.9          # rest run with no deadline
+    interactive_budget: Tuple[int, int] = (8_000, 40_000)
+    batch_budget: Tuple[int, int] = (30_000, 120_000)
+    policy: ServingPolicy = field(default_factory=lambda: ServingPolicy(
+        queue_depth=48, per_tenant=6,
+        class_limits={"batch": 3}, retries=1, hedge_after=600))
+    mix: Tuple[Tuple[str, int], ...] = DEFAULT_MIX
+
+
+def generate_requests(config: LoadTestConfig) -> List[Request]:
+    """Seeded open-loop arrival stream for ``config``."""
+    rng = random.Random(derive_seed(config.seed, 0xA221))
+    names = [name for name, weight in config.mix for __ in range(weight)]
+    requests: List[Request] = []
+    t = 0
+    for i in range(config.requests):
+        t += max(1, int(rng.expovariate(1.0 / config.mean_interarrival)))
+        klass = ("interactive" if rng.random() < config.interactive_share
+                 else "batch")
+        deadline: Optional[int] = None
+        if rng.random() < config.deadline_share:
+            lo, hi = (config.interactive_budget if klass == "interactive"
+                      else config.batch_budget)
+            deadline = t + rng.randrange(lo, hi)
+        requests.append(Request(
+            id=i, tenant=rng.choice(TENANTS), query=rng.choice(names),
+            klass=klass, arrival=t, deadline=deadline))
+    return requests
+
+
+def build_runtime(config: LoadTestConfig,
+                  workload: Optional[ServingWorkload] = None,
+                  metrics=None) -> ServingRuntime:
+    return ServingRuntime(
+        workload, n_replicas=config.n_replicas, policy=config.policy,
+        seed=config.seed,
+        flaky_replicas=config.flaky_replicas if config.faults else (),
+        fault_rate=config.fault_rate, metrics=metrics)
+
+
+def run_loadtest(config: LoadTestConfig,
+                 workload: Optional[ServingWorkload] = None
+                 ) -> ServingRuntime:
+    """Generate, serve, and return the finished runtime."""
+    runtime = build_runtime(config, workload)
+    for request in generate_requests(config):
+        runtime.submit(request)
+    runtime.run()
+    return runtime
+
+
+#: status -> error types legitimately attached to that outcome.
+_EXPECTED_ERRORS = {
+    "shed": (Overloaded,),
+    "deadline": (DeadlineExceeded,),
+    # A retry-exhausted fault finalizes as 'failed' with the FaultError.
+    "failed": (FaultError, SimulationError, CircuitOpen, Cancelled),
+}
+
+
+def check_invariants(runtime: ServingRuntime) -> List[str]:
+    """Every violated serving invariant, as a human-readable list.
+
+    Empty means the run was correct *under chaos* — which is the whole
+    point: overload and injected faults may cost latency and availability,
+    never integrity or typed-error discipline.
+    """
+    problems = runtime.check()
+    for outcome in runtime.outcomes:
+        expected = _EXPECTED_ERRORS.get(outcome.status)
+        if expected is None:
+            continue
+        if not isinstance(outcome.error, expected):
+            problems.append(
+                f"request {outcome.request.id} status {outcome.status!r} "
+                f"carries {type(outcome.error).__name__}, expected one of "
+                f"{[t.__name__ for t in expected]}")
+    for outcome in runtime.outcomes:
+        if outcome.ok:
+            golden = runtime.workload.golden(outcome.request.query)
+            replica = next(r for r in runtime.replicas
+                           if r.name == outcome.replica)
+            if replica.fault_seed is None and outcome.cycles > golden.cycles:
+                problems.append(
+                    f"request {outcome.request.id} on healthy replica "
+                    f"{outcome.replica} took {outcome.cycles} cycles "
+                    f"(golden {golden.cycles})")
+    return problems
+
+
+def signature(runtime: ServingRuntime) -> Tuple:
+    """Bit-for-bit identity of a run, ordered by request id."""
+    return tuple(sorted((o.signature() for o in runtime.outcomes),
+                        key=lambda s: s[0]))
+
+
+def chaos_report(config: LoadTestConfig,
+                 runtime: ServingRuntime,
+                 violations: List[str]) -> Dict[str, object]:
+    """JSON-ready report: config echo + runtime report + verdict."""
+    report = runtime.report()
+    report["config"] = {
+        "requests": config.requests, "seed": config.seed,
+        "mean_interarrival": config.mean_interarrival,
+        "n_replicas": config.n_replicas, "faults": config.faults,
+        "flaky_replicas": (list(config.flaky_replicas)
+                           if config.faults else []),
+        "fault_rate": config.fault_rate,
+    }
+    report["invariants"] = {"ok": not violations, "violations": violations}
+    return report

@@ -1,0 +1,61 @@
+"""Fabric replicas: the serving pool's unit of capacity and of failure.
+
+A :class:`FabricReplica` models one simulated Aurochs fabric: it runs one
+job at a time (``busy_until`` in virtual cycles), owns a per-dependency
+:class:`~repro.serving.breaker.CircuitBreaker`, and — when given a fault
+seed — deterministically injects faults into the sim jobs it executes, so
+"this replica is flaky" is a reproducible property of the seed, not of
+chance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.workload import Job, derive_seed, fault_injector_for
+
+
+class FabricReplica:
+    """One fabric in the serving pool."""
+
+    def __init__(self, name: str, index: int, *,
+                 breaker: Optional[CircuitBreaker] = None,
+                 fault_seed: Optional[int] = None,
+                 fault_rate: float = 1.0,
+                 n_faults: int = 2):
+        self.name = name
+        self.index = index
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name=name)
+        #: None = healthy replica (never injects); an int seeds a
+        #: deterministic per-execution fault schedule.
+        self.fault_seed = fault_seed
+        self.fault_rate = fault_rate
+        self.n_faults = n_faults
+        self.busy_until = 0
+        self.jobs_run = 0
+        self.faults_surfaced = 0
+
+    def injector_for(self, job: Job, request, horizon: int):
+        """The injector this execution runs under, or None.
+
+        Seeded by (replica seed, request id, attempt) so a retry of the
+        same request on the same flaky replica draws a fresh schedule —
+        flakiness is transient per-execution, as PR 1's ``once=True``
+        events model.
+        """
+        if self.fault_seed is None or job.kind != "sim":
+            return None
+        seed = derive_seed(self.fault_seed, request.id, request.attempts)
+        if random.Random(seed).random() >= self.fault_rate:
+            return None
+        return fault_injector_for(job, seed=seed, horizon=horizon,
+                                  n_faults=self.n_faults)
+
+    def __repr__(self) -> str:
+        flaky = "flaky" if self.fault_seed is not None else "healthy"
+        return (f"FabricReplica({self.name!r}, {flaky}, "
+                f"busy_until={self.busy_until}, "
+                f"breaker={self.breaker.state})")

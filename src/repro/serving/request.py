@@ -1,0 +1,81 @@
+"""Requests and outcomes: the serving tier's unit of work and its record.
+
+A :class:`Request` is one query submission — who (tenant), what (a job
+name from the :class:`~repro.serving.workload.ServingWorkload` catalog),
+when (arrival, in virtual cycles), how urgent (priority class), and how
+long it may take end-to-end (absolute deadline, or None).  An
+:class:`Outcome` is the request's single, final disposition; the chaos
+harness's core invariant is that every request gets exactly one outcome,
+and every non-``ok`` outcome carries a typed
+:class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Priority classes, most important first.  Lower number = more important.
+PRIORITY_CLASSES: Tuple[str, ...] = ("interactive", "batch")
+
+#: Final outcome statuses.  ``wrong_result`` should never occur — it is
+#: the chaos harness's tripwire, not a legitimate disposition.
+STATUSES: Tuple[str, ...] = (
+    "ok", "shed", "deadline", "failed", "wrong_result")
+
+
+def priority_of(klass: str) -> int:
+    """Numeric priority of a class name (lower = more important)."""
+    return PRIORITY_CLASSES.index(klass)
+
+
+@dataclass(slots=True)
+class Request:
+    """One submitted query."""
+
+    id: int
+    tenant: str
+    query: str                       # job name in the workload catalog
+    klass: str = "interactive"       # priority class
+    arrival: int = 0                 # virtual cycle of submission
+    deadline: Optional[int] = None   # absolute virtual cycle, or None
+    # runtime bookkeeping
+    attempts: int = field(default=0, compare=False)
+
+    @property
+    def priority(self) -> int:
+        return priority_of(self.klass)
+
+
+@dataclass(slots=True)
+class Outcome:
+    """A request's final disposition."""
+
+    request: Request
+    status: str                      # one of STATUSES
+    finish: int                      # virtual cycle the disposition landed
+    error: Optional[BaseException] = None
+    replica: str = ""                # replica that produced the result
+    cycles: int = 0                  # execution cycles the winner consumed
+    attempts: int = 0                # dispatched attempts (0 if never ran)
+    hedged: bool = False             # a hedge leg was launched
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def latency(self) -> int:
+        """End-to-end virtual latency (queue wait + execution)."""
+        return self.finish - self.request.arrival
+
+    def signature(self) -> Tuple:
+        """Stable identity for bit-for-bit reproducibility assertions.
+
+        Two seeded runs of the same load test must produce identical
+        signature sequences: same shed set, same errors (via the stable
+        serving-error ``repr``), same virtual timings.
+        """
+        return (self.request.id, self.request.tenant, self.request.query,
+                self.status, repr(self.error), self.finish, self.replica,
+                self.cycles, self.attempts, self.hedged)

@@ -1,0 +1,441 @@
+"""The concurrent query-serving runtime: a deterministic DES over fabrics.
+
+The ROADMAP's production-scale story needs more than fast single queries —
+it needs a tier that takes an *open-loop* arrival stream of rideshare
+queries, streaming evaluations, and cycle-level simulations, multiplexes
+them over a pool of :class:`~repro.serving.replica.FabricReplica`\\ s, and
+stays correct and bounded when demand exceeds capacity or replicas turn
+flaky.  :class:`ServingRuntime` is that tier, built as a *deterministic
+discrete-event simulation* in virtual cycles (the same unit the engine
+simulates), which is what makes overload behaviour testable bit-for-bit
+from a seed:
+
+* **admission** — :class:`~repro.serving.admission.AdmissionController`:
+  bounded priority queue; overflow sheds with typed
+  :class:`~repro.errors.Overloaded` (displacing batch work for
+  interactive arrivals) instead of queueing unboundedly;
+* **deadlines** — an absolute per-request deadline propagates into an
+  engine cycle budget via :class:`~repro.serving.cancel.CancelToken`;
+  expiry in the queue, at an operator boundary, or mid-simulation all
+  surface the same typed :class:`~repro.errors.DeadlineExceeded`, and a
+  cancelled simulation frees its replica at the cancellation cycle — not
+  at the run's natural end;
+* **breakers + hedging** — per-replica
+  :class:`~repro.serving.breaker.CircuitBreaker`\\ s steer dispatch away
+  from replicas surfacing consecutive :class:`~repro.errors.FaultError`\\ s
+  (typed :class:`~repro.errors.CircuitOpen` when no replica can serve
+  before the deadline), and slow sim runs are hedged on a second replica
+  after a seeded-jitter cutoff, first response winning and the loser
+  cancelled;
+* **bulkheads** — :class:`~repro.serving.bulkhead.Bulkhead` caps
+  per-tenant / per-class concurrency so one pathological tenant queues
+  behind its own limit instead of occupying the pool;
+* **observability** — everything lands in a PR 3
+  :class:`~repro.observability.metrics.MetricsRegistry` (latency
+  histograms with exact p50/p99, shed/outcome counters) via
+  :meth:`ServingRuntime.report`.
+
+The runtime costs nothing when unused: single-query paths never touch
+this module, and the engine's cancel hook is one is-None test per cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    Cancelled,
+    DeadlineExceeded,
+    FaultError,
+    ReproError,
+    SimulationError,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.serving.admission import AdmissionController
+from repro.serving.breaker import CircuitBreaker, OPEN
+from repro.serving.bulkhead import Bulkhead
+from repro.serving.cancel import CancelToken
+from repro.serving.replica import FabricReplica
+from repro.serving.request import Outcome, Request
+from repro.serving.workload import ServingWorkload, derive_seed
+
+
+@dataclass
+class ServingPolicy:
+    """Knobs for the serving tier, all deterministic."""
+
+    queue_depth: int = 64                   # admission bound
+    per_tenant: Optional[int] = None        # bulkhead: concurrent/tenant
+    class_limits: Optional[Dict[str, int]] = None  # bulkhead: per class
+    breaker_threshold: int = 3              # consecutive faults to open
+    breaker_cooldown: int = 20_000          # cycles open before half-open
+    retries: int = 1                        # re-dispatches after a fault
+    hedge_after: Optional[int] = None       # cycles; None disables hedging
+    hedge_jitter: float = 0.25              # +fraction of hedge_after
+
+
+@dataclass(slots=True)
+class _Attempt:
+    """One dispatched execution of a request on one replica."""
+
+    replica: FabricReplica
+    start: int
+    cycles: int
+    status: str                  # 'ok' | 'deadline' | 'fault' | 'error'
+    error: Optional[BaseException]
+    digest: Optional[Tuple]
+
+    @property
+    def own_finish(self) -> int:
+        return self.start + self.cycles
+
+
+@dataclass(slots=True)
+class _Execution:
+    """A resolved dispatch: all legs, plus the winning one."""
+
+    request: Request
+    attempts: List[_Attempt]
+    winner: _Attempt
+    finish: int
+    hedged: bool
+
+
+class ServingRuntime:
+    """Deterministic concurrent serving over a pool of fabric replicas."""
+
+    def __init__(self, workload: Optional[ServingWorkload] = None, *,
+                 n_replicas: int = 4,
+                 policy: Optional[ServingPolicy] = None,
+                 seed: int = 0,
+                 flaky_replicas: Tuple[int, ...] = (),
+                 fault_rate: float = 1.0,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.workload = workload if workload is not None else ServingWorkload()
+        self.policy = policy if policy is not None else ServingPolicy()
+        self.seed = seed
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.replicas: List[FabricReplica] = []
+        for i in range(n_replicas):
+            fault_seed = (derive_seed(seed, i) if i in flaky_replicas
+                          else None)
+            self.replicas.append(FabricReplica(
+                f"fab{i}", i,
+                breaker=CircuitBreaker(
+                    name=f"fab{i}",
+                    threshold=self.policy.breaker_threshold,
+                    cooldown=self.policy.breaker_cooldown),
+                fault_seed=fault_seed, fault_rate=fault_rate))
+        self.admission = AdmissionController(capacity=self.policy.queue_depth)
+        self.bulkhead = Bulkhead(per_tenant=self.policy.per_tenant,
+                                 class_limits=self.policy.class_limits)
+        self.outcomes: List[Outcome] = []
+        self.clock = 0
+        self.submitted = 0
+        self._events: List[Tuple[int, int, str, object]] = []
+        self._seq = 0
+        self._kicks: set = set()
+
+    # -- event plumbing ----------------------------------------------------
+
+    def _push(self, time: int, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def submit(self, request: Request) -> None:
+        """Schedule a request's arrival (before or during :meth:`run`)."""
+        self.submitted += 1
+        self._push(request.arrival, "arrive", request)
+
+    def run(self) -> List[Outcome]:
+        """Drain every event; return all outcomes (one per request)."""
+        while self._events:
+            time, __, kind, payload = heapq.heappop(self._events)
+            self.clock = max(self.clock, time)
+            if kind == "arrive":
+                self._on_arrival(payload, time)
+            elif kind == "complete":
+                self._on_complete(payload, time)
+            else:                       # 'kick': wake the dispatcher
+                self._kicks.discard(time)
+            self._dispatch(time)
+        return self.outcomes
+
+    # -- arrival + admission -----------------------------------------------
+
+    def _on_arrival(self, request: Request, now: int) -> None:
+        self.metrics.counter("serving.arrivals").inc()
+        self.metrics.histogram("serving.queue_depth").observe(
+            self.admission.depth())
+        for victim, error in self.admission.offer(request, now):
+            self._finalize(Outcome(
+                victim, "shed", now, error=error, attempts=victim.attempts))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, now: int) -> None:
+        for request in self.admission.expire(now):
+            self._finalize(Outcome(
+                request, "deadline", now,
+                error=DeadlineExceeded(
+                    f"request {request.id} expired in queue at cycle {now}",
+                    tenant=request.tenant, query=request.query,
+                    request_id=request.id, deadline=request.deadline,
+                    cycle=now),
+                attempts=request.attempts))
+        while True:
+            free = [r for r in self.replicas if r.busy_until <= now]
+            if not free:
+                return
+            request = self.admission.take(eligible=self.bulkhead.admits)
+            if request is None:
+                return
+            replica = None
+            for r in free:
+                if r.breaker.allow(now):
+                    replica = r
+                    break
+            if replica is None:
+                self._no_replica(request, now, free)
+                return
+            self.bulkhead.acquire(request)
+            self._start(request, replica, now)
+
+    def _no_replica(self, request: Request, now: int,
+                    free: List[FabricReplica]) -> None:
+        """Every free replica's breaker refused the request."""
+        earliest = min(
+            max(r.busy_until, r.breaker.retry_at())
+            if r.breaker.state == OPEN else r.busy_until
+            for r in self.replicas)
+        if request.deadline is not None and earliest >= request.deadline:
+            # Fail fast, typed: waiting out the breakers would blow the
+            # deadline anyway, so surface the real cause.
+            breaker = free[0].breaker
+            self.metrics.counter("serving.circuit_rejections").inc()
+            self._finalize(Outcome(
+                request, "failed", now,
+                error=breaker.error(now, tenant=request.tenant,
+                                    query=request.query,
+                                    request_id=request.id),
+                attempts=request.attempts))
+            return
+        self.admission.requeue(request)
+        if earliest > now and earliest not in self._kicks:
+            self._kicks.add(earliest)
+            self._push(earliest, "kick", None)
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_attempt(self, request: Request, replica: FabricReplica,
+                         start: int) -> _Attempt:
+        job = self.workload.job(request.query)
+        golden = self.workload.golden(request.query)
+        budget = (None if request.deadline is None
+                  else request.deadline - start)
+        token = CancelToken(budget, tenant=request.tenant,
+                            query=request.query, request_id=request.id)
+        injector = replica.injector_for(job, request, horizon=golden.cycles)
+        replica.jobs_run += 1
+        try:
+            cycles, digest = job.execute(token=token, injector=injector)
+            status, error = "ok", None
+        except DeadlineExceeded as err:
+            cycles, digest = err.cycle, None
+            status, error = "deadline", err
+        except Cancelled as err:
+            cycles, digest = err.cycle, None
+            status, error = "error", err
+        except FaultError as err:
+            replica.faults_surfaced += 1
+            cycles = err.cycle if err.cycle is not None else golden.cycles
+            digest, status, error = None, "fault", err
+        except SimulationError as err:
+            cycles = err.cycle if err.cycle is not None else golden.cycles
+            digest, status, error = None, "error", err
+        cycles = max(1, cycles if cycles is not None else golden.cycles)
+        if budget is not None:
+            cycles = min(cycles, budget)
+        return _Attempt(replica, start, cycles, status, error, digest)
+
+    def _start(self, request: Request, replica: FabricReplica,
+               now: int) -> None:
+        request.attempts += 1
+        self.metrics.counter("serving.dispatches").inc()
+        self.metrics.histogram("serving.queue_wait").observe(
+            now - request.arrival)
+        primary = self._execute_attempt(request, replica, now)
+        attempts = [primary]
+        hedged = False
+        pol = self.policy
+        job = self.workload.job(request.query)
+        if pol.hedge_after is not None and job.kind == "sim":
+            jitter = random.Random(
+                derive_seed(self.seed, request.id, 0xEDE)).random()
+            cutoff = pol.hedge_after + int(
+                pol.hedge_after * pol.hedge_jitter * jitter)
+            if (primary.cycles > cutoff
+                    and (request.deadline is None
+                         or now + cutoff < request.deadline)):
+                hedge_start = now + cutoff
+                secondary_replica = next(
+                    (r for r in self.replicas
+                     if r is not replica and r.busy_until <= hedge_start
+                     and r.breaker.allow(hedge_start)), None)
+                if secondary_replica is not None:
+                    hedged = True
+                    self.metrics.counter("serving.hedges_launched").inc()
+                    attempts.append(self._execute_attempt(
+                        request, secondary_replica, hedge_start))
+        winner = self._resolve(attempts)
+        finish = winner.own_finish
+        for attempt in attempts:
+            # Losers are cancelled when the winner responds; every leg's
+            # replica frees at the resolution cycle.
+            attempt.replica.busy_until = min(attempt.own_finish, finish)
+        if hedged and winner is not primary:
+            self.metrics.counter("serving.hedges_won").inc()
+        self._push(finish, "complete",
+                   _Execution(request, attempts, winner, finish, hedged))
+
+    @staticmethod
+    def _resolve(attempts: List[_Attempt]) -> _Attempt:
+        """First successful leg wins; with no success, first responder."""
+        ok = [a for a in attempts if a.status == "ok"]
+        pool = ok if ok else attempts
+        return min(pool, key=lambda a: a.own_finish)
+
+    # -- completion --------------------------------------------------------
+
+    def _on_complete(self, ex: _Execution, now: int) -> None:
+        request, winner = ex.request, ex.winner
+        for attempt in ex.attempts:
+            if attempt.own_finish > ex.finish:
+                # Cancelled mid-flight: its own verdict never materialized,
+                # so it must not feed the breaker.
+                self.metrics.counter("serving.hedge_cancelled").inc()
+                continue
+            if attempt.status == "ok":
+                attempt.replica.breaker.record_success(attempt.own_finish)
+            elif attempt.status in ("fault", "error"):
+                attempt.replica.breaker.record_failure(attempt.own_finish)
+            # 'deadline' says nothing about replica health: no record.
+        self.bulkhead.release(request)
+        if winner.status == "ok":
+            golden = self.workload.golden(request.query)
+            if winner.digest != golden.digest:
+                self.metrics.counter("serving.wrong_results").inc()
+                self._finalize(Outcome(
+                    request, "wrong_result", now, error=None,
+                    replica=winner.replica.name, cycles=winner.cycles,
+                    attempts=request.attempts, hedged=ex.hedged))
+                return
+            self.metrics.histogram(
+                f"serving.latency.{request.klass}").observe(
+                    now - request.arrival)
+            self.metrics.histogram("serving.exec_cycles").observe(
+                winner.cycles)
+            self._finalize(Outcome(
+                request, "ok", now, error=None,
+                replica=winner.replica.name, cycles=winner.cycles,
+                attempts=request.attempts, hedged=ex.hedged))
+            return
+        if winner.status == "deadline":
+            self._finalize(Outcome(
+                request, "deadline", now, error=winner.error,
+                replica=winner.replica.name, cycles=winner.cycles,
+                attempts=request.attempts, hedged=ex.hedged))
+            return
+        # fault / error
+        if (winner.status == "fault"
+                and request.attempts <= self.policy.retries
+                and (request.deadline is None or now < request.deadline)):
+            self.metrics.counter("serving.retries").inc()
+            self.admission.requeue(request)
+            return
+        self._finalize(Outcome(
+            request, "failed", now, error=winner.error,
+            replica=winner.replica.name, cycles=winner.cycles,
+            attempts=request.attempts, hedged=ex.hedged))
+
+    def _finalize(self, outcome: Outcome) -> None:
+        self.metrics.counter(f"serving.outcome.{outcome.status}").inc()
+        self.outcomes.append(outcome)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """Plain-dict summary: outcome mix, latency quantiles, breakers."""
+        n = max(1, self.submitted)
+        counters = self.metrics.counters
+
+        def count(name: str) -> int:
+            c = counters.get(name)
+            return c.value if c is not None else 0
+
+        latency: Dict[str, object] = {}
+        for name, hist in sorted(self.metrics.histograms.items()):
+            if not name.startswith("serving.latency."):
+                continue
+            latency[name.rsplit(".", 1)[1]] = {
+                "n": hist.count,
+                "mean": round(hist.mean, 1),
+                "p50": hist.percentile(0.5),
+                "p99": hist.percentile(0.99),
+            }
+        shed = count("serving.outcome.shed")
+        return {
+            "requests": self.submitted,
+            "outcomes": {
+                status: count(f"serving.outcome.{status}")
+                for status in ("ok", "shed", "deadline", "failed",
+                               "wrong_result")},
+            "shed_rate": round(shed / n, 4),
+            "latency_cycles": latency,
+            "hedges": {
+                "launched": count("serving.hedges_launched"),
+                "won": count("serving.hedges_won"),
+                "cancelled": count("serving.hedge_cancelled")},
+            "retries": count("serving.retries"),
+            "circuit_rejections": count("serving.circuit_rejections"),
+            "breakers": {
+                r.name: {
+                    "state": r.breaker.state,
+                    "opens": sum(1 for __, s in r.breaker.transitions
+                                 if s == OPEN),
+                    "jobs_run": r.jobs_run,
+                    "faults": r.faults_surfaced}
+                for r in self.replicas},
+            "queue": {"admitted": self.admission.admitted,
+                      "shed": self.admission.shed,
+                      "bulkhead_skips": self.bulkhead.rejections},
+        }
+
+    def check(self) -> List[str]:
+        """Internal-consistency violations (empty when healthy)."""
+        problems: List[str] = []
+        if len(self.outcomes) != self.submitted:
+            problems.append(
+                f"{self.submitted} requests submitted but "
+                f"{len(self.outcomes)} outcomes recorded")
+        seen: set = set()
+        for outcome in self.outcomes:
+            if outcome.request.id in seen:
+                problems.append(
+                    f"request {outcome.request.id} has multiple outcomes")
+            seen.add(outcome.request.id)
+            if outcome.status == "wrong_result":
+                problems.append(
+                    f"request {outcome.request.id} served a wrong result")
+            if outcome.status != "ok" and not isinstance(
+                    outcome.error, ReproError):
+                problems.append(
+                    f"request {outcome.request.id} failed without a typed "
+                    f"ReproError: {outcome.error!r}")
+            if outcome.finish < outcome.request.arrival:
+                problems.append(
+                    f"request {outcome.request.id} finished before arrival")
+        return problems

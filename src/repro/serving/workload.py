@@ -1,0 +1,348 @@
+"""The serving workload catalog: what a request actually executes.
+
+Three job families, mirroring the paper's deployment mix:
+
+* **sim jobs** — cycle-level dataflow graphs run on a fabric replica's
+  :class:`~repro.dataflow.engine.Engine`.  These are the jobs the fault
+  injector can corrupt, stall, and slow down, and the jobs cooperative
+  cancellation stops mid-flight; their service time is the simulated cycle
+  count, so latency under faults is organic (a DRAM spike literally makes
+  the run longer).
+* **query jobs** — the rideshare queries Q1–Q9 over a small shared
+  dataset, priced into Aurochs cycles by the analytical
+  :class:`~repro.perf.cost_model.CostModel` (the paper's §V-B
+  methodology).  Deadlines are enforced at operator-trace boundaries.
+* **streaming jobs** — a self-contained
+  :class:`~repro.workloads.streaming.StreamingAnalytics` ingest +
+  standing-query evaluation, also cost-model priced.
+
+Every job is deterministic and *golden-checkable*: executing it with no
+faults and no deadline yields a reference ``(cycles, digest)`` that the
+chaos harness compares every successful serve against — the "no wrong
+results ever" invariant is literal equality, not a statistic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dataflow import (
+    Engine,
+    FilterTile,
+    Graph,
+    MapTile,
+    MergeTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.errors import DeadlineExceeded, FaultError, ReproError
+from repro.memory import DramMemory
+from repro.memory.dram import DramTile
+from repro.memory.spad_tile import PortConfig
+from repro.perf.cost_model import CostModel
+
+
+@dataclass(frozen=True)
+class Golden:
+    """Reference outcome of a fault-free, deadline-free execution."""
+
+    cycles: int
+    digest: Tuple
+
+
+class Job:
+    """One executable catalog entry."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        """Run the job; return ``(cycles_consumed, result_digest)``.
+
+        Raises typed :class:`~repro.errors.ReproError` subclasses on
+        faults, deadlines, and cancellation.
+        """
+        raise NotImplementedError
+
+    def fault_sites(self) -> Dict[str, List[str]]:
+        """Injectable sites, in :func:`~repro.reliability.random_schedule`
+        keyword form.  Empty for jobs the injector cannot reach."""
+        return {}
+
+
+class SimJob(Job):
+    """A cycle-level graph run on a replica's engine."""
+
+    kind = "sim"
+
+    def __init__(self, name: str, build: Callable[[], Graph],
+                 sites: Optional[Dict[str, List[str]]] = None,
+                 max_cycles: int = 2_000_000, deadlock_window: int = 5_000):
+        super().__init__(name)
+        self.build = build
+        self._sites = dict(sites or {})
+        self.max_cycles = max_cycles
+        # Generous enough that injected stalls (<= a few hundred cycles)
+        # surface as latency, not watchdog trips.
+        self.deadlock_window = deadlock_window
+
+    def fault_sites(self) -> Dict[str, List[str]]:
+        return dict(self._sites)
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        graph = self.build()         # fresh graph: no cross-request state
+        engine = Engine(graph, max_cycles=self.max_cycles,
+                        deadlock_window=self.deadlock_window,
+                        injector=injector, cancel=token)
+        try:
+            stats = engine.run()
+        except ReproError:
+            raise
+        except Exception as err:
+            # Fault containment: injected corruption can garble a payload
+            # *before* end-of-run checksum detection — e.g. a flipped DRAM
+            # address indexing out of range.  Under an armed injector that
+            # crash IS the fault manifesting, so surface it typed; with no
+            # injector it is a real bug and must propagate.
+            if injector is None:
+                raise
+            raise FaultError(
+                f"sim job {self.name!r} crashed under fault injection: "
+                f"{type(err).__name__}: {err}",
+                kind="contained_crash", site=self.name,
+                detail=str(err)) from err
+        return stats.cycles, self._digest(graph)
+
+    @staticmethod
+    def _digest(graph: Graph) -> Tuple:
+        """Order-independent sink contents, per sink tile."""
+        return tuple(
+            (tile.name, tuple(sorted(tile.records)))
+            for tile in graph.tiles if isinstance(tile, SinkTile))
+
+
+class _TracedJob(Job):
+    """Shared deadline/pricing logic for cost-model-priced jobs."""
+
+    def _settle(self, ctx, digest: Tuple, token) -> Tuple[int, Tuple]:
+        """Price the traced execution; enforce the deadline at operator
+        boundaries (the analytical analogue of the engine's per-cycle
+        stream-end check)."""
+        model = CostModel()
+        budget = None if token is None else token.deadline_cycle
+        spent = 0.0
+        for trace in ctx.traces:
+            spent += (model.event_cycles(trace.events,
+                                         rows=trace.rows_in).cycles
+                      + model.stage_overhead_cycles)
+            if budget is not None and spent > budget:
+                raise DeadlineExceeded(
+                    f"query {self.name!r} exceeded its {budget}-cycle "
+                    f"budget at operator {trace.op!r}",
+                    tenant=getattr(token, "tenant", ""), query=self.name,
+                    request_id=getattr(token, "request_id", None),
+                    deadline=budget, cycle=budget)
+        if token is not None:
+            token.check(int(spent))  # honor external cancellation too
+        return max(1, int(round(spent))), digest
+
+
+class QueryJob(_TracedJob):
+    """One rideshare query (Q1–Q9) over the shared serving dataset."""
+
+    kind = "query"
+
+    def __init__(self, name: str, data_fn: Callable[[], object]):
+        super().__init__(name)
+        self._data_fn = data_fn
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        from repro.db import ExecutionContext
+        from repro.workloads.queries import run_query
+        ctx = ExecutionContext()
+        table = run_query(self.name, self._data_fn(), ctx)
+        digest = (table.name, tuple(sorted(tuple(r) for r in table.rows)))
+        return self._settle(ctx, digest, token)
+
+
+class StreamingJob(_TracedJob):
+    """Self-contained streaming-analytics ingest + standing query."""
+
+    kind = "streaming"
+
+    def __init__(self, name: str, n_events: int = 240, window: int = 63):
+        super().__init__(name)
+        self.n_events = n_events
+        self.window = window
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        from repro.db import ExecutionContext, Table
+        from repro.db.operators import hash_group_by
+        from repro.workloads.streaming import StreamingAnalytics
+        table = Table.from_columns("events", time=[], zone=[], value=[])
+        pipeline = StreamingAnalytics(table, "time", index_batch=64)
+        pipeline.ingest([(t, t % 4, float(t)) for t in range(self.n_events)])
+        pipeline.register(
+            "by_zone", window=self.window,
+            body=lambda window, ctx: hash_group_by(
+                window, ["zone"], {"n": ("count", None),
+                                   "total": ("sum", "value")}, ctx))
+        ctx = ExecutionContext()
+        result = pipeline.evaluate("by_zone", ctx)
+        digest = (result.name, tuple(sorted(tuple(r) for r in result.rows)))
+        return self._settle(ctx, digest, token)
+
+
+# -- sim graph builders ----------------------------------------------------
+
+def _map_graph(n: int = 192) -> Graph:
+    """src -> map(double) -> sink; streams 'a' and 'b' (checksum sites)."""
+    g = Graph("serve_map")
+    src = g.add(SourceTile("src", [(i, i & 7) for i in range(n)]))
+    m = g.add(MapTile("m", lambda r: (r[0] * 2, r[1])))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, m, name="a")
+    g.connect(m, sink, name="b")
+    return g
+
+
+def _gather_graph(n_requests: int = 128, n: int = 1024) -> Graph:
+    """DRAM gather: src indices -> DramTile read -> sink."""
+    g = Graph("serve_gather")
+    mem = DramMemory("dram", capacity_words=2 * n)
+    data = mem.region("data", n, 1, fill=0)
+    for i in range(n):
+        data[i] = (i * 7 + 3) % 251
+    src = g.add(SourceTile("src", [((i * 13) % n,)
+                                   for i in range(n_requests)]))
+    dram = g.add(DramTile("dram_t", mem, [PortConfig(
+        mode="read", region=data, addr=lambda r: r[0],
+        combine=lambda r, v: (r[0], v))]))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, dram, name="reqs")
+    g.connect(dram, sink, name="resps")
+    return g
+
+
+def _chase_graph(n_threads: int = 4, hops: int = 8, n: int = 512) -> Graph:
+    """Dependent pointer-chase through DRAM: the latency-bound regime."""
+    g = Graph("serve_chase")
+    mem = DramMemory("dram", capacity_words=2 * n)
+    nxt = mem.region("next", n, 1, fill=0)
+    for i in range(n):
+        nxt[i] = (i * 173 + 13) % n
+    src = g.add(SourceTile("src", [((i * 97) % n, 0)
+                                   for i in range(n_threads)]))
+    merge = g.add(MergeTile("merge"))
+    dram = g.add(DramTile("hop", mem, [PortConfig(
+        mode="read", region=nxt, addr=lambda r: r[0],
+        combine=lambda r, v: (v, r[1] + 1))]))
+    cond = g.add(FilterTile("cond", lambda r: r[1] >= hops))
+    sink = g.add(SinkTile("sink"))
+    g.connect(src, merge, name="in")
+    g.connect(merge, dram, name="to_dram")
+    g.connect(dram, cond, name="from_dram")
+    g.connect(cond, sink, name="out", producer_port=0)
+    g.connect(cond, merge, name="loop", producer_port=1, priority=True)
+    return g
+
+
+#: Default small rideshare dataset for query jobs — big enough that the
+#: cost model separates the queries, small enough for hundreds of serves.
+_SERVING_RIDESHARE = dict(n_drivers=60, n_riders=120, n_locations=16,
+                          n_rides=800, n_ride_reqs=160, n_driver_status=160)
+
+QUERY_NAMES = tuple(f"q{i}" for i in range(1, 10))
+
+
+class ServingWorkload:
+    """The catalog of jobs a serving runtime can be asked to run."""
+
+    def __init__(self, seed: int = 2021,
+                 rideshare_cfg: Optional[dict] = None):
+        self.seed = seed
+        self._rideshare_cfg = dict(rideshare_cfg or _SERVING_RIDESHARE)
+        self._data = None
+        self._goldens: Dict[str, Golden] = {}
+        self.jobs: Dict[str, Job] = {}
+        self._register_defaults()
+
+    # -- catalog -----------------------------------------------------------
+
+    def _register_defaults(self) -> None:
+        self.add(SimJob("sim_map", _map_graph, sites={
+            "streams": ["a", "b"], "tiles": ["m"]}))
+        self.add(SimJob("sim_gather", _gather_graph, sites={
+            "streams": ["reqs", "resps"], "tiles": ["dram_t"],
+            "drams": ["dram_t"]}))
+        self.add(SimJob("sim_chase", _chase_graph, sites={
+            "streams": ["to_dram", "from_dram"], "tiles": ["merge"],
+            "drams": ["hop"]}))
+        for name in QUERY_NAMES:
+            self.add(QueryJob(name, self._rideshare))
+        self.add(StreamingJob("stream_zone"))
+
+    def add(self, job: Job) -> None:
+        self.jobs[job.name] = job
+
+    def job(self, name: str) -> Job:
+        return self.jobs[name]
+
+    def names(self, kind: Optional[str] = None) -> List[str]:
+        return [n for n, j in self.jobs.items()
+                if kind is None or j.kind == kind]
+
+    def _rideshare(self):
+        if self._data is None:
+            from repro.workloads import RideshareConfig, generate
+            self._data = generate(RideshareConfig(seed=self.seed,
+                                                  **self._rideshare_cfg))
+        return self._data
+
+    # -- goldens -----------------------------------------------------------
+
+    def golden(self, name: str) -> Golden:
+        """Reference (cycles, digest), computed once, fault- and
+        deadline-free."""
+        g = self._goldens.get(name)
+        if g is None:
+            cycles, digest = self.jobs[name].execute()
+            g = self._goldens[name] = Golden(cycles=cycles, digest=digest)
+        return g
+
+    def warm(self, names: Optional[List[str]] = None) -> None:
+        """Precompute goldens (the runtime does this before serving)."""
+        for name in (names if names is not None else self.names()):
+            self.golden(name)
+
+
+def derive_seed(*parts: int) -> int:
+    """Mix integers into one deterministic 31-bit seed (no Python hash —
+    `hash()` of ints is stable, but being explicit costs nothing)."""
+    acc = 0x9E3779B9
+    for p in parts:
+        acc = (acc * 1_000_003 + int(p) + 0x7F4A7C15) % (1 << 31)
+    return acc
+
+
+def fault_injector_for(job: Job, *, seed: int, horizon: int,
+                       n_faults: int = 2, transient: bool = True):
+    """A seeded injector targeting ``job``'s sites, or None if it has none.
+
+    ``horizon`` bounds fault cycles to the job's fault-free run length so
+    scheduled events actually land inside the run.
+    """
+    sites = job.fault_sites()
+    if not any(sites.values()):
+        return None
+    from repro.reliability import FaultInjector, random_schedule
+    rng = random.Random(seed)
+    schedule = random_schedule(rng.randrange(1 << 30),
+                               n_faults=n_faults,
+                               horizon=max(2, horizon),
+                               transient=transient, **sites)
+    return FaultInjector(schedule, seed=seed)

@@ -52,7 +52,8 @@ class StreamingAnalytics:
 
     def __init__(self, table: Table, time_field: str,
                  index_batch: int = 1024,
-                 policy: Optional[DegradePolicy] = None):
+                 policy: Optional[DegradePolicy] = None,
+                 metrics=None):
         self.table = table
         self.time_field = time_field
         self._ti = table.col_index(time_field)
@@ -62,7 +63,9 @@ class StreamingAnalytics:
         self.now = max(table.column(time_field), default=0)
         self.events_ingested = 0
         self.policy = policy
-        self.health = HealthMonitor()
+        # ``metrics`` (a MetricsRegistry) additionally surfaces every
+        # degradation incident as a health.<kind> counter.
+        self.health = HealthMonitor(metrics=metrics)
 
     # -- registration -----------------------------------------------------
 

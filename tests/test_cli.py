@@ -112,3 +112,30 @@ class TestTraceCli:
     def test_unknown_case_fails(self, capsys):
         assert main(["trace", "--case", "nope"]) == 2
         assert "unknown case" in capsys.readouterr().err
+
+
+class TestLoadtestCli:
+    def test_loadtest_ok_exit_zero(self, capsys):
+        assert main(["loadtest", "--requests", "40", "--seed", "0",
+                     "--interarrival", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants: ok" in out
+        assert "40 requests" in out
+
+    def test_loadtest_with_faults_and_repro_check(self, capsys):
+        assert main(["loadtest", "--requests", "60", "--seed", "1",
+                     "--faults", "--verify-repro"]) == 0
+        out = capsys.readouterr().out
+        assert "faults on" in out
+        assert "wrong" in out
+
+    def test_loadtest_writes_json_report(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "report.json"
+        assert main(["loadtest", "--requests", "40", "--seed", "2",
+                     "--out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["invariants"]["ok"] is True
+        assert report["config"]["requests"] == 40
+        assert set(report["outcomes"]) == {
+            "ok", "shed", "deadline", "failed", "wrong_result"}

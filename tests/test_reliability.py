@@ -8,6 +8,7 @@ engine's cycle counts are untouched.
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.dataflow import (
     Engine,
@@ -437,3 +438,217 @@ class TestRandomizedEndToEnd:
             assert res.attempts == len(res.failures) + 1
         except FaultError as err:
             assert err.kind and err.site   # typed, structured, acceptable
+
+
+class TestRetryDeadline:
+    """PR 4 satellite: a retry budget that respects the caller's deadline."""
+
+    @staticmethod
+    def _always_fail(sub):
+        raise ChecksumError("persistent", kind="corrupt_record",
+                            site="a", cycle=1)
+
+    def test_zero_deadline_fails_after_first_attempt(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ChecksumError):
+            ctx.run_with_retry(self._always_fail,
+                               policy=RetryPolicy(retries=5, seed=1),
+                               deadline=0.0)
+        # One attempt, no retries: the first backoff already blew 0s.
+        assert len(ctx.retry_log) == 1
+
+    def test_deadline_cuts_the_backoff_schedule_short(self):
+        policy = RetryPolicy(retries=5, base_delay=0.01, max_delay=1.0,
+                             multiplier=2.0, jitter=0.0, seed=1)
+        delays = policy.delays()           # deterministic: [.01,.02,.04,...]
+        budget = delays[0] + delays[1]     # exactly two retries' worth
+        ctx = ExecutionContext()
+        with pytest.raises(ChecksumError):
+            ctx.run_with_retry(self._always_fail, policy=policy,
+                               deadline=budget)
+        assert len(ctx.retry_log) == 3     # first try + 2 budgeted retries
+
+    def test_generous_deadline_changes_nothing(self):
+        for deadline in (None, 1e9):
+            ctx = ExecutionContext()
+            with pytest.raises(ChecksumError):
+                ctx.run_with_retry(self._always_fail,
+                                   policy=RetryPolicy(retries=2, seed=3),
+                                   deadline=deadline)
+            assert len(ctx.retry_log) == 3
+
+    def test_recovery_within_deadline_still_wins(self):
+        ctx = ExecutionContext()
+        attempts = []
+
+        def flaky(sub):
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise ChecksumError("once", kind="corrupt_record",
+                                    site="a", cycle=1)
+            return "ok"
+
+        out = ctx.run_with_retry(
+            flaky, policy=RetryPolicy(retries=3, base_delay=0.01,
+                                      jitter=0.0, seed=0),
+            deadline=10.0)
+        assert out == "ok" and len(attempts) == 2
+
+
+class TestCheckpointUnderEventScheduler:
+    """PR 4 satellite: restores and the event engine's re-armed hooks."""
+
+    def test_runtime_hooks_excluded_from_snapshots(self):
+        from repro.reliability.checkpoint import _EXCLUDED_ATTRS
+        assert {"monitor", "fault_injector", "sched", "tracer"} \
+            <= _EXCLUDED_ATTRS
+
+    @pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
+    def test_restore_after_midrun_abort_reruns_identically(self, scheduler):
+        """Abort mid-run (serving cancel token), restore, re-run clean."""
+        from repro.errors import DeadlineExceeded
+        from repro.serving import CancelToken
+
+        g, sink = _map_graph()
+        reference = Engine(_map_graph()[0], scheduler=scheduler).run()
+        cp = checkpoint(g)
+        tok = CancelToken(reference.cycles // 2)
+        with pytest.raises(DeadlineExceeded):
+            Engine(g, scheduler=scheduler, cancel=tok).run()
+        cp.restore()
+        stats = Engine(g, scheduler=scheduler).run()
+        assert stats == reference          # bit-identical SimStats
+        assert sorted(sink.records) == EXPECTED
+
+    def test_event_run_then_restore_then_both_schedulers_agree(self):
+        """A snapshot taken before an event-scheduler run must not smuggle
+        its sched hooks into a later exhaustive run (and vice versa)."""
+        g, sink = _map_graph()
+        cp = checkpoint(g)
+        ev = Engine(g, scheduler="event").run()
+        cp.restore()
+        # The snapshot must not have captured (or resurrected) hooks: the
+        # event engine detached them at run end and restore leaves them be.
+        assert all(s.sched is None for s in g.streams)
+        ex = Engine(g, scheduler="exhaustive").run()
+        assert ev == ex
+        assert sorted(sink.records) == EXPECTED
+        cp.restore()
+        assert Engine(g, scheduler="event").run() == ev
+
+
+class TestHealthMetricsWiring:
+    """PR 4 satellite: degradation incidents land in a MetricsRegistry."""
+
+    def test_record_incident_increments_typed_counter(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.reliability.health import HealthMonitor
+
+        reg = MetricsRegistry()
+        mon = HealthMonitor(metrics=reg)
+        mon.record_incident("bad_row", "events", 3)
+        mon.record_incident("bad_row", "events", 4)
+        mon.record_incident("late_dropped", "events", 5)
+        assert reg.counters["health.bad_row"].value == 2
+        assert reg.counters["health.late_dropped"].value == 1
+
+    def test_unwired_monitor_stays_metric_free(self):
+        from repro.reliability.health import HealthMonitor
+        mon = HealthMonitor()
+        mon.record_incident("bad_row", "events", 1)
+        assert mon.metrics is None
+
+    def test_streaming_pipeline_passthrough(self):
+        from repro.db import Table
+        from repro.observability.metrics import MetricsRegistry
+        from repro.workloads.streaming import StreamingAnalytics
+
+        reg = MetricsRegistry()
+        t = Table.from_columns("events", time=[], zone=[], value=[])
+        s = StreamingAnalytics(t, "time", index_batch=16,
+                               policy=DegradePolicy(), metrics=reg)
+        s.ingest([(1, 0, 1.0), ("bad",), (2, 1, 2.0)])
+        assert reg.counters["health.bad_row"].value == 1
+
+
+class TestBreakerProperties:
+    """PR 4 satellite: seeded property tests of the breaker state machine."""
+
+    @given(st.integers(1, 5), st.integers(1, 100),
+           st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_state_machine_invariants(self, threshold, cooldown, results):
+        from repro.serving import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+        br = CircuitBreaker("p", threshold=threshold, cooldown=cooldown)
+        now = 0
+        for ok in results:
+            now += 1
+            if not br.allow(now):
+                # Refusals only while open and cooling down.
+                assert br.state in (OPEN, HALF_OPEN)
+                if br.state == OPEN:
+                    assert now < br.retry_at()
+                continue
+            if ok:
+                br.record_success(now)
+                assert br.state == CLOSED
+                assert br.consecutive_failures == 0
+            else:
+                br.record_failure(now)
+            assert br.state in (CLOSED, OPEN, HALF_OPEN)
+            if br.state == CLOSED:
+                assert br.consecutive_failures < threshold
+        # The transition log only ever records state *changes*.
+        for (t1, s1), (t2, s2) in zip(br.transitions, br.transitions[1:]):
+            assert t1 <= t2 and s1 != s2
+
+    @given(st.integers(1, 4), st.integers(5, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_open_breaker_recovers_through_half_open(self, threshold,
+                                                     cooldown):
+        from repro.serving import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+        br = CircuitBreaker("p", threshold=threshold, cooldown=cooldown)
+        for i in range(threshold):
+            br.record_failure(i)
+        assert br.state == OPEN
+        assert not br.allow(br.retry_at() - 1)
+        assert br.allow(br.retry_at())     # probe admitted at the boundary
+        assert br.state == HALF_OPEN
+        br.record_success(br.retry_at() + 1)
+        assert br.state == CLOSED
+
+
+class TestDegradationProperties:
+    """PR 4 satellite: the stale-serve bound, as a property."""
+
+    @given(st.integers(0, 12), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_stale_serves_bounded_by_policy(self, n_failures, bound):
+        from repro.db import Table
+        from repro.workloads.streaming import StreamingAnalytics
+
+        t = Table.from_columns("events", time=[], zone=[], value=[])
+        s = StreamingAnalytics(
+            t, "time", index_batch=16,
+            policy=DegradePolicy(max_consecutive_failures=bound))
+        s.ingest([(i, 0, float(i)) for i in range(5)])
+
+        def body(window, ctx):
+            raise ChecksumError("poisoned", kind="corrupt_record",
+                                site="events", cycle=0)
+
+        s.register("q", 3, body)
+        served_stale = 0
+        for __ in range(n_failures):
+            try:
+                s.evaluate("q")
+                served_stale += 1
+            except ChecksumError:
+                pass
+        # Degradation masks exactly the first `bound` consecutive
+        # failures; everything after surfaces.
+        assert served_stale == min(n_failures, bound)
+        assert s.health_report()["queries"].get(
+            "q", {"failures": 0})["failures"] == n_failures

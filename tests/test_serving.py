@@ -1,0 +1,468 @@
+"""The concurrent serving runtime (`repro.serving`).
+
+Component contracts — admission shedding, bulkhead limits, circuit-breaker
+state machine, cancel-token deadlines, golden-checkable jobs — plus the
+runtime-level behaviours the PR 4 acceptance criteria pin: typed errors
+everywhere, cancellation that provably stops the engine early and frees
+the fabric slot, hedging with seeded jitter, and retry routing around
+flaky replicas.
+"""
+
+import pytest
+
+from repro.dataflow import Engine
+from repro.errors import (
+    Cancelled,
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultError,
+    Overloaded,
+    ReproError,
+    ServingError,
+)
+from repro.serving import (
+    AdmissionController,
+    Bulkhead,
+    CLOSED,
+    CancelToken,
+    CircuitBreaker,
+    HALF_OPEN,
+    LoadTestConfig,
+    OPEN,
+    Outcome,
+    Request,
+    ServingPolicy,
+    ServingRuntime,
+    ServingWorkload,
+    derive_seed,
+    fault_injector_for,
+)
+from repro.serving.workload import _map_graph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """One warmed catalog shared across the module (goldens are pure)."""
+    w = ServingWorkload()
+    w.warm(["sim_map", "sim_gather", "sim_chase"])
+    return w
+
+
+class TestErrorTaxonomy:
+    def test_all_serving_errors_share_base(self):
+        for exc in (Overloaded, DeadlineExceeded, CircuitOpen, Cancelled):
+            assert issubclass(exc, ServingError)
+        assert issubclass(ServingError, ReproError)
+
+    def test_structured_fields(self):
+        err = Overloaded("full", tenant="acme", query="q1", request_id=7,
+                         depth=48, limit=48, evicted=True)
+        assert (err.tenant, err.query, err.request_id) == ("acme", "q1", 7)
+        assert (err.depth, err.limit, err.evicted) == (48, 48, True)
+        err = DeadlineExceeded("late", deadline=100, cycle=104)
+        assert (err.deadline, err.cycle) == (100, 104)
+        err = CircuitOpen("open", replica="fab1", failures=3, retry_at=500)
+        assert (err.replica, err.failures, err.retry_at) == ("fab1", 3, 500)
+
+    def test_repr_is_stable_and_structured(self):
+        a = CircuitOpen("open", tenant="t", query="q3", replica="fab0",
+                        failures=4, retry_at=9)
+        b = CircuitOpen("open", tenant="t", query="q3", replica="fab0",
+                        failures=4, retry_at=9)
+        assert repr(a) == repr(b)          # no object ids leak in
+        assert "fab0" in repr(a) and "failures=4" in repr(a)
+        # Empty fields are omitted, mirroring FaultError conventions.
+        assert "request_id" not in repr(a)
+
+
+class TestCancelToken:
+    def test_deadline_raises_typed_at_budget(self):
+        tok = CancelToken(10, query="sim_map", request_id=3)
+        tok.check(9)                       # under budget: silent
+        with pytest.raises(DeadlineExceeded) as ei:
+            tok.check(10)
+        assert ei.value.deadline == 10 and ei.value.cycle == 10
+        assert ei.value.request_id == 3
+        assert tok.fired_at == 10
+
+    def test_cancel_beats_deadline(self):
+        tok = CancelToken(1000)
+        tok.cancel("shutdown")
+        with pytest.raises(Cancelled) as ei:
+            tok.check(5)
+        assert ei.value.reason == "shutdown"
+
+    def test_no_deadline_never_fires(self):
+        tok = CancelToken(None)
+        tok.check(10**9)
+
+
+class TestEngineCancellation:
+    """The tentpole's deadline-propagation contract, at the engine level."""
+
+    @pytest.fixture()
+    def full_cycles(self):
+        g = _map_graph()
+        return Engine(g).run().cycles
+
+    @pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
+    def test_budget_stops_run_early(self, scheduler, full_cycles):
+        budget = full_cycles // 2
+        tok = CancelToken(budget)
+        g = _map_graph()
+        with pytest.raises(DeadlineExceeded) as ei:
+            Engine(g, scheduler=scheduler, cancel=tok).run()
+        # Provably early: the engine raised before ticking cycle `budget`.
+        assert ei.value.cycle == budget < full_cycles
+        # Streams are closed on the cancellation path (state released).
+        assert all(s.closed for s in g.streams)
+
+    def test_schedulers_cancel_at_identical_cycle(self, full_cycles):
+        cycles = []
+        for scheduler in ("event", "exhaustive"):
+            tok = CancelToken(full_cycles // 3)
+            with pytest.raises(DeadlineExceeded) as ei:
+                Engine(_map_graph(), scheduler=scheduler, cancel=tok).run()
+            cycles.append(ei.value.cycle)
+        assert cycles[0] == cycles[1]
+
+    @pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
+    def test_generous_budget_is_invisible(self, scheduler, full_cycles):
+        tok = CancelToken(full_cycles + 1)
+        stats = Engine(_map_graph(), scheduler=scheduler, cancel=tok).run()
+        assert stats.cycles == full_cycles
+
+    @pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
+    def test_external_cancel_stops_at_next_boundary(self, scheduler):
+        tok = CancelToken(None)
+        tok.cancel("test")
+        with pytest.raises(Cancelled):
+            Engine(_map_graph(), scheduler=scheduler, cancel=tok).run()
+
+
+class TestAdmission:
+    @staticmethod
+    def _req(i, klass="interactive", deadline=None):
+        return Request(id=i, tenant="t", query="sim_map", klass=klass,
+                       arrival=0, deadline=deadline)
+
+    def test_admits_under_capacity(self):
+        adm = AdmissionController(capacity=2)
+        assert adm.offer(self._req(0), now=0) == []
+        assert adm.offer(self._req(1), now=0) == []
+        assert adm.depth() == 2
+
+    def test_full_queue_sheds_typed(self):
+        adm = AdmissionController(capacity=1)
+        adm.offer(self._req(0), now=0)
+        shed = adm.offer(self._req(1), now=5)
+        assert len(shed) == 1
+        victim, err = shed[0]
+        assert victim.id == 1
+        assert isinstance(err, Overloaded)
+        assert err.depth == 1 and err.limit == 1 and not err.evicted
+
+    def test_interactive_displaces_newest_batch(self):
+        adm = AdmissionController(capacity=2)
+        adm.offer(self._req(0, "batch"), now=0)
+        adm.offer(self._req(1, "batch"), now=0)
+        shed = adm.offer(self._req(2, "interactive"), now=0)
+        victim, err = shed[0]
+        assert victim.id == 1              # newest batch request evicted
+        assert err.evicted
+        assert adm.take().id == 2          # interactive dispatches first
+        assert adm.take().id == 0
+
+    def test_batch_cannot_displace_interactive(self):
+        adm = AdmissionController(capacity=1)
+        adm.offer(self._req(0, "interactive"), now=0)
+        shed = adm.offer(self._req(1, "batch"), now=0)
+        assert shed[0][0].id == 1          # the batch arrival itself sheds
+
+    def test_take_is_fifo_within_class(self):
+        adm = AdmissionController(capacity=8)
+        for i in range(3):
+            adm.offer(self._req(i), now=0)
+        assert [adm.take().id for __ in range(3)] == [0, 1, 2]
+
+    def test_requeue_bypasses_capacity_and_goes_first(self):
+        adm = AdmissionController(capacity=1)
+        adm.offer(self._req(0), now=0)
+        retry = self._req(9)
+        adm.requeue(retry)
+        assert adm.depth() == 2            # over nominal capacity, by design
+        assert adm.take().id == 9
+
+    def test_expire_sweeps_past_deadlines(self):
+        adm = AdmissionController(capacity=4)
+        adm.offer(self._req(0, deadline=10), now=0)
+        adm.offer(self._req(1, deadline=100), now=0)
+        expired = adm.expire(now=50)
+        assert [r.id for r in expired] == [0]
+        assert adm.depth() == 1
+
+
+class TestBulkhead:
+    @staticmethod
+    def _req(i, tenant="t", klass="interactive"):
+        return Request(id=i, tenant=tenant, query="q1", klass=klass)
+
+    def test_per_tenant_limit(self):
+        bh = Bulkhead(per_tenant=1)
+        a, b = self._req(0, "acme"), self._req(1, "acme")
+        assert bh.admits(a)
+        bh.acquire(a)
+        assert not bh.admits(b)            # acme at its limit
+        assert bh.admits(self._req(2, "globex"))
+        bh.release(a)
+        assert bh.admits(b)
+
+    def test_class_limit(self):
+        bh = Bulkhead(class_limits={"batch": 1})
+        a = self._req(0, klass="batch")
+        bh.acquire(a)
+        assert not bh.admits(self._req(1, klass="batch"))
+        assert bh.admits(self._req(2, klass="interactive"))
+        assert bh.rejections == 1
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        br = CircuitBreaker("b", threshold=3, cooldown=100)
+        for t in (1, 2):
+            br.record_failure(t)
+            assert br.state == CLOSED
+        br.record_failure(3)
+        assert br.state == OPEN
+        assert not br.allow(50)            # still cooling down
+        assert br.retry_at() == 103
+
+    def test_success_resets_consecutive_count(self):
+        br = CircuitBreaker("b", threshold=2)
+        br.record_failure(1)
+        br.record_success(2)
+        br.record_failure(3)
+        assert br.state == CLOSED          # streak broken by the success
+
+    def test_half_open_single_probe_then_close(self):
+        br = CircuitBreaker("b", threshold=1, cooldown=10)
+        br.record_failure(0)
+        assert br.allow(10)                # cooldown elapsed: probe admitted
+        assert br.state == HALF_OPEN
+        assert not br.allow(11)            # one probe at a time
+        br.record_success(12)
+        assert br.state == CLOSED
+        assert br.allow(13)
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        br = CircuitBreaker("b", threshold=1, cooldown=10)
+        br.record_failure(0)
+        assert br.allow(10)
+        br.record_failure(15)
+        assert br.state == OPEN
+        assert br.retry_at() == 25         # cooldown restarts at reopen
+        assert [s for __, s in br.transitions] == [OPEN, HALF_OPEN, OPEN]
+
+    def test_typed_error_carries_breaker_state(self):
+        br = CircuitBreaker("fab2", threshold=1, cooldown=10)
+        br.record_failure(0)
+        err = br.error(3, tenant="acme", query="q1", request_id=4)
+        assert isinstance(err, CircuitOpen)
+        assert err.replica == "fab2" and err.retry_at == 10
+
+
+class TestWorkload:
+    def test_goldens_are_deterministic_across_catalogs(self, workload):
+        other = ServingWorkload()
+        for name in ("sim_map", "sim_gather", "sim_chase"):
+            assert workload.golden(name) == other.golden(name)
+
+    def test_query_and_streaming_jobs_priced_in_cycles(self, workload):
+        for name in ("q1", "stream_zone"):
+            g = workload.golden(name)
+            assert g.cycles > 1_000        # cost-model priced, not trivial
+            assert g.digest
+
+    def test_query_deadline_enforced_at_operator_boundary(self, workload):
+        tok = CancelToken(10)              # far below any query's cost
+        with pytest.raises(DeadlineExceeded):
+            workload.job("q1").execute(token=tok)
+
+    def test_sim_job_under_injector_raises_typed_or_matches_golden(
+            self, workload):
+        job = workload.job("sim_gather")
+        golden = workload.golden("sim_gather")
+        outcomes = {"typed": 0, "ok": 0}
+        for seed in range(8):
+            inj = fault_injector_for(job, seed=seed, horizon=golden.cycles)
+            try:
+                __, digest = job.execute(injector=inj)
+            except ReproError:
+                outcomes["typed"] += 1
+            else:
+                assert digest == golden.digest
+                outcomes["ok"] += 1
+        assert outcomes["typed"] > 0       # the schedule does land faults
+
+    def test_derive_seed_is_stable_and_mixes(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+        assert derive_seed(1, 2, 3) != derive_seed(3, 2, 1)
+
+
+def _runtime(workload, *, n_replicas=2, flaky=(), policy=None, seed=0,
+             fault_rate=1.0):
+    return ServingRuntime(workload, n_replicas=n_replicas,
+                          policy=policy or ServingPolicy(),
+                          seed=seed, flaky_replicas=flaky,
+                          fault_rate=fault_rate)
+
+
+class TestRuntime:
+    def test_light_load_all_ok(self, workload):
+        rt = _runtime(workload)
+        for i in range(4):
+            rt.submit(Request(id=i, tenant="t", query="sim_map",
+                              arrival=i * 1_000))
+        outcomes = rt.run()
+        assert all(o.ok for o in outcomes)
+        assert rt.check() == []
+
+    def test_queue_expiry_yields_typed_deadline_outcome(self, workload):
+        golden = workload.golden("sim_chase")
+        rt = _runtime(workload, n_replicas=1)
+        rt.submit(Request(id=0, tenant="t", query="sim_chase", arrival=0))
+        # Arrives while the only replica is busy, expires before it frees.
+        rt.submit(Request(id=1, tenant="t", query="sim_map", arrival=1,
+                          deadline=golden.cycles // 2))
+        outcomes = {o.request.id: o for o in rt.run()}
+        assert outcomes[0].ok
+        assert outcomes[1].status == "deadline"
+        assert isinstance(outcomes[1].error, DeadlineExceeded)
+        assert outcomes[1].attempts == 0   # never dispatched
+
+    def test_cancellation_frees_replica_at_deadline(self, workload):
+        golden = workload.golden("sim_chase")
+        budget = golden.cycles // 2
+        rt = _runtime(workload, n_replicas=1)
+        rt.submit(Request(id=0, tenant="t", query="sim_chase", arrival=0,
+                          deadline=budget))
+        outcomes = rt.run()
+        assert outcomes[0].status == "deadline"
+        # The slot frees at the cancellation cycle, not the natural end.
+        assert outcomes[0].cycles <= budget < golden.cycles
+        assert rt.replicas[0].busy_until <= budget
+
+    def test_cancelled_slot_serves_the_next_request_sooner(self, workload):
+        golden = workload.golden("sim_chase")
+        budget = golden.cycles // 2
+
+        def finish_of_second(deadline):
+            rt = _runtime(workload, n_replicas=1)
+            rt.submit(Request(id=0, tenant="t", query="sim_chase",
+                              arrival=0, deadline=deadline))
+            rt.submit(Request(id=1, tenant="t", query="sim_map", arrival=1))
+            return {o.request.id: o for o in rt.run()}[1].finish
+
+        assert finish_of_second(budget) < finish_of_second(None)
+
+    def test_fault_retries_then_succeeds_elsewhere(self, workload):
+        # Replica 0 always injects; replica 1 is healthy.  With one retry
+        # the request must eventually land a correct result.
+        rt = _runtime(workload, n_replicas=2, flaky=(0,),
+                      policy=ServingPolicy(retries=2))
+        rt.submit(Request(id=0, tenant="t", query="sim_gather", arrival=0))
+        outcomes = rt.run()
+        assert outcomes[0].ok or isinstance(outcomes[0].error, ReproError)
+        assert rt.check() == []
+
+    def test_breaker_opens_and_circuit_open_is_typed(self, workload):
+        # Single all-flaky replica, no retries: consecutive faults open the
+        # breaker, and once open a deadlined arrival fails fast with a
+        # typed CircuitOpen rather than waiting out the cooldown.
+        pol = ServingPolicy(retries=0, breaker_threshold=2,
+                            breaker_cooldown=1_000_000)
+        rt = _runtime(workload, n_replicas=1, flaky=(0,), policy=pol)
+        golden = workload.golden("sim_gather")
+        t = 0
+        for i in range(6):
+            rt.submit(Request(id=i, tenant="t", query="sim_gather",
+                              arrival=t, deadline=t + 4 * golden.cycles))
+            t += 2 * golden.cycles
+        outcomes = rt.run()
+        assert rt.replicas[0].breaker.state == OPEN
+        circuit_rejected = [o for o in outcomes
+                            if isinstance(o.error, CircuitOpen)]
+        assert circuit_rejected, "no request saw the open breaker"
+        assert all(o.status == "failed" for o in circuit_rejected)
+
+    def test_hedge_launches_and_loser_is_cancelled(self, workload):
+        golden = workload.golden("sim_chase")
+        pol = ServingPolicy(hedge_after=golden.cycles // 4)
+        rt = _runtime(workload, n_replicas=2, policy=pol)
+        rt.submit(Request(id=0, tenant="t", query="sim_chase", arrival=0))
+        outcomes = rt.run()
+        assert outcomes[0].ok and outcomes[0].hedged
+        m = rt.metrics.counters
+        assert m["serving.hedges_launched"].value == 1
+        assert m["serving.hedge_cancelled"].value == 1
+        # Both replicas freed at the winner's finish.
+        assert (rt.replicas[0].busy_until == rt.replicas[1].busy_until
+                == outcomes[0].finish)
+
+    def test_bulkhead_holds_tenant_to_its_limit(self, workload):
+        pol = ServingPolicy(per_tenant=1)
+        rt = _runtime(workload, n_replicas=2, policy=pol)
+        for i in range(3):
+            rt.submit(Request(id=i, tenant="acme", query="sim_chase",
+                              arrival=0))
+        outcomes = rt.run()
+        assert all(o.ok for o in outcomes)
+        # Serial execution: each request waited for the previous finish.
+        finishes = sorted(o.finish for o in outcomes)
+        assert finishes[1] >= finishes[0] * 2 - 1
+
+    def test_shed_outcome_is_typed_overloaded(self, workload):
+        pol = ServingPolicy(queue_depth=1)
+        rt = _runtime(workload, n_replicas=1, policy=pol)
+        for i in range(4):
+            rt.submit(Request(id=i, tenant="t", query="sim_chase",
+                              arrival=0, klass="batch"))
+        outcomes = rt.run()
+        shed = [o for o in outcomes if o.status == "shed"]
+        assert shed and all(isinstance(o.error, Overloaded) for o in shed)
+        assert len(outcomes) == 4          # conservation
+
+    def test_report_shape(self, workload):
+        rt = _runtime(workload)
+        rt.submit(Request(id=0, tenant="t", query="sim_map", arrival=0))
+        rt.run()
+        rep = rt.report()
+        assert rep["requests"] == 1
+        assert rep["outcomes"]["ok"] == 1
+        assert "p50" in rep["latency_cycles"]["interactive"]
+        assert set(rep["breakers"]) == {"fab0", "fab1"}
+
+
+class TestOutcomeSignature:
+    def test_signature_reflects_disposition(self):
+        req = Request(id=3, tenant="t", query="q1", arrival=10)
+        a = Outcome(req, "ok", 50, replica="fab0", cycles=40, attempts=1)
+        b = Outcome(req, "ok", 50, replica="fab0", cycles=40, attempts=1)
+        assert a.signature() == b.signature()
+        assert a.latency == 40
+        c = Outcome(req, "ok", 51, replica="fab0", cycles=40, attempts=1)
+        assert a.signature() != c.signature()
+
+
+class TestLoadTestConfigDefaults:
+    def test_generated_stream_is_deterministic(self):
+        from repro.serving import generate_requests
+        cfg = LoadTestConfig(requests=50, seed=3)
+        one = generate_requests(cfg)
+        two = generate_requests(cfg)
+        assert [(r.id, r.query, r.arrival, r.deadline, r.klass,
+                 r.tenant) for r in one] == \
+               [(r.id, r.query, r.arrival, r.deadline, r.klass,
+                 r.tenant) for r in two]
+        assert any(r.klass == "batch" for r in one)
+        assert any(r.deadline is None for r in one)

@@ -1,0 +1,145 @@
+"""End-to-end serving chaos: the PR 4 acceptance invariants.
+
+A seeded open-loop load test of 200+ mixed requests through the serving
+runtime with deterministically flaky replicas must (1) never serve a
+wrong result, (2) attach a typed :class:`~repro.errors.ReproError` to
+every non-success, (3) produce exactly one outcome per request, and
+(4) be bit-for-bit reproducible from its seed.  Overload must actually
+engage the admission bound, and the whole exercise must leave the
+cancel-free engine hot path untouched.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving import (
+    LoadTestConfig,
+    ServingWorkload,
+    chaos_report,
+    check_invariants,
+    generate_requests,
+    run_loadtest,
+    signature,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    w = ServingWorkload()
+    w.warm()
+    return w
+
+
+@pytest.fixture(scope="module")
+def chaos_run(workload):
+    """One 200-request overload+faults run, shared by the assertions."""
+    cfg = LoadTestConfig(requests=200, seed=0, faults=True)
+    return cfg, run_loadtest(cfg, workload)
+
+
+class TestChaosInvariants:
+    def test_no_invariant_violations(self, chaos_run):
+        __, runtime = chaos_run
+        assert check_invariants(runtime) == []
+
+    def test_one_outcome_per_request(self, chaos_run):
+        __, runtime = chaos_run
+        assert len(runtime.outcomes) == 200
+        assert len({o.request.id for o in runtime.outcomes}) == 200
+
+    def test_zero_wrong_results_and_digests_match_golden(self, chaos_run,
+                                                         workload):
+        __, runtime = chaos_run
+        assert all(o.status != "wrong_result" for o in runtime.outcomes)
+        # Spot-audit: ok outcomes on flaky replicas still matched golden
+        # (the runtime verified the digest before reporting ok).
+        flaky_names = {r.name for r in runtime.replicas
+                       if r.fault_seed is not None}
+        served_on_flaky = [o for o in runtime.outcomes
+                           if o.ok and o.replica in flaky_names]
+        assert served_on_flaky, "chaos run never served from a flaky replica"
+
+    def test_every_non_success_is_typed(self, chaos_run):
+        __, runtime = chaos_run
+        non_ok = [o for o in runtime.outcomes if not o.ok]
+        assert non_ok, "chaos run produced no failures to type-check"
+        assert all(isinstance(o.error, ReproError) for o in non_ok)
+
+    def test_all_failure_modes_exercised(self, chaos_run):
+        __, runtime = chaos_run
+        statuses = {o.status for o in runtime.outcomes}
+        assert {"ok", "shed", "deadline", "failed"} <= statuses
+
+    def test_bit_for_bit_reproducible(self, chaos_run, workload):
+        cfg, runtime = chaos_run
+        rerun = run_loadtest(cfg, ServingWorkload())
+        assert signature(runtime) == signature(rerun)
+
+    def test_different_seed_different_run(self, chaos_run, workload):
+        cfg, runtime = chaos_run
+        other_cfg = LoadTestConfig(requests=200, seed=1, faults=True)
+        other = run_loadtest(other_cfg, workload)
+        assert check_invariants(other) == []
+        assert signature(runtime) != signature(other)
+
+    def test_report_carries_quantiles_and_verdict(self, chaos_run):
+        cfg, runtime = chaos_run
+        report = chaos_report(cfg, runtime, check_invariants(runtime))
+        assert report["invariants"]["ok"]
+        lat = report["latency_cycles"]["interactive"]
+        assert lat["p50"] is not None and lat["p99"] >= lat["p50"]
+        assert 0.0 <= report["shed_rate"] < 1.0
+        assert report["outcomes"]["ok"] + report["outcomes"]["shed"] + \
+            report["outcomes"]["deadline"] + report["outcomes"]["failed"] \
+            == 200
+
+
+class TestOverloadBehaviour:
+    def test_admission_bound_engages_under_overload(self, workload):
+        cfg = LoadTestConfig(requests=120, seed=2,
+                             mean_interarrival=150)   # ~3.7x capacity
+        runtime = run_loadtest(cfg, workload)
+        assert check_invariants(runtime) == []
+        report = runtime.report()
+        assert report["outcomes"]["shed"] > 0
+        # The queue never exceeded its bound (+retry requeues, which are
+        # bounded by the retry budget and bypass capacity by design).
+        peak = runtime.metrics.histograms["serving.queue_depth"].max
+        assert peak <= cfg.policy.queue_depth
+
+    def test_interactive_sheds_less_than_batch_under_overload(self,
+                                                              workload):
+        cfg = LoadTestConfig(requests=200, seed=4, mean_interarrival=200)
+        runtime = run_loadtest(cfg, workload)
+        by_class = {"interactive": [0, 0], "batch": [0, 0]}
+        for o in runtime.outcomes:
+            by_class[o.request.klass][0] += 1
+            if o.status == "shed":
+                by_class[o.request.klass][1] += 1
+        rates = {k: shed / total for k, (total, shed) in by_class.items()}
+        assert rates["interactive"] < rates["batch"]
+
+    def test_fault_free_run_has_no_failures(self, workload):
+        cfg = LoadTestConfig(requests=100, seed=0, faults=False,
+                             mean_interarrival=1_500)
+        runtime = run_loadtest(cfg, workload)
+        assert check_invariants(runtime) == []
+        assert all(o.ok for o in runtime.outcomes)
+
+
+class TestZeroCostWhenUnused:
+    def test_engine_stats_identical_without_cancel_token(self):
+        # The serving layer's engine hook must not perturb plain runs:
+        # cancel=None is the default and the only added work per cycle is
+        # one is-None test, with bit-identical SimStats.
+        from repro.dataflow import Engine
+        from repro.serving.workload import _chase_graph
+        plain = Engine(_chase_graph()).run()
+        explicit = Engine(_chase_graph(), cancel=None).run()
+        assert plain == explicit
+
+    def test_request_generation_is_pure(self):
+        cfg = LoadTestConfig(requests=10, seed=0)
+        generate_requests(cfg)
+        assert generate_requests(cfg)[9].arrival == \
+            generate_requests(cfg)[9].arrival
