@@ -88,6 +88,18 @@ class CircuitBreaker:
             self.opened_at = now
             self._transition(now, OPEN)
 
+    def probe_abandoned(self) -> None:
+        """Hand back a probe slot whose attempt ended inconclusively.
+
+        A hedge leg cancelled mid-flight, or an attempt that only blew its
+        *request* deadline, says nothing about replica health — it must
+        neither close nor re-open the breaker.  But it must release the
+        half-open probe slot, or the breaker would refuse all traffic
+        forever.  The breaker stays half-open and the next :meth:`allow`
+        may admit a fresh probe.
+        """
+        self._probe_in_flight = False
+
     # -- introspection -----------------------------------------------------
 
     def retry_at(self) -> int:
@@ -97,14 +109,22 @@ class CircuitBreaker:
         return self.opened_at + self.cooldown
 
     def error(self, now: int, *, tenant: str = "", query: str = "",
-              request_id: Optional[int] = None) -> CircuitOpen:
-        """A typed refusal for a caller that insists on this replica."""
+              request_id: Optional[int] = None,
+              retry_at: Optional[int] = None) -> CircuitOpen:
+        """A typed refusal for a caller that insists on this replica.
+
+        ``retry_at`` lets the caller stamp the error with the cycle that
+        actually bounds the wait (e.g. the pool-wide earliest availability)
+        when it differs from this breaker's own cooldown expiry.
+        """
+        bound = self.retry_at() if retry_at is None else retry_at
         return CircuitOpen(
-            f"breaker {self.name!r} open at cycle {now} after "
-            f"{self.consecutive_failures} consecutive faults",
+            f"breaker {self.name!r} {self.state} at cycle {now}: "
+            f"{self.consecutive_failures} consecutive faults, "
+            f"retry at cycle {bound}",
             tenant=tenant, query=query, request_id=request_id,
             replica=self.name, failures=self.consecutive_failures,
-            retry_at=self.retry_at())
+            retry_at=bound)
 
     def __repr__(self) -> str:
         return (f"CircuitBreaker({self.name!r}, state={self.state!r}, "

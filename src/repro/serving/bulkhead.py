@@ -23,19 +23,23 @@ class Bulkhead:
         self.class_limits = dict(class_limits or {})
         self._tenant_active: Dict[str, int] = {}
         self._class_active: Dict[str, int] = {}
-        self.rejections = 0          # dispatch skips due to a full bulkhead
+        #: Distinct dispatch skips due to a full bulkhead, maintained by
+        #: the dispatcher (which knows how many unique requests it passed
+        #: over, where this predicate may re-scan the same request).
+        self.rejections = 0
 
     def admits(self, request: Request) -> bool:
-        """True if dispatching ``request`` now stays within every limit."""
+        """True if dispatching ``request`` now stays within every limit.
+
+        Pure: safe to call any number of times per request.
+        """
         if (self.per_tenant is not None
                 and self._tenant_active.get(request.tenant, 0)
                 >= self.per_tenant):
-            self.rejections += 1
             return False
         limit = self.class_limits.get(request.klass)
         if (limit is not None
                 and self._class_active.get(request.klass, 0) >= limit):
-            self.rejections += 1
             return False
         return True
 

@@ -186,11 +186,23 @@ class ServingRuntime:
                     request_id=request.id, deadline=request.deadline,
                     cycle=now),
                 attempts=request.attempts))
+        bulkhead_skipped: set = set()
+
+        def eligible(request: Request) -> bool:
+            if self.bulkhead.admits(request):
+                return True
+            if request.id not in bulkhead_skipped:
+                # One skip per blocked request per dispatch pass: the
+                # metric counts decisions, not queue re-scans.
+                bulkhead_skipped.add(request.id)
+                self.bulkhead.rejections += 1
+            return False
+
         while True:
             free = [r for r in self.replicas if r.busy_until <= now]
             if not free:
                 return
-            request = self.admission.take(eligible=self.bulkhead.admits)
+            request = self.admission.take(eligible=eligible)
             if request is None:
                 return
             replica = None
@@ -199,34 +211,40 @@ class ServingRuntime:
                     replica = r
                     break
             if replica is None:
-                self._no_replica(request, now, free)
+                self._no_replica(request, now)
                 return
             self.bulkhead.acquire(request)
             self._start(request, replica, now)
 
-    def _no_replica(self, request: Request, now: int,
-                    free: List[FabricReplica]) -> None:
+    def _no_replica(self, request: Request, now: int) -> None:
         """Every free replica's breaker refused the request."""
-        earliest = min(
-            max(r.busy_until, r.breaker.retry_at())
-            if r.breaker.state == OPEN else r.busy_until
-            for r in self.replicas)
+        def available_at(r: FabricReplica) -> int:
+            if r.breaker.state == OPEN:
+                return max(r.busy_until, r.breaker.retry_at())
+            return r.busy_until
+
+        binding = min(self.replicas, key=available_at)
+        earliest = available_at(binding)
         if request.deadline is not None and earliest >= request.deadline:
             # Fail fast, typed: waiting out the breakers would blow the
-            # deadline anyway, so surface the real cause.
-            breaker = free[0].breaker
+            # deadline anyway.  The error comes from the replica whose
+            # availability bounds the wait, stamped with that cycle.
             self.metrics.counter("serving.circuit_rejections").inc()
             self._finalize(Outcome(
                 request, "failed", now,
-                error=breaker.error(now, tenant=request.tenant,
-                                    query=request.query,
-                                    request_id=request.id),
+                error=binding.breaker.error(
+                    now, tenant=request.tenant, query=request.query,
+                    request_id=request.id, retry_at=earliest),
                 attempts=request.attempts))
             return
         self.admission.requeue(request)
-        if earliest > now and earliest not in self._kicks:
-            self._kicks.add(earliest)
-            self._push(earliest, "kick", None)
+        # Always schedule a future wake-up: a requeued request must never
+        # be stranded in a drained event heap, even when ``earliest`` has
+        # already passed (a mid-recovery replica whose busy_until elapsed).
+        wake = max(earliest, now + 1)
+        if wake not in self._kicks:
+            self._kicks.add(wake)
+            self._push(wake, "kick", None)
 
     # -- execution ---------------------------------------------------------
 
@@ -315,14 +333,20 @@ class ServingRuntime:
         for attempt in ex.attempts:
             if attempt.own_finish > ex.finish:
                 # Cancelled mid-flight: its own verdict never materialized,
-                # so it must not feed the breaker.
+                # so it must not feed the breaker — but a half-open probe
+                # slot it was admitted through must be handed back, or the
+                # breaker refuses all traffic forever.
                 self.metrics.counter("serving.hedge_cancelled").inc()
+                attempt.replica.breaker.probe_abandoned()
                 continue
             if attempt.status == "ok":
                 attempt.replica.breaker.record_success(attempt.own_finish)
             elif attempt.status in ("fault", "error"):
                 attempt.replica.breaker.record_failure(attempt.own_finish)
-            # 'deadline' says nothing about replica health: no record.
+            else:
+                # 'deadline' says nothing about replica health: release any
+                # probe slot without moving the state machine.
+                attempt.replica.breaker.probe_abandoned()
         self.bulkhead.release(request)
         if winner.status == "ok":
             golden = self.workload.golden(request.query)

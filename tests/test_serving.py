@@ -223,7 +223,16 @@ class TestBulkhead:
         bh.acquire(a)
         assert not bh.admits(self._req(1, klass="batch"))
         assert bh.admits(self._req(2, klass="interactive"))
-        assert bh.rejections == 1
+
+    def test_admits_is_pure(self):
+        # The dispatcher may re-scan a blocked request many times per
+        # pass; the predicate itself must not inflate skip accounting.
+        bh = Bulkhead(per_tenant=1)
+        bh.acquire(self._req(0, "acme"))
+        blocked = self._req(1, "acme")
+        for __ in range(5):
+            assert not bh.admits(blocked)
+        assert bh.rejections == 0          # counted by the dispatcher
 
 
 class TestCircuitBreaker:
@@ -262,6 +271,20 @@ class TestCircuitBreaker:
         assert br.state == OPEN
         assert br.retry_at() == 25         # cooldown restarts at reopen
         assert [s for __, s in br.transitions] == [OPEN, HALF_OPEN, OPEN]
+
+    def test_abandoned_probe_frees_the_slot(self):
+        # A probe whose attempt ends inconclusively (cancelled hedge leg,
+        # request-deadline expiry) must hand the slot back — otherwise the
+        # breaker refuses all traffic forever.
+        br = CircuitBreaker("b", threshold=1, cooldown=10)
+        br.record_failure(0)
+        assert br.allow(10)                # probe admitted
+        assert not br.allow(11)            # slot held
+        br.probe_abandoned()
+        assert br.state == HALF_OPEN       # inconclusive: no transition
+        assert br.allow(12)                # a fresh probe is admitted
+        br.record_success(20)
+        assert br.state == CLOSED
 
     def test_typed_error_carries_breaker_state(self):
         br = CircuitBreaker("fab2", threshold=1, cooldown=10)
@@ -408,6 +431,40 @@ class TestRuntime:
         # Both replicas freed at the winner's finish.
         assert (rt.replicas[0].busy_until == rt.replicas[1].busy_until
                 == outcomes[0].finish)
+
+    def test_hedge_loser_through_half_open_breaker_recovers(self, workload):
+        # Regression: a hedge leg admitted as a recovering replica's
+        # half-open probe and then cancelled (the primary won) must hand
+        # the probe slot back — the replica would otherwise refuse all
+        # traffic for the rest of the run.
+        golden = workload.golden("sim_chase")
+        pol = ServingPolicy(hedge_after=golden.cycles // 4,
+                            breaker_threshold=1, breaker_cooldown=0)
+        rt = _runtime(workload, n_replicas=2, policy=pol)
+        br = rt.replicas[1].breaker
+        br.record_failure(0)               # fab1 opens; recovery due at 0
+        rt.submit(Request(id=0, tenant="t", query="sim_chase", arrival=1))
+        outcomes = rt.run()
+        assert outcomes[0].ok and outcomes[0].hedged
+        assert rt.metrics.counters["serving.hedge_cancelled"].value == 1
+        assert br.state == HALF_OPEN      # inconclusive probe: no verdict
+        assert br.allow(outcomes[0].finish + 1)   # not stuck refusing
+
+    def test_requeue_with_past_availability_schedules_wakeup(self, workload):
+        # Regression: when every free replica's breaker refuses and the
+        # pool's earliest availability has already passed (a mid-recovery
+        # replica whose busy_until elapsed), the requeued request still
+        # needs a *future* event — otherwise it is stranded once the heap
+        # drains, silently breaking one-outcome-per-request conservation.
+        rt = _runtime(workload, n_replicas=1)
+        br = rt.replicas[0].breaker
+        for t in (0, 1, 2):
+            br.record_failure(t)           # default threshold 3: OPEN
+        assert br.allow(br.retry_at())     # half-open, probe slot held
+        now = br.retry_at() + 5
+        rt._no_replica(Request(id=0, tenant="t", query="sim_map"), now)
+        assert rt.admission.depth() == 1   # requeued, not dropped
+        assert rt._events and rt._events[0][0] > now
 
     def test_bulkhead_holds_tenant_to_its_limit(self, workload):
         pol = ServingPolicy(per_tenant=1)
