@@ -1,0 +1,130 @@
+"""PR 5 perf trajectory: burst execution vs the PR 2 event scheduler.
+
+Runs the ``bench_pr2`` case set under the event scheduler with the burst
+fast path on and off, verifies the resulting ``SimStats`` are
+bit-identical, and gates against the committed ``BENCH_PR2.json``
+baseline: any case whose burst-on wall-clock regresses more than
+``TOLERANCE`` past its recorded PR 2 event-scheduler time fails the run.
+Results — including per-tile-class burst-window counts and the burst-off
+times that isolate the hot-path micro-audit from the windowed fast path —
+are written to ``BENCH_PR5.json``.
+
+Wall-clock baselines are machine-dependent; on shared CI runners the
+absolute comparison is noisy, which is why the tolerance is a generous
+25% and why the burst-on-vs-off ratio (same process, same machine) is
+recorded alongside it.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_pr5.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.dataflow import Engine
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_pr2  # noqa: E402  (sibling benchmark module)
+
+REPEATS = 3
+
+#: Allowed wall-clock regression vs the committed PR 2 event baseline.
+TOLERANCE = 0.25
+
+#: ISSUE 5 wall-clock targets vs the PR 2 event scheduler (advisory in
+#: this gate; the JSON records whether each was met on this machine).
+TARGETS = {"probe_saturated_2048t": 3.0, "gather_throttled": 3.0}
+
+
+def _time_engine(factory, burst):
+    best = float("inf")
+    stats = None
+    windows = {}
+    for __ in range(REPEATS):
+        graph = factory()           # fresh graph per run: no shared state
+        engine = Engine(graph, scheduler="event", burst=burst)
+        t0 = time.perf_counter()
+        stats = engine.run()
+        best = min(best, time.perf_counter() - t0)
+        windows = engine.burst_windows
+    return best, stats, windows
+
+
+def run_benchmarks(baseline_cases):
+    results = {}
+    regressions = []
+    for name, factory in bench_pr2.CASES:
+        wall_off, stats_off, __ = _time_engine(factory, burst=False)
+        wall_on, stats_on, windows = _time_engine(factory, burst=True)
+        if stats_on != stats_off:
+            raise AssertionError(
+                f"{name}: burst execution diverged from per-cycle event "
+                f"scheduling (cycles {stats_on.cycles} vs "
+                f"{stats_off.cycles})")
+        base = baseline_cases.get(name, {}).get("wall_s_event")
+        entry = {
+            "simulated_cycles": stats_on.cycles,
+            "wall_s_event_noburst": round(wall_off, 6),
+            "wall_s_event_burst": round(wall_on, 6),
+            "burst_vs_noburst": round(wall_off / wall_on, 2),
+            "burst_windows": {
+                cls: {"n": len(sizes), "cycles": sum(sizes)}
+                for cls, sizes in sorted(windows.items())},
+        }
+        if base is not None:
+            entry["wall_s_event_pr2_baseline"] = base
+            entry["speedup_vs_pr2_baseline"] = round(base / wall_on, 2)
+            entry["regressed"] = wall_on > base * (1.0 + TOLERANCE)
+            if entry["regressed"]:
+                regressions.append(name)
+        if name in TARGETS and base is not None:
+            entry["target_speedup"] = TARGETS[name]
+            entry["target_met"] = base / wall_on >= TARGETS[name]
+        results[name] = entry
+        windows_str = " ".join(
+            f"{cls}:{len(sizes)}w/{sum(sizes)}c"
+            for cls, sizes in sorted(windows.items())) or "-"
+        print(f"{name:24s} cycles={stats_on.cycles:>7} "
+              f"noburst={wall_off * 1e3:8.1f}ms "
+              f"burst={wall_on * 1e3:8.1f}ms "
+              f"vs_pr2={'' if base is None else f'{base / wall_on:5.2f}x'} "
+              f"windows={windows_str}")
+    return results, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument("--out", default=str(root / "BENCH_PR5.json"),
+                        help="where to write the JSON record")
+    parser.add_argument("--baseline", default=str(root / "BENCH_PR2.json"),
+                        help="committed PR 2 baseline to gate against")
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.baseline).read_text())
+    results, regressions = run_benchmarks(baseline["cases"])
+    payload = {
+        "benchmark": "burst execution vs PR 2 event scheduler (PR 5)",
+        "repeats_best_of": REPEATS,
+        "tolerance": TOLERANCE,
+        "baseline": Path(args.baseline).name,
+        "cases": results,
+        "regressions": regressions,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    targets_met = [n for n in TARGETS if results[n].get("target_met")]
+    print(f"\nwrote {args.out} ({len(targets_met)}/{len(TARGETS)} "
+          f"speedup targets met, {len(regressions)} regressions)")
+    if regressions:
+        print(f"FAIL: wall-clock regressed >{TOLERANCE:.0%} vs "
+              f"{payload['baseline']} on: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

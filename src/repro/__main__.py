@@ -122,21 +122,43 @@ def _bench_case(name):
     return cases[name]()
 
 
+def _burst_window_report(engine) -> str:
+    """Burst-window size histogram per tile class ('fabric' = saturated
+    whole-graph windows)."""
+    windows = getattr(engine, "burst_windows", None) or {}
+    if not windows:
+        return ("burst windows: none (burst disabled, hooks armed, or no "
+                "steady-state window opened)")
+    lines = [f"{'burst windows':>20} {'n':>6} {'cycles':>8} {'min':>6} "
+             f"{'p50':>6} {'max':>6}"]
+    for name in sorted(windows):
+        sizes = sorted(windows[name])
+        lines.append(f"{name:>20} {len(sizes):>6} {sum(sizes):>8} "
+                     f"{sizes[0]:>6} {sizes[len(sizes) // 2]:>6} "
+                     f"{sizes[-1]:>6}")
+    return "\n".join(lines)
+
+
 def cmd_microbench(args) -> int:
     import time
     from repro.dataflow import Engine
     graph = _bench_case(args.case)
     if graph is None:
         return 2
-    engine = Engine(graph, scheduler=args.scheduler, profile=args.profile)
+    engine = Engine(graph, scheduler=args.scheduler, profile=args.profile,
+                    burst=not args.no_burst)
     t0 = time.perf_counter()
     stats = engine.run()
     wall = time.perf_counter() - t0
+    burst_tag = "" if args.scheduler != "event" else (
+        ", burst off" if args.no_burst else ", burst on")
     print(f"{args.case}: {stats.cycles} simulated cycles in {_fmt(wall)} "
-          f"({args.scheduler} scheduler)")
+          f"({args.scheduler} scheduler{burst_tag})")
     if args.profile:
         print()
         print(engine.profile_report())
+        print()
+        print(_burst_window_report(engine))
     return 0
 
 
@@ -147,7 +169,11 @@ def cmd_trace(args) -> int:
     if graph is None:
         return 2
     tracer = Tracer(capacity=args.capacity) if args.capacity else Tracer()
-    engine = Engine(graph, scheduler=args.scheduler, tracer=tracer)
+    # An armed tracer already forces per-cycle ticks (burst windows never
+    # open under per-item event hooks); --no-burst additionally covers any
+    # untraced stretches and keeps bisection flags uniform across commands.
+    engine = Engine(graph, scheduler=args.scheduler, tracer=tracer,
+                    burst=not args.no_burst)
     stats = engine.run()
     printed = False
     if args.out:
@@ -233,8 +259,12 @@ def main(argv=None) -> int:
                     help="case name from benchmarks/bench_pr2.py")
     mb.add_argument("--scheduler", choices=("event", "exhaustive"),
                     default="event", help="engine scheduler to use")
+    mb.add_argument("--no-burst", action="store_true",
+                    help="disable the steady-state burst fast path "
+                         "(event scheduler only; for bisecting regressions)")
     mb.add_argument("--profile", action="store_true",
-                    help="report per-tile-class cumulative tick time")
+                    help="report per-tile-class cumulative tick time and "
+                         "the burst-window size histogram")
     mb.set_defaults(fn=cmd_microbench)
     tr = sub.add_parser(
         "trace",
@@ -249,6 +279,9 @@ def main(argv=None) -> int:
                     help="print the compact per-tile transition timeline")
     tr.add_argument("--out", metavar="PATH", default=None,
                     help="write a Chrome/Perfetto trace.json to PATH")
+    tr.add_argument("--no-burst", action="store_true",
+                    help="disable the steady-state burst fast path "
+                         "(event scheduler only; for bisecting regressions)")
     tr.add_argument("--capacity", type=int, default=None,
                     help="event-ring capacity (default 65536)")
     tr.set_defaults(fn=cmd_trace)

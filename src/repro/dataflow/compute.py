@@ -55,29 +55,47 @@ class _PipelinedTile(Tile):
     def tick(self, cycle: int) -> bool:
         moved = False
         # Retire delay-line entries whose latency has elapsed.
-        while self._delay and self._delay[0][0] <= cycle:
-            __, routed = self._delay.popleft()
-            for port, records in enumerate(routed):
-                self._packers[port].extend(records)
+        delay = self._delay
+        if delay and delay[0][0] <= cycle:
+            packers = self._packers
+            popleft = delay.popleft
+            while delay and delay[0][0] <= cycle:
+                __, routed = popleft()
+                port = 0
+                for records in routed:
+                    if records:
+                        packers[port].pending.extend(records)
+                    port += 1
             moved = True
         consumed = self._process(cycle)
         moved = consumed or moved
         # Starvation flush: no fresh input this cycle => forward partials.
         force_partial = not consumed
+        stats = self.stats
         for packer in self._packers:
-            if packer.flush(self.stats, force_partial):
+            if packer.pending and packer.flush(stats, force_partial):
                 moved = True
         if moved:
-            self.stats.busy_cycles += 1
-        elif any(s.can_pop() for s in self.inputs):
-            self.stats.stall_cycles += 1
+            stats.busy_cycles += 1
         else:
-            self.stats.idle_cycles += 1
-        self.maybe_close()
+            for s in self.inputs:
+                if s._fifo:
+                    stats.stall_cycles += 1
+                    break
+            else:
+                stats.idle_cycles += 1
+        inputs = self.inputs
+        if not inputs or inputs[0].eos:
+            # EOS can only propagate once input 0 has closed; skipping
+            # maybe_close before that is exact (it would be a no-op).
+            self.maybe_close()
         return moved
 
     def _has_room(self) -> bool:
-        return all(p.has_room() for p in self._packers)
+        for p in self._packers:
+            if len(p.pending) + LANES > p.spill_limit:
+                return False
+        return True
 
     def _can_accept(self) -> bool:
         """Room condition gating input consumption (ForkTile overrides)."""
@@ -126,10 +144,16 @@ class MapTile(_PipelinedTile):
 
     def _process(self, cycle: int) -> bool:
         stream = self.inputs[0]
-        if not stream.can_pop() or not self._has_room():
+        if not stream._fifo or not self._has_room():
             return False
         vector = stream.pop()
-        out = [r for r in (self.fn(rec) for rec in vector) if r is not None]
+        fn = self.fn
+        out = []
+        append = out.append
+        for rec in vector:
+            r = fn(rec)
+            if r is not None:
+                append(r)
         self._delay.append((cycle + self.latency, (out,)))
         return True
 
@@ -148,12 +172,19 @@ class FilterTile(_PipelinedTile):
 
     def _process(self, cycle: int) -> bool:
         stream = self.inputs[0]
-        if not stream.can_pop() or not self._has_room():
+        if not stream._fifo or not self._has_room():
             return False
         vector = stream.pop()
-        passed, failed = [], []
+        passed: List[Record] = []
+        failed: List[Record] = []
+        pass_append = passed.append
+        fail_append = failed.append
+        predicate = self.predicate
         for rec in vector:
-            (passed if self.predicate(rec) else failed).append(rec)
+            if predicate(rec):
+                pass_append(rec)
+            else:
+                fail_append(rec)
         self._delay.append((cycle + self.latency, (passed, failed)))
         return True
 
@@ -177,7 +208,7 @@ class MergeTile(_PipelinedTile):
         for stream in self.inputs:  # priority order
             if len(taken) >= LANES:
                 break
-            if stream.can_pop():
+            if stream._fifo:
                 taken.extend(stream.pop())
         if not taken:
             return False

@@ -26,6 +26,22 @@ Two schedulers implement that contract:
 * ``scheduler="exhaustive"`` — the original tick-everything loop, kept for
   differential testing.
 
+Burst execution (``burst=True``, the default, event scheduler only): when
+the ready set is in a provable steady state the engine fires many cycles
+per Python-level step instead of one.  Two window kinds exist.  A *group
+burst* runs a validated produce→relay→drain chain for ``b`` cycles with
+one ``Tile.tick_burst`` call per tile (see the burst protocol in
+``tile.py``); a *saturated window* — triggered when nearly every tile is
+ready — drops to the exhaustive loop body until the ready fraction falls,
+since ticking everything is always exact and the ready-set bookkeeping is
+pure overhead at saturation.  Both settle sleep-skip credit first and
+clamp the window so no EOS transition, wake timer, cancellation deadline,
+watchdog or cycle-limit check can land inside it; stats, stream contents
+and error cycles stay bit-identical to ``burst=False`` and to the
+exhaustive scheduler.  Burst never engages while an injector or tracer is
+armed (their per-cycle/per-op hooks need real ticks), so hooked runs are
+byte-for-byte the per-cycle ones.
+
 Equivalence guarantee: a tile is only ever skipped while provably *inert*
 (its tick would change nothing but one idle/stall counter), skipped
 counter increments are settled in bulk via ``Tile.sched_skip`` before the
@@ -67,6 +83,7 @@ releases its scratchpad/DRAM graph state for reuse.  With ``cancel=None``
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
@@ -88,7 +105,7 @@ class Engine:
     def __init__(self, graph: Graph, max_cycles: int = 50_000_000,
                  deadlock_window: int = 50_000, injector=None,
                  scheduler: str = "event", profile: bool = False,
-                 tracer=None, cancel=None):
+                 tracer=None, cancel=None, burst: bool = True):
         if scheduler not in ("event", "exhaustive"):
             raise ValueError(
                 f"unknown scheduler {scheduler!r}: use 'event' or 'exhaustive'")
@@ -97,6 +114,13 @@ class Engine:
         self.deadlock_window = deadlock_window
         self.injector = injector
         self.scheduler = scheduler
+        #: Burst execution (event scheduler only): when the ready set is in
+        #: a provable steady state, fire many cycles per Python-level step.
+        #: Bit-identical stats by construction; ``burst=False`` is the
+        #: escape hatch that forces plain per-cycle event scheduling.
+        self.burst = burst
+        #: tile class name (or "fabric") -> list of committed window sizes.
+        self.burst_windows: Dict[str, List[int]] = {}
         #: Cancellation hook: an object with ``check(cycle)`` (raises a
         #: typed error to stop the run) and a ``deadline_cycle`` attribute
         #: (int or None) that clamps the event scheduler's fast-forward.
@@ -195,6 +219,7 @@ class Engine:
         graph = self.graph
         tiles = list(reversed(graph.tiles))
         n = len(tiles)
+        self._ev_tiles = tiles
         self._ev_index = {id(t): i for i, t in enumerate(tiles)}
         state = self._ev_state = [_READY] * n
         gen = self._ev_gen = [0] * n
@@ -205,9 +230,10 @@ class Engine:
         sleep_counter: List[Optional[str]] = [None] * n
         self._ev_sleep_start = sleep_start
         self._ev_sleep_counter = sleep_counter
-        # This cycle's ready set as a min-heap of tile indices (tick order),
-        # the next cycle's as a list + membership flags, and wake timers as
-        # a heap of (cycle, generation, index) with stale-entry filtering.
+        # This cycle's ready set as a plain list of tile indices, sorted
+        # once per round and walked positionally (tick order); the next
+        # cycle's as a list + membership flags, and wake timers as a heap
+        # of (cycle, generation, index) with stale-entry filtering.
         heap = self._ev_heap = list(range(n))
         in_now = self._ev_in_now = [True] * n
         nxt: List[int] = []
@@ -217,8 +243,18 @@ class Engine:
         self._ev_timers = timers
         self._ev_in_round = False
         self._ev_cur = -1
+        # Per-stream wake targets, precomputed: push/close wake the
+        # consumer, pop wakes the producer (-1 = no tile to wake).
+        index = self._ev_index
+        push_wake = self._ev_push_wake = {}
+        pop_wake = self._ev_pop_wake = {}
         for stream in graph.streams:
             stream.sched = self
+            c, p = stream.consumer, stream.producer
+            push_wake[id(stream)] = (
+                index.get(id(c), -1) if c is not None else -1)
+            pop_wake[id(stream)] = (
+                index.get(id(p), -1) if p is not None else -1)
         if inj is not None:
             name_index = {t.name: i for i, t in enumerate(tiles)}
             for site, start in inj.stall_starts():
@@ -228,6 +264,16 @@ class Engine:
         prof = self.tick_profile
         trace = self.tracer
         tok = self.cancel
+        hooked = inj is not None or trace is not None or prof is not None
+        # Burst execution: allowed with a profiler (it has no semantic
+        # effect) but not with an injector or tracer, whose per-cycle /
+        # per-stream-op hooks the bulk paths do not replay.
+        burst_on = self.burst and inj is None and trace is None
+        sat_min = n - 3 if n > 7 else 4
+        sat_streak = 0          # rounds with a near-full ready set
+        grp_sig: Optional[tuple] = None
+        grp_streak = 0          # rounds with an identical small ready set
+        burst_cool = 0          # rounds to wait after a window / failure
         cycle = 0
         last_progress = 0
         try:
@@ -241,56 +287,185 @@ class Engine:
                         state[i] = _READY
                         if not in_now[i]:
                             in_now[i] = True
-                            heapq.heappush(heap, i)
+                            heap.append(i)
                 if heap:
-                    moved = False
-                    if inj is not None:
-                        inj.now = cycle
-                    if trace is not None:
-                        trace.now = cycle
-                    self._ev_in_round = True
-                    while heap:
-                        i = heapq.heappop(heap)
-                        if not in_now[i]:
-                            continue
-                        in_now[i] = False
-                        tile = tiles[i]
-                        if inj is not None and inj.stalled(tile.name, cycle):
-                            # Suspend with zero credit: the exhaustive loop
-                            # skips a stalled tile without counters.
-                            self._ev_settle(i, tile, cycle)
-                            state[i] = _SUSPENDED
-                            gen[i] += 1
-                            clear = inj.stall_clear_cycle(tile.name, cycle)
-                            if clear is not None:
-                                heapq.heappush(timers, (clear, gen[i], i))
-                            continue
-                        self._ev_settle(i, tile, cycle)
-                        self._ev_cur = i
-                        if prof is None:
-                            ticked = tile.tick(cycle)
+                    if burst_on:
+                        hlen = len(heap)
+                        if burst_cool:
+                            burst_cool -= 1
+                        elif hlen >= sat_min:
+                            grp_streak = 0
+                            sat_streak += 1
+                            if sat_streak >= 8:
+                                # Saturated fabric: nearly every tile is
+                                # ready, so the ready-set machinery is pure
+                                # overhead.  Run the exhaustive loop body —
+                                # always exact — until the ready fraction
+                                # drops, then resume event scheduling.
+                                sat_streak = 0
+                                burst_cool = 32
+                                for i in range(n):
+                                    if sleep_counter[i] is not None:
+                                        skipped = cycle - sleep_start[i]
+                                        if skipped > 0:
+                                            tiles[i].sched_skip(
+                                                skipped, sleep_counter[i])
+                                        sleep_counter[i] = None
+                                    state[i] = _READY
+                                    gen[i] += 1
+                                for stream in graph.streams:
+                                    stream.sched = None
+                                ticks = [t.tick for t in tiles]
+                                peak = 0
+                                enter = cycle
+                                quiesced = False
+                                while True:
+                                    if tok is not None and cycle > enter:
+                                        tok.check(cycle)
+                                    moved_n = 0
+                                    if prof is None:
+                                        for tick in ticks:
+                                            if tick(cycle):
+                                                moved_n += 1
+                                    else:
+                                        for tile in tiles:
+                                            if self._tick(tile, cycle):
+                                                moved_n += 1
+                                    cycle += 1
+                                    if moved_n:
+                                        last_progress = cycle
+                                    elif self._quiescent():
+                                        quiesced = True
+                                        break
+                                    elif (cycle - last_progress
+                                            > self.deadlock_window):
+                                        self._raise_deadlock(cycle, inj)
+                                    if cycle >= self.max_cycles:
+                                        self._raise_overrun(cycle)
+                                    # Exit when progress falls to half the
+                                    # window's own steady-state peak — the
+                                    # fabric is winding down (or idling on
+                                    # latency) and the ready-set machinery
+                                    # pays for itself again.
+                                    if moved_n > peak:
+                                        peak = moved_n
+                                    elif moved_n <= 2 or moved_n < peak // 4:
+                                        break
+                                for stream in graph.streams:
+                                    stream.sched = self
+                                wl = self.burst_windows.get("fabric")
+                                if wl is None:
+                                    wl = self.burst_windows["fabric"] = []
+                                wl.append(cycle - enter)
+                                if quiesced:
+                                    break
+                                # Every tile just really ticked: all ready.
+                                del heap[:]
+                                heap.extend(range(n))
+                                for i in range(n):
+                                    in_now[i] = True
+                                continue
+                        elif hlen <= 8:
+                            sat_streak = 0
+                            heap.sort()
+                            sig = tuple(heap)
+                            if sig == grp_sig:
+                                grp_streak += 1
+                                if grp_streak >= 8:
+                                    grp_streak = 0
+                                    b = self._try_group_burst(cycle)
+                                    if b:
+                                        cycle += b
+                                        last_progress = cycle
+                                        burst_cool = 2
+                                        if cycle >= self.max_cycles:
+                                            self._raise_overrun(cycle)
+                                        continue
+                                    burst_cool = 32
+                            else:
+                                grp_sig = sig
+                                grp_streak = 1
                         else:
-                            ticked = self._tick(tile, cycle)
+                            sat_streak = 0
+                            grp_streak = 0
+                    moved = False
+                    self._ev_in_round = True
+                    # Sort the round once; intra-round wakes insort ahead of
+                    # the cursor (they target indices > the current tile).
+                    heap.sort()
+                    pos = 0
+                    if hooked:
+                        if inj is not None:
+                            inj.now = cycle
                         if trace is not None:
-                            trace.tile_state(tile, cycle, ticked)
-                        if ticked:
-                            moved = True
-                            # A tile that moved stays ready; it polls after
-                            # its next (possibly inert) tick instead.
-                            if not in_next[i]:
-                                in_next[i] = True
-                                nxt.append(i)
-                        elif not in_next[i]:
-                            self._ev_apply_poll(i, tile, cycle)
+                            trace.now = cycle
+                        while pos < len(heap):
+                            i = heap[pos]
+                            pos += 1
+                            if not in_now[i]:
+                                continue
+                            in_now[i] = False
+                            tile = tiles[i]
+                            if (inj is not None
+                                    and inj.stalled(tile.name, cycle)):
+                                # Suspend with zero credit: the exhaustive
+                                # loop skips a stalled tile w/o counters.
+                                self._ev_settle(i, tile, cycle)
+                                state[i] = _SUSPENDED
+                                gen[i] += 1
+                                clear = inj.stall_clear_cycle(tile.name,
+                                                              cycle)
+                                if clear is not None:
+                                    heapq.heappush(timers,
+                                                   (clear, gen[i], i))
+                                continue
+                            self._ev_settle(i, tile, cycle)
+                            self._ev_cur = i
+                            if prof is None:
+                                ticked = tile.tick(cycle)
+                            else:
+                                ticked = self._tick(tile, cycle)
+                            if trace is not None:
+                                trace.tile_state(tile, cycle, ticked)
+                            if ticked:
+                                moved = True
+                                # A tile that moved stays ready; it polls
+                                # after its next (maybe inert) tick instead.
+                                if not in_next[i]:
+                                    in_next[i] = True
+                                    nxt.append(i)
+                            elif not in_next[i]:
+                                self._ev_apply_poll(i, tile, cycle)
+                    else:
+                        # Hook-free hot round: no injector, tracer, or
+                        # profiler — identical control flow, fewer lookups.
+                        while pos < len(heap):
+                            i = heap[pos]
+                            pos += 1
+                            if not in_now[i]:
+                                continue
+                            in_now[i] = False
+                            tile = tiles[i]
+                            if sleep_counter[i] is not None:
+                                self._ev_settle(i, tile, cycle)
+                            self._ev_cur = i
+                            if tile.tick(cycle):
+                                moved = True
+                                if not in_next[i]:
+                                    in_next[i] = True
+                                    nxt.append(i)
+                            elif not in_next[i]:
+                                self._ev_apply_poll(i, tile, cycle)
                     self._ev_in_round = False
                     self._ev_cur = -1
+                    del heap[:]
                     for i in nxt:
                         if in_next[i]:
                             in_next[i] = False
                             state[i] = _READY
                             if not in_now[i]:
                                 in_now[i] = True
-                                heapq.heappush(heap, i)
+                                heap.append(i)
                     del nxt[:]
                     cycle += 1
                     if moved:
@@ -348,6 +523,143 @@ class Engine:
             inj.verify_streams(graph, cycle)
         return self._collect(cycle)
 
+    def _try_group_burst(self, cycle: int) -> int:
+        """Validate and run one produce→relay→drain burst window.
+
+        Called when the (small) ready set has been identical for several
+        rounds.  Every ready tile must offer a burst role, the roles must
+        form closed producer/consumer chains (sleeping pure-drain sinks are
+        pulled into the window), and the window length is clamped so that
+        no EOS transition, wake timer, cancellation deadline or the cycle
+        limit can land inside it.  The roles are then executed
+        producer-first — one ``tick_burst`` call per tile — which is
+        bit-identical to the interleaved per-cycle ticks because within
+        the window each tile's inputs for cycle *c* depend only on its
+        producer's fixed per-cycle schedule, which the producer hands over
+        as the ``feed``.  Returns the window length, or 0 if validation
+        failed (the caller falls back to per-cycle ticking).
+        """
+        tiles = self._ev_tiles
+        heap = self._ev_heap
+        push_wake = self._ev_push_wake
+        pop_wake = self._ev_pop_wake
+        state = self._ev_state
+        plans = {}
+        for i in heap:
+            plan = tiles[i].burst_plan()
+            if plan is None:
+                return 0
+            plans[i] = plan
+        # Pull sleeping pure-drain consumers into the window: a sink with
+        # an empty input sleeps until the first in-window push would wake
+        # it, so it belongs to the window's schedule.
+        pulled = []
+        for i in list(plans):
+            if plans[i][0] == "drain":
+                continue
+            j = push_wake.get(id(tiles[i].outputs[0]), -1)
+            if j < 0:
+                return 0
+            if j not in plans:
+                if state[j] != _SLEEP:
+                    return 0
+                dplan = tiles[j].burst_plan()
+                if dplan is None or dplan[0] != "drain":
+                    return 0
+                plans[j] = dplan
+                pulled.append(j)
+        # Cross-validate the wiring: every stream touched by the window
+        # must have both endpoints planned, so no outside tile could be
+        # woken (or starved) by in-window traffic.
+        max_b = None
+        for i, plan in plans.items():
+            role = plan[0]
+            tile = tiles[i]
+            if role == "produce":
+                cplan = plans.get(push_wake.get(id(tile.outputs[0]), -1))
+                if cplan is None:
+                    return 0
+                if cplan[0] == "relay1":
+                    if plan[2] != 1:
+                        return 0    # relays only model 1-record vectors
+                elif cplan[0] != "drain":
+                    return 0
+                if max_b is None or plan[1] < max_b:
+                    max_b = plan[1]
+            elif role == "relay1":
+                pplan = plans.get(pop_wake.get(id(tile.inputs[0]), -1))
+                if pplan is None or pplan[0] != "produce":
+                    return 0
+                cplan = plans.get(push_wake.get(id(tile.outputs[0]), -1))
+                if cplan is None or cplan[0] != "drain":
+                    return 0
+            else:  # drain
+                pplan = plans.get(pop_wake.get(id(tile.inputs[0]), -1))
+                if pplan is None or pplan[0] == "drain":
+                    return 0
+        if max_b is None:
+            return 0                # no producer: window length unbounded
+        b = max_b
+        wake_at = self._ev_next_timer()
+        if wake_at is not None and wake_at - cycle < b:
+            b = wake_at - cycle
+        if self.max_cycles - cycle < b:
+            b = self.max_cycles - cycle
+        tok = self.cancel
+        if tok is not None and tok.deadline_cycle is not None:
+            if tok.deadline_cycle - cycle < b:
+                b = tok.deadline_cycle - cycle
+        if b > 100_000:
+            b = 100_000             # bound cooperative-cancel latency
+        if b < 16:
+            return 0
+        # Commit: settle and wake the pulled drains, detach the involved
+        # streams' scheduler hooks (all wakes would target in-window
+        # tiles), run producer-first threading each producer's push
+        # schedule to its consumer, then reattach.
+        gen = self._ev_gen
+        in_now = self._ev_in_now
+        for j in pulled:
+            self._ev_settle(j, tiles[j], cycle)
+            state[j] = _READY
+            gen[j] += 1
+            if not in_now[j]:
+                in_now[j] = True
+                heap.append(j)
+        involved = []
+        for i in plans:
+            involved.extend(tiles[i].inputs)
+            involved.extend(tiles[i].outputs)
+        for stream in involved:
+            stream.sched = None
+        prof = self.tick_profile
+        windows = self.burst_windows
+        feeds = {}
+        for i in sorted(plans, reverse=True):
+            tile = tiles[i]
+            feed = feeds.get(id(tile.inputs[0])) if tile.inputs else None
+            if prof is None:
+                out_sched = tile.tick_burst(cycle, b, feed)
+            else:
+                t0 = perf_counter()
+                out_sched = tile.tick_burst(cycle, b, feed)
+                elapsed = perf_counter() - t0
+                entry = prof.get(type(tile).__name__)
+                if entry is None:
+                    entry = prof[type(tile).__name__] = [0, 0.0]
+                entry[0] += 1
+                entry[1] += elapsed
+            if tile.outputs:
+                feeds[id(tile.outputs[0])] = out_sched
+            cls = type(tile).__name__
+            wl = windows.get(cls)
+            if wl is None:
+                wl = windows[cls] = []
+            wl.append(b)
+        for stream in involved:
+            stream.sched = self
+        return b
+
     def _ev_settle(self, i: int, tile, cycle: int) -> None:
         """Credit a waking tile with its skipped inert ticks."""
         counter = self._ev_sleep_counter[i]
@@ -394,16 +706,21 @@ class Engine:
     # -- event-scheduler stream hooks (called by Stream) -------------------
 
     def _stream_push(self, stream) -> None:
-        if stream.consumer is not None:
-            self._ev_wake(stream.consumer)
+        i = self._ev_push_wake.get(id(stream), -1)
+        # Ready tiles are already scheduled; the wake call is only for
+        # sleepers (the common saturated case returns here).
+        if i >= 0 and self._ev_state[i] == _SLEEP:
+            self._ev_wake_i(i)
 
     def _stream_pop(self, stream) -> None:
-        if stream.producer is not None:
-            self._ev_wake(stream.producer)
+        i = self._ev_pop_wake.get(id(stream), -1)
+        if i >= 0 and self._ev_state[i] == _SLEEP:
+            self._ev_wake_i(i)
 
     def _stream_close(self, stream) -> None:
-        if stream.consumer is not None:
-            self._ev_wake(stream.consumer)
+        i = self._ev_push_wake.get(id(stream), -1)
+        if i >= 0 and self._ev_state[i] == _SLEEP:
+            self._ev_wake_i(i)
 
     def _ev_wake(self, tile) -> None:
         i = self._ev_index.get(id(tile))
@@ -414,15 +731,21 @@ class Engine:
             # only via their stall-clear timer (events must not cut an
             # injected stall short).
             return
+        self._ev_wake_i(i)
+
+    def _ev_wake_i(self, i: int) -> None:
+        """Wake sleeping tile ``i`` (caller has checked it sleeps)."""
         self._ev_state[i] = _READY
         self._ev_gen[i] += 1            # invalidate any pending timer
         if self._ev_in_round and i > self._ev_cur:
             # The waking event came from an earlier tile in this cycle's
             # tick order, so the exhaustive loop would have let this tile
-            # observe it within the same cycle.
+            # observe it within the same cycle.  The round list is sorted
+            # and i exceeds every already-visited index, so insort lands
+            # the wake ahead of the cursor.
             if not self._ev_in_now[i]:
                 self._ev_in_now[i] = True
-                heapq.heappush(self._ev_heap, i)
+                insort(self._ev_heap, i)
         elif not self._ev_in_next[i]:
             self._ev_in_next[i] = True
             self._ev_next.append(i)
@@ -551,7 +874,7 @@ class Engine:
 
 def run_graph(graph: Graph, max_cycles: int = 50_000_000,
               deadlock_window: int = 50_000, injector=None,
-              scheduler: str = "event") -> SimStats:
+              scheduler: str = "event", burst: bool = True) -> SimStats:
     """Convenience wrapper: build an :class:`Engine` and run ``graph``."""
     return Engine(graph, max_cycles, deadlock_window, injector=injector,
-                  scheduler=scheduler).run()
+                  scheduler=scheduler, burst=burst).run()

@@ -45,8 +45,8 @@ class Stream:
     """
 
     __slots__ = ("name", "capacity", "_fifo", "eos", "pushed_vectors",
-                 "pushed_records", "producer", "consumer", "monitor",
-                 "sched", "tracer", "sent_sum", "recv_sum")
+                 "pushed_records", "producer", "consumer", "_monitor",
+                 "sched", "_tracer", "_mt", "sent_sum", "recv_sum")
 
     def __init__(self, name: str = "", capacity: int = DEFAULT_CAPACITY):
         self.name = name
@@ -60,8 +60,7 @@ class Stream:
         # Reliability hook: when a FaultInjector is armed on this stream it
         # sets itself as ``monitor``; push/pop then accumulate end-to-end
         # checksums and the monitor may corrupt or drop vectors in transit.
-        # With monitor=None (the default) push/pop pay one is-None test.
-        self.monitor = None
+        self._monitor = None
         # Scheduling hook: the event-driven engine sets itself here and is
         # notified on push (wake the consumer), pop (freed backpressure
         # wakes the producer), and the EOS transition (wake the consumer).
@@ -69,10 +68,33 @@ class Stream:
         self.sched = None
         # Observability hook: a Tracer armed on the graph sets itself here
         # and records push/pop/close events with the post-op buffer depth.
-        # None (the default) costs one is-None test per op.
-        self.tracer = None
+        self._tracer = None
+        # Precomputed "monitor-or-tracer armed" flag: push/pop pay a single
+        # truthiness test for both rare hooks; the ``monitor``/``tracer``
+        # property setters keep it current on arm/disarm.
+        self._mt = False
         self.sent_sum = 0
         self.recv_sum = 0
+
+    # -- hook arm/disarm ---------------------------------------------------
+
+    @property
+    def monitor(self):
+        return self._monitor
+
+    @monitor.setter
+    def monitor(self, value) -> None:
+        self._monitor = value
+        self._mt = value is not None or self._tracer is not None
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+        self._mt = value is not None or self._monitor is not None
 
     # -- producer side -----------------------------------------------------
 
@@ -82,32 +104,78 @@ class Stream:
 
     def push(self, vector: Vector) -> None:
         """Enqueue ``vector``.  The caller must have checked :meth:`can_push`."""
-        assert len(self._fifo) < self.capacity, f"stream {self.name} overflow"
+        fifo = self._fifo
+        assert len(fifo) < self.capacity, f"stream {self.name} overflow"
         assert not self.eos, f"push after EOS on stream {self.name}"
         self.pushed_vectors += 1
         self.pushed_records += len(vector)
-        if self.monitor is not None:
-            # Checksum what the producer sent, *then* let the injector
-            # corrupt or drop the vector in transit: a mismatch against the
-            # consumer-side sum is how corruption/loss is detected.
-            self.sent_sum = _mix(self.sent_sum, vector)
-            vector = self.monitor.on_push(self, vector)
-            if vector is None:          # vector lost in transit
-                return
-        self._fifo.append(vector)
-        if self.tracer is not None:
-            # Records the *delivered* vector (an injector may have dropped
-            # it above, in which case no push event is traced).
-            self.tracer.stream_push(self, len(self._fifo), len(vector))
-        if self.sched is not None:
-            self.sched._stream_push(self)
+        if self._mt:
+            monitor = self._monitor
+            if monitor is not None:
+                # Checksum what the producer sent, *then* let the injector
+                # corrupt or drop the vector in transit: a mismatch against
+                # the consumer-side sum is how corruption/loss is detected.
+                self.sent_sum = _mix(self.sent_sum, vector)
+                vector = monitor.on_push(self, vector)
+                if vector is None:      # vector lost in transit
+                    return
+            fifo.append(vector)
+            if self._tracer is not None:
+                # Records the *delivered* vector (an injector may have
+                # dropped it above, in which case no push event is traced).
+                self._tracer.stream_push(self, len(fifo), len(vector))
+        else:
+            fifo.append(vector)
+        sched = self.sched
+        if sched is not None:
+            sched._stream_push(self)
+
+    def push_n(self, vectors: List[Vector]) -> None:
+        """Bulk push for burst execution: ``push`` once per vector.
+
+        Identical side effects to the per-cycle pushes it replaces —
+        per-item checksum mixes, monitor corruption/drop, tracer events and
+        scheduler wakes are all applied in order — except that the
+        per-vector capacity assert is skipped: the burst planner has proven
+        the interleaved schedule never overflows (the consumer's matching
+        burst drains the transient over-occupancy within the same window).
+        """
+        if self._mt:
+            fifo = self._fifo
+            for vector in vectors:
+                self.pushed_vectors += 1
+                self.pushed_records += len(vector)
+                monitor = self._monitor
+                if monitor is not None:
+                    self.sent_sum = _mix(self.sent_sum, vector)
+                    vector = monitor.on_push(self, vector)
+                    if vector is None:      # vector lost in transit
+                        continue
+                fifo.append(vector)
+                if self._tracer is not None:
+                    self._tracer.stream_push(self, len(fifo), len(vector))
+                sched = self.sched
+                if sched is not None:
+                    sched._stream_push(self)
+            return
+        n = len(vectors)
+        self.pushed_vectors += n
+        total = 0
+        for vector in vectors:
+            total += len(vector)
+        self.pushed_records += total
+        self._fifo.extend(vectors)
+        sched = self.sched
+        if sched is not None:
+            for __ in range(n):
+                sched._stream_push(self)
 
     def close(self) -> None:
         """Signal end of stream.  Idempotent."""
         if not self.eos:
             self.eos = True
-            if self.tracer is not None:
-                self.tracer.stream_close(self)
+            if self._tracer is not None:
+                self._tracer.stream_close(self)
             if self.sched is not None:
                 self.sched._stream_close(self)
 
@@ -124,13 +192,26 @@ class Stream:
     def pop(self) -> Vector:
         """Dequeue and return the head vector."""
         vector = self._fifo.popleft()
-        if self.monitor is not None:
-            self.recv_sum = _mix(self.recv_sum, vector)
-        if self.tracer is not None:
-            self.tracer.stream_pop(self, len(self._fifo))
-        if self.sched is not None:
-            self.sched._stream_pop(self)
+        if self._mt:
+            if self._monitor is not None:
+                self.recv_sum = _mix(self.recv_sum, vector)
+            if self._tracer is not None:
+                self._tracer.stream_pop(self, len(self._fifo))
+        sched = self.sched
+        if sched is not None:
+            sched._stream_pop(self)
         return vector
+
+    def pop_n(self, n: int) -> List[Vector]:
+        """Bulk pop for burst execution: ``pop`` exactly ``n`` times.
+
+        Per-item receive checksums, tracer events and scheduler wakes are
+        preserved; the hook-free case collapses to ``n`` plain deque pops.
+        """
+        if self._mt or self.sched is not None:
+            return [self.pop() for __ in range(n)]
+        popleft = self._fifo.popleft
+        return [popleft() for __ in range(n)]
 
     # -- reliability -------------------------------------------------------
 

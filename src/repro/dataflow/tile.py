@@ -58,21 +58,24 @@ class Packer:
         when ``force_partial`` (input starvation or stream wind-down).
         Returns True if a vector was emitted.
         """
-        if self.stream is None:
+        pending = self.pending
+        if not pending:
+            return False
+        stream = self.stream
+        if stream is None:
             # Dropped output (e.g. a filter's kill side): discard records.
-            dropped = bool(self.pending)
-            self.pending.clear()
-            return dropped
-        if not self.pending:
+            pending.clear()
+            return True
+        if len(pending) < LANES and not force_partial:
             return False
-        if len(self.pending) < LANES and not force_partial:
+        if len(stream._fifo) >= stream.capacity:
             return False
-        if not self.stream.can_push():
-            return False
-        vector = self.pending[:LANES]
-        del self.pending[:LANES]
-        self.stream.push(vector)
-        stats.record_output(len(vector))
+        vector = pending[:LANES]
+        del pending[:LANES]
+        stream.push(vector)
+        # TileStats.record_output, inlined (hot path).
+        stats.vectors_out += 1
+        stats.records_out += len(vector)
         return True
 
     def empty(self) -> bool:
@@ -153,7 +156,10 @@ class Tile:
         raise NotImplementedError
 
     def inputs_closed(self) -> bool:
-        return all(s.closed() for s in self.inputs)
+        for s in self.inputs:
+            if not s.eos or s._fifo:
+                return False
+        return True
 
     def close_outputs(self) -> None:
         for s in self.outputs:
@@ -161,6 +167,11 @@ class Tile:
 
     def maybe_close(self) -> None:
         """Propagate EOS: close outputs once inputs are done and we drained."""
+        for s in self.outputs:
+            if not s.eos:
+                break
+        else:
+            return          # every output already closed (or none exist)
         if self.inputs_closed() and self.idle():
             self.close_outputs()
 
@@ -176,6 +187,41 @@ class Tile:
     def sched_skip(self, n: int, counter: str) -> None:
         """Apply the effects of ``n`` skipped inert ticks in one step."""
         setattr(self.stats, counter, getattr(self.stats, counter) + n)
+
+    # -- burst-execution protocol ------------------------------------------
+
+    def burst_plan(self):
+        """Offer a steady-state burst role to the engine, or ``None``.
+
+        Called by the event engine (burst mode, no hooks armed) when the
+        ready set has been stable for several cycles.  A tile that can
+        prove its next ticks follow a fixed per-cycle pattern returns a
+        role tuple — ``("produce", max_cycles, rate)``, ``("relay1",)`` or
+        ``("drain",)`` — and the engine cross-validates the roles against
+        the graph wiring before committing a window.  The conservative
+        default opts out, which falls back to normal per-cycle ticking.
+        """
+        return None
+
+    def tick_burst(self, cycle: int, n: int, feed=None):
+        """Run ``n`` cycles' worth of ticks in one call.
+
+        Only called for a window the engine validated via
+        :meth:`burst_plan`; implementations must leave tile state, stats
+        and stream contents bit-identical to ``n`` interleaved per-cycle
+        ticks.  ``feed`` is the input stream's push schedule from the
+        producer's burst (a sorted list of push cycles, or ``None`` for
+        one-vector-per-cycle / not applicable); the return value is this
+        tile's own push schedule for its output, in the same format.
+
+        The default is a plain loop — correct only for a tile whose ticks
+        are independent of other tiles' progress during the window (the
+        engine never selects such a tile without a specialised plan; the
+        fallback exists for tests and subclasses that opt in explicitly).
+        """
+        for k in range(n):
+            self.tick(cycle + k)
+        return None
 
     # -- observability protocol --------------------------------------------
 
@@ -251,6 +297,32 @@ class SourceTile(Tile):
             return ("sleep", "stall_cycles")   # woken when the output drains
         return ("ready",)
 
+    def burst_plan(self):
+        # Steady emission: one full-rate vector per cycle.  The window is
+        # capped one vector short of exhaustion so the EOS transition (and
+        # the partial final vector, if any) happens under normal ticking.
+        if (type(self) is not SourceTile or len(self.outputs) != 1
+                or "tick" in self.__dict__):
+            return None     # instance-patched ticks must really run
+        max_b = (len(self._records) - self._pos - 1) // self.rate
+        if max_b < 1:
+            return None
+        return ("produce", max_b, self.rate)
+
+    def tick_burst(self, cycle: int, n: int, feed=None):
+        records = self._records
+        rate = self.rate
+        pos = self._pos
+        self._pos = pos + n * rate
+        self.outputs[0].push_n(
+            [records[pos + k * rate: pos + (k + 1) * rate]
+             for k in range(n)])
+        stats = self.stats
+        stats.vectors_out += n
+        stats.records_out += n * rate
+        stats.busy_cycles += n
+        return None
+
 
 class SinkTile(Tile):
     """Collects a stream's records off the fabric (e.g. a DRAM write-back)."""
@@ -286,3 +358,37 @@ class SinkTile(Tile):
         if self.completion_cycle is None and self.inputs_closed():
             return ("ready",)           # next tick records completion
         return ("sleep", "idle_cycles")
+
+    def burst_plan(self):
+        # Pure drain: pop one vector per cycle as they arrive.  Requires a
+        # single open input so no completion event can land in the window.
+        if (type(self) is not SinkTile or len(self.inputs) != 1
+                or self.inputs[0].eos or "tick" in self.__dict__):
+            return None
+        return ("drain",)
+
+    def tick_burst(self, cycle: int, n: int, feed=None):
+        stream = self.inputs[0]
+        if feed is None:
+            # Producer pushes every cycle; a push at cycle c is popped at
+            # c + 1 (the sink ticks before the producer in tick order), so
+            # the only cycle without a pop is the first — unless a vector
+            # was already buffered at window start.
+            m = n if stream._fifo else n - 1
+        else:
+            end = cycle + n - 1
+            m = 0
+            for c in feed:
+                if c < end:
+                    m += 1
+                else:
+                    break
+        records = self.records
+        stats = self.stats
+        for vector in stream.pop_n(m):
+            records.extend(vector)
+            stats.vectors_out += 1
+            stats.records_out += len(vector)
+        stats.busy_cycles += m
+        stats.idle_cycles += n - m
+        return None

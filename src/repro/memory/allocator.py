@@ -15,7 +15,7 @@ bids are counted as bank conflicts for statistics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.memory.issue_queue import IssueQueue, Request
 
@@ -40,26 +40,65 @@ class Allocator:
         to an occupied bank or lane, and considered is the total number of
         requests examined.
         """
+        # Equivalent to scanning ``bids()`` per lane and classifying each
+        # request, but restated around one identity: per lane, the grant is
+        # the first live request whose bank is free, and every other live
+        # request is a conflict — so ``conflicts = live - len(grants)`` and
+        # ``considered = live``.  Banks are tracked in an int bitmask and
+        # empty lanes are skipped without building a bid list; this is the
+        # allocator's hot path (one call per port per cycle).
         n_lanes = len(queues)
-        taken_banks: Dict[int, bool] = {b: True for b in busy_banks}
+        taken = 0
+        for b in busy_banks:
+            taken |= 1 << b
         grants: List[Tuple[int, Request]] = []
+        append = grants.append
         conflicts = 0
         considered = 0
+        rotor = self._rotor
         for offset in range(n_lanes):
-            lane = (self._rotor + offset) % n_lanes
-            granted_this_lane = False
-            for request in queues[lane].bids():
-                considered += 1
-                if granted_this_lane:
-                    conflicts += 1  # lane port already used this cycle
-                    continue
-                if request.bank in taken_banks:
-                    conflicts += 1  # bank conflict: another lane won
-                    continue
-                taken_banks[request.bank] = True
-                grants.append((lane, request))
-                granted_this_lane = True
-        self._rotor = (self._rotor + 1) % max(1, n_lanes)
+            lane = rotor + offset
+            if lane >= n_lanes:
+                lane -= n_lanes
+            queue = queues[lane]
+            slots = queue.slots
+            if not slots:
+                continue
+            if queue.in_order_dequeue:
+                # Capstan: granted-but-undequeued entries linger in the
+                # slots and are not bids; count only live requests.
+                live = 0
+                won = None
+                for request in slots:
+                    if request.granted:
+                        continue
+                    live += 1
+                    if won is None:
+                        bit = 1 << request.bank
+                        if not taken & bit:
+                            taken |= bit
+                            won = request
+                considered += live
+                if won is not None:
+                    append((lane, won))
+                    conflicts += live - 1
+                else:
+                    conflicts += live
+            else:
+                # Aurochs: every slot is live (grants invalidate
+                # immediately), so the scan can stop at the first free bank.
+                n = len(slots)
+                considered += n
+                for request in slots:
+                    bit = 1 << request.bank
+                    if not taken & bit:
+                        taken |= bit
+                        append((lane, request))
+                        conflicts += n - 1
+                        break
+                else:
+                    conflicts += n
+        self._rotor = (rotor + 1) % max(1, n_lanes)
         return grants, conflicts, considered
 
     def skip(self, calls: int, n_lanes: int) -> None:

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.dataflow.record import LANES
 from repro.dataflow.stats import DramStats
-from repro.memory.issue_queue import DEPTH_AUROCHS
-from repro.memory.scratchpad import ScratchpadMemory
+from repro.memory.issue_queue import DEPTH_AUROCHS, Request
+from repro.memory.scratchpad import BANKS, ScratchpadMemory
 from repro.memory.spad_tile import PortConfig, ScratchpadTile
 from repro.observability.events import StallReason
 
@@ -63,6 +64,12 @@ class DramTile(ScratchpadTile):
                          in_order_dequeue=False, latency=latency)
         self.dram_stats = DramStats()
         self._last_index = [None] * len(ports)
+        # ``_plain_read`` is False here (``_execute`` is overridden), but a
+        # single read port is still a valid burst relay: the override below
+        # folds the DRAM accounting into the burst loop.  Restricted to
+        # DramTile exactly so further subclasses fall back to safety.
+        self._burst_relay = (type(self) is DramTile and self._single
+                             and ports[0].mode == "read")
 
     def _latency_at(self, cycle: int) -> int:
         """Round-trip latency, plus any injected DRAM latency spike.
@@ -97,6 +104,87 @@ class DramTile(ScratchpadTile):
             # issue: exactly the memory-level parallelism the tile is
             # sustaining (threads in flight hiding the round trip).
             self.tracer.mem_issue(self.name, len(self._delay))
+
+    def tick_burst(self, cycle: int, n: int, feed=None):
+        """Relay burst with the DRAM accounting of ``_execute`` folded in.
+
+        Same loop as ``ScratchpadTile.tick_burst`` (its bit-exactness
+        argument carries over verbatim) plus, per grant: read bytes, the
+        dense/sparse classification against the running ``_last_index``,
+        and the busy-cycle high-water mark.  Tracer ``mem_issue`` events
+        are not replayed because burst windows never open while a tracer
+        is armed.
+        """
+        port = self.ports[0]
+        arrivals = port.input.pop_n(n)
+        slots = port.queues[0].slots
+        fill = len(slots)
+        cfg = port.config
+        addr = cfg.addr
+        data = cfg.region._data
+        combine = cfg.combine
+        delay = self._delay
+        delay_append = delay.append
+        popleft = delay.popleft
+        latency = self.latency
+        pending = port.packer.pending
+        pend_append = pending.append
+        out = port.packer.stream
+        last = self._last_index[0]
+        dense = 0
+        out_vectors = []
+        flushes = []
+        for k in range(n):
+            c = cycle + k
+            while delay and delay[0][0] <= c:
+                pend_append(popleft()[2])
+            if k < fill:
+                head = slots[k]
+                index = head.index
+                record = head.record
+            else:
+                record = arrivals[k - fill][0]
+                index = addr(record)
+            if last is not None and abs(index - last) <= 1:
+                dense += 1
+            last = index
+            response = combine(record, data[index])
+            if response is not None:
+                delay_append((c + latency, 0, response))
+            if len(pending) >= LANES:
+                out_vectors.append(pending[:LANES])
+                del pending[:LANES]
+                flushes.append(c)
+        self._last_index[0] = last
+        dstats = self.dram_stats
+        dstats.read_bytes += cfg.region.words_per_entry * 4 * n
+        dstats.dense_bursts += dense
+        dstats.sparse_bursts += n - dense
+        dstats.busy_cycles = cycle + n - 1
+        if fill:
+            base = cfg.region.base_entry
+            tail = []
+            for vector in arrivals[n - fill:]:
+                record = vector[0]
+                index = addr(record)
+                tail.append(Request((base + index) % BANKS, index, record))
+            slots[:] = tail
+        if out_vectors:
+            out.push_n(out_vectors)
+            stats = self.stats
+            stats.vectors_out += len(out_vectors)
+            stats.records_out += LANES * len(out_vectors)
+        sstats = self.spad_stats
+        sstats.requests += n
+        sstats.grants += n
+        sstats.bank_conflicts += n * fill
+        sstats.considered_bids += n * (fill + 1)
+        sstats.active_cycles += n
+        self.stats.busy_cycles += n
+        self._alloc.skip(n, len(port.queues))
+        if self._last_rmw:
+            self._last_rmw = ()
+        return flushes
 
     def stall_reason(self) -> StallReason:
         reason = super().stall_reason()

@@ -34,6 +34,9 @@ from repro.observability.events import StallReason
 #: Cycles from grant to response availability (SRAM access + crossbar).
 SPAD_LATENCY = 3
 
+#: Shared empty busy-bank set for single-port scheduling rounds.
+_NO_BUSY_BANKS: frozenset = frozenset()
+
 
 @dataclass(slots=True)
 class PortConfig:
@@ -98,6 +101,24 @@ class ScratchpadTile(Tile):
         self._alloc = Allocator(memory.banks)
         self._delay: deque = deque()   # (ready_cycle, port_idx, record)
         self._last_rmw: Tuple = ()     # (bank, index) pairs granted last cycle
+        # Scheduling-round specialisations, fixed at construction: RMW
+        # ports go first (they claim both bank ports), and the ubiquitous
+        # single-non-RMW-port tile skips the busy-set machinery entirely.
+        self._order = sorted(range(len(ports)),
+                             key=lambda i: ports[i].mode != "rmw")
+        self._one_port = len(ports) == 1
+        self._single = self._one_port and ports[0].mode != "rmw"
+        # A plain base-class read port can run its grants inline (region
+        # indexing + combine) instead of through the virtual ``_execute``.
+        self._plain_read = (
+            self._single and ports[0].mode == "read"
+            and not in_order_dequeue
+            and type(self)._execute is ScratchpadTile._execute
+            and type(self)._latency_at is ScratchpadTile._latency_at)
+        # Burst-execution eligibility (static part): a plain single read
+        # port can act as a rate-matched relay when fed one single-record
+        # vector per cycle.  ``DramTile.__init__`` sets its own flag.
+        self._burst_relay = self._plain_read
         # Reliability hook: a FaultInjector armed on this tile's graph sets
         # itself here; granted requests then check for injected bank
         # failures.  None (the default) costs one is-None test per grant.
@@ -122,53 +143,169 @@ class ScratchpadTile(Tile):
 
     def tick(self, cycle: int) -> bool:
         moved = self._retire(cycle)
-        accepted = self._enqueue()
+        if self._enqueue():
+            moved = True
         granted = self._schedule(cycle)
-        moved = moved or accepted or granted
+        if granted:
+            moved = True
         force_partial = not granted
+        stats = self.stats
         for port in self.ports:
-            if port.packer.flush(self.stats, force_partial):
+            packer = port.packer
+            if packer.pending and packer.flush(stats, force_partial):
                 moved = True
         if moved:
-            self.stats.busy_cycles += 1
+            stats.busy_cycles += 1
         else:
-            self.stats.idle_cycles += 1
-        self.maybe_close()
+            stats.idle_cycles += 1
+        inputs = self.inputs
+        if not inputs or inputs[0].eos:
+            # EOS can only propagate once input 0 has closed; skipping
+            # maybe_close before that is exact (it would be a no-op).
+            self.maybe_close()
         return moved
 
     def _retire(self, cycle: int) -> bool:
+        delay = self._delay
+        if not delay or delay[0][0] > cycle:
+            return False
+        popleft = delay.popleft
         retired = 0
-        while self._delay and self._delay[0][0] <= cycle:
-            __, port_idx, record = self._delay.popleft()
-            self.ports[port_idx].packer.push(record)
-            retired += 1
-        if retired and self.tracer is not None:
-            self.tracer.mem_retire(self.name, retired, len(self._delay))
-        return retired > 0
+        if self._one_port:
+            append = self.ports[0].packer.pending.append
+            while delay and delay[0][0] <= cycle:
+                append(popleft()[2])
+                retired += 1
+        else:
+            ports = self.ports
+            while delay and delay[0][0] <= cycle:
+                __, port_idx, record = popleft()
+                ports[port_idx].packer.pending.append(record)
+                retired += 1
+        if self.tracer is not None:
+            self.tracer.mem_retire(self.name, retired, len(delay))
+        return True
 
     def _enqueue(self) -> bool:
         """Move waiting vectors from input streams into per-lane queues."""
         accepted = False
         for port in self.ports:
             stream = port.input
-            if stream is None or not stream.can_pop():
+            if stream is None or not stream._fifo:
                 continue
-            vector = stream.peek()
-            lanes = range(len(vector))
-            if not all(port.queues[lane].has_room() for lane in lanes):
+            vector = stream._fifo[0]
+            queues = port.queues
+            n = len(vector)
+            room = True
+            for lane in range(n):
+                queue = queues[lane]
+                if len(queue.slots) >= queue.depth:
+                    room = False
+                    break
+            if not room:
                 self.spad_stats.queue_full_stalls += 1
                 continue
             stream.pop()
-            for lane, record in enumerate(vector):
-                index = port.config.addr(record)
-                bank = port.config.region.bank_of(index)
-                port.queues[lane].push(Request(bank, index, record))
-                self.spad_stats.requests += 1
+            cfg = port.config
+            addr = cfg.addr
+            # Region.bank_of, inlined: entry-interleaved across BANKS.
+            base = cfg.region.base_entry
+            lane = 0
+            for record in vector:
+                index = addr(record)
+                queues[lane].slots.append(
+                    Request((base + index) % BANKS, index, record))
+                lane += 1
+            self.spad_stats.requests += n
             accepted = True
         return accepted
 
     def _schedule(self, cycle: int) -> bool:
         """One allocator round per port; RMW fuses read+write bank ports."""
+        if self._plain_read and self.fault_injector is None:
+            # Fused fast path: the allocator scan, the Aurochs
+            # invalidate-on-grant dequeue, and the read execute run in one
+            # pass over the lane queues.  Semantics are exactly
+            # ``Allocator.allocate`` (rotating lane priority, first live
+            # request with a free bank wins, losers count as conflicts)
+            # followed by region indexing + combine — restated without the
+            # intermediate grants list.  The rotor still advances every
+            # round, including grant-free ones.
+            port = self.ports[0]
+            queues = port.queues
+            alloc = self._alloc
+            rotor = alloc._rotor
+            n_lanes = len(queues)
+            alloc._rotor = rotor + 1 if rotor + 1 < n_lanes else 0
+            cfg = port.config
+            data = cfg.region._data
+            combine = cfg.combine
+            delay_append = self._delay.append
+            ready = cycle + self.latency
+            taken = 0
+            grants = 0
+            conflicts = 0
+            considered = 0
+            for offset in range(n_lanes):
+                lane = rotor + offset
+                if lane >= n_lanes:
+                    lane -= n_lanes
+                slots = queues[lane].slots
+                if not slots:
+                    continue
+                n = len(slots)
+                considered += n
+                for request in slots:
+                    bit = 1 << request.bank
+                    if not taken & bit:
+                        taken |= bit
+                        slots.remove(request)
+                        response = combine(request.record,
+                                           data[request.index])
+                        if response is not None:
+                            delay_append((ready, 0, response))
+                        grants += 1
+                        conflicts += n - 1
+                        break
+                else:
+                    conflicts += n
+            stats = self.spad_stats
+            stats.bank_conflicts += conflicts
+            stats.considered_bids += considered
+            if self._last_rmw:
+                self._last_rmw = ()
+            if not grants:
+                return False
+            stats.grants += grants
+            stats.active_cycles += 1
+            if self.tracer is not None:
+                self.tracer.bank_round(self.name, cycle, grants, conflicts)
+            return True
+        if self._single:
+            # One non-RMW port: no cross-port bank contention, no RMW
+            # history.  The allocator round still runs (and advances the
+            # rotor) even with empty queues, as the general path does.
+            port = self.ports[0]
+            grants, conflicts, considered = self._alloc.allocate(
+                port.queues, _NO_BUSY_BANKS)
+            stats = self.spad_stats
+            stats.bank_conflicts += conflicts
+            stats.considered_bids += considered
+            if self._last_rmw:
+                self._last_rmw = ()
+            if not grants:
+                return False
+            queues = port.queues
+            execute = self._execute
+            for lane, request in grants:
+                queues[lane].grant(request)
+                execute(cycle, 0, request)
+            stats.grants += len(grants)
+            stats.active_cycles += 1
+            if self.tracer is not None:
+                self.tracer.bank_round(self.name, cycle,
+                                       len(grants), conflicts)
+            return True
         busy_read: set = set()
         busy_write: set = set()
         rmw_this_cycle: List[Tuple[int, int]] = []
@@ -176,9 +313,7 @@ class ScratchpadTile(Tile):
         round_grants = 0
         round_conflicts = 0
         # RMW ports first: they claim both bank ports.
-        order = sorted(range(len(self.ports)),
-                       key=lambda i: self.ports[i].config.mode != "rmw")
-        for idx in order:
+        for idx in self._order:
             port = self.ports[idx]
             mode = port.config.mode
             if mode == "rmw":
@@ -215,6 +350,114 @@ class ScratchpadTile(Tile):
                 self.tracer.bank_round(self.name, cycle,
                                        round_grants, round_conflicts)
         return any_grant
+
+    # -- burst execution ---------------------------------------------------
+
+    def burst_plan(self):
+        """Relay role: consume one single-record vector per cycle, grant it
+        through the single lane-0 queue, retire after ``latency`` cycles
+        and flush full vectors downstream.
+
+        Dynamic eligibility (the static part is ``_burst_relay``): the
+        input must hold at least one single-record vector (with one
+        arriving per cycle the occupancy then never drops below one, so a
+        pop never starves), lane 0 must have a free slot (fill is constant
+        at one-in/one-out), all other lanes must be empty (arrivals land
+        in lane 0 only), and the output must be drained (occupancy 0 with
+        under a full vector pending) so every flush finds room.  Multi-lane
+        vectors, RMW/write ports and reorder-pipeline (Capstan) windows
+        fail these checks and fall back to per-cycle ticking.
+        """
+        if not self._burst_relay or self.fault_injector is not None:
+            return None
+        if (len(self.inputs) != 1 or len(self.outputs) != 1
+                or "tick" in self.__dict__):
+            return None     # instance-patched ticks must really run
+        port = self.ports[0]
+        stream = port.input
+        out = port.packer.stream
+        if stream is None or out is None or stream.eos:
+            return None
+        fifo = stream._fifo
+        if not fifo:
+            return None
+        for vector in fifo:
+            if len(vector) != 1:
+                return None
+        queues = port.queues
+        if len(queues[0].slots) >= queues[0].depth:
+            return None
+        for queue in queues[1:]:
+            if queue.slots:
+                return None
+        if out._fifo or len(port.packer.pending) >= LANES:
+            return None
+        return ("relay1",)
+
+    def tick_burst(self, cycle: int, n: int, feed=None):
+        port = self.ports[0]
+        arrivals = port.input.pop_n(n)
+        slots = port.queues[0].slots
+        fill = len(slots)
+        cfg = port.config
+        addr = cfg.addr
+        data = cfg.region._data
+        combine = cfg.combine
+        delay = self._delay
+        delay_append = delay.append
+        popleft = delay.popleft
+        latency = self.latency
+        pending = port.packer.pending
+        pend_append = pending.append
+        out = port.packer.stream
+        out_vectors = []
+        flushes = []
+        for k in range(n):
+            c = cycle + k
+            while delay and delay[0][0] <= c:
+                pend_append(popleft()[2])
+            # Enqueue this cycle's arrival; grant the FIFO head (single
+            # bid per bank round: the oldest request always wins).
+            if k < fill:
+                head = slots[k]
+                index = head.index
+                record = head.record
+            else:
+                record = arrivals[k - fill][0]
+                index = addr(record)
+            response = combine(record, data[index])
+            if response is not None:
+                delay_append((c + latency, 0, response))
+            if len(pending) >= LANES:
+                out_vectors.append(pending[:LANES])
+                del pending[:LANES]
+                flushes.append(c)
+        # Queue contents after the window: the last ``fill`` arrivals are
+        # enqueued but not yet granted (constant one-in/one-out fill).
+        if fill:
+            base = cfg.region.base_entry
+            tail = []
+            for vector in arrivals[n - fill:]:
+                record = vector[0]
+                index = addr(record)
+                tail.append(Request((base + index) % BANKS, index, record))
+            slots[:] = tail
+        if out_vectors:
+            out.push_n(out_vectors)
+            stats = self.stats
+            stats.vectors_out += len(out_vectors)
+            stats.records_out += LANES * len(out_vectors)
+        sstats = self.spad_stats
+        sstats.requests += n
+        sstats.grants += n
+        sstats.bank_conflicts += n * fill
+        sstats.considered_bids += n * (fill + 1)
+        sstats.active_cycles += n
+        self.stats.busy_cycles += n
+        self._alloc.skip(n, len(port.queues))
+        if self._last_rmw:
+            self._last_rmw = ()
+        return flushes
 
     def _latency_at(self, cycle: int) -> int:
         """Grant-to-response latency for a request executed this cycle.

@@ -56,7 +56,11 @@ def _stateful_objects(graph) -> List:
 #: the event scheduler (``sched``) and tracer (``tracer``) re-arm per run —
 #: snapshotting them would resurrect a stale engine's hooks (and deep-copy
 #: the scheduler's heap) into the next run.
-_EXCLUDED_ATTRS = frozenset({"monitor", "fault_injector", "sched", "tracer"})
+_EXCLUDED_ATTRS = frozenset({"monitor", "fault_injector", "sched", "tracer",
+                             # Stream stores monitor/tracer in private slots
+                             # behind arm/disarm properties, plus the derived
+                             # "hooked" flag; all three are runtime-owned.
+                             "_monitor", "_tracer", "_mt"})
 
 
 def _get_state(obj) -> Dict[str, object]:

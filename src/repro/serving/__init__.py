@@ -23,7 +23,7 @@ from repro.serving.chaos import (
     run_loadtest,
     signature,
 )
-from repro.serving.replica import FabricReplica
+from repro.serving.replica import FabricReplica, PlanCache
 from repro.serving.request import (
     PRIORITY_CLASSES,
     STATUSES,
@@ -35,6 +35,7 @@ from repro.serving.runtime import ServingPolicy, ServingRuntime
 from repro.serving.workload import (
     Golden,
     Job,
+    LoweredPlan,
     QUERY_NAMES,
     QueryJob,
     ServingWorkload,
@@ -55,9 +56,11 @@ __all__ = [
     "HALF_OPEN",
     "Job",
     "LoadTestConfig",
+    "LoweredPlan",
     "OPEN",
     "Outcome",
     "PRIORITY_CLASSES",
+    "PlanCache",
     "QUERY_NAMES",
     "QueryJob",
     "Request",

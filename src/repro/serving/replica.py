@@ -6,15 +6,80 @@ job at a time (``busy_until`` in virtual cycles), owns a per-dependency
 seed — deterministically injects faults into the sim jobs it executes, so
 "this replica is flaky" is a reproducible property of the seed, not of
 chance.
+
+Each replica also owns a :class:`PlanCache`: lowering and pricing a query
+plan is per-fabric preparation work (the paper's place-and-route happens
+once per plan, not once per request), so repeated requests for the same
+query over the same dataset replay the cached lowered plan instead of
+re-executing the operator tree.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 from repro.serving.breaker import CircuitBreaker
-from repro.serving.workload import Job, derive_seed, fault_injector_for
+from repro.serving.workload import (
+    Job,
+    LoweredPlan,
+    derive_seed,
+    fault_injector_for,
+)
+
+
+class PlanCache:
+    """Per-replica memo of lowered, priced query plans.
+
+    Keyed by the job's ``plan_key()`` — ``(kind, query id, dataset
+    digest, config)`` — so a key hit guarantees the cached
+    :class:`~repro.serving.workload.LoweredPlan` is byte-for-byte what a
+    fresh execution would produce.  A hit replays the plan (deadline
+    enforcement included) without touching the operators; jobs with no
+    plan key, or executions under an armed fault injector, bypass the
+    cache entirely.  LRU-bounded; hit/miss/bypass/eviction counts go to
+    the runtime's :class:`~repro.observability.metrics.MetricsRegistry`.
+    """
+
+    def __init__(self, metrics=None, capacity: int = 32):
+        if metrics is None:
+            from repro.observability.metrics import MetricsRegistry
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self.capacity = capacity
+        self._plans: "OrderedDict[Tuple, LoweredPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def execute(self, job: Job, token=None, injector=None):
+        """Run ``job`` through the cache; same contract as
+        :meth:`Job.execute`."""
+        key = None if injector is not None else job.plan_key()
+        if key is None:
+            self.metrics.counter("serving.plan_cache.bypass").inc()
+            return job.execute(token=token, injector=injector)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.metrics.counter("serving.plan_cache.hits").inc()
+            return plan.replay(job.name, token)
+        self.metrics.counter("serving.plan_cache.misses").inc()
+        job.last_plan = None
+        try:
+            return job.execute(token=token, injector=injector)
+        finally:
+            # Harvest even when enforcement raised DeadlineExceeded: the
+            # plan itself is complete and correct, so the next request can
+            # replay the same deadline verdict without re-executing.
+            plan = job.last_plan
+            if plan is not None:
+                self._plans[key] = plan
+                if len(self._plans) > self.capacity:
+                    self._plans.popitem(last=False)
+                    self.metrics.counter(
+                        "serving.plan_cache.evictions").inc()
 
 
 class FabricReplica:
@@ -24,7 +89,8 @@ class FabricReplica:
                  breaker: Optional[CircuitBreaker] = None,
                  fault_seed: Optional[int] = None,
                  fault_rate: float = 1.0,
-                 n_faults: int = 2):
+                 n_faults: int = 2,
+                 plan_cache: Optional[PlanCache] = None):
         self.name = name
         self.index = index
         self.breaker = breaker if breaker is not None else CircuitBreaker(
@@ -34,9 +100,15 @@ class FabricReplica:
         self.fault_seed = fault_seed
         self.fault_rate = fault_rate
         self.n_faults = n_faults
+        self.plan_cache = (plan_cache if plan_cache is not None
+                           else PlanCache())
         self.busy_until = 0
         self.jobs_run = 0
         self.faults_surfaced = 0
+
+    def execute(self, job: Job, token=None, injector=None):
+        """Execute ``job`` on this replica, through its plan cache."""
+        return self.plan_cache.execute(job, token=token, injector=injector)
 
     def injector_for(self, job: Job, request, horizon: int):
         """The injector this execution runs under, or None.

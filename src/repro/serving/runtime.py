@@ -58,7 +58,7 @@ from repro.serving.admission import AdmissionController
 from repro.serving.breaker import CircuitBreaker, OPEN
 from repro.serving.bulkhead import Bulkhead
 from repro.serving.cancel import CancelToken
-from repro.serving.replica import FabricReplica
+from repro.serving.replica import FabricReplica, PlanCache
 from repro.serving.request import Outcome, Request
 from repro.serving.workload import ServingWorkload, derive_seed
 
@@ -128,7 +128,8 @@ class ServingRuntime:
                     name=f"fab{i}",
                     threshold=self.policy.breaker_threshold,
                     cooldown=self.policy.breaker_cooldown),
-                fault_seed=fault_seed, fault_rate=fault_rate))
+                fault_seed=fault_seed, fault_rate=fault_rate,
+                plan_cache=PlanCache(metrics=self.metrics)))
         self.admission = AdmissionController(capacity=self.policy.queue_depth)
         self.bulkhead = Bulkhead(per_tenant=self.policy.per_tenant,
                                  class_limits=self.policy.class_limits)
@@ -259,7 +260,8 @@ class ServingRuntime:
         injector = replica.injector_for(job, request, horizon=golden.cycles)
         replica.jobs_run += 1
         try:
-            cycles, digest = job.execute(token=token, injector=injector)
+            cycles, digest = replica.execute(job, token=token,
+                                             injector=injector)
             status, error = "ok", None
         except DeadlineExceeded as err:
             cycles, digest = err.cycle, None

@@ -59,6 +59,9 @@ class Job:
 
     def __init__(self, name: str):
         self.name = name
+        #: Set by :class:`_TracedJob` after a successful priced execution;
+        #: harvested by the replica's plan cache.
+        self.last_plan: Optional["LoweredPlan"] = None
 
     def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
         """Run the job; return ``(cycles_consumed, result_digest)``.
@@ -67,6 +70,13 @@ class Job:
         faults, deadlines, and cancellation.
         """
         raise NotImplementedError
+
+    def plan_key(self) -> Optional[Tuple]:
+        """Cache key for the replica plan cache, or None if this job's
+        execution cannot be replayed from a cached plan (sim jobs: the
+        engine run *is* the service, and faults/cancellation act on it
+        mid-flight)."""
+        return None
 
     def fault_sites(self) -> Dict[str, List[str]]:
         """Injectable sites, in :func:`~repro.reliability.random_schedule`
@@ -125,6 +135,57 @@ class SimJob(Job):
             for tile in graph.tiles if isinstance(tile, SinkTile))
 
 
+#: Configuration component of every plan-cache key.  Bump when the
+#: pricing pipeline changes (cost model, operator policy) so stale plans
+#: from an old configuration can never be replayed against a new one.
+_PLAN_CONFIG = ("cost_model=aurochs_v1", "policy=aurochs")
+
+
+@dataclass(frozen=True)
+class LoweredPlan:
+    """A lowered, cost-model-priced execution plan.
+
+    Captures everything deadline enforcement and settlement need from a
+    traced execution: the operator sequence, the cumulative cycle cost
+    after each operator, and the (deterministic) result digest.  Replaying
+    a plan through :func:`settle_plan` is bit-identical to re-executing
+    the job — same cycles, same digest, same :class:`DeadlineExceeded` at
+    the same operator boundary.
+    """
+
+    ops: Tuple[str, ...]
+    cum_cycles: Tuple[float, ...]
+    digest: Tuple
+
+    def replay(self, name: str, token) -> Tuple[int, Tuple]:
+        return settle_plan(name, self.ops, self.cum_cycles, self.digest,
+                           token)
+
+
+def settle_plan(name: str, ops: Tuple[str, ...],
+                cum_cycles: Tuple[float, ...], digest: Tuple,
+                token) -> Tuple[int, Tuple]:
+    """Enforce the deadline at operator boundaries and settle the total.
+
+    Shared by fresh executions (:meth:`_TracedJob._settle`) and plan-cache
+    replays so both paths raise/return identically.
+    """
+    budget = None if token is None else token.deadline_cycle
+    if budget is not None:
+        for op, spent in zip(ops, cum_cycles):
+            if spent > budget:
+                raise DeadlineExceeded(
+                    f"query {name!r} exceeded its {budget}-cycle "
+                    f"budget at operator {op!r}",
+                    tenant=getattr(token, "tenant", ""), query=name,
+                    request_id=getattr(token, "request_id", None),
+                    deadline=budget, cycle=budget)
+    spent = cum_cycles[-1] if cum_cycles else 0.0
+    if token is not None:
+        token.check(int(spent))  # honor external cancellation too
+    return max(1, int(round(spent))), digest
+
+
 class _TracedJob(Job):
     """Shared deadline/pricing logic for cost-model-priced jobs."""
 
@@ -133,22 +194,18 @@ class _TracedJob(Job):
         boundaries (the analytical analogue of the engine's per-cycle
         stream-end check)."""
         model = CostModel()
-        budget = None if token is None else token.deadline_cycle
+        ops = []
+        cums = []
         spent = 0.0
         for trace in ctx.traces:
             spent += (model.event_cycles(trace.events,
                                          rows=trace.rows_in).cycles
                       + model.stage_overhead_cycles)
-            if budget is not None and spent > budget:
-                raise DeadlineExceeded(
-                    f"query {self.name!r} exceeded its {budget}-cycle "
-                    f"budget at operator {trace.op!r}",
-                    tenant=getattr(token, "tenant", ""), query=self.name,
-                    request_id=getattr(token, "request_id", None),
-                    deadline=budget, cycle=budget)
-        if token is not None:
-            token.check(int(spent))  # honor external cancellation too
-        return max(1, int(round(spent))), digest
+            ops.append(trace.op)
+            cums.append(spent)
+        self.last_plan = LoweredPlan(tuple(ops), tuple(cums), digest)
+        return settle_plan(self.name, self.last_plan.ops,
+                           self.last_plan.cum_cycles, digest, token)
 
 
 class QueryJob(_TracedJob):
@@ -156,9 +213,19 @@ class QueryJob(_TracedJob):
 
     kind = "query"
 
-    def __init__(self, name: str, data_fn: Callable[[], object]):
+    def __init__(self, name: str, data_fn: Callable[[], object],
+                 dataset_key: Optional[Tuple] = None):
         super().__init__(name)
         self._data_fn = data_fn
+        #: Identity of the dataset ``data_fn`` yields (e.g. generator seed
+        #: + config).  None disables plan caching: with an anonymous data
+        #: source the cache cannot prove two executions see the same rows.
+        self.dataset_key = dataset_key
+
+    def plan_key(self) -> Optional[Tuple]:
+        if self.dataset_key is None:
+            return None
+        return ("query", self.name, self.dataset_key, _PLAN_CONFIG)
 
     def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
         from repro.db import ExecutionContext
@@ -178,6 +245,12 @@ class StreamingJob(_TracedJob):
         super().__init__(name)
         self.n_events = n_events
         self.window = window
+
+    def plan_key(self) -> Optional[Tuple]:
+        # Self-contained: the event stream is a pure function of
+        # (n_events, window), so those parameters ARE the dataset digest.
+        return ("streaming", self.name, self.n_events, self.window,
+                _PLAN_CONFIG)
 
     def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
         from repro.db import ExecutionContext, Table
@@ -282,8 +355,11 @@ class ServingWorkload:
         self.add(SimJob("sim_chase", _chase_graph, sites={
             "streams": ["to_dram", "from_dram"], "tiles": ["merge"],
             "drams": ["hop"]}))
+        dataset_key = (self.seed,
+                       tuple(sorted(self._rideshare_cfg.items())))
         for name in QUERY_NAMES:
-            self.add(QueryJob(name, self._rideshare))
+            self.add(QueryJob(name, self._rideshare,
+                              dataset_key=dataset_key))
         self.add(StreamingJob("stream_zone"))
 
     def add(self, job: Job) -> None:

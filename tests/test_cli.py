@@ -43,7 +43,7 @@ class TestMicrobenchCli:
         assert main(["microbench", "--case", "gather_throttled",
                      "--scheduler", scheduler, "--profile"]) == 0
         out = capsys.readouterr().out
-        assert f"({scheduler} scheduler)" in out
+        assert f"({scheduler} scheduler" in out
         assert "simulated cycles" in out
         # The profile table names every tile class in the graph.
         for tile_class in ("SourceTile", "DramTile", "SinkTile"):
@@ -51,12 +51,32 @@ class TestMicrobenchCli:
 
     def test_schedulers_agree_on_cycles(self, capsys):
         cycles = {}
-        for scheduler in ("event", "exhaustive"):
-            assert main(["microbench", "--case", "gather_throttled",
-                         "--scheduler", scheduler]) == 0
+        for mode in (["--scheduler", "event"],
+                     ["--scheduler", "event", "--no-burst"],
+                     ["--scheduler", "exhaustive"]):
+            assert main(["microbench", "--case", "gather_throttled"]
+                        + mode) == 0
             out = capsys.readouterr().out
-            cycles[scheduler] = int(out.split(":")[1].split()[0])
-        assert cycles["event"] == cycles["exhaustive"]
+            cycles[" ".join(mode)] = int(out.split(":")[1].split()[0])
+        assert len(set(cycles.values())) == 1
+
+    def test_profile_reports_burst_window_histogram(self, capsys):
+        assert main(["microbench", "--case", "gather_throttled",
+                     "--scheduler", "event", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "burst on" in out
+        assert "burst windows" in out
+        # The throttled gather reaches steady state: at least the source
+        # runs burst windows, and the histogram names its tile class.
+        assert "SourceTile" in out.split("burst windows")[1]
+
+    def test_no_burst_disables_windows(self, capsys):
+        assert main(["microbench", "--case", "gather_throttled",
+                     "--scheduler", "event", "--no-burst",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "burst off" in out
+        assert "burst windows: none" in out
 
     def test_unknown_case_fails(self, capsys):
         assert main(["microbench", "--case", "nope"]) == 2
@@ -108,6 +128,11 @@ class TestTraceCli:
         # A tiny ring still yields an exact attribution report.
         assert "WARNING" not in out
         assert json.loads(path.read_text())["otherData"]["events_dropped"] > 0
+
+    def test_no_burst_flag_accepted(self, capsys):
+        assert main(["trace", "--case", "gather_throttled",
+                     "--no-burst", "--report"]) == 0
+        assert "stall attribution" in capsys.readouterr().out
 
     def test_unknown_case_fails(self, capsys):
         assert main(["trace", "--case", "nope"]) == 2

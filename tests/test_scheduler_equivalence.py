@@ -144,25 +144,33 @@ CASES = [
 ]
 
 
-def _run(factory, injector_factory, scheduler):
+def _run(factory, injector_factory, scheduler, burst=False):
     inj = injector_factory() if injector_factory else None
-    engine = Engine(factory(), injector=inj, scheduler=scheduler)
+    engine = Engine(factory(), injector=inj, scheduler=scheduler,
+                    burst=burst)
     return engine.run(), inj
+
+
+#: The three scheduling modes whose stats must be bit-identical.
+MODES = [("exhaustive", False), ("event", False), ("event", True)]
+MODE_IDS = ["exhaustive", "event", "event_burst"]
 
 
 @pytest.mark.parametrize("name,factory,injector_factory",
                          CASES, ids=[c[0] for c in CASES])
 def test_simstats_bit_identical(name, factory, injector_factory):
     golden, golden_inj = _run(factory, injector_factory, "exhaustive")
-    event, event_inj = _run(factory, injector_factory, "event")
-    assert event.cycles == golden.cycles
-    assert event.tiles == golden.tiles
-    assert event.scratchpads == golden.scratchpads
-    assert event.dram == golden.dram
-    assert event == golden          # full dataclass equality, belt-and-braces
-    if golden_inj is not None:
-        # First firings (what the log records) land at identical cycles.
-        assert event_inj.log == golden_inj.log
+    for scheduler, burst in MODES[1:]:
+        event, event_inj = _run(factory, injector_factory, scheduler,
+                                burst=burst)
+        assert event.cycles == golden.cycles
+        assert event.tiles == golden.tiles
+        assert event.scratchpads == golden.scratchpads
+        assert event.dram == golden.dram
+        assert event == golden      # full dataclass equality, belt-and-braces
+        if golden_inj is not None:
+            # First firings (what the log records) land at identical cycles.
+            assert event_inj.log == golden_inj.log
 
 
 @pytest.mark.parametrize("scheduler", ["event", "exhaustive"])
@@ -283,14 +291,18 @@ def _fuzz_case(seed):
 
 @pytest.mark.parametrize("seed", range(50))
 def test_fuzz_scheduler_parity_and_conservation(seed):
+    """Three-way parity: exhaustive / event / event+burst on random DAGs."""
     g_gold, expected = _fuzz_case(seed)
     golden = Engine(g_gold, scheduler="exhaustive").run()
-    g_event, expected_again = _fuzz_case(seed)
-    event = Engine(g_event, scheduler="event").run()
-    assert expected_again == expected   # the reference itself is seeded
-    assert event.cycles == golden.cycles
-    assert event == golden
-    for g in (g_gold, g_event):
+    graphs = [g_gold]
+    for scheduler, burst in MODES[1:]:
+        g, expected_again = _fuzz_case(seed)
+        stats = Engine(g, scheduler=scheduler, burst=burst).run()
+        assert expected_again == expected   # the reference itself is seeded
+        assert stats.cycles == golden.cycles
+        assert stats == golden
+        graphs.append(g)
+    for g in graphs:
         # Thread conservation: exactly the records the reference
         # interpreter predicts arrive, nothing is lost in flight, and
         # every stream has drained and closed at quiescence.
@@ -298,6 +310,170 @@ def test_fuzz_scheduler_parity_and_conservation(seed):
         for stream in g.streams:
             assert stream.closed()
             assert stream.occupancy() == 0
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 5))
+def test_fuzz_parity_with_hooks_and_deadlines(seed):
+    """Fuzz parity under a tracer, a fault injector, and a cycle deadline.
+
+    Burst never engages while a tracer or injector is armed (the engine
+    falls back to per-cycle ticking), so these runs pin that ``burst=True``
+    is byte-for-byte inert in hooked mode; the deadline runs additionally
+    pin that a deadline fires at the identical cycle whether or not it
+    clamps a burst window.
+    """
+    from repro.observability import Tracer
+    from repro.serving import CancelToken
+    from repro.errors import DeadlineExceeded
+
+    # Traced: burst=True must change nothing with a tracer armed.
+    g_ref, __ = _fuzz_case(seed)
+    ref = Engine(g_ref, scheduler="event", burst=False,
+                 tracer=Tracer()).run()
+    g_b, __ = _fuzz_case(seed)
+    traced = Engine(g_b, scheduler="event", burst=True,
+                    tracer=Tracer()).run()
+    assert traced == ref
+
+    # Fault-injected: an injected stall likewise disables burst.
+    def inj():
+        return FaultInjector([FaultEvent(FaultKind.TILE_STALL, "sink",
+                                         cycle=7, duration=9)])
+    golden, gi = _run(lambda: _fuzz_case(seed)[0], inj, "exhaustive")
+    for scheduler, burst in MODES[1:]:
+        stats, si = _run(lambda: _fuzz_case(seed)[0], inj, scheduler,
+                         burst=burst)
+        assert stats == golden
+        assert si.log == gi.log
+
+    # Deadline mid-run: identical error cycle across all three modes.
+    full = Engine(_fuzz_case(seed)[0]).run().cycles
+    deadline = max(2, full // 2)
+    fired = []
+    for scheduler, burst in MODES:
+        tok = CancelToken(deadline_cycle=deadline)
+        with pytest.raises(DeadlineExceeded) as ei:
+            Engine(_fuzz_case(seed)[0], scheduler=scheduler, burst=burst,
+                   cancel=tok).run()
+        assert ei.value.cycle == deadline
+        fired.append(tok.fired_at)
+    assert fired[0] == fired[1] == fired[2] == deadline
+
+
+class TestBurstWindowBoundaries:
+    """Unit tests for the edges of burst windows.
+
+    Each case builds a steady-state graph where a specific boundary
+    condition lands at (or truncates) a window edge, asserts bit-identical
+    stats against ``burst=False``, and — where the shape guarantees it —
+    that a burst window actually committed, so the fast path cannot
+    silently stop engaging.
+    """
+
+    def _relay_chain(self, n_requests, latency=None):
+        g = Graph("chain")
+        mem = DramMemory("dram", capacity_words=4096)
+        data = mem.region("data", 1024, 1, fill=0)
+        for i in range(1024):
+            data[i] = i * 5
+        src = g.add(SourceTile("src", [((i * 37) % 1024,)
+                                       for i in range(n_requests)], rate=1))
+        kwargs = {} if latency is None else {"latency": latency}
+        dram = g.add(DramTile("relay", mem, [PortConfig(
+            mode="read", region=data, addr=lambda r: r[0],
+            combine=lambda r, v: (r[0], v))], **kwargs))
+        sink = g.add(SinkTile("sink"))
+        g.connect(src, dram)
+        g.connect(dram, sink)
+        return g
+
+    def _parity(self, factory, cancel_deadline=None):
+        """Run burst-off vs burst-on; return the burst engine."""
+        from repro.serving import CancelToken
+        ref_tok = (CancelToken(deadline_cycle=cancel_deadline)
+                   if cancel_deadline else None)
+        ref = Engine(factory(), burst=False, cancel=ref_tok)
+        tok = (CancelToken(deadline_cycle=cancel_deadline)
+               if cancel_deadline else None)
+        eng = Engine(factory(), burst=True, cancel=tok)
+        ref_stats = ref.run()
+        stats = eng.run()
+        assert stats == ref_stats
+        return eng
+
+    def test_eos_truncation(self):
+        """The window is capped one vector short of source exhaustion, so
+        the EOS transition (close + final vector) runs under real ticks."""
+        for n_requests in (64, 65, 200):
+            eng = self._parity(lambda n=n_requests: self._relay_chain(n))
+            assert eng.burst_windows, "group burst never engaged"
+            total = sum(eng.burst_windows["SourceTile"])
+            assert total < n_requests   # at least the EOS cycle ticked
+
+    def test_dram_retirement_mid_window(self):
+        """With DRAM latency far below the window length, grants issued
+        inside the window retire inside it too (delay-line wraparound)."""
+        eng = self._parity(lambda: self._relay_chain(400))
+        windows = eng.burst_windows.get("DramTile", [])
+        assert windows and max(windows) > 100   # > DRAM_LATENCY
+
+    def test_deadline_clamps_window(self):
+        """A deadline inside what would be one long window must fire at
+        the identical cycle with and without burst."""
+        from repro.errors import DeadlineExceeded
+        for deadline in (100, 137, 301):
+            with pytest.raises(DeadlineExceeded) as e_ref:
+                Engine(self._relay_chain(400), burst=False,
+                       cancel=__import__("repro.serving",
+                                         fromlist=["CancelToken"])
+                       .CancelToken(deadline_cycle=deadline)).run()
+            with pytest.raises(DeadlineExceeded) as e_burst:
+                Engine(self._relay_chain(400), burst=True,
+                       cancel=__import__("repro.serving",
+                                         fromlist=["CancelToken"])
+                       .CancelToken(deadline_cycle=deadline)).run()
+            assert e_burst.value.cycle == e_ref.value.cycle == deadline
+
+    def test_credit_exhaustion_at_exactly_b(self):
+        """Two chains with different source lengths: the window length is
+        the minimum producer credit, exhausted at exactly ``b``."""
+        def factory():
+            g = Graph("two")
+            a = g.add(SourceTile("a", [(i,) for i in range(300)], rate=1))
+            asink = g.add(SinkTile("asink"))
+            b = g.add(SourceTile("b", [(i,) for i in range(40)], rate=1))
+            bsink = g.add(SinkTile("bsink"))
+            g.connect(a, asink)
+            g.connect(b, bsink)
+            return g
+        eng = self._parity(factory)
+        assert eng.burst_windows, "group burst never engaged"
+        # Every committed window is clamped by the shorter producer's
+        # remaining credit — never past its one-short-of-EOS cap.
+        caps = eng.burst_windows["SourceTile"]
+        assert all(w <= 300 for w in caps)
+
+    def test_saturated_window_parity(self):
+        """Many parallel ready chains trigger the fabric-wide window."""
+        def factory():
+            g = Graph("wide")
+            for c in range(6):
+                src = g.add(SourceTile(
+                    f"src{c}", [(i, c) for i in range(600)]))
+                m = g.add(MapTile(f"m{c}", lambda r: (r[0] + 1, r[1])))
+                sink = g.add(SinkTile(f"sink{c}"))
+                g.connect(src, m)
+                g.connect(m, sink)
+            return g
+        eng = self._parity(factory)
+        assert "fabric" in eng.burst_windows
+        assert sum(eng.burst_windows["fabric"]) > 8
+
+    def test_no_burst_flag_disables_windows(self):
+        g = self._relay_chain(200)
+        eng = Engine(g, burst=False)
+        eng.run()
+        assert eng.burst_windows == {}
 
 
 class TestOverrunSemantics:

@@ -332,6 +332,80 @@ class TestWorkload:
         assert derive_seed(1, 2, 3) != derive_seed(3, 2, 1)
 
 
+class TestPlanCache:
+    def _cache(self, capacity=32):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.serving import PlanCache
+        metrics = MetricsRegistry()
+        return PlanCache(metrics=metrics, capacity=capacity), metrics
+
+    def test_repeat_query_hits_and_matches_fresh_execution(self, workload):
+        cache, metrics = self._cache()
+        job = workload.job("q1")
+        first = cache.execute(job)
+        second = cache.execute(job)
+        assert first == second == job.execute()
+        assert metrics.counter("serving.plan_cache.misses").value == 1
+        assert metrics.counter("serving.plan_cache.hits").value == 1
+
+    def test_distinct_queries_and_datasets_miss_separately(self, workload):
+        cache, metrics = self._cache()
+        cache.execute(workload.job("q1"))
+        cache.execute(workload.job("q2"))
+        other = ServingWorkload(seed=7)    # same query, different dataset
+        cache.execute(other.job("q1"))
+        assert metrics.counter("serving.plan_cache.misses").value == 3
+        assert metrics.counter("serving.plan_cache.hits").value == 0
+        assert len(cache) == 3
+
+    def test_hit_replays_deadline_verdict_bit_identically(self, workload):
+        cache, metrics = self._cache()
+        job = workload.job("q1")
+        with pytest.raises(DeadlineExceeded) as fresh:
+            cache.execute(job, token=CancelToken(10))
+        # The deadline-exceeded miss still harvested the full plan: the
+        # replay must raise the same verdict without re-executing.
+        with pytest.raises(DeadlineExceeded) as replay:
+            cache.execute(job, token=CancelToken(10))
+        assert metrics.counter("serving.plan_cache.hits").value == 1
+        assert replay.value.cycle == fresh.value.cycle
+        assert replay.value.deadline == fresh.value.deadline
+        assert str(replay.value) == str(fresh.value)
+        # A generous deadline passes on the same cached plan.
+        cycles, digest = cache.execute(job, token=CancelToken(1 << 30))
+        assert (cycles, digest) == job.execute()
+
+    def test_sim_jobs_and_injected_runs_bypass(self, workload):
+        cache, metrics = self._cache()
+        cache.execute(workload.job("sim_map"))
+        cache.execute(workload.job("q1"), injector=object())
+        assert metrics.counter("serving.plan_cache.bypass").value == 2
+        assert len(cache) == 0
+
+    def test_lru_eviction_is_bounded_and_counted(self, workload):
+        cache, metrics = self._cache(capacity=2)
+        for name in ("q1", "q2", "q3"):
+            cache.execute(workload.job(name))
+        assert len(cache) == 2
+        assert metrics.counter("serving.plan_cache.evictions").value == 1
+        # q1 was evicted; re-serving it is a miss, q3 is still a hit.
+        cache.execute(workload.job("q3"))
+        cache.execute(workload.job("q1"))
+        assert metrics.counter("serving.plan_cache.hits").value == 1
+        assert metrics.counter("serving.plan_cache.misses").value == 4
+
+    def test_runtime_serves_repeat_queries_from_cache(self, workload):
+        rt = _runtime(workload, n_replicas=1)
+        for i in range(3):
+            rt.submit(Request(id=i, tenant="t", query="q1",
+                              arrival=i * 1_000_000))
+        outcomes = rt.run()
+        assert all(o.ok for o in outcomes)
+        assert rt.check() == []
+        assert rt.metrics.counter("serving.plan_cache.misses").value == 1
+        assert rt.metrics.counter("serving.plan_cache.hits").value == 2
+
+
 def _runtime(workload, *, n_replicas=2, flaky=(), policy=None, seed=0,
              fault_rate=1.0):
     return ServingRuntime(workload, n_replicas=n_replicas,
