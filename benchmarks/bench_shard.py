@@ -1,0 +1,126 @@
+"""Shard-failure sweep: sharded scatter/gather under chaos kills.
+
+Runs the seeded chaos harness with K=4 scatter/gather enabled for the
+shardable joins and sweeps replica kills (0, 1, 2 permanent mid-run
+deaths per 200-request load test), recording per-shard hedge / retry /
+partial-result counts and fleet elasticity stats in ``BENCH_SHARD.json``.
+
+Hard requirements, enforced as exit status:
+
+* every sweep entry holds the serving invariants — zero wrong results,
+  every completed sharded query golden-digest equal to the unsharded
+  run, every degraded query a typed ``PartialResult`` whose coverage
+  recomputes from the shard plan;
+* every entry is bit-for-bit reproducible from its seed (each config
+  runs twice);
+* a warmed K=4-shard join beats the single-replica golden on
+  virtual-cycle makespan (otherwise sharding is pure overhead).
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_shard.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.serving import (
+    LoadTestConfig,
+    Request,
+    ServingPolicy,
+    ServingRuntime,
+    ShardPolicy,
+)
+from repro.serving.chaos import shard_sweep
+from repro.serving.workload import JOIN_NAMES
+
+REQUESTS = 200
+SEED = 11
+SHARDS = 4
+
+
+def makespan_comparison():
+    """Warmed K-shard makespan vs the unsharded golden, per join."""
+    policy = ServingPolicy(shard=ShardPolicy(n_shards=SHARDS))
+    runtime = ServingRuntime(n_replicas=SHARDS, policy=policy, seed=SEED)
+    runtime.workload.warm()
+    for name in JOIN_NAMES:
+        runtime.coordinator.warm(runtime.workload.job(name), SHARDS)
+    for i, name in enumerate(JOIN_NAMES):
+        runtime.submit(Request(id=i, tenant="bench", query=name,
+                               arrival=i * 100_000))
+    outcomes = runtime.run()
+    rows = {}
+    for outcome in outcomes:
+        golden = runtime.workload.golden(outcome.request.query)
+        rows[outcome.request.query] = {
+            "status": outcome.status,
+            "sharded_cycles": outcome.cycles,
+            "golden_cycles": golden.cycles,
+            "speedup": round(golden.cycles / max(1, outcome.cycles), 3),
+        }
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_SHARD.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    base = LoadTestConfig(requests=REQUESTS, seed=SEED, shards=SHARDS,
+                          faults=True, elastic=True)
+    t0 = time.perf_counter()
+    result = shard_sweep(base, kills=(0, 1, 2))
+    result["wall_s"] = round(time.perf_counter() - t0, 3)
+
+    failures = []
+    for entry in result["sweep"]:
+        label = f"kills={entry['kills']}"
+        out = entry["outcomes"]
+        sh = entry["shards"]
+        print(f"{label:8s} ok={out['ok']:>3} failed={out['failed']:>3} "
+              f"partial={out['partial']:>3} wrong={out['wrong_result']} "
+              f"legs={sh['legs']:>3} hedges={sh['hedges_launched']} "
+              f"retries={sh['retries']} lost={sh['lost']} "
+              f"repro={entry['reproducible']}")
+        for violation in entry["violations"]:
+            failures.append(f"{label}: {violation}")
+        if not entry["reproducible"]:
+            failures.append(f"{label}: outcome signature not reproducible")
+        if out["wrong_result"]:
+            failures.append(f"{label}: served a wrong result under chaos")
+
+    result["makespan"] = makespan_comparison()
+    beat = False
+    for name, row in result["makespan"].items():
+        print(f"makespan {name}: sharded={row['sharded_cycles']} "
+              f"golden={row['golden_cycles']} ({row['speedup']}x)")
+        if row["status"] != "ok":
+            failures.append(f"makespan {name}: sharded run was "
+                            f"{row['status']}, not ok")
+        if row["sharded_cycles"] < row["golden_cycles"]:
+            beat = True
+    if not beat:
+        failures.append(
+            f"no K={SHARDS} sharded join beat its unsharded golden "
+            f"makespan — sharding is pure overhead")
+    result["ok"] = result["ok"] and not failures
+    result["failures"] = failures
+
+    Path(args.out).write_text(json.dumps(result, indent=1, default=str))
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("shard sweep: all invariants hold, reproducible, "
+          "sharded join beats golden")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -198,7 +198,8 @@ def cmd_loadtest(args) -> int:
     cfg = LoadTestConfig(
         requests=args.requests, seed=args.seed,
         mean_interarrival=args.interarrival,
-        n_replicas=args.replicas, faults=args.faults)
+        n_replicas=args.replicas, faults=args.faults,
+        shards=args.shards, kills=args.kills, elastic=args.elastic)
     workload = ServingWorkload()
     runtime = run_loadtest(cfg, workload)
     violations = check_invariants(runtime)
@@ -217,7 +218,19 @@ def cmd_loadtest(args) -> int:
     print(f"{cfg.requests} requests over {cfg.n_replicas} replicas "
           f"(seed {cfg.seed}, faults {'on' if cfg.faults else 'off'}): "
           f"{out['ok']} ok, {out['shed']} shed, {out['deadline']} deadline, "
-          f"{out['failed']} failed, {out['wrong_result']} wrong")
+          f"{out['failed']} failed, {out['partial']} partial, "
+          f"{out['wrong_result']} wrong")
+    if cfg.shards:
+        sh = report["shards"]
+        print(f"  shards[{cfg.shards}]: {sh['dispatched']} dispatched "
+              f"{sh['legs']} legs hedges={sh['hedges_launched']}"
+              f"/{sh['hedges_won']} won retries={sh['retries']} "
+              f"lost={sh['lost']} partials={sh['partials']}")
+    if cfg.kills or cfg.elastic:
+        fl = report["fleet"]
+        print(f"  fleet: size={fl['size']} active={fl['active']} "
+              f"grown={fl['grown']} shrunk={fl['shrunk']} "
+              f"quarantined={fl['quarantined']} killed={fl['killed']}")
     for klass, lat in report["latency_cycles"].items():
         print(f"  {klass}: p50={lat['p50']} p99={lat['p99']} cycles "
               f"(n={lat['n']})")
@@ -298,6 +311,14 @@ def main(argv=None) -> int:
                     help="fabric replicas in the serving pool")
     lt.add_argument("--faults", action="store_true",
                     help="make some replicas deterministically flaky")
+    lt.add_argument("--shards", type=int, default=0, metavar="K",
+                    help="scatter/gather fan-out for shardable joins "
+                         "(power of two; 0 disables sharding)")
+    lt.add_argument("--kills", type=int, default=0, metavar="N",
+                    help="kill N replicas permanently at seeded cycles")
+    lt.add_argument("--elastic", action="store_true",
+                    help="enable the elastic fleet "
+                         "(grow/shrink/quarantine)")
     lt.add_argument("--verify-repro", action="store_true",
                     help="run twice and require bit-identical outcomes")
     lt.add_argument("--out", metavar="PATH", default=None,

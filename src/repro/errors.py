@@ -209,6 +209,33 @@ class Cancelled(ServingError):
                                     ("reason", self.reason))
 
 
+class ShardsLost(ServingError):
+    """A sharded scatter/gather query permanently lost shard fault domains.
+
+    Carried by ``partial`` outcomes (the degrade policy admitted the loss
+    and served a typed partial result) and by ``failed`` outcomes (the
+    policy refused partial service, or coverage fell below its floor).
+    ``lost`` is the tuple of lost shard indices, ``n_shards`` the scatter
+    fan-out, and ``coverage`` the fraction of input rows still covered by
+    the shards that completed.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "", query: str = "",
+                 request_id: Optional[int] = None,
+                 lost: Tuple[int, ...] = (), n_shards: int = 0,
+                 coverage: float = 0.0):
+        super().__init__(message, tenant=tenant, query=query,
+                         request_id=request_id)
+        self.lost = tuple(lost)
+        self.n_shards = n_shards
+        self.coverage = coverage
+
+    def _fields(self):
+        return super()._fields() + (("lost", self.lost),
+                                    ("n_shards", self.n_shards),
+                                    ("coverage", round(self.coverage, 6)))
+
+
 class ChecksumError(FaultError):
     """End-to-end stream integrity check failed: the records popped from a
     stream do not checksum to the records pushed (corruption or loss)."""
@@ -221,3 +248,11 @@ class StallError(FaultError):
 
 class BankFailureError(FaultError):
     """A scratchpad bank (or DRAM channel) access hit a failed bank."""
+
+
+class ReplicaLost(FaultError):
+    """A fabric replica died mid-execution (chaos kill, power loss).
+
+    Every leg in flight on the replica surfaces this fault at the kill
+    cycle; the replica never serves again (permanent, unlike the
+    transient per-execution fault schedules flaky replicas draw)."""

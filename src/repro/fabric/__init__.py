@@ -6,10 +6,13 @@ from repro.fabric.place import (
     GRID_SIDE,
     GridPlacer,
     Placement,
+    place_shards,
+    placement_moves,
     placement_report,
+    shard_score,
 )
 
 __all__ = [
     "BISECTION_BYTES_PER_S", "GRID_SIDE", "GridPlacer", "Placement",
-    "placement_report",
+    "place_shards", "placement_moves", "placement_report", "shard_score",
 ]

@@ -128,6 +128,69 @@ class GridPlacer:
         return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
 
+# -- shard -> replica placement ---------------------------------------------
+#
+# The serving tier's scatter/gather subsystem partitions a query's dataset
+# into K radix shards and fans them out over a *fleet* of fabric replicas.
+# Placement there has the same job as tile placement above — a
+# deterministic assignment that the rest of the system can reason about —
+# plus one fleet-specific requirement: when a replica is quarantined or a
+# new one joins, only the shards that must move do move (the rest of the
+# assignment is undisturbed, so warmed per-replica plan caches stay hot).
+# Rendezvous (highest-random-weight) hashing gives exactly that property.
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(*parts: int) -> int:
+    """SplitMix64-style avalanche over the concatenated integer parts."""
+    acc = 0x9E3779B97F4A7C15
+    for p in parts:
+        acc = (acc + (int(p) & _M64) + 0x9E3779B97F4A7C15) & _M64
+        acc ^= acc >> 30
+        acc = (acc * 0xBF58476D1CE4E5B9) & _M64
+        acc ^= acc >> 27
+        acc = (acc * 0x94D049BB133111EB) & _M64
+        acc ^= acc >> 31
+    return acc
+
+
+def shard_score(seed: int, shard: int, replica: int) -> int:
+    """Rendezvous weight of placing ``shard`` on ``replica``."""
+    return _mix64(seed, shard, replica)
+
+
+def place_shards(n_shards: int, replicas: "List[int]",
+                 seed: int = 0) -> List[int]:
+    """Deterministic shard→replica assignment by rendezvous hashing.
+
+    ``replicas`` are stable integer replica ids (indices into the fleet —
+    names are process-dependent, indices are not).  Returns one replica id
+    per shard.  Properties the serving tier leans on:
+
+    * same ``(seed, fleet)`` → identical assignment, independent of the
+      order ``replicas`` is passed in;
+    * removing a replica (quarantine, kill, retirement) moves **only**
+      that replica's shards — every other shard keeps its placement;
+    * adding a replica (elastic growth) moves only the shards that now
+      score highest on the newcomer.
+    """
+    if n_shards < 0:
+        raise PlanError("n_shards must be >= 0")
+    pool = sorted(set(int(r) for r in replicas))
+    if not pool:
+        raise PlanError("no replicas available for shard placement")
+    return [max(pool, key=lambda rep: (shard_score(seed, shard, rep), rep))
+            for shard in range(n_shards)]
+
+
+def placement_moves(before: "List[int]", after: "List[int]") -> List[int]:
+    """Shard indices whose assignment changed between two placements."""
+    if len(before) != len(after):
+        raise PlanError("placements cover different shard counts")
+    return [s for s, (a, b) in enumerate(zip(before, after)) if a != b]
+
+
 def placement_report(graph: Graph, placement: Placement) -> str:
     """Human-readable placement summary."""
     lines = [f"placement of {graph.name!r}: {len(placement.coords)} tiles"]

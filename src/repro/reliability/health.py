@@ -27,11 +27,20 @@ class DegradePolicy:
     * ``max_consecutive_failures`` — after this many back-to-back failures
       of one query, degradation stops masking and the error propagates
       (a permanently-broken query must surface).
+    * ``serve_partial`` — a sharded scatter/gather query that lost shard
+      fault domains for good may return a typed
+      :class:`~repro.serving.shard.PartialResult` (explicit coverage
+      fraction, never a silently wrong answer) instead of failing whole.
+    * ``min_coverage`` — the input-row coverage fraction below which a
+      partial result is refused and the query fails typed instead (a
+      3%-coverage "answer" is worse than an honest failure).
     """
 
     max_staleness: int = 0
     serve_stale: bool = True
     max_consecutive_failures: int = 5
+    serve_partial: bool = False
+    min_coverage: float = 0.5
 
 
 @dataclass

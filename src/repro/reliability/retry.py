@@ -62,12 +62,15 @@ def retry_call(fn: Callable[[], object], *,
     Each failure is appended to ``log`` (if given); the final failure is
     re-raised unchanged so callers still see the typed fault.
 
-    ``deadline`` is a backoff budget in seconds: once the *computed* delays
-    (slept or not) would cumulatively exceed it, retrying stops and the
-    last typed error is re-raised — a caller with 50ms to spend must not
-    sit out a 1s backoff for a retry it can no longer use.  The budget is
-    measured over the deterministic schedule, not wall clock, so behaviour
-    is identical whether or not ``sleep`` is wired.
+    ``deadline`` is a backoff budget in seconds: the cumulative computed
+    delays (slept or not) never exceed it.  A backoff step that would
+    cross the deadline is *clamped* to the remaining budget — the caller
+    still gets that retry, just after a shorter sleep — and once the
+    budget is fully spent the last typed error is re-raised: a caller
+    with 50ms to spend must neither sit out a 1s backoff nor be denied a
+    retry it still has 10ms for.  The budget is measured over the
+    deterministic schedule, not wall clock, so behaviour is identical
+    whether or not ``sleep`` is wired.
     """
     policy = policy if policy is not None else RetryPolicy()
     delays = policy.delays()
@@ -78,6 +81,10 @@ def retry_call(fn: Callable[[], object], *,
             return fn()
         except retry_on as err:
             delay = delays[attempt] if attempt < len(delays) else 0.0
+            if deadline is not None and attempt < policy.retries:
+                # Clamp the final sleep to the remaining budget: the
+                # schedule must never overshoot the deadline by a step.
+                delay = min(delay, max(0.0, deadline - spent))
             if log is not None:
                 log.append(RetryAttempt(
                     attempt=attempt, error=repr(err),
@@ -87,7 +94,7 @@ def retry_call(fn: Callable[[], object], *,
                 ))
             if attempt >= policy.retries:
                 raise
-            if deadline is not None and spent + delay > deadline:
+            if deadline is not None and spent >= deadline:
                 raise
             if sleep is not None and delay > 0.0:
                 sleep(delay)

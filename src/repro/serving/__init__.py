@@ -8,6 +8,15 @@ deadline propagation and cooperative cancellation, per-replica circuit
 breakers, hedged requests, bulkhead isolation — all seeded and
 reproducible, plus a chaos harness that proves the invariants hold under
 overload and injected faults.
+
+Sharded scatter/gather execution (:mod:`repro.serving.shard`) extends the
+vocabulary with partial-failure containment: a shardable join fans out
+over K radix partitions placed on distinct replicas, each shard its own
+fault domain with a deadline sub-budget, straggler hedging, and
+partition-scoped retries, gathered into a deterministic merge or an
+explicitly-degraded typed :class:`PartialResult` — never a silently wrong
+answer.  A :class:`FleetManager` makes the replica pool elastic: growth
+under queue pressure, shrink when idle, quarantine on breaker open-rate.
 """
 
 from repro.serving.admission import AdmissionController
@@ -32,13 +41,26 @@ from repro.serving.request import (
     priority_of,
 )
 from repro.serving.runtime import ServingPolicy, ServingRuntime
+from repro.serving.shard import (
+    FleetManager,
+    FleetPolicy,
+    PartialResult,
+    ShardCoordinator,
+    ShardPlan,
+    ShardPolicy,
+    ShardedExecution,
+    plan_shards,
+)
 from repro.serving.workload import (
     Golden,
+    JOIN_NAMES,
     Job,
+    JoinShardJob,
     LoweredPlan,
     QUERY_NAMES,
     QueryJob,
     ServingWorkload,
+    ShardedJoinJob,
     SimJob,
     StreamingJob,
     derive_seed,
@@ -52,14 +74,19 @@ __all__ = [
     "CancelToken",
     "CircuitBreaker",
     "FabricReplica",
+    "FleetManager",
+    "FleetPolicy",
     "Golden",
     "HALF_OPEN",
+    "JOIN_NAMES",
     "Job",
+    "JoinShardJob",
     "LoadTestConfig",
     "LoweredPlan",
     "OPEN",
     "Outcome",
     "PRIORITY_CLASSES",
+    "PartialResult",
     "PlanCache",
     "QUERY_NAMES",
     "QueryJob",
@@ -68,6 +95,11 @@ __all__ = [
     "ServingPolicy",
     "ServingRuntime",
     "ServingWorkload",
+    "ShardCoordinator",
+    "ShardPlan",
+    "ShardPolicy",
+    "ShardedExecution",
+    "ShardedJoinJob",
     "SimJob",
     "StreamingJob",
     "build_runtime",
@@ -76,6 +108,7 @@ __all__ = [
     "derive_seed",
     "fault_injector_for",
     "generate_requests",
+    "plan_shards",
     "priority_of",
     "run_loadtest",
     "signature",

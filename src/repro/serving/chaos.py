@@ -25,7 +25,8 @@ a unit test, not an anecdote.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -34,11 +35,19 @@ from repro.errors import (
     DeadlineExceeded,
     FaultError,
     Overloaded,
+    ShardsLost,
     SimulationError,
 )
+from repro.reliability.health import DegradePolicy
 from repro.serving.request import Request
 from repro.serving.runtime import ServingPolicy, ServingRuntime
-from repro.serving.workload import QUERY_NAMES, ServingWorkload, derive_seed
+from repro.serving.shard import FleetPolicy, ShardPolicy
+from repro.serving.workload import (
+    JOIN_NAMES,
+    QUERY_NAMES,
+    ServingWorkload,
+    derive_seed,
+)
 
 #: Job mix: (name, weight).  Sims dominate — they are the fault surface —
 #: with the analytical queries and streaming eval as the latency-sensitive
@@ -72,12 +81,42 @@ class LoadTestConfig:
         queue_depth=48, per_tenant=6,
         class_limits={"batch": 3}, retries=1, hedge_after=600))
     mix: Tuple[Tuple[str, int], ...] = DEFAULT_MIX
+    #: Scatter/gather fan-out for shardable joins (0 disables sharding;
+    #: > 0 also folds the join jobs into the mix).
+    shards: int = 0
+    #: Replicas killed permanently mid-run (chaos), at seeded cycles.
+    kills: int = 0
+    kill_window: Tuple[int, int] = (5_000, 60_000)
+    #: Enable the elastic fleet (grow/shrink/quarantine).
+    elastic: bool = False
+
+
+def effective_mix(config: LoadTestConfig) -> Tuple[Tuple[str, int], ...]:
+    """The job mix actually offered: with sharding on, the shardable
+    joins join the foreground traffic."""
+    mix = tuple(config.mix)
+    if config.shards > 0 and not any(n in JOIN_NAMES for n, __ in mix):
+        mix += (("join_rd", 10), ("join_rr", 6))
+    return mix
+
+
+def kill_schedule_for(config: LoadTestConfig) -> Dict[int, int]:
+    """Seeded chaos kills: ``config.kills`` distinct replicas, each dying
+    permanently at a cycle drawn from ``config.kill_window``."""
+    if config.kills <= 0:
+        return {}
+    rng = random.Random(derive_seed(config.seed, 0xD1E))
+    victims = rng.sample(range(config.n_replicas),
+                         min(config.kills, config.n_replicas))
+    lo, hi = config.kill_window
+    return {victim: rng.randrange(lo, hi) for victim in sorted(victims)}
 
 
 def generate_requests(config: LoadTestConfig) -> List[Request]:
     """Seeded open-loop arrival stream for ``config``."""
     rng = random.Random(derive_seed(config.seed, 0xA221))
-    names = [name for name, weight in config.mix for __ in range(weight)]
+    names = [name for name, weight in effective_mix(config)
+             for __ in range(weight)]
     requests: List[Request] = []
     t = 0
     for i in range(config.requests):
@@ -98,11 +137,20 @@ def generate_requests(config: LoadTestConfig) -> List[Request]:
 def build_runtime(config: LoadTestConfig,
                   workload: Optional[ServingWorkload] = None,
                   metrics=None) -> ServingRuntime:
+    policy = config.policy
+    if config.shards > 0 and policy.shard is None:
+        policy = replace(policy, shard=ShardPolicy(
+            n_shards=config.shards,
+            degrade=DegradePolicy(serve_partial=True, min_coverage=0.25)))
+    if config.elastic and policy.fleet is None:
+        policy = replace(policy, fleet=FleetPolicy(
+            min_replicas=2, max_replicas=config.n_replicas + 4))
     return ServingRuntime(
-        workload, n_replicas=config.n_replicas, policy=config.policy,
+        workload, n_replicas=config.n_replicas, policy=policy,
         seed=config.seed,
         flaky_replicas=config.flaky_replicas if config.faults else (),
-        fault_rate=config.fault_rate, metrics=metrics)
+        fault_rate=config.fault_rate,
+        kill_schedule=kill_schedule_for(config), metrics=metrics)
 
 
 def run_loadtest(config: LoadTestConfig,
@@ -120,8 +168,13 @@ def run_loadtest(config: LoadTestConfig,
 _EXPECTED_ERRORS = {
     "shed": (Overloaded,),
     "deadline": (DeadlineExceeded,),
-    # A retry-exhausted fault finalizes as 'failed' with the FaultError.
-    "failed": (FaultError, SimulationError, CircuitOpen, Cancelled),
+    # A retry-exhausted fault finalizes as 'failed' with the FaultError;
+    # a sharded query that lost fault domains carries ShardsLost (note
+    # ReplicaLost is a FaultError).
+    "failed": (FaultError, SimulationError, CircuitOpen, Cancelled,
+               ShardsLost),
+    # A degraded sharded query always names exactly what it lost.
+    "partial": (ShardsLost,),
 }
 
 
@@ -143,7 +196,7 @@ def check_invariants(runtime: ServingRuntime) -> List[str]:
                 f"carries {type(outcome.error).__name__}, expected one of "
                 f"{[t.__name__ for t in expected]}")
     for outcome in runtime.outcomes:
-        if outcome.ok:
+        if outcome.ok and not outcome.shards:
             golden = runtime.workload.golden(outcome.request.query)
             replica = next(r for r in runtime.replicas
                            if r.name == outcome.replica)
@@ -152,6 +205,45 @@ def check_invariants(runtime: ServingRuntime) -> List[str]:
                     f"request {outcome.request.id} on healthy replica "
                     f"{outcome.replica} took {outcome.cycles} cycles "
                     f"(golden {golden.cycles})")
+        if outcome.status == "partial":
+            problems.extend(_check_partial(runtime, outcome))
+    return problems
+
+
+def _check_partial(runtime: ServingRuntime, outcome) -> List[str]:
+    """A partial outcome must be *accurately* degraded: its coverage must
+    recompute from the shard plan's row weights, and its digest must be a
+    sub-multiset of the golden — degradation may drop rows, never invent
+    or distort them."""
+    problems: List[str] = []
+    rid = outcome.request.id
+    partial = outcome.partial
+    if partial is None:
+        return [f"request {rid} is partial without a payload"]
+    job = runtime.workload.job(outcome.request.query)
+    plan = runtime.coordinator.plan_for(job, outcome.shards)
+    covered = sum(plan.rows[k] for k in partial.complete_shards)
+    want = covered / plan.total_rows if plan.total_rows else 0.0
+    if abs(partial.coverage - want) > 1e-9:
+        problems.append(
+            f"request {rid} partial coverage {partial.coverage} != "
+            f"{want} recomputed from the shard plan")
+    if (partial.rows_present != covered
+            or partial.rows_expected != plan.total_rows):
+        problems.append(
+            f"request {rid} partial row accounting "
+            f"{partial.rows_present}/{partial.rows_expected} != plan's "
+            f"{covered}/{plan.total_rows}")
+    if set(partial.lost_shards) | set(partial.complete_shards) != set(
+            range(outcome.shards)):
+        problems.append(
+            f"request {rid} partial shard sets do not cover the fan-out")
+    golden = runtime.workload.golden(outcome.request.query)
+    extra = Counter(partial.digest[1]) - Counter(golden.digest[1])
+    if extra:
+        problems.append(
+            f"request {rid} partial digest contains {sum(extra.values())} "
+            f"row(s) not in the golden result")
     return problems
 
 
@@ -173,6 +265,45 @@ def chaos_report(config: LoadTestConfig,
         "flaky_replicas": (list(config.flaky_replicas)
                            if config.faults else []),
         "fault_rate": config.fault_rate,
+        "shards": config.shards, "kills": config.kills,
+        "kill_schedule": {str(k): v for k, v in
+                          sorted(kill_schedule_for(config).items())},
+        "elastic": config.elastic,
     }
     report["invariants"] = {"ok": not violations, "violations": violations}
     return report
+
+
+def shard_sweep(base: LoadTestConfig,
+                kills: Tuple[int, ...] = (0, 1, 2)) -> Dict[str, object]:
+    """The shard-failure sweep: the same sharded load test at increasing
+    chaos-kill counts, each run twice to prove bit-for-bit seed
+    reproducibility, with the per-shard hedge/retry/partial accounting
+    the CI chaos job publishes as ``BENCH_SHARD.json``."""
+    sweep: List[Dict[str, object]] = []
+    for n_kills in kills:
+        config = replace(base, kills=n_kills)
+        runtime = run_loadtest(config)
+        violations = check_invariants(runtime)
+        rerun = run_loadtest(replace(base, kills=n_kills))
+        report = runtime.report()
+        sweep.append({
+            "kills": n_kills,
+            "kill_schedule": {str(k): v for k, v in
+                              sorted(kill_schedule_for(config).items())},
+            "outcomes": report["outcomes"],
+            "shards": report["shards"],
+            "fleet": report["fleet"],
+            "reproducible": signature(runtime) == signature(rerun),
+            "violations": violations,
+        })
+    return {
+        "config": {
+            "requests": base.requests, "seed": base.seed,
+            "n_replicas": base.n_replicas, "shards": base.shards,
+            "faults": base.faults, "elastic": base.elastic,
+        },
+        "sweep": sweep,
+        "ok": all(not entry["violations"] and entry["reproducible"]
+                  for entry in sweep),
+    }

@@ -82,6 +82,17 @@ class PlanCache:
                         "serving.plan_cache.evictions").inc()
 
 
+#: Fleet lifecycle states.  ``active`` replicas serve; ``quarantined``
+#: replicas are steered around (breaker open-rate said they are sick)
+#: until the fleet manager revives or retires them; ``retired`` replicas
+#: were shrunk away by elasticity and can be revived on growth; ``dead``
+#: replicas were killed mid-run (chaos) and never come back.
+ACTIVE = "active"
+QUARANTINED = "quarantined"
+RETIRED = "retired"
+DEAD = "dead"
+
+
 class FabricReplica:
     """One fabric in the serving pool."""
 
@@ -90,7 +101,9 @@ class FabricReplica:
                  fault_seed: Optional[int] = None,
                  fault_rate: float = 1.0,
                  n_faults: int = 2,
-                 plan_cache: Optional[PlanCache] = None):
+                 plan_cache: Optional[PlanCache] = None,
+                 killed_at: Optional[int] = None,
+                 spawned_at: int = 0):
         self.name = name
         self.index = index
         self.breaker = breaker if breaker is not None else CircuitBreaker(
@@ -105,6 +118,24 @@ class FabricReplica:
         self.busy_until = 0
         self.jobs_run = 0
         self.faults_surfaced = 0
+        #: Virtual cycle at which this replica dies permanently (chaos
+        #: kill schedule), or None for an immortal replica.
+        self.killed_at = killed_at
+        self.spawned_at = spawned_at
+        self.state = ACTIVE
+
+    # -- fleet lifecycle ---------------------------------------------------
+
+    def alive_at(self, cycle: int) -> bool:
+        """False once the kill schedule has claimed this replica."""
+        return self.killed_at is None or cycle < self.killed_at
+
+    def serviceable(self, cycle: int) -> bool:
+        """May new work be placed on this replica at ``cycle``?"""
+        return self.state == ACTIVE and self.alive_at(cycle)
+
+    def free_at(self, cycle: int) -> bool:
+        return self.serviceable(cycle) and self.busy_until <= cycle
 
     def execute(self, job: Job, token=None, injector=None):
         """Execute ``job`` on this replica, through its plan cache."""
@@ -128,6 +159,6 @@ class FabricReplica:
 
     def __repr__(self) -> str:
         flaky = "flaky" if self.fault_seed is not None else "healthy"
-        return (f"FabricReplica({self.name!r}, {flaky}, "
+        return (f"FabricReplica({self.name!r}, {flaky}, {self.state}, "
                 f"busy_until={self.busy_until}, "
                 f"breaker={self.breaker.state})")

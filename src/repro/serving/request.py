@@ -20,8 +20,11 @@ PRIORITY_CLASSES: Tuple[str, ...] = ("interactive", "batch")
 
 #: Final outcome statuses.  ``wrong_result`` should never occur — it is
 #: the chaos harness's tripwire, not a legitimate disposition.
+#: ``partial`` is a sharded query that lost shard fault domains and — by
+#: explicit :class:`~repro.reliability.DegradePolicy` consent — returned a
+#: typed partial result with a coverage fraction instead of failing whole.
 STATUSES: Tuple[str, ...] = (
-    "ok", "shed", "deadline", "failed", "wrong_result")
+    "ok", "shed", "deadline", "failed", "partial", "wrong_result")
 
 
 def priority_of(klass: str) -> int:
@@ -59,6 +62,8 @@ class Outcome:
     cycles: int = 0                  # execution cycles the winner consumed
     attempts: int = 0                # dispatched attempts (0 if never ran)
     hedged: bool = False             # a hedge leg was launched
+    shards: int = 0                  # scatter fan-out (0 = unsharded)
+    partial: Optional[object] = None  # PartialResult on 'partial' outcomes
 
     @property
     def ok(self) -> bool:
@@ -78,4 +83,5 @@ class Outcome:
         """
         return (self.request.id, self.request.tenant, self.request.query,
                 self.status, repr(self.error), self.finish, self.replica,
-                self.cycles, self.attempts, self.hedged)
+                self.cycles, self.attempts, self.hedged, self.shards,
+                repr(self.partial))

@@ -48,8 +48,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
     Cancelled,
+    CircuitOpen,
     DeadlineExceeded,
     FaultError,
+    ReplicaLost,
     ReproError,
     SimulationError,
 )
@@ -58,9 +60,16 @@ from repro.serving.admission import AdmissionController
 from repro.serving.breaker import CircuitBreaker, OPEN
 from repro.serving.bulkhead import Bulkhead
 from repro.serving.cancel import CancelToken
-from repro.serving.replica import FabricReplica, PlanCache
+from repro.serving.replica import ACTIVE, FabricReplica, PlanCache
 from repro.serving.request import Outcome, Request
-from repro.serving.workload import ServingWorkload, derive_seed
+from repro.serving.shard import (
+    FleetManager,
+    FleetPolicy,
+    ShardCoordinator,
+    ShardPolicy,
+    ShardedExecution,
+)
+from repro.serving.workload import Job, ServingWorkload, derive_seed
 
 
 @dataclass
@@ -75,6 +84,8 @@ class ServingPolicy:
     retries: int = 1                        # re-dispatches after a fault
     hedge_after: Optional[int] = None       # cycles; None disables hedging
     hedge_jitter: float = 0.25              # +fraction of hedge_after
+    shard: Optional[ShardPolicy] = None     # scatter/gather; None disables
+    fleet: Optional[FleetPolicy] = None     # elasticity; None = fixed pool
 
 
 @dataclass(slots=True)
@@ -113,32 +124,54 @@ class ServingRuntime:
                  seed: int = 0,
                  flaky_replicas: Tuple[int, ...] = (),
                  fault_rate: float = 1.0,
+                 kill_schedule: Optional[Dict[int, int]] = None,
                  metrics: Optional[MetricsRegistry] = None):
         self.workload = workload if workload is not None else ServingWorkload()
         self.policy = policy if policy is not None else ServingPolicy()
         self.seed = seed
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.replicas: List[FabricReplica] = []
-        for i in range(n_replicas):
-            fault_seed = (derive_seed(seed, i) if i in flaky_replicas
-                          else None)
-            self.replicas.append(FabricReplica(
-                f"fab{i}", i,
-                breaker=CircuitBreaker(
-                    name=f"fab{i}",
-                    threshold=self.policy.breaker_threshold,
-                    cooldown=self.policy.breaker_cooldown),
-                fault_seed=fault_seed, fault_rate=fault_rate,
-                plan_cache=PlanCache(metrics=self.metrics)))
+        self._flaky = frozenset(flaky_replicas)
+        self._fault_rate = fault_rate
+        #: replica index -> virtual cycle of its permanent death (chaos).
+        self._kills = dict(kill_schedule) if kill_schedule else {}
+        self.replicas: List[FabricReplica] = [
+            self._make_replica(i) for i in range(n_replicas)]
         self.admission = AdmissionController(capacity=self.policy.queue_depth)
         self.bulkhead = Bulkhead(per_tenant=self.policy.per_tenant,
                                  class_limits=self.policy.class_limits)
+        self.fleet = FleetManager(self, self.policy.fleet)
+        self.coordinator = ShardCoordinator(self)
         self.outcomes: List[Outcome] = []
         self.clock = 0
         self.submitted = 0
         self._events: List[Tuple[int, int, str, object]] = []
         self._seq = 0
         self._kicks: set = set()
+        for cycle in sorted(set(self._kills.values())):
+            # Wake the dispatcher at every scheduled death so the fleet
+            # reacts at the kill cycle, not at the next organic event.
+            self._kicks.add(cycle)
+            self._push(cycle, "kick", None)
+
+    def _make_replica(self, index: int, spawned_at: int = 0) -> FabricReplica:
+        fault_seed = (derive_seed(self.seed, index)
+                      if index in self._flaky else None)
+        return FabricReplica(
+            f"fab{index}", index,
+            breaker=CircuitBreaker(
+                name=f"fab{index}",
+                threshold=self.policy.breaker_threshold,
+                cooldown=self.policy.breaker_cooldown),
+            fault_seed=fault_seed, fault_rate=self._fault_rate,
+            plan_cache=PlanCache(metrics=self.metrics),
+            killed_at=self._kills.get(index), spawned_at=spawned_at)
+
+    def _spawn_replica(self, now: int) -> FabricReplica:
+        """Grow the fleet by one fresh replica (elasticity)."""
+        replica = self._make_replica(len(self.replicas), spawned_at=now)
+        replica.busy_until = now
+        self.replicas.append(replica)
+        return replica
 
     # -- event plumbing ----------------------------------------------------
 
@@ -178,6 +211,7 @@ class ServingRuntime:
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch(self, now: int) -> None:
+        self.fleet.autoscale(now)
         for request in self.admission.expire(now):
             self._finalize(Outcome(
                 request, "deadline", now,
@@ -200,12 +234,25 @@ class ServingRuntime:
             return False
 
         while True:
-            free = [r for r in self.replicas if r.busy_until <= now]
+            free = [r for r in self.replicas if r.free_at(now)]
             if not free:
+                if not self.fleet.active(now):
+                    self._drain_fleet_lost(now)
                 return
             request = self.admission.take(eligible=eligible)
             if request is None:
                 return
+            job = self.workload.job(request.query)
+            if self._shard_policy(job) is not None:
+                if not self.coordinator.placeable(now):
+                    # Breakers have every serviceable replica cooling
+                    # down: same fail-fast/requeue decision as the
+                    # whole-query path.
+                    self._no_replica(request, now)
+                    return
+                self.bulkhead.acquire(request)
+                self._start_sharded(request, job, now)
+                continue
             replica = None
             for r in free:
                 if r.breaker.allow(now):
@@ -217,6 +264,32 @@ class ServingRuntime:
             self.bulkhead.acquire(request)
             self._start(request, replica, now)
 
+    def _shard_policy(self, job: Job) -> Optional[ShardPolicy]:
+        """The shard policy governing ``job``, or None for the whole-query
+        path (non-shardable job, no policy, or fan-out of one)."""
+        pol = self.policy.shard
+        if pol is None or pol.n_shards <= 1:
+            return None
+        return pol if getattr(job, "shardable", False) else None
+
+    def _drain_fleet_lost(self, now: int) -> None:
+        """Every replica is dead (or pulled from service) and the fleet
+        cannot grow: queued requests would be stranded forever, so each
+        gets a typed failure now — conservation over optimism."""
+        while True:
+            request = self.admission.take()
+            if request is None:
+                return
+            self.metrics.counter("serving.circuit_rejections").inc()
+            self._finalize(Outcome(
+                request, "failed", now,
+                error=CircuitOpen(
+                    f"no live replica left in the fleet for request "
+                    f"{request.id} at cycle {now}",
+                    tenant=request.tenant, query=request.query,
+                    request_id=request.id),
+                attempts=request.attempts))
+
     def _no_replica(self, request: Request, now: int) -> None:
         """Every free replica's breaker refused the request."""
         def available_at(r: FabricReplica) -> int:
@@ -224,7 +297,19 @@ class ServingRuntime:
                 return max(r.busy_until, r.breaker.retry_at())
             return r.busy_until
 
-        binding = min(self.replicas, key=available_at)
+        live = [r for r in self.replicas if r.serviceable(now)]
+        if not live:
+            self.metrics.counter("serving.circuit_rejections").inc()
+            self._finalize(Outcome(
+                request, "failed", now,
+                error=CircuitOpen(
+                    f"no live replica left in the fleet for request "
+                    f"{request.id} at cycle {now}",
+                    tenant=request.tenant, query=request.query,
+                    request_id=request.id),
+                attempts=request.attempts))
+            return
+        binding = min(live, key=available_at)
         earliest = available_at(binding)
         if request.deadline is not None and earliest >= request.deadline:
             # Fail fast, typed: waiting out the breakers would blow the
@@ -279,6 +364,19 @@ class ServingRuntime:
         cycles = max(1, cycles if cycles is not None else golden.cycles)
         if budget is not None:
             cycles = min(cycles, budget)
+        if (replica.killed_at is not None
+                and start + cycles > replica.killed_at):
+            # The replica dies mid-run: whatever the attempt was going to
+            # report, what actually surfaces is a loss at the kill cycle.
+            cycles = max(1, replica.killed_at - start)
+            digest = None
+            status = "fault"
+            error = ReplicaLost(
+                f"replica {replica.name} died at cycle "
+                f"{replica.killed_at} mid-request {request.id}",
+                kind="replica_lost", site=replica.name,
+                cycle=replica.killed_at)
+            replica.faults_surfaced += 1
         return _Attempt(replica, start, cycles, status, error, digest)
 
     def _start(self, request: Request, replica: FabricReplica,
@@ -303,7 +401,7 @@ class ServingRuntime:
                 hedge_start = now + cutoff
                 secondary_replica = next(
                     (r for r in self.replicas
-                     if r is not replica and r.busy_until <= hedge_start
+                     if r is not replica and r.free_at(hedge_start)
                      and r.breaker.allow(hedge_start)), None)
                 if secondary_replica is not None:
                     hedged = True
@@ -328,9 +426,24 @@ class ServingRuntime:
         pool = ok if ok else attempts
         return min(pool, key=lambda a: a.own_finish)
 
+    def _start_sharded(self, request: Request, job: Job, now: int) -> None:
+        """Scatter/gather dispatch: the coordinator resolves the whole
+        shard fan-out in virtual time; one completion event lands the
+        gathered verdict."""
+        request.attempts += 1
+        self.metrics.counter("serving.dispatches").inc()
+        self.metrics.counter("serving.shards.dispatched").inc()
+        self.metrics.histogram("serving.queue_wait").observe(
+            now - request.arrival)
+        ex = self.coordinator.run(request, job, now)
+        self._push(ex.finish, "complete", ex)
+
     # -- completion --------------------------------------------------------
 
-    def _on_complete(self, ex: _Execution, now: int) -> None:
+    def _on_complete(self, ex, now: int) -> None:
+        if isinstance(ex, ShardedExecution):
+            self._on_shard_complete(ex, now)
+            return
         request, winner = ex.request, ex.winner
         for attempt in ex.attempts:
             if attempt.own_finish > ex.finish:
@@ -387,6 +500,58 @@ class ServingRuntime:
             replica=winner.replica.name, cycles=winner.cycles,
             attempts=request.attempts, hedged=ex.hedged))
 
+    def _on_shard_complete(self, ex: ShardedExecution, now: int) -> None:
+        request = ex.request
+        for leg in ex.legs:
+            if leg.own_finish > leg.resolved:
+                # Hedge loser cancelled mid-flight: no verdict, but hand
+                # back any half-open probe slot it was admitted through.
+                self.metrics.counter("serving.hedge_cancelled").inc()
+                leg.replica.breaker.probe_abandoned()
+            elif leg.status == "ok":
+                leg.replica.breaker.record_success(leg.own_finish)
+            elif leg.status in ("fault", "error"):
+                leg.replica.breaker.record_failure(leg.own_finish)
+            else:
+                leg.replica.breaker.probe_abandoned()
+        self.bulkhead.release(request)
+        if ex.lost:
+            self.metrics.counter("serving.shards.lost").inc(len(ex.lost))
+        K = ex.plan.n_shards
+        cycles = ex.finish - ex.dispatched
+        replica = f"shards[{K}]"
+        hedged = ex.hedges > 0
+        if ex.status == "ok":
+            golden = self.workload.golden(request.query)
+            if ex.digest != golden.digest:
+                self.metrics.counter("serving.wrong_results").inc()
+                self._finalize(Outcome(
+                    request, "wrong_result", now, error=None,
+                    replica=replica, cycles=cycles,
+                    attempts=request.attempts, hedged=hedged, shards=K))
+                return
+            self.metrics.histogram(
+                f"serving.latency.{request.klass}").observe(
+                    now - request.arrival)
+            self.metrics.histogram("serving.exec_cycles").observe(cycles)
+            self._finalize(Outcome(
+                request, "ok", now, error=None, replica=replica,
+                cycles=cycles, attempts=request.attempts, hedged=hedged,
+                shards=K))
+            return
+        if ex.status == "partial":
+            self._finalize(Outcome(
+                request, "partial", now, error=ex.error, replica=replica,
+                cycles=cycles, attempts=request.attempts, hedged=hedged,
+                shards=K, partial=ex.partial))
+            return
+        # 'deadline' | 'failed' — the shard-level retries already spent
+        # the containment budget; no request-level requeue on top.
+        self._finalize(Outcome(
+            request, ex.status, now, error=ex.error, replica=replica,
+            cycles=cycles, attempts=request.attempts, hedged=hedged,
+            shards=K))
+
     def _finalize(self, outcome: Outcome) -> None:
         self.metrics.counter(f"serving.outcome.{outcome.status}").inc()
         self.outcomes.append(outcome)
@@ -418,7 +583,7 @@ class ServingRuntime:
             "outcomes": {
                 status: count(f"serving.outcome.{status}")
                 for status in ("ok", "shed", "deadline", "failed",
-                               "wrong_result")},
+                               "partial", "wrong_result")},
             "shed_rate": round(shed / n, 4),
             "latency_cycles": latency,
             "hedges": {
@@ -427,6 +592,24 @@ class ServingRuntime:
                 "cancelled": count("serving.hedge_cancelled")},
             "retries": count("serving.retries"),
             "circuit_rejections": count("serving.circuit_rejections"),
+            "shards": {
+                "dispatched": count("serving.shards.dispatched"),
+                "legs": count("serving.shards.legs"),
+                "hedges_launched": count("serving.shards.hedges"),
+                "hedges_won": count("serving.shards.hedges_won"),
+                "retries": count("serving.shards.retries"),
+                "lost": count("serving.shards.lost"),
+                "partials": count("serving.outcome.partial")},
+            "fleet": {
+                "size": len(self.replicas),
+                "active": sum(1 for r in self.replicas
+                              if r.state == ACTIVE),
+                "states": {r.name: r.state for r in self.replicas},
+                "grown": self.fleet.grows,
+                "shrunk": self.fleet.shrinks,
+                "quarantined": self.fleet.quarantines,
+                "revived": self.fleet.revivals,
+                "killed": count("serving.fleet.killed")},
             "breakers": {
                 r.name: {
                     "state": r.breaker.state,
@@ -464,4 +647,18 @@ class ServingRuntime:
             if outcome.finish < outcome.request.arrival:
                 problems.append(
                     f"request {outcome.request.id} finished before arrival")
+            if outcome.status == "partial":
+                partial = outcome.partial
+                if partial is None:
+                    problems.append(
+                        f"request {outcome.request.id} is partial without "
+                        f"a PartialResult payload")
+                elif not 0.0 < partial.coverage < 1.0:
+                    problems.append(
+                        f"request {outcome.request.id} partial coverage "
+                        f"{partial.coverage} outside (0, 1)")
+            elif outcome.partial is not None:
+                problems.append(
+                    f"request {outcome.request.id} carries a partial "
+                    f"payload on a {outcome.status!r} outcome")
         return problems

@@ -1,0 +1,703 @@
+"""Sharded scatter/gather query execution over an elastic replica fleet.
+
+The serving runtime's original ceiling was one replica per query and one
+fault domain per request: a whole query ran on a whole fabric, so one slow
+or dying replica stalled or killed everything it was serving.  This module
+removes that ceiling with the paper's own partitioning boundary — radix
+hashing on the join key (§IV-A, :mod:`repro.structures.partition`) — and
+the ordered multi-worker dispatch discipline of "Scaling Ordered Stream
+Processing on Shared-Memory Multicores":
+
+* **scatter** — :func:`plan_shards` splits a
+  :class:`~repro.serving.workload.ShardedJoinJob`'s dataset into K
+  disjoint radix partitions (empty buckets included: an empty shard job is
+  still a shard job) and prices the scatter itself with the cost model;
+* **placement** — shard→replica assignment is rendezvous hashing
+  (:func:`repro.fabric.place.place_shards`): deterministic for a given
+  ``(seed, fleet)``, and minimally disruptive when the fleet changes — a
+  quarantined replica's shards move, everyone else's stay put;
+* **fault containment** — every shard is its own fault domain with a
+  deadline sub-budget derived from the request deadline (minus a gather/
+  merge reserve), seeded straggler hedging (a shard leg running past a
+  reference-relative cutoff gets a second leg on another replica, first
+  response winning), and shard-level retries that re-dispatch *only the
+  lost partition* to a fresh replica, never the whole query;
+* **gather** — the merge is deterministic: a complete shard set merges to
+  a digest bit-identical to the unsharded golden run (asserted on every
+  serve), and a permanently lost shard either fails the request typed or
+  — by explicit :class:`~repro.reliability.DegradePolicy` consent —
+  returns a typed :class:`PartialResult` with an accurate coverage
+  fraction.  There is no silent path between those outcomes;
+* **elasticity** — :class:`FleetManager` grows the pool under admission-
+  queue pressure, shrinks it when idle, and quarantines replicas whose
+  circuit breakers keep opening (the open-rate signal), with kills from
+  the chaos schedule handled as permanent deaths.
+
+Everything runs in the serving tier's deterministic virtual clock, so a
+chaos sweep that kills replicas mid-shard is bit-for-bit reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    DeadlineExceeded,
+    FaultError,
+    PlanError,
+    ReplicaLost,
+    ShardsLost,
+    SimulationError,
+)
+from repro.fabric.place import shard_score
+from repro.perf.cost_model import CostModel
+from repro.reliability.health import DegradePolicy
+from repro.serving.cancel import CancelToken
+from repro.serving.replica import ACTIVE, DEAD, QUARANTINED, RETIRED, FabricReplica
+from repro.serving.request import Request
+from repro.serving.workload import (
+    JoinShardJob,
+    ShardedJoinJob,
+    derive_seed,
+)
+from repro.structures.hashing import is_power_of_two
+from repro.structures.partition import RadixPartitioner
+
+#: Per-shard coordination cost, in cycles, charged on both the scatter
+#: (dispatching one shard descriptor) and the gather (collecting one
+#: shard's result descriptor).  A partition-wise join's output is already
+#: partitioned by key radix — exactly how the unsharded join's own output
+#: is organized — so the gather moves *metadata*, not rows; the row-level
+#: digest sort is a verification artifact that the unsharded path does
+#: not price either.
+CYCLES_PER_SHARD = 4
+
+
+@dataclass
+class ShardPolicy:
+    """Knobs for scatter/gather execution, all deterministic."""
+
+    n_shards: int = 4                 # K: radix fan-out (power of two)
+    shard_retries: int = 2            # re-dispatch rounds per lost shard
+    hedge_factor: Optional[float] = 2.0   # straggler cutoff, x reference
+    hedge_jitter: float = 0.25        # + seeded fraction of the cutoff
+    merge_reserve: float = 0.05       # deadline fraction held for gather
+    degrade: DegradePolicy = field(default_factory=DegradePolicy)
+
+    def __post_init__(self):
+        if not is_power_of_two(self.n_shards):
+            raise ValueError("n_shards must be a power of two")
+
+
+@dataclass
+class FleetPolicy:
+    """Elasticity knobs: when the replica pool grows, shrinks, sickens."""
+
+    min_replicas: int = 2
+    max_replicas: int = 8
+    grow_at_depth: int = 8            # admission backlog that adds capacity
+    shrink_below_depth: int = 1       # backlog at/below which idle retires
+    scale_cooldown: int = 5_000       # cycles between scale decisions
+    quarantine_opens: int = 2         # breaker OPEN transitions → quarantine
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """A typed, explicitly-degraded scatter/gather result.
+
+    ``coverage`` is the fraction of *input* rows covered by the shards
+    that completed (the accurate, checkable number the degrade policy
+    gates on); ``digest`` is the deterministic merge of the completed
+    shards only — a strict sub-multiset of the golden result, never a
+    fabrication.
+    """
+
+    coverage: float
+    rows_present: int
+    rows_expected: int
+    complete_shards: Tuple[int, ...]
+    lost_shards: Tuple[int, ...]
+    digest: Tuple = field(repr=False)
+
+    @property
+    def digest_crc(self) -> int:
+        """Stable 32-bit identity of the partial digest (for signatures)."""
+        return zlib.crc32(repr(self.digest).encode())
+
+    def __repr__(self) -> str:
+        return (f"PartialResult(coverage={self.coverage:.6f}, "
+                f"rows={self.rows_present}/{self.rows_expected}, "
+                f"complete={self.complete_shards}, "
+                f"lost={self.lost_shards}, crc={self.digest_crc:#010x})")
+
+
+@dataclass
+class ShardPlan:
+    """One query's scatter set: K shard jobs plus the pricing the
+    coordinator needs (scatter cost, per-shard fault-free reference
+    cycles for straggler cutoffs, input-row coverage weights)."""
+
+    job: ShardedJoinJob
+    n_shards: int
+    jobs: List[JoinShardJob]
+    rows: Tuple[int, ...]             # input rows per shard
+    total_rows: int
+    #: Cost-model-priced cycles of radix-partitioning both base tables —
+    #: plan-time layout work (like lowering and goldens), charged once
+    #: when the plan is first built, not per request: the partitions ARE
+    #: the dataset's storage layout for this plan.
+    scatter_cycles: int
+    ref_cycles: Tuple[int, ...]       # fault-free per-shard service time
+    ref_rows_out: Tuple[int, ...]
+
+    def dispatch_cost(self) -> int:
+        """Per-request scatter coordination: K shard descriptors out."""
+        return 1 + CYCLES_PER_SHARD * self.n_shards
+
+    def merge_cost(self, n_present: int) -> int:
+        """Per-request gather coordination over the shards that
+        completed (the result rows themselves stay partitioned in
+        place, like the unsharded join's own output)."""
+        return 1 + CYCLES_PER_SHARD * n_present
+
+    @property
+    def merge_estimate(self) -> int:
+        return self.merge_cost(self.n_shards)
+
+    def hedge_cutoff(self, shard: int, policy: ShardPolicy, seed: int,
+                     request_id: int) -> Optional[int]:
+        """Seeded straggler cutoff for one shard leg, in cycles."""
+        if policy.hedge_factor is None:
+            return None
+        jitter = random.Random(
+            derive_seed(seed, request_id, 0xEDF, shard)).random()
+        base = self.ref_cycles[shard] * policy.hedge_factor
+        return max(1, int(base * (1.0 + policy.hedge_jitter * jitter)))
+
+
+def plan_shards(job: ShardedJoinJob, n_shards: int) -> ShardPlan:
+    """Partition ``job``'s dataset into the full scatter set.
+
+    Uses :class:`~repro.structures.partition.RadixPartitioner` — the
+    paper's partitioning structure, hardware-event accounting included —
+    and its :meth:`partitions` read-back, which guarantees exactly
+    ``n_shards`` entries: a radix bucket with zero rows yields a valid
+    empty shard job, not a hole in the scatter set.
+    """
+    from repro.db.operators.join import key_getter
+    if not is_power_of_two(n_shards):
+        raise PlanError("shard fan-out must be a power of two")
+    left, right = job.tables()
+    lk = key_getter(left, job.key)
+    rk = key_getter(right, job.key)
+    part_l = RadixPartitioner(n_shards)
+    part_l.partition((lk(row), row) for row in left.rows)
+    part_r = RadixPartitioner(n_shards, events=part_l.events)
+    part_r.partition((rk(row), row) for row in right.rows)
+    lparts = part_l.partitions()
+    rparts = part_r.partitions()
+    shard_jobs = [JoinShardJob(job, k, n_shards, lparts[k], rparts[k])
+                  for k in range(n_shards)]
+    model = CostModel()
+    scatter = max(1, int(model.event_cycles(
+        part_l.events, rows=len(left.rows) + len(right.rows)).cycles))
+    ref_cycles: List[int] = []
+    ref_rows_out: List[int] = []
+    for shard_job in shard_jobs:
+        cycles, digest = shard_job.execute()     # fault-free reference
+        ref_cycles.append(cycles)
+        ref_rows_out.append(len(digest[1]))
+    return ShardPlan(
+        job=job, n_shards=n_shards, jobs=shard_jobs,
+        rows=tuple(j.rows_in for j in shard_jobs),
+        total_rows=sum(j.rows_in for j in shard_jobs),
+        scatter_cycles=scatter,
+        ref_cycles=tuple(ref_cycles), ref_rows_out=tuple(ref_rows_out))
+
+
+@dataclass(slots=True)
+class ShardLeg:
+    """One dispatched execution of one shard on one replica."""
+
+    shard: int
+    replica: FabricReplica
+    start: int
+    cycles: int
+    status: str                  # 'ok' | 'deadline' | 'fault' | 'error'
+    error: Optional[BaseException]
+    digest: Optional[Tuple]
+    kind: str = "primary"        # 'primary' | 'hedge' | 'retry'
+    #: Cycle at which this leg's shard settled.  A leg whose own finish
+    #: is later than this was cancelled mid-flight (hedge loser): its
+    #: verdict never materialized and must not feed the breaker.
+    resolved: int = 0
+
+    @property
+    def own_finish(self) -> int:
+        return self.start + self.cycles
+
+
+@dataclass(slots=True)
+class ShardedExecution:
+    """A resolved scatter/gather dispatch, queued for completion."""
+
+    request: Request
+    plan: ShardPlan
+    legs: List[ShardLeg]
+    dispatched: int
+    finish: int
+    status: str                  # 'ok' | 'partial' | 'deadline' | 'failed'
+    digest: Optional[Tuple]
+    partial: Optional[PartialResult]
+    error: Optional[BaseException]
+    hedges: int
+    hedges_won: int
+    retries: int
+    lost: Tuple[int, ...]
+
+
+class ShardCoordinator:
+    """Scatter/gather execution engine, driven by the serving runtime.
+
+    The coordinator resolves one sharded request per call in virtual
+    time: it places shards on the current fleet, serializes shards that
+    share a replica through ``busy_until``, hedges stragglers, retries
+    lost partitions on fresh replicas, and settles the gather.  All
+    randomness is seeded; two runs of the same config produce identical
+    leg schedules.
+    """
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.fleet_seed = derive_seed(runtime.seed, 0x51AD)
+        self._plans: Dict[Tuple[str, int], ShardPlan] = {}
+
+    # -- planning ----------------------------------------------------------
+
+    def plan_for(self, job: ShardedJoinJob, n_shards: int) -> ShardPlan:
+        key = (job.name, n_shards)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._plans[key] = plan_shards(job, n_shards)
+        return plan
+
+    def warm(self, job: ShardedJoinJob, n_shards: int) -> ShardPlan:
+        """Build (and cache) the shard plan off the request path, the way
+        :meth:`ServingWorkload.warm` precomputes goldens.  An unwarmed
+        first request pays the plan's ``scatter_cycles`` itself — honest
+        cold-start."""
+        return self.plan_for(job, n_shards)
+
+    def placeable(self, now: int) -> List[FabricReplica]:
+        """Replicas shards may be placed on at ``now``: serviceable, and
+        not behind an open breaker that is still cooling down."""
+        out = []
+        for r in self.runtime.replicas:
+            if not r.serviceable(now):
+                continue
+            if r.breaker.state == "open" and now < r.breaker.retry_at():
+                continue
+            out.append(r)
+        return out
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, request: Request, job: ShardedJoinJob,
+            now: int) -> ShardedExecution:
+        runtime = self.runtime
+        policy: ShardPolicy = runtime.policy.shard
+        fresh = (job.name, policy.n_shards) not in self._plans
+        plan = self.plan_for(job, policy.n_shards)
+        K = plan.n_shards
+        deadline = request.deadline
+        setup = plan.scatter_cycles if fresh else 0
+        scatter_done = now + setup + plan.dispatch_cost()
+        merge_reserve = plan.merge_estimate
+        if deadline is not None:
+            merge_reserve = max(merge_reserve,
+                                int((deadline - now) * policy.merge_reserve))
+        sub_deadline = None if deadline is None else deadline - merge_reserve
+        legs: List[ShardLeg] = []
+        results: Dict[int, ShardLeg] = {}
+        lost: Dict[int, Tuple[int, BaseException]] = {}
+        resolve_at: Dict[int, int] = {}
+        hedges = hedges_won = retries = 0
+        leg_seq = 0
+        #: Per-request leg count per replica: placement is rendezvous
+        #: affinity (:func:`~repro.fabric.place.shard_score`) balanced by
+        #: this load, so K shards spread over K free replicas instead of
+        #: piling onto one hot rendezvous favourite.
+        load: Dict[int, int] = {}
+
+        for k in range(K):
+            excluded: set = set()
+            t = scatter_done
+            rounds = 0
+            last_error: Optional[BaseException] = None
+            while True:
+                pool = [r for r in self.placeable(t)
+                        if r.index not in excluded]
+                if not pool:
+                    err = last_error if last_error is not None else ShardsLost(
+                        f"no replica left for shard {k} of request "
+                        f"{request.id}", tenant=request.tenant,
+                        query=request.query, request_id=request.id,
+                        lost=(k,), n_shards=K)
+                    lost[k] = (t, err)
+                    resolve_at[k] = t
+                    break
+                rep = min(pool, key=lambda r: (
+                    load.get(r.index, 0), max(t, r.busy_until),
+                    -shard_score(self.fleet_seed, k, r.index), r.index))
+                start = max(t, rep.busy_until)
+                if not rep.alive_at(start):
+                    excluded.add(rep.index)
+                    continue
+                if sub_deadline is not None and start >= sub_deadline:
+                    err = DeadlineExceeded(
+                        f"shard {k} of request {request.id} out of "
+                        f"sub-budget before dispatch at cycle {start}",
+                        tenant=request.tenant, query=request.query,
+                        request_id=request.id, deadline=sub_deadline,
+                        cycle=start)
+                    lost[k] = (start, err)
+                    resolve_at[k] = start
+                    break
+                if not rep.breaker.allow(start):
+                    excluded.add(rep.index)
+                    continue
+                load[rep.index] = load.get(rep.index, 0) + 1
+                budget = (None if sub_deadline is None
+                          else sub_deadline - start)
+                kind = "retry" if rounds else "primary"
+                leg = self._leg(request, plan.jobs[k], rep, start, budget,
+                                k, leg_seq, kind)
+                leg_seq += 1
+                legs.append(leg)
+                round_legs = [leg]
+                # Straggler hedging: a leg running past its seeded,
+                # reference-relative cutoff gets a second leg elsewhere.
+                cutoff = plan.hedge_cutoff(k, policy, runtime.seed,
+                                           request.id)
+                if (cutoff is not None and leg.cycles > cutoff
+                        and (sub_deadline is None
+                             or start + cutoff < sub_deadline)):
+                    hstart = start + cutoff
+                    helper = self._hedge_replica(k, rep, excluded, hstart,
+                                                 load)
+                    if helper is not None:
+                        hedges += 1
+                        runtime.metrics.counter(
+                            "serving.shards.hedges").inc()
+                        hbudget = (None if sub_deadline is None
+                                   else sub_deadline - hstart)
+                        hleg = self._leg(request, plan.jobs[k], helper,
+                                         hstart, hbudget, k, leg_seq,
+                                         "hedge")
+                        leg_seq += 1
+                        legs.append(hleg)
+                        round_legs.append(hleg)
+                ok_legs = [l for l in round_legs if l.status == "ok"]
+                if ok_legs:
+                    winner = min(ok_legs, key=lambda l: l.own_finish)
+                    resolve = winner.own_finish
+                    if winner.kind == "hedge":
+                        hedges_won += 1
+                        runtime.metrics.counter(
+                            "serving.shards.hedges_won").inc()
+                    for l in round_legs:
+                        l.resolved = resolve
+                        l.replica.busy_until = min(l.own_finish, resolve)
+                    results[k] = winner
+                    resolve_at[k] = resolve
+                    break
+                # Every leg of this round failed: its verdicts all
+                # materialized, so each replica is busy to its own finish.
+                for l in round_legs:
+                    l.resolved = l.own_finish
+                    l.replica.busy_until = l.own_finish
+                fault_legs = [l for l in round_legs
+                              if l.status in ("fault", "error")]
+                if not fault_legs:
+                    # Sub-budget blown with no fault: the shard's deadline
+                    # domain is exhausted — retrying cannot help.
+                    first = min(round_legs, key=lambda l: l.own_finish)
+                    lost[k] = (first.own_finish, first.error)
+                    resolve_at[k] = first.own_finish
+                    break
+                for l in fault_legs:
+                    excluded.add(l.replica.index)
+                last_error = fault_legs[0].error
+                rounds += 1
+                if rounds > policy.shard_retries:
+                    first = min(fault_legs, key=lambda l: l.own_finish)
+                    lost[k] = (first.own_finish, first.error)
+                    resolve_at[k] = first.own_finish
+                    break
+                retries += 1
+                runtime.metrics.counter("serving.shards.retries").inc()
+                t = min(l.own_finish for l in fault_legs)
+
+        return self._gather(request, plan, policy, legs, results, lost,
+                            resolve_at, now, scatter_done, deadline,
+                            hedges, hedges_won, retries)
+
+    def _hedge_replica(self, shard: int, primary: FabricReplica,
+                       excluded: set, hstart: int,
+                       load: Dict[int, int]) -> Optional[FabricReplica]:
+        """Deterministic best free replica for a hedge leg, or None."""
+        cand = [r for r in self.placeable(hstart)
+                if r is not primary and r.index not in excluded
+                and r.free_at(hstart)]
+        for r in sorted(cand, key=lambda r: (
+                load.get(r.index, 0),
+                -shard_score(self.fleet_seed + 1, shard, r.index),
+                r.index)):
+            if r.breaker.allow(hstart):
+                load[r.index] = load.get(r.index, 0) + 1
+                return r
+        return None
+
+    def _leg(self, request: Request, shard_job: JoinShardJob,
+             replica: FabricReplica, start: int, budget: Optional[int],
+             shard: int, seq: int, kind: str) -> ShardLeg:
+        runtime = self.runtime
+        runtime.metrics.counter("serving.shards.legs").inc()
+        replica.jobs_run += 1
+        token = CancelToken(budget, tenant=request.tenant,
+                            query=shard_job.name,
+                            request_id=request.id)
+        try:
+            cycles, digest = replica.execute(shard_job, token=token)
+            status, error = "ok", None
+        except DeadlineExceeded as err:
+            cycles, digest = err.cycle, None
+            status, error = "deadline", err
+        except FaultError as err:
+            replica.faults_surfaced += 1
+            cycles = err.cycle if err.cycle is not None else 1
+            digest, status, error = None, "fault", err
+        except SimulationError as err:
+            cycles = err.cycle if err.cycle is not None else 1
+            digest, status, error = None, "error", err
+        cycles = max(1, cycles if cycles is not None else 1)
+        # Flaky overlay: analytical shard jobs have no injector surface,
+        # so a flaky replica's sickness manifests at the leg level — a
+        # seeded draw per (replica, request, shard, leg) either faults the
+        # leg partway or straggles it (which trips the hedge cutoff).
+        if status == "ok" and replica.fault_seed is not None:
+            draw = random.Random(derive_seed(
+                replica.fault_seed, request.id, shard, seq))
+            r = draw.random()
+            frac = draw.random()
+            if r < replica.fault_rate * 0.4:
+                cycles = max(1, int(cycles * frac))
+                digest = None
+                status = "fault"
+                error = FaultError(
+                    f"shard leg {shard_job.name!r} faulted on flaky "
+                    f"replica {replica.name} at cycle {start + cycles}",
+                    kind="replica_fault", site=replica.name,
+                    cycle=start + cycles)
+                replica.faults_surfaced += 1
+            elif r < replica.fault_rate:
+                cycles = max(cycles + 1, int(cycles * (1.5 + 2.5 * frac)))
+        if status == "ok" and budget is not None and cycles > budget:
+            # A straggle that overruns the shard's sub-budget surfaces as
+            # the shard's own deadline, at the sub-budget boundary.
+            cycles = budget
+            digest = None
+            status = "deadline"
+            error = DeadlineExceeded(
+                f"shard leg {shard_job.name!r} exceeded its {budget}-cycle "
+                f"sub-budget", tenant=request.tenant, query=request.query,
+                request_id=request.id, deadline=budget, cycle=budget)
+        if (replica.killed_at is not None
+                and start + cycles > replica.killed_at):
+            kill = max(start + 1, replica.killed_at)
+            cycles = kill - start
+            digest = None
+            status = "fault"
+            error = ReplicaLost(
+                f"replica {replica.name} died at cycle "
+                f"{replica.killed_at} mid-shard ({shard_job.name!r})",
+                kind="replica_lost", site=replica.name,
+                cycle=replica.killed_at)
+            replica.faults_surfaced += 1
+        return ShardLeg(shard=shard, replica=replica, start=start,
+                        cycles=cycles, status=status, error=error,
+                        digest=digest, kind=kind)
+
+    # -- gather ------------------------------------------------------------
+
+    def _gather(self, request, plan, policy, legs, results, lost,
+                resolve_at, dispatched, scatter_done, deadline,
+                hedges, hedges_won, retries) -> ShardedExecution:
+        K = plan.n_shards
+        gather_at = max(resolve_at.values(), default=scatter_done)
+        complete = sorted(results)
+        lost_idx = tuple(sorted(lost))
+        finish = gather_at + plan.merge_cost(len(complete))
+        digest = partial = None
+        if not lost_idx:
+            merged = plan.job.merge_digests(
+                [results[k].digest for k in range(K)])
+            if deadline is not None and finish > deadline:
+                status, finish = "deadline", deadline
+                error = DeadlineExceeded(
+                    f"request {request.id} blew its deadline in the "
+                    f"gather/merge at cycle {deadline}",
+                    tenant=request.tenant, query=request.query,
+                    request_id=request.id, deadline=deadline,
+                    cycle=deadline)
+            else:
+                status, error, digest = "ok", None, merged
+        else:
+            covered = sum(plan.rows[k] for k in complete)
+            coverage = (covered / plan.total_rows if plan.total_rows
+                        else len(complete) / K)
+            shard_err = ShardsLost(
+                f"request {request.id} lost shards {list(lost_idx)} of "
+                f"{K} (coverage {coverage:.3f})",
+                tenant=request.tenant, query=request.query,
+                request_id=request.id, lost=lost_idx, n_shards=K,
+                coverage=coverage)
+            if deadline is not None and finish > deadline:
+                status, finish = "deadline", deadline
+                error = DeadlineExceeded(
+                    f"request {request.id} blew its deadline at cycle "
+                    f"{deadline} with shards {list(lost_idx)} already "
+                    f"lost", tenant=request.tenant, query=request.query,
+                    request_id=request.id, deadline=deadline,
+                    cycle=deadline)
+            elif (policy.degrade.serve_partial
+                    and coverage >= policy.degrade.min_coverage):
+                partial = PartialResult(
+                    coverage=coverage, rows_present=covered,
+                    rows_expected=plan.total_rows,
+                    complete_shards=tuple(complete),
+                    lost_shards=lost_idx,
+                    digest=plan.job.merge_digests(
+                        [results[k].digest for k in complete]))
+                status, error = "partial", shard_err
+            else:
+                status, error = "failed", shard_err
+        return ShardedExecution(
+            request=request, plan=plan, legs=legs, dispatched=dispatched,
+            finish=finish, status=status, digest=digest, partial=partial,
+            error=error, hedges=hedges, hedges_won=hedges_won,
+            retries=retries, lost=lost_idx)
+
+
+class FleetManager:
+    """Elastic replica-pool management, driven on every dispatch pass.
+
+    Kill bookkeeping (a replica whose scheduled death has arrived is
+    marked dead) is unconditional; growth, shrink, and quarantine need a
+    :class:`FleetPolicy`.  All decisions read only virtual-clock state
+    (queue depth, breaker transition logs, ``busy_until``), so the fleet
+    trajectory is bit-reproducible from the run's seed.
+    """
+
+    def __init__(self, runtime, policy: Optional[FleetPolicy] = None):
+        self.runtime = runtime
+        self.policy = policy
+        self.grows = 0
+        self.shrinks = 0
+        self.quarantines = 0
+        self.revivals = 0
+        self._last_scale: Optional[int] = None
+        #: (cycle, action, replica-name) log — deterministic, assertable.
+        self.events: List[Tuple[int, str, str]] = []
+
+    # -- signals -----------------------------------------------------------
+
+    @staticmethod
+    def open_rate(replica: FabricReplica) -> int:
+        """How many times this replica's breaker has opened (the
+        quarantine signal)."""
+        return sum(1 for __, state in replica.breaker.transitions
+                   if state == "open")
+
+    def active(self, now: int) -> List[FabricReplica]:
+        return [r for r in self.runtime.replicas
+                if r.state == ACTIVE and r.alive_at(now)]
+
+    # -- the control loop --------------------------------------------------
+
+    def autoscale(self, now: int) -> None:
+        runtime = self.runtime
+        for r in runtime.replicas:
+            if (r.killed_at is not None and now >= r.killed_at
+                    and r.state != DEAD):
+                r.state = DEAD
+                self.events.append((now, "killed", r.name))
+                runtime.metrics.counter("serving.fleet.killed").inc()
+        policy = self.policy
+        if policy is None:
+            return
+        for r in runtime.replicas:
+            if (r.state == ACTIVE
+                    and self.open_rate(r) >= policy.quarantine_opens):
+                self.quarantine(r, now)
+        active = self.active(now)
+        depth = runtime.admission.depth()
+        if (self._last_scale is not None
+                and now - self._last_scale < policy.scale_cooldown
+                and len(active) >= policy.min_replicas):
+            return
+        if (len(active) < policy.min_replicas
+                or (depth >= policy.grow_at_depth
+                    and len(active) < policy.max_replicas)):
+            if self._grow(now):
+                self._last_scale = now
+        elif (depth <= policy.shrink_below_depth
+                and len(active) > policy.min_replicas):
+            if self._shrink(now, active):
+                self._last_scale = now
+
+    def quarantine(self, replica: FabricReplica, now: int) -> None:
+        """Pull a sick replica from placement; its shards re-place
+        elsewhere on the next dispatch (rendezvous moves only them)."""
+        replica.state = QUARANTINED
+        self.quarantines += 1
+        self.events.append((now, "quarantined", replica.name))
+        self.runtime.metrics.counter("serving.fleet.quarantined").inc()
+
+    def _grow(self, now: int) -> bool:
+        runtime = self.runtime
+        policy = self.policy
+        if len(self.active(now)) >= policy.max_replicas:
+            return False
+        retired = [r for r in runtime.replicas if r.state == RETIRED]
+        if retired:
+            # Revive the most recently retired replica: its plan cache is
+            # the warmest.
+            replica = max(retired, key=lambda r: (r.spawned_at, r.index))
+            replica.state = ACTIVE
+            replica.busy_until = max(replica.busy_until, now)
+            self.revivals += 1
+            self.events.append((now, "revived", replica.name))
+        else:
+            replica = runtime._spawn_replica(now)
+            self.events.append((now, "grown", replica.name))
+        self.grows += 1
+        runtime.metrics.counter("serving.fleet.grown").inc()
+        return True
+
+    def _shrink(self, now: int, active: List[FabricReplica]) -> bool:
+        idle = [r for r in active if r.busy_until <= now]
+        if not idle or len(active) <= self.policy.min_replicas:
+            return False
+        # Retire the newest idle replica (LIFO keeps the longest-warmed
+        # plan caches serving).
+        replica = max(idle, key=lambda r: (r.spawned_at, r.index))
+        replica.state = RETIRED
+        self.shrinks += 1
+        self.events.append((now, "retired", replica.name))
+        self.runtime.metrics.counter("serving.fleet.shrunk").inc()
+        return True

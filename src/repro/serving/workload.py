@@ -56,6 +56,9 @@ class Job:
     """One executable catalog entry."""
 
     kind = "abstract"
+    #: True for jobs the scatter/gather subsystem can fan out across
+    #: replicas (see :mod:`repro.serving.shard`).
+    shardable = False
 
     def __init__(self, name: str):
         self.name = name
@@ -270,6 +273,113 @@ class StreamingJob(_TracedJob):
         return self._settle(ctx, digest, token)
 
 
+class ShardedJoinJob(_TracedJob):
+    """A partition-wise shardable hash join over two catalog tables.
+
+    This is the job family the scatter/gather subsystem
+    (:mod:`repro.serving.shard`) fans out: the join key's radix hash
+    (§IV-A — the paper's own partition boundary) splits both tables into K
+    disjoint shards, partition *k* of the left side joins exactly
+    partition *k* of the right side, and the union of shard outputs is
+    row-for-row the unsharded join.  Executed whole (this ``execute``) it
+    is the golden reference a merged scatter/gather run must equal
+    bit-for-bit.
+    """
+
+    kind = "join"
+    shardable = True
+
+    def __init__(self, name: str, data_fn: Callable[[], object], *,
+                 left: str, right: str, key: str,
+                 dataset_key: Optional[Tuple] = None):
+        super().__init__(name)
+        self._data_fn = data_fn
+        self.left = left
+        self.right = right
+        self.key = key
+        self.dataset_key = dataset_key
+
+    def tables(self) -> Tuple:
+        data = self._data_fn()
+        return data.tables[self.left], data.tables[self.right]
+
+    def plan_key(self) -> Optional[Tuple]:
+        if self.dataset_key is None:
+            return None
+        return ("join", self.name, self.left, self.right, self.key,
+                self.dataset_key, _PLAN_CONFIG)
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        from repro.db import ExecutionContext
+        from repro.db.operators.join import hash_join
+        left, right = self.tables()
+        ctx = ExecutionContext()
+        out = hash_join(left, right, self.key, self.key, ctx,
+                        name=self.name)
+        digest = _rows_digest(self.name, out.rows)
+        return self._settle(ctx, digest, token)
+
+    def merge_digests(self, shard_digests: List[Tuple]) -> Tuple:
+        """Deterministic gather: union the shard row sets, re-digest.
+
+        Because the radix partitions are disjoint on the join key, every
+        output row belongs to exactly one shard, so the merged digest of a
+        *complete* shard set equals the unsharded golden digest exactly —
+        the serving runtime asserts that equality on every sharded serve.
+        """
+        rows: List[Tuple] = []
+        for __, shard_rows in shard_digests:
+            rows.extend(shard_rows)
+        return (self.name, tuple(sorted(rows)))
+
+
+class JoinShardJob(_TracedJob):
+    """One fault-containment domain of a :class:`ShardedJoinJob`.
+
+    Holds partition ``index`` of K for both sides of the parent join —
+    possibly zero rows: an empty radix bucket is still a valid shard job
+    that participates in scatter/gather bookkeeping.  Cost-model priced
+    like every traced job, so a shard's service time scales with its
+    partition, not the whole dataset.
+    """
+
+    kind = "join_shard"
+
+    def __init__(self, parent: ShardedJoinJob, index: int, n_shards: int,
+                 left_rows: List, right_rows: List):
+        super().__init__(f"{parent.name}#s{index}of{n_shards}")
+        self.parent = parent
+        self.index = index
+        self.n_shards = n_shards
+        self._left_rows = list(left_rows)
+        self._right_rows = list(right_rows)
+        #: Input rows this shard covers — the coverage-fraction weight.
+        self.rows_in = len(self._left_rows) + len(self._right_rows)
+
+    def plan_key(self) -> Optional[Tuple]:
+        parent_key = self.parent.plan_key()
+        if parent_key is None:
+            return None
+        return ("join_shard", self.index, self.n_shards) + parent_key
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        from repro.db import ExecutionContext, Table
+        from repro.db.operators.join import hash_join
+        left, right = self.parent.tables()
+        lshard = Table(left.name, left.schema, self._left_rows)
+        rshard = Table(right.name, right.schema, self._right_rows)
+        ctx = ExecutionContext()
+        out = hash_join(lshard, rshard, self.parent.key, self.parent.key,
+                        ctx, name=self.name)
+        digest = _rows_digest(self.name, out.rows)
+        return self._settle(ctx, digest, token)
+
+
+def _rows_digest(name: str, rows) -> Tuple:
+    """Order-independent digest of a result row set."""
+    return (name, tuple(sorted(tuple(r) for r in rows)))
+
+
 # -- sim graph builders ----------------------------------------------------
 
 def _map_graph(n: int = 192) -> Graph:
@@ -331,6 +441,11 @@ _SERVING_RIDESHARE = dict(n_drivers=60, n_riders=120, n_locations=16,
 
 QUERY_NAMES = tuple(f"q{i}" for i in range(1, 10))
 
+#: Shardable join jobs: (name, left table, right table, join key).
+JOIN_SPECS = (("join_rd", "ride", "driver", "driverId"),
+              ("join_rr", "rideReq", "rider", "riderId"))
+JOIN_NAMES = tuple(spec[0] for spec in JOIN_SPECS)
+
 
 class ServingWorkload:
     """The catalog of jobs a serving runtime can be asked to run."""
@@ -360,6 +475,10 @@ class ServingWorkload:
         for name in QUERY_NAMES:
             self.add(QueryJob(name, self._rideshare,
                               dataset_key=dataset_key))
+        for name, left, right, key in JOIN_SPECS:
+            self.add(ShardedJoinJob(name, self._rideshare, left=left,
+                                    right=right, key=key,
+                                    dataset_key=dataset_key))
         self.add(StreamingJob("stream_zone"))
 
     def add(self, job: Job) -> None:

@@ -89,6 +89,18 @@ class RadixPartitioner:
             self.events.dram_dense_accesses += 1
         return out
 
+    def partitions(self) -> List[List]:
+        """The full scatter set: every partition's dense read-back, in
+        partition order, **empties included**.
+
+        Always exactly ``n_partitions`` entries.  A radix bucket with zero
+        rows yields a valid empty list — a shard planner fanning a query
+        out over partitions must see the empty bucket (its shard job still
+        participates in scatter/gather bookkeeping) rather than have it
+        silently vanish from the scatter set.
+        """
+        return [self.read_partition(p) for p in range(self.n_partitions)]
+
     def sizes(self) -> List[int]:
         return [sum(len(b) for b in blocks) for blocks in self._blocks]
 

@@ -163,4 +163,4 @@ class TestLoadtestCli:
         assert report["invariants"]["ok"] is True
         assert report["config"]["requests"] == 40
         assert set(report["outcomes"]) == {
-            "ok", "shed", "deadline", "failed", "wrong_result"}
+            "ok", "shed", "deadline", "failed", "partial", "wrong_result"}

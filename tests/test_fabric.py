@@ -75,3 +75,74 @@ class TestPlacementStats:
         # One kernel at line rate uses a tiny slice of 5.1 TB/s.
         frac = placement.bisection_traffic_fraction(1e9)
         assert 0 < frac < 0.5
+
+
+class TestShardPlacement:
+    """PR 6 satellite: rendezvous shard->replica placement — the serving
+    tier's determinism and minimal-disruption guarantees."""
+
+    def test_same_seed_and_fleet_is_identical(self):
+        from repro.fabric import place_shards
+        assert (place_shards(8, [0, 1, 2, 3], seed=7)
+                == place_shards(8, [0, 1, 2, 3], seed=7))
+
+    def test_replica_order_does_not_matter(self):
+        from repro.fabric import place_shards
+        assert (place_shards(8, [3, 1, 0, 2], seed=7)
+                == place_shards(8, [0, 1, 2, 3], seed=7))
+
+    def test_assignments_land_in_the_pool(self):
+        from repro.fabric import place_shards
+        fleet = [0, 2, 5]
+        assert set(place_shards(12, fleet, seed=3)) <= set(fleet)
+
+    def test_quarantine_moves_only_the_lost_replicas_shards(self):
+        from repro.fabric import place_shards, placement_moves
+        fleet = list(range(6))
+        before = place_shards(32, fleet, seed=9)
+        victim = before[0]                     # owns at least shard 0
+        after = place_shards(
+            32, [r for r in fleet if r != victim], seed=9)
+        moved = placement_moves(before, after)
+        # Exactly the victim's shards move; nobody else is disrupted.
+        assert set(moved) == {s for s, r in enumerate(before)
+                              if r == victim}
+        assert all(after[s] != victim for s in moved)
+
+    def test_regrowth_rebalances_only_onto_the_newcomer(self):
+        from repro.fabric import place_shards, placement_moves
+        fleet = list(range(6))
+        before = place_shards(32, fleet, seed=9)
+        shrunk = place_shards(32, fleet[:-1], seed=9)
+        regrown = place_shards(32, fleet, seed=9)
+        # Reviving the replica restores the original placement, and the
+        # rebalance moves only the shards the newcomer wins back.
+        assert regrown == before
+        moved = placement_moves(shrunk, regrown)
+        assert moved
+        assert all(regrown[s] == fleet[-1] for s in moved)
+
+    def test_empty_pool_is_a_plan_error(self):
+        from repro.fabric import place_shards
+        with pytest.raises(PlanError):
+            place_shards(4, [], seed=0)
+
+    def test_negative_shard_count_is_a_plan_error(self):
+        from repro.fabric import place_shards
+        with pytest.raises(PlanError):
+            place_shards(-1, [0], seed=0)
+
+    def test_zero_shards_is_an_empty_placement(self):
+        from repro.fabric import place_shards
+        assert place_shards(0, [0, 1], seed=0) == []
+
+    def test_mismatched_placements_cannot_be_diffed(self):
+        from repro.fabric import placement_moves
+        with pytest.raises(PlanError):
+            placement_moves([0, 1], [0])
+
+    def test_shard_score_is_a_pure_deterministic_function(self):
+        from repro.fabric import shard_score
+        assert shard_score(1, 2, 3) == shard_score(1, 2, 3)
+        scores = {shard_score(1, s, r) for s in range(8) for r in range(8)}
+        assert len(scores) == 64           # 64-bit mixing: no collisions

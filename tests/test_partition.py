@@ -121,3 +121,32 @@ class TestDataflowPartitioner:
         run_graph(pd.build_graph([(1, 2)]))
         got = sorted(v for __, v in pd.all_records())
         assert got == [1, 2]
+
+
+class TestPartitionsReadBack:
+    """PR 6 satellite: scatter/gather reads the full partition set via
+    ``partitions()`` — an empty radix bucket is a valid empty shard, not
+    a hole in the scatter set."""
+
+    def test_always_exactly_n_partitions(self):
+        rp = RadixPartitioner(8)
+        rp.partition((k, k) for k in range(3))   # far fewer keys than buckets
+        parts = rp.partitions()
+        assert len(parts) == 8
+        assert sum(len(p) for p in parts) == 3
+
+    def test_single_key_leaves_real_empty_lists(self):
+        rp = RadixPartitioner(4)
+        rp.partition((7, v) for v in range(10))  # one key -> one bucket
+        parts = rp.partitions()
+        assert len(parts) == 4
+        assert sorted(len(p) for p in parts) == [0, 0, 0, 10]
+        assert all(p == [] for p in parts if not p)
+
+    def test_no_records_yields_all_empty_partitions(self):
+        assert RadixPartitioner(4).partitions() == [[], [], [], []]
+
+    def test_partitions_matches_read_partition(self):
+        rp = RadixPartitioner(16)
+        rp.partition((k, k) for k in range(100))
+        assert rp.partitions() == [rp.read_partition(p) for p in range(16)]

@@ -652,3 +652,59 @@ class TestDegradationProperties:
         assert served_stale == min(n_failures, bound)
         assert s.health_report()["queries"].get(
             "q", {"failures": 0})["failures"] == n_failures
+
+
+class TestRetryDeadlineClamp:
+    """PR 6 satellite: the final backoff is *clamped* to the remaining
+    budget, never skipped and never overshooting the deadline."""
+
+    @staticmethod
+    def _always_fail():
+        raise ChecksumError("persistent", kind="corrupt_record",
+                            site="a", cycle=1)
+
+    @staticmethod
+    def _policy():
+        return RetryPolicy(retries=5, base_delay=0.01, max_delay=1.0,
+                           multiplier=2.0, jitter=0.0, seed=1)
+
+    def test_partial_budget_grants_a_clamped_final_retry(self):
+        from repro.reliability import retry_call
+        policy = self._policy()
+        delays = policy.delays()
+        # Strictly between one and two full backoff steps: the second
+        # retry must still happen, after a *shortened* sleep.
+        budget = delays[0] + delays[1] / 2
+        log = []
+        with pytest.raises(ChecksumError):
+            retry_call(self._always_fail, policy=policy, log=log,
+                       deadline=budget)
+        assert len(log) == 3               # first try + 2 budgeted retries
+        assert log[0].delay == pytest.approx(delays[0])
+        assert log[1].delay == pytest.approx(budget - delays[0])
+        assert log[1].delay < delays[1]    # clamped, not the full step
+        assert log[0].delay + log[1].delay == pytest.approx(budget)
+
+    def test_exact_boundary_spends_the_budget_then_raises(self):
+        from repro.reliability import retry_call
+        policy = self._policy()
+        delays = policy.delays()
+        log = []
+        with pytest.raises(ChecksumError):
+            retry_call(self._always_fail, policy=policy, log=log,
+                       deadline=delays[0])
+        # The budget is spent to the cycle after one full backoff; the
+        # next retry's clamp leaves 0.0 and the typed error re-raises.
+        assert len(log) == 2
+        assert log[0].delay == pytest.approx(delays[0])
+        assert log[1].delay == 0.0
+
+    def test_slept_time_never_overshoots_the_deadline(self):
+        from repro.reliability import retry_call
+        slept = []
+        budget = 0.035
+        with pytest.raises(ChecksumError):
+            retry_call(self._always_fail, policy=self._policy(),
+                       sleep=slept.append, deadline=budget)
+        assert sum(slept) == pytest.approx(budget)
+        assert all(s > 0.0 for s in slept)  # zero-length sleeps elided

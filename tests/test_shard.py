@@ -1,0 +1,307 @@
+"""Sharded scatter/gather execution, partial-failure containment, and
+the elastic replica fleet (`repro.serving.shard`).
+
+The contract under test: a complete scatter/gather merges to a digest
+bit-identical to the unsharded golden run; a shard lost mid-query is
+retried on a fresh replica and only that partition moves; a permanently
+lost shard either fails the request typed or — by explicit
+``DegradePolicy`` consent — returns a typed ``PartialResult`` whose
+coverage recomputes from the shard plan; and every trajectory, fleet
+elasticity included, is bit-for-bit reproducible from its seed.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.db import Table
+from repro.errors import PlanError, ShardsLost
+from repro.reliability import DegradePolicy
+from repro.serving import (
+    FleetPolicy,
+    LoadTestConfig,
+    Request,
+    ServingPolicy,
+    ServingRuntime,
+    ShardPolicy,
+    plan_shards,
+    run_loadtest,
+)
+from repro.serving.chaos import check_invariants
+from repro.serving.replica import ACTIVE, DEAD, QUARANTINED, RETIRED
+from repro.serving.workload import JOIN_NAMES, ServingWorkload, ShardedJoinJob
+
+
+@pytest.fixture(scope="module")
+def workload():
+    w = ServingWorkload()
+    w.warm()
+    return w
+
+
+def _shard_policy(**kw):
+    kw.setdefault("n_shards", 4)
+    return ServingPolicy(shard=ShardPolicy(**kw))
+
+
+def _join_request(rid=0, query="join_rd", arrival=0, deadline=None):
+    return Request(id=rid, tenant="t", query=query, arrival=arrival,
+                   deadline=deadline)
+
+
+class _SingleKeyData:
+    """Two tiny tables whose join key takes a single value, so every row
+    radix-hashes into one bucket and the other K-1 shards are empty."""
+
+    def __init__(self):
+        self.tables = {
+            "l": Table.from_columns("l", k=[7] * 6, v=list(range(6))),
+            "r": Table.from_columns("r", k=[7] * 4, w=[10, 20, 30, 40]),
+        }
+
+
+def _single_key_job():
+    data = _SingleKeyData()
+    return ShardedJoinJob("tiny_join", lambda: data,
+                          left="l", right="r", key="k")
+
+
+class TestShardPlan:
+    def test_non_power_of_two_fanout_is_a_plan_error(self):
+        with pytest.raises(PlanError):
+            plan_shards(_single_key_job(), 3)
+
+    def test_plan_covers_every_partition_empties_included(self):
+        plan = plan_shards(_single_key_job(), 4)
+        assert plan.n_shards == 4 and len(plan.jobs) == 4
+        assert sum(plan.rows) == plan.total_rows == 10
+        # One key -> one radix bucket: three shards are genuinely empty,
+        # yet each still exists as a valid shard job in the scatter set.
+        assert sorted(plan.rows, reverse=True) == [10, 0, 0, 0]
+        for shard_job, rows in zip(plan.jobs, plan.rows):
+            assert shard_job.rows_in == rows
+
+    def test_empty_shard_executes_to_an_empty_digest(self):
+        plan = plan_shards(_single_key_job(), 4)
+        for k, rows in enumerate(plan.rows):
+            if rows == 0:
+                __, digest = plan.jobs[k].execute()
+                assert digest[1] == ()
+                assert plan.ref_rows_out[k] == 0
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    def test_merged_shard_digests_equal_the_unsharded_golden(
+            self, workload, n_shards):
+        job = workload.job("join_rd")
+        plan = plan_shards(job, n_shards)
+        merged = job.merge_digests(
+            [shard_job.execute()[1] for shard_job in plan.jobs])
+        assert merged == workload.golden("join_rd").digest
+
+    def test_plan_prices_scatter_and_references(self, workload):
+        plan = plan_shards(workload.job("join_rr"), 4)
+        assert plan.scatter_cycles >= 1
+        assert all(c >= 1 for c in plan.ref_cycles)
+        # Scatter/gather coordination is per-shard metadata, not row work.
+        assert plan.dispatch_cost() == 1 + 4 * plan.n_shards
+        assert plan.merge_cost(2) < plan.merge_cost(4) == plan.merge_estimate
+
+    def test_hedge_cutoff_is_seeded_and_reference_relative(self, workload):
+        plan = plan_shards(workload.job("join_rd"), 4)
+        policy = ShardPolicy(n_shards=4, hedge_factor=2.0)
+        a = plan.hedge_cutoff(0, policy, seed=1, request_id=9)
+        assert a == plan.hedge_cutoff(0, policy, seed=1, request_id=9)
+        assert a >= 2 * plan.ref_cycles[0]
+        assert plan.hedge_cutoff(
+            0, ShardPolicy(n_shards=4, hedge_factor=None), 1, 9) is None
+
+
+class TestShardPolicy:
+    def test_fanout_must_be_a_power_of_two(self):
+        with pytest.raises(ValueError):
+            ShardPolicy(n_shards=6)
+
+
+class TestShardedServing:
+    def test_sharded_join_is_golden_digest_equal(self, workload):
+        runtime = ServingRuntime(workload, n_replicas=4, seed=11,
+                                 policy=_shard_policy())
+        runtime.submit(_join_request())
+        [outcome] = runtime.run()
+        # 'ok' means the runtime's per-serve tripwire already compared
+        # the merged digest against the golden and found it identical.
+        assert outcome.ok and outcome.shards == 4
+        assert outcome.replica == "shards[4]"
+        assert runtime.check() == []
+
+    def test_warmed_four_shard_join_beats_the_unsharded_golden(
+            self, workload):
+        runtime = ServingRuntime(workload, n_replicas=4, seed=11,
+                                 policy=_shard_policy())
+        runtime.coordinator.warm(workload.job("join_rd"), 4)
+        runtime.submit(_join_request())
+        [outcome] = runtime.run()
+        assert outcome.ok
+        assert outcome.cycles < workload.golden("join_rd").cycles
+
+    def test_mid_shard_kill_retries_only_the_lost_partition(self, workload):
+        runtime = ServingRuntime(workload, n_replicas=4, seed=3,
+                                 policy=_shard_policy(),
+                                 kill_schedule={0: 300})
+        runtime.submit(_join_request())
+        [outcome] = runtime.run()
+        # The dying replica's shard re-dispatches; the query still merges
+        # complete and golden-equal.
+        assert outcome.ok and outcome.shards == 4
+        assert runtime.report()["shards"]["retries"] >= 1
+        assert runtime.check() == []
+
+    def test_full_fleet_loss_with_degrade_consent_serves_partial(
+            self, workload):
+        degrade = DegradePolicy(serve_partial=True, min_coverage=0.2)
+        runtime = ServingRuntime(
+            workload, n_replicas=4, seed=7,
+            policy=_shard_policy(degrade=degrade),
+            kill_schedule={0: 300, 1: 300, 2: 1200, 3: 1200})
+        runtime.submit(_join_request())
+        [outcome] = runtime.run()
+        assert outcome.status == "partial"
+        partial = outcome.partial
+        plan = runtime.coordinator.plan_for(workload.job("join_rd"), 4)
+        # Coverage is the accurate input-row fraction, recomputable from
+        # the shard plan — never a guess.
+        assert partial.rows_expected == plan.total_rows
+        assert partial.rows_present == sum(
+            plan.rows[k] for k in partial.complete_shards)
+        assert partial.coverage == pytest.approx(
+            partial.rows_present / partial.rows_expected)
+        assert 0.0 < partial.coverage < 1.0
+        assert (set(partial.complete_shards) | set(partial.lost_shards)
+                == set(range(4)))
+        # The partial digest is a strict sub-multiset of the golden rows:
+        # degraded, but never fabricated.
+        golden = workload.golden("join_rd")
+        extra = Counter(partial.digest[1]) - Counter(golden.digest[1])
+        assert not extra
+        assert len(partial.digest[1]) < len(golden.digest[1])
+        assert isinstance(outcome.error, ShardsLost)
+        assert outcome.error.lost == partial.lost_shards
+        assert runtime.check() == []
+
+    def test_full_fleet_loss_without_consent_fails_typed(self, workload):
+        runtime = ServingRuntime(
+            workload, n_replicas=4, seed=7, policy=_shard_policy(),
+            kill_schedule={0: 300, 1: 300, 2: 1200, 3: 1200})
+        runtime.submit(_join_request())
+        [outcome] = runtime.run()
+        # Same chaos, no DegradePolicy consent: no silent third path —
+        # the request fails whole, typed with exactly what was lost.
+        assert outcome.status == "failed"
+        assert outcome.partial is None
+        assert isinstance(outcome.error, ShardsLost)
+        assert outcome.error.lost and outcome.error.n_shards == 4
+        assert 0.0 < outcome.error.coverage < 1.0
+        assert runtime.check() == []
+
+    def test_straggler_cutoff_launches_hedge_legs(self, workload):
+        # hedge_factor < 1 puts the cutoff below the reference service
+        # time, so every primary leg hedges — and the first-response-wins
+        # resolution still merges golden-equal.
+        runtime = ServingRuntime(workload, n_replicas=4, seed=5,
+                                 policy=_shard_policy(n_shards=2,
+                                                      hedge_factor=0.5))
+        runtime.submit(_join_request())
+        [outcome] = runtime.run()
+        assert outcome.ok
+        assert runtime.report()["shards"]["hedges_launched"] >= 1
+        assert runtime.check() == []
+
+    def test_hedging_disabled_launches_none(self, workload):
+        runtime = ServingRuntime(workload, n_replicas=4, seed=5,
+                                 policy=_shard_policy(hedge_factor=None))
+        runtime.submit(_join_request())
+        [outcome] = runtime.run()
+        assert outcome.ok
+        assert runtime.report()["shards"]["hedges_launched"] == 0
+
+
+class TestFleetManager:
+    def test_kill_marking_is_unconditional(self, workload):
+        runtime = ServingRuntime(workload, n_replicas=2,
+                                 kill_schedule={1: 50})
+        assert runtime.fleet.policy is None
+        runtime.fleet.autoscale(60)
+        assert runtime.replicas[1].state == DEAD
+        assert (60, "killed", "fab1") in runtime.fleet.events
+
+    def test_repeated_breaker_opens_quarantine_the_replica(self, workload):
+        runtime = ServingRuntime(
+            workload, n_replicas=3,
+            policy=ServingPolicy(fleet=FleetPolicy(quarantine_opens=2)))
+        sick = runtime.replicas[1]
+        sick.breaker.transitions.extend([(10, "open"), (40, "open")])
+        runtime.fleet.autoscale(100)
+        assert sick.state == QUARANTINED
+        assert runtime.replicas[0].state == ACTIVE
+        assert (100, "quarantined", "fab1") in runtime.fleet.events
+
+    def test_growth_revives_retired_replicas_first(self, workload):
+        runtime = ServingRuntime(
+            workload, n_replicas=3,
+            policy=ServingPolicy(fleet=FleetPolicy(min_replicas=1,
+                                                   max_replicas=4)))
+        runtime.replicas[2].state = RETIRED
+        assert runtime.fleet._grow(500)
+        assert runtime.replicas[2].state == ACTIVE
+        assert runtime.fleet.revivals == 1
+        assert len(runtime.replicas) == 3      # no fresh spawn needed
+
+    def test_queue_pressure_grows_then_idle_shrinks(self, workload):
+        policy = ServingPolicy(
+            fleet=FleetPolicy(min_replicas=2, max_replicas=6,
+                              grow_at_depth=4, shrink_below_depth=0,
+                              scale_cooldown=1))
+        runtime = ServingRuntime(workload, n_replicas=2, seed=1,
+                                 policy=policy)
+        for i in range(20):
+            runtime.submit(Request(id=i, tenant="t", query="q1", arrival=0))
+        runtime.run()
+        fleet = runtime.report()["fleet"]
+        assert fleet["grown"] >= 1
+        assert fleet["shrunk"] >= 1
+        assert fleet["active"] >= 2            # never below the floor
+        assert all(o.ok for o in runtime.outcomes)
+
+    def test_fleet_trajectory_is_seed_reproducible(self, workload):
+        def trajectory():
+            policy = ServingPolicy(
+                fleet=FleetPolicy(min_replicas=2, max_replicas=6,
+                                  grow_at_depth=4, scale_cooldown=100))
+            runtime = ServingRuntime(workload, n_replicas=2, seed=9,
+                                     policy=policy)
+            for i in range(16):
+                runtime.submit(Request(id=i, tenant="t", query="q2",
+                                       arrival=i * 40))
+            runtime.run()
+            return runtime.fleet.events
+
+        assert trajectory() == trajectory()
+
+
+class TestShardedChaos:
+    CONFIG = dict(requests=120, seed=11, shards=4, kills=2,
+                  faults=True, elastic=True)
+
+    def test_chaos_with_kills_holds_every_invariant(self, workload):
+        runtime = run_loadtest(LoadTestConfig(**self.CONFIG), workload)
+        assert check_invariants(runtime) == []
+        sharded = [o for o in runtime.outcomes if o.shards]
+        assert sharded, "the sharded mix must offer shardable joins"
+        assert not any(o.status == "wrong_result" for o in runtime.outcomes)
+
+    def test_chaos_run_is_bit_reproducible(self, workload):
+        def signatures():
+            runtime = run_loadtest(LoadTestConfig(**self.CONFIG), workload)
+            return [o.signature() for o in runtime.outcomes]
+
+        assert signatures() == signatures()
