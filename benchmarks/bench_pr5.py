@@ -39,6 +39,14 @@ TOLERANCE = 0.25
 #: this gate; the JSON records whether each was met on this machine).
 TARGETS = {"probe_saturated_2048t": 3.0, "gather_throttled": 3.0}
 
+#: Burst-on must not lose to burst-off (same process, same machine, so
+#: the ratio is noise-tolerant).  probe_sparse_32t pins the ISSUE 7 fix:
+#: group-burst probing is statically disabled for graphs whose sources
+#: cannot sustain a committable window, so the probing overhead that
+#: once cost this case ~15% is gone.  Hard assertion — a failure here is
+#: a real regression, not runner noise.
+MIN_BURST_RATIO = {"probe_sparse_32t": 0.9}
+
 
 def _time_engine(factory, burst):
     best = float("inf")
@@ -84,6 +92,13 @@ def run_benchmarks(baseline_cases):
         if name in TARGETS and base is not None:
             entry["target_speedup"] = TARGETS[name]
             entry["target_met"] = base / wall_on >= TARGETS[name]
+        floor = MIN_BURST_RATIO.get(name)
+        if floor is not None:
+            entry["min_burst_vs_noburst"] = floor
+            if wall_off / wall_on < floor:
+                regressions.append(
+                    f"{name} (burst_vs_noburst {wall_off / wall_on:.2f} "
+                    f"< {floor})")
         results[name] = entry
         windows_str = " ".join(
             f"{cls}:{len(sizes)}w/{sum(sizes)}c"

@@ -1,0 +1,139 @@
+"""PR 7 perf trajectory: the columnar vector backend vs burst execution.
+
+Runs the ``bench_pr2`` case set under ``scheduler="vector"`` and under
+the burst event scheduler it falls back to, verifies the resulting
+``SimStats`` are bit-identical (the event/exhaustive path stays the
+oracle — the vector backend may only change wall-clock), and gates
+against the committed ``BENCH_PR2.json`` baseline:
+
+* ``probe_saturated_2048t`` must hit a >= 3.0x speedup over its
+  recorded PR 2 event-scheduler wall-clock — this is the ISSUE 7
+  acceptance target and a hard failure, not advisory;
+* any case whose vector wall-clock regresses more than ``TOLERANCE``
+  past its recorded PR 2 time fails the run.
+
+Results — per-case vector and burst times, the vector/burst ratio, and
+vector-window counts/lengths — are written to ``BENCH_VECTOR.json``.
+
+Wall-clock baselines are machine-dependent; on shared CI runners the
+absolute comparison is noisy, which is why the tolerance is a generous
+25% and why the vector-vs-burst ratio (same process, same machine) is
+recorded alongside it.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_vector.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.dataflow import Engine
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_pr2  # noqa: E402  (sibling benchmark module)
+
+REPEATS = 3
+
+#: Allowed wall-clock regression vs the committed PR 2 event baseline.
+TOLERANCE = 0.25
+
+#: ISSUE 7 acceptance target: hard-fail (not advisory) speedups vs the
+#: PR 2 event scheduler.
+HARD_TARGETS = {"probe_saturated_2048t": 3.0}
+
+
+def _time_engine(factory, scheduler):
+    best = float("inf")
+    stats = None
+    windows = {}
+    for __ in range(REPEATS):
+        graph = factory()           # fresh graph per run: no shared state
+        engine = Engine(graph, scheduler=scheduler, burst=True)
+        t0 = time.perf_counter()
+        stats = engine.run()
+        best = min(best, time.perf_counter() - t0)
+        windows = engine.burst_windows
+    return best, stats, windows
+
+
+def run_benchmarks(baseline_cases):
+    results = {}
+    failures = []
+    for name, factory in bench_pr2.CASES:
+        wall_burst, stats_burst, __ = _time_engine(factory, "event")
+        wall_vec, stats_vec, windows = _time_engine(factory, "vector")
+        if stats_vec != stats_burst:
+            raise AssertionError(
+                f"{name}: vector backend diverged from burst event "
+                f"scheduling (cycles {stats_vec.cycles} vs "
+                f"{stats_burst.cycles})")
+        base = baseline_cases.get(name, {}).get("wall_s_event")
+        entry = {
+            "simulated_cycles": stats_vec.cycles,
+            "wall_s_event_burst": round(wall_burst, 6),
+            "wall_s_vector": round(wall_vec, 6),
+            "vector_vs_burst": round(wall_burst / wall_vec, 2),
+            "vector_windows": {
+                cls: {"n": len(sizes), "cycles": sum(sizes)}
+                for cls, sizes in sorted(windows.items())},
+        }
+        if base is not None:
+            entry["wall_s_event_pr2_baseline"] = base
+            entry["speedup_vs_pr2_baseline"] = round(base / wall_vec, 2)
+            entry["regressed"] = wall_vec > base * (1.0 + TOLERANCE)
+            if entry["regressed"]:
+                failures.append(
+                    f"{name} (regressed >{TOLERANCE:.0%} vs PR 2)")
+        target = HARD_TARGETS.get(name)
+        if target is not None and base is not None:
+            entry["target_speedup"] = target
+            entry["target_met"] = base / wall_vec >= target
+            if not entry["target_met"]:
+                failures.append(
+                    f"{name} (speedup {base / wall_vec:.2f}x < {target}x)")
+        results[name] = entry
+        windows_str = " ".join(
+            f"{cls}:{len(sizes)}w/{sum(sizes)}c"
+            for cls, sizes in sorted(windows.items())) or "-"
+        print(f"{name:24s} cycles={stats_vec.cycles:>7} "
+              f"burst={wall_burst * 1e3:8.1f}ms "
+              f"vector={wall_vec * 1e3:8.1f}ms "
+              f"vs_pr2={'' if base is None else f'{base / wall_vec:5.2f}x'} "
+              f"windows={windows_str}")
+    return results, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument("--out", default=str(root / "BENCH_VECTOR.json"),
+                        help="where to write the JSON record")
+    parser.add_argument("--baseline", default=str(root / "BENCH_PR2.json"),
+                        help="committed PR 2 baseline to gate against")
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.baseline).read_text())
+    results, failures = run_benchmarks(baseline["cases"])
+    payload = {
+        "benchmark": "columnar vector backend vs burst execution (PR 7)",
+        "repeats_best_of": REPEATS,
+        "tolerance": TOLERANCE,
+        "baseline": Path(args.baseline).name,
+        "cases": results,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    targets_met = [n for n in HARD_TARGETS if results[n].get("target_met")]
+    print(f"\nwrote {args.out} ({len(targets_met)}/{len(HARD_TARGETS)} "
+          f"hard targets met, {len(failures)} failures)")
+    if failures:
+        print(f"FAIL: {'; '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

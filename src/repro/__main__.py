@@ -139,6 +139,21 @@ def _burst_window_report(engine) -> str:
     return "\n".join(lines)
 
 
+def _vector_profile_report(engine) -> str:
+    """Per-kernel-kind time attribution for ``scheduler="vector"`` runs."""
+    prof = getattr(engine, "vector_profile", None)
+    if not prof:
+        return ("vector kernels: none (scheduler is not 'vector' or no "
+                "saturated window opened)")
+    total = sum(sec for __, sec in prof.values()) or 1.0
+    lines = [f"{'vector kernels':>20} {'calls':>8} {'time':>10} {'share':>7}"]
+    for kind in sorted(prof, key=lambda k: -prof[k][1]):
+        calls, sec = prof[kind]
+        lines.append(f"{kind:>20} {calls:>8} {_fmt(sec):>10} "
+                     f"{sec / total:>6.1%}")
+    return "\n".join(lines)
+
+
 def cmd_microbench(args) -> int:
     import time
     from repro.dataflow import Engine
@@ -150,7 +165,7 @@ def cmd_microbench(args) -> int:
     t0 = time.perf_counter()
     stats = engine.run()
     wall = time.perf_counter() - t0
-    burst_tag = "" if args.scheduler != "event" else (
+    burst_tag = "" if args.scheduler == "exhaustive" else (
         ", burst off" if args.no_burst else ", burst on")
     print(f"{args.case}: {stats.cycles} simulated cycles in {_fmt(wall)} "
           f"({args.scheduler} scheduler{burst_tag})")
@@ -159,6 +174,9 @@ def cmd_microbench(args) -> int:
         print(engine.profile_report())
         print()
         print(_burst_window_report(engine))
+        if args.scheduler == "vector":
+            print()
+            print(_vector_profile_report(engine))
     return 0
 
 
@@ -270,7 +288,7 @@ def main(argv=None) -> int:
         help="run one cycle-level microbench under a chosen scheduler")
     mb.add_argument("--case", default="probe_sparse_32t",
                     help="case name from benchmarks/bench_pr2.py")
-    mb.add_argument("--scheduler", choices=("event", "exhaustive"),
+    mb.add_argument("--scheduler", choices=("event", "exhaustive", "vector"),
                     default="event", help="engine scheduler to use")
     mb.add_argument("--no-burst", action="store_true",
                     help="disable the steady-state burst fast path "
@@ -284,7 +302,7 @@ def main(argv=None) -> int:
         help="trace one microbench: stall attribution, timeline, trace.json")
     tr.add_argument("--case", default="probe_sparse_32t",
                     help="case name from benchmarks/bench_pr2.py")
-    tr.add_argument("--scheduler", choices=("event", "exhaustive"),
+    tr.add_argument("--scheduler", choices=("event", "exhaustive", "vector"),
                     default="event", help="engine scheduler to use")
     tr.add_argument("--report", action="store_true",
                     help="print the per-tile stall-attribution report")

@@ -26,6 +26,13 @@ Two schedulers implement that contract:
 * ``scheduler="exhaustive"`` — the original tick-everything loop, kept for
   differential testing.
 
+* ``scheduler="vector"`` — the event scheduler with saturated windows
+  lowered onto the columnar vector backend (``repro.dataflow.vector``):
+  one fused kernel per tile plus numpy counter matrices that defer all
+  statistics to a vectorized settlement at window exit.  Same triggers,
+  same entry/exit bookkeeping, bit-identical results; requires numpy
+  (checked at construction with a typed ``DependencyError``).
+
 Burst execution (``burst=True``, the default, event scheduler only): when
 the ready set is in a provable steady state the engine fires many cycles
 per Python-level step instead of one.  Two window kinds exist.  A *group
@@ -106,9 +113,14 @@ class Engine:
                  deadlock_window: int = 50_000, injector=None,
                  scheduler: str = "event", profile: bool = False,
                  tracer=None, cancel=None, burst: bool = True):
-        if scheduler not in ("event", "exhaustive"):
+        if scheduler not in ("event", "exhaustive", "vector"):
             raise ValueError(
-                f"unknown scheduler {scheduler!r}: use 'event' or 'exhaustive'")
+                f"unknown scheduler {scheduler!r}: use 'event', "
+                f"'exhaustive' or 'vector'")
+        if scheduler == "vector":
+            # Fail at construction, not mid-run, when numpy is missing.
+            from repro.dataflow.vector import require_numpy
+            require_numpy()
         self.graph = graph
         self.max_cycles = max_cycles
         self.deadlock_window = deadlock_window
@@ -119,8 +131,15 @@ class Engine:
         #: Bit-identical stats by construction; ``burst=False`` is the
         #: escape hatch that forces plain per-cycle event scheduling.
         self.burst = burst
-        #: tile class name (or "fabric") -> list of committed window sizes.
+        #: tile class name (or "fabric"/"vector") -> committed window sizes.
         self.burst_windows: Dict[str, List[int]] = {}
+        #: Cached columnar lowering (``scheduler="vector"``), built on the
+        #: first saturated window of a run and reused across windows.
+        self._vector_lowering = None
+        #: vector kernel kind -> [cycles, cumulative seconds]; None when
+        #: profiling is off.  Filled by the lowering at window settlement.
+        self.vector_profile: Optional[Dict[str, List]] = (
+            {} if profile else None)
         #: Cancellation hook: an object with ``check(cycle)`` (raises a
         #: typed error to stop the run) and a ``deadline_cycle`` attribute
         #: (int or None) that clamps the event scheduler's fast-forward.
@@ -269,6 +288,20 @@ class Engine:
         # effect) but not with an injector or tracer, whose per-cycle /
         # per-stream-op hooks the bulk paths do not replay.
         burst_on = self.burst and inj is None and trace is None
+        # Vector mode: saturated windows run on the columnar lowering
+        # instead of the hoisted exhaustive loop.  Same trigger, same
+        # entry/exit bookkeeping, bit-identical state by construction.
+        vector_on = burst_on and self.scheduler == "vector"
+        if vector_on:
+            from repro.dataflow.vector.window import run_window
+        else:
+            run_window = None
+        self._vector_lowering = None
+        # Group-burst probing costs a sort + validation per stable round;
+        # graphs whose sources cannot sustain a committable window
+        # (b >= 16) would pay that overhead without ever cashing it in,
+        # so probing is disabled for them up front.
+        group_on = burst_on and self._group_burst_possible(tiles)
         sat_min = n - 3 if n > 7 else 4
         sat_streak = 0          # rounds with a near-full ready set
         grp_sig: Optional[tuple] = None
@@ -315,47 +348,56 @@ class Engine:
                                     gen[i] += 1
                                 for stream in graph.streams:
                                     stream.sched = None
-                                ticks = [t.tick for t in tiles]
-                                peak = 0
                                 enter = cycle
-                                quiesced = False
-                                while True:
-                                    if tok is not None and cycle > enter:
-                                        tok.check(cycle)
-                                    moved_n = 0
-                                    if prof is None:
-                                        for tick in ticks:
-                                            if tick(cycle):
-                                                moved_n += 1
-                                    else:
-                                        for tile in tiles:
-                                            if self._tick(tile, cycle):
-                                                moved_n += 1
-                                    cycle += 1
-                                    if moved_n:
-                                        last_progress = cycle
-                                    elif self._quiescent():
-                                        quiesced = True
-                                        break
-                                    elif (cycle - last_progress
-                                            > self.deadlock_window):
-                                        self._raise_deadlock(cycle, inj)
-                                    if cycle >= self.max_cycles:
-                                        self._raise_overrun(cycle)
-                                    # Exit when progress falls to half the
-                                    # window's own steady-state peak — the
-                                    # fabric is winding down (or idling on
-                                    # latency) and the ready-set machinery
-                                    # pays for itself again.
-                                    if moved_n > peak:
-                                        peak = moved_n
-                                    elif moved_n <= 2 or moved_n < peak // 4:
-                                        break
+                                if vector_on:
+                                    cycle, last_progress, quiesced = (
+                                        run_window(self, tiles, cycle,
+                                                   last_progress))
+                                    wkey = "vector"
+                                else:
+                                    wkey = "fabric"
+                                    ticks = [t.tick for t in tiles]
+                                    peak = 0
+                                    quiesced = False
+                                    while True:
+                                        if tok is not None and cycle > enter:
+                                            tok.check(cycle)
+                                        moved_n = 0
+                                        if prof is None:
+                                            for tick in ticks:
+                                                if tick(cycle):
+                                                    moved_n += 1
+                                        else:
+                                            for tile in tiles:
+                                                if self._tick(tile, cycle):
+                                                    moved_n += 1
+                                        cycle += 1
+                                        if moved_n:
+                                            last_progress = cycle
+                                        elif self._quiescent():
+                                            quiesced = True
+                                            break
+                                        elif (cycle - last_progress
+                                                > self.deadlock_window):
+                                            self._raise_deadlock(cycle, inj)
+                                        if cycle >= self.max_cycles:
+                                            self._raise_overrun(cycle)
+                                        # Exit when progress falls to half
+                                        # the window's own steady-state
+                                        # peak — the fabric is winding down
+                                        # (or idling on latency) and the
+                                        # ready-set machinery pays for
+                                        # itself again.
+                                        if moved_n > peak:
+                                            peak = moved_n
+                                        elif (moved_n <= 2
+                                                or moved_n < peak // 4):
+                                            break
                                 for stream in graph.streams:
                                     stream.sched = self
-                                wl = self.burst_windows.get("fabric")
+                                wl = self.burst_windows.get(wkey)
                                 if wl is None:
-                                    wl = self.burst_windows["fabric"] = []
+                                    wl = self.burst_windows[wkey] = []
                                 wl.append(cycle - enter)
                                 if quiesced:
                                     break
@@ -365,7 +407,7 @@ class Engine:
                                 for i in range(n):
                                     in_now[i] = True
                                 continue
-                        elif hlen <= 8:
+                        elif group_on and hlen <= 8:
                             sat_streak = 0
                             heap.sort()
                             sig = tuple(heap)
@@ -522,6 +564,35 @@ class Engine:
         if inj is not None:
             inj.verify_streams(graph, cycle)
         return self._collect(cycle)
+
+    def _group_burst_possible(self, tiles) -> bool:
+        """Decide up front whether group-burst probing can ever pay off.
+
+        Group windows only commit when every ready tile offers a burst
+        role and the window length clears the commit threshold
+        (``b >= 16`` in :meth:`_try_group_burst`).  Of the stock tile
+        classes only :class:`SourceTile` overrides ``burst_plan`` with a
+        bounded "produce" role; every other stock plan returns ``None``
+        or a drain/relay role whose bound comes from the sources anyway.
+        So when no source can sustain a 16-cycle window the probing
+        machinery (a sort plus full validation per stable round) can
+        never cash in — skip it entirely.  Graphs containing tiles with
+        *custom* burst plans are assumed probe-worthy.
+        """
+        from repro.dataflow.tile import SinkTile, SourceTile, Tile
+        from repro.memory.spad_tile import ScratchpadTile
+        known = (Tile.burst_plan, SourceTile.burst_plan,
+                 SinkTile.burst_plan, ScratchpadTile.burst_plan)
+        bound = 0
+        for t in tiles:
+            plan = type(t).burst_plan
+            if plan not in known:
+                return True
+            if plan is SourceTile.burst_plan and type(t) is SourceTile:
+                b = (len(t._records) - t._pos - 1) // t.rate
+                if b > bound:
+                    bound = b
+        return bound >= 16
 
     def _try_group_burst(self, cycle: int) -> int:
         """Validate and run one produce→relay→drain burst window.

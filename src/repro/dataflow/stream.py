@@ -42,6 +42,14 @@ class Stream:
     The producer calls :meth:`can_push` / :meth:`push` / :meth:`close`;
     the consumer calls :meth:`can_pop` / :meth:`pop` and checks
     :meth:`closed` to detect that no more data will ever arrive.
+
+    Lowering contract (``repro.dataflow.vector``): inside a columnar
+    window the fused kernels bypass these methods and operate on
+    ``_fifo`` directly, deferring ``pushed_vectors``/``pushed_records``
+    into working rows that window settlement folds back in.  The engine
+    detaches ``sched`` for the window's duration (as burst windows do),
+    and windows are vetoed whenever a ``_monitor`` or tracer is armed —
+    so the bypass can never skip a checksum, fault hook, or wake.
     """
 
     __slots__ = ("name", "capacity", "_fifo", "eos", "pushed_vectors",

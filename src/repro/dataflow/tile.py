@@ -121,6 +121,16 @@ class Tile:
     *pure* function of the tile's frozen state — it is evaluated once at
     the stall transition, and the event scheduler's skipped inert ticks
     rely on the classification not changing while the tile sleeps.
+
+    Lowering contract (``Engine(scheduler="vector")``): inside a
+    saturated window, ``repro.dataflow.vector.lower`` replaces an
+    *exact-class* tile's :meth:`tick` with a fused kernel over its
+    captured streams/packers/delay line, deferring its ``TileStats``
+    deltas until window settlement.  Dispatch keys on ``type(tile)``
+    plus shape and hook checks (an instance-level ``tick`` monkeypatch
+    among them), so any tile the lowering cannot prove falls back to
+    calling its own ``tick`` per cycle inside the window.  Between windows (and on every non-vector
+    scheduler) tiles are ticked exactly as documented above.
     """
 
     #: Observability hook; the class default covers subclasses that skip

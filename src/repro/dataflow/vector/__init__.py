@@ -1,0 +1,46 @@
+"""Columnar vector backend: numpy-lowered saturated fabric windows.
+
+``Engine(scheduler="vector")`` behaves exactly like the event scheduler
+with burst execution until it detects a steady-state *saturated window*
+(nearly every tile ready for several consecutive rounds — the same
+trigger PR 5's burst engine uses).  At that point, instead of dropping to
+the hoisted exhaustive loop, the engine *lowers* the live tile set into a
+:class:`~repro.dataflow.vector.lower.Lowering`: one fused kernel closure
+per tile over columnar state, plus numpy counter matrices
+(tiles × counters, streams × counters, banks-facing scratchpad columns)
+that defer every statistics update to a single vectorized settlement at
+window exit.  See ``lower.py`` for the layout, ``kernels.py`` for the
+per-tile-class kernels, and ``window.py`` for entry/exit and read-back.
+
+numpy is a hard dependency of the mode (and declared in
+``pyproject.toml``); :func:`require_numpy` raises a typed
+:class:`~repro.errors.DependencyError` with an actionable message when it
+is missing, so ``scheduler="vector"`` fails at engine construction, not
+mid-run.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _numpy
+except ImportError:        # pragma: no cover - exercised via monkeypatch
+    _numpy = None
+
+#: True when numpy imported successfully.  Tests monkeypatch this to
+#: exercise the missing-dependency path without uninstalling numpy.
+HAVE_NUMPY = _numpy is not None
+
+
+def require_numpy():
+    """Return the numpy module, or raise a typed :class:`DependencyError`."""
+    if not HAVE_NUMPY or _numpy is None:
+        from repro.errors import DependencyError
+        raise DependencyError(
+            "scheduler='vector' requires numpy (the columnar vector "
+            "backend lowers fabric windows into numpy counter matrices); "
+            "install it with `pip install numpy` or use "
+            "scheduler='event'/'exhaustive' instead")
+    return _numpy
+
+
+__all__ = ["HAVE_NUMPY", "require_numpy"]

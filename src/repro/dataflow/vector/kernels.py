@@ -1,0 +1,1036 @@
+"""Fused per-tile kernels for columnar vector windows.
+
+Each factory takes one live tile plus the counter-row views the
+:class:`~repro.dataflow.vector.lower.Lowering` allocated for it and
+returns ``(kern, begin, settle)``:
+
+* ``kern(cycle) -> bool`` advances the tile one fabric cycle and reports
+  whether data moved.  It is the tile's ``tick`` with every method call
+  inlined — retire, enqueue, bank arbitration, packer flush, EOS
+  propagation — over state captured as closure locals (stream FIFOs,
+  packer pending lists, issue-queue slots, delay deques) and counters
+  kept as plain local ints.  Structural state stays *live* (the real
+  deques and lists mutate in place), so mid-window quiescence and
+  deadlock inspection see the truth; only counters and a handful of
+  scalar registers (source position, allocator rotor, DRAM last-index,
+  stamp counter) are deferred.
+
+* ``begin()`` re-arms the kernel at window entry: it loads the deferred
+  scalar registers from the object model and zeroes the deferred
+  counters.  Lowerings are built once per run and reused across
+  windows, so the (comparatively expensive) closure construction is
+  amortised while ``begin`` stays a few loads per tile.
+
+* ``settle()`` writes the deferred scalars back into the object model
+  and adds the accumulated counters into the lowering's column rows;
+  the Lowering then folds all rows into its numpy settlement matrices
+  and the live ``SimStats`` objects in one pass at window exit.
+
+Exactness: every kernel is a statement-for-statement restatement of the
+tile's ``tick`` path under the window's standing preconditions — no
+injector, no tracer, no stream monitor, stream ``sched`` hooks detached
+(the engine detaches them at window entry, exactly as the burst engine's
+hoisted exhaustive loop does).  Under those preconditions ``stream.push``
+is ``fifo.append`` plus two counters, ``stream.pop`` is ``popleft``, and
+``stream.close`` is ``eos = True``; the kernels inline those forms.
+Tiles whose class, wiring, or hooks fall outside a kernel's precondition
+get the *fallback kernel* — the bound ``tile.tick`` itself — which is
+trivially exact.
+
+Bank arbitration stays a fused Python bitmask scan rather than a numpy
+expression on purpose: at ``LANES=16`` the whole rotating-priority scan
+is a handful of loop iterations on closure locals, far below the fixed
+per-call cost of a numpy ufunc dispatch.  numpy earns its keep on the
+axes where the window is long, not wide: the counter settlement matrices
+and the per-kernel profile columns in ``lower.py``.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.record import LANES
+from repro.memory.issue_queue import Request
+from repro.memory.scratchpad import BANKS
+
+
+def fallback_kernel(tile):
+    """The bound ``tick``: exact for any tile, no deferred state."""
+    return tile.tick, None, None
+
+
+def source_kernel(tile, trow, srow):
+    """Fused ``SourceTile.tick``: slice, push, close at exhaustion."""
+    out = tile.outputs[0]
+    fifo = out._fifo
+    capacity = out.capacity
+    records = tile._records
+    n_records = len(records)
+    rate = tile.rate
+    pos = 0
+    busy = stall = idle = vout = rout = 0
+    pv = pr = 0
+
+    def begin():
+        nonlocal pos, busy, stall, idle, vout, rout, pv, pr
+        pos = tile._pos
+        busy = stall = idle = vout = rout = pv = pr = 0
+
+    def kern(cycle):
+        nonlocal pos, busy, stall, idle, vout, rout, pv, pr
+        if pos >= n_records:
+            if not out.eos:
+                out.eos = True          # close(), hooks detached
+            idle += 1
+            return False
+        if len(fifo) >= capacity:
+            stall += 1
+            return False
+        vector = records[pos:pos + rate]
+        pos += len(vector)
+        fifo.append(vector)             # push(), hooks detached
+        pv += 1
+        pr += len(vector)
+        vout += 1
+        rout += len(vector)
+        busy += 1
+        if pos >= n_records:
+            out.eos = True
+        return True
+
+    def settle():
+        tile._pos = pos
+        trow[0] += busy
+        trow[1] += stall
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        srow[0] += pv
+        srow[1] += pr
+
+    return kern, begin, settle
+
+
+def sink_kernel(tile, trow):
+    """Fused ``SinkTile.tick``: pop-all, completion-cycle latch."""
+    streams = list(tile.inputs)
+    fifos = [s._fifo for s in streams]
+    n_in = len(fifos)
+    extend = tile.records.extend
+    busy = idle = vout = rout = 0
+    done = False
+
+    def begin():
+        nonlocal busy, idle, vout, rout, done
+        busy = idle = vout = rout = 0
+        done = tile.completion_cycle is not None
+
+    def kern(cycle):
+        nonlocal busy, idle, vout, rout, done
+        moved = False
+        for k in range(n_in):
+            fifo = fifos[k]
+            if fifo:
+                vector = fifo.popleft()
+                extend(vector)
+                vout += 1
+                rout += len(vector)
+                moved = True
+        if moved:
+            busy += 1
+        else:
+            idle += 1
+        if not done:
+            for s in streams:           # inputs_closed(), inlined
+                if not s.eos or s._fifo:
+                    break
+            else:
+                tile.completion_cycle = cycle
+                done = True
+        return moved
+
+    def settle():
+        trow[0] += busy
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+
+    return kern, begin, settle
+
+
+def _flush_specs(tile, stream_row):
+    """Per-packer flush columns: ``(pending, fifo|None, capacity, counts)``.
+
+    ``fifo`` is None for dropped/unattached outputs (records are
+    discarded, as ``Packer.flush`` does); ``counts`` accumulates the
+    owned stream's ``(pushed_vectors, pushed_records)`` and the returned
+    ``settle_streams`` pairs each counts cell with its lowering row.
+    """
+    specs = []
+    settle_streams = []
+    for packer in tile._packers:
+        stream = packer.stream
+        if stream is None:
+            specs.append((packer.pending, None, 0, None))
+        else:
+            counts = [0, 0]
+            specs.append((packer.pending, stream._fifo, stream.capacity,
+                          counts))
+            settle_streams.append((stream_row(stream), counts))
+    return specs, settle_streams
+
+
+def map_kernel(tile, trow, stream_row):
+    """Fused ``MapTile.tick``: retire → fn per record → flush."""
+    in_stream = tile.inputs[0]
+    in_fifo = in_stream._fifo
+    fn = tile.fn
+    latency = tile.latency
+    delay = tile._delay
+    delay_append = delay.append
+    packer = tile._packers[0]
+    pending = packer.pending
+    spill = packer.spill_limit
+    out = packer.stream
+    out_fifo = out._fifo if out is not None else None
+    out_cap = out.capacity if out is not None else 0
+    srow = stream_row(out) if out is not None else None
+    maybe_close = tile.maybe_close
+    busy = stall = idle = vout = rout = 0
+    pv = pr = 0
+
+    def begin():
+        nonlocal busy, stall, idle, vout, rout, pv, pr
+        busy = stall = idle = vout = rout = pv = pr = 0
+
+    def kern(cycle):
+        nonlocal busy, stall, idle, vout, rout, pv, pr
+        if not in_fifo and not delay and not pending:
+            # Drained-tile fast path: the full body would take exactly
+            # this branch structure and only bump the idle counter.
+            idle += 1
+            if in_stream.eos:
+                maybe_close()
+            return False
+        moved = False
+        if delay and delay[0][0] <= cycle:
+            while delay and delay[0][0] <= cycle:
+                recs = delay.popleft()[1][0]
+                if recs:
+                    pending.extend(recs)
+            moved = True
+        consumed = False
+        if in_fifo and len(pending) + LANES <= spill:
+            vector = in_fifo.popleft()
+            out_recs = [r for rec in vector
+                        if (r := fn(rec)) is not None]
+            delay_append((cycle + latency, (out_recs,)))
+            consumed = True
+            moved = True
+        if pending:
+            if out is None:
+                pending.clear()
+                moved = True
+            elif len(pending) >= LANES or not consumed:
+                if len(out_fifo) < out_cap:
+                    vector = pending[:LANES]
+                    del pending[:LANES]
+                    out_fifo.append(vector)
+                    nv = len(vector)
+                    pv += 1
+                    pr += nv
+                    vout += 1
+                    rout += nv
+                    moved = True
+        if moved:
+            busy += 1
+        elif in_fifo:
+            stall += 1
+        else:
+            idle += 1
+        if in_stream.eos:
+            maybe_close()
+        return moved
+
+    def settle():
+        trow[0] += busy
+        trow[1] += stall
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        if srow is not None:
+            srow[0] += pv
+            srow[1] += pr
+
+    return kern, begin, settle
+
+
+def filter_kernel(tile, trow, stream_row):
+    """Fused ``FilterTile.tick``: predicate split across two ports."""
+    in_stream = tile.inputs[0]
+    in_fifo = in_stream._fifo
+    predicate = tile.predicate
+    latency = tile.latency
+    delay = tile._delay
+    delay_append = delay.append
+    p0, p1 = tile._packers
+    pend0, pend1 = p0.pending, p1.pending
+    spill0, spill1 = p0.spill_limit, p1.spill_limit
+    specs, settle_streams = _flush_specs(tile, stream_row)
+    maybe_close = tile.maybe_close
+    busy = stall = idle = vout = rout = 0
+
+    def begin():
+        nonlocal busy, stall, idle, vout, rout
+        busy = stall = idle = vout = rout = 0
+        for __, counts in settle_streams:
+            counts[0] = counts[1] = 0
+
+    def kern(cycle):
+        nonlocal busy, stall, idle, vout, rout
+        if not in_fifo and not delay and not pend0 and not pend1:
+            idle += 1
+            if in_stream.eos:
+                maybe_close()
+            return False
+        moved = False
+        if delay and delay[0][0] <= cycle:
+            while delay and delay[0][0] <= cycle:
+                routed = delay.popleft()[1]
+                if routed[0]:
+                    pend0.extend(routed[0])
+                if routed[1]:
+                    pend1.extend(routed[1])
+            moved = True
+        consumed = False
+        if (in_fifo and len(pend0) + LANES <= spill0
+                and len(pend1) + LANES <= spill1):
+            vector = in_fifo.popleft()
+            passed = []
+            failed = []
+            pa = passed.append
+            fa = failed.append
+            for rec in vector:
+                if predicate(rec):
+                    pa(rec)
+                else:
+                    fa(rec)
+            delay_append((cycle + latency, (passed, failed)))
+            consumed = True
+            moved = True
+        for pending, fifo, cap, counts in specs:
+            if pending:
+                if fifo is None:
+                    pending.clear()
+                    moved = True
+                elif len(pending) >= LANES or not consumed:
+                    if len(fifo) < cap:
+                        vector = pending[:LANES]
+                        del pending[:LANES]
+                        fifo.append(vector)
+                        nv = len(vector)
+                        counts[0] += 1
+                        counts[1] += nv
+                        vout += 1
+                        rout += nv
+                        moved = True
+        if moved:
+            busy += 1
+        elif in_fifo:
+            stall += 1
+        else:
+            idle += 1
+        if in_stream.eos:
+            maybe_close()
+        return moved
+
+    def settle():
+        trow[0] += busy
+        trow[1] += stall
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        for srow, counts in settle_streams:
+            srow[0] += counts[0]
+            srow[1] += counts[1]
+
+    return kern, begin, settle
+
+
+def merge_kernel(tile, trow, stream_row):
+    """Fused ``MergeTile.tick``: priority-ordered gather into one vector."""
+    in_streams = list(tile.inputs)
+    in0 = in_streams[0]
+    fifos = [s._fifo for s in in_streams]
+    n_in = len(fifos)
+    latency = tile.latency
+    delay = tile._delay
+    delay_append = delay.append
+    packer = tile._packers[0]
+    pending = packer.pending
+    spill = packer.spill_limit
+    out = packer.stream
+    out_fifo = out._fifo if out is not None else None
+    out_cap = out.capacity if out is not None else 0
+    srow = stream_row(out) if out is not None else None
+    maybe_close = tile.maybe_close
+    busy = stall = idle = vout = rout = 0
+    pv = pr = 0
+
+    def begin():
+        nonlocal busy, stall, idle, vout, rout, pv, pr
+        busy = stall = idle = vout = rout = pv = pr = 0
+
+    def kern(cycle):
+        nonlocal busy, stall, idle, vout, rout, pv, pr
+        if not delay and not pending:
+            for fifo in fifos:
+                if fifo:
+                    break
+            else:
+                idle += 1
+                if in0.eos:
+                    maybe_close()
+                return False
+        moved = False
+        if delay and delay[0][0] <= cycle:
+            while delay and delay[0][0] <= cycle:
+                recs = delay.popleft()[1][0]
+                if recs:
+                    pending.extend(recs)
+            moved = True
+        consumed = False
+        if len(pending) + LANES <= spill:
+            taken = []
+            for k in range(n_in):       # priority order
+                if len(taken) >= LANES:
+                    break
+                fifo = fifos[k]
+                if fifo:
+                    taken.extend(fifo.popleft())
+            if taken:
+                delay_append((cycle + latency, (taken,)))
+                consumed = True
+                moved = True
+        if pending:
+            if out is None:
+                pending.clear()
+                moved = True
+            elif len(pending) >= LANES or not consumed:
+                if len(out_fifo) < out_cap:
+                    vector = pending[:LANES]
+                    del pending[:LANES]
+                    out_fifo.append(vector)
+                    nv = len(vector)
+                    pv += 1
+                    pr += nv
+                    vout += 1
+                    rout += nv
+                    moved = True
+        if moved:
+            busy += 1
+        else:
+            for fifo in fifos:
+                if fifo:
+                    stall += 1
+                    break
+            else:
+                idle += 1
+        if in0.eos:
+            maybe_close()
+        return moved
+
+    def settle():
+        trow[0] += busy
+        trow[1] += stall
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        if srow is not None:
+            srow[0] += pv
+            srow[1] += pr
+
+    return kern, begin, settle
+
+
+def pipelined_kernel(tile, trow, stream_row, process, proc_begin=None,
+                     extra_settle=None):
+    """Generic fused ``_PipelinedTile.tick`` around a ``process`` closure.
+
+    Used for the rarer pipelined classes (Copy/Stamp/Fork): the shared
+    retire/flush/stats/EOS machinery is inlined here and the class's
+    ``_process`` body is the one remaining inner call.
+    """
+    in_streams = list(tile.inputs)
+    in0 = in_streams[0]
+    in_fifos = [s._fifo for s in in_streams]
+    delay = tile._delay
+    pendings = [p.pending for p in tile._packers]
+    n_ports = len(pendings)
+    specs, settle_streams = _flush_specs(tile, stream_row)
+    maybe_close = tile.maybe_close
+    busy = stall = idle = vout = rout = 0
+
+    def begin():
+        nonlocal busy, stall, idle, vout, rout
+        busy = stall = idle = vout = rout = 0
+        for __, counts in settle_streams:
+            counts[0] = counts[1] = 0
+        if proc_begin is not None:
+            proc_begin()
+
+    def kern(cycle):
+        nonlocal busy, stall, idle, vout, rout
+        if not delay:
+            # Drained-tile fast path: every process body only consumes
+            # from its input fifos, so with no retirements, no waiting
+            # input and nothing pending the tick is an idle no-op.
+            for seq in in_fifos:
+                if seq:
+                    break
+            else:
+                for seq in pendings:
+                    if seq:
+                        break
+                else:
+                    idle += 1
+                    if in0.eos:
+                        maybe_close()
+                    return False
+        moved = False
+        if delay and delay[0][0] <= cycle:
+            while delay and delay[0][0] <= cycle:
+                routed = delay.popleft()[1]
+                for port in range(n_ports):
+                    recs = routed[port]
+                    if recs:
+                        pendings[port].extend(recs)
+            moved = True
+        consumed = process(cycle)
+        if consumed:
+            moved = True
+        for pending, fifo, cap, counts in specs:
+            if pending:
+                if fifo is None:
+                    pending.clear()
+                    moved = True
+                elif len(pending) >= LANES or not consumed:
+                    if len(fifo) < cap:
+                        vector = pending[:LANES]
+                        del pending[:LANES]
+                        fifo.append(vector)
+                        nv = len(vector)
+                        counts[0] += 1
+                        counts[1] += nv
+                        vout += 1
+                        rout += nv
+                        moved = True
+        if moved:
+            busy += 1
+        else:
+            for fifo in in_fifos:
+                if fifo:
+                    stall += 1
+                    break
+            else:
+                idle += 1
+        if in0.eos:
+            maybe_close()
+        return moved
+
+    def settle():
+        trow[0] += busy
+        trow[1] += stall
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        for srow, counts in settle_streams:
+            srow[0] += counts[0]
+            srow[1] += counts[1]
+        if extra_settle is not None:
+            extra_settle()
+
+    return kern, begin, settle
+
+
+def copy_process(tile):
+    """``CopyTile._process``: duplicate one vector to both ports."""
+    in_fifo = tile.inputs[0]._fifo
+    p0, p1 = tile._packers
+    latency = tile.latency
+    delay_append = tile._delay.append
+
+    def process(cycle):
+        if (not in_fifo or len(p0.pending) + LANES > p0.spill_limit
+                or len(p1.pending) + LANES > p1.spill_limit):
+            return False
+        vector = in_fifo.popleft()
+        delay_append((cycle + latency, (list(vector), list(vector))))
+        return True
+
+    return process, None, None
+
+
+def stamp_process(tile):
+    """``StampTile._process``: append the running counter to each record."""
+    in_fifo = tile.inputs[0]._fifo
+    packer = tile._packers[0]
+    pending = packer.pending
+    spill = packer.spill_limit
+    latency = tile.latency
+    delay_append = tile._delay.append
+    counter = 0
+
+    def proc_begin():
+        nonlocal counter
+        counter = tile.counter
+
+    def process(cycle):
+        nonlocal counter
+        if not in_fifo or len(pending) + LANES > spill:
+            return False
+        vector = in_fifo.popleft()
+        out = []
+        for rec in vector:
+            out.append(rec + (counter,))
+            counter += 1
+        delay_append((cycle + latency, (out,)))
+        return True
+
+    def extra_settle():
+        tile.counter = counter
+
+    return process, proc_begin, extra_settle
+
+
+def fork_process(tile):
+    """``ForkTile._process``: expand each record via ``fn``."""
+    in_fifo = tile.inputs[0]._fifo
+    packer = tile._packers[0]
+    pending = packer.pending
+    spill = packer.spill_limit
+    fn = tile.fn
+    latency = tile.latency
+    delay_append = tile._delay.append
+    headroom = 4 * LANES                # ForkTile._can_accept
+
+    def process(cycle):
+        if not in_fifo or len(pending) + headroom > spill:
+            return False
+        vector = in_fifo.popleft()
+        out = []
+        for rec in vector:
+            out.extend(fn(rec))
+        delay_append((cycle + latency, (out,)))
+        return True
+
+    return process, None, None
+
+
+def spad_read_kernel(tile, trow, sprow, stream_row):
+    """Fused plain-read ``ScratchpadTile.tick``.
+
+    Retire, enqueue, and the ``_plain_read`` fused allocator round
+    (rotating lane priority, first live request with a free bank wins,
+    losers are conflicts, rotor advances every round) in one closure.
+    The rotor is a deferred scalar.  Requests live as plain
+    ``(bank, index, record)`` tuples while the window runs — a tuple
+    literal costs a fraction of a ``Request`` construction and most
+    requests are born and granted inside the same window — and
+    ``begin``/``settle`` convert residual slot entries between the two
+    representations so the queues always hold real ``Request`` objects
+    whenever per-cycle code can see them.  Valid only for Aurochs
+    invalidate-on-grant queues (``_plain_read`` guarantees it), where
+    the ``granted`` flag is never set.
+    """
+    port = tile.ports[0]
+    in_stream = port.input
+    in_fifo = in_stream._fifo
+    cfg = port.config
+    addr = cfg.addr
+    combine = cfg.combine
+    data = cfg.region._data
+    base = cfg.region.base_entry
+    lane_slots = [q.slots for q in port.queues]
+    depth = port.queues[0].depth
+    n_lanes = len(lane_slots)
+    # Scan order per rotor value, precomputed: orders[r] lists the live
+    # slot lists starting at lane r.  The slot lists are mutated in
+    # place by push/grant, so the references stay valid for the run.
+    orders = [[lane_slots[(r + o) % n_lanes] for o in range(n_lanes)]
+              for r in range(n_lanes)]
+    alloc = tile._alloc
+    rotor = 0
+    latency = tile.latency
+    delay = tile._delay
+    delay_append = delay.append
+    packer = port.packer
+    pending = packer.pending
+    pend_append = pending.append
+    out = packer.stream
+    out_fifo = out._fifo
+    out_cap = out.capacity
+    srow = stream_row(out)
+    maybe_close = tile.maybe_close
+    busy = idle = vout = rout = 0
+    pv = pr = 0
+    req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+    queued = 0
+
+    def begin():
+        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued
+        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
+        rotor = alloc._rotor
+        queued = 0
+        for slots in lane_slots:
+            queued += len(slots)
+            for i in range(len(slots)):
+                req = slots[i]
+                if type(req) is not tuple:
+                    slots[i] = (req.bank, req.index, req.record)
+        busy = idle = vout = rout = pv = pr = 0
+        req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+
+    def kern(cycle):
+        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued
+        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
+        if (not queued and not in_fifo and not pending
+                and (not delay or delay[0][0] > cycle)):
+            # Drained-tile fast path: the real tick would only advance
+            # the allocator rotor (it spins every round, even grant-free
+            # ones) and bump the idle counter.
+            rotor = rotor + 1 if rotor + 1 < n_lanes else 0
+            idle += 1
+            if in_stream.eos:
+                maybe_close()
+            return False
+        moved = False
+        if delay and delay[0][0] <= cycle:
+            while delay and delay[0][0] <= cycle:
+                pend_append(delay.popleft()[2])
+            moved = True
+        if in_fifo:                     # _enqueue, one port
+            vector = in_fifo[0]
+            nv = len(vector)
+            room = True
+            for slots in lane_slots[:nv]:
+                if len(slots) >= depth:
+                    room = False
+                    break
+            if room:
+                in_fifo.popleft()
+                for slots, record in zip(lane_slots, vector):
+                    index = addr(record)
+                    slots.append(((base + index) % BANKS, index, record))
+                req_c += nv
+                queued += nv
+                moved = True
+            else:
+                qfull_c += 1
+        grants_n = 0
+        if queued:
+            order = orders[rotor]       # rotor advances every round
+            rotor = rotor + 1 if rotor + 1 < n_lanes else 0
+            taken = 0
+            ready = cycle + latency
+            for slots in order:
+                if not slots:
+                    continue
+                # Head-of-lane fast path: in steady state each lane holds
+                # at most one request, so the grant (or the lone conflict)
+                # is decided on slots[0] without loop machinery.
+                request = slots[0]
+                bit = 1 << request[0]
+                if not taken & bit:
+                    taken |= bit
+                    del slots[0]
+                    response = combine(request[2], data[request[1]])
+                    if response is not None:
+                        delay_append((ready, 0, response))
+                    grants_n += 1
+                    consid_c += len(slots) + 1
+                    confl_c += len(slots)
+                    continue
+                ns = len(slots)
+                consid_c += ns
+                if ns == 1:
+                    confl_c += 1
+                    continue
+                for i in range(1, ns):
+                    request = slots[i]
+                    bit = 1 << request[0]
+                    if not taken & bit:
+                        taken |= bit
+                        del slots[i]
+                        response = combine(request[2], data[request[1]])
+                        if response is not None:
+                            delay_append((ready, 0, response))
+                        grants_n += 1
+                        confl_c += ns - 1
+                        break
+                else:
+                    confl_c += ns
+        else:
+            rotor = rotor + 1 if rotor + 1 < n_lanes else 0
+        if grants_n:
+            queued -= grants_n
+            grant_c += grants_n
+            active_c += 1
+            moved = True
+        if pending:
+            if len(pending) >= LANES or not grants_n:
+                if len(out_fifo) < out_cap:
+                    vector = pending[:LANES]
+                    del pending[:LANES]
+                    out_fifo.append(vector)
+                    nv = len(vector)
+                    pv += 1
+                    pr += nv
+                    vout += 1
+                    rout += nv
+                    moved = True
+        if moved:
+            busy += 1
+        else:
+            idle += 1
+        if in_stream.eos:
+            maybe_close()
+        return moved
+
+    def settle():
+        alloc._rotor = rotor
+        tile._last_rmw = ()             # every plain-read round clears it
+        for slots in lane_slots:
+            for i in range(len(slots)):
+                req = slots[i]
+                if type(req) is tuple:
+                    slots[i] = Request(req[0], req[1], req[2])
+        trow[0] += busy
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        sprow[0] += req_c
+        sprow[1] += grant_c
+        sprow[2] += confl_c
+        sprow[3] += consid_c
+        sprow[4] += qfull_c
+        sprow[5] += active_c
+        srow[0] += pv
+        srow[1] += pr
+
+    return kern, begin, settle
+
+
+def dram_read_kernel(tile, trow, sprow, drow, stream_row):
+    """Fused single-read-port ``DramTile.tick``.
+
+    The scratchpad read kernel (same tuple-represented requests, same
+    precomputed rotor orders) plus, per grant in grant order: read
+    bytes, the dense/sparse classification against the running
+    ``_last_index``, and the busy-cycle high-water assignment — exactly
+    ``DramTile._execute`` folded into the allocator scan.  Folding
+    execution into the scan is equivalent because the scan visits each
+    lane once and a grant never changes another lane's slots.  The
+    tuple representation is safe because ``DramTile.__init__`` hardcodes
+    Aurochs invalidate-on-grant queues (``in_order_dequeue=False``), and
+    the dispatch gate requires the exact class.
+    """
+    port = tile.ports[0]
+    in_stream = port.input
+    in_fifo = in_stream._fifo
+    cfg = port.config
+    addr = cfg.addr
+    combine = cfg.combine
+    data = cfg.region._data
+    base = cfg.region.base_entry
+    nbytes = cfg.region.words_per_entry * 4
+    lane_slots = [q.slots for q in port.queues]
+    depth = port.queues[0].depth
+    n_lanes = len(lane_slots)
+    orders = [[lane_slots[(r + o) % n_lanes] for o in range(n_lanes)]
+              for r in range(n_lanes)]
+    alloc = tile._alloc
+    rotor = 0
+    latency = tile.latency
+    delay = tile._delay
+    delay_append = delay.append
+    packer = port.packer
+    pending = packer.pending
+    pend_append = pending.append
+    out = packer.stream
+    out_fifo = out._fifo
+    out_cap = out.capacity
+    srow = stream_row(out)
+    maybe_close = tile.maybe_close
+    last_index = None
+    last_busy = -1
+    busy = idle = vout = rout = 0
+    pv = pr = 0
+    req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+    read_b = dense_c = sparse_c = 0
+    queued = 0
+
+    def begin():
+        nonlocal rotor, last_index, last_busy, busy, idle, vout, rout, pv, pr
+        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
+        nonlocal read_b, dense_c, sparse_c, queued
+        rotor = alloc._rotor
+        queued = 0
+        for slots in lane_slots:
+            queued += len(slots)
+            for i in range(len(slots)):
+                req = slots[i]
+                if type(req) is not tuple:
+                    slots[i] = (req.bank, req.index, req.record)
+        last_index = tile._last_index[0]
+        last_busy = -1
+        busy = idle = vout = rout = pv = pr = 0
+        req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+        read_b = dense_c = sparse_c = 0
+
+    def kern(cycle):
+        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued
+        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
+        nonlocal last_index, last_busy, read_b, dense_c, sparse_c
+        if (not queued and not in_fifo and not pending
+                and (not delay or delay[0][0] > cycle)):
+            rotor = rotor + 1 if rotor + 1 < n_lanes else 0
+            idle += 1
+            if in_stream.eos:
+                maybe_close()
+            return False
+        moved = False
+        if delay and delay[0][0] <= cycle:
+            while delay and delay[0][0] <= cycle:
+                pend_append(delay.popleft()[2])
+            moved = True
+        if in_fifo:
+            vector = in_fifo[0]
+            nv = len(vector)
+            room = True
+            for slots in lane_slots[:nv]:
+                if len(slots) >= depth:
+                    room = False
+                    break
+            if room:
+                in_fifo.popleft()
+                for slots, record in zip(lane_slots, vector):
+                    index = addr(record)
+                    slots.append(((base + index) % BANKS, index, record))
+                req_c += nv
+                queued += nv
+                moved = True
+            else:
+                qfull_c += 1
+        grants_n = 0
+        if queued:
+            order = orders[rotor]
+            rotor = rotor + 1 if rotor + 1 < n_lanes else 0
+            taken = 0
+            ready = cycle + latency
+            for slots in order:
+                if not slots:
+                    continue
+                # Head-of-lane fast path, as in spad_read_kernel: steady
+                # state holds at most one request per lane.
+                request = slots[0]
+                bit = 1 << request[0]
+                if not taken & bit:
+                    taken |= bit
+                    del slots[0]
+                    index = request[1]
+                    read_b += nbytes
+                    if (last_index is not None
+                            and -1 <= index - last_index <= 1):
+                        dense_c += 1
+                    else:
+                        sparse_c += 1
+                    last_index = index
+                    response = combine(request[2], data[index])
+                    if response is not None:
+                        delay_append((ready, 0, response))
+                    grants_n += 1
+                    consid_c += len(slots) + 1
+                    confl_c += len(slots)
+                    continue
+                ns = len(slots)
+                consid_c += ns
+                if ns == 1:
+                    confl_c += 1
+                    continue
+                for i in range(1, ns):
+                    request = slots[i]
+                    bit = 1 << request[0]
+                    if not taken & bit:
+                        taken |= bit
+                        del slots[i]
+                        index = request[1]
+                        read_b += nbytes
+                        if (last_index is not None
+                                and -1 <= index - last_index <= 1):
+                            dense_c += 1
+                        else:
+                            sparse_c += 1
+                        last_index = index
+                        response = combine(request[2], data[index])
+                        if response is not None:
+                            delay_append((ready, 0, response))
+                        grants_n += 1
+                        confl_c += ns - 1
+                        break
+                else:
+                    confl_c += ns
+        else:
+            rotor = rotor + 1 if rotor + 1 < n_lanes else 0
+        if grants_n:
+            queued -= grants_n
+            grant_c += grants_n
+            active_c += 1
+            last_busy = cycle
+            moved = True
+        if pending:
+            if len(pending) >= LANES or not grants_n:
+                if len(out_fifo) < out_cap:
+                    vector = pending[:LANES]
+                    del pending[:LANES]
+                    out_fifo.append(vector)
+                    nv = len(vector)
+                    pv += 1
+                    pr += nv
+                    vout += 1
+                    rout += nv
+                    moved = True
+        if moved:
+            busy += 1
+        else:
+            idle += 1
+        if in_stream.eos:
+            maybe_close()
+        return moved
+
+    def settle():
+        alloc._rotor = rotor
+        tile._last_rmw = ()
+        for slots in lane_slots:
+            for i in range(len(slots)):
+                req = slots[i]
+                if type(req) is tuple:
+                    slots[i] = Request(req[0], req[1], req[2])
+        tile._last_index[0] = last_index
+        if last_busy >= 0:
+            tile.dram_stats.busy_cycles = last_busy
+        trow[0] += busy
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        sprow[0] += req_c
+        sprow[1] += grant_c
+        sprow[2] += confl_c
+        sprow[3] += consid_c
+        sprow[4] += qfull_c
+        sprow[5] += active_c
+        drow[0] += read_b
+        drow[1] += dense_c
+        drow[2] += sparse_c
+        srow[0] += pv
+        srow[1] += pr
+
+    return kern, begin, settle

@@ -1,0 +1,333 @@
+"""Columnar lowering of a live tile set for vector windows.
+
+A :class:`Lowering` is built once per engine run (on the first saturated
+window) and reused for every later window.  It walks the tile list in
+tick order and, per tile, either *lowers* the tile to a fused kernel
+closure from :mod:`repro.dataflow.vector.kernels` or falls back to the
+tile's own bound ``tick``.  Alongside the kernels it allocates the
+columnar counter state:
+
+* ``tile_counts``  — tiles × (busy, stall, idle, vectors_out,
+  records_out): the deferred ``TileStats`` deltas;
+* ``spad_counts``  — lowered memory tiles × (requests, grants,
+  bank_conflicts, considered_bids, queue_full_stalls, active_cycles):
+  the deferred ``ScratchpadStats`` deltas, covering both scratchpad
+  banks and DRAM channel queues;
+* ``dram_counts``  — lowered DRAM tiles × (read_bytes, dense_bursts,
+  sparse_bursts): the deferred ``DramStats`` deltas;
+* ``stream_counts`` — produced streams × (pushed_vectors,
+  pushed_records): the deferred ``Stream`` push counters.
+
+During a window the kernels accumulate into plain per-row int cells
+(closure-local ints flushed to the rows at settlement) — Python ints
+are free inside the per-cycle loop, where a numpy scalar operation
+would cost a ufunc dispatch per touch.  :meth:`settle` then folds every
+row into the numpy matrices in one vectorized add per matrix (the
+columnar record of what each window did, used by benchmarks and the
+profiler) and applies the same deltas to the live ``SimStats`` objects,
+restoring exact object-model state before the event scheduler resumes.
+
+Lowering eligibility is deliberately conservative: any instance-patched
+``tick``, armed tracer, monitored/traced stream, fault injector, or
+wiring shape a kernel does not model drops that tile to the fallback
+kernel, which is the real ``tick`` and therefore exact by definition.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dataflow.vector import require_numpy
+from repro.dataflow.vector import kernels as K
+from repro.dataflow.tile import SinkTile, SourceTile
+from repro.dataflow.compute import (CopyTile, FilterTile, ForkTile, MapTile,
+                                    MergeTile, StampTile)
+from repro.memory.dram import DramTile
+from repro.memory.spad_tile import ScratchpadTile
+
+#: Column layouts of the settlement matrices, in row order.
+TILE_COLS = ("busy_cycles", "stall_cycles", "idle_cycles",
+             "vectors_out", "records_out")
+SPAD_COLS = ("requests", "grants", "bank_conflicts", "considered_bids",
+             "queue_full_stalls", "active_cycles")
+DRAM_COLS = ("read_bytes", "dense_bursts", "sparse_bursts")
+STREAM_COLS = ("pushed_vectors", "pushed_records")
+
+
+def _hooks_armed(tile) -> bool:
+    """True when per-tick/per-op hooks force the fallback kernel."""
+    if "tick" in tile.__dict__ or tile.tracer is not None:
+        return True
+    for stream in tile.inputs:
+        if stream._mt:
+            return True
+    for stream in tile.outputs:
+        if stream._mt:
+            return True
+    return False
+
+
+class Lowering:
+    """Columnar kernel set + settlement matrices for one tile list."""
+
+    def __init__(self, engine, tiles):
+        np = require_numpy()
+        self._np = np
+        self._engine = engine
+        self.tiles = tiles
+        n = len(tiles)
+        #: Per-tile kernel kind label ("source", "spad_read", "fallback"...).
+        self.kinds: List[str] = []
+        #: Per-tile cycle kernels, in tick order.
+        self.kernels: List[Callable[[int], bool]] = []
+        #: Number of tiles running the fallback (real ``tick``) kernel.
+        self.fallbacks = 0
+        self._begins: List[Callable[[], None]] = []
+        self._settles: List[Callable[[], None]] = []
+        # Working rows: plain int lists the kernels' settles add into;
+        # folded into the numpy matrices (and zeroed) at settlement.
+        self._tile_rows = [[0] * len(TILE_COLS) for __ in range(n)]
+        self._spad_rows: List[Tuple[object, List[int]]] = []
+        self._dram_rows: List[Tuple[object, List[int]]] = []
+        self._stream_rows: Dict[int, List[int]] = {}
+        self._streams: List[Tuple[object, List[int]]] = []
+        self._settled = True
+        profiling = engine.tick_profile is not None
+        self._k_time: Optional[List[float]] = [0.0] * n if profiling else None
+        self._k_calls: Optional[List[int]] = [0] * n if profiling else None
+        for i, tile in enumerate(tiles):
+            kern, begin, settle = self._lower_tile(tile, self._tile_rows[i])
+            self.kernels.append(kern)
+            if begin is not None:
+                self._begins.append(begin)
+            if settle is not None:
+                self._settles.append(settle)
+        #: Cumulative columnar settlement matrices across all windows.
+        self.tile_counts = np.zeros((n, len(TILE_COLS)), dtype=np.int64)
+        self.spad_counts = np.zeros((len(self._spad_rows), len(SPAD_COLS)),
+                                    dtype=np.int64)
+        self.dram_counts = np.zeros((len(self._dram_rows), len(DRAM_COLS)),
+                                    dtype=np.int64)
+        self.stream_counts = np.zeros((len(self._streams), len(STREAM_COLS)),
+                                      dtype=np.int64)
+
+    # -- per-tile dispatch -------------------------------------------------
+
+    def _stream_row(self, stream) -> List[int]:
+        row = self._stream_rows.get(id(stream))
+        if row is None:
+            row = self._stream_rows[id(stream)] = [0, 0]
+            self._streams.append((stream, row))
+        return row
+
+    def _spad_row(self, tile) -> List[int]:
+        row = [0] * len(SPAD_COLS)
+        self._spad_rows.append((tile, row))
+        return row
+
+    def _dram_row(self, tile) -> List[int]:
+        row = [0] * len(DRAM_COLS)
+        self._dram_rows.append((tile, row))
+        return row
+
+    def _lower_tile(self, tile, trow):
+        """Pick the fused kernel for ``tile``, or the exact fallback."""
+        cls = type(tile)
+        if not _hooks_armed(tile):
+            if cls is SourceTile and len(tile.outputs) == 1:
+                self.kinds.append("source")
+                return K.source_kernel(tile, trow,
+                                       self._stream_row(tile.outputs[0]))
+            if cls is SinkTile:
+                self.kinds.append("sink")
+                return K.sink_kernel(tile, trow)
+            if cls is MapTile and len(tile.inputs) == 1 \
+                    and len(tile._packers) == 1:
+                self.kinds.append("map")
+                return K.map_kernel(tile, trow, self._stream_row)
+            if cls is FilterTile and len(tile.inputs) == 1 \
+                    and len(tile._packers) == 2:
+                self.kinds.append("filter")
+                return K.filter_kernel(tile, trow, self._stream_row)
+            if cls is MergeTile and len(tile.inputs) >= 1 \
+                    and len(tile._packers) == 1:
+                self.kinds.append("merge")
+                return K.merge_kernel(tile, trow, self._stream_row)
+            if cls is CopyTile and len(tile.inputs) == 1 \
+                    and len(tile._packers) == 2:
+                self.kinds.append("copy")
+                process, pb, es = K.copy_process(tile)
+                return K.pipelined_kernel(tile, trow, self._stream_row,
+                                          process, pb, es)
+            if cls is StampTile and len(tile.inputs) == 1 \
+                    and len(tile._packers) == 1:
+                self.kinds.append("stamp")
+                process, pb, es = K.stamp_process(tile)
+                return K.pipelined_kernel(tile, trow, self._stream_row,
+                                          process, pb, es)
+            if cls is ForkTile and len(tile.inputs) == 1 \
+                    and len(tile._packers) == 1:
+                self.kinds.append("fork")
+                process, pb, es = K.fork_process(tile)
+                return K.pipelined_kernel(tile, trow, self._stream_row,
+                                          process, pb, es)
+            if (cls is ScratchpadTile and tile._plain_read
+                    and tile.fault_injector is None
+                    and len(tile.inputs) == 1
+                    and tile.ports[0].input is tile.inputs[0]
+                    and tile.ports[0].packer.stream is not None):
+                self.kinds.append("spad_read")
+                return K.spad_read_kernel(
+                    tile, trow, self._spad_row(tile), self._stream_row)
+            if (cls is DramTile and tile._single
+                    and tile.ports[0].config.mode == "read"
+                    and tile.fault_injector is None
+                    and len(tile.inputs) == 1
+                    and tile.ports[0].input is tile.inputs[0]
+                    and tile.ports[0].packer.stream is not None):
+                self.kinds.append("dram_read")
+                return K.dram_read_kernel(
+                    tile, trow, self._spad_row(tile), self._dram_row(tile),
+                    self._stream_row)
+        self.kinds.append("fallback")
+        self.fallbacks += 1
+        return K.fallback_kernel(tile)
+
+    # -- window execution --------------------------------------------------
+
+    def begin(self) -> None:
+        """Arm the kernels at window entry: load deferred scalars."""
+        self._settled = False
+        for fn in self._begins:
+            fn()
+
+    def run_cycle(self, cycle: int) -> int:
+        """Advance every tile one cycle; return the moved-tile count."""
+        moved = 0
+        for kern in self.kernels:
+            if kern(cycle):
+                moved += 1
+        return moved
+
+    def profiled_cycle(self, cycle: int) -> int:
+        """``run_cycle`` with per-kernel wall-clock columns."""
+        moved = 0
+        k_time = self._k_time
+        k_calls = self._k_calls
+        kernels = self.kernels
+        for k in range(len(kernels)):
+            t0 = perf_counter()
+            if kernels[k](cycle):
+                moved += 1
+            k_time[k] += perf_counter() - t0
+            k_calls[k] += 1
+        return moved
+
+    def settle(self) -> None:
+        """Fold the window into the matrices and the object model.
+
+        Idempotent per window (the engine calls it on every exit path,
+        including mid-window errors, and ``begin`` re-arms it).  After
+        settlement the ``SimStats``/``Stream`` counters, the deferred
+        scalar registers, and the cumulative numpy matrices all reflect
+        every cycle the window ran, bit-identically to per-cycle ticks.
+        """
+        if self._settled:
+            return
+        self._settled = True
+        for fn in self._settles:
+            fn()
+        np = self._np
+        rows = self._tile_rows
+        self.tile_counts += np.asarray(rows, dtype=np.int64)
+        for tile, row in zip(self.tiles, rows):
+            if row[0] or row[1] or row[2] or row[3] or row[4]:
+                st = tile.stats
+                st.busy_cycles += row[0]
+                st.stall_cycles += row[1]
+                st.idle_cycles += row[2]
+                st.vectors_out += row[3]
+                st.records_out += row[4]
+                row[0] = row[1] = row[2] = row[3] = row[4] = 0
+        if self._spad_rows:
+            srows = [row for __, row in self._spad_rows]
+            self.spad_counts += np.asarray(srows, dtype=np.int64)
+            for tile, row in self._spad_rows:
+                if any(row):
+                    st = tile.spad_stats
+                    st.requests += row[0]
+                    st.grants += row[1]
+                    st.bank_conflicts += row[2]
+                    st.considered_bids += row[3]
+                    st.queue_full_stalls += row[4]
+                    st.active_cycles += row[5]
+                    row[:] = [0] * len(SPAD_COLS)
+        if self._dram_rows:
+            drows = [row for __, row in self._dram_rows]
+            self.dram_counts += np.asarray(drows, dtype=np.int64)
+            for tile, row in self._dram_rows:
+                if any(row):
+                    st = tile.dram_stats
+                    st.read_bytes += row[0]
+                    st.dense_bursts += row[1]
+                    st.sparse_bursts += row[2]
+                    row[:] = [0] * len(DRAM_COLS)
+        if self._streams:
+            vrows = [row for __, row in self._streams]
+            self.stream_counts += np.asarray(vrows, dtype=np.int64)
+            for stream, row in self._streams:
+                if row[0]:
+                    stream.pushed_vectors += row[0]
+                    stream.pushed_records += row[1]
+                    row[0] = row[1] = 0
+        if self._k_time is not None:
+            self._fold_profile()
+
+    def _fold_profile(self) -> None:
+        """Credit window kernel time to the engine's profile tables."""
+        engine = self._engine
+        tick_prof = engine.tick_profile
+        vec_prof = engine.vector_profile
+        k_time = self._k_time
+        k_calls = self._k_calls
+        for i, tile in enumerate(self.tiles):
+            calls = k_calls[i]
+            if not calls:
+                continue
+            secs = k_time[i]
+            name = type(tile).__name__
+            entry = tick_prof.get(name)
+            if entry is None:
+                entry = tick_prof[name] = [0, 0.0]
+            entry[0] += calls
+            entry[1] += secs
+            kind = self.kinds[i]
+            entry = vec_prof.get(kind)
+            if entry is None:
+                entry = vec_prof[kind] = [0, 0.0]
+            entry[0] += calls
+            entry[1] += secs
+            k_calls[i] = 0
+            k_time[i] = 0.0
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Columnar totals across every settled window (numpy reductions)."""
+        kind_counts: Dict[str, int] = {}
+        for kind in self.kinds:
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        return {
+            "tiles": len(self.tiles),
+            "fallbacks": self.fallbacks,
+            "kinds": kind_counts,
+            "tile_totals": dict(zip(
+                TILE_COLS, self.tile_counts.sum(axis=0).tolist())),
+            "spad_totals": dict(zip(
+                SPAD_COLS, self.spad_counts.sum(axis=0).tolist())),
+            "dram_totals": dict(zip(
+                DRAM_COLS, self.dram_counts.sum(axis=0).tolist())),
+            "stream_totals": dict(zip(
+                STREAM_COLS, self.stream_counts.sum(axis=0).tolist())),
+        }

@@ -1,0 +1,109 @@
+"""Vector window entry/exit: run saturated windows on the lowered kernels.
+
+:func:`run_window` is the vector-mode replacement for the burst engine's
+hoisted exhaustive loop.  The engine calls it after performing exactly
+the same window entry it performs for a ``"fabric"`` window — sleep-skip
+credit settled, every tile marked ready with a generation bump, stream
+scheduler hooks detached — so on entry the object model is in the same
+state a per-cycle run would be in at this cycle.
+
+The loop body replicates the hoisted loop's check order statement for
+statement: cancellation check on every cycle after the first, progress
+bookkeeping, quiescence/deadlock on a no-move cycle, the cycle-limit
+check, then a throughput-decay exit.  The only difference is that each
+fabric cycle runs through the lowering's fused kernels instead of
+``tick`` calls.
+
+The decay exit is where vector windows earn their keep relative to the
+``"fabric"`` windows of plain burst mode.  A fabric window exits as soon
+as progress drops to a quarter of its own peak, because per-cycle
+exhaustive ticking of a winding-down fabric is pure overhead against the
+ready-set machinery.  A fused-kernel sweep is much cheaper: an idle tile
+costs one early-out check, so when *every* tile lowered to a fused
+kernel the window stays resident until fewer than 1/16 of the fabric
+moves in a cycle (never, for fabrics under 16 tiles — they run to the
+first fully idle cycle).  That keeps the drain ramp — which never idles
+long enough for the event engine to fast-forward, but whose ready set is
+too small to re-trigger saturation — on the vectorized path.  When the
+lowering contains fallback (plain ``tick``) kernels the conservative
+peak-based exit is kept, since idle fallbacks still pay full tick cost.
+A fully idle cycle always exits the window: that is exactly the state
+the event engine's timer fast-forward exists for.
+
+Settlement discipline: the engine's quiescence, deadlock, and overrun
+inspectors read the *object model* (``SourceTile.done()`` reads
+``_pos``, ``_stuck_report`` reads stats and stream state), while the
+kernels hold a few scalars and all counters in closure locals.  So the
+lowering settles **before** any of those checks can run or raise — on
+the first no-move cycle, before an overrun raise on a moved cycle, and
+in a ``finally`` so a cancellation raised by ``tok.check`` (or any
+kernel error) never leaves half-settled state behind.  ``settle`` is
+idempotent per window, so the redundant ``finally`` settle after a
+normal exit is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dataflow.vector.lower import Lowering
+
+
+def run_window(engine, tiles, cycle: int,
+               last_progress: int) -> Tuple[int, int, bool]:
+    """Run one saturated window; return ``(cycle, last_progress, quiesced)``.
+
+    Raises whatever the per-cycle engine would raise (deadline,
+    cancellation, deadlock, overrun) at the identical cycle, with the
+    object model fully settled first.
+    """
+    lowering = engine._vector_lowering
+    if lowering is None or lowering.tiles is not tiles:
+        lowering = engine._vector_lowering = Lowering(engine, tiles)
+    lowering.begin()
+    run_cycle = (lowering.run_cycle if engine.tick_profile is None
+                 else lowering.profiled_cycle)
+    tok = engine.cancel
+    max_cycles = engine.max_cycles
+    deadlock_window = engine.deadlock_window
+    # Fully fused fabrics idle cheaply, so the window stays resident
+    # down to a 1/16 moving fraction (0 = sticky for small fabrics);
+    # with fallback kernels (decay -1) the peak-decay exit applies.
+    decay = len(tiles) // 16 if lowering.fallbacks == 0 else -1
+    enter = cycle
+    peak = 0
+    quiesced = False
+    try:
+        while True:
+            if tok is not None and cycle > enter:
+                tok.check(cycle)
+            moved_n = run_cycle(cycle)
+            cycle += 1
+            if moved_n:
+                last_progress = cycle
+                if cycle >= max_cycles:
+                    lowering.settle()
+                    engine._raise_overrun(cycle)
+                if decay >= 0:
+                    if moved_n < decay:
+                        break
+                elif moved_n > peak:
+                    peak = moved_n
+                elif moved_n <= 2 or moved_n < peak // 4:
+                    break
+            else:
+                # First stalled cycle: every further engine check reads
+                # the object model, so settle now (final for this
+                # window — all exits below leave the loop).
+                lowering.settle()
+                if engine._quiescent():
+                    quiesced = True
+                    break
+                if cycle - last_progress > deadlock_window:
+                    engine._raise_deadlock(cycle, None)
+                if cycle >= max_cycles:
+                    engine._raise_overrun(cycle)
+                break                   # decay exit: moved_n (= 0) <= 2
+    finally:
+        lowering.settle()
+    return cycle, last_progress, quiesced

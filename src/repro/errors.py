@@ -28,6 +28,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
+class DependencyError(ReproError):
+    """A required third-party dependency is missing or unusable.
+
+    Raised with a message naming the dependency and the feature that needs
+    it (e.g. numpy for ``scheduler="vector"``), so callers can distinguish
+    an environment problem from a usage error.
+    """
+
+
 class SchemaError(ReproError):
     """A record did not match its stream's schema, or a schema operation
     referenced an unknown field."""

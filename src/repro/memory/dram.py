@@ -67,7 +67,11 @@ class DramTile(ScratchpadTile):
         # ``_plain_read`` is False here (``_execute`` is overridden), but a
         # single read port is still a valid burst relay: the override below
         # folds the DRAM accounting into the burst loop.  Restricted to
-        # DramTile exactly so further subclasses fall back to safety.
+        # DramTile exactly so further subclasses fall back to safety.  The
+        # columnar vector backend's dram_read kernel uses the same exact-
+        # class gate, and its tuple-represented in-window requests rely on
+        # the hardcoded ``in_order_dequeue=False`` above (invalidate-on-
+        # grant: the ``granted`` flag is never set).
         self._burst_relay = (type(self) is DramTile and self._single
                              and ports[0].mode == "read")
 

@@ -45,6 +45,15 @@ class IssueQueue:
     ``in_order_dequeue=False`` is Aurochs (invalidate-on-grant);
     ``True`` is Capstan (grant marks done, slot frees only when the head
     of the queue has been granted).
+
+    Lowering contract (``repro.dataflow.vector``): while a columnar
+    window is resident, the fused read kernels may represent entries in
+    ``slots`` as plain ``(bank, index, record)`` tuples instead of
+    ``Request`` objects.  That is legal only for Aurochs queues, where
+    ``granted`` is never set and a grant deletes the slot outright; the
+    kernels convert residual entries back to ``Request`` at window
+    settlement, so any code running between windows — including
+    ``bids``/``compact`` here — only ever sees real ``Request``s.
     """
 
     __slots__ = ("depth", "in_order_dequeue", "slots")

@@ -110,6 +110,9 @@ class ScratchpadTile(Tile):
         self._single = self._one_port and ports[0].mode != "rmw"
         # A plain base-class read port can run its grants inline (region
         # indexing + combine) instead of through the virtual ``_execute``.
+        # The columnar vector backend keys its fused spad_read kernel on
+        # this same flag: tiles it accepts may hold tuple-represented
+        # requests mid-window (see repro.memory.issue_queue.IssueQueue).
         self._plain_read = (
             self._single and ports[0].mode == "read"
             and not in_order_dequeue

@@ -86,6 +86,7 @@ class ServingPolicy:
     hedge_jitter: float = 0.25              # +fraction of hedge_after
     shard: Optional[ShardPolicy] = None     # scatter/gather; None disables
     fleet: Optional[FleetPolicy] = None     # elasticity; None = fixed pool
+    scheduler: str = "event"                # engine scheduler for sim jobs
 
 
 @dataclass(slots=True)
@@ -128,6 +129,14 @@ class ServingRuntime:
                  metrics: Optional[MetricsRegistry] = None):
         self.workload = workload if workload is not None else ServingWorkload()
         self.policy = policy if policy is not None else ServingPolicy()
+        if self.policy.scheduler != "event":
+            # Engine-scheduler substitution is transparent to serving:
+            # SimStats and fault/deadline cycles are bit-identical across
+            # schedulers, so only wall-clock changes.  Applied here (not
+            # per-job) so a policy swap needs no workload rebuild.
+            for job in self.workload.jobs.values():
+                if getattr(job, "kind", None) == "sim":
+                    job.scheduler = self.policy.scheduler
         self.seed = seed
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._flaky = frozenset(flaky_replicas)

@@ -94,7 +94,8 @@ class SimJob(Job):
 
     def __init__(self, name: str, build: Callable[[], Graph],
                  sites: Optional[Dict[str, List[str]]] = None,
-                 max_cycles: int = 2_000_000, deadlock_window: int = 5_000):
+                 max_cycles: int = 2_000_000, deadlock_window: int = 5_000,
+                 scheduler: str = "event"):
         super().__init__(name)
         self.build = build
         self._sites = dict(sites or {})
@@ -102,6 +103,11 @@ class SimJob(Job):
         # Generous enough that injected stalls (<= a few hundred cycles)
         # surface as latency, not watchdog trips.
         self.deadlock_window = deadlock_window
+        # Engine scheduler for this job's runs.  "vector" keeps results
+        # bit-identical (fault-injected and deadline-bound runs fall back
+        # to per-cycle ticking automatically) but simulates saturated
+        # fabrics faster.
+        self.scheduler = scheduler
 
     def fault_sites(self) -> Dict[str, List[str]]:
         return dict(self._sites)
@@ -110,7 +116,8 @@ class SimJob(Job):
         graph = self.build()         # fresh graph: no cross-request state
         engine = Engine(graph, max_cycles=self.max_cycles,
                         deadlock_window=self.deadlock_window,
-                        injector=injector, cancel=token)
+                        injector=injector, cancel=token,
+                        scheduler=self.scheduler)
         try:
             stats = engine.run()
         except ReproError:
