@@ -1,0 +1,227 @@
+"""Partition-cache benchmark: warmed Zipf traffic vs the uncached path.
+
+Runs a Zipf(1.1)-skewed stream of predicated joins through the serving
+runtime twice: once with the semantic partition cache enabled (after a
+deterministic warmup phase that touches the whole predicated catalog for
+every tenant), and once through the plain K=4 sharded scatter/gather
+path with no cache.  Records hit rates, latency percentiles, and the
+makespan comparison in ``BENCH_CACHE.json``.
+
+Hard requirements, enforced as exit status:
+
+* both runs hold every serving invariant — zero wrong results, every
+  ``ok`` serve golden-digest equal to the fault-free unsharded run;
+* the warmed measurement phase reaches a combined (hit + partial-hit)
+  rate of at least ``HIT_RATE_FLOOR`` (0.60);
+* the warmed cached p50 latency strictly beats the uncached sharded
+  p50 on the identical request stream;
+* the sharded-join makespans from ``bench_shard`` have not regressed
+  more than ``REGRESSION_TOLERANCE`` vs the committed
+  ``BENCH_SHARD.json`` (the cache tier must not tax the plain path).
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_cache.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_shard  # noqa: E402  (sibling module, not a package)
+
+from repro.serving import (  # noqa: E402
+    LoadTestConfig,
+    PJOIN_NAMES,
+    Request,
+    check_invariants,
+    generate_requests,
+)
+from repro.serving.chaos import TENANTS, build_runtime  # noqa: E402
+
+REQUESTS = 200
+SEED = 11
+PARTITIONS = 4
+ZIPF = 1.1
+HIT_RATE_FLOOR = 0.60
+REGRESSION_TOLERANCE = 0.05
+#: Measurement-stream requests get ids below this; warmup ids above it.
+WARMUP_BASE = 1_000_000
+
+
+def warmup_requests(start_cycle: int) -> list:
+    """The deterministic warmup phase: every predicated join once per
+    tenant, spaced widely enough that nothing queues."""
+    requests = []
+    i = 0
+    for tenant in TENANTS:
+        for name in PJOIN_NAMES:
+            requests.append(Request(
+                id=WARMUP_BASE + i, tenant=tenant, query=name,
+                klass="batch", arrival=start_cycle + i * 20_000))
+            i += 1
+    return requests
+
+
+def shifted(stream, offset: int) -> list:
+    """The same request stream, re-based ``offset`` cycles later."""
+    return [replace(r, arrival=r.arrival + offset,
+                    deadline=None if r.deadline is None
+                    else r.deadline + offset)
+            for r in stream]
+
+
+def p50(runtime, warmed_only: bool) -> int:
+    cycles = sorted(o.cycles for o in runtime.outcomes
+                    if o.ok and (not warmed_only
+                                 or o.request.id < WARMUP_BASE))
+    return int(statistics.median(cycles)) if cycles else 0
+
+
+def outcome_counts(runtime, warmed_only: bool) -> dict:
+    counts: dict = {}
+    for o in runtime.outcomes:
+        if warmed_only and o.request.id >= WARMUP_BASE:
+            continue
+        counts[o.status] = counts.get(o.status, 0) + 1
+    return counts
+
+
+def run_cached(config: LoadTestConfig):
+    """Warm the cache over the full catalog, then serve the measured
+    Zipf stream; returns (runtime, measurement hit stats)."""
+    runtime = build_runtime(config)
+    for request in warmup_requests(0):
+        runtime.submit(request)
+    runtime.run()
+    warm_end = runtime.clock + 1_000
+    before = runtime.partition_cache.report()
+    for request in shifted(generate_requests(config), warm_end):
+        runtime.submit(request)
+    runtime.run()
+    after = runtime.partition_cache.report()
+    delta = {key: after[key] - before[key]
+             for key in ("hits", "partial_hits", "misses")}
+    served = sum(delta.values())
+    delta["hit_rate"] = ((delta["hits"] + delta["partial_hits"]) / served
+                         if served else 0.0)
+    return runtime, delta
+
+
+def run_uncached(config: LoadTestConfig):
+    """The identical measured stream through plain K-sharding."""
+    runtime = build_runtime(config)
+    for request in generate_requests(config):
+        runtime.submit(request)
+    runtime.run()
+    return runtime
+
+
+def check_shard_regression(failures: list) -> dict:
+    """Re-run the sharded-join makespan comparison and diff it against
+    the committed ``BENCH_SHARD.json`` baseline."""
+    current = bench_shard.makespan_comparison()
+    baseline_path = Path(__file__).resolve().parent.parent / (
+        "BENCH_SHARD.json")
+    if not baseline_path.exists():
+        return {"makespan": current, "baseline": None}
+    baseline = json.loads(baseline_path.read_text()).get("makespan", {})
+    for name, row in current.items():
+        want = baseline.get(name)
+        if want is None:
+            continue
+        limit = want["sharded_cycles"] * (1.0 + REGRESSION_TOLERANCE)
+        if row["sharded_cycles"] > limit:
+            failures.append(
+                f"makespan regression: {name} now {row['sharded_cycles']} "
+                f"cycles vs committed {want['sharded_cycles']} "
+                f"(>{REGRESSION_TOLERANCE:.0%} tolerance)")
+    return {"makespan": current,
+            "baseline": {k: v["sharded_cycles"] for k, v in
+                         baseline.items()}}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_CACHE.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    cached_cfg = LoadTestConfig(
+        requests=REQUESTS, seed=SEED, zipf=ZIPF, cache=True,
+        cache_partitions=PARTITIONS)
+    uncached_cfg = replace(cached_cfg, cache=False, shards=PARTITIONS)
+
+    failures: list = []
+    t0 = time.perf_counter()
+
+    cached, hit_stats = run_cached(cached_cfg)
+    uncached = run_uncached(uncached_cfg)
+
+    for label, runtime in (("cached", cached), ("uncached", uncached)):
+        for violation in check_invariants(runtime):
+            failures.append(f"{label}: {violation}")
+        wrong = sum(1 for o in runtime.outcomes
+                    if o.status == "wrong_result")
+        if wrong:
+            failures.append(f"{label}: {wrong} wrong result(s)")
+
+    cached_p50 = p50(cached, warmed_only=True)
+    uncached_p50 = p50(uncached, warmed_only=False)
+    print(f"warmed Zipf({ZIPF}) stream, {REQUESTS} requests, "
+          f"K={PARTITIONS}:")
+    print(f"  cache: {hit_stats['hits']} hits "
+          f"{hit_stats['partial_hits']} partial {hit_stats['misses']} "
+          f"misses (rate={hit_stats['hit_rate']:.2f})")
+    print(f"  p50: cached={cached_p50} uncached={uncached_p50} cycles "
+          f"({uncached_p50 / max(1, cached_p50):.1f}x)")
+    if hit_stats["hit_rate"] < HIT_RATE_FLOOR:
+        failures.append(
+            f"warmed hit+partial rate {hit_stats['hit_rate']:.2f} below "
+            f"the {HIT_RATE_FLOOR:.2f} floor")
+    if cached_p50 >= uncached_p50:
+        failures.append(
+            f"warmed cached p50 {cached_p50} does not beat the uncached "
+            f"sharded p50 {uncached_p50}")
+
+    regression = check_shard_regression(failures)
+    for name, row in regression["makespan"].items():
+        print(f"  makespan {name}: sharded={row['sharded_cycles']} "
+              f"golden={row['golden_cycles']}")
+
+    result = {
+        "config": {
+            "requests": REQUESTS, "seed": SEED, "zipf": ZIPF,
+            "partitions": PARTITIONS, "hit_rate_floor": HIT_RATE_FLOOR,
+            "regression_tolerance": REGRESSION_TOLERANCE,
+        },
+        "hit_stats": hit_stats,
+        "latency": {"cached_p50": cached_p50,
+                    "uncached_p50": uncached_p50},
+        "outcomes": {"cached": outcome_counts(cached, warmed_only=True),
+                     "uncached": outcome_counts(uncached,
+                                                warmed_only=False)},
+        "cache_report": cached.partition_cache.report(),
+        "shard_regression": regression,
+        "wall_s": round(time.perf_counter() - t0, 3),
+        "failures": failures,
+        "ok": not failures,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=1, default=str))
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cache bench: invariants hold, warmed hits beat the floor, "
+          "cached p50 beats the uncached sharded path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

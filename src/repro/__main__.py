@@ -217,7 +217,10 @@ def cmd_loadtest(args) -> int:
         requests=args.requests, seed=args.seed,
         mean_interarrival=args.interarrival,
         n_replicas=args.replicas, faults=args.faults,
-        shards=args.shards, kills=args.kills, elastic=args.elastic)
+        shards=args.shards, kills=args.kills, elastic=args.elastic,
+        cache=args.cache, cache_partitions=args.cache_partitions,
+        zipf=args.zipf, invalidations=args.invalidations,
+        corruptions=args.corruptions)
     workload = ServingWorkload()
     runtime = run_loadtest(cfg, workload)
     violations = check_invariants(runtime)
@@ -244,6 +247,13 @@ def cmd_loadtest(args) -> int:
               f"{sh['legs']} legs hedges={sh['hedges_launched']}"
               f"/{sh['hedges_won']} won retries={sh['retries']} "
               f"lost={sh['lost']} partials={sh['partials']}")
+    if cfg.cache:
+        pc = report["partition_cache"]
+        print(f"  cache[{cfg.cache_partitions}]: {pc['hits']} hits "
+              f"{pc['partial_hits']} partial {pc['misses']} misses "
+              f"(rate={pc['hit_rate']:.2f}) derived={pc['derived_hits']} "
+              f"evicted={pc['evictions']} stale={pc['stale_served']}"
+              f"/{pc['stale_dropped']} corrupt={pc['corruption_dropped']}")
     if cfg.kills or cfg.elastic:
         fl = report["fleet"]
         print(f"  fleet: size={fl['size']} active={fl['active']} "
@@ -334,6 +344,20 @@ def main(argv=None) -> int:
                          "(power of two; 0 disables sharding)")
     lt.add_argument("--kills", type=int, default=0, metavar="N",
                     help="kill N replicas permanently at seeded cycles")
+    lt.add_argument("--cache", action="store_true",
+                    help="enable the semantic partition cache "
+                         "(predicated joins join the mix)")
+    lt.add_argument("--cache-partitions", type=int, default=4, metavar="K",
+                    help="radix fan-out of cached residual runs "
+                         "(default 4)")
+    lt.add_argument("--zipf", type=float, default=0.0, metavar="S",
+                    help="Zipf skew exponent: offer a pure predicated-join "
+                         "mix with weight ∝ 1/rank^S (0 disables)")
+    lt.add_argument("--invalidations", type=int, default=0, metavar="N",
+                    help="seeded mid-run cache invalidations")
+    lt.add_argument("--corruptions", type=int, default=0, metavar="N",
+                    help="seeded cached-fragment corruptions (the CRC "
+                         "tripwire must catch every one)")
     lt.add_argument("--elastic", action="store_true",
                     help="enable the elastic fleet "
                          "(grow/shrink/quarantine)")

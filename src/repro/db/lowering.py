@@ -14,7 +14,7 @@ operators; the microbenchmarks use the returned cycle counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.dataflow import (
     FilterTile,
@@ -45,6 +45,22 @@ class LoweredResult:
         self.graphs += 1
         self.total_cycles += stats.cycles
         self.stats.append(stats)
+
+
+def partition_set_of(predicate, key_column: str,
+                     n_partitions: int) -> Tuple[int, ...]:
+    """Radix partitions a predicate's join-key constraint can touch.
+
+    An in-set constraint on the key column maps each member through the
+    same ``radix_of`` used by the partitioner, so only those partitions
+    need to run (or be served from cache).  A range or absent constraint
+    hashes to unpredictable partitions, so the honest answer is the full
+    set — never a guess that could drop rows.
+    """
+    spec = predicate.constraint(key_column)
+    if spec is not None and spec[0] == "in":
+        return tuple(sorted({radix_of(v, n_partitions) for v in spec[1:]}))
+    return tuple(range(n_partitions))
 
 
 def _runner(engine: str) -> Callable[[Graph], SimStats]:

@@ -8,12 +8,21 @@ that resource side: a :class:`PlanNode` tree whose nodes declare how many
 compute/scratchpad tiles one stream instance needs, a ``parallel`` knob
 multiplying instances, and a placement check against the fabric's tile
 budget.  Fig. 12's throughput-vs-parallelization sweep walks this knob.
+
+It also owns the serving tier's *predicate algebra*: a
+:class:`Predicate` is a canonicalized conjunction of per-column atoms
+(membership sets and half-open ranges) with a stable hash key and a
+sound-but-conservative subsumption test.  The semantic partition cache
+(:mod:`repro.serving.partition_cache`) keys cached result fragments by
+predicate class and answers narrower queries from fragments cached for
+broader ones — both operations reduce to :meth:`Predicate.key` equality
+and :meth:`Predicate.subsumes`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PlanError
 from repro.perf.params import AUROCHS, FabricParams
@@ -113,3 +122,220 @@ class Placer:
         while self.fits(plan.scale(factor + 1)):
             factor += 1
         return factor
+
+
+# ---------------------------------------------------------------------------
+# Predicate algebra for the semantic partition cache
+# ---------------------------------------------------------------------------
+#
+# A predicate is a conjunction of per-column atoms.  Canonical form keeps
+# exactly one constraint per column:
+#
+#   ("in", v1, v2, ...)   value ∈ {v1, v2, ...}   (sorted, deduplicated)
+#   ("range", lo, hi)     lo <= value < hi        (None = unbounded side)
+#
+# Equality atoms become singleton in-sets; multiple atoms on one column are
+# intersected (in-sets intersect, ranges take max-lo/min-hi, an in-set meeting
+# a range is filtered through it).  A contradiction canonicalizes to the empty
+# in-set — "matches nothing" — never to an error, so hashing and subsumption
+# stay total.  The canonical constraint tuple, sorted by column name, is the
+# predicate's identity: reordering or re-stating atoms cannot change it.
+
+def _value_order(value) -> tuple:
+    """Deterministic cross-type sort key for canonical in-set ordering."""
+    if isinstance(value, bool):
+        return ("bool", "", int(value))
+    if isinstance(value, (int, float)):
+        return ("num", "", float(value))
+    return (type(value).__name__, str(value), 0.0)
+
+
+def _range_contains(lo, hi, value) -> bool:
+    if lo is not None and not value >= lo:
+        return False
+    if hi is not None and not value < hi:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A canonical conjunction of per-column membership/range constraints.
+
+    Build with the classmethod constructors and ``&``::
+
+        p = (Predicate.in_("driverId", range(8))
+             & Predicate.ge("rating", 4.0)
+             & Predicate.lt("seats", 6))
+
+    ``Predicate.true()`` is the empty conjunction (matches every row).
+    """
+
+    constraints: Tuple[Tuple[str, Tuple], ...] = ()
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def true() -> "Predicate":
+        return Predicate()
+
+    @staticmethod
+    def of(*atoms: Tuple[str, str, object]) -> "Predicate":
+        """Canonicalize ``(op, column, value)`` atoms; op ∈ in/eq/ge/lt."""
+        members: Dict[str, Optional[frozenset]] = {}
+        lows: Dict[str, object] = {}
+        highs: Dict[str, object] = {}
+        columns: List[str] = []
+        for op, column, value in atoms:
+            if column not in members:
+                members[column] = None
+                columns.append(column)
+            if op == "in":
+                vals = frozenset(value)
+                prior = members[column]
+                members[column] = vals if prior is None else prior & vals
+            elif op == "eq":
+                prior = members[column]
+                vals = frozenset((value,))
+                members[column] = vals if prior is None else prior & vals
+            elif op == "ge":
+                if column not in lows or value > lows[column]:
+                    lows[column] = value
+            elif op == "lt":
+                if column not in highs or value < highs[column]:
+                    highs[column] = value
+            else:
+                raise PlanError(f"unknown predicate op {op!r}")
+        out: List[Tuple[str, Tuple]] = []
+        for column in sorted(columns):
+            mem = members[column]
+            lo = lows.get(column)
+            hi = highs.get(column)
+            if mem is not None:
+                kept = tuple(sorted(
+                    (v for v in mem if _range_contains(lo, hi, v)),
+                    key=_value_order))
+                out.append((column, ("in",) + kept))
+            elif lo is not None and hi is not None and not lo < hi:
+                out.append((column, ("in",)))    # contradictory range
+            elif lo is not None or hi is not None:
+                out.append((column, ("range", lo, hi)))
+            # no constraint at all: drop the column
+        return Predicate(tuple(out))
+
+    @staticmethod
+    def in_(column: str, values: Iterable) -> "Predicate":
+        return Predicate.of(("in", column, tuple(values)))
+
+    @staticmethod
+    def eq(column: str, value) -> "Predicate":
+        return Predicate.of(("eq", column, value))
+
+    @staticmethod
+    def ge(column: str, value) -> "Predicate":
+        return Predicate.of(("ge", column, value))
+
+    @staticmethod
+    def lt(column: str, value) -> "Predicate":
+        return Predicate.of(("lt", column, value))
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate.of(*(self.atoms() + other.atoms()))
+
+    def atoms(self) -> Tuple[Tuple[str, str, object], ...]:
+        """Decompose back into constructor atoms (canonical order)."""
+        out: List[Tuple[str, str, object]] = []
+        for column, spec in self.constraints:
+            if spec[0] == "in":
+                out.append(("in", column, spec[1:]))
+            else:
+                lo, hi = spec[1], spec[2]
+                if lo is not None:
+                    out.append(("ge", column, lo))
+                if hi is not None:
+                    out.append(("lt", column, hi))
+        return tuple(out)
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def always_true(self) -> bool:
+        return not self.constraints
+
+    def key(self) -> Tuple:
+        """Stable hashable identity — equal for any atom ordering."""
+        return self.constraints
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(column for column, _ in self.constraints)
+
+    def constraint(self, column: str) -> Optional[Tuple]:
+        for col, spec in self.constraints:
+            if col == column:
+                return spec
+        return None
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluator(self, schema) -> Callable[[tuple], bool]:
+        """Compile to a row filter against ``schema`` (needs ``.index``)."""
+        checks: List[Tuple[int, Tuple]] = [
+            (schema.index(column), spec) for column, spec in self.constraints]
+
+        def keep(row: tuple) -> bool:
+            for idx, spec in checks:
+                value = row[idx]
+                if spec[0] == "in":
+                    if value not in spec[1:]:
+                        return False
+                elif not _range_contains(spec[1], spec[2], value):
+                    return False
+            return True
+
+        return keep
+
+    def matches(self, value, column: str) -> bool:
+        """Does a single column value satisfy this predicate's constraint?"""
+        spec = self.constraint(column)
+        if spec is None:
+            return True
+        if spec[0] == "in":
+            return value in spec[1:]
+        return _range_contains(spec[1], spec[2], value)
+
+    # -- lattice -------------------------------------------------------------
+
+    def subsumes(self, other: "Predicate") -> bool:
+        """Sound containment: every row matching ``other`` matches ``self``.
+
+        Conservative on in-set-vs-range (reports ``False`` even when an
+        in-set happens to enumerate a whole range) — a false negative only
+        costs a cache miss, never a wrong answer.
+        """
+        for column, mine in self.constraints:
+            theirs = other.constraint(column)
+            if theirs is None:
+                return False            # they are looser on this column
+            if mine[0] == "in":
+                if theirs[0] != "in":
+                    return False
+                if not frozenset(theirs[1:]) <= frozenset(mine[1:]):
+                    return False
+            else:
+                lo, hi = mine[1], mine[2]
+                if theirs[0] == "in":
+                    if not all(_range_contains(lo, hi, v) for v in theirs[1:]):
+                        return False
+                else:
+                    tlo, thi = theirs[1], theirs[2]
+                    if lo is not None and (tlo is None or tlo < lo):
+                        return False
+                    if hi is not None and (thi is None or thi > hi):
+                        return False
+        return True
+
+    def split(self, column: str) -> Tuple["Predicate", "Predicate"]:
+        """Partition into (constraint on ``column``, everything else)."""
+        on = tuple((c, s) for c, s in self.constraints if c == column)
+        rest = tuple((c, s) for c, s in self.constraints if c != column)
+        return Predicate(on), Predicate(rest)

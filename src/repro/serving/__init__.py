@@ -17,6 +17,16 @@ partition-scoped retries, gathered into a deterministic merge or an
 explicitly-degraded typed :class:`PartialResult` — never a silently wrong
 answer.  A :class:`FleetManager` makes the replica pool elastic: growth
 under queue pressure, shrink when idle, quarantine on breaker open-rate.
+
+The semantic partition cache (:mod:`repro.serving.partition_cache`) sits
+between planning and the fabric: each predicated join's predicate is
+canonicalized into a partition-key set, and per-partition result
+fragments are cached under their predicate *class* so broader cached
+results can serve narrower queries (subsumption).  A lookup covers what
+it can from cache, dispatches only the residual partitions through the
+scatter/gather path, and merges bit-identical to the unsharded golden —
+with per-tenant quotas, LRU-by-cost eviction, dataset-version
+invalidation with bounded staleness, and CRC tripwires on every serve.
 """
 
 from repro.serving.admission import AdmissionController
@@ -31,6 +41,13 @@ from repro.serving.chaos import (
     generate_requests,
     run_loadtest,
     signature,
+    zipf_weights,
+)
+from repro.serving.partition_cache import (
+    CacheDecision,
+    CachePolicy,
+    Fragment,
+    PartitionCache,
 )
 from repro.serving.replica import FabricReplica, PlanCache
 from repro.serving.request import (
@@ -52,11 +69,14 @@ from repro.serving.shard import (
     plan_shards,
 )
 from repro.serving.workload import (
+    FragmentJob,
     Golden,
     JOIN_NAMES,
     Job,
     JoinShardJob,
     LoweredPlan,
+    PJOIN_NAMES,
+    PredicatedJoinJob,
     QUERY_NAMES,
     QueryJob,
     ServingWorkload,
@@ -71,9 +91,13 @@ __all__ = [
     "AdmissionController",
     "Bulkhead",
     "CLOSED",
+    "CacheDecision",
+    "CachePolicy",
     "CancelToken",
     "CircuitBreaker",
     "FabricReplica",
+    "Fragment",
+    "FragmentJob",
     "FleetManager",
     "FleetPolicy",
     "Golden",
@@ -85,9 +109,12 @@ __all__ = [
     "LoweredPlan",
     "OPEN",
     "Outcome",
+    "PJOIN_NAMES",
     "PRIORITY_CLASSES",
     "PartialResult",
+    "PartitionCache",
     "PlanCache",
+    "PredicatedJoinJob",
     "QUERY_NAMES",
     "QueryJob",
     "Request",
@@ -112,4 +139,5 @@ __all__ = [
     "priority_of",
     "run_loadtest",
     "signature",
+    "zipf_weights",
 ]

@@ -39,11 +39,13 @@ from repro.errors import (
     SimulationError,
 )
 from repro.reliability.health import DegradePolicy
+from repro.serving.partition_cache import CachePolicy
 from repro.serving.request import Request
 from repro.serving.runtime import ServingPolicy, ServingRuntime
 from repro.serving.shard import FleetPolicy, ShardPolicy
 from repro.serving.workload import (
     JOIN_NAMES,
+    PJOIN_NAMES,
     QUERY_NAMES,
     ServingWorkload,
     derive_seed,
@@ -89,14 +91,42 @@ class LoadTestConfig:
     kill_window: Tuple[int, int] = (5_000, 60_000)
     #: Enable the elastic fleet (grow/shrink/quarantine).
     elastic: bool = False
+    #: Enable the semantic partition cache tier for predicated joins
+    #: (also folds the predicated catalog into the mix).
+    cache: bool = False
+    #: Radix fan-out of the cache's residual scatter/gather runs.
+    cache_partitions: int = 4
+    #: Zipf skew exponent for the predicated-catalog traffic; > 0 makes
+    #: the offered mix pure predicated joins with weight ∝ 1/rank^zipf.
+    zipf: float = 0.0
+    #: Seeded mid-run dataset invalidations (cache version bumps) and
+    #: cached-fragment corruptions, drawn from ``churn_window``.
+    invalidations: int = 0
+    corruptions: int = 0
+    churn_window: Tuple[int, int] = (5_000, 60_000)
+
+
+def zipf_weights(names: Tuple[str, ...],
+                 s: float) -> Tuple[Tuple[str, int], ...]:
+    """Integer Zipf weights over ``names`` in rank order: rank ``r`` gets
+    weight ``max(1, round(64 / r**s))``, so skew survives the integer
+    expansion ``generate_requests`` does."""
+    return tuple((name, max(1, round(64 / (rank ** s))))
+                 for rank, name in enumerate(names, start=1))
 
 
 def effective_mix(config: LoadTestConfig) -> Tuple[Tuple[str, int], ...]:
     """The job mix actually offered: with sharding on, the shardable
-    joins join the foreground traffic."""
+    joins join the foreground traffic; with the cache on, the predicated
+    joins do too; ``zipf > 0`` replaces the mix entirely with a
+    Zipf-skewed predicated catalog (the cache's intended traffic shape)."""
+    if config.zipf > 0:
+        return zipf_weights(PJOIN_NAMES, config.zipf)
     mix = tuple(config.mix)
     if config.shards > 0 and not any(n in JOIN_NAMES for n, __ in mix):
         mix += (("join_rd", 10), ("join_rr", 6))
+    if config.cache and not any(n in PJOIN_NAMES for n, __ in mix):
+        mix += tuple((name, 3) for name in PJOIN_NAMES[:6])
     return mix
 
 
@@ -110,6 +140,19 @@ def kill_schedule_for(config: LoadTestConfig) -> Dict[int, int]:
                          min(config.kills, config.n_replicas))
     lo, hi = config.kill_window
     return {victim: rng.randrange(lo, hi) for victim in sorted(victims)}
+
+
+def churn_schedule_for(config: LoadTestConfig
+                       ) -> Tuple[List[int], List[int]]:
+    """Seeded cache churn: ``(invalidation cycles, corruption cycles)``,
+    each drawn independently from ``config.churn_window``."""
+    rng = random.Random(derive_seed(config.seed, 0xCACE))
+    lo, hi = config.churn_window
+    invalidations = sorted(rng.randrange(lo, hi)
+                           for __ in range(max(0, config.invalidations)))
+    corruptions = sorted(rng.randrange(lo, hi)
+                         for __ in range(max(0, config.corruptions)))
+    return invalidations, corruptions
 
 
 def generate_requests(config: LoadTestConfig) -> List[Request]:
@@ -145,12 +188,21 @@ def build_runtime(config: LoadTestConfig,
     if config.elastic and policy.fleet is None:
         policy = replace(policy, fleet=FleetPolicy(
             min_replicas=2, max_replicas=config.n_replicas + 4))
+    if config.cache and policy.cache is None:
+        policy = replace(policy, cache=CachePolicy(
+            residual=ShardPolicy(
+                n_shards=config.cache_partitions,
+                degrade=DegradePolicy(serve_partial=True,
+                                      min_coverage=0.25))))
+    invalidations, corruptions = churn_schedule_for(config)
     return ServingRuntime(
         workload, n_replicas=config.n_replicas, policy=policy,
         seed=config.seed,
         flaky_replicas=config.flaky_replicas if config.faults else (),
         fault_rate=config.fault_rate,
-        kill_schedule=kill_schedule_for(config), metrics=metrics)
+        kill_schedule=kill_schedule_for(config), metrics=metrics,
+        invalidation_schedule=invalidations,
+        corruption_schedule=corruptions)
 
 
 def run_loadtest(config: LoadTestConfig,
@@ -222,20 +274,26 @@ def _check_partial(runtime: ServingRuntime, outcome) -> List[str]:
         return [f"request {rid} is partial without a payload"]
     job = runtime.workload.job(outcome.request.query)
     plan = runtime.coordinator.plan_for(job, outcome.shards)
+    # A cached (predicated) request only dispatches the partitions its
+    # predicate can touch; accounting is over that set, not the fan-out.
+    if outcome.cached:
+        parts = set(job.partition_set(outcome.shards))
+    else:
+        parts = set(range(outcome.shards))
+    total_rows = sum(plan.rows[k] for k in sorted(parts))
     covered = sum(plan.rows[k] for k in partial.complete_shards)
-    want = covered / plan.total_rows if plan.total_rows else 0.0
+    want = covered / total_rows if total_rows else 0.0
     if abs(partial.coverage - want) > 1e-9:
         problems.append(
             f"request {rid} partial coverage {partial.coverage} != "
             f"{want} recomputed from the shard plan")
     if (partial.rows_present != covered
-            or partial.rows_expected != plan.total_rows):
+            or partial.rows_expected != total_rows):
         problems.append(
             f"request {rid} partial row accounting "
             f"{partial.rows_present}/{partial.rows_expected} != plan's "
-            f"{covered}/{plan.total_rows}")
-    if set(partial.lost_shards) | set(partial.complete_shards) != set(
-            range(outcome.shards)):
+            f"{covered}/{total_rows}")
+    if set(partial.lost_shards) | set(partial.complete_shards) != parts:
         problems.append(
             f"request {rid} partial shard sets do not cover the fan-out")
     golden = runtime.workload.golden(outcome.request.query)
@@ -269,6 +327,12 @@ def chaos_report(config: LoadTestConfig,
         "kill_schedule": {str(k): v for k, v in
                           sorted(kill_schedule_for(config).items())},
         "elastic": config.elastic,
+        "cache": config.cache,
+        "cache_partitions": config.cache_partitions,
+        "zipf": config.zipf,
+        "invalidations": config.invalidations,
+        "corruptions": config.corruptions,
+        "churn_schedule": [list(s) for s in churn_schedule_for(config)],
     }
     report["invariants"] = {"ok": not violations, "violations": violations}
     return report

@@ -1,0 +1,387 @@
+"""Cross-request semantic partition cache: result fragments + subsumption.
+
+PR 5's :class:`~repro.serving.replica.PlanCache` replays a lowered plan
+for *identical* requests only.  This tier caches something stronger:
+per-radix-partition **result fragments** of predicated joins, keyed by
+
+    (tenant, dataset digest, join key, fan-out, partition, predicate class)
+
+where the predicate class is the canonical key of the query's *non-key*
+constraints (:class:`~repro.db.planner.Predicate`).  Because a fragment
+is one partition's join output filtered by the class constraint only —
+the key constraint is applied at the gather — the same fragment answers
+every query in its class whose partition set includes that partition:
+hierarchy drill-downs (``region ⊃ district ⊃ block``) hit the cache on
+their shared partitions, and a *narrower* class can be answered from a
+*broader* class's fragment via :meth:`Predicate.subsumes` plus a priced
+filter pass (a "derived" hit, re-cached under the narrow class).
+
+A lookup splits the query's partition set into cached and **residual**
+partitions; only the residual set runs on the fabric (the scatter/gather
+coordinator dispatches exactly those shards), and the merged result is
+bit-identical to the unsharded predicated golden — the serving runtime
+asserts that equality on every serve, so the cache can never change an
+answer, only its latency.
+
+Safety rails, all deterministic:
+
+* **invalidation** — dataset versions; :meth:`invalidate` bumps them and
+  fragments written under an older version stop being served.  Bounded
+  staleness is explicit :class:`~repro.reliability.DegradePolicy`
+  consent (``serve_stale`` + ``max_staleness`` versions); the default
+  policy serves only current-version fragments.
+* **corruption** — every fragment carries a CRC32 of its rows, verified
+  on every serve; a mismatch (chaos's :meth:`corrupt` scribbles rows
+  without fixing the CRC) drops the fragment and degrades to a miss —
+  never a wrong result.
+* **quotas** — fragments are charged their fabric recompute cost;
+  eviction is LRU within a total cost capacity and an optional
+  per-tenant cost quota, so one tenant's working set cannot evict the
+  fleet's.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.reliability.health import DegradePolicy
+from repro.serving.shard import ShardPolicy
+
+
+def _crc(rows: Tuple) -> int:
+    return zlib.crc32(repr(rows).encode())
+
+
+@dataclass
+class CachePolicy:
+    """Knobs for the semantic partition cache tier."""
+
+    #: Scatter/gather knobs for the residual (uncached-partition) run.
+    residual: ShardPolicy = field(default_factory=ShardPolicy)
+    #: Total cached-fragment budget, in fabric recompute cycles.
+    capacity_cost: int = 2_000_000
+    #: Per-tenant fragment budget (same units), or None for no quota.
+    tenant_quota: Optional[int] = None
+    #: Staleness consent: fragments older than the dataset version are
+    #: served only if ``serve_stale`` and within ``max_staleness``
+    #: versions.  The default serves current-version fragments only.
+    degrade: DegradePolicy = field(default_factory=DegradePolicy)
+    #: Virtual cycles charged per partition probed at lookup.
+    lookup_cycles_per_partition: int = 1
+    #: Derived-hit filter pricing: ``max(1, source_rows // divisor)``
+    #: cycles to narrow a broader class's fragment.
+    derive_divisor: int = 32
+
+
+@dataclass
+class Fragment:
+    """One cached partition fragment of one predicate class."""
+
+    rows: Tuple[Tuple, ...]
+    cost: int                        # fabric cycles to recompute
+    version: int                     # dataset version when computed
+    class_pred: object               # Predicate the rows are filtered by
+    crc: int
+
+    @staticmethod
+    def of(rows: Tuple[Tuple, ...], cost: int, version: int,
+           class_pred) -> "Fragment":
+        return Fragment(rows=rows, cost=max(1, int(cost)), version=version,
+                        class_pred=class_pred, crc=_crc(rows))
+
+
+@dataclass
+class CacheDecision:
+    """One lookup's verdict: which partitions are served from cache.
+
+    ``residual`` ∪ (``exact`` ∪ ``derived`` ∪ ``stale``) is always exactly
+    ``parts`` — the property tests assert it — so the coordinator's
+    dispatch set plus the prefilled set covers the query's partition set
+    with no overlap and no hole.
+    """
+
+    parts: Tuple[int, ...]                     # requested partition set
+    fragments: Dict[int, Tuple[Tuple, ...]]    # partition -> cached rows
+    exact: Tuple[int, ...]                     # same-class hits
+    derived: Tuple[int, ...]                   # subsumption-narrowed hits
+    stale: Tuple[int, ...]                     # served under staleness consent
+    residual: Tuple[int, ...]                  # must run on the fabric
+    version: int                               # dataset version at lookup
+    lookup_cycles: int                         # priced probe + derive work
+
+    @property
+    def disposition(self) -> str:
+        """Request-level verdict string (lands on ``Outcome.cached``)."""
+        if not self.residual:
+            return "hit"
+        if self.fragments:
+            return f"partial:{len(self.fragments)}/{len(self.parts)}"
+        return "miss"
+
+    @property
+    def residual_fraction(self) -> float:
+        return len(self.residual) / len(self.parts) if self.parts else 0.0
+
+
+class PartitionCache:
+    """The shared fragment store, one per serving runtime."""
+
+    def __init__(self, policy: Optional[CachePolicy] = None, metrics=None):
+        self.policy = policy if policy is not None else CachePolicy()
+        if metrics is None:
+            from repro.observability.metrics import MetricsRegistry
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._store: "OrderedDict[Tuple, Fragment]" = OrderedDict()
+        self._versions: Dict[Tuple, int] = {}
+        self._epoch = 0                       # global invalidation counter
+        self.total_cost = 0
+        self.tenant_cost: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- versions ------------------------------------------------------------
+
+    def version_of(self, dataset_key) -> int:
+        return self._epoch + self._versions.get(dataset_key, 0)
+
+    def invalidate(self, dataset_key=None) -> int:
+        """Bump the dataset's version (or every dataset's, if None).
+
+        Fragments are not eagerly dropped — staleness is judged at serve
+        time against the degrade policy, so bounded-staleness consent can
+        still use them within ``max_staleness`` versions.
+        """
+        if dataset_key is None:
+            self._epoch += 1
+            version = self._epoch
+        else:
+            version = self._versions.get(dataset_key, 0) + 1
+            self._versions[dataset_key] = version
+        self._count("invalidations")
+        return version
+
+    # -- chaos ---------------------------------------------------------------
+
+    def corrupt(self, seed: int) -> Optional[Tuple]:
+        """Deterministically scribble one cached fragment's rows *without*
+        updating its CRC — the chaos harness's bit-rot model.  The next
+        lookup that touches it must detect the mismatch and treat it as a
+        miss.  Returns the corrupted key, or None if the cache is empty."""
+        if not self._store:
+            return None
+        keys = list(self._store)
+        key = keys[seed % len(keys)]
+        frag = self._store[key]
+        frag.rows = frag.rows + (("__corrupt__", seed),)
+        self._count("corruptions_injected")
+        return key
+
+    # -- the lookup ----------------------------------------------------------
+
+    def lookup(self, tenant: str, job, n_parts: int,
+               parts: Tuple[int, ...]) -> CacheDecision:
+        """Split ``parts`` into cache-served and residual partitions."""
+        version = self.version_of(job.dataset_key)
+        class_key = job.class_pred.key()
+        fragments: Dict[int, Tuple[Tuple, ...]] = {}
+        exact: List[int] = []
+        derived: List[int] = []
+        stale: List[int] = []
+        residual: List[int] = []
+        cycles = self.policy.lookup_cycles_per_partition * max(1, len(parts))
+        keep_cls = None                       # lazily compiled derive filter
+        for k in parts:
+            key = self._key(tenant, job, n_parts, k, class_key)
+            frag, is_stale = self._get_valid(key, version)
+            if frag is not None:
+                fragments[k] = frag.rows
+                (stale if is_stale else exact).append(k)
+                continue
+            hit = self._derive(tenant, job, n_parts, k, class_key, version)
+            if hit is not None:
+                src, src_stale = hit
+                if keep_cls is None:
+                    keep_cls = job.class_pred.evaluator(job.joined_schema())
+                rows = tuple(r for r in src.rows if keep_cls(r))
+                derive_cost = max(1, len(src.rows)
+                                  // self.policy.derive_divisor)
+                cycles += derive_cost
+                fragments[k] = rows
+                (stale if src_stale else derived).append(k)
+                self._count("derived_hits")
+                # Re-cache under the narrow class so the next drill-down
+                # request hits exactly.  Keeps the source version: a
+                # derived copy is no fresher than its source.
+                if not src_stale:
+                    self._insert(key, Fragment.of(rows, derive_cost,
+                                                  src.version,
+                                                  job.class_pred), tenant)
+                continue
+            residual.append(k)
+        decision = CacheDecision(
+            parts=tuple(parts), fragments=fragments, exact=tuple(exact),
+            derived=tuple(derived), stale=tuple(stale),
+            residual=tuple(residual), version=version,
+            lookup_cycles=cycles)
+        self._count("fragment_hits", len(exact) + len(derived) + len(stale))
+        self._count("fragment_misses", len(residual))
+        disposition = decision.disposition
+        if disposition == "hit":
+            self._count("hits")
+        elif disposition == "miss":
+            self._count("misses")
+        else:
+            self._count("partial_hits")
+        self.metrics.histogram("serving.partition_cache.residual_fraction") \
+            .observe(int(round(100 * decision.residual_fraction)))
+        return decision
+
+    def insert(self, tenant: str, job, n_parts: int, k: int,
+               rows: Tuple[Tuple, ...], cost: int, version: int) -> bool:
+        """Cache a freshly computed fragment — unless the dataset has been
+        invalidated since the residual run was dispatched, in which case
+        the fragment is already stale and is dropped on the floor."""
+        if version != self.version_of(job.dataset_key):
+            self._count("late_inserts_dropped")
+            return False
+        key = self._key(tenant, job, n_parts, k, job.class_pred.key())
+        self._insert(key, Fragment.of(tuple(rows), cost, version,
+                                      job.class_pred), tenant)
+        return True
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _key(tenant: str, job, n_parts: int, k: int,
+             class_key: Tuple) -> Tuple:
+        return (tenant, job.dataset_key, job.key, n_parts, k, class_key)
+
+    def _get_valid(self, key: Tuple, version: int):
+        """(fragment, is_stale) if servable under policy, else (None, _)."""
+        frag = self._store.get(key)
+        if frag is None:
+            return None, False
+        if _crc(frag.rows) != frag.crc:
+            self._drop(key, "corruption_dropped")
+            return None, False
+        age = version - frag.version
+        if age > 0:
+            degrade = self.policy.degrade
+            if not (degrade.serve_stale and age <= degrade.max_staleness):
+                self._drop(key, "stale_dropped")
+                return None, False
+            self._count("stale_served")
+            self._store.move_to_end(key)
+            return frag, True
+        self._store.move_to_end(key)
+        return frag, False
+
+    def _derive(self, tenant: str, job, n_parts: int, k: int,
+                class_key: Tuple, version: int):
+        """A servable fragment of a *broader* class for this partition.
+
+        Deterministic choice: the smallest candidate (fewest rows to
+        filter), ties broken by class key.  Candidates are validated the
+        same way as exact hits (CRC + staleness), so a corrupt or
+        too-stale broad fragment can't leak through the derive path.
+        """
+        prefix = (tenant, job.dataset_key, job.key, n_parts, k)
+        best = None
+        for key in list(self._store):
+            if key[:5] != prefix or key[5] == class_key:
+                continue
+            frag = self._store.get(key)
+            if frag is None or not frag.class_pred.subsumes(job.class_pred):
+                continue
+            frag, is_stale = self._get_valid(key, version)
+            if frag is None:
+                continue
+            rank = (len(frag.rows), repr(key[5]))
+            if best is None or rank < best[0]:
+                best = (rank, frag, is_stale)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _insert(self, key: Tuple, frag: Fragment, tenant: str) -> None:
+        old = self._store.pop(key, None)
+        if old is not None:
+            self._uncharge(key, old)
+        self._store[key] = frag
+        self.total_cost += frag.cost
+        self.tenant_cost[tenant] = self.tenant_cost.get(tenant, 0) + frag.cost
+        self._count("insertions")
+        quota = self.policy.tenant_quota
+        if quota is not None:
+            while self.tenant_cost.get(tenant, 0) > quota:
+                victim = next((k for k in self._store if k[0] == tenant),
+                              None)
+                if victim is None or victim == key and len(self._store) == 1:
+                    break
+                if victim == key:
+                    # The new fragment alone exceeds the quota: it still
+                    # gets cached (a quota smaller than one fragment would
+                    # otherwise disable the tenant entirely).
+                    break
+                self._drop(victim, "evictions")
+        while self.total_cost > self.policy.capacity_cost and \
+                len(self._store) > 1:
+            victim = next(iter(self._store))
+            if victim == key:
+                break
+            self._drop(victim, "evictions")
+
+    def _drop(self, key: Tuple, counter: str) -> None:
+        frag = self._store.pop(key, None)
+        if frag is None:
+            return
+        self._uncharge(key, frag)
+        self._count(counter)
+
+    def _uncharge(self, key: Tuple, frag: Fragment) -> None:
+        self.total_cost -= frag.cost
+        tenant = key[0]
+        left = self.tenant_cost.get(tenant, 0) - frag.cost
+        if left > 0:
+            self.tenant_cost[tenant] = left
+        else:
+            self.tenant_cost.pop(tenant, None)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if n:
+            self.metrics.counter(f"serving.partition_cache.{name}").inc(n)
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        def count(name: str) -> int:
+            return self.metrics.counter(
+                f"serving.partition_cache.{name}").value
+        hits, partial, misses = (count("hits"), count("partial_hits"),
+                                 count("misses"))
+        lookups = hits + partial + misses
+        return {
+            "fragments": len(self._store),
+            "total_cost": self.total_cost,
+            "tenant_cost": dict(sorted(self.tenant_cost.items())),
+            "hits": hits,
+            "partial_hits": partial,
+            "misses": misses,
+            "hit_rate": (hits + partial) / lookups if lookups else 0.0,
+            "fragment_hits": count("fragment_hits"),
+            "fragment_misses": count("fragment_misses"),
+            "derived_hits": count("derived_hits"),
+            "insertions": count("insertions"),
+            "evictions": count("evictions"),
+            "invalidations": count("invalidations"),
+            "stale_served": count("stale_served"),
+            "stale_dropped": count("stale_dropped"),
+            "corruptions_injected": count("corruptions_injected"),
+            "corruption_dropped": count("corruption_dropped"),
+            "late_inserts_dropped": count("late_inserts_dropped"),
+        }

@@ -60,6 +60,10 @@ class PlanCache:
         if key is None:
             self.metrics.counter("serving.plan_cache.bypass").inc()
             return job.execute(token=token, injector=injector)
+        # Tenant-scope the key: plan replay is tenant-neutral today, but a
+        # shared key would let one tenant's traffic evict (or warm) another
+        # tenant's plans — quota isolation must hold in the cache too.
+        key = (getattr(token, "tenant", "") or "",) + key
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)

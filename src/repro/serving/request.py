@@ -64,6 +64,9 @@ class Outcome:
     hedged: bool = False             # a hedge leg was launched
     shards: int = 0                  # scatter fan-out (0 = unsharded)
     partial: Optional[object] = None  # PartialResult on 'partial' outcomes
+    #: Partition-cache disposition for cache-served requests — e.g.
+    #: "hit", "partial:3/8", "miss" — or "" for uncached paths.
+    cached: str = ""
 
     @property
     def ok(self) -> bool:
@@ -84,4 +87,4 @@ class Outcome:
         return (self.request.id, self.request.tenant, self.request.query,
                 self.status, repr(self.error), self.finish, self.replica,
                 self.cycles, self.attempts, self.hedged, self.shards,
-                repr(self.partial))
+                repr(self.partial), self.cached)

@@ -60,6 +60,7 @@ from repro.serving.admission import AdmissionController
 from repro.serving.breaker import CircuitBreaker, OPEN
 from repro.serving.bulkhead import Bulkhead
 from repro.serving.cancel import CancelToken
+from repro.serving.partition_cache import CachePolicy, PartitionCache
 from repro.serving.replica import ACTIVE, FabricReplica, PlanCache
 from repro.serving.request import Outcome, Request
 from repro.serving.shard import (
@@ -87,6 +88,9 @@ class ServingPolicy:
     shard: Optional[ShardPolicy] = None     # scatter/gather; None disables
     fleet: Optional[FleetPolicy] = None     # elasticity; None = fixed pool
     scheduler: str = "event"                # engine scheduler for sim jobs
+    #: Semantic partition cache tier for predicated shardable queries
+    #: (:mod:`repro.serving.partition_cache`); None disables.
+    cache: Optional[CachePolicy] = None
 
 
 @dataclass(slots=True)
@@ -126,6 +130,8 @@ class ServingRuntime:
                  flaky_replicas: Tuple[int, ...] = (),
                  fault_rate: float = 1.0,
                  kill_schedule: Optional[Dict[int, int]] = None,
+                 invalidation_schedule: Optional[List[int]] = None,
+                 corruption_schedule: Optional[List[int]] = None,
                  metrics: Optional[MetricsRegistry] = None):
         self.workload = workload if workload is not None else ServingWorkload()
         self.policy = policy if policy is not None else ServingPolicy()
@@ -150,6 +156,9 @@ class ServingRuntime:
                                  class_limits=self.policy.class_limits)
         self.fleet = FleetManager(self, self.policy.fleet)
         self.coordinator = ShardCoordinator(self)
+        self.partition_cache = (
+            PartitionCache(self.policy.cache, metrics=self.metrics)
+            if self.policy.cache is not None else None)
         self.outcomes: List[Outcome] = []
         self.clock = 0
         self.submitted = 0
@@ -161,6 +170,13 @@ class ServingRuntime:
             # reacts at the kill cycle, not at the next organic event.
             self._kicks.add(cycle)
             self._push(cycle, "kick", None)
+        # Chaos churn against the partition cache: scheduled dataset
+        # invalidations (version bumps) and fragment corruptions, in
+        # virtual time so every run is bit-reproducible.
+        for cycle in sorted(invalidation_schedule or []):
+            self._push(cycle, "invalidate", None)
+        for i, cycle in enumerate(sorted(corruption_schedule or [])):
+            self._push(cycle, "corrupt", derive_seed(self.seed, 0xC0, i))
 
     def _make_replica(self, index: int, spawned_at: int = 0) -> FabricReplica:
         fault_seed = (derive_seed(self.seed, index)
@@ -202,6 +218,12 @@ class ServingRuntime:
                 self._on_arrival(payload, time)
             elif kind == "complete":
                 self._on_complete(payload, time)
+            elif kind == "invalidate":
+                if self.partition_cache is not None:
+                    self.partition_cache.invalidate()
+            elif kind == "corrupt":
+                if self.partition_cache is not None:
+                    self.partition_cache.corrupt(payload)
             else:                       # 'kick': wake the dispatcher
                 self._kicks.discard(time)
             self._dispatch(time)
@@ -252,6 +274,13 @@ class ServingRuntime:
             if request is None:
                 return
             job = self.workload.job(request.query)
+            if self._cache_policy(job) is not None:
+                if not self.coordinator.placeable(now):
+                    self._no_replica(request, now)
+                    return
+                self.bulkhead.acquire(request)
+                self._start_cached(request, job, now)
+                continue
             if self._shard_policy(job) is not None:
                 if not self.coordinator.placeable(now):
                     # Breakers have every serviceable replica cooling
@@ -280,6 +309,15 @@ class ServingRuntime:
         if pol is None or pol.n_shards <= 1:
             return None
         return pol if getattr(job, "shardable", False) else None
+
+    def _cache_policy(self, job: Job) -> Optional[CachePolicy]:
+        """The partition-cache policy governing ``job``, or None for
+        jobs the semantic cache cannot reason about (no canonical
+        predicate) or when the tier is disabled."""
+        pol = self.policy.cache
+        if pol is None or self.partition_cache is None:
+            return None
+        return pol if getattr(job, "cacheable", False) else None
 
     def _drain_fleet_lost(self, now: int) -> None:
         """Every replica is dead (or pulled from service) and the fleet
@@ -447,6 +485,26 @@ class ServingRuntime:
         ex = self.coordinator.run(request, job, now)
         self._push(ex.finish, "complete", ex)
 
+    def _start_cached(self, request: Request, job: Job, now: int) -> None:
+        """Cache-tier dispatch: split the query's partition set into
+        cached fragments and a residual set, scatter only the residual,
+        and settle one gathered completion event."""
+        request.attempts += 1
+        self.metrics.counter("serving.dispatches").inc()
+        self.metrics.counter("serving.partition_cache.dispatched").inc()
+        self.metrics.histogram("serving.queue_wait").observe(
+            now - request.arrival)
+        pol = self._cache_policy(job)
+        K = pol.residual.n_shards
+        parts = job.partition_set(K)
+        decision = self.partition_cache.lookup(request.tenant, job, K,
+                                               parts)
+        ex = self.coordinator.run(
+            request, job, now, policy=pol.residual, parts=parts,
+            prefilled=decision.fragments,
+            extra_cycles=decision.lookup_cycles, cached=decision)
+        self._push(ex.finish, "complete", ex)
+
     # -- completion --------------------------------------------------------
 
     def _on_complete(self, ex, now: int) -> None:
@@ -528,8 +586,23 @@ class ServingRuntime:
             self.metrics.counter("serving.shards.lost").inc(len(ex.lost))
         K = ex.plan.n_shards
         cycles = ex.finish - ex.dispatched
-        replica = f"shards[{K}]"
         hedged = ex.hedges > 0
+        decision = ex.cached
+        cached = ""
+        if decision is not None:
+            cached = decision.disposition
+            replica = f"cache[{K}]"
+            # Harvest every residual fragment that completed — the
+            # request's final status doesn't matter, a computed fragment
+            # is valid on its own.  The cache drops it if the dataset was
+            # invalidated after the lookup (late-insert race).
+            job = self.workload.job(request.query)
+            for k in sorted(ex.shard_digests):
+                self.partition_cache.insert(
+                    request.tenant, job, K, k, ex.shard_digests[k][1],
+                    ex.plan.ref_cycles[k], decision.version)
+        else:
+            replica = f"shards[{K}]"
         if ex.status == "ok":
             golden = self.workload.golden(request.query)
             if ex.digest != golden.digest:
@@ -537,7 +610,8 @@ class ServingRuntime:
                 self._finalize(Outcome(
                     request, "wrong_result", now, error=None,
                     replica=replica, cycles=cycles,
-                    attempts=request.attempts, hedged=hedged, shards=K))
+                    attempts=request.attempts, hedged=hedged, shards=K,
+                    cached=cached))
                 return
             self.metrics.histogram(
                 f"serving.latency.{request.klass}").observe(
@@ -546,20 +620,20 @@ class ServingRuntime:
             self._finalize(Outcome(
                 request, "ok", now, error=None, replica=replica,
                 cycles=cycles, attempts=request.attempts, hedged=hedged,
-                shards=K))
+                shards=K, cached=cached))
             return
         if ex.status == "partial":
             self._finalize(Outcome(
                 request, "partial", now, error=ex.error, replica=replica,
                 cycles=cycles, attempts=request.attempts, hedged=hedged,
-                shards=K, partial=ex.partial))
+                shards=K, partial=ex.partial, cached=cached))
             return
         # 'deadline' | 'failed' — the shard-level retries already spent
         # the containment budget; no request-level requeue on top.
         self._finalize(Outcome(
             request, ex.status, now, error=ex.error, replica=replica,
             cycles=cycles, attempts=request.attempts, hedged=hedged,
-            shards=K))
+            shards=K, cached=cached))
 
     def _finalize(self, outcome: Outcome) -> None:
         self.metrics.counter(f"serving.outcome.{outcome.status}").inc()
@@ -630,6 +704,9 @@ class ServingRuntime:
             "queue": {"admitted": self.admission.admitted,
                       "shed": self.admission.shed,
                       "bulkhead_skips": self.bulkhead.rejections},
+            "partition_cache": (self.partition_cache.report()
+                                if self.partition_cache is not None
+                                else None),
         }
 
     def check(self) -> List[str]:

@@ -154,9 +154,12 @@ class ShardPlan:
     ref_cycles: Tuple[int, ...]       # fault-free per-shard service time
     ref_rows_out: Tuple[int, ...]
 
-    def dispatch_cost(self) -> int:
-        """Per-request scatter coordination: K shard descriptors out."""
-        return 1 + CYCLES_PER_SHARD * self.n_shards
+    def dispatch_cost(self, n_dispatched: Optional[int] = None) -> int:
+        """Per-request scatter coordination: one descriptor per shard
+        actually dispatched (the semantic partition cache dispatches only
+        a query's residual partitions)."""
+        n = self.n_shards if n_dispatched is None else n_dispatched
+        return 1 + CYCLES_PER_SHARD * n
 
     def merge_cost(self, n_present: int) -> int:
         """Per-request gather coordination over the shards that
@@ -200,7 +203,7 @@ def plan_shards(job: ShardedJoinJob, n_shards: int) -> ShardPlan:
     part_r.partition((rk(row), row) for row in right.rows)
     lparts = part_l.partitions()
     rparts = part_r.partitions()
-    shard_jobs = [JoinShardJob(job, k, n_shards, lparts[k], rparts[k])
+    shard_jobs = [job.make_shard(k, n_shards, lparts[k], rparts[k])
                   for k in range(n_shards)]
     model = CostModel()
     scatter = max(1, int(model.event_cycles(
@@ -258,6 +261,16 @@ class ShardedExecution:
     hedges_won: int
     retries: int
     lost: Tuple[int, ...]
+    #: The partition set this execution covered (the full range for plain
+    #: sharded queries; a predicate's partition set for cached ones).
+    parts: Tuple[int, ...] = ()
+    #: Partitions served from the semantic cache (never dispatched).
+    prefilled: Tuple[int, ...] = ()
+    #: Winning digest per dispatched-and-completed shard — harvested by
+    #: the runtime into the partition cache.
+    shard_digests: Dict[int, Tuple] = field(default_factory=dict)
+    #: The CacheDecision behind this execution, or None when uncached.
+    cached: Optional[object] = None
 
 
 class ShardCoordinator:
@@ -306,17 +319,36 @@ class ShardCoordinator:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, request: Request, job: ShardedJoinJob,
-            now: int) -> ShardedExecution:
+    def run(self, request: Request, job: ShardedJoinJob, now: int, *,
+            policy: Optional[ShardPolicy] = None,
+            parts: Optional[Tuple[int, ...]] = None,
+            prefilled: Optional[Dict[int, Tuple]] = None,
+            extra_cycles: int = 0,
+            cached=None) -> ShardedExecution:
+        """Resolve one scatter/gather request.
+
+        Plain sharded queries scatter all K partitions.  The semantic
+        partition cache narrows that: ``parts`` restricts execution to the
+        query's partition set, ``prefilled`` supplies cached fragment rows
+        for partitions that need no fabric run (only ``parts`` minus
+        ``prefilled`` is dispatched), ``extra_cycles`` prices the cache
+        lookup into the scatter, and ``cached`` carries the CacheDecision
+        through for the runtime's harvest/reporting.
+        """
         runtime = self.runtime
-        policy: ShardPolicy = runtime.policy.shard
+        if policy is None:
+            policy = runtime.policy.shard
         fresh = (job.name, policy.n_shards) not in self._plans
         plan = self.plan_for(job, policy.n_shards)
         K = plan.n_shards
+        parts = tuple(range(K)) if parts is None else tuple(parts)
+        prefilled = dict(prefilled or {})
+        dispatch = [k for k in parts if k not in prefilled]
         deadline = request.deadline
         setup = plan.scatter_cycles if fresh else 0
-        scatter_done = now + setup + plan.dispatch_cost()
-        merge_reserve = plan.merge_estimate
+        scatter_done = (now + setup + extra_cycles
+                        + plan.dispatch_cost(len(dispatch)))
+        merge_reserve = plan.merge_cost(len(parts))
         if deadline is not None:
             merge_reserve = max(merge_reserve,
                                 int((deadline - now) * policy.merge_reserve))
@@ -333,7 +365,7 @@ class ShardCoordinator:
         #: piling onto one hot rendezvous favourite.
         load: Dict[int, int] = {}
 
-        for k in range(K):
+        for k in dispatch:
             excluded: set = set()
             t = scatter_done
             rounds = 0
@@ -444,7 +476,8 @@ class ShardCoordinator:
 
         return self._gather(request, plan, policy, legs, results, lost,
                             resolve_at, now, scatter_done, deadline,
-                            hedges, hedges_won, retries)
+                            hedges, hedges_won, retries, parts, prefilled,
+                            cached)
 
     def _hedge_replica(self, shard: int, primary: FabricReplica,
                        excluded: set, hstart: int,
@@ -536,16 +569,25 @@ class ShardCoordinator:
 
     def _gather(self, request, plan, policy, legs, results, lost,
                 resolve_at, dispatched, scatter_done, deadline,
-                hedges, hedges_won, retries) -> ShardedExecution:
+                hedges, hedges_won, retries, parts, prefilled,
+                cached) -> ShardedExecution:
         K = plan.n_shards
         gather_at = max(resolve_at.values(), default=scatter_done)
-        complete = sorted(results)
+        # A partition is present if its fabric leg won or the semantic
+        # cache prefilled it; the merge runs over the partition set only.
+        present = sorted(set(results) | set(prefilled))
         lost_idx = tuple(sorted(lost))
-        finish = gather_at + plan.merge_cost(len(complete))
+        finish = gather_at + plan.merge_cost(len(present))
+        total_rows = sum(plan.rows[k] for k in parts)
         digest = partial = None
+
+        def digest_of(k: int) -> Tuple:
+            if k in prefilled:
+                return (plan.jobs[k].name, prefilled[k])
+            return results[k].digest
+
         if not lost_idx:
-            merged = plan.job.merge_digests(
-                [results[k].digest for k in range(K)])
+            merged = plan.job.merge_digests([digest_of(k) for k in parts])
             if deadline is not None and finish > deadline:
                 status, finish = "deadline", deadline
                 error = DeadlineExceeded(
@@ -557,14 +599,14 @@ class ShardCoordinator:
             else:
                 status, error, digest = "ok", None, merged
         else:
-            covered = sum(plan.rows[k] for k in complete)
-            coverage = (covered / plan.total_rows if plan.total_rows
-                        else len(complete) / K)
+            covered = sum(plan.rows[k] for k in present)
+            coverage = (covered / total_rows if total_rows
+                        else len(present) / max(1, len(parts)))
             shard_err = ShardsLost(
                 f"request {request.id} lost shards {list(lost_idx)} of "
-                f"{K} (coverage {coverage:.3f})",
+                f"{len(parts)} (coverage {coverage:.3f})",
                 tenant=request.tenant, query=request.query,
-                request_id=request.id, lost=lost_idx, n_shards=K,
+                request_id=request.id, lost=lost_idx, n_shards=len(parts),
                 coverage=coverage)
             if deadline is not None and finish > deadline:
                 status, finish = "deadline", deadline
@@ -578,11 +620,11 @@ class ShardCoordinator:
                     and coverage >= policy.degrade.min_coverage):
                 partial = PartialResult(
                     coverage=coverage, rows_present=covered,
-                    rows_expected=plan.total_rows,
-                    complete_shards=tuple(complete),
+                    rows_expected=total_rows,
+                    complete_shards=tuple(present),
                     lost_shards=lost_idx,
                     digest=plan.job.merge_digests(
-                        [results[k].digest for k in complete]))
+                        [digest_of(k) for k in present]))
                 status, error = "partial", shard_err
             else:
                 status, error = "failed", shard_err
@@ -590,7 +632,10 @@ class ShardCoordinator:
             request=request, plan=plan, legs=legs, dispatched=dispatched,
             finish=finish, status=status, digest=digest, partial=partial,
             error=error, hedges=hedges, hedges_won=hedges_won,
-            retries=retries, lost=lost_idx)
+            retries=retries, lost=lost_idx, parts=parts,
+            prefilled=tuple(sorted(prefilled)),
+            shard_digests={k: leg.digest for k, leg in results.items()},
+            cached=cached)
 
 
 class FleetManager:

@@ -339,6 +339,11 @@ class ShardedJoinJob(_TracedJob):
             rows.extend(shard_rows)
         return (self.name, tuple(sorted(rows)))
 
+    def make_shard(self, index: int, n_shards: int, left_rows: List,
+                   right_rows: List) -> "JoinShardJob":
+        """Shard-job factory — subclasses substitute their own shard kind."""
+        return JoinShardJob(self, index, n_shards, left_rows, right_rows)
+
 
 class JoinShardJob(_TracedJob):
     """One fault-containment domain of a :class:`ShardedJoinJob`.
@@ -378,6 +383,106 @@ class JoinShardJob(_TracedJob):
         ctx = ExecutionContext()
         out = hash_join(lshard, rshard, self.parent.key, self.parent.key,
                         ctx, name=self.name)
+        digest = _rows_digest(self.name, out.rows)
+        return self._settle(ctx, digest, token)
+
+
+class PredicatedJoinJob(ShardedJoinJob):
+    """A shardable join narrowed by a canonical :class:`Predicate`.
+
+    The predicate splits at the join key: the *key constraint* selects
+    which radix partitions can hold matching rows (the partition set the
+    semantic cache reasons about), and the *class constraint* — everything
+    else — is what each cached fragment is keyed by.  A fragment is one
+    partition's join output filtered by the class constraint only; the
+    gather applies the key constraint when merging, so the same fragments
+    answer every query in the class regardless of its key range.
+    """
+
+    kind = "pjoin"
+    #: Marks jobs the semantic partition cache can serve
+    #: (:mod:`repro.serving.partition_cache`).
+    cacheable = True
+
+    def __init__(self, name: str, data_fn: Callable[[], object], *,
+                 left: str, right: str, key: str, predicate,
+                 dataset_key: Optional[Tuple] = None):
+        super().__init__(name, data_fn, left=left, right=right, key=key,
+                         dataset_key=dataset_key)
+        self.predicate = predicate
+        self.key_pred, self.class_pred = predicate.split(key)
+
+    def plan_key(self) -> Optional[Tuple]:
+        base = super().plan_key()
+        if base is None:
+            return None
+        return base + ("pred", self.predicate.key())
+
+    def joined_schema(self):
+        left, right = self.tables()
+        return left.schema.concat(right.schema, "r_")
+
+    def partition_set(self, n_partitions: int) -> Tuple[int, ...]:
+        """Radix partitions this query's key constraint can touch."""
+        from repro.db.lowering import partition_set_of
+        return partition_set_of(self.key_pred, self.key, n_partitions)
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        from repro.db import ExecutionContext
+        from repro.db.operators import scan_filter
+        from repro.db.operators.join import hash_join
+        left, right = self.tables()
+        ctx = ExecutionContext()
+        out = hash_join(left, right, self.key, self.key, ctx,
+                        name=f"{self.name}_join")
+        out = scan_filter(out, self.predicate.evaluator(out.schema), ctx,
+                          name=self.name)
+        digest = _rows_digest(self.name, out.rows)
+        return self._settle(ctx, digest, token)
+
+    def make_shard(self, index: int, n_shards: int, left_rows: List,
+                   right_rows: List) -> "FragmentJob":
+        return FragmentJob(self, index, n_shards, left_rows, right_rows)
+
+    def merge_digests(self, shard_digests: List[Tuple]) -> Tuple:
+        """Gather class-level fragments, then apply the key constraint.
+
+        Fragments are filtered by the class predicate only (so the cache
+        can reuse them across key ranges); restricting the union to rows
+        whose key satisfies the key predicate reproduces the unsharded
+        predicated golden exactly, because radix partitions are disjoint
+        on the key and the partition set covers every qualifying key.
+        """
+        keep = self.key_pred.evaluator(self.joined_schema())
+        rows: List[Tuple] = []
+        for __, frag_rows in shard_digests:
+            rows.extend(r for r in frag_rows if keep(r))
+        return (self.name, tuple(sorted(rows)))
+
+
+class FragmentJob(JoinShardJob):
+    """One partition's class-level result fragment.
+
+    Join partition ``index``'s two sides, keep rows satisfying the parent's
+    *class* predicate (the key predicate is deliberately NOT applied — see
+    :meth:`PredicatedJoinJob.merge_digests`).  Its digest rows are exactly
+    what the semantic partition cache stores and replays.
+    """
+
+    kind = "join_fragment"
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        from repro.db import ExecutionContext, Table
+        from repro.db.operators import scan_filter
+        from repro.db.operators.join import hash_join
+        left, right = self.parent.tables()
+        lshard = Table(left.name, left.schema, self._left_rows)
+        rshard = Table(right.name, right.schema, self._right_rows)
+        ctx = ExecutionContext()
+        out = hash_join(lshard, rshard, self.parent.key, self.parent.key,
+                        ctx, name=f"{self.name}_join")
+        out = scan_filter(out, self.parent.class_pred.evaluator(out.schema),
+                          ctx, name=self.name)
         digest = _rows_digest(self.name, out.rows)
         return self._settle(ctx, digest, token)
 
@@ -454,6 +559,48 @@ JOIN_SPECS = (("join_rd", "ride", "driver", "driverId"),
 JOIN_NAMES = tuple(spec[0] for spec in JOIN_SPECS)
 
 
+def _pjoin_specs(n_drivers: int, n_riders: int) -> Tuple:
+    """The predicated-join catalog: hierarchy drill-downs over both joins.
+
+    region ⊃ district ⊃ block nest on the join key (so narrower queries'
+    partition sets and row sets are covered by broader ones — the
+    subsumption reuse the semantic cache exploits), plus class drill-downs
+    (rating/seats/fare) sharing key ranges across predicate classes.
+    Order is popularity rank for Zipf-skewed traffic.
+    """
+    from repro.db.planner import Predicate
+    d_region = Predicate.in_("driverId", range(max(1, 2 * n_drivers // 3)))
+    d_district = Predicate.in_("driverId", range(max(1, n_drivers // 3)))
+    d_block = Predicate.in_("driverId", range(max(1, n_drivers // 6)))
+    d_tail = Predicate.in_("driverId", range(3 * n_drivers // 4, n_drivers))
+    r_region = Predicate.in_("riderId", range(max(1, 2 * n_riders // 3)))
+    r_district = Predicate.in_("riderId", range(max(1, n_riders // 3)))
+    r_block = Predicate.in_("riderId", range(max(1, n_riders // 6)))
+    # Class constraints address the *joined* schema: right-side fields
+    # carry the join's "r_" prefix (driver/rider attributes), left-side
+    # fields (ride's fare) are bare.
+    rated = Predicate.ge("r_rating", 4.0)
+    roomy = Predicate.ge("r_seats", 4)
+    cheap = Predicate.lt("fare", 18.0)
+    return (
+        ("pj_rd_region", "ride", "driver", "driverId", d_region),
+        ("pj_rd_district", "ride", "driver", "driverId", d_district),
+        ("pj_rr_region", "rideReq", "rider", "riderId", r_region),
+        ("pj_rd_rated", "ride", "driver", "driverId", d_region & rated),
+        ("pj_rr_district", "rideReq", "rider", "riderId", r_district),
+        ("pj_rd_block", "ride", "driver", "driverId", d_block),
+        ("pj_rr_rated", "rideReq", "rider", "riderId", r_region & rated),
+        ("pj_rd_rated_roomy", "ride", "driver", "driverId",
+         d_district & rated & roomy),
+        ("pj_rr_block", "rideReq", "rider", "riderId", r_block),
+        ("pj_rd_tail_cheap", "ride", "driver", "driverId", d_tail & cheap),
+    )
+
+
+#: Predicated-join catalog names, in Zipf popularity-rank order.
+PJOIN_NAMES = tuple(spec[0] for spec in _pjoin_specs(60, 120))
+
+
 class ServingWorkload:
     """The catalog of jobs a serving runtime can be asked to run."""
 
@@ -486,6 +633,13 @@ class ServingWorkload:
             self.add(ShardedJoinJob(name, self._rideshare, left=left,
                                     right=right, key=key,
                                     dataset_key=dataset_key))
+        cfg = self._rideshare_cfg
+        for name, left, right, key, pred in _pjoin_specs(
+                cfg.get("n_drivers", _SERVING_RIDESHARE["n_drivers"]),
+                cfg.get("n_riders", _SERVING_RIDESHARE["n_riders"])):
+            self.add(PredicatedJoinJob(name, self._rideshare, left=left,
+                                       right=right, key=key, predicate=pred,
+                                       dataset_key=dataset_key))
         self.add(StreamingJob("stream_zone"))
 
     def add(self, job: Job) -> None:

@@ -1,0 +1,481 @@
+"""The semantic partition cache (`repro.serving.partition_cache`).
+
+Three layers of evidence that the cache can change latency but never an
+answer:
+
+* **property tests** (Hypothesis) over the predicate algebra itself —
+  canonicalization is order-insensitive and idempotent, subsumption is
+  reflexive/transitive and semantically sound, and every cache decision
+  partitions the query's partition set exactly;
+* **unit tests** of the fragment store — exact/derived hits, LRU-by-cost
+  and per-tenant-quota eviction, version invalidation with bounded
+  staleness consent, CRC corruption tripwires, late-insert races;
+* a **differential fuzz suite** — 50 seeded random query streams (mixes
+  of subsuming / overlapping / disjoint predicates with mid-stream
+  invalidations) through the full cached serving runtime, on both the
+  ``event`` and ``vector`` engine schedulers, asserting every cached
+  serve's digest equals the cold uncached run bit-for-bit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.lowering import partition_set_of, radix_of
+from repro.db.planner import Predicate
+from repro.reliability.health import DegradePolicy
+from repro.serving import (
+    CachePolicy,
+    PJOIN_NAMES,
+    PartitionCache,
+    Request,
+    ServingPolicy,
+    ServingRuntime,
+    ServingWorkload,
+    ShardPolicy,
+)
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies over the predicate algebra
+# ---------------------------------------------------------------------------
+
+COLUMNS = ("a", "b", "c")
+_columns = st.sampled_from(COLUMNS)
+_values = st.integers(0, 12)
+
+_atom = st.one_of(
+    st.tuples(st.just("in"), _columns,
+              st.lists(_values, max_size=4).map(tuple)),
+    st.tuples(st.just("eq"), _columns, _values),
+    st.tuples(st.just("ge"), _columns, _values),
+    st.tuples(st.just("lt"), _columns, _values),
+)
+_atoms = st.lists(_atom, max_size=6)
+_predicates = _atoms.map(lambda ats: Predicate.of(*ats))
+#: Small row domain: every column combination the values can produce.
+_rows = st.tuples(st.integers(-1, 13), st.integers(-1, 13),
+                  st.integers(-1, 13))
+
+
+def _matches(pred: Predicate, row) -> bool:
+    return all(pred.matches(value, column)
+               for column, value in zip(COLUMNS, row))
+
+
+class TestPredicateProperties:
+    @given(_atoms, st.randoms(use_true_random=False))
+    def test_canonical_key_is_order_insensitive(self, atoms, rng):
+        shuffled = list(atoms)
+        rng.shuffle(shuffled)
+        assert Predicate.of(*atoms).key() == Predicate.of(*shuffled).key()
+
+    @given(_predicates, _predicates)
+    def test_conjunction_commutes(self, p, q):
+        assert (p & q).key() == (q & p).key()
+
+    @given(_predicates)
+    def test_canonicalization_is_idempotent(self, p):
+        assert Predicate.of(*p.atoms()).key() == p.key()
+
+    @given(_predicates, _rows)
+    def test_atoms_round_trip_semantics(self, p, row):
+        assert _matches(Predicate.of(*p.atoms()), row) == _matches(p, row)
+
+    @given(_predicates)
+    def test_subsumption_is_reflexive(self, p):
+        assert p.subsumes(p)
+
+    @given(_predicates, _predicates, _predicates)
+    def test_subsumption_is_transitive(self, p, q, r):
+        if p.subsumes(q) and q.subsumes(r):
+            assert p.subsumes(r)
+
+    @given(_predicates, _predicates, _rows)
+    def test_subsumption_is_semantically_sound(self, p, q, row):
+        # p ⊇ q means every row satisfying q satisfies p: a broader
+        # cached class really contains the narrower query's rows.
+        if p.subsumes(q) and _matches(q, row):
+            assert _matches(p, row)
+
+    @given(_predicates, _rows)
+    def test_conjunction_is_intersection(self, p, row):
+        q = Predicate.ge("a", 4)
+        assert _matches(p & q, row) == (_matches(p, row)
+                                        and _matches(q, row))
+
+    @given(_predicates)
+    def test_split_partitions_the_columns(self, p):
+        on, rest = p.split("a")
+        assert set(on.columns()) <= {"a"}
+        assert "a" not in rest.columns()
+        assert (on & rest).key() == p.key()
+
+
+class TestPartitionSetOf:
+    @given(st.lists(_values, min_size=1, max_size=8),
+           st.sampled_from([2, 4, 8]))
+    def test_in_sets_map_to_member_partitions(self, members, n):
+        pred = Predicate.in_("k", members)
+        parts = partition_set_of(pred, "k", n)
+        assert set(parts) == {radix_of(v, n) for v in members}
+        assert list(parts) == sorted(parts)
+
+    @given(st.sampled_from([2, 4, 8]))
+    def test_unconstrained_and_ranges_need_every_partition(self, n):
+        assert partition_set_of(Predicate.true(), "k", n) == tuple(range(n))
+        assert partition_set_of(Predicate.ge("k", 3), "k",
+                                n) == tuple(range(n))
+
+    def test_contradiction_is_empty(self):
+        pred = Predicate.ge("k", 5) & Predicate.lt("k", 5)
+        assert partition_set_of(pred, "k", 8) == ()
+
+
+# ---------------------------------------------------------------------------
+# Fragment-store unit tests (synthetic jobs, no fabric)
+# ---------------------------------------------------------------------------
+
+class _Schema:
+    def __init__(self, *fields):
+        self.fields = list(fields)
+
+    def index(self, name):
+        return self.fields.index(name)
+
+
+_FAKE_SCHEMA = _Schema("k", "v")
+
+
+class _FakeJob:
+    """Just enough job surface for the cache: identity + class predicate."""
+
+    def __init__(self, class_pred=None, dataset_key=("ds",), key="k"):
+        self.class_pred = class_pred or Predicate.true()
+        self.dataset_key = dataset_key
+        self.key = key
+
+    def joined_schema(self):
+        return _FAKE_SCHEMA
+
+
+def _rows_for(k, n=4):
+    return tuple((k, 10 * k + i) for i in range(n))
+
+
+def _cache(**policy_kwargs):
+    cache = PartitionCache(CachePolicy(**policy_kwargs))
+    return cache, cache.metrics
+
+
+def _count(cache, name):
+    return cache.metrics.counter(f"serving.partition_cache.{name}").value
+
+
+class TestPartitionCacheStore:
+    def test_exact_hit_round_trip(self):
+        cache, __ = _cache()
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        for k in (0, 1):
+            cache.insert("t", job, 4, k, _rows_for(k), cost=100,
+                         version=version)
+        decision = cache.lookup("t", job, 4, (0, 1))
+        assert decision.disposition == "hit"
+        assert decision.residual == ()
+        assert decision.fragments == {0: _rows_for(0), 1: _rows_for(1)}
+        assert _count(cache, "hits") == 1
+
+    def test_partial_and_miss_dispositions(self):
+        cache, __ = _cache()
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        cache.insert("t", job, 4, 0, _rows_for(0), 100, version)
+        partial = cache.lookup("t", job, 4, (0, 1, 2))
+        assert partial.disposition == "partial:1/3"
+        assert partial.residual == (1, 2)
+        assert abs(partial.residual_fraction - 2 / 3) < 1e-9
+        miss = cache.lookup("t", job, 4, (3,))
+        assert miss.disposition == "miss"
+        assert _count(cache, "partial_hits") == 1
+        assert _count(cache, "misses") == 1
+
+    def test_decision_always_partitions_the_partition_set(self):
+        # residual ∪ (exact ∪ derived ∪ stale) == parts, disjointly —
+        # the coordinator relies on this to dispatch without holes.
+        cache, __ = _cache()
+        rng = random.Random(7)
+        narrow = _FakeJob(Predicate.ge("v", 5))
+        broad = _FakeJob()
+        for trial in range(50):
+            job = rng.choice((narrow, broad))
+            version = cache.version_of(job.dataset_key)
+            if rng.random() < 0.5:
+                cache.insert("t", job, 8, rng.randrange(8),
+                             _rows_for(trial), 10, version)
+            if rng.random() < 0.2:
+                cache.invalidate(job.dataset_key)
+            parts = tuple(sorted(rng.sample(range(8),
+                                            rng.randrange(1, 9))))
+            d = cache.lookup("t", job, 8, parts)
+            covered = d.exact + d.derived + d.stale
+            assert tuple(sorted(covered + d.residual)) == parts
+            assert set(d.fragments) == set(covered)
+
+    def test_derived_hit_narrows_a_broader_class(self):
+        cache, __ = _cache()
+        broad = _FakeJob(Predicate.true())
+        narrow = _FakeJob(Predicate.ge("v", 2))
+        version = cache.version_of(broad.dataset_key)
+        cache.insert("t", broad, 4, 0, _rows_for(0), 100, version)
+        decision = cache.lookup("t", narrow, 4, (0,))
+        assert decision.disposition == "hit"
+        assert decision.derived == (0,)
+        assert decision.fragments[0] == tuple(
+            r for r in _rows_for(0) if r[1] >= 2)
+        assert decision.lookup_cycles > 1      # the filter pass is priced
+        assert _count(cache, "derived_hits") == 1
+        # Re-cached under the narrow class: the next lookup is exact.
+        again = cache.lookup("t", narrow, 4, (0,))
+        assert again.exact == (0,)
+
+    def test_derived_hit_never_widens(self):
+        # A *narrower* cached class must not serve a broader query.
+        cache, __ = _cache()
+        narrow = _FakeJob(Predicate.ge("v", 2))
+        broad = _FakeJob(Predicate.true())
+        version = cache.version_of(narrow.dataset_key)
+        cache.insert("t", narrow, 4, 0, _rows_for(0), 100, version)
+        assert cache.lookup("t", broad, 4, (0,)).disposition == "miss"
+
+    def test_tenants_are_isolated(self):
+        cache, __ = _cache()
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        cache.insert("acme", job, 4, 0, _rows_for(0), 100, version)
+        assert cache.lookup("globex", job, 4, (0,)).disposition == "miss"
+        assert cache.lookup("acme", job, 4, (0,)).disposition == "hit"
+
+    def test_lru_eviction_bounded_by_total_cost(self):
+        cache, __ = _cache(capacity_cost=250)
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        for k in range(3):
+            cache.insert("t", job, 4, k, _rows_for(k), 100, version)
+        assert len(cache) == 2
+        assert cache.total_cost <= 250
+        assert _count(cache, "evictions") == 1
+        # Partition 0 was the LRU victim; 1 and 2 still serve.
+        assert cache.lookup("t", job, 4, (0,)).disposition == "miss"
+        assert cache.lookup("t", job, 4, (1, 2)).disposition == "hit"
+
+    def test_tenant_quota_evicts_within_the_tenant_only(self):
+        cache, __ = _cache(tenant_quota=250)
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        cache.insert("globex", job, 4, 3, _rows_for(3), 100, version)
+        for k in range(3):
+            cache.insert("acme", job, 4, k, _rows_for(k), 100, version)
+        assert cache.tenant_cost["acme"] <= 250
+        # globex's fragment survived acme blowing its own quota.
+        assert cache.lookup("globex", job, 4, (3,)).disposition == "hit"
+        assert cache.lookup("acme", job, 4, (0,)).disposition == "miss"
+
+    def test_invalidation_stops_serving_and_drops_late_inserts(self):
+        cache, __ = _cache()
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        cache.insert("t", job, 4, 0, _rows_for(0), 100, version)
+        cache.invalidate(job.dataset_key)
+        # Default policy: no staleness consent — the fragment is dropped.
+        assert cache.lookup("t", job, 4, (0,)).disposition == "miss"
+        assert _count(cache, "stale_dropped") == 1
+        # A residual run dispatched before the invalidation lands late.
+        assert not cache.insert("t", job, 4, 1, _rows_for(1), 100, version)
+        assert _count(cache, "late_inserts_dropped") == 1
+
+    def test_bounded_staleness_serves_within_consent(self):
+        cache, __ = _cache(degrade=DegradePolicy(serve_stale=True,
+                                                 max_staleness=1))
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        cache.insert("t", job, 4, 0, _rows_for(0), 100, version)
+        cache.invalidate(job.dataset_key)
+        decision = cache.lookup("t", job, 4, (0,))
+        assert decision.disposition == "hit"
+        assert decision.stale == (0,)
+        assert _count(cache, "stale_served") == 1
+        # One more version and the fragment exceeds consent.
+        cache.invalidate(job.dataset_key)
+        assert cache.lookup("t", job, 4, (0,)).disposition == "miss"
+        assert _count(cache, "stale_dropped") == 1
+
+    def test_global_epoch_invalidates_every_dataset(self):
+        cache, __ = _cache()
+        jobs = [_FakeJob(dataset_key=("ds", i)) for i in range(2)]
+        for job in jobs:
+            cache.insert("t", job, 4, 0, _rows_for(0), 100,
+                         cache.version_of(job.dataset_key))
+        cache.invalidate()                     # global epoch bump
+        for job in jobs:
+            assert cache.lookup("t", job, 4, (0,)).disposition == "miss"
+
+    def test_corruption_is_detected_and_degrades_to_miss(self):
+        cache, __ = _cache()
+        job = _FakeJob()
+        version = cache.version_of(job.dataset_key)
+        cache.insert("t", job, 4, 0, _rows_for(0), 100, version)
+        assert cache.corrupt(seed=9) is not None
+        decision = cache.lookup("t", job, 4, (0,))
+        assert decision.disposition == "miss"
+        assert _count(cache, "corruption_dropped") == 1
+        assert len(cache) == 0                 # the bad fragment is gone
+
+    def test_corrupt_fragment_cannot_serve_via_derive(self):
+        cache, __ = _cache()
+        broad = _FakeJob(Predicate.true())
+        narrow = _FakeJob(Predicate.ge("v", 2))
+        version = cache.version_of(broad.dataset_key)
+        cache.insert("t", broad, 4, 0, _rows_for(0), 100, version)
+        cache.corrupt(seed=0)
+        assert cache.lookup("t", narrow, 4, (0,)).disposition == "miss"
+
+
+# ---------------------------------------------------------------------------
+# Cached serving through the full runtime
+# ---------------------------------------------------------------------------
+
+#: Small enough for hundreds of cold runs, big enough that every radix
+#: partition of every predicated join is non-trivial.
+_TINY_CFG = dict(n_drivers=16, n_riders=24, n_locations=4, n_rides=120,
+                 n_ride_reqs=48, n_driver_status=48)
+
+
+@pytest.fixture(scope="module", params=["event", "vector"])
+def fuzz_workload(request):
+    workload = ServingWorkload(seed=5, rideshare_cfg=_TINY_CFG)
+    for name in workload.names("sim"):
+        workload.job(name).scheduler = request.param
+    return workload
+
+
+def _cached_policy(**cache_kwargs):
+    return ServingPolicy(cache=CachePolicy(
+        residual=ShardPolicy(n_shards=4), **cache_kwargs))
+
+
+def _cold_digests():
+    """The differential reference: every predicated query executed cold,
+    whole and uncached, on an independently constructed workload (fresh
+    dataset generation, fresh plans — only the seed is shared)."""
+    cold = ServingWorkload(seed=5, rideshare_cfg=_TINY_CFG)
+    return {name: cold.job(name).execute()[1] for name in PJOIN_NAMES}
+
+
+class TestCachedServing:
+    def test_repeat_query_hits_and_matches_golden(self, fuzz_workload):
+        rt = ServingRuntime(fuzz_workload, n_replicas=2,
+                            policy=_cached_policy(), seed=0)
+        for i in range(3):
+            rt.submit(Request(id=i, tenant="t", query="pj_rd_district",
+                              arrival=i * 1_000_000))
+        outcomes = rt.run()
+        # The runtime verifies every serve (cached merges included)
+        # against the golden digest: "ok" here means bit-identical.
+        assert [o.status for o in outcomes] == ["ok"] * 3
+        assert outcomes[0].cached == "miss"
+        assert outcomes[1].cached == outcomes[2].cached == "hit"
+        assert outcomes[1].cycles < outcomes[0].cycles
+        assert rt.check() == []
+
+    def test_drill_down_derives_from_broader_class(self, fuzz_workload):
+        rt = ServingRuntime(fuzz_workload, n_replicas=2,
+                            policy=_cached_policy(), seed=0)
+        # Warm the rated region, then drill into the rated+roomy district:
+        # same join, narrower key set AND narrower class.
+        rt.submit(Request(id=0, tenant="t", query="pj_rd_rated",
+                          arrival=0))
+        rt.submit(Request(id=1, tenant="t", query="pj_rd_rated_roomy",
+                          arrival=1_000_000))
+        outcomes = rt.run()
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].cached == "hit"
+        assert rt.metrics.counter(
+            "serving.partition_cache.derived_hits").value > 0
+        assert rt.check() == []
+
+    def test_invalidation_event_forces_recompute(self, fuzz_workload):
+        rt = ServingRuntime(fuzz_workload, n_replicas=2,
+                            policy=_cached_policy(), seed=0,
+                            invalidation_schedule=[1_500_000])
+        for i in range(3):
+            rt.submit(Request(id=i, tenant="t", query="pj_rr_district",
+                              arrival=i * 1_000_000))
+        outcomes = rt.run()
+        assert [o.cached for o in outcomes] == ["miss", "hit", "miss"]
+        assert all(o.ok for o in outcomes)
+        assert rt.check() == []
+
+    def test_corruption_event_degrades_not_corrupts(self, fuzz_workload):
+        rt = ServingRuntime(fuzz_workload, n_replicas=2,
+                            policy=_cached_policy(), seed=0,
+                            corruption_schedule=[1_500_000])
+        for i in range(3):
+            rt.submit(Request(id=i, tenant="t", query="pj_rd_block",
+                              arrival=i * 1_000_000))
+        outcomes = rt.run()
+        assert all(o.ok for o in outcomes)
+        assert rt.metrics.counter(
+            "serving.partition_cache.corruption_dropped").value > 0
+        assert rt.check() == []
+
+
+class TestDifferentialFuzz:
+    """50 seeded random streams, each checked against cold uncached runs."""
+
+    N_SEEDS = 25                      # × 2 scheduler params = 50 streams
+
+    def _stream(self, seed):
+        """A random mix of subsuming / overlapping / disjoint predicated
+        queries (the catalog's drill-down hierarchy supplies all three
+        relations) with seeded tenants and arrival jitter."""
+        rng = random.Random(seed)
+        requests = []
+        t = 0
+        for i in range(12):
+            t += rng.randrange(1, 120_000)
+            requests.append(Request(
+                id=i, tenant=rng.choice(("acme", "globex")),
+                query=rng.choice(PJOIN_NAMES), arrival=t))
+        return requests
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_cached_serves_equal_cold_uncached_runs(self, fuzz_workload,
+                                                    seed, cold_digests):
+        rng = random.Random(seed * 9176 + 13)
+        invalidations = sorted(rng.randrange(50_000, 900_000)
+                               for __ in range(rng.randrange(0, 3)))
+        rt = ServingRuntime(fuzz_workload, n_replicas=3,
+                            policy=_cached_policy(), seed=seed,
+                            invalidation_schedule=invalidations)
+        requests = self._stream(seed)
+        for request in requests:
+            rt.submit(request)
+        outcomes = rt.run()
+        assert len(outcomes) == len(requests)          # conservation
+        # The runtime compares every serve's digest (cached merges
+        # included) against the workload golden and would have finalized
+        # a mismatch as wrong_result; closing the differential loop, the
+        # golden itself must equal the independent cold uncached run.
+        assert rt.check() == []
+        for outcome in outcomes:
+            assert outcome.status != "wrong_result"
+            if outcome.ok:
+                golden = fuzz_workload.golden(outcome.request.query)
+                assert golden.digest == cold_digests[outcome.request.query]
+
+
+@pytest.fixture(scope="module")
+def cold_digests():
+    return _cold_digests()

@@ -375,6 +375,44 @@ class TestPlanCache:
         cycles, digest = cache.execute(job, token=CancelToken(1 << 30))
         assert (cycles, digest) == job.execute()
 
+    def test_cache_keys_are_tenant_scoped(self, workload):
+        # Regression: a tenant-blind key let one tenant's traffic warm
+        # (and evict) another's plans, defeating quota isolation.
+        cache, metrics = self._cache()
+        job = workload.job("q1")
+        first = cache.execute(job, token=CancelToken(1 << 30,
+                                                     tenant="acme"))
+        cross = cache.execute(job, token=CancelToken(1 << 30,
+                                                     tenant="globex"))
+        assert first == cross == job.execute()
+        assert metrics.counter("serving.plan_cache.misses").value == 2
+        assert metrics.counter("serving.plan_cache.hits").value == 0
+        assert len(cache) == 2
+        cache.execute(job, token=CancelToken(1 << 30, tenant="acme"))
+        assert metrics.counter("serving.plan_cache.hits").value == 1
+
+    def test_tenant_entries_occupy_distinct_slots_under_pressure(
+            self, workload):
+        # Tenant-scoped keys mean the same query cached for two tenants
+        # fills two slots, and capacity eviction is honest about it.
+        cache, metrics = self._cache(capacity=2)
+        cache.execute(workload.job("q1"),
+                      token=CancelToken(1 << 30, tenant="globex"))
+        cache.execute(workload.job("q1"),
+                      token=CancelToken(1 << 30, tenant="acme"))
+        assert len(cache) == 2
+        cache.execute(workload.job("q2"),
+                      token=CancelToken(1 << 30, tenant="acme"))
+        assert len(cache) == 2
+        assert metrics.counter("serving.plan_cache.evictions").value == 1
+        # globex's entry was the LRU and is gone; acme's q1 survives.
+        cache.execute(workload.job("q1"),
+                      token=CancelToken(1 << 30, tenant="acme"))
+        assert metrics.counter("serving.plan_cache.hits").value == 1
+        cache.execute(workload.job("q1"),
+                      token=CancelToken(1 << 30, tenant="globex"))
+        assert metrics.counter("serving.plan_cache.misses").value == 4
+
     def test_sim_jobs_and_injected_runs_bypass(self, workload):
         cache, metrics = self._cache()
         cache.execute(workload.job("sim_map"))
