@@ -1,0 +1,154 @@
+"""Live-ingestion benchmark gate: query flights under concurrent writes.
+
+Runs the 200-request ingest-concurrent chaos configuration — taxi query
+flights mixed into the standard catalog while seeded append batches flow
+into the live dataset, with deterministically flaky replicas, one
+permanent replica kill, and one seeded mid-compaction-window kill — and
+records snapshot/maintenance/starvation statistics in
+``BENCH_INGEST.json``.
+
+Hard requirements, enforced as exit status:
+
+* **zero wrong results** — every ``ok`` serve's digest equals the golden
+  of the *version the request pinned*, and every serving invariant holds;
+* **no torn versions** — every published version's content equals the
+  serial replay of its append-log prefix, even with kills landing
+  mid-maintenance;
+* **starvation bounded** — the memtable high-water mark never exceeds
+  ``memtable_limit_factor × batch_size`` rows;
+* **bit-reproducible** — the run is executed twice and the outcome
+  signature sequences must be identical.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_ingest.py [--out PATH]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.serving import (
+    LoadTestConfig,
+    TAXI_NAMES,
+    check_invariants,
+    run_loadtest,
+    signature,
+)
+
+REQUESTS = 200
+SEED = 0
+KILLS = 1
+COMPACTION_KILLS = 1
+
+
+def _p50(cycles) -> int:
+    values = sorted(cycles)
+    return int(statistics.median(values)) if values else 0
+
+
+def outcome_counts(runtime) -> dict:
+    counts: dict = {}
+    for o in runtime.outcomes:
+        counts[o.status] = counts.get(o.status, 0) + 1
+    return counts
+
+
+def check_run(label: str, runtime, failures: list) -> None:
+    for violation in check_invariants(runtime):
+        failures.append(f"{label}: {violation}")
+    wrong = sum(1 for o in runtime.outcomes if o.status == "wrong_result")
+    if wrong:
+        failures.append(f"{label}: {wrong} wrong result(s)")
+    dataset = runtime.ingest.dataset
+    for version, __kind, n_rows in dataset.version_log:
+        if dataset.content_digest(version) != dataset.prefix_digest(n_rows):
+            failures.append(
+                f"{label}: version {version} is torn — content differs "
+                f"from the serial replay of its {n_rows}-row prefix")
+    starvation = runtime.ingest.report()["starvation"]
+    if not starvation["within_bound"]:
+        failures.append(
+            f"{label}: memtable high-water mark "
+            f"{starvation['max_memtable']} exceeds the "
+            f"{starvation['memtable_bound']}-row bound "
+            f"(compaction starvation unbounded)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_INGEST.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    config = LoadTestConfig(
+        requests=REQUESTS, seed=SEED, faults=True, ingest=True,
+        kills=KILLS, compaction_kills=COMPACTION_KILLS)
+
+    failures: list = []
+    t0 = time.perf_counter()
+
+    runtime = run_loadtest(config)
+    rerun = run_loadtest(config)
+
+    check_run("run", runtime, failures)
+    check_run("rerun", rerun, failures)
+    if signature(runtime) != signature(rerun):
+        failures.append("re-running the identical config produced a "
+                        "different outcome signature (determinism broken)")
+
+    report = runtime.report()["ingest"]
+    dataset, maintenance = report["dataset"], report["maintenance"]
+    starvation = report["starvation"]
+    taxi = [o for o in runtime.outcomes if o.request.query in TAXI_NAMES]
+    versions_pinned = sorted({o.request.snapshot for o in taxi
+                              if o.request.snapshot is not None})
+    taxi_p50 = _p50(o.cycles for o in taxi if o.ok)
+
+    print(f"{REQUESTS} requests + live ingestion (seed {SEED}, faults on, "
+          f"kills={KILLS}+{COMPACTION_KILLS} mid-compaction):")
+    print(f"  ingest: {dataset['rows_ingested']} rows -> "
+          f"{maintenance['flushes']} flushes {maintenance['compactions']} "
+          f"compactions ({dataset['versions_published']} versions, "
+          f"wamp={dataset['write_amplification']})")
+    print(f"  flights: {len(taxi)} taxi requests pinned "
+          f"{len(versions_pinned)} distinct versions, ok-p50={taxi_p50}")
+    print(f"  starvation: max_memtable={starvation['max_memtable']}"
+          f"/{starvation['memtable_bound']} "
+          f"escalations={report['escalations']} "
+          f"abandoned={maintenance['compactions_abandoned']} "
+          f"requeued={maintenance['flushes_requeued']}")
+
+    result = {
+        "config": {
+            "requests": REQUESTS, "seed": SEED, "kills": KILLS,
+            "compaction_kills": COMPACTION_KILLS,
+            "ingest_rate": config.ingest_rate,
+            "ingest_batch_rows": list(config.ingest_batch_rows),
+        },
+        "outcomes": outcome_counts(runtime),
+        "taxi": {"requests": len(taxi),
+                 "versions_pinned": versions_pinned,
+                 "ok_p50_cycles": taxi_p50},
+        "ingest_report": report,
+        "reproducible": signature(runtime) == signature(rerun),
+        "wall_s": round(time.perf_counter() - t0, 3),
+        "failures": failures,
+        "ok": not failures,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=1, default=str))
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ingest bench: zero wrong results across pinned versions, no "
+          "torn publications, starvation bounded, bit-reproducible")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -220,7 +220,8 @@ def cmd_loadtest(args) -> int:
         shards=args.shards, kills=args.kills, elastic=args.elastic,
         cache=args.cache, cache_partitions=args.cache_partitions,
         zipf=args.zipf, invalidations=args.invalidations,
-        corruptions=args.corruptions)
+        corruptions=args.corruptions, ingest=args.ingest,
+        ingest_rate=args.rate, compaction_kills=args.compaction_kills)
     workload = ServingWorkload()
     runtime = run_loadtest(cfg, workload)
     violations = check_invariants(runtime)
@@ -254,6 +255,22 @@ def cmd_loadtest(args) -> int:
               f"(rate={pc['hit_rate']:.2f}) derived={pc['derived_hits']} "
               f"evicted={pc['evictions']} stale={pc['stale_served']}"
               f"/{pc['stale_dropped']} corrupt={pc['corruption_dropped']}")
+    if cfg.ingest:
+        ing = report["ingest"]
+        ds, mt = ing["dataset"], ing["maintenance"]
+        sv = ing["starvation"]
+        print(f"  ingest: {ds['rows_ingested']} rows in "
+              f"{mt['batches']} batches -> {mt['flushes']} flushes "
+              f"{mt['compactions']} compactions "
+              f"({ds['versions_published']} versions, "
+              f"wamp={ds['write_amplification']}) "
+              f"abandoned={mt['compactions_abandoned']} "
+              f"torn_avoided={mt['torn_avoided']}")
+        print(f"  starvation: max_memtable={sv['max_memtable']}"
+              f"/{sv['memtable_bound']} "
+              f"({'ok' if sv['within_bound'] else 'EXCEEDED'}) "
+              f"max_wait={sv['max_wait']} escalations="
+              f"{ing['escalations']}")
     if cfg.kills or cfg.elastic:
         fl = report["fleet"]
         print(f"  fleet: size={fl['size']} active={fl['active']} "
@@ -358,6 +375,17 @@ def main(argv=None) -> int:
     lt.add_argument("--corruptions", type=int, default=0, metavar="N",
                     help="seeded cached-fragment corruptions (the CRC "
                          "tripwire must catch every one)")
+    lt.add_argument("--ingest", action="store_true",
+                    help="run seeded live ingestion concurrently: taxi "
+                         "query flights pin snapshot versions while "
+                         "flush/compaction run as background fabric work")
+    lt.add_argument("--rate", type=int, default=1_200, metavar="R",
+                    help="mean cycles between ingest batches "
+                         "(default 1200; needs --ingest)")
+    lt.add_argument("--compaction-kills", type=int, default=0, metavar="N",
+                    help="kill N replicas at seeded mid-compaction cycles "
+                         "(needs --ingest; a lost compaction leg must be "
+                         "retried or abandoned, never published torn)")
     lt.add_argument("--elastic", action="store_true",
                     help="enable the elastic fleet "
                          "(grow/shrink/quarantine)")

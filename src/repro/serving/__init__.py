@@ -27,6 +27,16 @@ it can from cache, dispatches only the residual partitions through the
 scatter/gather path, and merges bit-identical to the unsharded golden —
 with per-tenant quotas, LRU-by-cost eviction, dataset-version
 invalidation with bounded staleness, and CRC tripwires on every serve.
+
+Live ingestion (:mod:`repro.serving.ingest`) adds the write path: seeded
+append batches flow into a per-dataset LSM memtable, flushes publish new
+immutable snapshot versions atomically, and merge compaction runs as
+background fabric work in a low-priority "compaction" admission class
+with deadline-based anti-starvation escalation.  Every query pins the
+snapshot version it admitted against and is checked against the golden
+digest *for that version* — reads stay consistent under concurrent
+writes, and a mid-compaction replica kill can never publish a torn
+version.
 """
 
 from repro.serving.admission import AdmissionController
@@ -42,6 +52,14 @@ from repro.serving.chaos import (
     run_loadtest,
     signature,
     zipf_weights,
+)
+from repro.serving.ingest import (
+    CompactionJob,
+    FlushJob,
+    IngestController,
+    IngestPolicy,
+    LiveDataset,
+    MaintenanceJob,
 )
 from repro.serving.partition_cache import (
     CacheDecision,
@@ -83,8 +101,11 @@ from repro.serving.workload import (
     ShardedJoinJob,
     SimJob,
     StreamingJob,
+    TAXI_NAMES,
+    TaxiFlightJob,
     derive_seed,
     fault_injector_for,
+    taxi_flight_jobs,
 )
 
 __all__ = [
@@ -95,18 +116,24 @@ __all__ = [
     "CachePolicy",
     "CancelToken",
     "CircuitBreaker",
+    "CompactionJob",
     "FabricReplica",
+    "FlushJob",
     "Fragment",
     "FragmentJob",
     "FleetManager",
     "FleetPolicy",
     "Golden",
     "HALF_OPEN",
+    "IngestController",
+    "IngestPolicy",
     "JOIN_NAMES",
     "Job",
     "JoinShardJob",
+    "LiveDataset",
     "LoadTestConfig",
     "LoweredPlan",
+    "MaintenanceJob",
     "OPEN",
     "Outcome",
     "PJOIN_NAMES",
@@ -129,6 +156,8 @@ __all__ = [
     "ShardedJoinJob",
     "SimJob",
     "StreamingJob",
+    "TAXI_NAMES",
+    "TaxiFlightJob",
     "build_runtime",
     "chaos_report",
     "check_invariants",
@@ -139,5 +168,6 @@ __all__ = [
     "priority_of",
     "run_loadtest",
     "signature",
+    "taxi_flight_jobs",
     "zipf_weights",
 ]

@@ -98,6 +98,26 @@ class AdmissionController:
         """
         self._queues[request.klass].appendleft(request)
 
+    def promote(self, request: Request, klass: str) -> bool:
+        """Move a queued request into a more important class (in place).
+
+        The anti-starvation escalation path: a background maintenance
+        request that has waited past its deadline is re-classed upward so
+        query traffic can no longer displace it indefinitely.  It enters
+        the target class at the *head* — by construction it is older than
+        anything queued there.  Returns False (and changes nothing) if the
+        request is not currently queued, e.g. already dispatched.
+        """
+        if klass not in self._queues:
+            raise ValueError(f"unknown priority class {klass!r}")
+        queue = self._queues.get(request.klass)
+        if queue is None or request not in queue:
+            return False
+        queue.remove(request)
+        request.klass = klass
+        self._queues[klass].appendleft(request)
+        return True
+
     # -- dispatch ----------------------------------------------------------
 
     def take(self, eligible: Optional[Callable[[Request], bool]] = None

@@ -39,6 +39,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.reliability.health import DegradePolicy
+from repro.serving.ingest import IngestPolicy
 from repro.serving.partition_cache import CachePolicy
 from repro.serving.request import Request
 from repro.serving.runtime import ServingPolicy, ServingRuntime
@@ -47,6 +48,7 @@ from repro.serving.workload import (
     JOIN_NAMES,
     PJOIN_NAMES,
     QUERY_NAMES,
+    TAXI_NAMES,
     ServingWorkload,
     derive_seed,
 )
@@ -104,6 +106,19 @@ class LoadTestConfig:
     invalidations: int = 0
     corruptions: int = 0
     churn_window: Tuple[int, int] = (5_000, 60_000)
+    #: Enable the live-ingestion write path: seeded append batches flow
+    #: into the taxi dataset's memtable concurrently with the query
+    #: stream, and the taxi flight catalog joins the offered mix.
+    ingest: bool = False
+    #: Mean virtual cycles between ingest batches (open loop).
+    ingest_rate: int = 1_200
+    #: Rows per ingest batch, drawn uniformly from this range.
+    ingest_batch_rows: Tuple[int, int] = (32, 96)
+    #: Extra seeded replica kills aimed at the compaction era (the kill
+    #: window's tail), on top of ``kills`` — the mid-compaction-kill
+    #: chaos mode: a lost maintenance leg must be retried or abandoned
+    #: without ever publishing a torn version.
+    compaction_kills: int = 0
 
 
 def zipf_weights(names: Tuple[str, ...],
@@ -121,25 +136,42 @@ def effective_mix(config: LoadTestConfig) -> Tuple[Tuple[str, int], ...]:
     joins do too; ``zipf > 0`` replaces the mix entirely with a
     Zipf-skewed predicated catalog (the cache's intended traffic shape)."""
     if config.zipf > 0:
-        return zipf_weights(PJOIN_NAMES, config.zipf)
-    mix = tuple(config.mix)
-    if config.shards > 0 and not any(n in JOIN_NAMES for n, __ in mix):
-        mix += (("join_rd", 10), ("join_rr", 6))
-    if config.cache and not any(n in PJOIN_NAMES for n, __ in mix):
-        mix += tuple((name, 3) for name in PJOIN_NAMES[:6])
+        mix = zipf_weights(PJOIN_NAMES, config.zipf)
+    else:
+        mix = tuple(config.mix)
+        if config.shards > 0 and not any(n in JOIN_NAMES for n, __ in mix):
+            mix += (("join_rd", 10), ("join_rr", 6))
+        if config.cache and not any(n in PJOIN_NAMES for n, __ in mix):
+            mix += tuple((name, 3) for name in PJOIN_NAMES[:6])
+    if config.ingest and not any(n in TAXI_NAMES for n, __ in mix):
+        # The flight catalog in Zipf-ish popularity-rank weights.
+        mix += tuple(zip(TAXI_NAMES, (8, 6, 5, 4, 3, 3, 2, 2, 1, 1)))
     return mix
 
 
 def kill_schedule_for(config: LoadTestConfig) -> Dict[int, int]:
     """Seeded chaos kills: ``config.kills`` distinct replicas, each dying
     permanently at a cycle drawn from ``config.kill_window``."""
-    if config.kills <= 0:
-        return {}
-    rng = random.Random(derive_seed(config.seed, 0xD1E))
-    victims = rng.sample(range(config.n_replicas),
-                         min(config.kills, config.n_replicas))
-    lo, hi = config.kill_window
-    return {victim: rng.randrange(lo, hi) for victim in sorted(victims)}
+    schedule: Dict[int, int] = {}
+    if config.kills > 0:
+        rng = random.Random(derive_seed(config.seed, 0xD1E))
+        victims = rng.sample(range(config.n_replicas),
+                             min(config.kills, config.n_replicas))
+        lo, hi = config.kill_window
+        schedule = {victim: rng.randrange(lo, hi)
+                    for victim in sorted(victims)}
+    if config.compaction_kills > 0:
+        # Aim extra kills at the window's back half, where the LSM ladder
+        # has grown and compactions are large — with ingestion on, these
+        # land mid-maintenance-run organically.
+        rng = random.Random(derive_seed(config.seed, 0xC0DE))
+        spare = [i for i in range(config.n_replicas) if i not in schedule]
+        lo, hi = config.kill_window
+        mid = (lo + hi) // 2
+        for victim in rng.sample(spare, min(config.compaction_kills,
+                                            len(spare))):
+            schedule[victim] = rng.randrange(mid, hi)
+    return schedule
 
 
 def churn_schedule_for(config: LoadTestConfig
@@ -153,6 +185,24 @@ def churn_schedule_for(config: LoadTestConfig
     corruptions = sorted(rng.randrange(lo, hi)
                          for __ in range(max(0, config.corruptions)))
     return invalidations, corruptions
+
+
+def ingest_schedule_for(config: LoadTestConfig) -> List[Tuple[int, int]]:
+    """Seeded open-loop append stream: ``(cycle, n_rows)`` batches at
+    mean interarrival ``ingest_rate``, spanning the query stream's whole
+    arrival horizon so reads and writes genuinely contend."""
+    if not config.ingest:
+        return []
+    rng = random.Random(derive_seed(config.seed, 0x1A6E))
+    horizon = config.requests * config.mean_interarrival
+    lo, hi = config.ingest_batch_rows
+    schedule: List[Tuple[int, int]] = []
+    t = 0
+    while True:
+        t += max(1, int(rng.expovariate(1.0 / config.ingest_rate)))
+        if t >= horizon:
+            return schedule
+        schedule.append((t, rng.randrange(lo, hi)))
 
 
 def generate_requests(config: LoadTestConfig) -> List[Request]:
@@ -194,6 +244,8 @@ def build_runtime(config: LoadTestConfig,
                 n_shards=config.cache_partitions,
                 degrade=DegradePolicy(serve_partial=True,
                                       min_coverage=0.25))))
+    if config.ingest and policy.ingest is None:
+        policy = replace(policy, ingest=IngestPolicy())
     invalidations, corruptions = churn_schedule_for(config)
     return ServingRuntime(
         workload, n_replicas=config.n_replicas, policy=policy,
@@ -202,7 +254,8 @@ def build_runtime(config: LoadTestConfig,
         fault_rate=config.fault_rate,
         kill_schedule=kill_schedule_for(config), metrics=metrics,
         invalidation_schedule=invalidations,
-        corruption_schedule=corruptions)
+        corruption_schedule=corruptions,
+        ingest_schedule=ingest_schedule_for(config))
 
 
 def run_loadtest(config: LoadTestConfig,
@@ -249,7 +302,7 @@ def check_invariants(runtime: ServingRuntime) -> List[str]:
                 f"{[t.__name__ for t in expected]}")
     for outcome in runtime.outcomes:
         if outcome.ok and not outcome.shards:
-            golden = runtime.workload.golden(outcome.request.query)
+            golden = runtime.golden_of(outcome.request)
             replica = next(r for r in runtime.replicas
                            if r.name == outcome.replica)
             if replica.fault_seed is None and outcome.cycles > golden.cycles:
@@ -333,6 +386,10 @@ def chaos_report(config: LoadTestConfig,
         "invalidations": config.invalidations,
         "corruptions": config.corruptions,
         "churn_schedule": [list(s) for s in churn_schedule_for(config)],
+        "ingest": config.ingest,
+        "ingest_rate": config.ingest_rate,
+        "ingest_batches": len(ingest_schedule_for(config)),
+        "compaction_kills": config.compaction_kills,
     }
     report["invariants"] = {"ok": not violations, "violations": violations}
     return report

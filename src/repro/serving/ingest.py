@@ -1,0 +1,566 @@
+"""Live ingestion: the serving runtime's write path (ROADMAP item 5).
+
+Until this module every byte of serving traffic was read-only over frozen
+snapshots.  Here the paper's §IV-B LSM-over-immutable-B-trees machinery
+finally earns its keep under production shapes: appends flow into a
+per-dataset memtable, a background **flush** job bulk-loads the claimed
+batch into a fresh immutable B-tree off to the side, a background
+**compaction** job merges one ladder-violating tree pair — and each
+becomes visible only through one atomic, versioned head-pointer
+publication in the completion handler.  A maintenance leg lost to a
+mid-run replica kill therefore publishes *nothing*: the work is retried
+on another replica or abandoned whole, never half-installed.
+
+**Snapshot pinning rule.**  Every query request against a live dataset is
+stamped at arrival with the latest *published* version and executes
+against exactly that :class:`~repro.structures.lsm.LsmSnapshot`, however
+many flushes and compactions land mid-flight.  Appends become visible
+only at flush publication, so a version's content is a pure function of
+the flushed row prefix — which is what makes the golden digest of a
+pinned version well-defined and lets the differential fuzz suite replay
+any interleaving serially.  The partition cache and the per-replica plan
+cache key on the snapshot version, so a write can change a query's
+latency but never its answer.
+
+**Compaction as admission-controlled work.**  Maintenance requests enter
+the normal admission queue in the new lowest-priority ``compaction``
+class: query traffic displaces them under load (starvation is *allowed*
+and measured — the memtable's high-water mark is the symptom), and a
+deadline-based anti-starvation escalation promotes a request that has
+waited too long to ``batch`` and then ``interactive`` so the backlog is
+bounded rather than unbounded.  All of it is attributed in
+:meth:`IngestController.report`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf.cost_model import CostModel
+from repro.serving.request import Request
+from repro.serving.workload import (
+    Golden,
+    Job,
+    LoweredPlan,
+    TAXI_NAMES,
+    derive_seed,
+    settle_plan,
+    taxi_flight_jobs,
+)
+from repro.structures.common import StructureEvents
+from repro.structures.hashing import radix_of
+from repro.structures.lsm import LsmSnapshot, LsmTree, merge_trees
+
+#: Maintenance request ids start here — far above both organic traffic
+#: and the benchmarks' warmup streams, so id-based filters stay valid.
+MAINTENANCE_ID_BASE = 5_000_000
+
+#: System tenant maintenance requests run under (not a real tenant, so
+#: per-tenant bulkheads and cache quotas never mix it with user traffic).
+SYSTEM_TENANT = "__system__"
+
+
+@dataclass
+class IngestPolicy:
+    """Knobs for the live-ingestion write path, all deterministic."""
+
+    #: Memtable flush threshold, in rows.  The starvation bound the CI
+    #: gate enforces is ``memtable_limit_factor * batch_size``.
+    batch_size: int = 256
+    #: Documented starvation bound: the memtable (buffered + claimed
+    #: in-flight rows) must never exceed this multiple of ``batch_size``.
+    memtable_limit_factor: int = 4
+    #: Pickup-zone key space of the taxi dataset.
+    n_zones: int = 64
+    #: Rows seeded (and eagerly flushed) before serving starts.
+    initial_rows: int = 2048
+    #: Anti-starvation escalation: a queued maintenance request that has
+    #: waited ``escalate_after`` cycles since first submission is promoted
+    #: to ``batch``; at twice that, to ``interactive``.
+    escalate_after: int = 12_000
+    #: Cycles a shed maintenance request waits before resubmission.
+    resubmit_delay: int = 400
+    #: Resubmissions after shed/failure before a compaction is abandoned
+    #: (flushes return their rows to the memtable instead — appends are
+    #: never lost, they just wait for the next flush attempt).
+    max_resubmits: int = 4
+
+
+def _make_row(rng: random.Random, trip_id: int,
+              n_zones: int) -> Tuple[int, Tuple[int, int, int, int]]:
+    """One taxi trip record: ``zone -> (trip_id, hour, dist_dm, fare)``.
+
+    All integers so digests are exact; a pure function of the rng stream.
+    """
+    zone = rng.randrange(n_zones)
+    hour = rng.randrange(24)
+    dist_dm = rng.randrange(5, 300)            # decimiles
+    fare_cents = 250 + dist_dm * rng.randrange(8, 15)
+    return zone, (trip_id, hour, dist_dm, fare_cents)
+
+
+class LiveDataset:
+    """One live-ingested LSM dataset plus its published version history.
+
+    ``snapshots`` maps every published version to its immutable handle;
+    ``version_log`` records ``(version, kind, rows_flushed)`` per
+    publication so the differential fuzz suite can reconstruct any
+    version's content from the append-order ``row_log`` prefix alone.
+    """
+
+    def __init__(self, name: str, policy: IngestPolicy, seed: int):
+        self.name = name
+        self.policy = policy
+        self.seed = seed
+        self.lsm = LsmTree(batch_size=policy.batch_size)
+        self.key = ("taxi", name, seed, policy.n_zones)
+        self.events = self.lsm.events
+        #: Append-order log of every ingested row (seed rows included).
+        self.row_log: List[Tuple[int, Tuple]] = []
+        self.rows_flushed = 0     # rows visible in the latest version
+        self.rows_claimed = 0     # rows handed to an in-flight flush
+        self.snapshots: Dict[int, LsmSnapshot] = {}
+        self.version_log: List[Tuple[int, str, int]] = []
+        self.max_memtable = 0
+        self._seed_initial()
+
+    def _seed_initial(self) -> None:
+        """Pre-serving data load: eager flushes, one published base
+        version (intermediate seeding versions are never pinned)."""
+        rng = random.Random(derive_seed(self.seed, 0x7A11))
+        for i in range(self.policy.initial_rows):
+            row = _make_row(rng, i, self.policy.n_zones)
+            self.row_log.append(row)
+            self.lsm.insert(*row)
+        self.lsm.flush()
+        self.rows_flushed = self.rows_claimed = len(self.row_log)
+        self._record("seed")
+
+    def _record(self, kind: str) -> None:
+        snap = self.lsm.snapshot()
+        if snap.buffer:
+            # Published handles exclude the memtable: appends become
+            # visible at flush publication only.
+            snap = LsmSnapshot(version=snap.version, trees=snap.trees)
+        self.snapshots[snap.version] = snap
+        self.version_log.append((snap.version, kind, self.rows_flushed))
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def current_version(self) -> int:
+        return self.lsm.version
+
+    def published(self) -> LsmSnapshot:
+        """The latest published handle (what new arrivals pin)."""
+        return self.snapshots[self.lsm.version]
+
+    def content_digest(self, version: int) -> Tuple:
+        """Order-independent content of one published version."""
+        snap = self.snapshots[version]
+        rows = []
+        for tree in snap.trees:
+            rows.extend(tree.leaves())
+        return tuple(sorted(rows))
+
+    def prefix_digest(self, n_rows: int) -> Tuple:
+        """What :meth:`content_digest` must equal for a version whose
+        ``version_log`` entry says ``n_rows`` rows were flushed — computed
+        from the append log alone, no LSM involved (the fuzz oracle)."""
+        return tuple(sorted(self.row_log[:n_rows]))
+
+    # -- writes ------------------------------------------------------------
+
+    def append_batch(self, n_rows: int, batch_seed: int) -> List[int]:
+        """Generate and buffer one seeded ingest batch; returns the sorted
+        set of zone keys the batch touched (for partition-scoped cache
+        invalidation)."""
+        rng = random.Random(batch_seed)
+        zones = set()
+        base = len(self.row_log)
+        for i in range(n_rows):
+            row = _make_row(rng, base + i, self.policy.n_zones)
+            self.row_log.append(row)
+            self.lsm.append(*row)
+            zones.add(row[0])
+        self.note_memtable()
+        return sorted(zones)
+
+    def memtable_rows(self) -> int:
+        """Unpublished rows: buffered plus claimed by an in-flight flush."""
+        return (self.lsm.buffered()
+                + (self.rows_claimed - self.rows_flushed))
+
+    def note_memtable(self) -> None:
+        self.max_memtable = max(self.max_memtable, self.memtable_rows())
+
+
+class MaintenanceJob(Job):
+    """Base of the background job class: work precomputed off to the
+    side, priced by the cost model, published only on completion.
+
+    ``execute`` replays the precomputed ``(cycles, digest)`` verdict —
+    fully deterministic, so retries on other replicas are bit-identical
+    and the runtime's golden check holds trivially.  The *mutation* is
+    not here: :meth:`IngestController._on_maintenance_ok` publishes.
+    """
+
+    kind = "maintenance"
+
+    def __init__(self, name: str, dataset: LiveDataset,
+                 delta: StructureEvents, rows: int, digest: Tuple,
+                 created: int):
+        super().__init__(name)
+        self.dataset = dataset
+        self.delta = delta
+        model = CostModel()
+        self.cycles = max(1, int(round(
+            model.event_cycles(delta, rows=rows).cycles
+            + model.stage_overhead_cycles)))
+        self.digest = digest
+        #: First-submission cycle — preserved across resubmits so
+        #: escalation deadlines accumulate over the job's whole wait.
+        self.created = created
+        self.resubmits = 0
+        #: This submission already jumped to the head of its queue under
+        #: memtable pressure (reset per submission in ``_submit``).
+        self.boosted = False
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        return settle_plan(self.name, (self.name,), (float(self.cycles),),
+                           self.digest, token)
+
+
+class FlushJob(MaintenanceJob):
+    """Publish the claimed memtable batch as a fresh immutable tree."""
+
+    def __init__(self, dataset: LiveDataset, batch: List[Tuple[int, Tuple]],
+                 created: int, sequence: int):
+        self.batch = batch
+        tree, delta = dataset.lsm.build_batch_tree(list(batch))
+        self.tree = tree
+        digest = ("flush", dataset.name, sequence, len(batch),
+                  tuple(sorted(batch)))
+        super().__init__(f"flush:{dataset.name}:{sequence}", dataset,
+                         delta, len(batch), digest, created)
+
+
+class CompactionJob(MaintenanceJob):
+    """Merge one ladder-violating adjacent tree pair, functionally."""
+
+    def __init__(self, dataset: LiveDataset, a, b, created: int,
+                 sequence: int):
+        self.a = a
+        self.b = b
+        merged, delta = merge_trees(a, b, dataset.lsm.fanout)
+        self.merged = merged
+        digest = ("compaction", dataset.name, sequence, len(a), len(b),
+                  len(merged))
+        super().__init__(f"compact:{dataset.name}:{sequence}", dataset,
+                         delta, len(merged), digest, created)
+
+
+class IngestController:
+    """Wires the write path into one :class:`ServingRuntime`.
+
+    Owns the live dataset, registers the taxi flight catalog, pins
+    arriving queries to the published version, turns memtable pressure
+    into admission-controlled maintenance requests (at most one in
+    flight per dataset, so publications are strictly ordered), publishes
+    completed maintenance atomically, and escalates starved requests.
+    """
+
+    def __init__(self, runtime, policy: IngestPolicy):
+        self.runtime = runtime
+        self.policy = policy
+        self.dataset = LiveDataset("nyc", policy, runtime.seed)
+        self.flights: Dict[str, Job] = {}
+        for flight in taxi_flight_jobs(self.dataset):
+            self.flights[flight.name] = flight
+            runtime.workload.add(flight)
+        self._goldens: Dict[Tuple[str, int], Golden] = {}
+        #: request id -> (request, job) for every live maintenance request.
+        self._live: Dict[int, Tuple[Request, MaintenanceJob]] = {}
+        #: request id -> golden for *completed* maintenance requests, so
+        #: post-hoc invariant checks can still resolve them.
+        self._done: Dict[int, Golden] = {}
+        self._next_id = MAINTENANCE_ID_BASE
+        self._sequence = 0
+        self._batches = 0
+        #: One in-flight request per maintenance kind.  A flush and a
+        #: compaction commute safely — the flush installs at the head of
+        #: the tree list, the merge CAS matches its inputs by adjacency —
+        #: so memtable pressure never waits behind a starved compaction.
+        self._outstanding: Dict[str, Optional[int]] = {
+            "flush": None, "compaction": None}
+        #: (id(a), id(b)) pairs of abandoned merges — never re-enqueued
+        #: (the trees stay alive in pinned snapshots, so ids are stable).
+        self._abandoned_pairs: set = set()
+        self.counts: Dict[str, int] = {
+            "batches": 0, "rows": 0, "flushes": 0, "compactions": 0,
+            "shed": 0, "failed": 0, "resubmits": 0,
+            "compactions_abandoned": 0, "flushes_requeued": 0,
+            "torn_avoided": 0, "partition_invalidations": 0,
+            "stranded_fleet_lost": 0,
+        }
+        self.escalations: Dict[str, int] = {"batch": 0, "interactive": 0}
+        #: Completed maintenance wait times (completion - first submit).
+        self.waits: List[int] = []
+
+    # -- query-side hooks --------------------------------------------------
+
+    def pin(self, request: Request) -> None:
+        """Stamp a taxi query with the latest published version (once)."""
+        if request.snapshot is None and request.query in self.flights:
+            request.snapshot = self.dataset.current_version
+
+    def job_for(self, request: Request) -> Optional[Job]:
+        """The executable for ``request``, or None for catalog jobs."""
+        live = self._live.get(request.id)
+        if live is not None:
+            return live[1]
+        flight = self.flights.get(request.query)
+        if flight is not None and request.snapshot is not None:
+            return flight.at(self.dataset.snapshots[request.snapshot])
+        return None
+
+    def golden_of(self, request: Request) -> Optional[Golden]:
+        """The golden for ``request``'s *pinned version*, or None."""
+        live = self._live.get(request.id)
+        if live is not None:
+            job = live[1]
+            return Golden(cycles=job.cycles, digest=job.digest)
+        done = self._done.get(request.id)
+        if done is not None:
+            return done
+        if request.query in self.flights and request.snapshot is not None:
+            key = (request.query, request.snapshot)
+            golden = self._goldens.get(key)
+            if golden is None:
+                bound = self.flights[request.query].at(
+                    self.dataset.snapshots[request.snapshot])
+                cycles, digest = bound.execute()
+                golden = self._goldens[key] = Golden(cycles=cycles,
+                                                     digest=digest)
+            return golden
+        return None
+
+    # -- the write path ----------------------------------------------------
+
+    def on_ingest(self, n_rows: int, now: int) -> None:
+        """One seeded append batch arrives at cycle ``now``."""
+        batch_seed = derive_seed(self.runtime.seed, 0xF00D, self._batches)
+        self._batches += 1
+        zones = self.dataset.append_batch(n_rows, batch_seed)
+        self.counts["batches"] += 1
+        self.counts["rows"] += n_rows
+        cache = self.runtime.partition_cache
+        if cache is not None:
+            # Partition-scoped invalidation: only the radix buckets this
+            # batch wrote age; fragments over untouched partitions of the
+            # same dataset keep serving at full hit rate.
+            n_parts = self.runtime.policy.cache.residual.n_shards
+            parts = tuple(sorted({radix_of(z, n_parts) for z in zones}))
+            cache.invalidate(self.dataset.key, parts=parts)
+            self.counts["partition_invalidations"] += len(parts)
+        self.pump(now)
+
+    @staticmethod
+    def _slot(job: MaintenanceJob) -> str:
+        return "flush" if isinstance(job, FlushJob) else "compaction"
+
+    def pump(self, now: int) -> None:
+        """Enqueue the next maintenance unit(s), one in flight per kind.
+
+        At most one flush and one compaction run concurrently; within a
+        kind publications stay strictly ordered, and across kinds they
+        commute, so no CAS can ever fail organically.
+        """
+        lsm = self.dataset.lsm
+        if (self._outstanding["flush"] is None
+                and lsm.buffered() >= self.policy.batch_size):
+            batch = lsm.claim_buffer()
+            self.dataset.rows_claimed += len(batch)
+            self._sequence += 1
+            self._submit(FlushJob(self.dataset, batch, created=now,
+                                  sequence=self._sequence), now)
+        if self._outstanding["compaction"] is None:
+            pair = lsm.pending_merge()
+            if pair is not None and (id(pair[0]), id(pair[1])) \
+                    not in self._abandoned_pairs:
+                self._sequence += 1
+                self._submit(CompactionJob(self.dataset, pair[0], pair[1],
+                                           created=now,
+                                           sequence=self._sequence), now)
+
+    def _entry_class(self, job: MaintenanceJob, now: int) -> str:
+        """The admission class a (re)submission enters at.
+
+        Maintenance starts in the lowest class, but a resubmission after a
+        shed — or a flush under memtable pressure — enters at the class
+        the escalation rules would promote it to anyway: without this a
+        repeatedly-displaced flush re-waits from the bottom each time and
+        the memtable bound fails under sustained overload.
+        """
+        rows = self.dataset.memtable_rows()
+        bound = self.policy.memtable_limit_factor * self.policy.batch_size
+        waited = now - job.created
+        pressured = isinstance(job, FlushJob)
+        if (waited >= 2 * self.policy.escalate_after
+                or (pressured and rows >= (3 * bound) // 4)
+                or job.resubmits >= 2):
+            return "interactive"
+        if (waited >= self.policy.escalate_after
+                or (pressured and rows >= bound // 2)
+                or job.resubmits >= 1):
+            return "batch"
+        return "compaction"
+
+    def _submit(self, job: MaintenanceJob, now: int,
+                delay: int = 0) -> None:
+        rid = self._next_id
+        self._next_id += 1
+        job.boosted = False
+        request = Request(id=rid, tenant=SYSTEM_TENANT, query=job.name,
+                          klass=self._entry_class(job, now),
+                          arrival=now + delay, deadline=None)
+        self._live[rid] = (request, job)
+        self._outstanding[self._slot(job)] = rid
+        self.runtime.submit(request)
+
+    def escalate(self, now: int) -> None:
+        """Anti-starvation escalation: promote queued maintenance work.
+
+        Two triggers, both deterministic.  *Deadline-based*: a request
+        that has waited past ``escalate_after`` moves up to "batch", and
+        past twice that to "interactive", so query traffic cannot
+        displace it indefinitely.  *Pressure-based*: when the memtable
+        (buffered + claimed-but-unflushed rows) approaches the documented
+        bound of ``memtable_limit_factor * batch_size``, a queued flush
+        is promoted immediately — the bound holds even when sustained
+        query load would outlast any fixed deadline.
+        """
+        rows = self.dataset.memtable_rows()
+        bound = self.policy.memtable_limit_factor * self.policy.batch_size
+        for rid, (request, job) in list(self._live.items()):
+            waited = now - job.created
+            # Pressure-based: a queued flush jumps to the head of the
+            # interactive queue (promote() inserts at the head, even
+            # within the same class) once per submission as soon as the
+            # memtable passes half its bound — under capacity shortage a
+            # tail-queued flush would wait behind the whole backlog while
+            # appends keep landing, and no fixed deadline can bound that.
+            if (isinstance(job, FlushJob) and not job.boosted
+                    and rows >= bound // 2
+                    and self.runtime.admission.promote(
+                        request, "interactive")):
+                job.boosted = True
+                self.escalations["interactive"] += 1
+                continue
+            target = None
+            if (waited >= 2 * self.policy.escalate_after
+                    and request.klass != "interactive"):
+                target = "interactive"
+            elif (waited >= self.policy.escalate_after
+                    and request.klass == "compaction"):
+                target = "batch"
+            if target is not None and \
+                    self.runtime.admission.promote(request, target):
+                self.escalations[target] += 1
+
+    # -- completion --------------------------------------------------------
+
+    def on_outcome(self, outcome) -> None:
+        """Maintenance disposition handler (called from ``_finalize``)."""
+        live = self._live.pop(outcome.request.id, None)
+        if live is None:
+            return
+        request, job = live
+        self._done[request.id] = Golden(cycles=job.cycles, digest=job.digest)
+        self._outstanding[self._slot(job)] = None
+        now = outcome.finish
+        if outcome.status == "ok":
+            self._publish(job)
+            self.waits.append(now - job.created)
+            self.dataset.note_memtable()
+            self.pump(now)
+            return
+        if outcome.status == "shed":
+            self.counts["shed"] += 1
+        else:
+            self.counts["failed"] += 1
+        alive = any(r.serviceable(now) for r in self.runtime.replicas)
+        if not alive:
+            # A dead fleet fails every queued request instantly; blind
+            # resubmission would spin forever.  Strand the work — a flush's
+            # rows return to the memtable so nothing is silently lost.
+            self.counts["stranded_fleet_lost"] += 1
+            self._give_up(job)
+            return
+        if job.resubmits < self.policy.max_resubmits:
+            job.resubmits += 1
+            self.counts["resubmits"] += 1
+            self._submit(job, now, delay=self.policy.resubmit_delay)
+            return
+        self._give_up(job)
+
+    def _give_up(self, job: MaintenanceJob) -> None:
+        """Abandon whole — never publish a torn version."""
+        if isinstance(job, CompactionJob):
+            self.counts["compactions_abandoned"] += 1
+            self._abandoned_pairs.add((id(job.a), id(job.b)))
+        else:
+            # Return the claimed rows to the memtable head, preserving
+            # append order, so the next flush attempt re-claims them.
+            lsm = self.dataset.lsm
+            lsm._buffer[:0] = job.batch
+            self.dataset.rows_claimed -= len(job.batch)
+            self.counts["flushes_requeued"] += 1
+            self.dataset.note_memtable()
+
+    def _publish(self, job: MaintenanceJob) -> None:
+        lsm = self.dataset.lsm
+        if isinstance(job, FlushJob):
+            lsm.publish_tree(job.tree, job.delta)
+            self.dataset.rows_flushed += len(job.batch)
+            self.dataset._record("flush")
+            self.counts["flushes"] += 1
+            return
+        if lsm.publish_merge(job.a, job.b, job.merged, job.delta):
+            self.dataset._record("merge")
+            self.counts["compactions"] += 1
+        else:
+            # Inputs no longer adjacent (cannot happen with one
+            # outstanding job, but the CAS refusing is the safety net).
+            self.counts["torn_avoided"] += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        lsm = self.dataset.lsm
+        bound = self.policy.memtable_limit_factor * self.policy.batch_size
+        waits = sorted(self.waits)
+        return {
+            "dataset": {
+                "rows_ingested": len(self.dataset.row_log),
+                "rows_flushed": self.dataset.rows_flushed,
+                "versions_published": len(self.dataset.version_log),
+                "current_version": lsm.version,
+                "tree_sizes": lsm.tree_sizes(),
+                "buffered": lsm.buffered(),
+                "write_amplification": round(lsm.write_amplification(), 3),
+            },
+            "maintenance": dict(self.counts),
+            "escalations": dict(self.escalations),
+            "starvation": {
+                "max_memtable": self.dataset.max_memtable,
+                "memtable_bound": bound,
+                "within_bound": self.dataset.max_memtable <= bound,
+                "completed": len(waits),
+                "max_wait": waits[-1] if waits else 0,
+                "mean_wait": (round(sum(waits) / len(waits), 1)
+                              if waits else 0.0),
+            },
+        }

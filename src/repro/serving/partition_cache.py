@@ -111,6 +111,12 @@ class CacheDecision:
     residual: Tuple[int, ...]                  # must run on the fabric
     version: int                               # dataset version at lookup
     lookup_cycles: int                         # priced probe + derive work
+    #: Per-partition versions at lookup time (partition-scoped aging);
+    #: empty when no partition has scoped bumps beyond ``version``.
+    part_versions: Dict[int, int] = field(default_factory=dict)
+
+    def version_at(self, k: int) -> int:
+        return self.part_versions.get(k, self.version)
 
     @property
     def disposition(self) -> str:
@@ -137,6 +143,10 @@ class PartitionCache:
         self.metrics = metrics
         self._store: "OrderedDict[Tuple, Fragment]" = OrderedDict()
         self._versions: Dict[Tuple, int] = {}
+        #: (dataset_key, partition) -> partition-scoped version bumps.
+        #: Live ingestion invalidates only the radix buckets a batch
+        #: touched, so fragments over untouched partitions keep serving.
+        self._part_versions: Dict[Tuple, int] = {}
         self._epoch = 0                       # global invalidation counter
         self.total_cost = 0
         self.tenant_cost: Dict[str, int] = {}
@@ -146,16 +156,39 @@ class PartitionCache:
 
     # -- versions ------------------------------------------------------------
 
-    def version_of(self, dataset_key) -> int:
-        return self._epoch + self._versions.get(dataset_key, 0)
+    def version_of(self, dataset_key, k: Optional[int] = None) -> int:
+        """The dataset's current version — per partition when ``k`` given.
 
-    def invalidate(self, dataset_key=None) -> int:
+        A partition's version is the dataset-wide version plus its own
+        scoped bumps, so whole-dataset invalidation still ages every
+        partition while an ingest batch ages only the buckets it wrote.
+        """
+        base = self._epoch + self._versions.get(dataset_key, 0)
+        if k is None:
+            return base
+        return base + self._part_versions.get((dataset_key, k), 0)
+
+    def invalidate(self, dataset_key=None,
+                   parts: Optional[Tuple[int, ...]] = None) -> int:
         """Bump the dataset's version (or every dataset's, if None).
 
+        With ``parts``, only those partitions of ``dataset_key`` age —
+        the live-ingestion path: a batch touching radix bucket *p*
+        invalidates partition-*p* fragments and no others, so a warmed
+        drill-down hierarchy keeps its hit rate on untouched partitions.
         Fragments are not eagerly dropped — staleness is judged at serve
         time against the degrade policy, so bounded-staleness consent can
         still use them within ``max_staleness`` versions.
         """
+        if parts is not None:
+            if dataset_key is None:
+                raise ValueError(
+                    "partition-scoped invalidation needs a dataset_key")
+            for k in parts:
+                key = (dataset_key, k)
+                self._part_versions[key] = self._part_versions.get(key, 0) + 1
+            self._count("partition_invalidations", len(tuple(parts)))
+            return self.version_of(dataset_key)
         if dataset_key is None:
             self._epoch += 1
             version = self._epoch
@@ -187,6 +220,9 @@ class PartitionCache:
                parts: Tuple[int, ...]) -> CacheDecision:
         """Split ``parts`` into cache-served and residual partitions."""
         version = self.version_of(job.dataset_key)
+        part_versions = {k: self.version_of(job.dataset_key, k)
+                         for k in parts
+                         if self.version_of(job.dataset_key, k) != version}
         class_key = job.class_pred.key()
         fragments: Dict[int, Tuple[Tuple, ...]] = {}
         exact: List[int] = []
@@ -196,13 +232,14 @@ class PartitionCache:
         cycles = self.policy.lookup_cycles_per_partition * max(1, len(parts))
         keep_cls = None                       # lazily compiled derive filter
         for k in parts:
+            k_version = part_versions.get(k, version)
             key = self._key(tenant, job, n_parts, k, class_key)
-            frag, is_stale = self._get_valid(key, version)
+            frag, is_stale = self._get_valid(key, k_version)
             if frag is not None:
                 fragments[k] = frag.rows
                 (stale if is_stale else exact).append(k)
                 continue
-            hit = self._derive(tenant, job, n_parts, k, class_key, version)
+            hit = self._derive(tenant, job, n_parts, k, class_key, k_version)
             if hit is not None:
                 src, src_stale = hit
                 if keep_cls is None:
@@ -227,7 +264,7 @@ class PartitionCache:
             parts=tuple(parts), fragments=fragments, exact=tuple(exact),
             derived=tuple(derived), stale=tuple(stale),
             residual=tuple(residual), version=version,
-            lookup_cycles=cycles)
+            lookup_cycles=cycles, part_versions=part_versions)
         self._count("fragment_hits", len(exact) + len(derived) + len(stale))
         self._count("fragment_misses", len(residual))
         disposition = decision.disposition
@@ -243,10 +280,10 @@ class PartitionCache:
 
     def insert(self, tenant: str, job, n_parts: int, k: int,
                rows: Tuple[Tuple, ...], cost: int, version: int) -> bool:
-        """Cache a freshly computed fragment — unless the dataset has been
-        invalidated since the residual run was dispatched, in which case
-        the fragment is already stale and is dropped on the floor."""
-        if version != self.version_of(job.dataset_key):
+        """Cache a freshly computed fragment — unless the partition has
+        been invalidated since the residual run was dispatched, in which
+        case the fragment is already stale and is dropped on the floor."""
+        if version != self.version_of(job.dataset_key, k):
             self._count("late_inserts_dropped")
             return False
         key = self._key(tenant, job, n_parts, k, job.class_pred.key())
@@ -379,6 +416,7 @@ class PartitionCache:
             "insertions": count("insertions"),
             "evictions": count("evictions"),
             "invalidations": count("invalidations"),
+            "partition_invalidations": count("partition_invalidations"),
             "stale_served": count("stale_served"),
             "stale_dropped": count("stale_dropped"),
             "corruptions_injected": count("corruptions_injected"),

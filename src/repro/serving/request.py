@@ -16,7 +16,10 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 #: Priority classes, most important first.  Lower number = more important.
-PRIORITY_CLASSES: Tuple[str, ...] = ("interactive", "batch")
+#: ``compaction`` is the background-maintenance class (LSM flushes and
+#: merges): always displaceable by query traffic, protected from unbounded
+#: starvation only by the ingest controller's deadline-based escalation.
+PRIORITY_CLASSES: Tuple[str, ...] = ("interactive", "batch", "compaction")
 
 #: Final outcome statuses.  ``wrong_result`` should never occur — it is
 #: the chaos harness's tripwire, not a legitimate disposition.
@@ -44,6 +47,11 @@ class Request:
     deadline: Optional[int] = None   # absolute virtual cycle, or None
     # runtime bookkeeping
     attempts: int = field(default=0, compare=False)
+    #: LSM snapshot version this request admitted against (live-ingestion
+    #: datasets only).  Pinned once at arrival: however many flushes or
+    #: compactions publish mid-flight, the answer is defined — and
+    #: golden-checked — against exactly this version.
+    snapshot: Optional[int] = field(default=None, compare=False)
 
     @property
     def priority(self) -> int:
@@ -87,4 +95,4 @@ class Outcome:
         return (self.request.id, self.request.tenant, self.request.query,
                 self.status, repr(self.error), self.finish, self.replica,
                 self.cycles, self.attempts, self.hedged, self.shards,
-                repr(self.partial), self.cached)
+                repr(self.partial), self.cached, self.request.snapshot)

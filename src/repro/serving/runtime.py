@@ -60,6 +60,7 @@ from repro.serving.admission import AdmissionController
 from repro.serving.breaker import CircuitBreaker, OPEN
 from repro.serving.bulkhead import Bulkhead
 from repro.serving.cancel import CancelToken
+from repro.serving.ingest import IngestController, IngestPolicy
 from repro.serving.partition_cache import CachePolicy, PartitionCache
 from repro.serving.replica import ACTIVE, FabricReplica, PlanCache
 from repro.serving.request import Outcome, Request
@@ -91,6 +92,9 @@ class ServingPolicy:
     #: Semantic partition cache tier for predicated shardable queries
     #: (:mod:`repro.serving.partition_cache`); None disables.
     cache: Optional[CachePolicy] = None
+    #: Live-ingestion write path (:mod:`repro.serving.ingest`); None keeps
+    #: the runtime read-only over frozen snapshots.
+    ingest: Optional[IngestPolicy] = None
 
 
 @dataclass(slots=True)
@@ -132,6 +136,7 @@ class ServingRuntime:
                  kill_schedule: Optional[Dict[int, int]] = None,
                  invalidation_schedule: Optional[List[int]] = None,
                  corruption_schedule: Optional[List[int]] = None,
+                 ingest_schedule: Optional[List[Tuple[int, int]]] = None,
                  metrics: Optional[MetricsRegistry] = None):
         self.workload = workload if workload is not None else ServingWorkload()
         self.policy = policy if policy is not None else ServingPolicy()
@@ -177,6 +182,17 @@ class ServingRuntime:
             self._push(cycle, "invalidate", None)
         for i, cycle in enumerate(sorted(corruption_schedule or [])):
             self._push(cycle, "corrupt", derive_seed(self.seed, 0xC0, i))
+        # The write path: seeded append batches land as first-class events
+        # and the controller turns memtable pressure into background
+        # maintenance requests competing under admission control.
+        self.ingest = (IngestController(self, self.policy.ingest)
+                       if self.policy.ingest is not None else None)
+        if ingest_schedule:
+            if self.ingest is None:
+                raise ValueError(
+                    "ingest_schedule requires ServingPolicy.ingest")
+            for cycle, n_rows in sorted(ingest_schedule):
+                self._push(cycle, "ingest", n_rows)
 
     def _make_replica(self, index: int, spawned_at: int = 0) -> FabricReplica:
         fault_seed = (derive_seed(self.seed, index)
@@ -224,6 +240,9 @@ class ServingRuntime:
             elif kind == "corrupt":
                 if self.partition_cache is not None:
                     self.partition_cache.corrupt(payload)
+            elif kind == "ingest":
+                if self.ingest is not None:
+                    self.ingest.on_ingest(payload, time)
             else:                       # 'kick': wake the dispatcher
                 self._kicks.discard(time)
             self._dispatch(time)
@@ -232,6 +251,11 @@ class ServingRuntime:
     # -- arrival + admission -----------------------------------------------
 
     def _on_arrival(self, request: Request, now: int) -> None:
+        if self.ingest is not None:
+            # Snapshot pinning: the version a query admits against is the
+            # version it is golden-checked against, no matter what
+            # flushes/compactions publish while it waits or runs.
+            self.ingest.pin(request)
         self.metrics.counter("serving.arrivals").inc()
         self.metrics.histogram("serving.queue_depth").observe(
             self.admission.depth())
@@ -243,6 +267,8 @@ class ServingRuntime:
 
     def _dispatch(self, now: int) -> None:
         self.fleet.autoscale(now)
+        if self.ingest is not None:
+            self.ingest.escalate(now)
         for request in self.admission.expire(now):
             self._finalize(Outcome(
                 request, "deadline", now,
@@ -273,7 +299,7 @@ class ServingRuntime:
             request = self.admission.take(eligible=eligible)
             if request is None:
                 return
-            job = self.workload.job(request.query)
+            job = self._job_for(request)
             if self._cache_policy(job) is not None:
                 if not self.coordinator.placeable(now):
                     self._no_replica(request, now)
@@ -381,10 +407,29 @@ class ServingRuntime:
 
     # -- execution ---------------------------------------------------------
 
+    def _job_for(self, request: Request) -> Job:
+        """The executable for ``request`` — live-ingestion requests (taxi
+        flights pinned to a snapshot version, maintenance work) resolve
+        through the ingest controller; everything else is the catalog."""
+        if self.ingest is not None:
+            job = self.ingest.job_for(request)
+            if job is not None:
+                return job
+        return self.workload.job(request.query)
+
+    def golden_of(self, request: Request):
+        """The golden reference for ``request`` — for live-dataset
+        queries, the golden *of the request's pinned snapshot version*."""
+        if self.ingest is not None:
+            golden = self.ingest.golden_of(request)
+            if golden is not None:
+                return golden
+        return self.workload.golden(request.query)
+
     def _execute_attempt(self, request: Request, replica: FabricReplica,
                          start: int) -> _Attempt:
-        job = self.workload.job(request.query)
-        golden = self.workload.golden(request.query)
+        job = self._job_for(request)
+        golden = self.golden_of(request)
         budget = (None if request.deadline is None
                   else request.deadline - start)
         token = CancelToken(budget, tenant=request.tenant,
@@ -436,7 +481,7 @@ class ServingRuntime:
         attempts = [primary]
         hedged = False
         pol = self.policy
-        job = self.workload.job(request.query)
+        job = self._job_for(request)
         if pol.hedge_after is not None and job.kind == "sim":
             jitter = random.Random(
                 derive_seed(self.seed, request.id, 0xEDE)).random()
@@ -531,7 +576,7 @@ class ServingRuntime:
                 attempt.replica.breaker.probe_abandoned()
         self.bulkhead.release(request)
         if winner.status == "ok":
-            golden = self.workload.golden(request.query)
+            golden = self.golden_of(request)
             if winner.digest != golden.digest:
                 self.metrics.counter("serving.wrong_results").inc()
                 self._finalize(Outcome(
@@ -600,11 +645,11 @@ class ServingRuntime:
             for k in sorted(ex.shard_digests):
                 self.partition_cache.insert(
                     request.tenant, job, K, k, ex.shard_digests[k][1],
-                    ex.plan.ref_cycles[k], decision.version)
+                    ex.plan.ref_cycles[k], decision.version_at(k))
         else:
             replica = f"shards[{K}]"
         if ex.status == "ok":
-            golden = self.workload.golden(request.query)
+            golden = self.golden_of(request)
             if ex.digest != golden.digest:
                 self.metrics.counter("serving.wrong_results").inc()
                 self._finalize(Outcome(
@@ -638,6 +683,10 @@ class ServingRuntime:
     def _finalize(self, outcome: Outcome) -> None:
         self.metrics.counter(f"serving.outcome.{outcome.status}").inc()
         self.outcomes.append(outcome)
+        if self.ingest is not None:
+            # Maintenance publication/resubmission happens here — on the
+            # request's single final disposition, never mid-flight.
+            self.ingest.on_outcome(outcome)
 
     # -- reporting ---------------------------------------------------------
 
@@ -707,6 +756,8 @@ class ServingRuntime:
             "partition_cache": (self.partition_cache.report()
                                 if self.partition_cache is not None
                                 else None),
+            "ingest": (self.ingest.report() if self.ingest is not None
+                       else None),
         }
 
     def check(self) -> List[str]:

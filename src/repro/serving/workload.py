@@ -24,6 +24,7 @@ results ever" invariant is literal equality, not a statistic.
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -490,6 +491,131 @@ class FragmentJob(JoinShardJob):
 def _rows_digest(name: str, rows) -> Tuple:
     """Order-independent digest of a result row set."""
     return (name, tuple(sorted(tuple(r) for r in rows)))
+
+
+class TaxiFlightJob(Job):
+    """One NYC-taxi-style query flight over a live-ingested LSM dataset.
+
+    The record layout is ``key = pickup zone`` (0..``n_zones``-1) and
+    ``value = (trip_id, hour, dist_dm, fare_cents)`` — all integers, so
+    digests are exact.  A flight range-scans its zone window on a pinned
+    :class:`~repro.structures.lsm.LsmSnapshot`, filters by hour / trip
+    distance / fare, and groups per zone into ``(zone, trips, fare_sum,
+    dist_sum)`` rows.  Unlike every earlier job family the underlying data
+    *changes between requests*: correctness is defined per snapshot
+    version, which is why the digest embeds the version and the runtime
+    checks against the golden *of the pinned version* rather than a single
+    catalog-wide reference.
+
+    ``dataset`` is duck-typed (anything with ``.key``, ``.events`` and
+    ``.published()`` — in practice :class:`repro.serving.ingest.LiveDataset`)
+    to keep the catalog importable without the ingest subsystem.
+    """
+
+    kind = "taxi"
+
+    def __init__(self, name: str, dataset, *, zone_lo: int, zone_hi: int,
+                 hour_lo: int = 0, hour_hi: int = 23,
+                 max_dist_dm: Optional[int] = None,
+                 min_fare_cents: Optional[int] = None):
+        super().__init__(name)
+        self.dataset = dataset
+        self.zone_lo = zone_lo
+        self.zone_hi = zone_hi
+        self.hour_lo = hour_lo
+        self.hour_hi = hour_hi
+        self.max_dist_dm = max_dist_dm
+        self.min_fare_cents = min_fare_cents
+        #: The pinned snapshot a bound copy executes against (see
+        #: :meth:`at`); the unbound catalog entry reads the latest
+        #: published version at execution time.
+        self._snapshot = None
+
+    def at(self, snapshot) -> "TaxiFlightJob":
+        """A shallow copy bound to one pinned snapshot version."""
+        bound = copy.copy(self)
+        bound._snapshot = snapshot
+        bound.last_plan = None
+        return bound
+
+    @property
+    def snapshot_version(self) -> Optional[int]:
+        return None if self._snapshot is None else self._snapshot.version
+
+    def plan_key(self) -> Optional[Tuple]:
+        # Keyed on the snapshot version: a write changes the key, so a
+        # cached plan can never replay a stale answer — it can only make
+        # repeats of the same (flight, version) pair cheaper.
+        if self._snapshot is None:
+            return None
+        return ("taxi", self.name, self.dataset.key,
+                self._snapshot.version, _PLAN_CONFIG)
+
+    def execute(self, token=None, injector=None) -> Tuple[int, Tuple]:
+        snap = (self._snapshot if self._snapshot is not None
+                else self.dataset.published())
+        shared = self.dataset.events
+        before = shared.asdict()
+        scanned = snap.range_query(self.zone_lo, self.zone_hi)
+        groups: Dict[int, List[int]] = {}
+        for zone, value in scanned:
+            trip_id, hour, dist_dm, fare_cents = value
+            if not (self.hour_lo <= hour <= self.hour_hi):
+                continue
+            if self.max_dist_dm is not None and dist_dm > self.max_dist_dm:
+                continue
+            if (self.min_fare_cents is not None
+                    and fare_cents < self.min_fare_cents):
+                continue
+            acc = groups.setdefault(zone, [0, 0, 0])
+            acc[0] += 1
+            acc[1] += fare_cents
+            acc[2] += dist_dm
+        rows = [(zone, n, fare, dist)
+                for zone, (n, fare, dist) in groups.items()]
+        digest = (self.name, snap.version,
+                  tuple(sorted(tuple(r) for r in rows)))
+        # Price the scan from the hardware events it charged to the
+        # dataset's shared counters (the B-trees account their own DRAM
+        # gathers; the group-by adds one record pass).
+        from repro.structures.common import StructureEvents
+        after = shared.asdict()
+        delta = StructureEvents(**{k: after[k] - before[k] for k in after})
+        delta.records_processed += len(scanned)
+        delta.spad_reads += len(scanned)
+        delta.spad_writes += len(rows)
+        model = CostModel()
+        spent = (model.event_cycles(delta, rows=len(scanned)).cycles
+                 + model.stage_overhead_cycles)
+        self.last_plan = LoweredPlan((f"{self.name}_scan",),
+                                     (float(spent),), digest)
+        return settle_plan(self.name, self.last_plan.ops,
+                           self.last_plan.cum_cycles, digest, token)
+
+
+#: The taxi query-flight catalog, in Zipf popularity-rank order: tourism
+#: zone drill-downs (park ⊃ museum ⊃ theatre), commuter peaks, nightlife,
+#: and a region ⊃ district ⊃ block hierarchy (SNIPPETS.md snippet 3).
+TAXI_FLIGHT_SPECS = (
+    ("taxi_tourism_park", dict(zone_lo=0, zone_hi=41)),
+    ("taxi_commuter_am", dict(zone_lo=0, zone_hi=63, hour_lo=7, hour_hi=9)),
+    ("taxi_tourism_museum", dict(zone_lo=8, zone_hi=23)),
+    ("taxi_region", dict(zone_lo=0, zone_hi=63, max_dist_dm=80)),
+    ("taxi_nightlife", dict(zone_lo=32, zone_hi=63, hour_lo=20, hour_hi=23)),
+    ("taxi_commuter_pm", dict(zone_lo=0, zone_hi=63, hour_lo=16, hour_hi=19)),
+    ("taxi_district", dict(zone_lo=16, zone_hi=47, max_dist_dm=80)),
+    ("taxi_tourism_theatre", dict(zone_lo=12, zone_hi=17)),
+    ("taxi_medical", dict(zone_lo=24, zone_hi=39, min_fare_cents=2500)),
+    ("taxi_block", dict(zone_lo=24, zone_hi=31, max_dist_dm=80)),
+)
+
+TAXI_NAMES = tuple(spec[0] for spec in TAXI_FLIGHT_SPECS)
+
+
+def taxi_flight_jobs(dataset) -> List[TaxiFlightJob]:
+    """Instantiate the flight catalog over one live dataset."""
+    return [TaxiFlightJob(name, dataset, **kwargs)
+            for name, kwargs in TAXI_FLIGHT_SPECS]
 
 
 # -- sim graph builders ----------------------------------------------------

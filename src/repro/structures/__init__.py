@@ -20,7 +20,7 @@ from repro.structures.btree import (
     BTreeDataflow,
     ImmutableBTree,
 )
-from repro.structures.lsm import LsmTree
+from repro.structures.lsm import LsmSnapshot, LsmTree, MergeRecord, merge_trees
 from repro.structures.spill import SpillTile, split_window
 from repro.structures.sort import TiledMergeSort, external_sort
 from repro.structures.zorder import COORD_BITS, COORD_MAX, z_decode, z_encode
@@ -45,7 +45,10 @@ __all__ = [
     "NODE_WORDS", "ChainedHashTable", "HashTableDataflow",
     "DEFAULT_BLOCK_SIZE", "PartitionerDataflow", "RadixPartitioner",
     "DEFAULT_FANOUT", "BTreeDataflow", "ImmutableBTree",
+    "LsmSnapshot",
     "LsmTree",
+    "MergeRecord",
+    "merge_trees",
     "SpillTile", "split_window",
     "TiledMergeSort", "external_sort",
     "COORD_BITS", "COORD_MAX", "z_decode", "z_encode",

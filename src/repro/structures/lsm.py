@@ -10,15 +10,120 @@ size.  A single lock-free update of the head list pointer publishes each
 merge, giving readers and writers natural concurrency; queries search all
 internal trees, and the tree list doubles as a coarse secondary index on
 insertion time.
+
+Publication is versioned: every head-pointer update (a flush installing a
+fresh tree, or a merge swapping two neighbours for one) bumps
+:attr:`LsmTree.version` and readers capture an :class:`LsmSnapshot` — an
+immutable handle over the tree list as of one version.  All queries go
+through a snapshot, so a flush or merge landing between two tree visits
+can never yield a torn read.  The merge work itself is exposed
+functionally (:func:`merge_trees` builds the merged tree off to the side,
+:meth:`LsmTree.publish_merge` installs it only if both inputs are still
+adjacent in the list) so compaction can run as a background job and be
+abandoned without ever publishing a torn version.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.structures.btree import DEFAULT_FANOUT, LEAF_WORDS, ImmutableBTree
 from repro.structures.common import StructureEvents
+
+
+@dataclass(frozen=True)
+class LsmSnapshot:
+    """An immutable read handle over one published LSM version.
+
+    ``trees`` is the tree list (newest first) and ``buffer`` the unflushed
+    tail captured at the same instant; queries see exactly this state no
+    matter what flushes or merges publish afterwards.  Iterating a
+    snapshot yields its trees (the pre-versioning ``snapshot()`` contract).
+    """
+
+    version: int
+    trees: Tuple[ImmutableBTree, ...]
+    buffer: Tuple[Tuple[int, object], ...] = ()
+
+    def __iter__(self) -> Iterator[ImmutableBTree]:
+        return iter(self.trees)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.trees) + len(self.buffer)
+
+    def search(self, key: int) -> List:
+        """All values under ``key`` across every tree + captured buffer."""
+        out: List = []
+        for tree in self.trees:
+            out.extend(tree.search(key))
+        out.extend(v for k, v in self.buffer if k == key)
+        return out
+
+    def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
+        """All ``(key, value)`` with ``lo <= key <= hi``, across all trees.
+
+        Trees whose ``[min, max]`` key range misses the query are pruned —
+        for time keys this is the "tree list as a secondary index on time"
+        effect.
+        """
+        out: List[Tuple[int, object]] = []
+        for tree in self.trees:
+            mn, mx = tree.min_key(), tree.max_key()
+            if mn is None or mn > hi or mx < lo:
+                continue
+            out.extend(tree.range_query(lo, hi))
+        out.extend((k, v) for k, v in self.buffer if lo <= k <= hi)
+        out.sort(key=lambda kv: kv[0])
+        return out
+
+    def tree_sizes(self) -> List[int]:
+        return [len(t) for t in self.trees]
+
+
+@dataclass
+class MergeRecord:
+    """One published merge level, with its isolated event counters.
+
+    ``events`` holds only this merge's hardware events (also accumulated
+    into the owning tree's shared counters), so stall attribution can see
+    compaction cost level by level instead of one undifferentiated blob.
+    """
+
+    version: int
+    level: int
+    records: int
+    events: StructureEvents = field(default_factory=StructureEvents)
+
+
+def merge_trees(a: ImmutableBTree, b: ImmutableBTree,
+                fanout: int = DEFAULT_FANOUT
+                ) -> Tuple[ImmutableBTree, StructureEvents]:
+    """Linear merge of two sorted leaf arrays + internal rebuild.
+
+    Purely functional: neither input is touched and all hardware events
+    land in the returned delta, so a background compaction job can do this
+    work off to the side and only :meth:`LsmTree.publish_merge` (or
+    abandonment) decides whether it becomes visible.
+    """
+    delta = StructureEvents()
+    la, lb = a.leaves(), b.leaves()
+    out: List[Tuple[int, object]] = []
+    i = j = 0
+    while i < len(la) and j < len(lb):
+        if la[i][0] <= lb[j][0]:
+            out.append(la[i]); i += 1
+        else:
+            out.append(lb[j]); j += 1
+    out.extend(la[i:])
+    out.extend(lb[j:])
+    n_bytes = len(out) * LEAF_WORDS * 4
+    delta.dram_read_bytes += n_bytes      # stream both inputs
+    delta.dram_write_bytes += n_bytes     # stream merged output
+    delta.dram_dense_accesses += max(1, n_bytes // 64)
+    merged = ImmutableBTree.bulk_load(out, fanout, presorted=True,
+                                      events=delta)
+    return merged, delta
 
 
 class LsmTree:
@@ -37,8 +142,10 @@ class LsmTree:
         self.events = events if events is not None else StructureEvents()
         self._trees: List[ImmutableBTree] = []   # newest first
         self._buffer: List[Tuple[int, object]] = []
+        self.version = 0
         self.merges = 0
         self.merged_records = 0
+        self.merge_log: List[MergeRecord] = []
 
     # -- ingest -----------------------------------------------------------------
 
@@ -52,85 +159,153 @@ class LsmTree:
         for key, value in pairs:
             self.insert(key, value)
 
+    def append(self, key: int, value) -> None:
+        """Buffer one record *without* the automatic flush.
+
+        The live-ingestion path flushes explicitly (a background fabric
+        job claims the buffer), so the memtable may legitimately exceed
+        ``batch_size`` while compaction is being starved — the chaos
+        harness measures and bounds exactly that.
+        """
+        self._buffer.append((key, value))
+
+    def claim_buffer(self) -> List[Tuple[int, object]]:
+        """Detach and return the buffered batch (for a background flush).
+
+        The caller owns the rows: bulk-load them with
+        :func:`build_batch_tree` and install via :meth:`publish_tree`.
+        """
+        batch = self._buffer
+        self._buffer = []
+        return batch
+
     def flush(self) -> None:
         """Bulk-load the buffered batch and restore the size invariant."""
         if not self._buffer:
             return
-        batch = self._buffer
-        self._buffer = []
+        batch = self.claim_buffer()
         # Sorting the batch is O(b log b) — charge merge-network traffic.
         self.events.records_processed += len(batch)
         self.events.dram_write_bytes += len(batch) * LEAF_WORDS * 4
         tree = ImmutableBTree.bulk_load(batch, self.fanout,
                                         events=self.events)
-        self._trees.insert(0, tree)
-        # Merge forward while the newest tree caught up with its neighbour,
-        # keeping the exponential size ladder.
-        while (len(self._trees) >= 2
-               and len(self._trees[0]) >= len(self._trees[1])):
-            a = self._trees.pop(0)
-            b = self._trees.pop(0)
-            merged = self._merge(a, b)
-            # One lock-free head-pointer update publishes the merged tree.
-            self._trees.insert(0, merged)
+        self.publish_tree(tree)
+        self.compact()
 
-    def _merge(self, a: ImmutableBTree, b: ImmutableBTree) -> ImmutableBTree:
-        """Linear merge of two sorted leaf arrays + internal rebuild."""
-        la, lb = a.leaves(), b.leaves()
-        out: List[Tuple[int, object]] = []
-        i = j = 0
-        while i < len(la) and j < len(lb):
-            if la[i][0] <= lb[j][0]:
-                out.append(la[i]); i += 1
-            else:
-                out.append(lb[j]); j += 1
-        out.extend(la[i:])
-        out.extend(lb[j:])
-        self.merges += 1
-        self.merged_records += len(out)
-        n_bytes = len(out) * LEAF_WORDS * 4
-        self.events.dram_read_bytes += n_bytes     # stream both inputs
-        self.events.dram_write_bytes += n_bytes    # stream merged output
-        self.events.dram_dense_accesses += max(1, n_bytes // 64)
-        return ImmutableBTree.bulk_load(out, self.fanout, presorted=True,
-                                        events=self.events)
+    def build_batch_tree(self, batch: List[Tuple[int, object]]
+                         ) -> Tuple[ImmutableBTree, StructureEvents]:
+        """Bulk-load a claimed batch off to the side (background flush)."""
+        delta = StructureEvents()
+        delta.records_processed += len(batch)
+        delta.dram_write_bytes += len(batch) * LEAF_WORDS * 4
+        tree = ImmutableBTree.bulk_load(batch, self.fanout, events=delta)
+        return tree, delta
+
+    def publish_tree(self, tree: ImmutableBTree,
+                     events: Optional[StructureEvents] = None) -> int:
+        """One lock-free head-pointer update installs a fresh tree.
+
+        Returns the new version.  ``events`` is the builder's isolated
+        delta when the tree was bulk-loaded off to the side.
+        """
+        if events is not None:
+            self.events.merge(events)
+        tree.events = self.events   # future reads charge the shared counters
+        self._trees.insert(0, tree)
+        self.version += 1
+        return self.version
+
+    def pending_merge(self) -> Optional[Tuple[ImmutableBTree, ImmutableBTree]]:
+        """The first adjacent pair violating the exponential size ladder.
+
+        Returns ``(newer, older)`` or ``None`` when the ladder holds.
+        This is the unit of background compaction work: merge the pair
+        with :func:`merge_trees`, then :meth:`publish_merge` the result.
+        """
+        for i in range(len(self._trees) - 1):
+            if len(self._trees[i]) >= len(self._trees[i + 1]):
+                return self._trees[i], self._trees[i + 1]
+        return None
+
+    def publish_merge(self, a: ImmutableBTree, b: ImmutableBTree,
+                      merged: ImmutableBTree,
+                      events: Optional[StructureEvents] = None) -> bool:
+        """Swap adjacent trees ``(a, b)`` for ``merged`` — or refuse.
+
+        The compare-and-swap of the lock-free story: the swap happens only
+        if ``a`` and ``b`` are still adjacent in the current list (matched
+        by identity).  A stale merge — its inputs already merged away by a
+        competing publication — returns ``False`` and changes nothing, so
+        an abandoned or lost compaction can never publish a torn version.
+        """
+        for i in range(len(self._trees) - 1):
+            if self._trees[i] is a and self._trees[i + 1] is b:
+                delta = events if events is not None else StructureEvents()
+                self.events.merge(delta)
+                merged.events = self.events
+                self._trees[i:i + 2] = [merged]
+                self.version += 1
+                self.merges += 1
+                self.merged_records += len(merged)
+                self.merge_log.append(MergeRecord(
+                    version=self.version, level=i, records=len(merged),
+                    events=delta))
+                return True
+        return False
+
+    def compact(self) -> int:
+        """Eagerly restore the size ladder; one published merge per level.
+
+        Each level emits its own :class:`MergeRecord` (with isolated
+        ``StructureEvents``) so attribution sees the cascade's cost per
+        merge rather than only the insert path's.  Returns the number of
+        merges published.
+        """
+        published = 0
+        pair = self.pending_merge()
+        while pair is not None:
+            a, b = pair
+            merged, delta = merge_trees(a, b, self.fanout)
+            if not self.publish_merge(a, b, merged, delta):   # pragma: no cover
+                break
+            published += 1
+            pair = self.pending_merge()
+        return published
 
     # -- queries ------------------------------------------------------------------
 
-    def snapshot(self) -> List[ImmutableBTree]:
-        """The current tree list — readers traverse this immutably while
-        writers publish merges, the paper's lock-free reader/writer story."""
-        return list(self._trees)
+    def snapshot(self) -> LsmSnapshot:
+        """An immutable handle on the current version — readers traverse
+        this while writers publish flushes and merges, the paper's
+        lock-free reader/writer story."""
+        return LsmSnapshot(version=self.version, trees=tuple(self._trees),
+                           buffer=tuple(self._buffer))
+
+    def published_snapshot(self) -> LsmSnapshot:
+        """The current version *excluding* the unflushed buffer.
+
+        This is what the serving tier pins: appends become visible only
+        when a flush publishes them, so a version's content is a pure
+        function of the flushed row prefix.
+        """
+        return LsmSnapshot(version=self.version, trees=tuple(self._trees))
 
     def search(self, key: int) -> List:
         """All values under ``key`` across every internal tree + buffer."""
-        out: List = []
-        for tree in self._trees:
-            out.extend(tree.search(key))
-        out.extend(v for k, v in self._buffer if k == key)
-        return out
+        return self.snapshot().search(key)
 
     def range_query(self, lo: int, hi: int) -> List[Tuple[int, object]]:
-        """All ``(key, value)`` with ``lo <= key <= hi``, across all trees.
-
-        Trees whose ``[min, max]`` key range misses the query are pruned —
-        for time keys this is the "tree list as a secondary index on time"
-        effect.
-        """
-        out: List[Tuple[int, object]] = []
-        for tree in self._trees:
-            mn, mx = tree.min_key(), tree.max_key()
-            if mn is None or mn > hi or mx < lo:
-                continue
-            out.extend(tree.range_query(lo, hi))
-        out.extend((k, v) for k, v in self._buffer if lo <= k <= hi)
-        out.sort(key=lambda kv: kv[0])
-        return out
+        """All ``(key, value)`` with ``lo <= key <= hi``, across all trees."""
+        return self.snapshot().range_query(lo, hi)
 
     # -- introspection ---------------------------------------------------------------
 
     def __len__(self) -> int:
         return sum(len(t) for t in self._trees) + len(self._buffer)
+
+    def buffered(self) -> int:
+        """Unflushed memtable rows (the starvation signal)."""
+        return len(self._buffer)
 
     def tree_sizes(self) -> List[int]:
         return [len(t) for t in self._trees]

@@ -1,0 +1,451 @@
+"""Live ingestion: snapshot-consistent query flights under concurrent
+writes, with compaction as admission-controlled background work.
+
+Four layers of evidence:
+
+* **snapshot pinning** — every taxi query executes against the version it
+  admitted under, however many flushes/compactions land mid-flight, and
+  its digest embeds that version;
+* **maintenance semantics** — flushes and merges publish atomically in
+  the completion handler; a lost leg is retried or abandoned whole (rows
+  return to the memtable; a stale merge's CAS refuses), never torn;
+* **starvation** — the compaction class is displaced under load but the
+  memtable high-water mark stays within the documented bound thanks to
+  deadline- and pressure-based escalation;
+* a **differential fuzz suite** — 50 seeded interleavings of ingest /
+  flush / compaction / query flights (25 seeds × the ``event`` and
+  ``vector`` engine schedulers) whose per-version contents and per-query
+  answers must equal an independent serial replay of the append log.
+"""
+
+import random
+
+import pytest
+
+from repro.db.planner import Predicate
+from repro.serving import (
+    CachePolicy,
+    IngestPolicy,
+    LoadTestConfig,
+    PartitionCache,
+    Request,
+    ServingPolicy,
+    ServingRuntime,
+    ServingWorkload,
+    TAXI_NAMES,
+    check_invariants,
+    run_loadtest,
+    signature,
+)
+from repro.serving.admission import AdmissionController
+from repro.serving.ingest import (
+    MAINTENANCE_ID_BASE,
+    SYSTEM_TENANT,
+    CompactionJob,
+    FlushJob,
+)
+from repro.serving.request import Outcome
+from repro.serving.workload import TAXI_FLIGHT_SPECS
+
+
+@pytest.fixture(scope="module")
+def ingest_run():
+    """One 200-request chaos run with live ingestion, faults, and seeded
+    mid-run replica kills, shared by the assertions."""
+    cfg = LoadTestConfig(requests=200, seed=0, faults=True, ingest=True,
+                         kills=1, compaction_kills=1)
+    return cfg, run_loadtest(cfg)
+
+
+def _serial_flight(rows, name):
+    """Brute-force replay of one flight over raw append-log rows — no
+    LSM, no snapshots, no serving runtime; the differential oracle."""
+    spec = dict(TAXI_FLIGHT_SPECS)[name]
+    lo, hi = spec["zone_lo"], spec["zone_hi"]
+    hour_lo, hour_hi = spec.get("hour_lo", 0), spec.get("hour_hi", 23)
+    max_dist = spec.get("max_dist_dm")
+    min_fare = spec.get("min_fare_cents")
+    groups = {}
+    for zone, (trip_id, hour, dist_dm, fare_cents) in rows:
+        if not (lo <= zone <= hi and hour_lo <= hour <= hour_hi):
+            continue
+        if max_dist is not None and dist_dm > max_dist:
+            continue
+        if min_fare is not None and fare_cents < min_fare:
+            continue
+        acc = groups.setdefault(zone, [0, 0, 0])
+        acc[0] += 1
+        acc[1] += fare_cents
+        acc[2] += dist_dm
+    return tuple(sorted((z, n, fare, dist)
+                        for z, (n, fare, dist) in groups.items()))
+
+
+class TestSnapshotPinning:
+    def test_no_invariant_violations(self, ingest_run):
+        __, runtime = ingest_run
+        assert check_invariants(runtime) == []
+
+    def test_zero_wrong_results(self, ingest_run):
+        __, runtime = ingest_run
+        assert all(o.status != "wrong_result" for o in runtime.outcomes)
+
+    def test_taxi_queries_pin_published_versions(self, ingest_run):
+        __, runtime = ingest_run
+        dataset = runtime.ingest.dataset
+        taxi = [o for o in runtime.outcomes if o.request.query in TAXI_NAMES]
+        assert taxi, "mix never offered a taxi flight"
+        for o in taxi:
+            assert o.request.snapshot is not None
+            assert o.request.snapshot in dataset.snapshots
+        others = [o for o in runtime.outcomes
+                  if o.request.query not in TAXI_NAMES
+                  and o.request.id < MAINTENANCE_ID_BASE]
+        assert all(o.request.snapshot is None for o in others)
+
+    def test_queries_span_multiple_versions(self, ingest_run):
+        # The point of the exercise: flushes landed mid-run, so flights
+        # pinned (and answered against) more than one version.
+        __, runtime = ingest_run
+        versions = {o.request.snapshot for o in runtime.outcomes
+                    if o.request.snapshot is not None}
+        assert len(versions) >= 2
+
+    def test_ok_digests_embed_the_pinned_version(self, ingest_run):
+        __, runtime = ingest_run
+        checked = 0
+        for o in runtime.outcomes:
+            if o.ok and o.request.query in TAXI_NAMES:
+                golden = runtime.golden_of(o.request)
+                assert golden.digest[1] == o.request.snapshot
+                checked += 1
+        assert checked > 0
+
+    def test_pinned_answers_match_serial_replay(self, ingest_run):
+        # A version's content is a pure function of the flushed row
+        # prefix; replaying that prefix through a brute-force filter must
+        # reproduce the golden the runtime verified each serve against.
+        __, runtime = ingest_run
+        dataset = runtime.ingest.dataset
+        flushed_at = {v: n for v, __k, n in dataset.version_log}
+        for o in runtime.outcomes:
+            if o.ok and o.request.query in TAXI_NAMES:
+                golden = runtime.golden_of(o.request)
+                prefix = dataset.row_log[:flushed_at[o.request.snapshot]]
+                assert golden.digest[2] == _serial_flight(
+                    prefix, o.request.query)
+
+    def test_bit_for_bit_reproducible(self, ingest_run):
+        cfg, runtime = ingest_run
+        rerun = run_loadtest(cfg)
+        assert signature(runtime) == signature(rerun)
+
+
+class TestMaintenance:
+    def test_flushes_and_compactions_published(self, ingest_run):
+        __, runtime = ingest_run
+        report = runtime.report()["ingest"]
+        assert report["maintenance"]["flushes"] >= 1
+        assert report["maintenance"]["compactions"] >= 1
+        dataset = runtime.ingest.dataset
+        assert dataset.rows_flushed > runtime.ingest.policy.initial_rows
+
+    def test_no_version_is_ever_torn(self, ingest_run):
+        # Every published version — including any that landed around the
+        # seeded kills — must equal the serial replay of its row prefix.
+        __, runtime = ingest_run
+        dataset = runtime.ingest.dataset
+        for version, __kind, n_rows in dataset.version_log:
+            assert dataset.content_digest(version) == \
+                dataset.prefix_digest(n_rows)
+        assert runtime.ingest.counts["torn_avoided"] == 0
+
+    def test_maintenance_runs_as_system_compaction_class(self, ingest_run):
+        __, runtime = ingest_run
+        maintenance = [o for o in runtime.outcomes
+                       if o.request.id >= MAINTENANCE_ID_BASE]
+        assert maintenance
+        for o in maintenance:
+            assert o.request.tenant == SYSTEM_TENANT
+            assert o.request.query.startswith(("flush:", "compact:"))
+            assert o.request.deadline is None
+
+    def test_memtable_within_documented_bound(self, ingest_run):
+        __, runtime = ingest_run
+        sv = runtime.report()["ingest"]["starvation"]
+        assert sv["within_bound"]
+        assert sv["max_memtable"] <= sv["memtable_bound"]
+
+    def test_merge_log_attributes_each_level(self, ingest_run):
+        __, runtime = ingest_run
+        lsm = runtime.ingest.dataset.lsm
+        assert len(lsm.merge_log) >= \
+            runtime.ingest.counts["compactions"] >= 1
+        assert all(r.events.dram_write_bytes > 0 for r in lsm.merge_log)
+
+    def test_report_attributes_the_write_path(self, ingest_run):
+        __, runtime = ingest_run
+        report = runtime.report()["ingest"]
+        assert report["dataset"]["rows_ingested"] == \
+            len(runtime.ingest.dataset.row_log)
+        assert report["dataset"]["versions_published"] == \
+            len(runtime.ingest.dataset.version_log)
+        assert set(report["escalations"]) == {"batch", "interactive"}
+
+
+class TestEscalation:
+    def test_promote_moves_to_head_of_target_class(self):
+        adm = AdmissionController(capacity=8)
+        maint = Request(id=1, tenant=SYSTEM_TENANT, query="flush:d:1",
+                        arrival=0, klass="compaction")
+        older = Request(id=2, tenant="acme", query="q", arrival=0,
+                        klass="batch")
+        assert adm.offer(maint, 0) == []
+        assert adm.offer(older, 0) == []
+        assert adm.promote(maint, "batch")
+        assert maint.klass == "batch"
+        assert adm.take() is maint          # head of its new class
+        assert adm.take() is older
+
+    def test_promote_refuses_dispatched_requests(self):
+        adm = AdmissionController(capacity=8)
+        maint = Request(id=1, tenant=SYSTEM_TENANT, query="flush:d:1",
+                        arrival=0, klass="compaction")
+        adm.offer(maint, 0)
+        assert adm.take() is maint
+        assert not adm.promote(maint, "batch")
+        assert maint.klass == "compaction"
+
+    def test_starved_maintenance_escalates_under_load(self, ingest_run):
+        __, runtime = ingest_run
+        esc = runtime.report()["ingest"]["escalations"]
+        assert sum(esc.values()) > 0
+
+
+class TestLostLegs:
+    """Retry-or-abandon semantics driven directly through the controller."""
+
+    def _controller(self):
+        policy = ServingPolicy(ingest=IngestPolicy(
+            batch_size=32, initial_rows=64, max_resubmits=2))
+        rt = ServingRuntime(ServingWorkload(), n_replicas=2, policy=policy,
+                            seed=7)
+        return rt.ingest
+
+    def _fail(self, ctrl, kind="flush", status="failed"):
+        rid = ctrl._outstanding[kind]
+        request, __ = ctrl._live[rid]
+        ctrl.on_outcome(Outcome(request=request, status=status, finish=100))
+        return rid
+
+    def test_lost_flush_is_retried_then_requeued(self):
+        ctrl = self._controller()
+        ctrl.dataset.append_batch(32, batch_seed=1)
+        ctrl.pump(now=0)
+        rid = ctrl._outstanding["flush"]
+        assert rid is not None and isinstance(ctrl._live[rid][1], FlushJob)
+        v_before = ctrl.dataset.lsm.version
+        for __ in range(ctrl.policy.max_resubmits):
+            failed = self._fail(ctrl)
+            assert ctrl._outstanding["flush"] is not None   # resubmitted
+            assert ctrl._outstanding["flush"] != failed     # fresh id
+        self._fail(ctrl)                                    # budget exhausted
+        assert ctrl._outstanding["flush"] is None
+        assert ctrl.counts["resubmits"] == ctrl.policy.max_resubmits
+        assert ctrl.counts["flushes_requeued"] == 1
+        # Nothing published, nothing lost: the rows are back in the
+        # memtable in append order, ready for the next flush attempt.
+        assert ctrl.dataset.lsm.version == v_before
+        assert ctrl.dataset.lsm.buffered() == 32
+        assert ctrl.dataset.memtable_rows() == 32
+        assert ctrl.dataset.lsm._buffer == ctrl.dataset.row_log[64:]
+
+    def test_lost_compaction_is_abandoned_never_torn(self):
+        ctrl = self._controller()
+        lsm = ctrl.dataset.lsm
+        # Two equal-size trees violate the ladder -> a pending merge.
+        for __ in range(2):
+            ctrl.dataset.append_batch(32, batch_seed=2)
+            batch = lsm.claim_buffer()
+            ctrl.dataset.rows_claimed += len(batch)
+            tree, delta = lsm.build_batch_tree(batch)
+            lsm.publish_tree(tree, delta)
+            ctrl.dataset.rows_flushed += len(batch)
+            ctrl.dataset._record("flush")
+        assert lsm.pending_merge() is not None
+        ctrl.pump(now=0)
+        job = ctrl._live[ctrl._outstanding["compaction"]][1]
+        assert isinstance(job, CompactionJob)
+        sizes_before = lsm.tree_sizes()
+        v_before = lsm.version
+        for __ in range(ctrl.policy.max_resubmits + 1):
+            self._fail(ctrl, kind="compaction")
+        assert ctrl._outstanding["compaction"] is None
+        assert ctrl.counts["compactions_abandoned"] == 1
+        # Abandoned whole: the tree list is exactly as published before.
+        assert lsm.version == v_before
+        assert lsm.tree_sizes() == sizes_before
+        # The abandoned pair is never re-enqueued (no retry livelock)...
+        ctrl.pump(now=1000)
+        assert ctrl._outstanding["compaction"] is None
+        # ...and a late publication of the dead merge's output would be
+        # refused by the CAS if the list had moved on meanwhile.
+        for version, __k, n_rows in ctrl.dataset.version_log:
+            assert ctrl.dataset.content_digest(version) == \
+                ctrl.dataset.prefix_digest(n_rows)
+
+    def test_shed_maintenance_resubmits_with_delay(self):
+        ctrl = self._controller()
+        ctrl.dataset.append_batch(32, batch_seed=3)
+        ctrl.pump(now=0)
+        self._fail(ctrl, status="shed")
+        assert ctrl.counts["shed"] == 1
+        rid = ctrl._outstanding["flush"]
+        assert rid is not None
+        request, job = ctrl._live[rid]
+        assert request.arrival == 100 + ctrl.policy.resubmit_delay
+        assert job.resubmits == 1
+
+    def test_dead_fleet_strands_instead_of_spinning(self):
+        ctrl = self._controller()
+        for replica in ctrl.runtime.replicas:
+            replica.killed_at = 0          # whole fleet gone
+        ctrl.dataset.append_batch(32, batch_seed=4)
+        ctrl.pump(now=0)
+        self._fail(ctrl)
+        assert ctrl._outstanding["flush"] is None   # no blind resubmission
+        assert ctrl.counts["stranded_fleet_lost"] == 1
+        assert ctrl.counts["flushes_requeued"] == 1
+        assert ctrl.dataset.lsm.buffered() == 32
+
+
+class _HierarchyJob:
+    """Just enough job surface for the cache: identity + class predicate."""
+
+    def __init__(self, dataset_key=("taxi", "nyc")):
+        self.class_pred = Predicate.true()
+        self.dataset_key = dataset_key
+        self.key = "drill"
+
+    def joined_schema(self):
+        class _S:
+            fields = ("k", "v")
+
+            def index_of(self, name):
+                return self.fields.index(name)
+        return _S()
+
+
+class TestPartitionScopedInvalidation:
+    def _warmed(self, n_parts=8):
+        cache = PartitionCache(CachePolicy())
+        job = _HierarchyJob()
+        for k in range(n_parts):
+            rows = tuple((k, 10 * k + i) for i in range(3))
+            assert cache.insert("t", job, n_parts, k, rows, cost=50,
+                                version=cache.version_of(job.dataset_key))
+        return cache, job
+
+    def test_untouched_partitions_keep_serving(self):
+        # Satellite pin: an ingest batch touching only bucket 2 ages only
+        # partition-2 fragments — the warmed drill-down hierarchy keeps
+        # its hit rate everywhere else.
+        cache, job = self._warmed()
+        cache.invalidate(job.dataset_key, parts=(2,))
+        decision = cache.lookup("t", job, 8, tuple(range(8)))
+        assert set(decision.residual) == {2}
+        assert set(decision.exact) == set(range(8)) - {2}
+        assert decision.version_at(2) == decision.version + 1
+        assert decision.version_at(0) == decision.version
+
+    def test_reinsert_at_partition_version_restores_hit(self):
+        cache, job = self._warmed()
+        cache.invalidate(job.dataset_key, parts=(2,))
+        rows = ((2, 999),)
+        # Inserting under the stale partition version is refused...
+        stale = cache.version_of(job.dataset_key)
+        assert not cache.insert("t", job, 8, 2, rows, 50, stale)
+        # ...under the scoped version it lands and the hierarchy is whole.
+        fresh = cache.version_of(job.dataset_key, 2)
+        assert cache.insert("t", job, 8, 2, rows, 50, fresh)
+        decision = cache.lookup("t", job, 8, tuple(range(8)))
+        assert decision.disposition == "hit"
+
+    def test_dataset_wide_invalidation_still_ages_everything(self):
+        cache, job = self._warmed()
+        cache.invalidate(job.dataset_key)
+        decision = cache.lookup("t", job, 8, tuple(range(8)))
+        assert decision.disposition == "miss"
+
+    def test_ingest_invalidates_partitions_in_cached_chaos(self):
+        cfg = LoadTestConfig(requests=150, seed=3, cache=True, zipf=1.1,
+                             ingest=True)
+        runtime = run_loadtest(cfg)
+        assert check_invariants(runtime) == []
+        report = runtime.report()
+        pc = report["partition_cache"]
+        assert pc["partition_invalidations"] > 0
+        # Ingestion writes the taxi dataset only; the warmed predicated-
+        # join hierarchy caches under other dataset keys and keeps its
+        # hit rate through every ingest batch.
+        assert pc["hits"] + pc["partial_hits"] > 0
+        assert pc["stale_dropped"] == 0
+
+
+class TestDifferentialFuzz:
+    """50 randomized interleavings checked against serial replay."""
+
+    N_SEEDS = 25                      # × 2 scheduler params = 50 runs
+
+    def _run(self, seed, scheduler):
+        rng = random.Random(seed * 7919 + 5)
+        policy = ServingPolicy(
+            scheduler=scheduler,
+            ingest=IngestPolicy(batch_size=64, initial_rows=256,
+                                escalate_after=3_000))
+        schedule, t = [], 0
+        for __ in range(rng.randrange(5, 12)):
+            t += rng.randrange(200, 2_500)
+            schedule.append((t, rng.randrange(16, 80)))
+        rt = ServingRuntime(
+            ServingWorkload(), n_replicas=3, policy=policy, seed=seed,
+            flaky_replicas=(1,) if seed % 2 else (),
+            ingest_schedule=schedule)
+        t = 0
+        for i in range(24):
+            t += rng.randrange(100, 1_200)
+            rt.submit(Request(id=i, tenant=rng.choice(("acme", "globex")),
+                              query=rng.choice(TAXI_NAMES), arrival=t))
+        rt.run()
+        return rt
+
+    @pytest.mark.parametrize("scheduler", ("event", "vector"))
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_interleavings_match_serial_replay(self, seed, scheduler):
+        rt = self._run(seed, scheduler)
+        dataset = rt.ingest.dataset
+        assert all(o.status != "wrong_result" for o in rt.outcomes)
+        # Per-version goldens: every published version's content equals
+        # the serial replay of its append-log prefix, bit for bit.
+        flushed_at = {}
+        for version, __kind, n_rows in dataset.version_log:
+            flushed_at[version] = n_rows
+            assert dataset.content_digest(version) == \
+                dataset.prefix_digest(n_rows)
+        # And every served flight answer equals the brute-force replay
+        # over that prefix — independent of LSM, snapshots, and caching.
+        for o in rt.outcomes:
+            if o.ok and o.request.query in TAXI_NAMES:
+                golden = rt.golden_of(o.request)
+                prefix = dataset.row_log[:flushed_at[o.request.snapshot]]
+                assert golden.digest[2] == _serial_flight(
+                    prefix, o.request.query)
+
+    def test_schedulers_agree_bit_for_bit(self):
+        # The engine-scheduler substitution is transparent to serving:
+        # same seed, same interleaving, same signatures on both.
+        for seed in (0, 1, 2):
+            event = self._run(seed, "event")
+            vector = self._run(seed, "vector")
+            assert [o.signature() for o in event.outcomes] == \
+                [o.signature() for o in vector.outcomes]

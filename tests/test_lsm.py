@@ -6,7 +6,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.structures import LsmTree
+from repro.structures import LsmSnapshot, LsmTree, merge_trees
 
 
 class TestIngest:
@@ -117,3 +117,123 @@ class TestQueries:
         lsm.insert_many(pairs)
         got = lsm.range_query(0, 200)
         assert sorted(map(repr, got)) == sorted(map(repr, pairs))
+
+
+class TestSnapshots:
+    """Versioned publication: reads go through explicit snapshot handles."""
+
+    def test_version_bumps_on_every_publication(self):
+        lsm = LsmTree(batch_size=4)
+        assert lsm.version == 0
+        for i in range(4):
+            lsm.insert(i, i)
+        v_flush = lsm.version
+        assert v_flush >= 1
+        for i in range(4, 8):
+            lsm.insert(i, i)
+        # Second flush publishes the tree AND the equal-size merge.
+        assert lsm.version > v_flush
+        assert lsm.snapshot().version == lsm.version
+
+    def test_no_torn_reads_when_mutated_mid_iteration(self):
+        # Regression (satellite 2): a flush/merge landing between two tree
+        # visits of one range query must not make rows appear or vanish.
+        lsm = LsmTree(batch_size=32)
+        lsm.insert_many((i, i) for i in range(96))
+        snap = lsm.snapshot()
+        expect = snap.range_query(0, 10_000)
+        seen = []
+        for tree in snap:
+            seen.extend(tree.range_query(0, 10_000))
+            # Mutate the live LSM mid-iteration: buffer + flush + cascade.
+            lsm.insert_many((1000 + len(seen) + j, "mid") for j in range(32))
+        assert sorted(seen) == [kv for kv in expect]
+        # And the handle still answers identically after the dust settles.
+        assert snap.range_query(0, 10_000) == expect
+
+    def test_published_snapshot_excludes_buffer(self):
+        lsm = LsmTree(batch_size=100)
+        lsm.insert(1, "flushed")
+        lsm.flush()
+        lsm.append(2, "buffered")
+        pub = lsm.published_snapshot()
+        assert pub.search(2) == []
+        assert lsm.snapshot().search(2) == ["buffered"]
+        assert lsm.search(2) == ["buffered"]
+
+    def test_snapshot_search_covers_captured_buffer(self):
+        lsm = LsmTree(batch_size=100)
+        lsm.append(7, "a")
+        snap = lsm.snapshot()
+        lsm.append(7, "b")
+        assert snap.search(7) == ["a"]
+
+    def test_snapshot_len_and_iter_back_compat(self):
+        lsm = LsmTree(batch_size=8)
+        lsm.insert_many((i, i) for i in range(20))
+        snap = lsm.snapshot()
+        assert len(snap) == 20
+        assert sum(len(t) for t in snap) + len(snap.buffer) == 20
+
+
+class TestBackgroundMaintenance:
+    """The functional flush/merge API the live-ingestion path drives."""
+
+    def test_claim_build_publish_round_trip(self):
+        lsm = LsmTree(batch_size=4)
+        for i in range(3):
+            lsm.append(i, i)
+        batch = lsm.claim_buffer()
+        assert lsm.buffered() == 0
+        tree, delta = lsm.build_batch_tree(batch)
+        assert lsm.version == 0          # nothing published yet
+        assert lsm.range_query(0, 10) == []
+        v = lsm.publish_tree(tree, delta)
+        assert v == lsm.version == 1
+        assert [k for k, __ in lsm.range_query(0, 10)] == [0, 1, 2]
+        # The builder's isolated delta merged into the shared counters and
+        # the tree rebound, so future reads charge the shared object.
+        assert tree.events is lsm.events
+        assert lsm.events.records_processed >= 3
+
+    def test_publish_merge_cas_refuses_stale_inputs(self):
+        lsm = LsmTree(batch_size=4)
+        lsm.insert_many((i, i) for i in range(8))
+        lsm2 = LsmTree(batch_size=4)
+        lsm2.insert_many((i, i) for i in range(4))
+        stranger = lsm2._trees[0]        # never adjacent in ``lsm``
+        merged, delta = merge_trees(stranger, stranger, lsm.fanout)
+        v_before = lsm.version
+        assert not lsm.publish_merge(stranger, stranger, merged, delta)
+        assert lsm.version == v_before   # refused: nothing published
+
+    def test_merge_log_emits_per_level_events(self):
+        # Satellite 3: the flush merge cascade must emit one MergeRecord
+        # per published merge level, each with isolated StructureEvents,
+        # so stall attribution sees compaction cost level by level.
+        lsm = LsmTree(batch_size=16)
+        lsm.insert_many((i, i) for i in range(256))
+        assert lsm.merges == len(lsm.merge_log) >= 2
+        levels = {rec.level for rec in lsm.merge_log}
+        assert levels, "cascade published no levels"
+        for rec in lsm.merge_log:
+            assert rec.records > 0
+            assert rec.events.dram_read_bytes > 0
+            assert rec.events.dram_write_bytes > 0
+            assert rec.version >= 1
+        # Per-level deltas are disjoint slices of the shared counters.
+        merged_bytes = sum(r.events.dram_write_bytes for r in lsm.merge_log)
+        assert merged_bytes <= lsm.events.dram_write_bytes
+
+    def test_merge_trees_is_functional(self):
+        lsm = LsmTree(batch_size=4)
+        lsm.insert_many((i, i) for i in range(4))
+        lsm.append(100, "x")
+        a_rows = [(100, "x"), (101, "y")]
+        tree_a, __ = lsm.build_batch_tree(a_rows)
+        b = lsm._trees[0]
+        before = lsm.events.asdict()
+        merged, delta = merge_trees(tree_a, b, lsm.fanout)
+        assert lsm.events.asdict() == before     # no shared-counter bleed
+        assert len(merged) == len(tree_a) + len(b)
+        assert delta.dram_read_bytes > 0
