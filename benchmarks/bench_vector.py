@@ -1,4 +1,4 @@
-"""PR 7 perf trajectory: the columnar vector backend vs burst execution.
+"""Perf trajectory of the columnar vector backend vs burst execution.
 
 Runs the ``bench_pr2`` case set under ``scheduler="vector"`` and under
 the burst event scheduler it falls back to, verifies the resulting
@@ -6,14 +6,21 @@ the burst event scheduler it falls back to, verifies the resulting
 oracle — the vector backend may only change wall-clock), and gates
 against the committed ``BENCH_PR2.json`` baseline:
 
-* ``probe_saturated_2048t`` must hit a >= 3.0x speedup over its
-  recorded PR 2 event-scheduler wall-clock — this is the ISSUE 7
-  acceptance target and a hard failure, not advisory;
+* ``probe_saturated_2048t`` must hit a >= 4.5x speedup over its
+  recorded PR 2 event-scheduler wall-clock — the expression-compiler
+  acceptance target (raised from the vector backend's original 3.0x).
+  A miss exits with the distinct code 3 so CI can separate the open
+  perf item from true regressions, which always exit 1;
+* the ramp share of lowered-window execution time (ramp wall over
+  ramp + saturated wall, excluding the one-time lowering build) must
+  stay under ``RAMP_CEILING`` — the vectorized ramp's reason to exist;
 * any case whose vector wall-clock regresses more than ``TOLERANCE``
   past its recorded PR 2 time fails the run.
 
-Results — per-case vector and burst times, the vector/burst ratio, and
-vector-window counts/lengths — are written to ``BENCH_VECTOR.json``.
+Results — per-case vector and burst times, the vector/burst ratio,
+vector-window counts/lengths, and the per-window-shape wall-clock
+breakdown (lowering build / ramp / saturated) — are written to
+``BENCH_VECTOR.json``.
 
 Wall-clock baselines are machine-dependent; on shared CI runners the
 absolute comparison is noisy, which is why the tolerance is a generous
@@ -41,31 +48,44 @@ REPEATS = 3
 #: Allowed wall-clock regression vs the committed PR 2 event baseline.
 TOLERANCE = 0.25
 
-#: ISSUE 7 acceptance target: hard-fail (not advisory) speedups vs the
-#: PR 2 event scheduler.
-HARD_TARGETS = {"probe_saturated_2048t": 3.0}
+#: ISSUE 10 acceptance target: hard-fail (not advisory) speedups vs the
+#: PR 2 event scheduler (ISSUE 7 set 3.0x; the expression compiler
+#: raises the bar).
+HARD_TARGETS = {"probe_saturated_2048t": 4.5}
+
+#: Ceiling on ramp wall-clock as a fraction of lowered-window execution
+#: (ramp / (ramp + vector), lowering build excluded).  ROADMAP item 2
+#: recorded the per-cycle ramp at ~40% of the saturated probe's residual
+#: time; the vectorized ramp must keep it under this.
+RAMP_CEILING = 0.30
 
 
 def _time_engine(factory, scheduler):
     best = float("inf")
     stats = None
     windows = {}
+    window_wall = {}
     for __ in range(REPEATS):
         graph = factory()           # fresh graph per run: no shared state
         engine = Engine(graph, scheduler=scheduler, burst=True)
         t0 = time.perf_counter()
         stats = engine.run()
-        best = min(best, time.perf_counter() - t0)
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+            window_wall = dict(getattr(engine, "window_wall", {}))
         windows = engine.burst_windows
-    return best, stats, windows
+    return best, stats, windows, window_wall
 
 
 def run_benchmarks(baseline_cases):
     results = {}
     failures = []
+    target_misses = []
     for name, factory in bench_pr2.CASES:
-        wall_burst, stats_burst, __ = _time_engine(factory, "event")
-        wall_vec, stats_vec, windows = _time_engine(factory, "vector")
+        wall_burst, stats_burst, __, __w = _time_engine(factory, "event")
+        wall_vec, stats_vec, windows, wwall = _time_engine(factory,
+                                                           "vector")
         if stats_vec != stats_burst:
             raise AssertionError(
                 f"{name}: vector backend diverged from burst event "
@@ -80,7 +100,21 @@ def run_benchmarks(baseline_cases):
             "vector_windows": {
                 cls: {"n": len(sizes), "cycles": sum(sizes)}
                 for cls, sizes in sorted(windows.items())},
+            # Per-window-shape wall-clock: "lower" is the one-time
+            # dispatch + expression-compile build, "ramp" the fixed-width
+            # pre-saturation windows, "vector" the saturated windows.
+            "window_wall_s": {shape: round(sec, 6)
+                              for shape, sec in sorted(wwall.items())},
         }
+        lowered = wwall.get("ramp", 0.0) + wwall.get("vector", 0.0)
+        if lowered > 0.0:
+            ramp_fraction = wwall.get("ramp", 0.0) / lowered
+            entry["ramp_fraction"] = round(ramp_fraction, 4)
+            entry["ramp_fraction_ceiling"] = RAMP_CEILING
+            if ramp_fraction > RAMP_CEILING:
+                failures.append(
+                    f"{name} (ramp fraction {ramp_fraction:.2f} > "
+                    f"{RAMP_CEILING} ceiling)")
         if base is not None:
             entry["wall_s_event_pr2_baseline"] = base
             entry["speedup_vs_pr2_baseline"] = round(base / wall_vec, 2)
@@ -93,18 +127,20 @@ def run_benchmarks(baseline_cases):
             entry["target_speedup"] = target
             entry["target_met"] = base / wall_vec >= target
             if not entry["target_met"]:
-                failures.append(
+                target_misses.append(
                     f"{name} (speedup {base / wall_vec:.2f}x < {target}x)")
         results[name] = entry
         windows_str = " ".join(
             f"{cls}:{len(sizes)}w/{sum(sizes)}c"
             for cls, sizes in sorted(windows.items())) or "-"
+        ramp_str = ("" if "ramp_fraction" not in entry
+                    else f" ramp={entry['ramp_fraction']:.0%}")
         print(f"{name:24s} cycles={stats_vec.cycles:>7} "
               f"burst={wall_burst * 1e3:8.1f}ms "
               f"vector={wall_vec * 1e3:8.1f}ms "
               f"vs_pr2={'' if base is None else f'{base / wall_vec:5.2f}x'} "
-              f"windows={windows_str}")
-    return results, failures
+              f"windows={windows_str}{ramp_str}")
+    return results, failures, target_misses
 
 
 def main(argv=None) -> int:
@@ -116,22 +152,31 @@ def main(argv=None) -> int:
                         help="committed PR 2 baseline to gate against")
     args = parser.parse_args(argv)
     baseline = json.loads(Path(args.baseline).read_text())
-    results, failures = run_benchmarks(baseline["cases"])
+    results, failures, target_misses = run_benchmarks(baseline["cases"])
     payload = {
-        "benchmark": "columnar vector backend vs burst execution (PR 7)",
+        "benchmark": "columnar vector backend vs burst execution",
         "repeats_best_of": REPEATS,
         "tolerance": TOLERANCE,
+        "ramp_fraction_ceiling": RAMP_CEILING,
         "baseline": Path(args.baseline).name,
         "cases": results,
         "failures": failures,
+        "target_misses": target_misses,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     targets_met = [n for n in HARD_TARGETS if results[n].get("target_met")]
     print(f"\nwrote {args.out} ({len(targets_met)}/{len(HARD_TARGETS)} "
-          f"hard targets met, {len(failures)} failures)")
+          f"hard targets met, {len(failures)} failures, "
+          f"{len(target_misses)} target misses)")
     if failures:
         print(f"FAIL: {'; '.join(failures)}", file=sys.stderr)
         return 1
+    if target_misses:
+        # Distinct exit code: a speedup-target miss against the frozen,
+        # machine-dependent PR 2 wall-clock baseline — the open ROADMAP
+        # perf item — not a regression, divergence, or ramp blow-up.
+        print(f"TARGET MISS: {'; '.join(target_misses)}", file=sys.stderr)
+        return 3
     return 0
 
 

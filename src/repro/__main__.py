@@ -151,6 +151,34 @@ def _vector_profile_report(engine) -> str:
         calls, sec = prof[kind]
         lines.append(f"{kind:>20} {calls:>8} {_fmt(sec):>10} "
                      f"{sec / total:>6.1%}")
+    # Lambda-time attribution: per kernel family, how much window time ran
+    # through batch-compiled expressions ("+expr") versus interpreted
+    # callables (the legacy-lambda escape hatch).  A family showing
+    # interpreted time on a hot path is a candidate for Expr conversion.
+    lambda_families = {"map", "filter", "spad_read", "dram_read",
+                       "sorted_merge"}
+    by_family = {}
+    for kind, (calls, sec) in prof.items():
+        family, __, tag = kind.partition("+")
+        if family not in lambda_families:
+            continue                # structural kernel: no user callable
+        row = by_family.setdefault(family, [0, 0.0, 0, 0.0])
+        if tag:
+            row[0] += calls
+            row[1] += sec
+        else:
+            row[2] += calls
+            row[3] += sec
+    lines.append("")
+    lines.append(f"{'lambda attribution':>20} {'compiled':>10} "
+                 f"{'interpreted':>12} {'compiled%':>10}")
+    for family in sorted(by_family, key=lambda f: -(by_family[f][1]
+                                                    + by_family[f][3])):
+        cc, cs, ic, isec = by_family[family]
+        fam_total = cs + isec
+        share = cs / fam_total if fam_total else 0.0
+        lines.append(f"{family:>20} {_fmt(cs):>10} {_fmt(isec):>12} "
+                     f"{share:>9.1%}")
     return "\n".join(lines)
 
 

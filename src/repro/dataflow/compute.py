@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable, List, Optional
 
+from repro.dataflow.expr import scalar_of
 from repro.dataflow.record import LANES, Record
 from repro.dataflow.tile import Packer, Tile
 from repro.dataflow.stream import Stream
@@ -135,19 +136,24 @@ class MapTile(_PipelinedTile):
 
     ``fn`` may return ``None`` to kill the thread (a fused filter-drop),
     which some pipelines use for guard conditions.
+
+    ``fn`` may be a legacy callable or an :class:`~repro.dataflow.expr.Expr`;
+    an ``Expr`` is resolved to its compiled scalar here (so per-record
+    schedulers pay no dispatch) and batch-fused inside lowered windows.
     """
 
     def __init__(self, name: str, fn: Callable[[Record], Optional[Record]],
                  latency: int = PIPELINE_DEPTH):
         super().__init__(name, latency, n_outputs=1)
         self.fn = fn
+        self._fn = scalar_of(fn)
 
     def _process(self, cycle: int) -> bool:
         stream = self.inputs[0]
         if not stream._fifo or not self._has_room():
             return False
         vector = stream.pop()
-        fn = self.fn
+        fn = self._fn
         out = []
         append = out.append
         for rec in vector:
@@ -169,6 +175,7 @@ class FilterTile(_PipelinedTile):
                  latency: int = PIPELINE_DEPTH):
         super().__init__(name, latency, n_outputs=2)
         self.predicate = predicate
+        self._pred = scalar_of(predicate)
 
     def _process(self, cycle: int) -> bool:
         stream = self.inputs[0]
@@ -179,7 +186,7 @@ class FilterTile(_PipelinedTile):
         failed: List[Record] = []
         pass_append = passed.append
         fail_append = failed.append
-        predicate = self.predicate
+        predicate = self._pred
         for rec in vector:
             if predicate(rec):
                 pass_append(rec)
@@ -229,6 +236,7 @@ class ForkTile(_PipelinedTile):
                  latency: int = PIPELINE_DEPTH, max_pending: int = 16 * LANES):
         super().__init__(name, latency, n_outputs=1)
         self.fn = fn
+        self._fn = scalar_of(fn)
         self._packers[0].spill_limit = max_pending
 
     def _can_accept(self) -> bool:
@@ -241,8 +249,9 @@ class ForkTile(_PipelinedTile):
             return False
         vector = stream.pop()
         out: List[Record] = []
+        fn = self._fn
         for rec in vector:
-            out.extend(self.fn(rec))
+            out.extend(fn(rec))
         self._delay.append((cycle + self.latency, (out,)))
         return True
 

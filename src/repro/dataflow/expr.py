@@ -1,0 +1,723 @@
+"""Expression IR + batch compiler for tile callables.
+
+Aurochs tiles execute *configured* dataflow operators, not interpreted
+code (§III): an address generator or a predicate is a fixed circuit, not
+a Python closure.  This module is the software analogue — a small,
+introspectable expression IR over record fields (arith, compare, hash,
+in-set, range, select) that every graph builder can hand to a tile in
+place of an opaque ``lambda``.
+
+Two execution forms share one source of truth:
+
+* :meth:`Expr.evaluate` — an interpreted tree walk, the semantic
+  reference.  The differential fuzz suite pins the compiled forms
+  against it.
+* :meth:`Expr.scalar` / :meth:`Expr.compile_batch` — generated Python
+  source.  Both forms render the *same* expression string, so scalar
+  and batch results are identical by construction; the batch form
+  amortizes the per-record call into one function call per vector,
+  which is what the columnar backend's lambda-fused kernels consume.
+
+Why generated Python and not numpy ufuncs: fabric vectors are LANES=16
+records wide, where numpy's per-ufunc dispatch overhead exceeds the
+arithmetic it saves; and numpy's fixed-width int64 wraps on overflow
+while the simulator's semantics are Python's arbitrary-precision ints
+(the fuzz suite exercises overflow explicitly).  A listcomp over 16
+records with the expression inlined beats both a ufunc chain and a
+per-record lambda call.
+
+``Expr`` instances are also plain callables (``__call__`` compiles and
+caches a scalar), so every legacy call site — serving evaluators, the
+functional operators, non-vector schedulers — works unchanged.  Legacy
+lambdas remain accepted everywhere an ``Expr`` is; they simply keep
+paying the per-record call inside lowered windows (the documented
+escape hatch for non-expressible callables such as RMW closures or the
+ML distance kernels in workloads/queries.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "Expr", "Const", "Arg", "Field", "BinOp", "Cmp", "Hash32", "InSet",
+    "InRange", "Select", "Tup", "Concat", "All", "AnyOf", "Not",
+    "bucket_expr", "radix_expr", "scalar_of", "is_expr",
+]
+
+#: MurmurHash3 finalizer constants — must match structures/hashing.py
+#: bit-for-bit (pinned by tests/test_expr.py).
+_M32 = 0xFFFFFFFF
+_MUR1 = 0x85EBCA6B
+_MUR2 = 0xC2B2AE35
+
+
+def _hash32_ref(key) -> int:
+    """Reference murmur3 finalizer, identical to ``hashing.hash32``.
+
+    Re-stated locally (6 lines) rather than imported so the dataflow
+    package keeps zero dependencies on ``repro.structures``.
+    """
+    x = (key if isinstance(key, int) else hash(key)) & _M32
+    x ^= x >> 16
+    x = (x * _MUR1) & _M32
+    x ^= x >> 13
+    x = (x * _MUR2) & _M32
+    x ^= x >> 16
+    return x
+
+
+class _Ctx:
+    """Codegen context: constant pool + unique temp names."""
+
+    __slots__ = ("ns", "n")
+
+    def __init__(self):
+        self.ns: Dict[str, object] = {}
+        self.n = 0
+
+    def temp(self) -> str:
+        self.n += 1
+        return f"_t{self.n}"
+
+    def bind(self, value) -> str:
+        self.n += 1
+        name = f"_c{self.n}"
+        self.ns[name] = value
+        return name
+
+
+#: Process-wide ``compile()`` cache.  Code objects are namespace-free,
+#: so two structurally identical expressions (same rendered source) can
+#: share one; each ``exec`` binds the function against its own constant
+#: pool.  Fresh graph builds re-render the same sources every run —
+#: without this the bytecode compiler dominates lowering build time.
+_CODE_CACHE: Dict[Tuple[str, str], object] = {}
+
+
+def _compile(ctx: _Ctx, name: str, src: str) -> Callable:
+    code = _CODE_CACHE.get((name, src))
+    if code is None:
+        code = _CODE_CACHE[(name, src)] = compile(
+            src, f"<repro.expr:{name}>", "exec")
+    exec(code, ctx.ns)
+    fn = ctx.ns[name]
+    fn.__expr_source__ = src
+    return fn
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base expression node.
+
+    Arithmetic and ordering operators build new nodes (``Field(0) + 1``,
+    ``Field(2) < 100``).  ``==`` stays *structural* (dataclass equality,
+    needed for hashing/caching); build equality comparisons with
+    :meth:`eq` / :meth:`ne`.
+    """
+
+    # -- node protocol (overridden by every subclass) -----------------------
+
+    def _eval(self, args):
+        raise NotImplementedError
+
+    def _emit(self, ctx: _Ctx) -> str:
+        raise NotImplementedError
+
+    def _arity(self) -> int:
+        return 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return max(1, self._arity())
+
+    def evaluate(self, *args):
+        """Interpreted reference evaluation (the semantic ground truth)."""
+        return self._eval(args)
+
+    def __call__(self, *args):
+        return self.scalar(len(args))(*args)
+
+    # -- compiled forms -----------------------------------------------------
+
+    def _cache(self) -> dict:
+        cache = self.__dict__.get("_compiled")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_compiled", cache)
+        return cache
+
+    def scalar(self, arity: Optional[int] = None) -> Callable:
+        """Compile to ``f(a0[, a1, ...])`` returning the expression value.
+
+        ``arity`` may request extra (ignored) parameters so an ``Expr``
+        can stand in for e.g. a two-argument combine that ignores the
+        memory word.
+        """
+        n = self.arity if arity is None else max(arity, self.arity)
+        cache = self._cache()
+        fn = cache.get(("scalar", n))
+        if fn is None:
+            ctx = _Ctx()
+            params = ", ".join(f"a{i}" for i in range(n))
+            src = f"def _f({params}):\n    return {self._emit(ctx)}\n"
+            fn = cache[("scalar", n)] = _compile(ctx, "_f", src)
+        return fn
+
+    def compile_batch(self, skip_none: bool = False,
+                      arity: Optional[int] = None) -> Callable:
+        """Compile to ``f(batch) -> list`` evaluating every record.
+
+        Arity 1 takes a list of records; arity 2 a list of
+        ``(record, value)`` pairs.  ``skip_none`` drops ``None`` results
+        (the MapTile/combine convention for "no output record").
+        """
+        n = self.arity if arity is None else max(arity, self.arity)
+        cache = self._cache()
+        fn = cache.get(("batch", n, skip_none))
+        if fn is None:
+            ctx = _Ctx()
+            binder = "a0" if n == 1 else ", ".join(f"a{i}" for i in range(n))
+            body = self._emit(ctx)
+            if skip_none:
+                comp = (f"[_v for {binder} in _batch"
+                        f" if (_v := {body}) is not None]")
+            else:
+                comp = f"[{body} for {binder} in _batch]"
+            src = f"def _f(_batch):\n    return {comp}\n"
+            fn = cache[("batch", n, skip_none)] = _compile(ctx, "_f", src)
+        return fn
+
+    def compile_filter(self) -> Callable:
+        """Compile a predicate to ``f(rows) -> [row for row if pred]``."""
+        cache = self._cache()
+        fn = cache.get("filter")
+        if fn is None:
+            ctx = _Ctx()
+            src = (f"def _f(_batch):\n"
+                   f"    return [a0 for a0 in _batch if {self._emit(ctx)}]\n")
+            fn = cache["filter"] = _compile(ctx, "_f", src)
+        return fn
+
+    def filter_batch(self, rows):
+        """Evaluate this predicate over ``rows``, keeping matches."""
+        return self.compile_filter()(rows)
+
+    def compile_split(self) -> Callable:
+        """Compile a predicate to ``f(batch) -> (passed, failed)``."""
+        cache = self._cache()
+        fn = cache.get("split")
+        if fn is None:
+            ctx = _Ctx()
+            src = (f"def _f(_batch):\n"
+                   f"    _p = []\n"
+                   f"    _fl = []\n"
+                   f"    _pa = _p.append\n"
+                   f"    _fa = _fl.append\n"
+                   f"    for a0 in _batch:\n"
+                   f"        if {self._emit(ctx)}:\n"
+                   f"            _pa(a0)\n"
+                   f"        else:\n"
+                   f"            _fa(a0)\n"
+                   f"    return _p, _fl\n")
+            fn = cache["split"] = _compile(ctx, "_f", src)
+        return fn
+
+    @staticmethod
+    def _bank_src(base: int, banks: int) -> str:
+        """Render ``(base + _ix) % banks`` with the strength reductions a
+        configured address unit would get in hardware: the ``+ 0`` base
+        elided, and a power-of-two bank count folded to a bit-and."""
+        ix = f"({base} + _ix)" if base else "_ix"
+        if banks & (banks - 1) == 0:
+            return f"({ix} & {banks - 1})"
+        return f"({ix} % {banks})"
+
+    def compile_requests(self, base: int, banks: int) -> Callable:
+        """Compile an address expression to a scratchpad request builder:
+        ``f(batch) -> [((base + index) % banks, index, record), ...]``.
+        """
+        cache = self._cache()
+        fn = cache.get(("requests", base, banks))
+        if fn is None:
+            ctx = _Ctx()
+            body = self._emit(ctx)
+            src = (f"def _f(_batch):\n"
+                   f"    _out = []\n"
+                   f"    _a = _out.append\n"
+                   f"    for a0 in _batch:\n"
+                   f"        _ix = {body}\n"
+                   f"        _a(({self._bank_src(base, banks)},"
+                   f" _ix, a0))\n"
+                   f"    return _out\n")
+            fn = cache[("requests", base, banks)] = _compile(ctx, "_f", src)
+        return fn
+
+    def compile_enqueue(self, base: int, banks: int,
+                        depth: int) -> Callable:
+        """Compile an address expression to an all-or-nothing lane-striped
+        enqueue: ``f(batch, slots, masks) -> bool`` appends
+        ``(1 << ((base + index) % banks), index, record)`` to ``slots[i]``
+        for the i-th record — the bank stored pre-shifted as a one-hot
+        bit so the allocator scan tests it against its taken mask without
+        a shift per consideration — and ORs the bit into ``masks[i]``,
+        the per-lane bank-occupancy mask the scan uses to skip fully
+        blocked lanes.  Appends nothing and returns False when any
+        target lane is at ``depth``.  One call replaces the lowered
+        allocator's room scan, request building, and lane striping — the
+        form the columnar read kernels consume.
+        """
+        cache = self._cache()
+        fn = cache.get(("enqueue", base, banks, depth))
+        if fn is None:
+            ctx = _Ctx()
+            body = self._emit(ctx)
+            src = (f"def _f(_batch, _slots, _masks):\n"
+                   f"    for _i in range(len(_batch)):\n"
+                   f"        if len(_slots[_i]) >= {depth}:\n"
+                   f"            return False\n"
+                   f"    _i = 0\n"
+                   f"    for a0 in _batch:\n"
+                   f"        _ix = {body}\n"
+                   f"        _b = 1 << {self._bank_src(base, banks)}\n"
+                   f"        _slots[_i].append((_b, _ix, a0))\n"
+                   f"        _masks[_i] |= _b\n"
+                   f"        _i += 1\n"
+                   f"    return True\n")
+            fn = cache[("enqueue", base, banks, depth)] = _compile(
+                ctx, "_f", src)
+        return fn
+
+    # -- pickling: drop compiled caches (regenerated on demand) -------------
+
+    def __getstate__(self):
+        return {k: v for k, v in self.__dict__.items()
+                if not k.startswith("_")}
+
+    # -- operator sugar -----------------------------------------------------
+
+    def __add__(self, other):
+        return BinOp("+", self, _coerce(other))
+
+    def __radd__(self, other):
+        return BinOp("+", _coerce(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, _coerce(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", _coerce(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, _coerce(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", _coerce(other), self)
+
+    def __floordiv__(self, other):
+        return BinOp("//", self, _coerce(other))
+
+    def __mod__(self, other):
+        return BinOp("%", self, _coerce(other))
+
+    def __and__(self, other):
+        return BinOp("&", self, _coerce(other))
+
+    def __or__(self, other):
+        return BinOp("|", self, _coerce(other))
+
+    def __xor__(self, other):
+        return BinOp("^", self, _coerce(other))
+
+    def __lshift__(self, other):
+        return BinOp("<<", self, _coerce(other))
+
+    def __rshift__(self, other):
+        return BinOp(">>", self, _coerce(other))
+
+    def __lt__(self, other):
+        return Cmp("<", self, _coerce(other))
+
+    def __le__(self, other):
+        return Cmp("<=", self, _coerce(other))
+
+    def __gt__(self, other):
+        return Cmp(">", self, _coerce(other))
+
+    def __ge__(self, other):
+        return Cmp(">=", self, _coerce(other))
+
+    def eq(self, other):
+        """Equality *comparison* node (``==`` is structural equality)."""
+        return Cmp("==", self, _coerce(other))
+
+    def ne(self, other):
+        return Cmp("!=", self, _coerce(other))
+
+
+def _coerce(value) -> Expr:
+    return value if isinstance(value, Expr) else Const(value)
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: object = None
+
+    def _eval(self, args):
+        return self.value
+
+    def _emit(self, ctx):
+        v = self.value
+        # Safe-to-inline literals; everything else goes to the constant
+        # pool (float repr of nan/inf is not valid source, strings need
+        # no escaping headaches, tuples stay shared).
+        if v is None or v is True or v is False or type(v) is int:
+            return repr(v)
+        return ctx.bind(v)
+
+
+@dataclass(frozen=True)
+class Arg(Expr):
+    """The ``index``-th argument itself (arity-2 combines use Arg(1))."""
+
+    index: int = 0
+
+    def _eval(self, args):
+        return args[self.index]
+
+    def _emit(self, ctx):
+        return f"a{self.index}"
+
+    def _arity(self):
+        return self.index + 1
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    """``args[arg][index]`` — a column of the record."""
+
+    index: int
+    arg: int = 0
+
+    def _eval(self, args):
+        return args[self.arg][self.index]
+
+    def _emit(self, ctx):
+        return f"a{self.arg}[{self.index}]"
+
+    def _arity(self):
+        return self.arg + 1
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = frozenset({"+", "-", "*", "//", "%", "&", "|", "^", "<<", ">>"})
+_CMP_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+_BIN_EVAL = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic/bitwise operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _BIN_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def _eval(self, args):
+        return _BIN_EVAL[self.op](self.left._eval(args),
+                                  self.right._eval(args))
+
+    def _emit(self, ctx):
+        return (f"({self.left._emit(ctx)} {self.op} "
+                f"{self.right._emit(ctx)})")
+
+    def _arity(self):
+        return max(self.left._arity(), self.right._arity())
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Binary comparison operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison op {self.op!r}")
+
+    _eval = BinOp._eval
+    _emit = BinOp._emit
+    _arity = BinOp._arity
+
+
+@dataclass(frozen=True)
+class Hash32(Expr):
+    """MurmurHash3 32-bit finalizer of ``key`` — hashing.hash32 inlined.
+
+    The generated source walks the finalizer with walrus temporaries, so
+    the compiled form has *zero* call-frame overhead (matching the
+    deliberate inlining in ``structures/hashing.py``).
+    """
+
+    key: Expr
+
+    def _eval(self, args):
+        return _hash32_ref(self.key._eval(args))
+
+    def _emit(self, ctx):
+        k = ctx.temp()
+        h = (f"(({k} if isinstance(({k} := {self.key._emit(ctx)}), int)"
+             f" else hash({k})) & {_M32})")
+        for shift, mult in ((16, _MUR1), (13, _MUR2), (16, None)):
+            t = ctx.temp()
+            h = f"(({t} := {h}) ^ ({t} >> {shift}))"
+            if mult is not None:
+                t = ctx.temp()
+                h = f"((({t} := {h}) * {mult}) & {_M32})"
+        return h
+
+    def _arity(self):
+        return self.key._arity()
+
+
+@dataclass(frozen=True)
+class InSet(Expr):
+    """Membership in a fixed value set."""
+
+    item: Expr
+    values: FrozenSet
+
+    def __post_init__(self):
+        if not isinstance(self.values, frozenset):
+            object.__setattr__(self, "values", frozenset(self.values))
+
+    def _eval(self, args):
+        return self.item._eval(args) in self.values
+
+    def _emit(self, ctx):
+        return f"({self.item._emit(ctx)} in {ctx.bind(self.values)})"
+
+    def _arity(self):
+        return self.item._arity()
+
+
+@dataclass(frozen=True)
+class InRange(Expr):
+    """Half-open range test ``lo <= item < hi`` (None = unbounded side).
+
+    Emitted as ``item >= lo and item < hi`` in exactly the operand order
+    of ``planner._range_contains`` so NaN semantics match the
+    interpreter bit-for-bit.
+    """
+
+    item: Expr
+    lo: object = None
+    hi: object = None
+
+    def _eval(self, args):
+        value = self.item._eval(args)
+        if self.lo is not None and not value >= self.lo:
+            return False
+        if self.hi is not None and not value < self.hi:
+            return False
+        return True
+
+    def _emit(self, ctx):
+        body = self.item._emit(ctx)
+        lo = None if self.lo is None else Const(self.lo)._emit(ctx)
+        hi = None if self.hi is None else Const(self.hi)._emit(ctx)
+        if lo is not None and hi is not None:
+            t = ctx.temp()
+            return f"((({t} := {body}) >= {lo}) and ({t} < {hi}))"
+        if lo is not None:
+            return f"({body} >= {lo})"
+        if hi is not None:
+            return f"({body} < {hi})"
+        return "True"
+
+    def _arity(self):
+        return self.item._arity()
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``then if cond else other``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+    def _eval(self, args):
+        if self.cond._eval(args):
+            return self.then._eval(args)
+        return self.other._eval(args)
+
+    def _emit(self, ctx):
+        return (f"(({self.then._emit(ctx)}) if ({self.cond._emit(ctx)})"
+                f" else ({self.other._emit(ctx)}))")
+
+    def _arity(self):
+        return max(self.cond._arity(), self.then._arity(),
+                   self.other._arity())
+
+
+@dataclass(frozen=True)
+class Tup(Expr):
+    """Build an output record (tuple) from item expressions."""
+
+    items: Tuple[Expr, ...]
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "items", tuple(_coerce(x) for x in self.items))
+
+    def _eval(self, args):
+        return tuple(x._eval(args) for x in self.items)
+
+    def _emit(self, ctx):
+        if not self.items:
+            return "()"
+        inner = ", ".join(x._emit(ctx) for x in self.items)
+        return f"({inner},)" if len(self.items) == 1 else f"({inner})"
+
+    def _arity(self):
+        return max((x._arity() for x in self.items), default=0)
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """Tuple concatenation (``record + (extra,)`` combines)."""
+
+    left: Expr
+    right: Expr
+
+    def _eval(self, args):
+        return self.left._eval(args) + self.right._eval(args)
+
+    def _emit(self, ctx):
+        return f"({self.left._emit(ctx)} + {self.right._emit(ctx)})"
+
+    def _arity(self):
+        return max(self.left._arity(), self.right._arity())
+
+
+@dataclass(frozen=True)
+class All(Expr):
+    """Short-circuit conjunction (empty = True)."""
+
+    terms: Tuple[Expr, ...]
+
+    def _eval(self, args):
+        for term in self.terms:
+            if not term._eval(args):
+                return False
+        return True
+
+    def _emit(self, ctx):
+        if not self.terms:
+            return "True"
+        return "(" + " and ".join(t._emit(ctx) for t in self.terms) + ")"
+
+    def _arity(self):
+        return max((t._arity() for t in self.terms), default=0)
+
+
+@dataclass(frozen=True)
+class AnyOf(Expr):
+    """Short-circuit disjunction (empty = False)."""
+
+    terms: Tuple[Expr, ...]
+
+    def _eval(self, args):
+        for term in self.terms:
+            if term._eval(args):
+                return True
+        return False
+
+    def _emit(self, ctx):
+        if not self.terms:
+            return "False"
+        return "(" + " or ".join(t._emit(ctx) for t in self.terms) + ")"
+
+    def _arity(self):
+        return max((t._arity() for t in self.terms), default=0)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    term: Expr
+
+    def _eval(self, args):
+        return not self.term._eval(args)
+
+    def _emit(self, ctx):
+        return f"(not {self.term._emit(ctx)})"
+
+    def _arity(self):
+        return self.term._arity()
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def bucket_expr(key: Expr, n_buckets: int) -> Expr:
+    """``hashing.bucket_of(key, n_buckets)`` as an expression."""
+    return Hash32(_coerce(key)) % n_buckets
+
+
+def radix_expr(key: Expr, n_partitions: int) -> Expr:
+    """``hashing.radix_of(key, n_partitions)`` as an expression."""
+    return Hash32(_coerce(key)) & (n_partitions - 1)
+
+
+def is_expr(fn) -> bool:
+    return isinstance(fn, Expr)
+
+
+def scalar_of(fn, arity: Optional[int] = None):
+    """A plain callable for ``fn``: compiled scalar for ``Expr``,
+    ``fn`` itself otherwise.  Tiles resolve callables through this at
+    construction so the per-record schedulers never pay ``Expr.__call__``
+    dispatch on the hot path."""
+    if isinstance(fn, Expr):
+        return fn.scalar(arity)
+    return fn

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Sequence
 
+from repro.dataflow.expr import scalar_of
 from repro.dataflow.graph import Graph
 from repro.dataflow.record import LANES, Record
 from repro.dataflow.stats import TileStats
@@ -32,8 +33,14 @@ class SortedMergeTile(Tile):
     def __init__(self, name: str, key: Callable[[Record], object]):
         super().__init__(name)
         self.key = key
+        self._key = scalar_of(key)
         self._heads: List[List[Record]] = [[], []]   # staged records
         self._packer = Packer(None)
+
+    def lowering_contract(self):
+        """Merge semantics are fixed; subclasses customizing only ``key``
+        inherit the fused kernel (override to ``None`` if tick changes)."""
+        return "sorted_merge"
 
     def attach_output(self, stream, port: int = 0) -> None:  # type: ignore[override]
         stream.producer = self
@@ -55,7 +62,7 @@ class SortedMergeTile(Tile):
             a_done = not a_ready and self.inputs[0].closed()
             b_done = not b_ready and self.inputs[1].closed()
             if a_ready and b_ready:
-                if self.key(a[0]) <= self.key(b[0]):
+                if self._key(a[0]) <= self._key(b[0]):
                     self._packer.push(a.pop(0))
                 else:
                     self._packer.push(b.pop(0))

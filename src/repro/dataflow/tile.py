@@ -123,13 +123,17 @@ class Tile:
     rely on the classification not changing while the tile sleeps.
 
     Lowering contract (``Engine(scheduler="vector")``): inside a
-    saturated window, ``repro.dataflow.vector.lower`` replaces an
-    *exact-class* tile's :meth:`tick` with a fused kernel over its
-    captured streams/packers/delay line, deferring its ``TileStats``
-    deltas until window settlement.  Dispatch keys on ``type(tile)``
-    plus shape and hook checks (an instance-level ``tick`` monkeypatch
-    among them), so any tile the lowering cannot prove falls back to
-    calling its own ``tick`` per cycle inside the window.  Between windows (and on every non-vector
+    saturated window, ``repro.dataflow.vector.lower`` replaces a tile's
+    :meth:`tick` with a fused kernel over its captured streams/packers/
+    delay line, deferring its ``TileStats`` deltas until window
+    settlement.  Dispatch keys on ``type(tile)`` (exact class) plus
+    shape and hook checks (an instance-level ``tick`` monkeypatch among
+    them) for the stock tile classes; a *subclass* may additionally opt
+    in by returning a contract name from :meth:`lowering_contract` —
+    a promise that its tick semantics are exactly those of the named
+    kernel family (see ``SortedMergeTile``).  Any tile the lowering
+    cannot prove falls back to calling its own ``tick`` per cycle
+    inside the window.  Between windows (and on every non-vector
     scheduler) tiles are ticked exactly as documented above.
     """
 
@@ -184,6 +188,23 @@ class Tile:
             return          # every output already closed (or none exist)
         if self.inputs_closed() and self.idle():
             self.close_outputs()
+
+    # -- vector-lowering protocol ------------------------------------------
+
+    def lowering_contract(self):
+        """Name the fused-kernel family this tile's tick implements.
+
+        The vector backend's kernel dispatch is exact-class for the
+        stock tiles (a subclass overriding ``_process`` must not inherit
+        a fused kernel it no longer matches).  A subclass whose tick
+        semantics *are* exactly a known kernel's — e.g.
+        ``SortedMergeTile`` and subclasses that only customize the sort
+        key — declares it by returning the contract name here; returning
+        a name is a correctness promise, so a subclass that overrides
+        ``tick``/``_process`` must also override this to return ``None``.
+        The conservative default opts out.
+        """
+        return None
 
     # -- event-scheduler protocol -----------------------------------------
 

@@ -43,10 +43,28 @@ is a handful of loop iterations on closure locals, far below the fixed
 per-call cost of a numpy ufunc dispatch.  numpy earns its keep on the
 axes where the window is long, not wide: the counter settlement matrices
 and the per-kernel profile columns in ``lower.py``.
+
+Expression fusion: when a tile's callable is an :class:`Expr`
+(``repro.dataflow.expr``), the kernel swaps the per-record call loop for
+the expression's batch-compiled form — one generated-comprehension call
+per consumed vector instead of one Python call per record.  Map tiles
+use ``compile_batch(skip_none=True)``, filters ``compile_split``, and
+memory address generators ``compile_requests`` (which emits the window's
+``(bank, index, record)`` tuples directly).  A memory port whose
+``combine`` is an Expr additionally defers response construction: grants
+collect ``(record, data)`` pairs during the allocator scan and one
+``compile_batch(arity=2, skip_none=True)`` call turns them into a single
+*batched* delay entry ``(ready, 1, [responses])`` — distinguished from
+singles ``(ready, 0, response)`` by the middle tag, expanded back to
+singles at settlement so the object model only ever sees the per-record
+format.  Legacy (non-Expr) callables keep the original per-record loops
+bit-for-bit, including inline per-grant combine calls (a legacy combine
+may be impure, so its call order is preserved exactly).
 """
 
 from __future__ import annotations
 
+from repro.dataflow.expr import Expr
 from repro.dataflow.record import LANES
 from repro.memory.issue_queue import Request
 from repro.memory.scratchpad import BANKS
@@ -179,10 +197,17 @@ def _flush_specs(tile, stream_row):
 
 
 def map_kernel(tile, trow, stream_row):
-    """Fused ``MapTile.tick``: retire → fn per record → flush."""
+    """Fused ``MapTile.tick``: retire → fn over the vector → flush."""
     in_stream = tile.inputs[0]
     in_fifo = in_stream._fifo
-    fn = tile.fn
+    if isinstance(tile.fn, Expr):
+        produce = tile.fn.compile_batch(skip_none=True)
+    else:
+        fn = tile._fn
+
+        def produce(vector):
+            return [r for rec in vector if (r := fn(rec)) is not None]
+
     latency = tile.latency
     delay = tile._delay
     delay_append = delay.append
@@ -194,21 +219,29 @@ def map_kernel(tile, trow, stream_row):
     out_cap = out.capacity if out is not None else 0
     srow = stream_row(out) if out is not None else None
     maybe_close = tile.maybe_close
+    # ``close_outputs`` closes every attached output together, so one
+    # stream's ``eos`` tells whether EOS propagation already happened —
+    # cached as ``shut`` to skip the ``maybe_close`` call on every cycle
+    # after the close (it would early-return unseen).
+    out0 = tile.outputs[0] if tile.outputs else None
+    shut = out0 is None
     busy = stall = idle = vout = rout = 0
     pv = pr = 0
 
     def begin():
-        nonlocal busy, stall, idle, vout, rout, pv, pr
+        nonlocal busy, stall, idle, vout, rout, pv, pr, shut
         busy = stall = idle = vout = rout = pv = pr = 0
+        shut = out0 is None or out0.eos
 
     def kern(cycle):
-        nonlocal busy, stall, idle, vout, rout, pv, pr
+        nonlocal busy, stall, idle, vout, rout, pv, pr, shut
         if not in_fifo and not delay and not pending:
             # Drained-tile fast path: the full body would take exactly
             # this branch structure and only bump the idle counter.
             idle += 1
-            if in_stream.eos:
+            if not shut and in_stream.eos:
                 maybe_close()
+                shut = out0.eos
             return False
         moved = False
         if delay and delay[0][0] <= cycle:
@@ -220,9 +253,7 @@ def map_kernel(tile, trow, stream_row):
         consumed = False
         if in_fifo and len(pending) + LANES <= spill:
             vector = in_fifo.popleft()
-            out_recs = [r for rec in vector
-                        if (r := fn(rec)) is not None]
-            delay_append((cycle + latency, (out_recs,)))
+            delay_append((cycle + latency, (produce(vector),)))
             consumed = True
             moved = True
         if pending:
@@ -246,8 +277,9 @@ def map_kernel(tile, trow, stream_row):
             stall += 1
         else:
             idle += 1
-        if in_stream.eos:
+        if not shut and in_stream.eos:
             maybe_close()
+            shut = out0.eos
         return moved
 
     def settle():
@@ -264,10 +296,36 @@ def map_kernel(tile, trow, stream_row):
 
 
 def filter_kernel(tile, trow, stream_row):
-    """Fused ``FilterTile.tick``: predicate split across two ports."""
+    """Fused ``FilterTile.tick``: predicate split across two ports.
+
+    When the fail port is unattached (the common drop-filter) the kernel
+    specializes via :func:`_filter_drop_kernel`: the predicate compiles
+    to a keep-only batch filter — no failed-side list is ever built,
+    since ``Packer.flush`` would discard it unseen — and the flush loop
+    collapses to the single pass-side packer.
+    """
     in_stream = tile.inputs[0]
     in_fifo = in_stream._fifo
-    predicate = tile.predicate
+    p0, p1 = tile._packers
+    if p1.stream is None and p0.stream is not None:
+        return _filter_drop_kernel(tile, trow, stream_row)
+    if isinstance(tile.predicate, Expr):
+        split = tile.predicate.compile_split()
+    else:
+        predicate = tile._pred
+
+        def split(vector):
+            passed = []
+            failed = []
+            pa = passed.append
+            fa = failed.append
+            for rec in vector:
+                if predicate(rec):
+                    pa(rec)
+                else:
+                    fa(rec)
+            return passed, failed
+
     latency = tile.latency
     delay = tile._delay
     delay_append = delay.append
@@ -276,20 +334,26 @@ def filter_kernel(tile, trow, stream_row):
     spill0, spill1 = p0.spill_limit, p1.spill_limit
     specs, settle_streams = _flush_specs(tile, stream_row)
     maybe_close = tile.maybe_close
+    # ``close_outputs`` closes every attached output together; one
+    # stream's ``eos`` caches whether the close already happened.
+    out0 = tile.outputs[0] if tile.outputs else None
+    shut = out0 is None
     busy = stall = idle = vout = rout = 0
 
     def begin():
-        nonlocal busy, stall, idle, vout, rout
+        nonlocal busy, stall, idle, vout, rout, shut
         busy = stall = idle = vout = rout = 0
+        shut = out0 is None or out0.eos
         for __, counts in settle_streams:
             counts[0] = counts[1] = 0
 
     def kern(cycle):
-        nonlocal busy, stall, idle, vout, rout
+        nonlocal busy, stall, idle, vout, rout, shut
         if not in_fifo and not delay and not pend0 and not pend1:
             idle += 1
-            if in_stream.eos:
+            if not shut and in_stream.eos:
                 maybe_close()
+                shut = out0.eos
             return False
         moved = False
         if delay and delay[0][0] <= cycle:
@@ -304,16 +368,7 @@ def filter_kernel(tile, trow, stream_row):
         if (in_fifo and len(pend0) + LANES <= spill0
                 and len(pend1) + LANES <= spill1):
             vector = in_fifo.popleft()
-            passed = []
-            failed = []
-            pa = passed.append
-            fa = failed.append
-            for rec in vector:
-                if predicate(rec):
-                    pa(rec)
-                else:
-                    fa(rec)
-            delay_append((cycle + latency, (passed, failed)))
+            delay_append((cycle + latency, split(vector)))
             consumed = True
             moved = True
         for pending, fifo, cap, counts in specs:
@@ -338,8 +393,9 @@ def filter_kernel(tile, trow, stream_row):
             stall += 1
         else:
             idle += 1
-        if in_stream.eos:
+        if not shut and in_stream.eos:
             maybe_close()
+            shut = out0.eos
         return moved
 
     def settle():
@@ -351,6 +407,115 @@ def filter_kernel(tile, trow, stream_row):
         for srow, counts in settle_streams:
             srow[0] += counts[0]
             srow[1] += counts[1]
+
+    return kern, begin, settle
+
+
+def _filter_drop_kernel(tile, trow, stream_row):
+    """``filter_kernel`` specialized for an unattached fail port.
+
+    Exactness: the generic path builds the failed list, extends the fail
+    packer's pending at retire, and immediately clears it (fail stream
+    None) — the cycle is already marked moved by the retire itself, so
+    never materializing the failed records changes no counter and no
+    stream.  Residual delay entries are converted at the window boundary
+    like the scratchpad kernels' request tuples: ``begin`` unwraps the
+    object model's ``(ready, (passed, failed))`` pairs (dropping failed
+    records the object model would also have discarded, at retire
+    instead of at flush), ``settle`` rewraps with an empty failed side.
+    """
+    in_stream = tile.inputs[0]
+    in_fifo = in_stream._fifo
+    if isinstance(tile.predicate, Expr):
+        keep = tile.predicate.compile_filter()
+    else:
+        predicate = tile._pred
+
+        def keep(vector):
+            return [rec for rec in vector if predicate(rec)]
+
+    latency = tile.latency
+    delay = tile._delay
+    delay_append = delay.append
+    p0 = tile._packers[0]
+    pend0 = p0.pending
+    pend0_extend = pend0.extend
+    spill0 = p0.spill_limit
+    out = p0.stream
+    out_fifo = out._fifo
+    out_cap = out.capacity
+    srow = stream_row(out)
+    maybe_close = tile.maybe_close
+    shut = False                # out is attached; see map_kernel
+    busy = stall = idle = vout = rout = 0
+    pv = pr = 0
+
+    def begin():
+        nonlocal busy, stall, idle, vout, rout, pv, pr, shut
+        busy = stall = idle = vout = rout = pv = pr = 0
+        shut = out.eos
+        if delay:
+            for i in range(len(delay)):
+                e = delay[i]
+                if type(e[1]) is tuple:
+                    delay[i] = (e[0], e[1][0])
+
+    def kern(cycle):
+        nonlocal busy, stall, idle, vout, rout, pv, pr, shut
+        if not in_fifo and not delay and not pend0:
+            idle += 1
+            if not shut and in_stream.eos:
+                maybe_close()
+                shut = out.eos
+            return False
+        moved = False
+        if delay and delay[0][0] <= cycle:
+            while delay and delay[0][0] <= cycle:
+                routed = delay.popleft()[1]
+                if routed:
+                    pend0_extend(routed)
+            moved = True
+        consumed = False
+        if in_fifo and len(pend0) + LANES <= spill0:
+            delay_append((cycle + latency, keep(in_fifo.popleft())))
+            consumed = True
+            moved = True
+        if pend0:
+            if len(pend0) >= LANES or not consumed:
+                if len(out_fifo) < out_cap:
+                    vector = pend0[:LANES]
+                    del pend0[:LANES]
+                    out_fifo.append(vector)
+                    nv = len(vector)
+                    pv += 1
+                    pr += nv
+                    vout += 1
+                    rout += nv
+                    moved = True
+        if moved:
+            busy += 1
+        elif in_fifo:
+            stall += 1
+        else:
+            idle += 1
+        if not shut and in_stream.eos:
+            maybe_close()
+            shut = out.eos
+        return moved
+
+    def settle():
+        if delay:
+            for i in range(len(delay)):
+                e = delay[i]
+                if type(e[1]) is not tuple:
+                    delay[i] = (e[0], (e[1], []))
+        trow[0] += busy
+        trow[1] += stall
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        srow[0] += pv
+        srow[1] += pr
 
     return kern, begin, settle
 
@@ -372,23 +537,27 @@ def merge_kernel(tile, trow, stream_row):
     out_cap = out.capacity if out is not None else 0
     srow = stream_row(out) if out is not None else None
     maybe_close = tile.maybe_close
+    out0 = tile.outputs[0] if tile.outputs else None
+    shut = out0 is None
     busy = stall = idle = vout = rout = 0
     pv = pr = 0
 
     def begin():
-        nonlocal busy, stall, idle, vout, rout, pv, pr
+        nonlocal busy, stall, idle, vout, rout, pv, pr, shut
         busy = stall = idle = vout = rout = pv = pr = 0
+        shut = out0 is None or out0.eos
 
     def kern(cycle):
-        nonlocal busy, stall, idle, vout, rout, pv, pr
+        nonlocal busy, stall, idle, vout, rout, pv, pr, shut
         if not delay and not pending:
             for fifo in fifos:
                 if fifo:
                     break
             else:
                 idle += 1
-                if in0.eos:
+                if not shut and in0.eos:
                     maybe_close()
+                    shut = out0.eos
                 return False
         moved = False
         if delay and delay[0][0] <= cycle:
@@ -434,8 +603,9 @@ def merge_kernel(tile, trow, stream_row):
                     break
             else:
                 idle += 1
-        if in0.eos:
+        if not shut and in0.eos:
             maybe_close()
+            shut = out0.eos
         return moved
 
     def settle():
@@ -467,18 +637,21 @@ def pipelined_kernel(tile, trow, stream_row, process, proc_begin=None,
     n_ports = len(pendings)
     specs, settle_streams = _flush_specs(tile, stream_row)
     maybe_close = tile.maybe_close
+    out0 = tile.outputs[0] if tile.outputs else None
+    shut = out0 is None
     busy = stall = idle = vout = rout = 0
 
     def begin():
-        nonlocal busy, stall, idle, vout, rout
+        nonlocal busy, stall, idle, vout, rout, shut
         busy = stall = idle = vout = rout = 0
+        shut = out0 is None or out0.eos
         for __, counts in settle_streams:
             counts[0] = counts[1] = 0
         if proc_begin is not None:
             proc_begin()
 
     def kern(cycle):
-        nonlocal busy, stall, idle, vout, rout
+        nonlocal busy, stall, idle, vout, rout, shut
         if not delay:
             # Drained-tile fast path: every process body only consumes
             # from its input fifos, so with no retirements, no waiting
@@ -492,8 +665,9 @@ def pipelined_kernel(tile, trow, stream_row, process, proc_begin=None,
                         break
                 else:
                     idle += 1
-                    if in0.eos:
+                    if not shut and in0.eos:
                         maybe_close()
+                        shut = out0.eos
                     return False
         moved = False
         if delay and delay[0][0] <= cycle:
@@ -532,8 +706,9 @@ def pipelined_kernel(tile, trow, stream_row, process, proc_begin=None,
                     break
             else:
                 idle += 1
-        if in0.eos:
+        if not shut and in0.eos:
             maybe_close()
+            shut = out0.eos
         return moved
 
     def settle():
@@ -607,7 +782,7 @@ def fork_process(tile):
     packer = tile._packers[0]
     pending = packer.pending
     spill = packer.spill_limit
-    fn = tile.fn
+    fn = tile._fn
     latency = tile.latency
     delay_append = tile._delay.append
     headroom = 4 * LANES                # ForkTile._can_accept
@@ -632,31 +807,48 @@ def spad_read_kernel(tile, trow, sprow, stream_row):
     (rotating lane priority, first live request with a free bank wins,
     losers are conflicts, rotor advances every round) in one closure.
     The rotor is a deferred scalar.  Requests live as plain
-    ``(bank, index, record)`` tuples while the window runs — a tuple
+    ``(bank_bit, index, record)`` tuples while the window runs — a tuple
     literal costs a fraction of a ``Request`` construction and most
     requests are born and granted inside the same window — and
     ``begin``/``settle`` convert residual slot entries between the two
     representations so the queues always hold real ``Request`` objects
-    whenever per-cycle code can see them.  Valid only for Aurochs
-    invalidate-on-grant queues (``_plain_read`` guarantees it), where
-    the ``granted`` flag is never set.
+    whenever per-cycle code can see them.  The bank is stored pre-shifted
+    (``1 << bank``) and each lane keeps an OR-mask of its queued bank
+    bits: a lane whose whole mask is covered by the round's taken mask
+    is fully blocked, so its conflicts are counted in one int test
+    instead of a per-entry scan — the dominant case in a conflict-heavy
+    backlog.  Valid only for Aurochs invalidate-on-grant queues
+    (``_plain_read`` guarantees it), where the ``granted`` flag is never
+    set.
+
+    Expr fusion (see module docstring): an Expr ``addr`` enqueues a
+    whole vector through one ``compile_requests`` call; an Expr
+    ``combine`` defers responses into one batched delay entry per cycle.
     """
     port = tile.ports[0]
     in_stream = port.input
     in_fifo = in_stream._fifo
     cfg = port.config
-    addr = cfg.addr
-    combine = cfg.combine
+    addr = cfg.addr_fn
+    combine = cfg.combine_fn
     data = cfg.region._data
     base = cfg.region.base_entry
+    fused = isinstance(cfg.combine, Expr)
+    comb_batch = (cfg.combine.compile_batch(arity=2, skip_none=True)
+                  if fused else None)
+    takes = []
+    takes_append = takes.append
     lane_slots = [q.slots for q in port.queues]
     depth = port.queues[0].depth
+    enqueue = (cfg.addr.compile_enqueue(base, BANKS, depth)
+               if isinstance(cfg.addr, Expr) else None)
     n_lanes = len(lane_slots)
-    # Scan order per rotor value, precomputed: orders[r] lists the live
-    # slot lists starting at lane r.  The slot lists are mutated in
-    # place by push/grant, so the references stay valid for the run.
-    orders = [[lane_slots[(r + o) % n_lanes] for o in range(n_lanes)]
+    # Scan order per rotor value, precomputed as lane indices (the scan
+    # needs the index to reach both the slot list and its bank mask).
+    orders = [[(r + o) % n_lanes for o in range(n_lanes)]
               for r in range(n_lanes)]
+    #: Per-lane OR of queued bank bits; 0 iff the lane is empty.
+    masks = [0] * n_lanes
     alloc = tile._alloc
     rotor = 0
     latency = tile.latency
@@ -665,33 +857,42 @@ def spad_read_kernel(tile, trow, sprow, stream_row):
     packer = port.packer
     pending = packer.pending
     pend_append = pending.append
+    pend_extend = pending.extend
     out = packer.stream
     out_fifo = out._fifo
     out_cap = out.capacity
     srow = stream_row(out)
     maybe_close = tile.maybe_close
+    shut = False                # out is attached; see map_kernel
     busy = idle = vout = rout = 0
     pv = pr = 0
-    req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+    req_c = grant_c = consid_c = qfull_c = active_c = 0
     queued = 0
 
     def begin():
-        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued
-        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
+        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued, shut
+        nonlocal req_c, grant_c, consid_c, qfull_c, active_c
         rotor = alloc._rotor
+        shut = out.eos
         queued = 0
-        for slots in lane_slots:
+        for li in range(n_lanes):
+            slots = lane_slots[li]
             queued += len(slots)
+            m = 0
             for i in range(len(slots)):
                 req = slots[i]
                 if type(req) is not tuple:
-                    slots[i] = (req.bank, req.index, req.record)
+                    req = slots[i] = (1 << req.bank, req.index,
+                                      req.record)
+                m |= req[0]
+            masks[li] = m
+        del takes[:]
         busy = idle = vout = rout = pv = pr = 0
-        req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+        req_c = grant_c = consid_c = qfull_c = active_c = 0
 
     def kern(cycle):
-        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued
-        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
+        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued, shut
+        nonlocal req_c, grant_c, consid_c, qfull_c, active_c
         if (not queued and not in_fifo and not pending
                 and (not delay or delay[0][0] > cycle)):
             # Drained-tile fast path: the real tick would only advance
@@ -699,75 +900,115 @@ def spad_read_kernel(tile, trow, sprow, stream_row):
             # ones) and bump the idle counter.
             rotor = rotor + 1 if rotor + 1 < n_lanes else 0
             idle += 1
-            if in_stream.eos:
+            if not shut and in_stream.eos:
                 maybe_close()
+                shut = out.eos
             return False
         moved = False
         if delay and delay[0][0] <= cycle:
             while delay and delay[0][0] <= cycle:
-                pend_append(delay.popleft()[2])
+                e = delay.popleft()
+                if e[1]:                # batched (Expr combine) entry
+                    pend_extend(e[2])
+                else:
+                    pend_append(e[2])
             moved = True
         if in_fifo:                     # _enqueue, one port
             vector = in_fifo[0]
-            nv = len(vector)
-            room = True
-            for slots in lane_slots[:nv]:
-                if len(slots) >= depth:
-                    room = False
-                    break
-            if room:
-                in_fifo.popleft()
-                for slots, record in zip(lane_slots, vector):
-                    index = addr(record)
-                    slots.append(((base + index) % BANKS, index, record))
-                req_c += nv
-                queued += nv
-                moved = True
+            if enqueue is not None:
+                # Compiled room scan + address eval + lane striping +
+                # mask update in one call; False = some lane at depth.
+                if enqueue(vector, lane_slots, masks):
+                    in_fifo.popleft()
+                    nv = len(vector)
+                    req_c += nv
+                    queued += nv
+                    moved = True
+                else:
+                    qfull_c += 1
             else:
-                qfull_c += 1
+                nv = len(vector)
+                room = True
+                for slots in lane_slots[:nv]:
+                    if len(slots) >= depth:
+                        room = False
+                        break
+                if room:
+                    in_fifo.popleft()
+                    li = 0
+                    for record in vector:
+                        index = addr(record)
+                        bit = 1 << ((base + index) % BANKS)
+                        lane_slots[li].append((bit, index, record))
+                        masks[li] |= bit
+                        li += 1
+                    req_c += nv
+                    queued += nv
+                    moved = True
+                else:
+                    qfull_c += 1
         grants_n = 0
         if queued:
+            # Conflict accounting is derived, not accumulated: the scan
+            # visits every non-empty lane and bids its whole queue, so
+            # the round's considered bids equal ``queued``, and every
+            # considered bid either wins a grant or conflicts — settle
+            # recovers conflicts as ``considered - grants``.  That
+            # leaves the per-lane loop with only the mask tests.  Every
+            # closure variable the loop touches repeatedly is aliased to
+            # a local first (LOAD_FAST vs LOAD_DEREF).
+            consid_c += queued
+            l_masks = masks
+            l_slots_all = lane_slots
+            l_data = data
+            l_takes = takes_append
             order = orders[rotor]       # rotor advances every round
             rotor = rotor + 1 if rotor + 1 < n_lanes else 0
             taken = 0
             ready = cycle + latency
-            for slots in order:
-                if not slots:
+            for li in order:
+                mask = l_masks[li]
+                if not mask or not mask & ~taken:
+                    # Empty lane, or every queued bank already granted
+                    # this round (whole lane conflicts).  The mask may
+                    # hold stale bits (grants leave their bit set),
+                    # which only makes the test conservative: a superset
+                    # covered by ``taken`` still proves the true bank
+                    # set is covered.
                     continue
-                # Head-of-lane fast path: in steady state each lane holds
-                # at most one request, so the grant (or the lone conflict)
-                # is decided on slots[0] without loop machinery.
+                # The mask says a grant may exist: first entry with a
+                # free bank wins.
+                slots = l_slots_all[li]
                 request = slots[0]
-                bit = 1 << request[0]
+                bit = request[0]
                 if not taken & bit:
-                    taken |= bit
                     del slots[0]
-                    response = combine(request[2], data[request[1]])
+                    if not slots:
+                        l_masks[li] = 0     # drained: exact for free
+                else:
+                    for i in range(1, len(slots)):
+                        request = slots[i]
+                        bit = request[0]
+                        if not taken & bit:
+                            del slots[i]
+                            break
+                    else:
+                        # Stale-mask false positive — no live entry had
+                        # a free bank.  Refresh to the exact mask so the
+                        # following rounds fast-path this lane again.
+                        m = 0
+                        for e in slots:
+                            m |= e[0]
+                        l_masks[li] = m
+                        continue
+                taken |= bit
+                grants_n += 1
+                if fused:
+                    l_takes((request[2], l_data[request[1]]))
+                else:
+                    response = combine(request[2], l_data[request[1]])
                     if response is not None:
                         delay_append((ready, 0, response))
-                    grants_n += 1
-                    consid_c += len(slots) + 1
-                    confl_c += len(slots)
-                    continue
-                ns = len(slots)
-                consid_c += ns
-                if ns == 1:
-                    confl_c += 1
-                    continue
-                for i in range(1, ns):
-                    request = slots[i]
-                    bit = 1 << request[0]
-                    if not taken & bit:
-                        taken |= bit
-                        del slots[i]
-                        response = combine(request[2], data[request[1]])
-                        if response is not None:
-                            delay_append((ready, 0, response))
-                        grants_n += 1
-                        confl_c += ns - 1
-                        break
-                else:
-                    confl_c += ns
         else:
             rotor = rotor + 1 if rotor + 1 < n_lanes else 0
         if grants_n:
@@ -775,6 +1016,13 @@ def spad_read_kernel(tile, trow, sprow, stream_row):
             grant_c += grants_n
             active_c += 1
             moved = True
+            if takes:
+                # One batched combine call for the cycle's grants, in
+                # grant order; retire expands the entry in that order.
+                responses = comb_batch(takes)
+                del takes[:]
+                if responses:
+                    delay_append((ready, 1, responses))
         if pending:
             if len(pending) >= LANES or not grants_n:
                 if len(out_fifo) < out_cap:
@@ -791,8 +1039,9 @@ def spad_read_kernel(tile, trow, sprow, stream_row):
             busy += 1
         else:
             idle += 1
-        if in_stream.eos:
+        if not shut and in_stream.eos:
             maybe_close()
+            shut = out.eos
         return moved
 
     def settle():
@@ -802,14 +1051,17 @@ def spad_read_kernel(tile, trow, sprow, stream_row):
             for i in range(len(slots)):
                 req = slots[i]
                 if type(req) is tuple:
-                    slots[i] = Request(req[0], req[1], req[2])
+                    slots[i] = Request(req[0].bit_length() - 1,
+                                       req[1], req[2])
+        if fused and delay:
+            _expand_batched(delay)
         trow[0] += busy
         trow[2] += idle
         trow[3] += vout
         trow[4] += rout
         sprow[0] += req_c
         sprow[1] += grant_c
-        sprow[2] += confl_c
+        sprow[2] += consid_c - grant_c    # every losing bid conflicts
         sprow[3] += consid_c
         sprow[4] += qfull_c
         sprow[5] += active_c
@@ -817,6 +1069,26 @@ def spad_read_kernel(tile, trow, sprow, stream_row):
         srow[1] += pr
 
     return kern, begin, settle
+
+
+def _expand_batched(delay) -> None:
+    """Rewrite residual batched delay entries ``(ready, 1, [r...])`` into
+    the object model's per-record singles ``(ready, 0, r)``, in order."""
+    for e in delay:
+        if e[1]:
+            break
+    else:
+        return
+    expanded = []
+    for e in delay:
+        if e[1]:
+            ready = e[0]
+            for r in e[2]:
+                expanded.append((ready, 0, r))
+        else:
+            expanded.append(e)
+    delay.clear()
+    delay.extend(expanded)
 
 
 def dram_read_kernel(tile, trow, sprow, drow, stream_row):
@@ -832,21 +1104,33 @@ def dram_read_kernel(tile, trow, sprow, drow, stream_row):
     tuple representation is safe because ``DramTile.__init__`` hardcodes
     Aurochs invalidate-on-grant queues (``in_order_dequeue=False``), and
     the dispatch gate requires the exact class.
+
+    Expr fusion as in :func:`spad_read_kernel`; the per-grant DRAM
+    bookkeeping (read bytes, dense/sparse, busy high-water) stays inline
+    either way since it feeds off the granted index, not the combine.
     """
     port = tile.ports[0]
     in_stream = port.input
     in_fifo = in_stream._fifo
     cfg = port.config
-    addr = cfg.addr
-    combine = cfg.combine
+    addr = cfg.addr_fn
+    combine = cfg.combine_fn
     data = cfg.region._data
     base = cfg.region.base_entry
+    fused = isinstance(cfg.combine, Expr)
+    comb_batch = (cfg.combine.compile_batch(arity=2, skip_none=True)
+                  if fused else None)
+    takes = []
+    takes_append = takes.append
     nbytes = cfg.region.words_per_entry * 4
     lane_slots = [q.slots for q in port.queues]
     depth = port.queues[0].depth
+    enqueue = (cfg.addr.compile_enqueue(base, BANKS, depth)
+               if isinstance(cfg.addr, Expr) else None)
     n_lanes = len(lane_slots)
-    orders = [[lane_slots[(r + o) % n_lanes] for o in range(n_lanes)]
+    orders = [[(r + o) % n_lanes for o in range(n_lanes)]
               for r in range(n_lanes)]
+    masks = [0] * n_lanes
     alloc = tile._alloc
     rotor = 0
     latency = tile.latency
@@ -855,129 +1139,162 @@ def dram_read_kernel(tile, trow, sprow, drow, stream_row):
     packer = port.packer
     pending = packer.pending
     pend_append = pending.append
+    pend_extend = pending.extend
     out = packer.stream
     out_fifo = out._fifo
     out_cap = out.capacity
     srow = stream_row(out)
     maybe_close = tile.maybe_close
+    shut = False                # out is attached; see map_kernel
     last_index = None
     last_busy = -1
     busy = idle = vout = rout = 0
     pv = pr = 0
-    req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+    req_c = grant_c = consid_c = qfull_c = active_c = 0
     read_b = dense_c = sparse_c = 0
     queued = 0
 
     def begin():
         nonlocal rotor, last_index, last_busy, busy, idle, vout, rout, pv, pr
-        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
-        nonlocal read_b, dense_c, sparse_c, queued
+        nonlocal req_c, grant_c, consid_c, qfull_c, active_c
+        nonlocal read_b, dense_c, sparse_c, queued, shut
         rotor = alloc._rotor
+        shut = out.eos
         queued = 0
-        for slots in lane_slots:
+        for li in range(n_lanes):
+            slots = lane_slots[li]
             queued += len(slots)
+            m = 0
             for i in range(len(slots)):
                 req = slots[i]
                 if type(req) is not tuple:
-                    slots[i] = (req.bank, req.index, req.record)
+                    req = slots[i] = (1 << req.bank, req.index,
+                                      req.record)
+                m |= req[0]
+            masks[li] = m
         last_index = tile._last_index[0]
         last_busy = -1
+        del takes[:]
         busy = idle = vout = rout = pv = pr = 0
-        req_c = grant_c = confl_c = consid_c = qfull_c = active_c = 0
+        req_c = grant_c = consid_c = qfull_c = active_c = 0
         read_b = dense_c = sparse_c = 0
 
     def kern(cycle):
-        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued
-        nonlocal req_c, grant_c, confl_c, consid_c, qfull_c, active_c
+        nonlocal rotor, busy, idle, vout, rout, pv, pr, queued, shut
+        nonlocal req_c, grant_c, consid_c, qfull_c, active_c
         nonlocal last_index, last_busy, read_b, dense_c, sparse_c
         if (not queued and not in_fifo and not pending
                 and (not delay or delay[0][0] > cycle)):
             rotor = rotor + 1 if rotor + 1 < n_lanes else 0
             idle += 1
-            if in_stream.eos:
+            if not shut and in_stream.eos:
                 maybe_close()
+                shut = out.eos
             return False
         moved = False
         if delay and delay[0][0] <= cycle:
             while delay and delay[0][0] <= cycle:
-                pend_append(delay.popleft()[2])
+                e = delay.popleft()
+                if e[1]:                # batched (Expr combine) entry
+                    pend_extend(e[2])
+                else:
+                    pend_append(e[2])
             moved = True
         if in_fifo:
             vector = in_fifo[0]
-            nv = len(vector)
-            room = True
-            for slots in lane_slots[:nv]:
-                if len(slots) >= depth:
-                    room = False
-                    break
-            if room:
-                in_fifo.popleft()
-                for slots, record in zip(lane_slots, vector):
-                    index = addr(record)
-                    slots.append(((base + index) % BANKS, index, record))
-                req_c += nv
-                queued += nv
-                moved = True
+            if enqueue is not None:
+                if enqueue(vector, lane_slots, masks):
+                    in_fifo.popleft()
+                    nv = len(vector)
+                    req_c += nv
+                    queued += nv
+                    moved = True
+                else:
+                    qfull_c += 1
             else:
-                qfull_c += 1
+                nv = len(vector)
+                room = True
+                for slots in lane_slots[:nv]:
+                    if len(slots) >= depth:
+                        room = False
+                        break
+                if room:
+                    in_fifo.popleft()
+                    li = 0
+                    for record in vector:
+                        index = addr(record)
+                        bit = 1 << ((base + index) % BANKS)
+                        lane_slots[li].append((bit, index, record))
+                        masks[li] |= bit
+                        li += 1
+                    req_c += nv
+                    queued += nv
+                    moved = True
+                else:
+                    qfull_c += 1
         grants_n = 0
         if queued:
+            # Derived conflict accounting and local-alias discipline as
+            # in spad_read_kernel's scan: considered bids for the round
+            # are ``queued``, conflicts fall out at settle.
+            consid_c += queued
+            l_masks = masks
+            l_slots_all = lane_slots
+            l_data = data
+            l_takes = takes_append
+            l_last = last_index
+            l_dense = l_sparse = 0
             order = orders[rotor]
             rotor = rotor + 1 if rotor + 1 < n_lanes else 0
             taken = 0
             ready = cycle + latency
-            for slots in order:
-                if not slots:
+            for li in order:
+                mask = l_masks[li]
+                if not mask or not mask & ~taken:
+                    # Empty lane, or fully blocked (one conservative
+                    # superset-mask test, as in spad_read_kernel).
                     continue
-                # Head-of-lane fast path, as in spad_read_kernel: steady
-                # state holds at most one request per lane.
+                slots = l_slots_all[li]
                 request = slots[0]
-                bit = 1 << request[0]
+                bit = request[0]
                 if not taken & bit:
-                    taken |= bit
                     del slots[0]
-                    index = request[1]
-                    read_b += nbytes
-                    if (last_index is not None
-                            and -1 <= index - last_index <= 1):
-                        dense_c += 1
+                    if not slots:
+                        l_masks[li] = 0     # drained: exact for free
+                else:
+                    for i in range(1, len(slots)):
+                        request = slots[i]
+                        bit = request[0]
+                        if not taken & bit:
+                            del slots[i]
+                            break
                     else:
-                        sparse_c += 1
-                    last_index = index
-                    response = combine(request[2], data[index])
+                        # Stale-mask false positive: refresh so later
+                        # rounds fast-path this lane again.
+                        m = 0
+                        for e in slots:
+                            m |= e[0]
+                        l_masks[li] = m
+                        continue
+                taken |= bit
+                grants_n += 1
+                index = request[1]
+                if (l_last is not None
+                        and -1 <= index - l_last <= 1):
+                    l_dense += 1
+                else:
+                    l_sparse += 1
+                l_last = index
+                if fused:
+                    l_takes((request[2], l_data[index]))
+                else:
+                    response = combine(request[2], l_data[index])
                     if response is not None:
                         delay_append((ready, 0, response))
-                    grants_n += 1
-                    consid_c += len(slots) + 1
-                    confl_c += len(slots)
-                    continue
-                ns = len(slots)
-                consid_c += ns
-                if ns == 1:
-                    confl_c += 1
-                    continue
-                for i in range(1, ns):
-                    request = slots[i]
-                    bit = 1 << request[0]
-                    if not taken & bit:
-                        taken |= bit
-                        del slots[i]
-                        index = request[1]
-                        read_b += nbytes
-                        if (last_index is not None
-                                and -1 <= index - last_index <= 1):
-                            dense_c += 1
-                        else:
-                            sparse_c += 1
-                        last_index = index
-                        response = combine(request[2], data[index])
-                        if response is not None:
-                            delay_append((ready, 0, response))
-                        grants_n += 1
-                        confl_c += ns - 1
-                        break
-                else:
-                    confl_c += ns
+            dense_c += l_dense
+            sparse_c += l_sparse
+            last_index = l_last
+            read_b += nbytes * grants_n
         else:
             rotor = rotor + 1 if rotor + 1 < n_lanes else 0
         if grants_n:
@@ -986,6 +1303,11 @@ def dram_read_kernel(tile, trow, sprow, drow, stream_row):
             active_c += 1
             last_busy = cycle
             moved = True
+            if takes:
+                responses = comb_batch(takes)
+                del takes[:]
+                if responses:
+                    delay_append((ready, 1, responses))
         if pending:
             if len(pending) >= LANES or not grants_n:
                 if len(out_fifo) < out_cap:
@@ -1002,8 +1324,9 @@ def dram_read_kernel(tile, trow, sprow, drow, stream_row):
             busy += 1
         else:
             idle += 1
-        if in_stream.eos:
+        if not shut and in_stream.eos:
             maybe_close()
+            shut = out.eos
         return moved
 
     def settle():
@@ -1013,7 +1336,10 @@ def dram_read_kernel(tile, trow, sprow, drow, stream_row):
             for i in range(len(slots)):
                 req = slots[i]
                 if type(req) is tuple:
-                    slots[i] = Request(req[0], req[1], req[2])
+                    slots[i] = Request(req[0].bit_length() - 1,
+                                       req[1], req[2])
+        if fused and delay:
+            _expand_batched(delay)
         tile._last_index[0] = last_index
         if last_busy >= 0:
             tile.dram_stats.busy_cycles = last_busy
@@ -1023,7 +1349,7 @@ def dram_read_kernel(tile, trow, sprow, drow, stream_row):
         trow[4] += rout
         sprow[0] += req_c
         sprow[1] += grant_c
-        sprow[2] += confl_c
+        sprow[2] += consid_c - grant_c    # every losing bid conflicts
         sprow[3] += consid_c
         sprow[4] += qfull_c
         sprow[5] += active_c
@@ -1032,5 +1358,114 @@ def dram_read_kernel(tile, trow, sprow, drow, stream_row):
         drow[2] += sparse_c
         srow[0] += pv
         srow[1] += pr
+
+    return kern, begin, settle
+
+
+def sorted_merge_kernel(tile, trow, stream_row):
+    """Fused ``SortedMergeTile.tick`` (lowering contract "sorted_merge").
+
+    The first contract-dispatched kernel: any subclass declaring
+    ``lowering_contract() == "sorted_merge"`` (customizing only the sort
+    key) lowers here.  The comparator tree, head refills, one-sided
+    drain, and the packer flush are restated statement for statement
+    under the window's detached-hook preconditions; the head buffers and
+    packer pending list stay live (mutated in place), so only counters
+    are deferred.  The key callable is the tile's resolved scalar twin
+    (``_key``), so an Expr key runs compiled without per-call dispatch.
+    """
+    in0, in1 = tile.inputs
+    fifo0 = in0._fifo
+    fifo1 = in1._fifo
+    heads = tile._heads
+    key = tile._key
+    packer = tile._packer
+    pending = packer.pending
+    push = pending.append
+    spill = packer.spill_limit
+    out = packer.stream
+    out_fifo = out._fifo if out is not None else None
+    out_cap = out.capacity if out is not None else 0
+    srow = stream_row(out) if out is not None else None
+    maybe_close = tile.maybe_close
+    out0 = tile.outputs[0] if tile.outputs else None
+    shut = out0 is None
+    busy = idle = vout = rout = 0
+    pv = pr = 0
+
+    def begin():
+        nonlocal busy, idle, vout, rout, pv, pr, shut
+        busy = idle = vout = rout = pv = pr = 0
+        shut = out0 is None or out0.eos
+
+    def kern(cycle):
+        nonlocal busy, idle, vout, rout, pv, pr, shut
+        a = heads[0]
+        b = heads[1]
+        if not a and not b and not fifo0 and not fifo1 and not pending:
+            # Drained-tile fast path: refills no-op, the comparator
+            # breaks immediately, and the flush sees nothing pending.
+            idle += 1
+            if not shut and in0.eos and in1.eos:
+                maybe_close()
+                shut = out0.eos
+            return False
+        moved = False
+        emitted = 0
+        while emitted < LANES and len(pending) + 1 <= spill:
+            if not a and fifo0:         # _refill(0), hooks detached
+                a = heads[0] = list(fifo0.popleft())
+            if not b and fifo1:         # _refill(1)
+                b = heads[1] = list(fifo1.popleft())
+            if a and b:
+                if key(a[0]) <= key(b[0]):
+                    push(a.pop(0))
+                else:
+                    push(b.pop(0))
+            elif a and in1.eos and not fifo1:   # b done: drain a
+                push(a.pop(0))
+            elif b and in0.eos and not fifo0:   # a done: drain b
+                push(b.pop(0))
+            else:
+                # An input is merely stalled (open but empty): emitting
+                # from the other side could violate ordering — wait.
+                break
+            emitted += 1
+            moved = True
+        # Packer.flush(stats, force_partial=emitted == 0), inlined.
+        if pending:
+            if out is None:
+                pending.clear()
+                moved = True
+            elif len(pending) >= LANES or emitted == 0:
+                if len(out_fifo) < out_cap:
+                    vector = pending[:LANES]
+                    del pending[:LANES]
+                    out_fifo.append(vector)
+                    nv = len(vector)
+                    pv += 1
+                    pr += nv
+                    vout += 1
+                    rout += nv
+                    moved = True
+        if moved:
+            busy += 1
+        else:
+            idle += 1
+        if not shut and in0.eos and in1.eos:
+            # maybe_close() no-ops while any input is open; the guard
+            # skips the call on the (overwhelmingly common) open cycles.
+            maybe_close()
+            shut = out0.eos
+        return moved
+
+    def settle():
+        trow[0] += busy
+        trow[2] += idle
+        trow[3] += vout
+        trow[4] += rout
+        if srow is not None:
+            srow[0] += pv
+            srow[1] += pr
 
     return kern, begin, settle

@@ -40,6 +40,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dataflow.vector import require_numpy
 from repro.dataflow.vector import kernels as K
+from repro.dataflow.expr import Expr
+from repro.dataflow.mergesort import SortedMergeTile
 from repro.dataflow.tile import SinkTile, SourceTile
 from repro.dataflow.compute import (CopyTile, FilterTile, ForkTile, MapTile,
                                     MergeTile, StampTile)
@@ -66,6 +68,16 @@ def _hooks_armed(tile) -> bool:
         if stream._mt:
             return True
     return False
+
+
+def _expr_tag(*callables) -> str:
+    """``"+expr"`` when any of the tile's callables batch-compiles.
+
+    The suffix feeds the profiler's compiled-vs-interpreted attribution
+    (``repro microbench --profile``) and the benchmark's per-window-shape
+    breakdown; dispatch itself treats tagged and untagged kinds alike.
+    """
+    return "+expr" if any(isinstance(c, Expr) for c in callables) else ""
 
 
 class Lowering:
@@ -103,6 +115,11 @@ class Lowering:
                 self._begins.append(begin)
             if settle is not None:
                 self._settles.append(settle)
+        # Dispatch memo: what each tile looked like when its kernel was
+        # chosen.  ``revalidate`` compares against this instead of
+        # re-running the dispatch chain, so the lowering survives across
+        # engine runs (and the matrices accumulate across them).
+        self._sigs = [self._tile_sig(t) for t in tiles]
         #: Cumulative columnar settlement matrices across all windows.
         self.tile_counts = np.zeros((n, len(TILE_COLS)), dtype=np.int64)
         self.spad_counts = np.zeros((len(self._spad_rows), len(SPAD_COLS)),
@@ -144,11 +161,11 @@ class Lowering:
                 return K.sink_kernel(tile, trow)
             if cls is MapTile and len(tile.inputs) == 1 \
                     and len(tile._packers) == 1:
-                self.kinds.append("map")
+                self.kinds.append("map" + _expr_tag(tile.fn))
                 return K.map_kernel(tile, trow, self._stream_row)
             if cls is FilterTile and len(tile.inputs) == 1 \
                     and len(tile._packers) == 2:
-                self.kinds.append("filter")
+                self.kinds.append("filter" + _expr_tag(tile.predicate))
                 return K.filter_kernel(tile, trow, self._stream_row)
             if cls is MergeTile and len(tile.inputs) >= 1 \
                     and len(tile._packers) == 1:
@@ -177,7 +194,9 @@ class Lowering:
                     and len(tile.inputs) == 1
                     and tile.ports[0].input is tile.inputs[0]
                     and tile.ports[0].packer.stream is not None):
-                self.kinds.append("spad_read")
+                cfg = tile.ports[0].config
+                self.kinds.append(
+                    "spad_read" + _expr_tag(cfg.addr, cfg.combine))
                 return K.spad_read_kernel(
                     tile, trow, self._spad_row(tile), self._stream_row)
             if (cls is DramTile and tile._single
@@ -186,13 +205,61 @@ class Lowering:
                     and len(tile.inputs) == 1
                     and tile.ports[0].input is tile.inputs[0]
                     and tile.ports[0].packer.stream is not None):
-                self.kinds.append("dram_read")
+                cfg = tile.ports[0].config
+                self.kinds.append(
+                    "dram_read" + _expr_tag(cfg.addr, cfg.combine))
                 return K.dram_read_kernel(
                     tile, trow, self._spad_row(tile), self._dram_row(tile),
                     self._stream_row)
+            # Contract dispatch: subclasses opt in by *declaring* which
+            # fused-kernel family their tick implements, so the exact-
+            # class gates above stay conservative while a SortedMergeTile
+            # subclass customizing only the key still lowers.
+            if (tile.lowering_contract() == "sorted_merge"
+                    and isinstance(tile, SortedMergeTile)
+                    and len(tile.inputs) == 2):
+                self.kinds.append("sorted_merge" + _expr_tag(tile.key))
+                return K.sorted_merge_kernel(tile, trow, self._stream_row)
         self.kinds.append("fallback")
         self.fallbacks += 1
         return K.fallback_kernel(tile)
+
+    # -- cross-run reuse ---------------------------------------------------
+
+    @staticmethod
+    def _tile_sig(tile):
+        """Everything the dispatch decision (and the closures) depend on
+        that a caller could legally mutate between engine runs."""
+        sig = (type(tile), _hooks_armed(tile),
+               getattr(tile, "fault_injector", None) is not None,
+               tuple(id(s) for s in tile.inputs),
+               tuple(id(s) for s in tile.outputs))
+        if type(tile) is SourceTile:
+            sig += (id(tile._records), len(tile._records), tile.rate)
+        return sig
+
+    def revalidate(self, tiles) -> bool:
+        """True when this lowering is still exact for ``tiles``.
+
+        The kernels close over the tile instances, their streams, and
+        their callables, so reuse requires the *same* tile objects in
+        the same order with unchanged dispatch signatures (hooks, wiring,
+        injector, source record list).  On success the new list object is
+        adopted (``run_window`` compares list identity); any mismatch
+        reports False and the engine rebuilds from scratch — the fix for
+        re-running the whole dispatch chain on every run.
+        """
+        mine = self.tiles
+        if len(tiles) != len(mine):
+            return False
+        for a, b in zip(mine, tiles):
+            if a is not b:
+                return False
+        for tile, sig in zip(tiles, self._sigs):
+            if self._tile_sig(tile) != sig:
+                return False
+        self.tiles = tiles
+        return True
 
     # -- window execution --------------------------------------------------
 

@@ -157,6 +157,7 @@ def lower_group_count(table: Table, group_key: str, n_groups: int,
     """
     from repro.memory import PortConfig, ScratchpadMemory, ScratchpadTile, faa
     from repro.dataflow import Schema
+    from repro.dataflow.expr import Const, Field
 
     run = _runner(engine)
     ki = table.col_index(group_key)
@@ -165,8 +166,8 @@ def lower_group_count(table: Table, group_key: str, n_groups: int,
     g = Graph("lowered_group_count")
     src = g.add(SourceTile("src", table.rows))
     agg = g.add(ScratchpadTile("agg", mem, [PortConfig(
-        mode="rmw", region=counters, addr=lambda r: r[ki],
-        rmw=faa(), combine=lambda r, old: None)]))
+        mode="rmw", region=counters, addr=Field(ki),
+        rmw=faa(), combine=Const(None))]))
     g.connect(src, agg)
     stats = run(g)
     rows = [(gid, counters[gid]) for gid in range(n_groups)

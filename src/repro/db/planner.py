@@ -278,21 +278,27 @@ class Predicate:
     # -- evaluation ----------------------------------------------------------
 
     def evaluator(self, schema) -> Callable[[tuple], bool]:
-        """Compile to a row filter against ``schema`` (needs ``.index``)."""
-        checks: List[Tuple[int, Tuple]] = [
-            (schema.index(column), spec) for column, spec in self.constraints]
+        """Compile to a row filter against ``schema`` (needs ``.index``).
 
-        def keep(row: tuple) -> bool:
-            for idx, spec in checks:
-                value = row[idx]
-                if spec[0] == "in":
-                    if value not in spec[1:]:
-                        return False
-                elif not _range_contains(spec[1], spec[2], value):
-                    return False
-            return True
+        Returns an :class:`~repro.dataflow.expr.Expr` — a conjunction of
+        per-column in-set/range nodes — rather than an opaque closure.
+        It is still a plain ``keep(row) -> bool`` callable, but the
+        functional operators and the vector backend's fused kernels can
+        batch-compile it, so every catalog predicate rides the columnar
+        fast path.  In-set membership and the half-open range test are
+        emitted with the exact semantics of the previous closure
+        (``_range_contains`` operand order, NaN included).
+        """
+        from repro.dataflow.expr import All, Field, InRange, InSet
 
-        return keep
+        terms = []
+        for column, spec in self.constraints:
+            idx = schema.index(column)
+            if spec[0] == "in":
+                terms.append(InSet(Field(idx), frozenset(spec[1:])))
+            else:
+                terms.append(InRange(Field(idx), spec[1], spec[2]))
+        return All(tuple(terms))
 
     def matches(self, value, column: str) -> bool:
         """Does a single column value satisfy this predicate's constraint?"""

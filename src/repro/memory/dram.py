@@ -124,9 +124,9 @@ class DramTile(ScratchpadTile):
         slots = port.queues[0].slots
         fill = len(slots)
         cfg = port.config
-        addr = cfg.addr
+        addr = cfg.addr_fn
         data = cfg.region._data
-        combine = cfg.combine
+        combine = cfg.combine_fn
         delay = self._delay
         delay_append = delay.append
         popleft = delay.popleft

@@ -18,9 +18,10 @@ same offset.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+from repro.dataflow.expr import scalar_of
 from repro.errors import GraphError
 from repro.dataflow.record import LANES, Record
 from repro.dataflow.stats import ScratchpadStats
@@ -48,6 +49,13 @@ class PortConfig:
     thread, or leave ``combine=None`` for response-less scatters.
     ``value(record)`` supplies the store data for writes.
     ``rmw(old, record) -> (new, result)`` is the atomic update function.
+
+    ``addr``/``combine``/``value`` accept either a legacy callable or an
+    :class:`~repro.dataflow.expr.Expr`; the ``*_fn`` twins hold the
+    resolved plain callables the per-record paths use, while the
+    originals stay inspectable so the vector backend can batch-fuse
+    ``Expr`` configs.  ``rmw`` closures stay legacy — an atomic update
+    is not a pure expression.
     """
 
     mode: str                                   # 'read' | 'write' | 'rmw'
@@ -56,6 +64,9 @@ class PortConfig:
     combine: Optional[Callable] = None
     value: Optional[Callable] = None
     rmw: Optional[Callable] = None
+    addr_fn: Callable = field(init=False, repr=False)
+    combine_fn: Optional[Callable] = field(init=False, repr=False)
+    value_fn: Optional[Callable] = field(init=False, repr=False)
 
     def __post_init__(self):
         if self.mode not in ("read", "write", "rmw"):
@@ -66,6 +77,11 @@ class PortConfig:
             raise GraphError("write port requires a value function")
         if self.mode == "rmw" and (self.rmw is None or self.combine is None):
             raise GraphError("rmw port requires rmw and combine functions")
+        self.addr_fn = scalar_of(self.addr)
+        self.combine_fn = (None if self.combine is None
+                           else scalar_of(self.combine, 2))
+        self.value_fn = (None if self.value is None
+                         else scalar_of(self.value))
 
 
 class _Port:
@@ -210,7 +226,7 @@ class ScratchpadTile(Tile):
                 continue
             stream.pop()
             cfg = port.config
-            addr = cfg.addr
+            addr = cfg.addr_fn
             # Region.bank_of, inlined: entry-interleaved across BANKS.
             base = cfg.region.base_entry
             lane = 0
@@ -242,7 +258,7 @@ class ScratchpadTile(Tile):
             alloc._rotor = rotor + 1 if rotor + 1 < n_lanes else 0
             cfg = port.config
             data = cfg.region._data
-            combine = cfg.combine
+            combine = cfg.combine_fn
             delay_append = self._delay.append
             ready = cycle + self.latency
             taken = 0
@@ -403,9 +419,9 @@ class ScratchpadTile(Tile):
         slots = port.queues[0].slots
         fill = len(slots)
         cfg = port.config
-        addr = cfg.addr
+        addr = cfg.addr_fn
         data = cfg.region._data
-        combine = cfg.combine
+        combine = cfg.combine_fn
         delay = self._delay
         delay_append = delay.append
         popleft = delay.popleft
@@ -479,14 +495,14 @@ class ScratchpadTile(Tile):
         if cfg.mode == "read":
             result = region[request.index]
         elif cfg.mode == "write":
-            region[request.index] = cfg.value(record)
+            region[request.index] = cfg.value_fn(record)
             result = None
         else:  # rmw
             old = region[request.index]
             new, result = cfg.rmw(old, record)
             region[request.index] = new
-        if cfg.combine is not None:
-            response = cfg.combine(record, result)
+        if cfg.combine_fn is not None:
+            response = cfg.combine_fn(record, result)
             if response is not None:
                 self._delay.append(
                     (cycle + self._latency_at(cycle), port_idx, response))

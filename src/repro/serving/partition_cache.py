@@ -243,8 +243,9 @@ class PartitionCache:
             if hit is not None:
                 src, src_stale = hit
                 if keep_cls is None:
+                    # Expr evaluator: batch-compiled over each fragment.
                     keep_cls = job.class_pred.evaluator(job.joined_schema())
-                rows = tuple(r for r in src.rows if keep_cls(r))
+                rows = tuple(keep_cls.filter_batch(src.rows))
                 derive_cost = max(1, len(src.rows)
                                   // self.policy.derive_divisor)
                 cycles += derive_cost

@@ -41,6 +41,13 @@ from repro.memory import (
     ScratchpadTile,
     cas,
 )
+from repro.dataflow.expr import (
+    Arg,
+    Concat,
+    Field,
+    Tup,
+    bucket_expr,
+)
 from repro.structures.common import NULL, StructureEvents
 from repro.structures.hashing import bucket_of
 
@@ -236,29 +243,34 @@ class HashTableDataflow:
         cap = self.spad_node_capacity
         g = Graph("ht_build")
         src = g.add(SourceTile("src", list(pairs)))
+        # Every pure callable below is an Expr (batch-compilable in the
+        # vector backend); only the CAS rmw closure stays legacy — an
+        # atomic update is not a pure expression.
         hashm = g.add(MapTile(
-            "hash", lambda r: (r[0], r[1], bucket_of(r[0], self.n_buckets))))
+            "hash", Tup((Field(0), Field(1),
+                         bucket_expr(Field(0), self.n_buckets)))))
         stamp = g.add(StampTile("stamp", start=self.next_slot))
         entry = g.add(MergeTile("entry"))
         head_rd = g.add(ScratchpadTile("head_rd", self.spad, [PortConfig(
-            mode="read", region=self.heads, addr=lambda r: r[2],
-            combine=lambda r, head: (r[0], r[1], r[2], r[3], head))]))
-        route = g.add(FilterTile("route", lambda r: r[3] < cap))
+            mode="read", region=self.heads, addr=Field(2),
+            combine=Tup((Field(0), Field(1), Field(2), Field(3), Arg(1))))]))
+        route = g.add(FilterTile("route", Field(3) < cap))
         node_wr = g.add(ScratchpadTile("node_wr", self.spad, [PortConfig(
-            mode="write", region=self.nodes, addr=lambda r: r[3],
-            value=lambda r: (r[0], r[1], r[4]),
-            combine=lambda r, _: r)]))
+            mode="write", region=self.nodes, addr=Field(3),
+            value=Tup((Field(0), Field(1), Field(4))),
+            combine=Arg(0))]))
         ovf_wr = g.add(DramTile("ovf_wr", self.dram, [PortConfig(
-            mode="write", region=self.overflow, addr=lambda r: r[3] - cap,
-            value=lambda r: (r[0], r[1], r[4]),
-            combine=lambda r, _: r)]))
+            mode="write", region=self.overflow, addr=Field(3) - cap,
+            value=Tup((Field(0), Field(1), Field(4))),
+            combine=Arg(0))]))
         rejoin = g.add(MergeTile("rejoin"))
         head_cas = g.add(ScratchpadTile("head_cas", self.spad, [PortConfig(
-            mode="rmw", region=self.heads, addr=lambda r: r[2],
+            mode="rmw", region=self.heads, addr=Field(2),
             rmw=cas(expected_of=lambda r: r[4], new_of=lambda r: r[3]),
-            combine=lambda r, old: r + (old,))]))
-        ok = g.add(FilterTile("ok", lambda r: r[5] == r[4]))
-        retry = g.add(MapTile("retry", lambda r: r[:4]))
+            combine=Concat(Arg(0), Tup((Arg(1),))))]))
+        ok = g.add(FilterTile("ok", Field(5).eq(Field(4))))
+        retry = g.add(MapTile(
+            "retry", Tup((Field(0), Field(1), Field(2), Field(3)))))
         done = g.add(SinkTile("done"))
 
         g.connect(src, hashm)
@@ -293,25 +305,30 @@ class HashTableDataflow:
         cap = self.spad_node_capacity
         g = Graph("ht_probe")
         src = g.add(SourceTile("src", list(queries)))
+        # Probe-side callables are all Exprs: the whole recirculating
+        # pipeline batch-compiles inside lowered windows.
+        node_combine = Tup((Field(0), Field(1),
+                            Field(0, arg=1), Field(1, arg=1), Field(2, arg=1)))
         head_rd = g.add(ScratchpadTile("head_rd", self.spad, [PortConfig(
             mode="read", region=self.heads,
-            addr=lambda r: bucket_of(r[1], self.n_buckets),
-            combine=lambda r, head: (r[0], r[1], head))]))
+            addr=bucket_expr(Field(1), self.n_buckets),
+            combine=Tup((Field(0), Field(1), Arg(1))))]))
         entry = g.add(MergeTile("entry"))
-        nullchk = g.add(FilterTile("nullchk", lambda r: r[2] == NULL))
-        route = g.add(FilterTile("route", lambda r: r[2] < cap))
+        nullchk = g.add(FilterTile("nullchk", Field(2).eq(NULL)))
+        route = g.add(FilterTile("route", Field(2) < cap))
         # Gather the node from SRAM or the DRAM overflow buffer.
         node_rd = g.add(ScratchpadTile("node_rd", self.spad, [PortConfig(
-            mode="read", region=self.nodes, addr=lambda r: r[2],
-            combine=lambda r, n: (r[0], r[1], n[0], n[1], n[2]))]))
+            mode="read", region=self.nodes, addr=Field(2),
+            combine=node_combine)]))
         ovf_rd = g.add(DramTile("ovf_rd", self.dram, [PortConfig(
-            mode="read", region=self.overflow, addr=lambda r: r[2] - cap,
-            combine=lambda r, n: (r[0], r[1], n[0], n[1], n[2]))]))
+            mode="read", region=self.overflow, addr=Field(2) - cap,
+            combine=node_combine)]))
         rejoin = g.add(MergeTile("rejoin"))
-        match = g.add(FilterTile("match", lambda r: r[2] == r[1]))
+        match = g.add(FilterTile("match", Field(2).eq(Field(1))))
         hits = g.add(SinkTile("hits"))
         misses = g.add(SinkTile("misses"))
-        advance = g.add(MapTile("advance", lambda r: (r[0], r[1], r[4])))
+        advance = g.add(MapTile("advance", Tup((Field(0), Field(1),
+                                                Field(4)))))
 
         g.connect(src, head_rd)
         g.connect(head_rd, entry)
@@ -331,8 +348,10 @@ class HashTableDataflow:
             # other advances to the next node and recirculates alongside
             # the mismatching threads.
             dup = g.add(CopyTile("dup"))
-            emit = g.add(MapTile("emit", lambda r: (r[0], r[1], r[3])))
-            cont = g.add(MapTile("cont", lambda r: (r[0], r[1], r[4])))
+            emit = g.add(MapTile("emit", Tup((Field(0), Field(1),
+                                              Field(3)))))
+            cont = g.add(MapTile("cont", Tup((Field(0), Field(1),
+                                              Field(4)))))
             g.connect(match, dup, producer_port=0)
             g.connect(dup, emit, producer_port=0)
             g.connect(emit, hits)
@@ -341,7 +360,8 @@ class HashTableDataflow:
             g.connect(match, advance, producer_port=1)
             g.connect(advance, entry, priority=True)
         else:
-            emit = g.add(MapTile("emit", lambda r: (r[0], r[1], r[3])))
+            emit = g.add(MapTile("emit", Tup((Field(0), Field(1),
+                                              Field(3)))))
             g.connect(match, emit, producer_port=0)
             g.connect(emit, hits)
             g.connect(match, advance, producer_port=1)

@@ -40,6 +40,7 @@ from repro.memory import (
     ScratchpadMemory,
     ScratchpadTile,
 )
+from repro.dataflow.expr import Arg, Field, Tup, radix_expr
 from repro.structures.common import NULL, StructureEvents
 from repro.structures.hashing import is_power_of_two, radix_of
 
@@ -174,36 +175,42 @@ class PartitionerDataflow:
 
         g = Graph("partition")
         src = g.add(SourceTile("src", list(keyed_records)))
+        # Pure callables are Exprs (batch-compilable); the FAA/reset rmw
+        # closures and the stateful block allocator stay legacy.
+        scatter_addr = Field(3) * B + Field(4)
+        scatter_value = Tup((Field(0), Field(1)))
         hashm = g.add(MapTile(
-            "hash", lambda r: (r[0], r[1], radix_of(r[0], self.n_partitions))))
+            "hash", Tup((Field(0), Field(1),
+                         radix_expr(Field(0), self.n_partitions)))))
         entry = g.add(MergeTile("entry"))
         faa = g.add(ScratchpadTile("faa", self.spad, [PortConfig(
-            mode="rmw", region=self.meta, addr=lambda r: r[2],
+            mode="rmw", region=self.meta, addr=Field(2),
             rmw=faa_meta,
-            combine=lambda r, hc: (r[0], r[1], r[2], hc[0], hc[1]))]))
-        has_room = g.add(FilterTile("has_room", lambda r: r[4] < B))
+            combine=Tup((Field(0), Field(1), Field(2),
+                         Field(0, arg=1), Field(1, arg=1))))]))
+        has_room = g.add(FilterTile("has_room", Field(4) < B))
         scatter = g.add(DramTile("scatter", self.dram, [PortConfig(
             mode="write", region=self.block_recs,
-            addr=lambda r: r[3] * B + r[4],
-            value=lambda r: (r[0], r[1]),
-            combine=lambda r, _: (r[0],))]))
-        is_alloc = g.add(FilterTile("is_alloc", lambda r: r[4] == B))
+            addr=scatter_addr,
+            value=scatter_value,
+            combine=Tup((Field(0),)))]))
+        is_alloc = g.add(FilterTile("is_alloc", Field(4).eq(B)))
         alloc = g.add(MapTile("alloc", do_alloc))
         link = g.add(DramTile("link", self.dram, [PortConfig(
-            mode="write", region=self.block_next, addr=lambda r: r[4],
-            value=lambda r: r[3],
-            combine=lambda r, _: r)]))
+            mode="write", region=self.block_next, addr=Field(4),
+            value=Field(3),
+            combine=Arg(0))]))
         # Reset metadata to (new_block, 1): the allocator thread claims slot 0.
         reset = g.add(ScratchpadTile("reset", self.spad, [PortConfig(
-            mode="rmw", region=self.meta, addr=lambda r: r[2],
+            mode="rmw", region=self.meta, addr=Field(2),
             rmw=lambda old, r: ((r[4], 1), old),
-            combine=lambda r, _: (r[0], r[1], r[2], r[4], 0))]))
+            combine=Tup((Field(0), Field(1), Field(2), Field(4), 0)))]))
         scatter0 = g.add(DramTile("scatter0", self.dram, [PortConfig(
             mode="write", region=self.block_recs,
-            addr=lambda r: r[3] * B + r[4],
-            value=lambda r: (r[0], r[1]),
-            combine=lambda r, _: (r[0],))]))
-        retry = g.add(MapTile("retry", lambda r: (r[0], r[1], r[2])))
+            addr=scatter_addr,
+            value=scatter_value,
+            combine=Tup((Field(0),)))]))
+        retry = g.add(MapTile("retry", Tup((Field(0), Field(1), Field(2)))))
         done = g.add(SinkTile("done"))
         done2 = g.add(SinkTile("done_alloc"))
 

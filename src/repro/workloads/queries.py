@@ -19,6 +19,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.dataflow.expr import Field
 from repro.db import ExecutionContext, Table
 from repro.db.operators import (
     extend,
@@ -73,7 +74,10 @@ def q1(data: RideshareData, ctx: Optional[ExecutionContext] = None,
     AND s.time >= NOW - 5 days GROUP BY s.driverId -> COUNT(*).
     """
     ti = data["driverStatus"].col_index("time")
-    ds = scan_filter(data["driverStatus"], lambda r: r[ti] >= NOW - 5 * DAY,
+    # Scan predicates are Exprs: batch-compiled over the whole scan (and
+    # fused in lowered windows); the ML model lambdas further down stay
+    # legacy callables — the documented per-record escape hatch.
+    ds = scan_filter(data["driverStatus"], Field(ti) >= NOW - 5 * DAY,
                      ctx, name="ds_recent")
     near = policy.distance_join(data["rideReq"], ds, ("start_x", "start_y"),
                          ("pos_x", "pos_y"), KM, ctx, prefix="ds_")
@@ -83,7 +87,7 @@ def q1(data: RideshareData, ctx: Optional[ExecutionContext] = None,
     # named `seats`, driver's arrives prefixed `d_seats`.
     ri = with_driver.col_index("seats")
     di = with_driver.col_index("d_seats")
-    fits = scan_filter(with_driver, lambda r: r[ri] <= r[di], ctx,
+    fits = scan_filter(with_driver, Field(ri) <= Field(di), ctx,
                        name="seat_match")
     return policy.group_by(fits, ["ds_driverId"],
                          {"rideCount": ("count", None)}, ctx, name="q1")
@@ -111,7 +115,7 @@ def q3(data: RideshareData, ctx: Optional[ExecutionContext] = None,
     GROUP BY locationId ORDER BY rideCount.
     """
     ti = data["rideReq"].col_index("time")
-    recent = scan_filter(data["rideReq"], lambda r: r[ti] > NOW - MINUTE,
+    recent = scan_filter(data["rideReq"], Field(ti) > NOW - MINUTE,
                          ctx, name="req_recent")
     joined = policy.containment_join(data["location"], ("x0", "y0", "x1", "y1"),
                               recent, ("start_x", "start_y"), ctx,
@@ -131,7 +135,7 @@ def q4(data: RideshareData, ctx: Optional[ExecutionContext] = None,
     as an ML feature block.
     """
     ti = data["ride"].col_index("starttime")
-    recent = scan_filter(data["ride"], lambda r: r[ti] > NOW - 5 * DAY,
+    recent = scan_filter(data["ride"], Field(ti) > NOW - 5 * DAY,
                          ctx, name="ride_recent")
     in_loc = policy.window_select(recent, "start_x", "start_y", _loc0_rect(data),
                            ctx=ctx, name="ride_loc0")
@@ -201,7 +205,7 @@ def q7(data: RideshareData, ctx: Optional[ExecutionContext] = None,
     LOG.REG.PREDICT(model, features).
     """
     ti = data["ride"].col_index("starttime")
-    recent = scan_filter(data["ride"], lambda r: r[ti] > NOW - 30 * DAY,
+    recent = scan_filter(data["ride"], Field(ti) > NOW - 30 * DAY,
                          ctx, name="ride_30d")
     with_rider = policy.join(recent, data["rider"], "riderId", "riderId",
                            ctx, prefix="ri_")
@@ -248,7 +252,7 @@ def q9(data: RideshareData, ctx: Optional[ExecutionContext] = None,
     """
     req = data["rideReq"]
     ri = req.col_index("riderId")
-    one = scan_filter(req, lambda r: r[ri] == 0, ctx, name="one_req")
+    one = scan_filter(req, Field(ri).eq(0), ctx, name="one_req")
     if len(one) == 0:
         one = one.with_rows([req.rows[0]])
     near = policy.distance_join(one, data["driverStatus"], ("start_x", "start_y"),

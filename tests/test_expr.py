@@ -1,0 +1,555 @@
+"""Expression IR + batch compiler (``repro.dataflow.expr``).
+
+Pins the ISSUE 10 tentpole from every side:
+
+* 50-seed differential fuzz: ``Expr.evaluate`` (the interpreted
+  reference) vs ``scalar`` vs ``compile_batch`` over random expression
+  trees and record batches, including NaN, overflow-sized ints, and the
+  empty batch; a Hypothesis pass fuzzes the arithmetic fragment.
+* The specialized compiled forms (filter/split/requests/enqueue) against
+  the same reference.
+* ``Hash32`` bit-identical to ``structures.hashing.hash32`` (and the
+  bucket/radix helpers to their namesakes).
+* Four-way scheduler parity (exhaustive / event / event+burst / vector)
+  for lambda-fused graphs, ramp windows, and ``SortedMergeTile``
+  (including a subclass inheriting the ``lowering_contract``).
+* ``Lowering.revalidate`` — the memoized dispatch decision — accepts an
+  unchanged tile set and rejects every signature change.
+* Compiled-expression coverage: every Q1-Q9 scan predicate and every
+  pjoin catalog predicate is an ``Expr``, and the hash-table build/probe
+  pipelines (the serving hot path) contain zero opaque closures outside
+  the documented RMW escape hatch.
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import (
+    Engine,
+    FilterTile,
+    Graph,
+    MapTile,
+    SinkTile,
+    SourceTile,
+)
+from repro.dataflow.expr import (
+    All,
+    AnyOf,
+    Arg,
+    BinOp,
+    Cmp,
+    Const,
+    Expr,
+    Field,
+    Hash32,
+    InRange,
+    InSet,
+    Not,
+    Select,
+    Tup,
+    bucket_expr,
+    is_expr,
+    radix_expr,
+    scalar_of,
+)
+from repro.dataflow.mergesort import SortedMergeTile, merge_sort_graph
+from repro.structures import hashing
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: evaluate() vs scalar() vs compile_batch()
+# ---------------------------------------------------------------------------
+
+def _same(a, b) -> bool:
+    """Value equality that treats NaN as equal to itself (the fuzz
+    batches contain NaN; compiled and interpreted forms must agree on
+    *which* positions are NaN, which plain ``==`` cannot express)."""
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(_same(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+    if type(a) is not type(b) and not (
+            isinstance(a, (bool, int)) and isinstance(b, (bool, int))):
+        return False
+    return a == b
+
+
+def _random_value(rng: random.Random):
+    roll = rng.random()
+    if roll < 0.5:
+        return rng.randint(-1000, 1000)
+    if roll < 0.7:
+        return rng.randint(2**62, 2**66)        # overflow-sized
+    if roll < 0.9:
+        return rng.uniform(-100.0, 100.0)
+    return float("nan")
+
+
+def _random_int_expr(rng: random.Random, depth: int) -> Expr:
+    """An integer-valued expression over ``Field(0..2)`` (int columns)."""
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.6:
+            return Field(rng.randint(0, 2))
+        return Const(rng.randint(-50, 50))
+    roll = rng.random()
+    if roll < 0.15:
+        return Hash32(_random_int_expr(rng, depth - 1))
+    if roll < 0.3:
+        cond = _random_bool_expr(rng, depth - 1)
+        return Select(cond, _random_int_expr(rng, depth - 1),
+                      _random_int_expr(rng, depth - 1))
+    op = rng.choice(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                     "//", "%"])
+    left = _random_int_expr(rng, depth - 1)
+    if op in ("//", "%"):
+        right = Const(rng.choice([1, 2, 3, 7, 16, -3]))
+    elif op in ("<<", ">>"):
+        right = Const(rng.randint(0, 8))
+    else:
+        right = _random_int_expr(rng, depth - 1)
+    return BinOp(op, left, right)
+
+
+def _random_bool_expr(rng: random.Random, depth: int) -> Expr:
+    roll = rng.random()
+    if depth <= 0 or roll < 0.25:
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return Cmp(op, _random_int_expr(rng, 0), _random_int_expr(rng, 0))
+    if roll < 0.4:
+        return InSet(_random_int_expr(rng, depth - 1),
+                     frozenset(rng.sample(range(-20, 20), 5)))
+    if roll < 0.55:
+        lo = rng.choice([None, rng.randint(-40, 0)])
+        hi = rng.choice([None, rng.randint(1, 40)])
+        return InRange(_random_int_expr(rng, depth - 1), lo, hi)
+    if roll < 0.7:
+        return Not(_random_bool_expr(rng, depth - 1))
+    terms = tuple(_random_bool_expr(rng, depth - 1)
+                  for __ in range(rng.randint(0, 3)))
+    return (All if rng.random() < 0.5 else AnyOf)(terms)
+
+
+def _random_expr(rng: random.Random) -> Expr:
+    roll = rng.random()
+    if roll < 0.4:
+        return _random_int_expr(rng, 3)
+    if roll < 0.7:
+        return _random_bool_expr(rng, 3)
+    if roll < 0.9:
+        return Tup(tuple(_random_int_expr(rng, 2)
+                         for __ in range(rng.randint(0, 3))))
+    # Float-bearing arithmetic (exercises NaN propagation).
+    op = rng.choice(["+", "-", "*"])
+    return BinOp(op, Field(3), _random_int_expr(rng, 1))
+
+
+def _random_batch(rng: random.Random):
+    n = rng.choice([0, 1, 3, 16, 40])           # includes the empty batch
+    return [(rng.randint(-1000, 1000), rng.randint(-1000, 1000),
+             rng.randint(-1000, 1000), _random_value(rng))
+            for __ in range(n)]
+
+
+class TestDifferentialFuzz:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_scalar_and_batch_match_evaluate(self, seed):
+        rng = random.Random(seed)
+        for __ in range(8):
+            expr = _random_expr(rng)
+            batch = _random_batch(rng)
+            expected = [expr.evaluate(rec) for rec in batch]
+            scalar = expr.scalar()
+            got_scalar = [scalar(rec) for rec in batch]
+            got_batch = expr.compile_batch()(batch)
+            assert len(got_batch) == len(expected)
+            for exp, s, b in zip(expected, got_scalar, got_batch):
+                assert _same(s, exp)
+                assert _same(b, exp)
+
+    def test_overflow_is_arbitrary_precision(self):
+        # numpy int64 would wrap here; generated Python must not.
+        expr = (Field(0) * Field(0)) + 1
+        rec = (2**62,)
+        assert expr.evaluate(rec) == 2**124 + 1
+        assert expr.compile_batch()([rec]) == [2**124 + 1]
+
+    def test_nan_comparisons_match(self):
+        nan = float("nan")
+        expr = Field(0) < 5
+        for rec in [(nan,), (1.0,), (7.0,)]:
+            assert expr.compile_batch()([rec]) == [expr.evaluate(rec)]
+        rng = InRange(Field(0), 0, 10)
+        assert rng.evaluate((nan,)) is False
+        assert rng.compile_batch()([(nan,)]) == [False]
+
+    @given(st.lists(st.tuples(st.integers(-10**9, 10**9),
+                              st.integers(-10**9, 10**9)), max_size=40),
+           st.integers(-100, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_hypothesis_arith_fragment(self, batch, k):
+        expr = ((Field(0) + Const(k)) * Field(1)) - (Field(0) ^ Field(1))
+        assert expr.compile_batch()(batch) == [expr.evaluate(r)
+                                               for r in batch]
+
+
+class TestCompiledForms:
+    PRED = AnyOf((Cmp("<", Field(0), Const(0)),
+                  InSet(Field(1), frozenset({1, 5, 9}))))
+
+    def _batch(self, seed=7, n=64):
+        rng = random.Random(seed)
+        return [(rng.randint(-10, 10), rng.randint(0, 10))
+                for __ in range(n)]
+
+    def test_compile_filter(self):
+        batch = self._batch()
+        expected = [r for r in batch if self.PRED.evaluate(r)]
+        assert self.PRED.compile_filter()(batch) == expected
+        assert self.PRED.filter_batch([]) == []
+
+    def test_compile_split(self):
+        batch = self._batch()
+        passed, failed = self.PRED.compile_split()(batch)
+        assert passed == [r for r in batch if self.PRED.evaluate(r)]
+        assert failed == [r for r in batch if not self.PRED.evaluate(r)]
+        assert self.PRED.compile_split()([]) == ([], [])
+
+    def test_compile_batch_skip_none(self):
+        expr = Select(Field(0) >= 0, Tup((Field(0),)), Const(None))
+        batch = [(-2,), (3,), (0,), (-1,)]
+        assert expr.compile_batch(skip_none=True)(batch) == [(3,), (0,)]
+
+    @pytest.mark.parametrize("base,banks", [(0, 16), (5, 16), (3, 12)])
+    def test_compile_requests(self, base, banks):
+        addr = Field(0) + 2
+        batch = [(i * 3,) for i in range(20)]
+        got = addr.compile_requests(base, banks)(batch)
+        assert got == [((base + addr.evaluate(r)) % banks,
+                        addr.evaluate(r), r) for r in batch]
+
+    def test_compile_enqueue_strips_lanes_and_masks(self):
+        addr = Field(0)
+        enq = addr.compile_enqueue(0, 16, depth=8)
+        slots = [[] for __ in range(4)]
+        masks = [0] * 4
+        batch = [(1,), (17,), (5,), (16,)]
+        assert enq(batch, slots, masks) is True
+        # One record per lane, bank stored as a pre-shifted one-hot bit.
+        assert slots[0] == [(1 << 1, 1, (1,))]
+        assert slots[1] == [(1 << 1, 17, (17,))]
+        assert slots[2] == [(1 << 5, 5, (5,))]
+        assert slots[3] == [(1 << 0, 16, (16,))]
+        assert masks == [2, 2, 32, 1]
+
+    def test_compile_enqueue_all_or_nothing(self):
+        addr = Field(0)
+        enq = addr.compile_enqueue(0, 16, depth=2)
+        full = [(1 << 0, 0, (0,)), (1 << 0, 0, (0,))]
+        slots = [list(full), []]
+        masks = [1, 0]
+        assert enq([(3,), (4,)], slots, masks) is False
+        assert slots == [full, []]          # nothing appended
+        assert masks == [1, 0]
+
+    def test_empty_batch_everywhere(self):
+        expr = Field(0) + 1
+        assert expr.compile_batch()([]) == []
+        assert expr.compile_requests(0, 16)([]) == []
+        assert expr.compile_enqueue(0, 16, 4)([], [], []) is True
+
+
+class TestHashParity:
+    KEYS = [0, 1, 17, 2**31, 2**40 + 3, -5, "rider_7", (3, 4)]
+
+    def test_hash32_matches_reference(self):
+        expr = Hash32(Arg(0))
+        for key in self.KEYS:
+            assert expr.evaluate(key) == hashing.hash32(key)
+            assert expr.scalar()(key) == hashing.hash32(key)
+
+    def test_bucket_and_radix_match(self):
+        for key in [0, 3, 99, 2**33]:
+            assert (bucket_expr(Arg(0), 24).evaluate(key)
+                    == hashing.bucket_of(key, 24))
+            assert (radix_expr(Arg(0), 16).evaluate(key)
+                    == hashing.radix_of(key, 16))
+
+
+class TestExprProtocol:
+    def test_call_compiles_scalar(self):
+        expr = Field(0) * 2
+        assert expr((21,)) == 42
+
+    def test_scalar_arity_padding(self):
+        # An Expr standing in for a combine ignores the extra argument.
+        expr = Field(0) + 1
+        assert expr.scalar(2)((4,), "ignored") == 5
+
+    def test_structural_equality_and_hash_reuse(self):
+        a = (Field(0) + 1) * Field(1)
+        b = (Field(0) + 1) * Field(1)
+        assert a == b                       # dataclass equality
+        assert a is not b
+        # Structurally identical exprs share one compiled code object.
+        fa, fb = a.compile_batch(), b.compile_batch()
+        assert fa.__code__ is fb.__code__
+        assert fa is not fb                 # separate constant pools
+
+    def test_eq_builds_comparison_node(self):
+        node = Field(0).eq(3)
+        assert isinstance(node, Cmp)
+        assert node.evaluate((3,)) is True
+
+    def test_pickle_drops_compiled_cache(self):
+        expr = Hash32(Field(0)) % 64
+        expr.compile_batch()                # populate cache
+        clone = pickle.loads(pickle.dumps(expr))
+        assert clone == expr
+        assert "_compiled" not in clone.__dict__
+        assert clone.compile_batch()([(9,)]) == [expr.evaluate((9,))]
+
+    def test_scalar_of_passthrough(self):
+        fn = lambda r: r[0]                 # noqa: E731
+        assert scalar_of(fn) is fn
+        assert scalar_of(Field(0))((7,)) == 7
+        assert is_expr(Field(0)) and not is_expr(fn)
+
+
+# ---------------------------------------------------------------------------
+# Four-way scheduler parity for the new window shapes
+# ---------------------------------------------------------------------------
+
+MODES = [("exhaustive", False), ("event", False), ("event", True),
+         ("vector", True)]
+
+
+def _four_way(factory):
+    stats = [Engine(factory(), scheduler=s, burst=b).run()
+             for s, b in MODES]
+    golden = stats[0]
+    for other in stats[1:]:
+        assert other == golden
+    return golden
+
+
+def _expr_graph(n_chains=6, n_records=600):
+    """Wide Expr-only graph: every callable lambda-fuses in windows."""
+    g = Graph("expr_wide")
+    for c in range(n_chains):
+        src = g.add(SourceTile(f"src{c}",
+                               [(i, c) for i in range(n_records)]))
+        m = g.add(MapTile(f"m{c}", Tup((Field(0) + 1, Field(1)))))
+        f = g.add(FilterTile(f"f{c}", (Field(0) % 7).ne(0)))
+        sink = g.add(SinkTile(f"sink{c}"))
+        g.connect(src, m)
+        g.connect(m, f)
+        g.connect(f, sink, producer_port=0)
+        f.drop_output(1)
+    return g
+
+
+class _KeyedMerge(SortedMergeTile):
+    """Subclass customizing only the key — inherits the contract."""
+
+
+def _sorted_merge_graph(cls=SortedMergeTile):
+    g = Graph("smerge")
+    a = g.add(SourceTile("a", [(v,) for v in range(0, 600, 2)]))
+    b = g.add(SourceTile("b", [(v,) for v in range(1, 600, 2)]))
+    merge = g.add(cls("merge", Field(0)))
+    sink = g.add(SinkTile("sink"))
+    g.connect(a, merge)
+    g.connect(b, merge)
+    g.connect(merge, sink)
+    return g
+
+
+class TestFourWayParity:
+    def test_lambda_fused_graph(self):
+        _four_way(_expr_graph)
+        eng = Engine(_expr_graph(), scheduler="vector", burst=True)
+        eng.run()
+        lowered = sum(sum(w) for k, w in eng.burst_windows.items()
+                      if k in ("vector", "ramp"))
+        assert lowered > 8
+        assert eng._vector_lowering.fallbacks == 0
+        # Every non-source/sink kernel dispatched to an Expr-fused form.
+        kinds = eng._vector_lowering.kinds
+        assert all("+expr" in k for k in kinds
+                   if k.startswith(("map", "filter")))
+
+    def test_ramp_window_runs_and_matches(self):
+        _four_way(lambda: _expr_graph(n_records=4000))
+        eng = Engine(_expr_graph(n_records=4000), scheduler="vector",
+                     burst=True)
+        eng.run()
+        assert "ramp" in eng.burst_windows or "vector" in eng.burst_windows
+
+    def test_sorted_merge_tile(self):
+        _four_way(_sorted_merge_graph)
+        eng = Engine(_sorted_merge_graph(), scheduler="vector", burst=True)
+        eng.run()
+        g = eng.graph
+        assert [r[0] for r in g.tile("sink").records] == list(range(600))
+        assert eng._vector_lowering is None or \
+            "fallback" not in eng._vector_lowering.kinds
+
+    def test_sorted_merge_subclass_inherits_contract(self):
+        _four_way(lambda: _sorted_merge_graph(_KeyedMerge))
+        eng = Engine(_sorted_merge_graph(_KeyedMerge), scheduler="vector",
+                     burst=True)
+        eng.run()
+        lowering = eng._vector_lowering
+        if lowering is not None:
+            assert "fallback" not in lowering.kinds
+
+    def test_mergesort_tree_expr_key(self):
+        runs = [sorted((i * 7 + k) % 100 for i in range(40))
+                for k in range(4)]
+        _four_way(lambda: merge_sort_graph(
+            "msort", [[(v,) for v in run] for run in runs], key=Field(0)))
+
+
+# ---------------------------------------------------------------------------
+# Lowering dispatch memoization (satellite 1)
+# ---------------------------------------------------------------------------
+
+class TestLoweringMemo:
+    def _lowered_engine(self):
+        eng = Engine(_expr_graph(), scheduler="vector", burst=True)
+        eng.run()
+        assert eng._vector_lowering is not None
+        return eng
+
+    def test_revalidate_accepts_unchanged_tiles(self):
+        eng = self._lowered_engine()
+        lowering = eng._vector_lowering
+        # The engine hands the lowering its tick-ordered list; a fresh
+        # copy with the same tiles in the same order revalidates.
+        tiles = list(lowering.tiles)
+        assert lowering.revalidate(tiles) is True
+        # The new list object is adopted so the window's identity check
+        # (``lowering.tiles is tiles``) short-circuits next entry.
+        assert lowering.tiles is tiles
+
+    def test_revalidate_rejects_changed_tile_set(self):
+        eng = self._lowered_engine()
+        lowering = eng._vector_lowering
+        tiles = list(lowering.tiles)
+        assert lowering.revalidate(tiles[:-1]) is False
+        assert lowering.revalidate(list(reversed(tiles))) is False
+        # Tick order matters (kernels are positional), so graph order —
+        # which differs from tick order — must also be rejected.
+        graph_order = list(eng.graph.tiles)
+        if [id(t) for t in graph_order] != [id(t) for t in tiles]:
+            assert lowering.revalidate(graph_order) is False
+
+    def test_revalidate_rejects_hook_changes(self):
+        from repro.observability import Tracer
+        eng = self._lowered_engine()
+        lowering = eng._vector_lowering
+        tiles = list(lowering.tiles)
+        victim = next(t for t in tiles if isinstance(t, FilterTile))
+        victim.tracer = Tracer()
+        try:
+            assert lowering.revalidate(tiles) is False
+        finally:
+            victim.tracer = None
+
+    def test_revalidate_rejects_source_mutation(self):
+        eng = self._lowered_engine()
+        lowering = eng._vector_lowering
+        tiles = list(lowering.tiles)
+        src = next(t for t in tiles if isinstance(t, SourceTile))
+        records = src._records
+        src._records = records + [(999, 0)]
+        try:
+            assert lowering.revalidate(tiles) is False
+        finally:
+            src._records = records
+
+
+# ---------------------------------------------------------------------------
+# Compiled-expression coverage of the serving hot path (acceptance)
+# ---------------------------------------------------------------------------
+
+class TestCompiledExpressionCoverage:
+    def test_catalog_queries_filter_through_exprs(self, tiny_rideshare,
+                                                  monkeypatch):
+        """Every scan predicate Q1-Q9 hands to ``scan_filter`` is an
+        ``Expr`` — zero opaque predicate closures in the catalog."""
+        from repro.workloads import queries as Q
+
+        seen = []
+        real = Q.scan_filter
+
+        def spy(table, pred, *args, **kwargs):
+            seen.append(pred)
+            return real(table, pred, *args, **kwargs)
+
+        monkeypatch.setattr(Q, "scan_filter", spy)
+        for name in sorted(Q.QUERIES):
+            Q.run_query(name, tiny_rideshare)
+        assert len(seen) >= 6               # q1 x2, q3, q4, q7, q9
+        opaque = [p for p in seen if not is_expr(p)]
+        assert opaque == []
+
+    def test_pjoin_catalog_predicates_are_exprs(self):
+        from repro.serving import ServingRuntime
+
+        rt = ServingRuntime()
+        pjoins = [j for j in rt.workload.jobs.values()
+                  if getattr(j, "kind", None) == "pjoin"]
+        assert pjoins
+        for job in pjoins:
+            evaluator = job.predicate.evaluator(job.joined_schema())
+            assert is_expr(evaluator)
+
+    def test_planner_evaluator_is_expr(self):
+        from repro.db.planner import Predicate
+
+        class Schema:
+            cols = ("a", "b", "c")
+
+            def index(self, name):
+                return self.cols.index(name)
+
+        pred = (Predicate.of(("in", "a", (1, 2, 3)))
+                & Predicate.ge("b", 10) & Predicate.lt("c", 99))
+        evaluator = pred.evaluator(Schema())
+        assert is_expr(evaluator)
+        assert evaluator((1, 10, 5)) is True
+        assert evaluator((4, 10, 5)) is False
+
+    def test_hashtable_pipelines_have_no_opaque_closures(self):
+        """The build/probe pipelines — the saturated serving hot path —
+        carry Exprs on every map/filter/addr/combine; only the RMW
+        closure (CAS) keeps the documented legacy escape hatch."""
+        from repro.memory.dram import DramTile
+        from repro.memory.spad_tile import ScratchpadTile
+        from repro.structures.hashtable import HashTableDataflow
+
+        ht = HashTableDataflow(n_buckets=16, spad_node_capacity=64,
+                               overflow_capacity=32, name="cov")
+        build = ht.build_graph([(k, k * 10) for k in range(8)])
+        Engine(build).run()
+        probe = ht.probe_graph([(i, i) for i in range(8)], emit_all=True)
+        for graph in (build, probe):
+            for tile in graph.tiles:
+                if isinstance(tile, MapTile):
+                    assert is_expr(tile.fn), tile.name
+                elif isinstance(tile, FilterTile):
+                    assert is_expr(tile.predicate), tile.name
+                elif isinstance(tile, (ScratchpadTile, DramTile)):
+                    for port in tile.ports:
+                        cfg = port.config
+                        if cfg.mode == "rmw":
+                            continue        # CAS/FAA: documented escape
+                        assert is_expr(cfg.addr), tile.name
+                        if cfg.combine is not None:
+                            assert is_expr(cfg.combine), tile.name

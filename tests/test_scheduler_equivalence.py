@@ -108,6 +108,16 @@ def _mergesort_graph():
                             key=lambda r: r[0])
 
 
+def _mergesort_expr_graph():
+    """Same tree with an ``Expr`` key: the lambda-fused sorted-merge
+    kernel (and its four-way parity) instead of the per-record path."""
+    from repro.dataflow.expr import Field
+    runs = [sorted((i * 7 + k) % 100 for i in range(40))
+            for k in range(4)]
+    return merge_sort_graph("msort", [[(v,) for v in run] for run in runs],
+                            key=Field(0))
+
+
 def _stall_injector():
     return FaultInjector([
         FaultEvent(FaultKind.TILE_STALL, "m", cycle=4, duration=13),
@@ -140,6 +150,7 @@ CASES = [
     ("dram_gather_throttled", lambda: _dram_gather_graph(rate=1), None),
     ("spad_histogram", _hist_graph, None),
     ("mergesort_tree", _mergesort_graph, None),
+    ("mergesort_tree_expr_key", _mergesort_expr_graph, None),
     ("fault_stalls", _stalled_map_graph, _stall_injector),
     ("fault_dram_spike", lambda: _dram_gather_graph(rate=2),
      _spiked_injector),

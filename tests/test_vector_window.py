@@ -69,8 +69,16 @@ def _vector_parity(factory, **kwargs):
 class TestWindowLifecycle:
     def test_saturated_window_lowers_to_vector(self):
         eng = _vector_parity(_wide_graph)
-        assert "vector" in eng.burst_windows
+        # Lowered windows (ramp and/or saturated), never the per-cycle
+        # hoisted "fabric" window.  The short line-rate run is covered by
+        # a ramp window almost immediately; a longer run must escalate to
+        # an uncapped saturated window as well.
         assert "fabric" not in eng.burst_windows
+        lowered = sum(sum(w) for k, w in eng.burst_windows.items()
+                      if k in ("vector", "ramp"))
+        assert lowered > 8
+        eng = _vector_parity(lambda: _wide_graph(n_records=4000))
+        assert "vector" in eng.burst_windows
         assert sum(eng.burst_windows["vector"]) > 8
 
     def test_eos_runs_inside_window(self):
@@ -278,6 +286,11 @@ class TestCli:
         assert "vector scheduler" in out
         assert "vector kernels" in out
         assert "burst windows" in out
+        # Compiled-vs-interpreted lambda attribution: the saturated probe
+        # pipeline runs entirely through batch-compiled expressions.
+        assert "lambda attribution" in out
+        attribution = out.split("lambda attribution", 1)[1]
+        assert "100.0%" in attribution
 
     def test_trace_vector_scheduler(self, capsys):
         from repro.__main__ import main
